@@ -1,0 +1,132 @@
+// Command benchtab regenerates the paper's evaluation artifacts end to
+// end: Table 1 (grid-by-grid OPERA vs Monte Carlo accuracy and
+// speedup), Figures 1–2 (voltage-drop distributions), the §5.1 special
+// case and the ablation studies.
+//
+// Usage:
+//
+//	benchtab -exp table1
+//	benchtab -exp table1 -full        # paper-scale sizes and 1000 samples
+//	benchtab -exp fig1
+//	benchtab -exp fig2
+//	benchtab -exp special
+//	benchtab -exp ordersweep
+//	benchtab -exp solver
+//	benchtab -exp ordering
+//	benchtab -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"opera/internal/experiments"
+	"opera/internal/galerkin"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment: table1, fig1, fig2, special, ordersweep, solver, mor, ordering, all")
+		full = flag.Bool("full", false, "paper-scale configuration (slow)")
+		seed = flag.Int64("seed", 2005, "experiment seed")
+	)
+	flag.Parse()
+	logf := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("==== %s ====\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	run("table1", func() error {
+		cfg := experiments.DefaultTable1()
+		if *full {
+			cfg = experiments.FullTable1()
+		}
+		cfg.Seed = *seed
+		_, err := experiments.WriteTable1(os.Stdout, cfg, logf)
+		return err
+	})
+	run("fig1", func() error {
+		cfg := experiments.DefaultFigure(0)
+		if *full {
+			cfg = experiments.FullFigure(0)
+		}
+		_, err := experiments.WriteFigure(os.Stdout, cfg, "Figure 1")
+		return err
+	})
+	run("fig2", func() error {
+		cfg := experiments.DefaultFigure(1)
+		if *full {
+			cfg = experiments.FullFigure(1)
+		}
+		_, err := experiments.WriteFigure(os.Stdout, cfg, "Figure 2")
+		return err
+	})
+	run("special", func() error {
+		nodes, samples := 2600, 1000
+		if *full {
+			nodes, samples = 19181, 1000
+		}
+		_, err := experiments.WriteSpecialCase(os.Stdout, nodes, 2, 3, samples, 0.6, *seed)
+		return err
+	})
+	run("ordersweep", func() error {
+		nodes, samples := 1600, 800
+		if *full {
+			nodes, samples = 19181, 2000
+		}
+		rows, err := experiments.RunOrderSweep(nodes, 3, samples, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Expansion-order sweep (%d nodes, %d-sample MC reference)\n\n", nodes, samples)
+		return experiments.FormatOrderSweep(rows).Write(os.Stdout)
+	})
+	run("solver", func() error {
+		nodes := 1600
+		if *full {
+			nodes = 19181
+		}
+		rows, err := experiments.RunSolverAblation(nodes, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Solver-path ablation (§5.2), %d nodes\n\n", nodes)
+		return experiments.FormatSolverAblation(rows).Write(os.Stdout)
+	})
+	run("mor", func() error {
+		nodes := 2600
+		if *full {
+			nodes = 19181
+		}
+		row, err := experiments.RunMORAblation(nodes, 12, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("MOR ablation (§5.2), %d nodes\n\n", nodes)
+		return experiments.FormatMORAblation(row).Write(os.Stdout)
+	})
+	run("ordering", func() error {
+		nodes := 1600
+		if *full {
+			nodes = 19181
+		}
+		rows, err := experiments.RunOrderingAblation(nodes, *seed, []galerkin.Ordering{
+			galerkin.OrderND, galerkin.OrderRCM, galerkin.OrderMD, galerkin.OrderNatural,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Augmented-system ordering ablation (%d nodes)\n\n", nodes)
+		return experiments.FormatOrderingAblation(rows).Write(os.Stdout)
+	})
+}

@@ -1,0 +1,89 @@
+// Correlated process variations — the paper's §5 remark made concrete:
+// "if they were not [uncorrelated], given their covariance matrix, they
+// can always be transformed into a set of uncorrelated random variables
+// by an orthogonal transformation technique like principal component
+// analysis". Interconnect width and thickness track each other in real
+// processes (both follow the metal CMP/etch conditions); this example
+// analyzes a grid under W/T correlation ρ and shows how the correlation
+// inflates the voltage spread relative to the independent assumption.
+//
+//	go run ./examples/correlated
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"opera/internal/core"
+	"opera/internal/galerkin"
+	"opera/internal/grid"
+	"opera/internal/mna"
+	"opera/internal/pce"
+)
+
+func main() {
+	nl, err := grid.Build(grid.DefaultSpec(2000, 31))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sW, sT, sL := 0.20/3, 0.15/3, 0.20/3
+	opts := galerkin.Options{Step: 1e-10, Steps: 20}
+
+	fmt.Printf("grid: %s\n", nl.Stats())
+	fmt.Println("worst-node σ under W/T correlation (order-2 expansion):")
+	fmt.Println("rho     sigma (V)   vs independent")
+	var sigma0 float64
+	for _, rho := range []float64{0, 0.3, 0.6, 0.9} {
+		cov := [][]float64{
+			{sW * sW, rho * sW * sT, 0},
+			{rho * sW * sT, sT * sT, 0},
+			{0, 0, sL * sL},
+		}
+		sys, err := mna.BuildCorrelated(nl, cov)
+		if err != nil {
+			log.Fatal(err)
+		}
+		basis := pce.NewHermiteBasis(3, 2)
+		gsys, err := galerkin.FromCorrelated(sys, basis)
+		if err != nil {
+			log.Fatal(err)
+		}
+		worst := 0.0
+		if _, err := galerkin.Solve(gsys, opts, func(step int, _ float64, coeffs [][]float64) {
+			for i := 0; i < sys.N; i++ {
+				v := 0.0
+				for m := 1; m < basis.Size(); m++ {
+					v += coeffs[m][i] * coeffs[m][i]
+				}
+				if v > worst {
+					worst = v
+				}
+			}
+		}); err != nil {
+			log.Fatal(err)
+		}
+		sd := math.Sqrt(worst)
+		if rho == 0 {
+			sigma0 = sd
+		}
+		fmt.Printf("%.1f   %.5g     %+.1f%%\n", rho, sd, 100*(sd/sigma0-1))
+	}
+
+	// Cross-check ρ=0.6 against the analytically equivalent combined
+	// model KG_eff = √(σW² + σT² + 2ρσWσT).
+	rho := 0.6
+	kgEff := math.Sqrt(sW*sW + sT*sT + 2*rho*sW*sT)
+	comb, err := mna.Build(nl, mna.VariationSpec{KG: kgEff, KCL: sL, KIL: sL})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.Analyze(comb, core.Options{Order: 2, Step: 1e-10, Steps: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	node, step := res.MaxMeanDropNode()
+	fmt.Printf("\nanalytic check at rho=0.6: equivalent combined-model sigma at worst node = %.5g V\n",
+		math.Sqrt(res.Variance[step][node]))
+	fmt.Println("(matches the PCA run — see TestCorrelatedMatchesEquivalentCombined)")
+}

@@ -1,0 +1,87 @@
+// IR-drop distribution analysis — the paper's §5 illustration end to
+// end: a mid-size grid under W/T/Leff variation, the full chaos
+// expansion at the worst node, its probability density by Gram–Charlier
+// series and by sampling the explicit expansion, rendered as an ASCII
+// histogram (the shape of the paper's Figures 1–2).
+//
+//	go run ./examples/irdrop
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"opera/internal/core"
+	"opera/internal/grid"
+	"opera/internal/mna"
+	"opera/internal/randvar"
+	"opera/internal/report"
+)
+
+func main() {
+	nl, err := grid.Build(grid.DefaultSpec(5000, 2025))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := mna.Build(nl, mna.DefaultSpec())
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := core.Options{Order: 3, Step: 1e-10, Steps: 20}
+
+	// Pass 1 finds the worst node; pass 2 tracks its full expansion.
+	scout, err := core.Analyze(sys, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	node, step := scout.MaxMeanDropNode()
+	opts.TrackNodes = []int{node}
+	res, err := core.Analyze(sys, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e := res.Tracked[node][step]
+	fmt.Printf("grid: %s\n", nl.Stats())
+	fmt.Printf("worst node %d at t = %.0f ps (order-3 expansion, %d coefficients)\n",
+		node, 1e12*float64(step)*opts.Step, res.Basis.Size())
+	fmt.Printf("voltage: mean %.4f V, sigma %.4g V, skewness %.3f, excess kurtosis %.3f\n",
+		e.Mean(), e.Std(), e.Skewness(), e.ExcessKurtosis())
+	fmt.Printf("variance attribution (Sobol): geometry xiG %.1f%%, channel xiL %.1f%%, interactions %.1f%%\n",
+		100*e.SobolTotal(0), 100*e.SobolTotal(1), 100*e.SobolInteraction())
+
+	// Density two ways: Gram–Charlier from the chaos moments, and a
+	// histogram of 50k samples of the explicit polynomial (microseconds
+	// per sample — no circuit solves).
+	rng := randvar.NewStream(99, 0)
+	samples := e.Sample(rng, 50000)
+	drops := make([]float64, len(samples))
+	for i, v := range samples {
+		drops[i] = res.DropPercent(v)
+	}
+	lo := randvar.Quantile(drops, 0.001)
+	hi := randvar.Quantile(drops, 0.999)
+	hist := randvar.NewHistogram(lo, hi, 20)
+	hist.PushAll(drops)
+
+	pdf := e.PDF() // Gram–Charlier density of the voltage
+	centers := hist.BinCenters()
+	gc := make([]float64, len(centers))
+	binW := (hi - lo) / 20
+	for i, c := range centers {
+		// Convert drop% bin center back to volts and scale the density
+		// into % of occurrences per bin.
+		v := res.VDD * (1 - c/100)
+		gc[i] = pdf(v) * (binW / 100 * res.VDD) * 100
+	}
+	err = report.AsciiChart(os.Stdout, "voltage drop as % VDD", "% of occurrences", 32,
+		report.Series{Name: "sampled expansion", X: centers, Y: hist.Percent()},
+		report.Series{Name: "Gram-Charlier", X: centers, Y: gc},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n+/-3sigma spread = +/-%.0f%% of the nominal drop — the variation-aware\n"+
+		"margin the paper argues must be designed for.\n",
+		300*e.Std()/(res.VDD-e.Mean()))
+}

@@ -1,0 +1,3 @@
+module opera
+
+go 1.22

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"opera/internal/montecarlo"
+)
+
+// Accuracy aggregates the comparison metrics of the paper's Table 1:
+// average and maximum percent errors of OPERA's mean and standard
+// deviation against Monte Carlo, taken across all nodes and all time
+// points, the ±3σ spread as a percentage of the nominal (variation-free)
+// voltage drop µ0, and the mean shift µ−µ0 as a fraction of VDD (which
+// §6 reports as negligible).
+type Accuracy struct {
+	AvgErrMeanPct float64
+	MaxErrMeanPct float64
+	AvgErrStdPct  float64
+	MaxErrStdPct  float64
+	// ThreeSigmaPctOfNominal is the average of 3σ/(nominal drop) in
+	// percent over nodes and times with a meaningful drop.
+	ThreeSigmaPctOfNominal float64
+	// MeanShiftPctVDD is the average |µ − µ0| as a percent of VDD.
+	MeanShiftPctVDD float64
+}
+
+// CompareWithMC computes the Table 1 accuracy columns. nominal is the
+// deterministic response from NominalRun (may be nil to skip the
+// µ0-relative metrics). σ entries where the Monte Carlo deviation is
+// below 1% of the grid-wide maximum are skipped (relative error against
+// a near-zero baseline is dominated by sampling noise at unloaded pad
+// nodes).
+func CompareWithMC(op *Result, mc *montecarlo.Result, nominal [][]float64) (Accuracy, error) {
+	if op.N != mc.N || op.Steps != mc.Steps {
+		return Accuracy{}, fmt.Errorf("core: OPERA (%d nodes, %d steps) and MC (%d, %d) shapes differ",
+			op.N, op.Steps, mc.N, mc.Steps)
+	}
+	var acc Accuracy
+	var sumMean, sumStd float64
+	var nMean, nStd int
+	maxStdMC := 0.0
+	for s := range mc.Variance {
+		for i := range mc.Variance[s] {
+			if sd := math.Sqrt(mc.Variance[s][i]); sd > maxStdMC {
+				maxStdMC = sd
+			}
+		}
+	}
+	stdFloor := 0.01 * maxStdMC
+	var sum3Sigma float64
+	var n3Sigma int
+	var sumShift float64
+	var nShift int
+	for s := 0; s <= op.Steps; s++ {
+		for i := 0; i < op.N; i++ {
+			mMC := mc.Mean[s][i]
+			if mMC != 0 {
+				e := 100 * math.Abs(op.Mean[s][i]-mMC) / math.Abs(mMC)
+				sumMean += e
+				nMean++
+				if e > acc.MaxErrMeanPct {
+					acc.MaxErrMeanPct = e
+				}
+			}
+			sdMC := math.Sqrt(mc.Variance[s][i])
+			if sdMC > stdFloor {
+				sdOp := math.Sqrt(op.Variance[s][i])
+				e := 100 * math.Abs(sdOp-sdMC) / sdMC
+				sumStd += e
+				nStd++
+				if e > acc.MaxErrStdPct {
+					acc.MaxErrStdPct = e
+				}
+			}
+			if nominal != nil {
+				drop0 := op.VDD - nominal[s][i]
+				sdOp := math.Sqrt(op.Variance[s][i])
+				if drop0 > 0.01*op.VDD*0.1 { // drops above 0.1% of VDD
+					sum3Sigma += 100 * 3 * sdOp / drop0
+					n3Sigma++
+				}
+				sumShift += 100 * math.Abs(op.Mean[s][i]-nominal[s][i]) / op.VDD
+				nShift++
+			}
+		}
+	}
+	if nMean > 0 {
+		acc.AvgErrMeanPct = sumMean / float64(nMean)
+	}
+	if nStd > 0 {
+		acc.AvgErrStdPct = sumStd / float64(nStd)
+	}
+	if n3Sigma > 0 {
+		acc.ThreeSigmaPctOfNominal = sum3Sigma / float64(n3Sigma)
+	}
+	if nShift > 0 {
+		acc.MeanShiftPctVDD = sumShift / float64(nShift)
+	}
+	return acc, nil
+}
+
+// DropPercent converts a voltage to a drop in percent of VDD.
+func (r *Result) DropPercent(v float64) float64 {
+	return 100 * (r.VDD - v) / r.VDD
+}

@@ -1,0 +1,231 @@
+// Package core is OPERA — Orthogonal Polynomial Expansions for Response
+// Analysis — the paper's primary contribution assembled from the
+// substrates: it takes a power grid netlist, a process-variation model
+// and an expansion order, runs the stochastic Galerkin transient, and
+// returns the explicit chaos representation of every node voltage over
+// time: means, variances, higher moments, probability densities and
+// samples, plus the accuracy/runtime comparison against the Monte Carlo
+// baseline that regenerates the paper's Table 1 and Figures 1–2.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"opera/internal/galerkin"
+	"opera/internal/mna"
+	"opera/internal/montecarlo"
+	"opera/internal/netlist"
+	"opera/internal/pce"
+	"opera/internal/poly"
+	"opera/internal/transient"
+)
+
+// Options configures an OPERA analysis.
+type Options struct {
+	// Order is the chaos expansion order p (paper: 2 or 3 suffices).
+	Order int
+	// Step and Steps define the fixed-step transient window.
+	Step  float64
+	Steps int
+	// Variation holds the first-order sensitivities; zero value means
+	// mna.DefaultSpec (the paper's Table 1 setup).
+	Variation *mna.VariationSpec
+	// Ordering selects the fill-reducing ordering of the augmented
+	// factorization.
+	Ordering galerkin.Ordering
+	// TrackNodes lists nodes whose full chaos coefficients are retained
+	// at every step (needed for PDFs and the distribution figures).
+	TrackNodes []int
+	// Families optionally overrides the per-dimension polynomial
+	// families (default: Hermite × Hermite, the paper's Gaussian case).
+	Families []poly.Family
+	// ForceCoupled and ForceLU are ablation switches (see galerkin).
+	ForceCoupled bool
+	ForceLU      bool
+	// Iterative selects the §5.2 mean-preconditioned CG solver path.
+	Iterative bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Order == 0 {
+		o.Order = 2
+	}
+	return o
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if o.Order < 1 {
+		return fmt.Errorf("core: expansion order must be >= 1, got %d", o.Order)
+	}
+	if o.Step <= 0 || o.Steps < 1 {
+		return fmt.Errorf("core: bad time stepping %g x %d", o.Step, o.Steps)
+	}
+	if o.Families != nil && len(o.Families) != mna.Dims {
+		return fmt.Errorf("core: need %d families, got %d", mna.Dims, len(o.Families))
+	}
+	return nil
+}
+
+// Result is the output of an OPERA analysis.
+type Result struct {
+	N     int
+	Steps int
+	Basis *pce.Basis
+	VDD   float64
+
+	// Mean[s][i], Variance[s][i]: moments of node i's voltage at step s.
+	Mean, Variance [][]float64
+
+	// Tracked maps a tracked node to its per-step chaos expansions.
+	Tracked map[int][]*pce.Expansion
+
+	// Elapsed is the wall-clock analysis time; Galerkin carries solver
+	// telemetry.
+	Elapsed  time.Duration
+	Galerkin galerkin.Result
+}
+
+// Analyze runs OPERA on a stamped MNA system.
+func Analyze(sys *mna.System, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	fams := opts.Families
+	if fams == nil {
+		fams = []poly.Family{poly.Hermite{}, poly.Hermite{}}
+	}
+	basis := pce.NewBasis(fams, opts.Order)
+	gsys, err := galerkin.FromMNA(sys, basis)
+	if err != nil {
+		return nil, err
+	}
+	return analyze(gsys, sys.VDD, opts)
+}
+
+// AnalyzeNetlist stamps and analyzes a netlist in one call.
+func AnalyzeNetlist(nl *netlist.Netlist, opts Options) (*Result, error) {
+	spec := mna.DefaultSpec()
+	if opts.Variation != nil {
+		spec = *opts.Variation
+	}
+	sys, err := mna.Build(nl, spec)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(sys, opts)
+}
+
+// analyze drives the Galerkin solve and collects moments for any
+// prepared galerkin.System (the general path and the §5.1 special case
+// share it).
+func analyze(gsys *galerkin.System, vdd float64, opts Options) (*Result, error) {
+	basis := gsys.Basis
+	n := gsys.N
+	nsteps := opts.Steps + 1
+	res := &Result{
+		N:        n,
+		Steps:    opts.Steps,
+		Basis:    basis,
+		VDD:      vdd,
+		Mean:     alloc2(nsteps, n),
+		Variance: alloc2(nsteps, n),
+	}
+	if len(opts.TrackNodes) > 0 {
+		res.Tracked = make(map[int][]*pce.Expansion, len(opts.TrackNodes))
+		for _, node := range opts.TrackNodes {
+			if node < 0 || node >= n {
+				return nil, fmt.Errorf("core: tracked node %d outside [0,%d)", node, n)
+			}
+			res.Tracked[node] = make([]*pce.Expansion, nsteps)
+		}
+	}
+	start := time.Now()
+	gres, err := galerkin.Solve(gsys, galerkin.Options{
+		Step: opts.Step, Steps: opts.Steps,
+		Ordering: opts.Ordering, ForceCoupled: opts.ForceCoupled,
+		ForceLU: opts.ForceLU, Iterative: opts.Iterative,
+	}, func(step int, _ float64, coeffs [][]float64) {
+		B := len(coeffs)
+		for i := 0; i < n; i++ {
+			res.Mean[step][i] = coeffs[0][i]
+			v := 0.0
+			for m := 1; m < B; m++ {
+				v += coeffs[m][i] * coeffs[m][i]
+			}
+			res.Variance[step][i] = v
+		}
+		for node, exps := range res.Tracked {
+			c := make([]float64, B)
+			for m := 0; m < B; m++ {
+				c[m] = coeffs[m][node]
+			}
+			exps[step] = pce.FromCoeffs(basis, c)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	res.Galerkin = gres
+	return res, nil
+}
+
+// MaxMeanDropNode returns the node and step with the largest mean
+// voltage drop (VDD − mean), the natural "interesting node" for the
+// distribution figures.
+func (r *Result) MaxMeanDropNode() (node, step int) {
+	worst := -1.0
+	for s := range r.Mean {
+		for i, v := range r.Mean[s] {
+			if d := r.VDD - v; d > worst {
+				worst = d
+				node, step = i, s
+			}
+		}
+	}
+	return node, step
+}
+
+// NominalRun computes the deterministic (no-variation) response µ0 used
+// by the paper's ±3σ-vs-µ0 metric: a plain transient on Ga, Ca, ua.
+func NominalRun(sys *mna.System, opts Options) ([][]float64, error) {
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	out := alloc2(opts.Steps+1, sys.N)
+	ua := make([]float64, sys.N)
+	err := transient.Run(sys.Ga, sys.Ca, func(t float64, u []float64) {
+		sys.RHS(t, ua, nil, nil)
+		copy(u, ua)
+	}, transient.Options{Step: opts.Step, Steps: opts.Steps, Method: transient.BackwardEuler},
+		func(step int, _ float64, x []float64) {
+			copy(out[step], x)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunMC executes the Monte Carlo baseline with matching time stepping.
+func RunMC(sys *mna.System, opts Options, samples int, seed int64, trackNodes []int) (*montecarlo.Result, time.Duration, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	mc, err := montecarlo.Run(sys, montecarlo.Options{
+		Samples: samples, Step: opts.Step, Steps: opts.Steps,
+		Seed: seed, TrackNodes: trackNodes,
+	})
+	return mc, time.Since(start), err
+}
+
+func alloc2(a, b int) [][]float64 {
+	m := make([][]float64, a)
+	for i := range m {
+		m[i] = make([]float64, b)
+	}
+	return m
+}

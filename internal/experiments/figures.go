@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"opera/internal/core"
+	"opera/internal/grid"
+	"opera/internal/mna"
+	"opera/internal/randvar"
+	"opera/internal/report"
+)
+
+// FigureConfig parameterizes the Figures 1–2 reproduction: the
+// voltage-drop distribution (% of occurrences vs drop as % of VDD) at a
+// selected node, from Monte Carlo traces and from sampling OPERA's
+// explicit expansion. The paper uses the 19,181-node grid; the default
+// scales down.
+type FigureConfig struct {
+	Nodes        int
+	MCSamples    int
+	OperaSamples int
+	Bins         int
+	Order        int
+	Step         float64
+	Steps        int
+	Seed         int64
+	// NodeRank selects which node to plot: 0 = the maximum-drop node
+	// (Figure 1), 1 = a second, mid-spread node (Figure 2).
+	NodeRank int
+}
+
+// DefaultFigure returns the fast configuration for the given node rank.
+func DefaultFigure(rank int) FigureConfig {
+	return FigureConfig{
+		Nodes:        2600,
+		MCSamples:    1000,
+		OperaSamples: 20000,
+		Bins:         24,
+		Order:        2,
+		Step:         1e-10,
+		Steps:        20,
+		Seed:         1905,
+		NodeRank:     rank,
+	}
+}
+
+// FullFigure returns the paper-faithful size (19,181 nodes).
+func FullFigure(rank int) FigureConfig {
+	c := DefaultFigure(rank)
+	c.Nodes = 19181
+	return c
+}
+
+// FigureResult carries the two distribution series and metadata.
+type FigureResult struct {
+	Node, Step int
+	MC, Opera  report.Series
+	KS         float64 // two-sample Kolmogorov–Smirnov distance
+}
+
+// RunFigure executes the distribution experiment.
+func RunFigure(cfg FigureConfig) (*FigureResult, error) {
+	nl, err := grid.Build(grid.DefaultSpec(cfg.Nodes, cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	sys, err := mna.Build(nl, mna.DefaultSpec())
+	if err != nil {
+		return nil, err
+	}
+	opts := core.Options{Order: cfg.Order, Step: cfg.Step, Steps: cfg.Steps}
+	// Pass 1: locate the interesting node.
+	scout, err := core.Analyze(sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	node, step := scout.MaxMeanDropNode()
+	if cfg.NodeRank > 0 {
+		node = pickMidSpreadNode(scout, step, cfg.NodeRank)
+	}
+	// Pass 2: track the selected node's full expansion.
+	opts.TrackNodes = []int{node}
+	op, err := core.Analyze(sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	mc, _, err := core.RunMC(sys, opts, cfg.MCSamples, cfg.Seed+7, []int{node})
+	if err != nil {
+		return nil, err
+	}
+	// Voltage drops in % of VDD.
+	mcDrops := make([]float64, len(mc.Traces))
+	for k := range mc.Traces {
+		mcDrops[k] = op.DropPercent(mc.Traces[k][step][0])
+	}
+	rng := randvar.NewStream(cfg.Seed+13, 1)
+	opSamples := op.Tracked[node][step].Sample(rng, cfg.OperaSamples)
+	opDrops := make([]float64, len(opSamples))
+	for i, v := range opSamples {
+		opDrops[i] = op.DropPercent(v)
+	}
+	lo, hi := rangeOf(append(append([]float64(nil), mcDrops...), opDrops...))
+	pad := 0.05 * (hi - lo)
+	hMC := randvar.NewHistogram(lo-pad, hi+pad, cfg.Bins)
+	hOp := randvar.NewHistogram(lo-pad, hi+pad, cfg.Bins)
+	hMC.PushAll(mcDrops)
+	hOp.PushAll(opDrops)
+	res := &FigureResult{
+		Node: node,
+		Step: step,
+		MC:   report.Series{Name: "MC", X: hMC.BinCenters(), Y: hMC.Percent()},
+		Opera: report.Series{
+			Name: "OPERA", X: hOp.BinCenters(), Y: hOp.Percent(),
+		},
+		KS: randvar.KolmogorovSmirnov(mcDrops, opDrops),
+	}
+	return res, nil
+}
+
+// pickMidSpreadNode returns a node whose mean drop sits in the middle
+// of the grid's drop range at the given step — the paper's "arbitrarily
+// selected" second node, chosen deterministically.
+func pickMidSpreadNode(op *core.Result, step, rank int) int {
+	maxDrop := 0.0
+	for _, v := range op.Mean[step] {
+		if d := op.VDD - v; d > maxDrop {
+			maxDrop = d
+		}
+	}
+	target := maxDrop * (1 - 0.25*float64(rank))
+	best, bestDist := 0, maxDrop
+	for i, v := range op.Mean[step] {
+		d := op.VDD - v
+		dist := abs(d - target)
+		if dist < bestDist {
+			best, bestDist = i, dist
+		}
+	}
+	return best
+}
+
+func rangeOf(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// WriteFigure runs the experiment and renders the chart plus CSV.
+func WriteFigure(w io.Writer, cfg FigureConfig, title string) (*FigureResult, error) {
+	res, err := RunFigure(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "%s — voltage distribution at node %d (time step %d), KS = %.4f\n\n",
+		title, res.Node, res.Step, res.KS)
+	if err := report.AsciiChart(w, "voltage drop as % VDD", "% of occurrences", 30, res.MC, res.Opera); err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w)
+	if err := report.WriteSeriesCSV(w, "drop_pct_vdd", res.MC, res.Opera); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,470 @@
+package factor
+
+import (
+	"fmt"
+	"math"
+
+	"opera/internal/sparse"
+)
+
+// BlockMatrix is a square block-sparse matrix: a scalar n×n CSC sparsity
+// pattern whose every stored entry is a dense B×B block (row-major
+// within the block). This is exactly the structure of the stochastic
+// Galerkin matrices (Eq. 19–21): one block per grid-node pair, the block
+// holding the chaos-coupling pattern. Factoring in this form keeps the
+// elimination tree and fill of the *scalar* grid pattern, with dense
+// B×B arithmetic inside — the property the paper's §5.2 sparsity
+// observation points at.
+type BlockMatrix struct {
+	N, B int
+	Colp []int
+	Rowi []int
+	Val  []float64 // len NNZ·B², blocks in CSC slot order
+}
+
+// NewBlockMatrix builds a zero block matrix with the given scalar
+// pattern (must have sorted columns).
+func NewBlockMatrix(pattern *sparse.Matrix, b int) *BlockMatrix {
+	if pattern.Rows != pattern.Cols {
+		panic("factor: block matrix pattern must be square")
+	}
+	return &BlockMatrix{
+		N:    pattern.Rows,
+		B:    b,
+		Colp: append([]int(nil), pattern.Colp...),
+		Rowi: append([]int(nil), pattern.Rowi...),
+		Val:  make([]float64, pattern.NNZ()*b*b),
+	}
+}
+
+// AddTerm accumulates coupling ⊗ a into the block matrix: for every
+// scalar entry a(i,j) and every coupling entry T(m1,m2), block (i,j)
+// gains T(m1,m2)·a(i,j). The scalar pattern of a must be contained in
+// the block matrix's pattern. coupling is B×B.
+func (bm *BlockMatrix) AddTerm(coupling, a *sparse.Matrix) {
+	B := bm.B
+	if coupling.Rows != B || coupling.Cols != B {
+		panic(fmt.Sprintf("factor: coupling is %dx%d, want %dx%d", coupling.Rows, coupling.Cols, B, B))
+	}
+	if a.Rows != bm.N || a.Cols != bm.N {
+		panic(fmt.Sprintf("factor: term is %dx%d, want %d", a.Rows, a.Cols, bm.N))
+	}
+	// Flatten the coupling for the inner loop.
+	type centry struct {
+		off int
+		v   float64
+	}
+	var cents []centry
+	for m2 := 0; m2 < B; m2++ {
+		for p := coupling.Colp[m2]; p < coupling.Colp[m2+1]; p++ {
+			cents = append(cents, centry{off: coupling.Rowi[p]*B + m2, v: coupling.Val[p]})
+		}
+	}
+	for j := 0; j < bm.N; j++ {
+		pa := a.Colp[j]
+		ea := a.Colp[j+1]
+		pb := bm.Colp[j]
+		eb := bm.Colp[j+1]
+		for pa < ea {
+			i := a.Rowi[pa]
+			// Locate slot (i, j) in the block pattern (both sorted).
+			for pb < eb && bm.Rowi[pb] < i {
+				pb++
+			}
+			if pb == eb || bm.Rowi[pb] != i {
+				panic(fmt.Sprintf("factor: term entry (%d,%d) outside block pattern", i, j))
+			}
+			base := pb * B * B
+			av := a.Val[pa]
+			for _, ce := range cents {
+				bm.Val[base+ce.off] += ce.v * av
+			}
+			pa++
+		}
+	}
+}
+
+// MulVec computes y = M·x for node-major vectors (x[i·B+m]).
+func (bm *BlockMatrix) MulVec(y, x []float64) {
+	B := bm.B
+	if len(x) != bm.N*B || len(y) != bm.N*B {
+		panic(fmt.Sprintf("factor: block MulVec lengths %d/%d want %d", len(y), len(x), bm.N*B))
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for j := 0; j < bm.N; j++ {
+		xj := x[j*B : (j+1)*B]
+		for p := bm.Colp[j]; p < bm.Colp[j+1]; p++ {
+			i := bm.Rowi[p]
+			blk := bm.Val[p*B*B : (p+1)*B*B]
+			yi := y[i*B : (i+1)*B]
+			for r := 0; r < B; r++ {
+				s := 0.0
+				row := blk[r*B : r*B+B]
+				for c := 0; c < B; c++ {
+					s += row[c] * xj[c]
+				}
+				yi[r] += s
+			}
+		}
+	}
+}
+
+// ToCSC expands the block matrix into a scalar CSC matrix with
+// node-major indexing (global index i·B+m) — for tests and the LU
+// fallback path.
+func (bm *BlockMatrix) ToCSC() *sparse.Matrix {
+	B := bm.B
+	t := sparse.NewTriplet(bm.N*B, bm.N*B, bm.Colp[bm.N]*B*B)
+	for j := 0; j < bm.N; j++ {
+		for p := bm.Colp[j]; p < bm.Colp[j+1]; p++ {
+			i := bm.Rowi[p]
+			blk := bm.Val[p*B*B : (p+1)*B*B]
+			for r := 0; r < B; r++ {
+				for c := 0; c < B; c++ {
+					if v := blk[r*B+c]; v != 0 {
+						t.Add(i*B+r, j*B+c, v)
+					}
+				}
+			}
+		}
+	}
+	return t.Compile()
+}
+
+// BlockCholFactor is a block LLᵀ factorization P·M·Pᵀ = L·Lᵀ where P is
+// a scalar (node-level) permutation, L is block lower triangular, each
+// diagonal block itself lower triangular.
+type BlockCholFactor struct {
+	N, B int
+	Perm []int // node permutation; nil = natural
+	colp []int
+	rowi []int
+	val  []float64 // nnzL·B² blocks; diagonal block stored first per column
+}
+
+// BlockCholesky factors the block matrix under the given node
+// permutation. It returns ErrNotPositiveDefinite (wrapped) when a
+// diagonal block fails its dense Cholesky.
+func BlockCholesky(m *BlockMatrix, perm []int) (*BlockCholFactor, error) {
+	n, B := m.N, m.B
+	// Permute the scalar pattern and block values.
+	colp, rowi, val := m.Colp, m.Rowi, m.Val
+	if perm != nil {
+		colp, rowi, val = permuteBlocks(m, perm)
+	}
+	// Upper-triangular scalar pattern for etree/ereach, with slot
+	// references into the block storage.
+	upColp := make([]int, n+1)
+	upRowi := make([]int, 0, len(rowi)/2+n)
+	upSlot := make([]int, 0, len(rowi)/2+n)
+	for j := 0; j < n; j++ {
+		for p := colp[j]; p < colp[j+1]; p++ {
+			if rowi[p] <= j {
+				upRowi = append(upRowi, rowi[p])
+				upSlot = append(upSlot, p)
+			}
+		}
+		upColp[j+1] = len(upRowi)
+	}
+	upper := &sparse.Matrix{Rows: n, Cols: n, Colp: upColp, Rowi: upRowi, Val: make([]float64, len(upRowi))}
+	parent := etree(upper)
+	// Column counts of L.
+	count := make([]int, n)
+	s := make([]int, n)
+	w := make([]int, n)
+	for i := range w {
+		w[i] = -1
+	}
+	for k := 0; k < n; k++ {
+		count[k]++
+		for top := ereach(upper, k, parent, s, w); top < n; top++ {
+			count[s[top]]++
+		}
+	}
+	lcolp := make([]int, n+1)
+	for j := 0; j < n; j++ {
+		lcolp[j+1] = lcolp[j] + count[j]
+	}
+	nnzL := lcolp[n]
+	lrowi := make([]int, nnzL)
+	lval := make([]float64, nnzL*B*B)
+	next := make([]int, n)
+	copy(next, lcolp[:n])
+	for i := range w {
+		w[i] = -1
+	}
+	// Workspaces.
+	bb := B * B
+	x := make([]float64, n*bb) // block accumulators
+	tmp := make([]float64, bb)
+	d := make([]float64, bb)
+	for k := 0; k < n; k++ {
+		top := ereach(upper, k, parent, s, w)
+		// Scatter block row k of the (permuted) matrix: blocks (i, k)
+		// for i ≤ k come from the upper part of column k.
+		for p := upColp[k]; p < upColp[k+1]; p++ {
+			i := upRowi[p]
+			src := val[upSlot[p]*bb : upSlot[p]*bb+bb]
+			if i == k {
+				copy(d, src)
+			} else {
+				// Need block (k, i) = block (i, k)ᵀ of the symmetric
+				// matrix; the upper entry stores block (i, k).
+				dst := x[i*bb : i*bb+bb]
+				for r := 0; r < B; r++ {
+					for c := 0; c < B; c++ {
+						dst[c*B+r] = src[r*B+c]
+					}
+				}
+			}
+		}
+		for ; top < n; top++ {
+			i := s[top]
+			xi := x[i*bb : i*bb+bb]
+			// Lki = Xi · L(i,i)⁻ᵀ  (right triangular solve; L(i,i) is
+			// the first block of column i, lower triangular).
+			diag := lval[lcolp[i]*bb : lcolp[i]*bb+bb]
+			rightSolveLT(B, xi, diag, tmp)
+			copy(xi, tmp)
+			// Update remaining pattern: for each stored L(r,i), r > k is
+			// impossible yet (rows added in ascending k), so updates hit
+			// blocks x[r] with r < k? No: stored rows r in column i are
+			// previous k' < k... they are rows of L, all < k, but the
+			// pattern of row k only touches ereach columns; the scalar
+			// algorithm subtracts into x[Li[p]] for entries beyond the
+			// diagonal — those rows are in (i, k) ereach range.
+			for p := lcolp[i] + 1; p < next[i]; p++ {
+				r := lrowi[p]
+				lri := lval[p*bb : p*bb+bb]
+				xr := x[r*bb : r*bb+bb]
+				// xr -= Lki · L(r,i)ᵀ — every inner product runs over
+				// two contiguous rows; the B=6 case (order-2, two
+				// variables — the paper's Eq. 20) is fully unrolled.
+				if B == 6 {
+					for a := 0; a < 6; a++ {
+						xia := xi[a*6 : a*6+6 : a*6+6]
+						xra := xr[a*6 : a*6+6 : a*6+6]
+						for c := 0; c < 6; c++ {
+							lrc := lri[c*6 : c*6+6 : c*6+6]
+							xra[c] -= xia[0]*lrc[0] + xia[1]*lrc[1] + xia[2]*lrc[2] +
+								xia[3]*lrc[3] + xia[4]*lrc[4] + xia[5]*lrc[5]
+						}
+					}
+					continue
+				}
+				for a := 0; a < B; a++ {
+					xia := xi[a*B : a*B+B]
+					xra := xr[a*B : a*B+B]
+					for c := 0; c < B; c++ {
+						lrc := lri[c*B : c*B+B]
+						sum := 0.0
+						for q := range xia {
+							sum += xia[q] * lrc[q]
+						}
+						xra[c] -= sum
+					}
+				}
+			}
+			// d -= Lki·Lkiᵀ
+			for a := 0; a < B; a++ {
+				xia := xi[a*B : a*B+B]
+				da := d[a*B : a*B+B]
+				for c := 0; c < B; c++ {
+					xic := xi[c*B : c*B+B]
+					sum := 0.0
+					for q := range xia {
+						sum += xia[q] * xic[q]
+					}
+					da[c] -= sum
+				}
+			}
+			// Store L(k,i).
+			p := next[i]
+			next[i]++
+			lrowi[p] = k
+			copy(lval[p*bb:p*bb+bb], xi)
+			zero(xi)
+		}
+		// Dense Cholesky of the diagonal block.
+		if err := denseCholesky(B, d); err != nil {
+			return nil, fmt.Errorf("%w (block pivot %d: %v)", ErrNotPositiveDefinite, k, err)
+		}
+		p := next[k]
+		next[k]++
+		lrowi[p] = k
+		copy(lval[p*bb:p*bb+bb], d)
+		zero(d)
+	}
+	var pc []int
+	if perm != nil {
+		pc = append([]int(nil), perm...)
+	}
+	return &BlockCholFactor{N: n, B: B, Perm: pc, colp: lcolp, rowi: lrowi, val: lval}, nil
+}
+
+// NNZ reports the scalar-equivalent nonzero count of the factor.
+func (f *BlockCholFactor) NNZ() int { return f.colp[f.N] * f.B * f.B }
+
+// permuteBlocks applies a node permutation to pattern and blocks.
+func permuteBlocks(m *BlockMatrix, perm []int) (colp, rowi []int, val []float64) {
+	n, B := m.N, m.B
+	bb := B * B
+	inv := sparse.InversePerm(perm)
+	colp = make([]int, n+1)
+	nnz := m.Colp[n]
+	rowi = make([]int, nnz)
+	val = make([]float64, nnz*bb)
+	// Count per new column.
+	for jn := 0; jn < n; jn++ {
+		jo := perm[jn]
+		colp[jn+1] = colp[jn] + (m.Colp[jo+1] - m.Colp[jo])
+	}
+	type slotRef struct {
+		row, slot int
+	}
+	scratch := make([]slotRef, 0, 64)
+	for jn := 0; jn < n; jn++ {
+		jo := perm[jn]
+		scratch = scratch[:0]
+		for p := m.Colp[jo]; p < m.Colp[jo+1]; p++ {
+			scratch = append(scratch, slotRef{row: inv[m.Rowi[p]], slot: p})
+		}
+		// Insertion sort by new row (columns are short).
+		for i := 1; i < len(scratch); i++ {
+			for k := i; k > 0 && scratch[k-1].row > scratch[k].row; k-- {
+				scratch[k-1], scratch[k] = scratch[k], scratch[k-1]
+			}
+		}
+		base := colp[jn]
+		for i, sr := range scratch {
+			rowi[base+i] = sr.row
+			copy(val[(base+i)*bb:(base+i+1)*bb], m.Val[sr.slot*bb:(sr.slot+1)*bb])
+		}
+	}
+	return colp, rowi, val
+}
+
+// denseCholesky factors the B×B matrix a (row-major) in place into its
+// lower-triangular Cholesky factor (upper part zeroed).
+func denseCholesky(b int, a []float64) error {
+	for j := 0; j < b; j++ {
+		d := a[j*b+j]
+		for k := 0; k < j; k++ {
+			d -= a[j*b+k] * a[j*b+k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return fmt.Errorf("pivot %d = %g", j, d)
+		}
+		d = math.Sqrt(d)
+		a[j*b+j] = d
+		for i := j + 1; i < b; i++ {
+			s := a[i*b+j]
+			for k := 0; k < j; k++ {
+				s -= a[i*b+k] * a[j*b+k]
+			}
+			a[i*b+j] = s / d
+		}
+		for i := 0; i < j; i++ {
+			a[i*b+j] = 0
+		}
+	}
+	return nil
+}
+
+// rightSolveLT computes out = X · L⁻ᵀ for a dense lower-triangular L
+// (row-major), i.e. solves out·Lᵀ = X row by row.
+func rightSolveLT(b int, x, l, out []float64) {
+	for r := 0; r < b; r++ {
+		for c := 0; c < b; c++ {
+			s := x[r*b+c]
+			for k := 0; k < c; k++ {
+				s -= out[r*b+k] * l[c*b+k]
+			}
+			out[r*b+c] = s / l[c*b+c]
+		}
+	}
+}
+
+// Solve solves M·x = rhs for node-major vectors, overwriting x (which
+// may alias rhs).
+func (f *BlockCholFactor) Solve(x, rhs []float64) {
+	n, B := f.N, f.B
+	bb := B * B
+	if len(x) != n*B || len(rhs) != n*B {
+		panic(fmt.Sprintf("factor: block solve lengths %d/%d want %d", len(x), len(rhs), n*B))
+	}
+	y := make([]float64, n*B)
+	if f.Perm != nil {
+		for k := 0; k < n; k++ {
+			copy(y[k*B:(k+1)*B], rhs[f.Perm[k]*B:f.Perm[k]*B+B])
+		}
+	} else {
+		copy(y, rhs)
+	}
+	// Forward: L·z = y.
+	for j := 0; j < n; j++ {
+		yj := y[j*B : (j+1)*B]
+		diag := f.val[f.colp[j]*bb : f.colp[j]*bb+bb]
+		// yj = L(j,j)⁻¹ yj (forward substitution within the block).
+		for r := 0; r < B; r++ {
+			s := yj[r]
+			for k := 0; k < r; k++ {
+				s -= diag[r*B+k] * yj[k]
+			}
+			yj[r] = s / diag[r*B+r]
+		}
+		for p := f.colp[j] + 1; p < f.colp[j+1]; p++ {
+			i := f.rowi[p]
+			blk := f.val[p*bb : p*bb+bb]
+			yi := y[i*B : (i+1)*B]
+			for r := 0; r < B; r++ {
+				s := 0.0
+				for c := 0; c < B; c++ {
+					s += blk[r*B+c] * yj[c]
+				}
+				yi[r] -= s
+			}
+		}
+	}
+	// Backward: Lᵀ·w = z.
+	for j := n - 1; j >= 0; j-- {
+		yj := y[j*B : (j+1)*B]
+		for p := f.colp[j] + 1; p < f.colp[j+1]; p++ {
+			i := f.rowi[p]
+			blk := f.val[p*bb : p*bb+bb]
+			yi := y[i*B : (i+1)*B]
+			// yj -= L(i,j)ᵀ · yi
+			for c := 0; c < B; c++ {
+				s := 0.0
+				for r := 0; r < B; r++ {
+					s += blk[r*B+c] * yi[r]
+				}
+				yj[c] -= s
+			}
+		}
+		diag := f.val[f.colp[j]*bb : f.colp[j]*bb+bb]
+		// yj = L(j,j)⁻ᵀ yj (backward substitution within the block).
+		for r := B - 1; r >= 0; r-- {
+			s := yj[r]
+			for k := r + 1; k < B; k++ {
+				s -= diag[k*B+r] * yj[k]
+			}
+			yj[r] = s / diag[r*B+r]
+		}
+	}
+	if f.Perm != nil {
+		for k := 0; k < n; k++ {
+			copy(x[f.Perm[k]*B:f.Perm[k]*B+B], y[k*B:(k+1)*B])
+		}
+	} else {
+		copy(x, y)
+	}
+}
+
+func zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}

@@ -1,0 +1,213 @@
+package factor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"opera/internal/order"
+	"opera/internal/sparse"
+)
+
+// randomBlockSPD builds a block matrix I⊗A + T⊗P where A is SPD
+// dominant and T, P symmetric perturbations — the Galerkin shape.
+func randomBlockSPD(rng *rand.Rand, n, b int) *BlockMatrix {
+	a := laplacian2D(1, n, 1.5) // path-graph SPD (n nodes)
+	// Random symmetric small perturbation with A's pattern.
+	p := a.Clone()
+	for i := range p.Val {
+		p.Val[i] *= 0.2 * rng.Float64()
+	}
+	p = sparse.Add(0.5, p, 0.5, p.Transpose())
+	// Coupling: identity and a random symmetric contraction.
+	tId := sparse.Identity(b)
+	td := make([][]float64, b)
+	for i := range td {
+		td[i] = make([]float64, b)
+	}
+	for i := 0; i < b; i++ {
+		for j := 0; j <= i; j++ {
+			v := 0.3 * rng.NormFloat64() / float64(b)
+			td[i][j] = v
+			td[j][i] = v
+		}
+	}
+	tc := sparse.FromDense(td)
+	bm := NewBlockMatrix(unionPattern(a, p), b)
+	bm.AddTerm(tId, a)
+	bm.AddTerm(tc, p)
+	return bm
+}
+
+func unionPattern(a, b *sparse.Matrix) *sparse.Matrix {
+	return sparse.Add(1, a, 1, b)
+}
+
+// mesh SPD helper shared with other factor tests (grid graph).
+func blockTestMesh(rows, cols int, shift float64) *sparse.Matrix {
+	return laplacian2D(rows, cols, shift)
+}
+
+func TestBlockMatrixMulVecMatchesCSC(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bm := randomBlockSPD(rng, 12, 3)
+	csc := bm.ToCSC()
+	n := bm.N * bm.B
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y1 := make([]float64, n)
+	y2 := make([]float64, n)
+	bm.MulVec(y1, x)
+	csc.MulVec(y2, x)
+	for i := range y1 {
+		if math.Abs(y1[i]-y2[i]) > 1e-12 {
+			t.Fatalf("MulVec mismatch at %d: %g vs %g", i, y1[i], y2[i])
+		}
+	}
+}
+
+func TestBlockCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(20)
+		b := 1 + rng.Intn(5)
+		bm := randomBlockSPD(rng, n, b)
+		csc := bm.ToCSC()
+		if !csc.IsSymmetric(1e-10) {
+			t.Fatal("test matrix not symmetric")
+		}
+		f, err := BlockCholesky(bm, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		rhs := make([]float64, n*b)
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64()
+		}
+		x := make([]float64, n*b)
+		f.Solve(x, rhs)
+		r := make([]float64, n*b)
+		csc.MulVec(r, x)
+		for i := range r {
+			if math.Abs(r[i]-rhs[i]) > 1e-8 {
+				t.Fatalf("trial %d: residual %g at %d", trial, r[i]-rhs[i], i)
+			}
+		}
+	}
+}
+
+func TestBlockCholeskyWithPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// 2D mesh pattern with blocks.
+	a := blockTestMesh(6, 7, 0.8)
+	bm := NewBlockMatrix(a, 4)
+	bm.AddTerm(sparse.Identity(4), a)
+	pert := a.Clone()
+	for i := range pert.Val {
+		pert.Val[i] *= 0.1
+	}
+	coup := sparse.FromDense([][]float64{
+		{0, 1, 0, 0}, {1, 0, 1, 0}, {0, 1, 0, 1}, {0, 0, 1, 0},
+	})
+	bm.AddTerm(coup, pert)
+	perm := order.NestedDissection(order.NewGraph(a), 4)
+	f, err := BlockCholesky(bm, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fNat, err := BlockCholesky(bm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := bm.N * bm.B
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	x1 := make([]float64, n)
+	x2 := make([]float64, n)
+	f.Solve(x1, rhs)
+	fNat.Solve(x2, rhs)
+	for i := range x1 {
+		if math.Abs(x1[i]-x2[i]) > 1e-8*(1+math.Abs(x2[i])) {
+			t.Fatalf("permuted solve differs at %d: %g vs %g", i, x1[i], x2[i])
+		}
+	}
+	if f.NNZ() >= fNat.NNZ() {
+		t.Logf("note: ND fill %d vs natural %d", f.NNZ(), fNat.NNZ())
+	}
+}
+
+func TestBlockCholeskyBlockSizeOne(t *testing.T) {
+	// B = 1 must agree with the scalar Cholesky exactly.
+	a := blockTestMesh(5, 5, 0.3)
+	bm := NewBlockMatrix(a, 1)
+	bm.AddTerm(sparse.Identity(1), a)
+	f, err := BlockCholesky(bm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := Cholesky(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := make([]float64, a.Rows)
+	for i := range rhs {
+		rhs[i] = float64(i%7) - 3
+	}
+	x1 := make([]float64, a.Rows)
+	f.Solve(x1, rhs)
+	x2 := sf.Solve(rhs)
+	for i := range x1 {
+		if math.Abs(x1[i]-x2[i]) > 1e-10 {
+			t.Fatalf("B=1 mismatch at %d", i)
+		}
+	}
+}
+
+func TestBlockCholeskyNotPD(t *testing.T) {
+	a := sparse.FromDense([][]float64{{1, 0}, {0, 1}})
+	bm := NewBlockMatrix(a, 2)
+	// Indefinite coupling makes an indefinite block diagonal.
+	coup := sparse.FromDense([][]float64{{1, 2}, {2, 1}})
+	bm.AddTerm(coup, a)
+	if _, err := BlockCholesky(bm, nil); err == nil {
+		t.Error("indefinite block matrix accepted")
+	}
+}
+
+func TestBlockSolveAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	bm := randomBlockSPD(rng, 10, 3)
+	f, err := BlockCholesky(bm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := make([]float64, bm.N*bm.B)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	orig := append([]float64(nil), rhs...)
+	f.Solve(rhs, rhs)
+	r := make([]float64, len(rhs))
+	bm.MulVec(r, rhs)
+	for i := range r {
+		if math.Abs(r[i]-orig[i]) > 1e-8 {
+			t.Fatalf("aliased solve residual %g", r[i]-orig[i])
+		}
+	}
+}
+
+func TestAddTermRejectsOutsidePattern(t *testing.T) {
+	small := sparse.FromDense([][]float64{{1, 0}, {0, 1}})
+	big := sparse.FromDense([][]float64{{1, 1}, {1, 1}})
+	bm := NewBlockMatrix(small, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-pattern term")
+		}
+	}()
+	bm.AddTerm(sparse.Identity(2), big)
+}

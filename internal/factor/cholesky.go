@@ -1,0 +1,208 @@
+package factor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"opera/internal/sparse"
+)
+
+// ErrNotPositiveDefinite is returned when a pivot of the Cholesky
+// factorization is not strictly positive.
+var ErrNotPositiveDefinite = errors.New("factor: matrix is not positive definite")
+
+// CholSymbolic carries the reusable symbolic analysis of a Cholesky
+// factorization: the fill-reducing permutation, the elimination tree of
+// the permuted matrix, and the column pointers of L. One symbolic
+// analysis serves any number of numeric factorizations that share the
+// sparsity pattern — the key to a fast Monte Carlo loop.
+type CholSymbolic struct {
+	N      int
+	Perm   []int // fill-reducing permutation (new = old[Perm[new]]); nil = natural
+	parent []int
+	colp   []int // column pointers of L (length N+1)
+	upper  *sparse.Matrix
+}
+
+// CholAnalyze performs symbolic analysis of the symmetric matrix a
+// under permutation perm (pass nil for natural order). Only the pattern
+// of a is consulted.
+func CholAnalyze(a *sparse.Matrix, perm []int) *CholSymbolic {
+	if a.Rows != a.Cols {
+		panic("factor: CholAnalyze requires a square matrix")
+	}
+	n := a.Rows
+	c := a
+	if perm != nil {
+		if len(perm) != n {
+			panic(fmt.Sprintf("factor: permutation length %d != %d", len(perm), n))
+		}
+		c = a.SymPerm(perm)
+	}
+	u := c.UpperTriangle()
+	parent := etree(u)
+	// Column counts via one ereach sweep: entry L(k,i) contributes to
+	// column i; the diagonal contributes to column k.
+	count := make([]int, n)
+	s := make([]int, n)
+	w := make([]int, n)
+	for i := range w {
+		w[i] = -1
+	}
+	for k := 0; k < n; k++ {
+		count[k]++ // diagonal
+		for top := ereach(u, k, parent, s, w); top < n; top++ {
+			count[s[top]]++
+		}
+	}
+	colp := make([]int, n+1)
+	for j := 0; j < n; j++ {
+		colp[j+1] = colp[j] + count[j]
+	}
+	var p []int
+	if perm != nil {
+		p = append([]int(nil), perm...)
+	}
+	return &CholSymbolic{N: n, Perm: p, parent: parent, colp: colp, upper: u}
+}
+
+// LNNZ reports the number of nonzeros in the factor L.
+func (s *CholSymbolic) LNNZ() int { return s.colp[s.N] }
+
+// CholFactor is a numeric Cholesky factorization P·A·Pᵀ = L·Lᵀ.
+type CholFactor struct {
+	Sym *CholSymbolic
+	L   *sparse.Matrix // lower triangular, diagonal first in each column
+}
+
+// Factorize numerically factors a, which must have the same sparsity
+// pattern (up to entries missing numerically) as the matrix analyzed.
+// When reusing a symbolic object across matrices with identical
+// structure, pass reuse = the previous factor to recycle its storage;
+// otherwise pass nil.
+func (sym *CholSymbolic) Factorize(a *sparse.Matrix, reuse *CholFactor) (*CholFactor, error) {
+	n := sym.N
+	if a.Rows != n || a.Cols != n {
+		panic(fmt.Sprintf("factor: Factorize matrix is %dx%d, analyzed %d", a.Rows, a.Cols, n))
+	}
+	c := a
+	if sym.Perm != nil {
+		c = a.SymPerm(sym.Perm)
+	}
+	u := c.UpperTriangle()
+	var l *sparse.Matrix
+	if reuse != nil && reuse.Sym == sym {
+		l = reuse.L
+		for i := range l.Val {
+			l.Val[i] = 0
+		}
+	} else {
+		l = &sparse.Matrix{
+			Rows: n, Cols: n,
+			Colp: append([]int(nil), sym.colp...),
+			Rowi: make([]int, sym.LNNZ()),
+			Val:  make([]float64, sym.LNNZ()),
+		}
+	}
+	next := make([]int, n) // next free slot per column of L
+	copy(next, sym.colp[:n])
+	x := make([]float64, n)
+	s := make([]int, n)
+	w := make([]int, n)
+	for i := range w {
+		w[i] = -1
+	}
+	for k := 0; k < n; k++ {
+		// Scatter the upper part of column k of the permuted matrix.
+		top := ereach(u, k, sym.parent, s, w)
+		x[k] = 0
+		for p := u.Colp[k]; p < u.Colp[k+1]; p++ {
+			if i := u.Rowi[p]; i <= k {
+				x[i] = u.Val[p]
+			}
+		}
+		d := x[k]
+		x[k] = 0
+		// Up-looking triangular solve along the row pattern.
+		for ; top < n; top++ {
+			i := s[top]
+			lki := x[i] / l.Val[l.Colp[i]] // divide by L(i,i)
+			x[i] = 0
+			for p := l.Colp[i] + 1; p < next[i]; p++ {
+				x[l.Rowi[p]] -= l.Val[p] * lki
+			}
+			d -= lki * lki
+			p := next[i]
+			next[i]++
+			l.Rowi[p] = k
+			l.Val[p] = lki
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("%w (pivot %d: %g)", ErrNotPositiveDefinite, k, d)
+		}
+		p := next[k]
+		next[k]++
+		l.Rowi[p] = k
+		l.Val[p] = math.Sqrt(d)
+	}
+	return &CholFactor{Sym: sym, L: l}, nil
+}
+
+// Cholesky is a convenience wrapper: analyze and factor in one call.
+func Cholesky(a *sparse.Matrix, perm []int) (*CholFactor, error) {
+	sym := CholAnalyze(a, perm)
+	return sym.Factorize(a, nil)
+}
+
+// Solve solves A·x = b, overwriting nothing; the solution is returned in
+// a new slice.
+func (f *CholFactor) Solve(b []float64) []float64 {
+	x := make([]float64, len(b))
+	f.SolveTo(x, b)
+	return x
+}
+
+// SolveTo solves A·x = b into x (which may alias b).
+func (f *CholFactor) SolveTo(x, b []float64) {
+	n := f.Sym.N
+	if len(b) != n || len(x) != n {
+		panic(fmt.Sprintf("factor: Solve length %d/%d != %d", len(x), len(b), n))
+	}
+	var y []float64
+	if f.Sym.Perm != nil {
+		y = sparse.PermVec(f.Sym.Perm, b)
+	} else {
+		y = append([]float64(nil), b...)
+	}
+	LowerSolve(f.L, y)
+	LowerTransposeSolve(f.L, y)
+	if f.Sym.Perm != nil {
+		copy(x, sparse.InvPermVec(f.Sym.Perm, y))
+	} else {
+		copy(x, y)
+	}
+}
+
+// LowerSolve solves L·x = b in place, where L is lower triangular in CSC
+// form with the diagonal entry stored first in each column.
+func LowerSolve(l *sparse.Matrix, x []float64) {
+	for j := 0; j < l.Cols; j++ {
+		x[j] /= l.Val[l.Colp[j]]
+		xj := x[j]
+		for p := l.Colp[j] + 1; p < l.Colp[j+1]; p++ {
+			x[l.Rowi[p]] -= l.Val[p] * xj
+		}
+	}
+}
+
+// LowerTransposeSolve solves Lᵀ·x = b in place for the same L layout.
+func LowerTransposeSolve(l *sparse.Matrix, x []float64) {
+	for j := l.Cols - 1; j >= 0; j-- {
+		s := x[j]
+		for p := l.Colp[j] + 1; p < l.Colp[j+1]; p++ {
+			s -= l.Val[p] * x[l.Rowi[p]]
+		}
+		x[j] = s / l.Val[l.Colp[j]]
+	}
+}

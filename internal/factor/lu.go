@@ -1,0 +1,251 @@
+package factor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"opera/internal/sparse"
+)
+
+// ErrSingular is returned when LU encounters a structurally or
+// numerically singular column.
+var ErrSingular = errors.New("factor: matrix is singular")
+
+// LUFactor is a sparse LU factorization with partial pivoting:
+// P·A·Q = L·U, where Q is a caller-supplied fill-reducing column
+// permutation and P is the row permutation chosen by threshold-free
+// partial pivoting. L has unit diagonal (stored), U stores each column's
+// diagonal as its last entry.
+type LUFactor struct {
+	N    int
+	L, U *sparse.Matrix
+	pinv []int // original row -> pivot position
+	q    []int // column permutation (new = old[q[new]]); nil = natural
+}
+
+// reachDFS computes the set of L-columns reachable from the pattern of
+// b's column col, i.e. the nonzero pattern of the solution of the sparse
+// triangular solve. It returns the pattern in xi[top:n] in topological
+// order. pstack is a parallel stack of edge positions; marks uses
+// flipping of colp entries (CSparse convention) replaced here by an
+// explicit visited slice tagged with the column id for reuse.
+func reachDFS(l *sparse.Matrix, b *sparse.Matrix, col int, xi, pstack []int, pinv []int, visited []int, tag int) (top int) {
+	n := l.Cols
+	top = n
+	for p := b.Colp[col]; p < b.Colp[col+1]; p++ {
+		j := b.Rowi[p]
+		if visited[j] == tag {
+			continue
+		}
+		// Iterative DFS from j over the graph of L (via pinv).
+		head := 0
+		xi[0] = j
+		for head >= 0 {
+			jj := xi[head]
+			jnew := -1
+			if pinv != nil {
+				jnew = pinv[jj]
+			} else {
+				jnew = jj
+			}
+			if visited[jj] != tag {
+				visited[jj] = tag
+				if jnew < 0 {
+					pstack[head] = 0 // no column: leaf
+				} else {
+					pstack[head] = l.Colp[jnew]
+				}
+			}
+			done := true
+			if jnew >= 0 {
+				for pp := pstack[head]; pp < l.Colp[jnew+1]; pp++ {
+					i := l.Rowi[pp]
+					if visited[i] == tag {
+						continue
+					}
+					pstack[head] = pp + 1
+					head++
+					xi[head] = i
+					done = false
+					break
+				}
+			}
+			if done {
+				head--
+				top--
+				xi[top] = jj
+			}
+		}
+	}
+	return top
+}
+
+// spSolve solves L·x = B(:,col) where L is the partially-built factor
+// with rows identified through pinv. On return, x holds the numeric
+// values (scattered) and the pattern is xi[top:n].
+func spSolve(l *sparse.Matrix, b *sparse.Matrix, col int, x []float64, xi, pstack []int, pinv []int, visited []int, tag int) (top int) {
+	top = reachDFS(l, b, col, xi, pstack, pinv, visited, tag)
+	for p := top; p < len(xi); p++ {
+		x[xi[p]] = 0
+	}
+	for p := b.Colp[col]; p < b.Colp[col+1]; p++ {
+		x[b.Rowi[p]] = b.Val[p]
+	}
+	for px := top; px < len(xi); px++ {
+		j := xi[px]
+		jnew := pinv[j]
+		if jnew < 0 {
+			continue // row j is not pivotal yet: no elimination
+		}
+		// L column jnew: unit diagonal stored first.
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for p := l.Colp[jnew] + 1; p < l.Colp[jnew+1]; p++ {
+			x[l.Rowi[p]] -= l.Val[p] * xj
+		}
+	}
+	return top
+}
+
+// LU factors a with an optional column permutation q (e.g. from nested
+// dissection or minimum degree on A+Aᵀ). Partial pivoting selects the
+// largest-magnitude eligible row in each column.
+func LU(a *sparse.Matrix, q []int) (*LUFactor, error) {
+	if a.Rows != a.Cols {
+		panic("factor: LU requires a square matrix")
+	}
+	n := a.Rows
+	if q != nil && len(q) != n {
+		panic(fmt.Sprintf("factor: column permutation length %d != %d", len(q), n))
+	}
+	guess := 4*a.NNZ() + n
+	l := &sparse.Matrix{Rows: n, Cols: n, Colp: make([]int, n+1), Rowi: make([]int, 0, guess), Val: make([]float64, 0, guess)}
+	u := &sparse.Matrix{Rows: n, Cols: n, Colp: make([]int, n+1), Rowi: make([]int, 0, guess), Val: make([]float64, 0, guess)}
+	pinv := make([]int, n)
+	for i := range pinv {
+		pinv[i] = -1
+	}
+	x := make([]float64, n)
+	xi := make([]int, n)
+	pstack := make([]int, n)
+	visited := make([]int, n)
+	for i := range visited {
+		visited[i] = -1
+	}
+	for k := 0; k < n; k++ {
+		col := k
+		if q != nil {
+			col = q[k]
+		}
+		// The partially built L has columns 0..k-1; pattern positions of
+		// columns must be final before the solve, so set Colp[k] now.
+		l.Colp[k] = len(l.Val)
+		u.Colp[k] = len(u.Val)
+		top := spSolve(l, a, col, x, xi, pstack, pinv, visited, k)
+		// Partial pivoting over not-yet-pivotal rows.
+		ipiv := -1
+		amax := -1.0
+		for p := top; p < n; p++ {
+			i := xi[p]
+			if pinv[i] < 0 {
+				if t := math.Abs(x[i]); t > amax {
+					amax = t
+					ipiv = i
+				}
+			} else {
+				u.Rowi = append(u.Rowi, pinv[i])
+				u.Val = append(u.Val, x[i])
+			}
+		}
+		if ipiv == -1 || amax <= 0 {
+			return nil, fmt.Errorf("%w (column %d)", ErrSingular, k)
+		}
+		pivot := x[ipiv]
+		pinv[ipiv] = k
+		u.Rowi = append(u.Rowi, k)
+		u.Val = append(u.Val, pivot)
+		l.Rowi = append(l.Rowi, ipiv)
+		l.Val = append(l.Val, 1)
+		for p := top; p < n; p++ {
+			i := xi[p]
+			if pinv[i] < 0 {
+				l.Rowi = append(l.Rowi, i)
+				l.Val = append(l.Val, x[i]/pivot)
+			}
+			x[i] = 0
+		}
+	}
+	l.Colp[n] = len(l.Val)
+	u.Colp[n] = len(u.Val)
+	// Remap L's row indices from original to pivot order.
+	for p := range l.Rowi {
+		l.Rowi[p] = pinv[l.Rowi[p]]
+	}
+	var qc []int
+	if q != nil {
+		qc = append([]int(nil), q...)
+	}
+	return &LUFactor{N: n, L: l, U: u, pinv: pinv, q: qc}, nil
+}
+
+// Solve solves A·x = b and returns a new slice.
+func (f *LUFactor) Solve(b []float64) []float64 {
+	x := make([]float64, len(b))
+	f.SolveTo(x, b)
+	return x
+}
+
+// SolveTo solves A·x = b into x (x may alias b).
+func (f *LUFactor) SolveTo(x, b []float64) {
+	n := f.N
+	if len(b) != n || len(x) != n {
+		panic(fmt.Sprintf("factor: LU Solve length %d/%d != %d", len(x), len(b), n))
+	}
+	// y[pinv[i]] = b[i]
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		y[f.pinv[i]] = b[i]
+	}
+	unitLowerSolve(f.L, y)
+	upperSolveDiagLast(f.U, y)
+	if f.q != nil {
+		for k := 0; k < n; k++ {
+			x[f.q[k]] = y[k]
+		}
+	} else {
+		copy(x, y)
+	}
+}
+
+// unitLowerSolve solves L·x = b in place where L is unit lower
+// triangular with the (unit) diagonal stored first in each column.
+func unitLowerSolve(l *sparse.Matrix, x []float64) {
+	for j := 0; j < l.Cols; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for p := l.Colp[j] + 1; p < l.Colp[j+1]; p++ {
+			x[l.Rowi[p]] -= l.Val[p] * xj
+		}
+	}
+}
+
+// upperSolveDiagLast solves U·x = b in place where each column of U
+// stores its diagonal entry last.
+func upperSolveDiagLast(u *sparse.Matrix, x []float64) {
+	for j := u.Cols - 1; j >= 0; j-- {
+		d := u.Val[u.Colp[j+1]-1]
+		x[j] /= d
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for p := u.Colp[j]; p < u.Colp[j+1]-1; p++ {
+			x[u.Rowi[p]] -= u.Val[p] * xj
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package galerkin
+
+import (
+	"errors"
+	"fmt"
+
+	"opera/internal/factor"
+	"opera/internal/iterative"
+	"opera/internal/sparse"
+)
+
+// solveCoupled runs the general OPERA path. The augmented companion
+// matrix G̃ + C̃/h is kept in block form — the scalar grid sparsity
+// pattern with one dense (N+1)×(N+1) chaos block per entry — and
+// factored once with the block Cholesky, whose elimination tree and
+// fill are those of the *n-node* grid rather than the (N+1)·n scalar
+// graph. The DC initialization G̃·a(0) = Ũ(0) is solved by conjugate
+// gradients preconditioned with the companion factor (G̃ differs from
+// it only by C̃/h, which is small at power-grid time constants), so the
+// whole transient costs a single factorization. If the block Cholesky
+// reports an indefinite matrix (possible under extreme variation
+// magnitudes where the Gaussian linear model loses positivity), the
+// solver falls back to scalar assembly with sparse LU.
+func solveCoupled(sys *System, opts Options, visit func(int, float64, [][]float64)) (Result, error) {
+	n, b := sys.N, sys.Basis.Size()
+	// Scalar union pattern over every operator term.
+	pattern := unionScalarPattern(sys)
+	perm := permFor(pattern, opts.Ordering)
+
+	// Predict the block factor's memory from the scalar symbolic
+	// analysis and fall back to the §5.2 iterative path when it exceeds
+	// the budget: nnz(L_scalar)·B²·8 bytes of values.
+	budget := opts.MemoryBudget
+	if budget == 0 {
+		budget = 4 << 30
+	}
+	if budget > 0 {
+		sym := factor.CholAnalyze(pattern, perm)
+		need := int64(sym.LNNZ()) * int64(b*b) * 8
+		if need > budget {
+			return solveCoupledIterative(sys, opts, visit)
+		}
+	}
+
+	// Companion G̃ + C̃/h and the separate C̃ (needed for stepping).
+	comp := factor.NewBlockMatrix(pattern, b)
+	for _, t := range sys.GTerms {
+		comp.AddTerm(t.Coupling, t.A)
+	}
+	var cBM *factor.BlockMatrix
+	if len(sys.CTerms) > 0 {
+		cBM = factor.NewBlockMatrix(pattern, b)
+		for _, t := range sys.CTerms {
+			cBM.AddTerm(t.Coupling, t.A)
+			comp.AddTerm(t.Coupling.Clone().Scale(1/opts.Step), t.A)
+		}
+	}
+	gBM := factor.NewBlockMatrix(pattern, b)
+	for _, t := range sys.GTerms {
+		gBM.AddTerm(t.Coupling, t.A)
+	}
+
+	var fac *factor.BlockCholFactor
+	if !opts.ForceLU {
+		var err error
+		fac, err = factor.BlockCholesky(comp, perm)
+		if err != nil && !errors.Is(err, factor.ErrNotPositiveDefinite) {
+			return Result{}, fmt.Errorf("galerkin: block factorization: %w", err)
+		}
+	}
+	if fac == nil {
+		return solveCoupledScalarLU(sys, opts, visit)
+	}
+	res := Result{Factorer: "block-cholesky", AugmentedN: n * b, FactorNNZ: fac.NNZ()}
+
+	// Node-major state and workspaces.
+	nb := n * b
+	x := make([]float64, nb)
+	rhs := make([]float64, nb)
+	work := make([]float64, nb)
+	rhsBlocks := make([][]float64, b)
+	outBlocks := make([][]float64, b)
+	for m := 0; m < b; m++ {
+		rhsBlocks[m] = make([]float64, n)
+		outBlocks[m] = make([]float64, n)
+	}
+	pack := func(blocks [][]float64, dst []float64) {
+		for m := 0; m < b; m++ {
+			src := blocks[m]
+			for i := 0; i < n; i++ {
+				dst[i*b+m] = src[i]
+			}
+		}
+	}
+	unpack := func(src []float64, blocks [][]float64) {
+		for m := 0; m < b; m++ {
+			dst := blocks[m]
+			for i := 0; i < n; i++ {
+				dst[i] = src[i*b+m]
+			}
+		}
+	}
+
+	// DC init by companion-preconditioned CG on G̃.
+	sys.RHS(0, rhsBlocks)
+	pack(rhsBlocks, rhs)
+	pre := iterative.PrecondFunc(func(z, r []float64) { fac.Solve(z, r) })
+	if _, err := iterative.CG(gBM, x, rhs, iterative.CGOptions{
+		Tol: 1e-12, MaxIter: 200, M: pre,
+	}); err != nil {
+		// Stiff step sizes can defeat the preconditioner; factor G̃
+		// outright as a (rare) fallback.
+		gf, gerr := factor.BlockCholesky(gBM, perm)
+		if gerr != nil {
+			return Result{}, fmt.Errorf("galerkin: DC solve: CG failed (%v) and G̃ factorization failed: %w", err, gerr)
+		}
+		gf.Solve(x, rhs)
+	}
+	if visit != nil {
+		unpack(x, outBlocks)
+		visit(0, 0, outBlocks)
+	}
+	for k := 1; k <= opts.Steps; k++ {
+		t := float64(k) * opts.Step
+		sys.RHS(t, rhsBlocks)
+		pack(rhsBlocks, rhs)
+		if cBM != nil {
+			cBM.MulVec(work, x)
+			for i := range rhs {
+				rhs[i] += work[i] / opts.Step
+			}
+		}
+		fac.Solve(x, rhs)
+		if visit != nil {
+			unpack(x, outBlocks)
+			visit(k, t, outBlocks)
+		}
+		res.StepsRun = k
+	}
+	return res, nil
+}
+
+// unionScalarPattern returns the union sparsity pattern of every term's
+// node matrix.
+func unionScalarPattern(sys *System) *sparse.Matrix {
+	var u *sparse.Matrix
+	add := func(a *sparse.Matrix) {
+		if u == nil {
+			u = a
+			return
+		}
+		u = sparse.Add(1, u, 1, a)
+	}
+	for _, t := range sys.GTerms {
+		add(t.A)
+	}
+	for _, t := range sys.CTerms {
+		add(t.A)
+	}
+	return u
+}
+
+// solveCoupledScalarLU is the fallback path: assemble the full scalar
+// CSC augmented system (coefficient-major layout) and factor with
+// partial-pivoting LU.
+func solveCoupledScalarLU(sys *System, opts Options, visit func(int, float64, [][]float64)) (Result, error) {
+	n, b := sys.N, sys.Basis.Size()
+	gHat := sys.AssembleG()
+	cHat := sys.AssembleC()
+	companion := sparse.Add(1, gHat, 1/opts.Step, cHat)
+	perm := permFor(companion, opts.Ordering)
+	comp, err := factor.LU(companion, perm)
+	if err != nil {
+		return Result{}, fmt.Errorf("galerkin: LU fallback: %w", err)
+	}
+	gSolve, err := factor.LU(gHat, perm)
+	if err != nil {
+		return Result{}, fmt.Errorf("galerkin: LU DC fallback: %w", err)
+	}
+	res := Result{Factorer: "lu", AugmentedN: n * b}
+	x := make([]float64, n*b)
+	rhsBig := make([]float64, n*b)
+	work := make([]float64, n*b)
+	blocks := make([][]float64, b)
+	rhsBlocks := make([][]float64, b)
+	for m := 0; m < b; m++ {
+		blocks[m] = x[m*n : (m+1)*n]
+		rhsBlocks[m] = rhsBig[m*n : (m+1)*n]
+	}
+	sys.RHS(0, rhsBlocks)
+	gSolve.SolveTo(x, rhsBig)
+	if visit != nil {
+		visit(0, 0, blocks)
+	}
+	for k := 1; k <= opts.Steps; k++ {
+		t := float64(k) * opts.Step
+		sys.RHS(t, rhsBlocks)
+		cHat.MulVec(work, x)
+		for i := range rhsBig {
+			rhsBig[i] += work[i] / opts.Step
+		}
+		comp.SolveTo(x, rhsBig)
+		if visit != nil {
+			visit(k, t, blocks)
+		}
+		res.StepsRun = k
+	}
+	return res, nil
+}

@@ -1,0 +1,814 @@
+package galerkin
+
+import (
+	"math"
+	"testing"
+
+	"opera/internal/mna"
+	"opera/internal/netlist"
+	"opera/internal/pce"
+	"opera/internal/quad"
+	"opera/internal/sparse"
+	"opera/internal/transient"
+)
+
+// smallGrid builds a 3x3 mesh with a pad and two drains.
+func smallGrid() *netlist.Netlist {
+	id := func(r, c int) int { return r*3 + c }
+	nl := &netlist.Netlist{NumNodes: 9}
+	name := 0
+	addR := func(a, b int) {
+		nl.Resistors = append(nl.Resistors, netlist.Resistor{
+			Name: string(rune('a' + name)), A: a, B: b, Ohms: 2, OnDie: true})
+		name++
+	}
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			if c < 2 {
+				addR(id(r, c), id(r, c+1))
+			}
+			if r < 2 {
+				addR(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	for i := 0; i < 9; i++ {
+		nl.Caps = append(nl.Caps, netlist.Capacitor{
+			Name: string(rune('a' + i)), A: i, B: netlist.Ground, Farads: 1e-10, GateFrac: 0.4})
+	}
+	pulse := &netlist.Pulse{Low: 0, High: 0.02, Delay: 2e-10, Rise: 1e-10, Width: 4e-10, Fall: 1e-10, Period: 2e-9}
+	nl.Sources = []netlist.CurrentSource{
+		{Name: "s1", A: id(2, 2), Wave: pulse, LeffSens: 1, Region: 0},
+		{Name: "s2", A: id(1, 1), Wave: netlist.DC(0.005), LeffSens: 1, Region: 1},
+	}
+	nl.Pads = []netlist.Pad{{Name: "p", Node: id(0, 0), VDD: 1.2, Rpin: 0.2, OnDie: true}}
+	return nl
+}
+
+const (
+	tStep  = 5e-11
+	tSteps = 40
+)
+
+// quadratureReference computes E[x(t)] and Var(x(t)) at every node and
+// step by tensor Gauss–Hermite quadrature over (ξG, ξL): each quadrature
+// node is one deterministic transient solve. Exact up to quadrature
+// truncation (the response is analytic in ξ), so it is a noise-free
+// reference unlike Monte Carlo.
+func quadratureReference(t *testing.T, sys *mna.System, npts int) (mean, variance [][]float64) {
+	t.Helper()
+	rule, err := quad.GaussHermite(npts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsteps := tSteps + 1
+	mean = alloc2(nsteps, sys.N)
+	m2 := alloc2(nsteps, sys.N)
+	for a, xg := range rule.Nodes {
+		for b, xl := range rule.Nodes {
+			w := rule.Weights[a] * rule.Weights[b]
+			g, c, rhs := sys.Realize(xg, xl)
+			err := transient.Run(g, c, rhs,
+				transient.Options{Step: tStep, Steps: tSteps, Method: transient.BackwardEuler},
+				func(step int, _ float64, x []float64) {
+					for i, xi := range x {
+						mean[step][i] += w * xi
+						m2[step][i] += w * xi * xi
+					}
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	variance = alloc2(nsteps, sys.N)
+	for s := range variance {
+		for i := range variance[s] {
+			variance[s][i] = m2[s][i] - mean[s][i]*mean[s][i]
+		}
+	}
+	return mean, variance
+}
+
+func alloc2(a, b int) [][]float64 {
+	m := make([][]float64, a)
+	for i := range m {
+		m[i] = make([]float64, b)
+	}
+	return m
+}
+
+func runGalerkin(t *testing.T, sys *mna.System, order int, opts Options) (mean, variance [][]float64, res Result) {
+	t.Helper()
+	basis := pce.NewHermiteBasis(2, order)
+	gsys, err := FromMNA(sys, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsteps := opts.Steps + 1
+	mean = alloc2(nsteps, sys.N)
+	variance = alloc2(nsteps, sys.N)
+	res, err = Solve(gsys, opts, func(step int, _ float64, coeffs [][]float64) {
+		for i := 0; i < sys.N; i++ {
+			mean[step][i] = coeffs[0][i]
+			v := 0.0
+			for m := 1; m < basis.Size(); m++ {
+				v += coeffs[m][i] * coeffs[m][i]
+			}
+			variance[step][i] = v
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mean, variance, res
+}
+
+func TestGalerkinMatchesQuadratureReference(t *testing.T) {
+	sys, err := mna.Build(smallGrid(), mna.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refMean, refVar := quadratureReference(t, sys, 7)
+	opts := Options{Step: tStep, Steps: tSteps}
+	mean, variance, res := runGalerkin(t, sys, 2, opts)
+	if res.Factorer != "block-cholesky" {
+		t.Errorf("expected SPD augmented system, factored with %s", res.Factorer)
+	}
+	if res.AugmentedN != 9*6 {
+		t.Errorf("augmented size %d, want 54", res.AugmentedN)
+	}
+	// Mean must match to a fraction of the nominal drop; variance to a
+	// few percent (order-2 truncation).
+	for s := 0; s <= tSteps; s++ {
+		for i := 0; i < sys.N; i++ {
+			if d := math.Abs(mean[s][i] - refMean[s][i]); d > 2e-5 {
+				t.Fatalf("mean mismatch at step %d node %d: %g vs %g", s, i, mean[s][i], refMean[s][i])
+			}
+			if refVar[s][i] > 1e-12 {
+				rel := math.Abs(variance[s][i]-refVar[s][i]) / refVar[s][i]
+				if rel > 0.05 {
+					t.Fatalf("variance mismatch at step %d node %d: %g vs %g (rel %g)",
+						s, i, variance[s][i], refVar[s][i], rel)
+				}
+			}
+		}
+	}
+}
+
+func TestOrder3ImprovesOnOrder2(t *testing.T) {
+	sys, err := mna.Build(smallGrid(), mna.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refMean, refVar := quadratureReference(t, sys, 8)
+	opts := Options{Step: tStep, Steps: tSteps}
+	_, v2, _ := runGalerkin(t, sys, 2, opts)
+	_, v3, _ := runGalerkin(t, sys, 3, opts)
+	_ = refMean
+	// Compare total relative variance error at the final step.
+	e2, e3 := 0.0, 0.0
+	s := tSteps
+	for i := 0; i < sys.N; i++ {
+		if refVar[s][i] > 1e-12 {
+			e2 += math.Abs(v2[s][i]-refVar[s][i]) / refVar[s][i]
+			e3 += math.Abs(v3[s][i]-refVar[s][i]) / refVar[s][i]
+		}
+	}
+	t.Logf("variance error: order2 %.3g, order3 %.3g", e2, e3)
+	if e3 > e2 {
+		t.Errorf("order-3 variance error %g should not exceed order-2 %g", e3, e2)
+	}
+}
+
+func TestLinearRHSOnlyIsExact(t *testing.T) {
+	// With a deterministic operator and an RHS linear in ξ, the response
+	// is exactly linear in ξ: an order-1 expansion is exact, and the
+	// decoupled path applies automatically.
+	nl := smallGrid()
+	for i := range nl.Resistors {
+		nl.Resistors[i].OnDie = false
+	}
+	for i := range nl.Pads {
+		nl.Pads[i].OnDie = false
+	}
+	for i := range nl.Caps {
+		nl.Caps[i].GateFrac = 0
+	}
+	sys, err := mna.Build(nl, mna.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis := pce.NewHermiteBasis(2, 1)
+	gsys, err := FromMNA(sys, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gsys.RHSOnly() {
+		t.Fatal("system should be RHS-only")
+	}
+	opts := Options{Step: tStep, Steps: 20}
+	type snap struct{ coeffs [][]float64 }
+	var last snap
+	res, err := Solve(gsys, opts, func(step int, _ float64, coeffs [][]float64) {
+		if step == opts.Steps {
+			last.coeffs = alloc2(len(coeffs), sys.N)
+			for m := range coeffs {
+				copy(last.coeffs[m], coeffs[m])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decoupled {
+		t.Error("decoupled path not taken")
+	}
+	// Reference: realize at ξ = (0.7, -1.3) and compare pointwise —
+	// exactness means the PCE evaluated at ξ equals the deterministic
+	// solve at ξ.
+	xg, xl := 0.7, -1.3
+	g, c, rhs := sys.Realize(xg, xl)
+	var want []float64
+	err = transient.Run(g, c, rhs,
+		transient.Options{Step: tStep, Steps: 20, Method: transient.BackwardEuler},
+		func(step int, _ float64, x []float64) {
+			if step == 20 {
+				want = append([]float64(nil), x...)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate the expansion at (xg, xl): ψ = [1, ξG, ξL] for Hermite
+	// order 1.
+	psi := make([]float64, basis.Size())
+	basis.EvalAll([]float64{xg, xl}, psi)
+	for i := 0; i < sys.N; i++ {
+		got := 0.0
+		for m := range psi {
+			got += last.coeffs[m][i] * psi[m]
+		}
+		if math.Abs(got-want[i]) > 1e-10*(1+math.Abs(want[i])) {
+			t.Fatalf("node %d: PCE %g vs deterministic %g", i, got, want[i])
+		}
+	}
+}
+
+func TestDecoupledEqualsCoupled(t *testing.T) {
+	nl := smallGrid()
+	for i := range nl.Resistors {
+		nl.Resistors[i].OnDie = false
+	}
+	for i := range nl.Pads {
+		nl.Pads[i].OnDie = false
+	}
+	for i := range nl.Caps {
+		nl.Caps[i].GateFrac = 0
+	}
+	sys, err := mna.Build(nl, mna.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Step: tStep, Steps: 15}
+	mean1, var1, res1 := runGalerkin(t, sys, 2, opts)
+	optsC := opts
+	optsC.ForceCoupled = true
+	mean2, var2, res2 := runGalerkin(t, sys, 2, optsC)
+	if !res1.Decoupled || res2.Decoupled {
+		t.Fatalf("path selection wrong: %v %v", res1.Decoupled, res2.Decoupled)
+	}
+	for s := range mean1 {
+		for i := range mean1[s] {
+			if math.Abs(mean1[s][i]-mean2[s][i]) > 1e-10 {
+				t.Fatalf("means differ at step %d node %d", s, i)
+			}
+			if math.Abs(var1[s][i]-var2[s][i]) > 1e-12 {
+				t.Fatalf("variances differ at step %d node %d", s, i)
+			}
+		}
+	}
+}
+
+func TestAssembledMatricesSymmetric(t *testing.T) {
+	sys, err := mna.Build(smallGrid(), mna.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis := pce.NewHermiteBasis(2, 2)
+	gsys, err := FromMNA(sys, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gh := gsys.AssembleG()
+	ch := gsys.AssembleC()
+	if !gh.IsSymmetric(1e-10) {
+		t.Error("G̃ not symmetric")
+	}
+	if !ch.IsSymmetric(1e-20) {
+		t.Error("C̃ not symmetric")
+	}
+	if gh.Rows != 54 {
+		t.Errorf("G̃ is %dx%d, want 54", gh.Rows, gh.Cols)
+	}
+	// Block (0,0) of G̃ is Ga; block (0,1) is Gg (Hermite coupling 1).
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 9; j++ {
+			if math.Abs(gh.At(i, j)-sys.Ga.At(i, j)) > 1e-12 {
+				t.Fatalf("block (0,0) != Ga at (%d,%d)", i, j)
+			}
+			if math.Abs(gh.At(i, 9+j)-sys.Gg.At(i, j)) > 1e-12 {
+				t.Fatalf("block (0,1) != Gg at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestOrderingOptions(t *testing.T) {
+	sys, err := mna.Build(smallGrid(), mna.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Step: tStep, Steps: 5}
+	var ref [][]float64
+	for _, ord := range []Ordering{OrderND, OrderRCM, OrderMD, OrderNatural} {
+		opts.Ordering = ord
+		mean, _, _ := runGalerkin(t, sys, 2, opts)
+		if ref == nil {
+			ref = mean
+			continue
+		}
+		for s := range mean {
+			for i := range mean[s] {
+				if math.Abs(mean[s][i]-ref[s][i]) > 1e-9 {
+					t.Fatalf("%v: solution differs at step %d node %d", ord, s, i)
+				}
+			}
+		}
+	}
+}
+
+func TestForceLU(t *testing.T) {
+	sys, err := mna.Build(smallGrid(), mna.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis := pce.NewHermiteBasis(2, 2)
+	gsys, err := FromMNA(sys, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ForceLU is exercised through factorize's fallback: assemble an
+	// indefinite-looking system by negating G̃ is artificial; instead
+	// just verify the LU fallback machinery directly.
+	a := sparse.FromDense([][]float64{{0, 1}, {1, 0}}) // not PD, invertible
+	s, kind, err := factorize(a, OrderNatural, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "lu" {
+		t.Errorf("factorizer %q, want lu", kind)
+	}
+	x := make([]float64, 2)
+	s.SolveTo(x, []float64{3, 4})
+	if math.Abs(x[0]-4) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("LU fallback solve wrong: %v", x)
+	}
+	_ = gsys
+}
+
+func TestValidateRejectsBadSystems(t *testing.T) {
+	basis := pce.NewHermiteBasis(2, 2)
+	s := &System{N: 0, Basis: basis}
+	if err := s.Validate(); err == nil {
+		t.Error("zero-node system accepted")
+	}
+	s = &System{N: 3, Basis: basis, RHS: func(float64, [][]float64) {}}
+	if err := s.Validate(); err == nil {
+		t.Error("system without G terms accepted")
+	}
+	s = &System{
+		N: 3, Basis: basis,
+		GTerms: []Term{{Coupling: sparse.Identity(5), A: sparse.Identity(3)}},
+		RHS:    func(float64, [][]float64) {},
+	}
+	if err := s.Validate(); err == nil {
+		t.Error("mis-sized coupling accepted")
+	}
+}
+
+func TestIterativePathMatchesDirect(t *testing.T) {
+	sys, err := mna.Build(smallGrid(), mna.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Step: tStep, Steps: 25}
+	meanD, varD, resD := runGalerkin(t, sys, 2, opts)
+	opts.Iterative = true
+	meanI, varI, resI := runGalerkin(t, sys, 2, opts)
+	if resI.Factorer != "cg+mean-precond" {
+		t.Fatalf("iterative path not taken: %s", resI.Factorer)
+	}
+	if resI.CGIterations == 0 {
+		t.Error("no CG iterations recorded")
+	}
+	t.Logf("direct %s vs iterative %s (%d CG iterations over %d steps)",
+		resD.Factorer, resI.Factorer, resI.CGIterations, opts.Steps)
+	for s := range meanD {
+		for i := range meanD[s] {
+			if math.Abs(meanD[s][i]-meanI[s][i]) > 1e-8 {
+				t.Fatalf("means differ at step %d node %d: %g vs %g", s, i, meanD[s][i], meanI[s][i])
+			}
+			if math.Abs(varD[s][i]-varI[s][i]) > 1e-10 {
+				t.Fatalf("variances differ at step %d node %d", s, i)
+			}
+		}
+	}
+}
+
+// TestEq14VariableCombination verifies the paper's Eq. 14 claim: for a
+// linear conductance model where the W and T perturbation matrices are
+// scalings of Ga, the separated three-variable (ξW, ξT, ξL) Galerkin
+// solution has exactly the same mean and variance as the reduced
+// two-variable system with the combined geometry variable
+// ξG = (d·ξW + e·ξT)/√(d²+e²), KG = √(KW²+KT²) — total-degree Hermite
+// spaces are rotation invariant.
+func TestEq14VariableCombination(t *testing.T) {
+	nl := smallGrid()
+	spec3 := mna.DefaultThreeVarSpec()
+	sys3, err := mna.BuildThreeVar(nl, spec3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := mna.Build(nl, spec3.Combine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Step: tStep, Steps: 20}
+	// Two-variable run.
+	mean2, var2, _ := runGalerkin(t, sys2, 2, opts)
+	// Three-variable run.
+	basis3 := pce.NewHermiteBasis(3, 2)
+	gsys3, err := FromThreeVar(sys3, basis3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsteps := opts.Steps + 1
+	mean3 := alloc2(nsteps, sys3.N)
+	var3 := alloc2(nsteps, sys3.N)
+	if _, err := Solve(gsys3, opts, func(step int, _ float64, coeffs [][]float64) {
+		for i := 0; i < sys3.N; i++ {
+			mean3[step][i] = coeffs[0][i]
+			v := 0.0
+			for m := 1; m < basis3.Size(); m++ {
+				v += coeffs[m][i] * coeffs[m][i]
+			}
+			var3[step][i] = v
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s <= opts.Steps; s++ {
+		for i := 0; i < sys3.N; i++ {
+			if d := math.Abs(mean2[s][i] - mean3[s][i]); d > 1e-10 {
+				t.Fatalf("Eq. 14 mean mismatch at step %d node %d: %g", s, i, d)
+			}
+			if d := math.Abs(var2[s][i] - var3[s][i]); d > 1e-12 {
+				t.Fatalf("Eq. 14 variance mismatch at step %d node %d: %g vs %g",
+					s, i, var2[s][i], var3[s][i])
+			}
+		}
+	}
+}
+
+// TestThreeVarRealizeConsistency checks that the separated model's
+// sampled realizations match the combined model's when evaluated at the
+// corresponding ξG.
+func TestThreeVarRealizeConsistency(t *testing.T) {
+	nl := smallGrid()
+	spec3 := mna.DefaultThreeVarSpec()
+	sys3, err := mna.BuildThreeVar(nl, spec3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := mna.Build(nl, spec3.Combine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xiW, xiT, xiL := 0.8, -1.1, 0.4
+	kg := spec3.Combine().KG
+	xiG := (spec3.KW*xiW + spec3.KT*xiT) / kg
+	g3, c3, _ := sys3.Realize(xiW, xiT, xiL)
+	g2, c2, _ := sys2.Realize(xiG, xiL)
+	d := sparse.Add(1, g3, -1, g2)
+	for _, v := range d.Val {
+		if math.Abs(v) > 1e-12 {
+			t.Fatalf("realized G differs by %g", v)
+		}
+	}
+	dc := sparse.Add(1, c3, -1, c2)
+	for _, v := range dc.Val {
+		if math.Abs(v) > 1e-24 {
+			t.Fatalf("realized C differs by %g", v)
+		}
+	}
+}
+
+func TestMemoryBudgetSwitchesToIterative(t *testing.T) {
+	sys, err := mna.Build(smallGrid(), mna.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis := pce.NewHermiteBasis(2, 2)
+	gsys, err := FromMNA(sys, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1-byte budget forces the iterative fallback.
+	res, err := Solve(gsys, Options{Step: tStep, Steps: 5, MemoryBudget: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Factorer != "cg+mean-precond" {
+		t.Errorf("budgeted solve used %s, want iterative fallback", res.Factorer)
+	}
+	// A negative budget disables the check (direct path).
+	res, err = Solve(gsys, Options{Step: tStep, Steps: 5, MemoryBudget: -1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Factorer != "block-cholesky" {
+		t.Errorf("unbudgeted solve used %s", res.Factorer)
+	}
+}
+
+// TestCorrelatedMatchesEquivalentCombined verifies the §5 PCA route:
+// with W and T correlated at coefficient ρ (and Leff independent), the
+// response statistics must equal those of the combined two-variable
+// model with KG_eff = √(σW² + σT² + 2ρσWσT) — the variance of the sum
+// of correlated Gaussians.
+func TestCorrelatedMatchesEquivalentCombined(t *testing.T) {
+	nl := smallGrid()
+	sW, sT, sL := 0.20/3, 0.15/3, 0.20/3
+	rho := 0.6
+	cov := [][]float64{
+		{sW * sW, rho * sW * sT, 0},
+		{rho * sW * sT, sT * sT, 0},
+		{0, 0, sL * sL},
+	}
+	corr, err := mna.BuildCorrelated(nl, cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kgEff := math.Sqrt(sW*sW + sT*sT + 2*rho*sW*sT)
+	comb, err := mna.Build(nl, mna.VariationSpec{KG: kgEff, KCL: sL, KIL: sL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Step: tStep, Steps: 20}
+	mean2, var2, _ := runGalerkin(t, comb, 2, opts)
+
+	basis3 := pce.NewHermiteBasis(3, 2)
+	gsys, err := FromCorrelated(corr, basis3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsteps := opts.Steps + 1
+	mean3 := alloc2(nsteps, corr.N)
+	var3 := alloc2(nsteps, corr.N)
+	if _, err := Solve(gsys, opts, func(step int, _ float64, coeffs [][]float64) {
+		for i := 0; i < corr.N; i++ {
+			mean3[step][i] = coeffs[0][i]
+			v := 0.0
+			for m := 1; m < basis3.Size(); m++ {
+				v += coeffs[m][i] * coeffs[m][i]
+			}
+			var3[step][i] = v
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s <= opts.Steps; s++ {
+		for i := 0; i < corr.N; i++ {
+			if d := math.Abs(mean2[s][i] - mean3[s][i]); d > 1e-9 {
+				t.Fatalf("correlated mean mismatch at step %d node %d: %g", s, i, d)
+			}
+			if d := math.Abs(var2[s][i] - var3[s][i]); d > 1e-11 {
+				t.Fatalf("correlated variance mismatch at step %d node %d: %g vs %g",
+					s, i, var2[s][i], var3[s][i])
+			}
+		}
+	}
+}
+
+// TestCorrelatedDiagonalEqualsThreeVar: a diagonal covariance must
+// reproduce the independent three-variable model (up to principal-axis
+// permutation, which leaves moments unchanged).
+func TestCorrelatedDiagonalEqualsThreeVar(t *testing.T) {
+	nl := smallGrid()
+	spec3 := mna.DefaultThreeVarSpec()
+	cov := [][]float64{
+		{spec3.KW * spec3.KW, 0, 0},
+		{0, spec3.KT * spec3.KT, 0},
+		{0, 0, spec3.KCL * spec3.KCL},
+	}
+	// Note: the three-var model uses KCL for C and KIL for currents;
+	// the correlated model ties both to δL. Use matching values.
+	corr, err := mna.BuildCorrelated(nl, cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys3, err := mna.BuildThreeVar(nl, mna.ThreeVarSpec{
+		KW: spec3.KW, KT: spec3.KT, KCL: spec3.KCL, KIL: spec3.KCL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Step: tStep, Steps: 15}
+	basis := pce.NewHermiteBasis(3, 2)
+	run := func(gsys *System) ([][]float64, [][]float64) {
+		nsteps := opts.Steps + 1
+		mean := alloc2(nsteps, corr.N)
+		variance := alloc2(nsteps, corr.N)
+		if _, err := Solve(gsys, opts, func(step int, _ float64, coeffs [][]float64) {
+			for i := 0; i < corr.N; i++ {
+				mean[step][i] = coeffs[0][i]
+				v := 0.0
+				for m := 1; m < basis.Size(); m++ {
+					v += coeffs[m][i] * coeffs[m][i]
+				}
+				variance[step][i] = v
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return mean, variance
+	}
+	gc, err := FromCorrelated(corr, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, err := FromThreeVar(sys3, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, vc := run(gc)
+	m3, v3 := run(g3)
+	for s := range mc {
+		for i := range mc[s] {
+			if d := math.Abs(mc[s][i] - m3[s][i]); d > 1e-10 {
+				t.Fatalf("diagonal-cov mean mismatch: %g", d)
+			}
+			if d := math.Abs(vc[s][i] - v3[s][i]); d > 1e-12 {
+				t.Fatalf("diagonal-cov variance mismatch: %g", d)
+			}
+		}
+	}
+}
+
+func TestForceLUMatchesBlockCholesky(t *testing.T) {
+	sys, err := mna.Build(smallGrid(), mna.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Step: tStep, Steps: 10}
+	meanD, varD, resD := runGalerkin(t, sys, 2, opts)
+	opts.ForceLU = true
+	meanL, varL, resL := runGalerkin(t, sys, 2, opts)
+	if resD.Factorer != "block-cholesky" || resL.Factorer != "lu" {
+		t.Fatalf("paths: %s / %s", resD.Factorer, resL.Factorer)
+	}
+	for s := range meanD {
+		for i := range meanD[s] {
+			if math.Abs(meanD[s][i]-meanL[s][i]) > 1e-8 {
+				t.Fatalf("LU path mean differs at step %d node %d", s, i)
+			}
+			if math.Abs(varD[s][i]-varL[s][i]) > 1e-10 {
+				t.Fatalf("LU path variance differs at step %d node %d", s, i)
+			}
+		}
+	}
+}
+
+// TestVisitBlocksAreViews confirms the documented contract: the visit
+// callback's slices are solver state that must be copied if retained.
+func TestVisitBlocksContract(t *testing.T) {
+	sys, err := mna.Build(smallGrid(), mna.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis := pce.NewHermiteBasis(2, 2)
+	gsys, err := FromMNA(sys, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first [][]float64
+	var firstCopy [][]float64
+	_, err = Solve(gsys, Options{Step: tStep, Steps: 3}, func(step int, _ float64, coeffs [][]float64) {
+		if step == 0 {
+			first = coeffs
+			firstCopy = alloc2(len(coeffs), sys.N)
+			for m := range coeffs {
+				copy(firstCopy[m], coeffs[m])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the run, the retained views hold the *final* coefficients,
+	// not the step-0 ones — callers must copy.
+	same := true
+	for m := range first {
+		for i := range first[m] {
+			if first[m][i] != firstCopy[m][i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Skip("solver buffers happened to be equal; contract untestable on this input")
+	}
+}
+
+// TestQuadraticOperatorModel exercises the general (nonlinear-in-ξ)
+// coupling path: G(ξ) = Ga + Gg·ξG + Gq·(ξG²−1) — the paper's §5 remark
+// that "there are no limitations on the specific model to be chosen".
+// Validated against a tensor-quadrature reference.
+func TestQuadraticOperatorModel(t *testing.T) {
+	sys, err := mna.Build(smallGrid(), mna.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis := pce.NewHermiteBasis(2, 3)
+	// Quadratic sensitivity: a fraction of the linear one.
+	gq := sys.Gg.Clone().Scale(0.3)
+	quadCoeffs, err := basis.ProjectFunc(func(xi []float64) float64 {
+		return xi[0]*xi[0] - 1
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gsys, err := FromMNA(sys, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gsys.GTerms = append(gsys.GTerms, Term{
+		Coupling: basis.CouplingExpansion(quadCoeffs),
+		A:        gq,
+	})
+	opts := Options{Step: tStep, Steps: 15}
+	nsteps := opts.Steps + 1
+	mean := alloc2(nsteps, sys.N)
+	variance := alloc2(nsteps, sys.N)
+	if _, err := Solve(gsys, opts, func(step int, _ float64, coeffs [][]float64) {
+		for i := 0; i < sys.N; i++ {
+			mean[step][i] = coeffs[0][i]
+			v := 0.0
+			for m := 1; m < basis.Size(); m++ {
+				v += coeffs[m][i] * coeffs[m][i]
+			}
+			variance[step][i] = v
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Quadrature reference with the quadratic realization.
+	rule, err := quad.GaussHermite(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refMean := alloc2(nsteps, sys.N)
+	refM2 := alloc2(nsteps, sys.N)
+	for a, xg := range rule.Nodes {
+		for b2, xl := range rule.Nodes {
+			w := rule.Weights[a] * rule.Weights[b2]
+			g, c, rhs := sys.Realize(xg, xl)
+			g = sparse.Add(1, g, xg*xg-1, gq)
+			err := transient.Run(g, c, rhs,
+				transient.Options{Step: tStep, Steps: opts.Steps, Method: transient.BackwardEuler},
+				func(step int, _ float64, x []float64) {
+					for i, xi := range x {
+						refMean[step][i] += w * xi
+						refM2[step][i] += w * xi * xi
+					}
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for s := 0; s <= opts.Steps; s++ {
+		for i := 0; i < sys.N; i++ {
+			if d := math.Abs(mean[s][i] - refMean[s][i]); d > 5e-5 {
+				t.Fatalf("quadratic-model mean mismatch at step %d node %d: %g", s, i, d)
+			}
+			refVar := refM2[s][i] - refMean[s][i]*refMean[s][i]
+			if refVar > 1e-11 {
+				if rel := math.Abs(variance[s][i]-refVar) / refVar; rel > 0.08 {
+					t.Fatalf("quadratic-model variance at step %d node %d: rel %g", s, i, rel)
+				}
+			}
+		}
+	}
+}

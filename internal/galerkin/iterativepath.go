@@ -1,0 +1,165 @@
+package galerkin
+
+import (
+	"fmt"
+
+	"opera/internal/factor"
+	"opera/internal/iterative"
+	"opera/internal/sparse"
+)
+
+// solveCoupledIterative is the paper's §5.2 alternative: instead of
+// factoring the (N+1)·n augmented companion, keep only one *scalar*
+// factorization of the mean companion G₀ + C₀/h and solve each time
+// step by conjugate gradients on the block system, preconditioned by
+// I_{N+1} ⊗ (G₀ + C₀/h)⁻¹ — the "iterative block solver with an
+// appropriate pre-conditioner". The preconditioned spectrum clusters
+// around 1 (the coupling terms carry the small variation
+// sensitivities), so a handful of iterations per step suffices. Memory
+// drops from O((N+1)²·nnz(L)) to O(nnz(L)); the trade is CG matvecs per
+// step.
+func solveCoupledIterative(sys *System, opts Options, visit func(int, float64, [][]float64)) (Result, error) {
+	n, b := sys.N, sys.Basis.Size()
+	pattern := unionScalarPattern(sys)
+	perm := permFor(pattern, opts.Ordering)
+
+	comp := factor.NewBlockMatrix(pattern, b)
+	for _, t := range sys.GTerms {
+		comp.AddTerm(t.Coupling, t.A)
+	}
+	var cBM *factor.BlockMatrix
+	if len(sys.CTerms) > 0 {
+		cBM = factor.NewBlockMatrix(pattern, b)
+		for _, t := range sys.CTerms {
+			cBM.AddTerm(t.Coupling, t.A)
+			comp.AddTerm(t.Coupling.Clone().Scale(1/opts.Step), t.A)
+		}
+	}
+	gBM := factor.NewBlockMatrix(pattern, b)
+	for _, t := range sys.GTerms {
+		gBM.AddTerm(t.Coupling, t.A)
+	}
+
+	// Mean (identity-coupling) scalar matrices.
+	g0 := meanTermSum(sys.GTerms, n)
+	c0 := meanTermSum(sys.CTerms, n)
+	scalarComp := sparse.Add(1, g0, 1/opts.Step, c0)
+	compFac, err := factor.Cholesky(scalarComp, perm)
+	if err != nil {
+		return Result{}, fmt.Errorf("galerkin: iterative path mean factorization: %w", err)
+	}
+	g0Fac, err := factor.Cholesky(g0, perm)
+	if err != nil {
+		return Result{}, fmt.Errorf("galerkin: iterative path DC factorization: %w", err)
+	}
+	res := Result{Factorer: "cg+mean-precond", AugmentedN: n * b, FactorNNZ: compFac.Sym.LNNZ()}
+
+	// Block-diagonal preconditioner: apply the scalar factor to each
+	// chaos coefficient's sub-vector.
+	zc := make([]float64, n)
+	makePre := func(f *factor.CholFactor) iterative.Preconditioner {
+		return iterative.PrecondFunc(func(z, r []float64) {
+			for m := 0; m < b; m++ {
+				for i := 0; i < n; i++ {
+					zc[i] = r[i*b+m]
+				}
+				f.SolveTo(zc, zc)
+				for i := 0; i < n; i++ {
+					z[i*b+m] = zc[i]
+				}
+			}
+		})
+	}
+	preComp := makePre(compFac)
+	preG := makePre(g0Fac)
+
+	nb := n * b
+	x := make([]float64, nb)
+	rhs := make([]float64, nb)
+	work := make([]float64, nb)
+	rhsBlocks := make([][]float64, b)
+	outBlocks := make([][]float64, b)
+	for m := 0; m < b; m++ {
+		rhsBlocks[m] = make([]float64, n)
+		outBlocks[m] = make([]float64, n)
+	}
+	pack := func(blocks [][]float64, dst []float64) {
+		for m := 0; m < b; m++ {
+			src := blocks[m]
+			for i := 0; i < n; i++ {
+				dst[i*b+m] = src[i]
+			}
+		}
+	}
+	unpack := func(src []float64, blocks [][]float64) {
+		for m := 0; m < b; m++ {
+			dst := blocks[m]
+			for i := 0; i < n; i++ {
+				dst[i] = src[i*b+m]
+			}
+		}
+	}
+
+	sys.RHS(0, rhsBlocks)
+	pack(rhsBlocks, rhs)
+	cgOpts := iterative.CGOptions{Tol: 1e-11, MaxIter: 1000}
+	cgOpts.M = preG
+	r0, err := iterative.CG(gBM, x, rhs, cgOpts)
+	if err != nil {
+		return Result{}, fmt.Errorf("galerkin: iterative DC solve: %w", err)
+	}
+	res.CGIterations += r0.Iterations
+	if visit != nil {
+		unpack(x, outBlocks)
+		visit(0, 0, outBlocks)
+	}
+	cgOpts.M = preComp
+	for k := 1; k <= opts.Steps; k++ {
+		t := float64(k) * opts.Step
+		sys.RHS(t, rhsBlocks)
+		pack(rhsBlocks, rhs)
+		if cBM != nil {
+			cBM.MulVec(work, x)
+			for i := range rhs {
+				rhs[i] += work[i] / opts.Step
+			}
+		}
+		// Warm start from the previous step's solution.
+		rk, err := iterative.CG(comp, x, rhs, cgOpts)
+		if err != nil {
+			return Result{}, fmt.Errorf("galerkin: iterative step %d: %w", k, err)
+		}
+		res.CGIterations += rk.Iterations
+		if visit != nil {
+			unpack(x, outBlocks)
+			visit(k, t, outBlocks)
+		}
+		res.StepsRun = k
+	}
+	return res, nil
+}
+
+// meanTermSum adds the node matrices of terms whose coupling is the
+// identity (the ξ-free mean part of the operator).
+func meanTermSum(ts []Term, n int) *sparse.Matrix {
+	acc := sparse.NewMatrix(n, n)
+	for _, t := range ts {
+		if isIdentity(t.Coupling) {
+			acc = sparse.Add(1, acc, 1, t.A)
+		}
+	}
+	return acc
+}
+
+// isIdentity reports whether m is exactly the identity matrix.
+func isIdentity(m *sparse.Matrix) bool {
+	if m.Rows != m.Cols || m.NNZ() != m.Rows {
+		return false
+	}
+	for j := 0; j < m.Cols; j++ {
+		if m.Colp[j+1] != j+1 || m.Rowi[j] != j || m.Val[j] != 1 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,207 @@
+package galerkin
+
+import (
+	"errors"
+	"fmt"
+
+	"opera/internal/factor"
+	"opera/internal/order"
+	"opera/internal/sparse"
+)
+
+// Ordering selects the fill-reducing permutation for the augmented
+// factorization.
+type Ordering int
+
+// Ordering choices.
+const (
+	OrderND Ordering = iota // nested dissection (default)
+	OrderRCM
+	OrderMD
+	OrderNatural
+)
+
+// String names the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case OrderND:
+		return "nd"
+	case OrderRCM:
+		return "rcm"
+	case OrderMD:
+		return "md"
+	case OrderNatural:
+		return "natural"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
+}
+
+// Options configures the stochastic transient solve.
+type Options struct {
+	Step  float64 // fixed time step
+	Steps int
+	// Ordering for the augmented companion factorization.
+	Ordering Ordering
+	// ForceCoupled disables the automatic decoupled fast path (used by
+	// the ablation benchmarks to measure its benefit).
+	ForceCoupled bool
+	// ForceLU skips the Cholesky attempt (the augmented Galerkin matrix
+	// is SPD for realistic variation magnitudes; LU covers the rest).
+	ForceLU bool
+	// Iterative selects the §5.2 mean-preconditioned conjugate gradient
+	// path instead of the direct block factorization.
+	Iterative bool
+	// MemoryBudget caps the block factor's value storage in bytes; when
+	// the symbolic analysis predicts a larger factor, the solver
+	// switches to the iterative path automatically (its memory is the
+	// scalar factor's). 0 means 4 GiB; negative disables the check.
+	MemoryBudget int64
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if o.Step <= 0 {
+		return fmt.Errorf("galerkin: step must be positive, got %g", o.Step)
+	}
+	if o.Steps < 1 {
+		return fmt.Errorf("galerkin: need at least one step, got %d", o.Steps)
+	}
+	return nil
+}
+
+// linearSolver abstracts Cholesky/LU factors.
+type linearSolver interface {
+	SolveTo(x, b []float64)
+}
+
+// factorize tries Cholesky under the requested ordering and falls back
+// to LU if the matrix is not numerically positive definite.
+func factorize(a *sparse.Matrix, ord Ordering, forceLU bool) (linearSolver, string, error) {
+	perm := permFor(a, ord)
+	if !forceLU {
+		f, err := factor.Cholesky(a, perm)
+		if err == nil {
+			return f, "cholesky", nil
+		}
+		if !errors.Is(err, factor.ErrNotPositiveDefinite) {
+			return nil, "", err
+		}
+	}
+	lu, err := factor.LU(a, perm)
+	if err != nil {
+		return nil, "", fmt.Errorf("galerkin: LU fallback failed: %w", err)
+	}
+	return lu, "lu", nil
+}
+
+func permFor(a *sparse.Matrix, ord Ordering) []int {
+	switch ord {
+	case OrderNatural:
+		return nil
+	case OrderRCM:
+		return order.RCM(order.NewGraph(a))
+	case OrderMD:
+		return order.MinimumDegree(order.NewGraph(a))
+	default:
+		return order.NestedDissection(order.NewGraph(a), 0)
+	}
+}
+
+// Result carries solver telemetry.
+type Result struct {
+	Decoupled  bool
+	Factorer   string // "block-cholesky", "cg+mean-precond" or "lu"
+	AugmentedN int    // size of the augmented system
+	FactorNNZ  int    // scalar-equivalent nnz of the factor (0 for LU)
+	StepsRun   int
+	// CGIterations totals the conjugate gradient iterations when the
+	// iterative path is used.
+	CGIterations int
+}
+
+// Solve runs the stochastic Galerkin transient. visit is called after
+// the DC initialization (step 0) and after every time step with the
+// chaos coefficient blocks: coeffs[m][i] is the coefficient of basis
+// function m at node i. The slices are views into solver state — copy
+// anything retained.
+func Solve(sys *System, opts Options, visit func(step int, t float64, coeffs [][]float64)) (Result, error) {
+	if err := sys.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := opts.Validate(); err != nil {
+		return Result{}, err
+	}
+	if sys.RHSOnly() && !opts.ForceCoupled {
+		return solveDecoupled(sys, opts, visit)
+	}
+	if opts.Iterative {
+		return solveCoupledIterative(sys, opts, visit)
+	}
+	return solveCoupled(sys, opts, visit)
+}
+
+// solveDecoupled exploits a deterministic operator (§5.1, Eq. 27): one
+// n×n factorization, N+1 independent recursions.
+func solveDecoupled(sys *System, opts Options, visit func(int, float64, [][]float64)) (Result, error) {
+	n, b := sys.N, sys.Basis.Size()
+	g0 := sumTerms(sys.GTerms, n)
+	c0 := sumTerms(sys.CTerms, n)
+	companion := sparse.Add(1, g0, 1/opts.Step, c0)
+	comp, kind, err := factorize(companion, opts.Ordering, opts.ForceLU)
+	if err != nil {
+		return Result{}, fmt.Errorf("galerkin: decoupled companion factorization: %w", err)
+	}
+	res := Result{Decoupled: true, Factorer: kind, AugmentedN: n}
+	if cf, ok := comp.(*factor.CholFactor); ok {
+		res.FactorNNZ = cf.Sym.LNNZ()
+	}
+	gSolve, _, err := factorize(g0, opts.Ordering, opts.ForceLU)
+	if err != nil {
+		return Result{}, fmt.Errorf("galerkin: decoupled DC factorization: %w", err)
+	}
+	blocks := make([][]float64, b)
+	rhsBlocks := make([][]float64, b)
+	for m := 0; m < b; m++ {
+		blocks[m] = make([]float64, n)
+		rhsBlocks[m] = make([]float64, n)
+	}
+	sys.RHS(0, rhsBlocks)
+	for m := 0; m < b; m++ {
+		gSolve.SolveTo(blocks[m], rhsBlocks[m])
+	}
+	if visit != nil {
+		visit(0, 0, blocks)
+	}
+	cx := make([]float64, n)
+	rhs := make([]float64, n)
+	for k := 1; k <= opts.Steps; k++ {
+		t := float64(k) * opts.Step
+		sys.RHS(t, rhsBlocks)
+		for m := 0; m < b; m++ {
+			c0.MulVec(cx, blocks[m])
+			for i := 0; i < n; i++ {
+				rhs[i] = rhsBlocks[m][i] + cx[i]/opts.Step
+			}
+			comp.SolveTo(blocks[m], rhs)
+		}
+		if visit != nil {
+			visit(k, t, blocks)
+		}
+		res.StepsRun = k
+	}
+	return res, nil
+}
+
+// sumTerms adds the node matrices of a term list (couplings are
+// identities on this path).
+func sumTerms(ts []Term, n int) *sparse.Matrix {
+	if len(ts) == 0 {
+		return sparse.NewMatrix(n, n)
+	}
+	acc := ts[0].A
+	for _, t := range ts[1:] {
+		acc = sparse.Add(1, acc, 1, t.A)
+	}
+	return acc
+}

@@ -1,0 +1,59 @@
+package galerkin
+
+import (
+	"fmt"
+
+	"opera/internal/mna"
+	"opera/internal/pce"
+)
+
+// FromSpatial lifts an intra-die spatial variation system into Galerkin
+// form on a basis over the principal field variables — the within-die
+// extension the paper's §3 defers to future work. The chaos dimension
+// count is the (truncated) number of principal components of the
+// spatial field, so short correlation lengths cost more dimensions:
+// exactly the Karhunen–Loève economics of the stochastic finite element
+// method the paper builds on.
+func FromSpatial(sys *mna.SpatialSystem, basis *pce.Basis) (*System, error) {
+	if basis.Dim() != sys.Dims {
+		return nil, fmt.Errorf("galerkin: basis has %d dimensions, the spatial model needs %d", basis.Dim(), sys.Dims)
+	}
+	ident := basis.CouplingIdentity()
+	gTerms := []Term{{Coupling: ident, A: sys.Ga}}
+	cTerms := []Term{{Coupling: ident, A: sys.Ca}}
+	for k := 0; k < sys.Dims; k++ {
+		if sys.GSens[k] != nil && sys.GSens[k].NNZ() > 0 {
+			gTerms = append(gTerms, Term{Coupling: basis.CouplingLinear(k), A: sys.GSens[k]})
+		}
+		if sys.CSens[k] != nil && sys.CSens[k].NNZ() > 0 {
+			cTerms = append(cTerms, Term{Coupling: basis.CouplingLinear(k), A: sys.CSens[k]})
+		}
+	}
+	proj := make([][]float64, sys.Dims)
+	for k := 0; k < sys.Dims; k++ {
+		proj[k] = basis.ProjectVariable(k)
+	}
+	n := sys.N
+	ua := make([]float64, n)
+	sens := make([][]float64, sys.Dims)
+	for k := range sens {
+		sens[k] = make([]float64, n)
+	}
+	rhs := func(t float64, out [][]float64) {
+		sys.RHS(t, ua, sens)
+		for m := range out {
+			dst := out[m]
+			for i := 0; i < n; i++ {
+				v := 0.0
+				for k := 0; k < sys.Dims; k++ {
+					v += proj[k][m] * sens[k][i]
+				}
+				if m == 0 {
+					v += ua[i]
+				}
+				dst[i] = v
+			}
+		}
+	}
+	return &System{N: n, Basis: basis, GTerms: gTerms, CTerms: cTerms, RHS: rhs}, nil
+}

@@ -1,0 +1,246 @@
+package galerkin
+
+import (
+	"math"
+	"testing"
+
+	"opera/internal/mna"
+	"opera/internal/netlist"
+	"opera/internal/pce"
+	"opera/internal/quad"
+	"opera/internal/transient"
+)
+
+// regionedGrid builds the 3x3 test grid with every element tagged into
+// a 2x2 region map (region = quadrant).
+func regionedGrid() *netlist.Netlist {
+	nl := smallGrid()
+	regionOf := func(node int) int {
+		r, c := node/3, node%3
+		ri, ci := 0, 0
+		if r >= 2 {
+			ri = 1
+		}
+		if c >= 2 {
+			ci = 1
+		}
+		return ri*2 + ci
+	}
+	for i := range nl.Resistors {
+		nl.Resistors[i].Region = regionOf(nl.Resistors[i].A)
+	}
+	for i := range nl.Caps {
+		nl.Caps[i].Region = regionOf(nl.Caps[i].A)
+	}
+	for i := range nl.Sources {
+		nl.Sources[i].Region = regionOf(nl.Sources[i].A)
+	}
+	return nl
+}
+
+func TestSpatialPerfectCorrelationEqualsInterDie(t *testing.T) {
+	// CorrLength → ∞ makes all regions move together: one principal
+	// component with weight 1 everywhere — the inter-die model. Compare
+	// against the combined two-variable system with matching
+	// sensitivities.
+	nl := regionedGrid()
+	// Both models multiply the capacitor's GateFrac at stamping, so
+	// the same KCL value means the same ∂C/∂ξ.
+	spec := mna.SpatialSpec{
+		RegionsPerAxis: 2,
+		KG:             0.25 / 3,
+		KCL:            0.2 / 3,
+		KIL:            0.2 / 3,
+		CorrLength:     1e9,
+		EnergyCutoff:   0.999999,
+	}
+	ssys, err := mna.BuildSpatial(nl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ssys.DimsG != 1 || ssys.DimsL != 1 {
+		t.Fatalf("perfect correlation should keep 1 PC per field, got %d/%d", ssys.DimsG, ssys.DimsL)
+	}
+	// Equivalent inter-die model. The spatial model treats pads as
+	// deterministic package metal, so the reference uses off-die pads.
+	nl2 := regionedGrid()
+	for i := range nl2.Pads {
+		nl2.Pads[i].OnDie = false
+	}
+	sys2, err := mna.Build(nl2, mna.VariationSpec{KG: spec.KG, KCL: spec.KCL, KIL: spec.KIL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Step: tStep, Steps: 15}
+	basis := pce.NewHermiteBasis(2, 2)
+	gs, err := FromSpatial(ssys, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsteps := opts.Steps + 1
+	meanS := alloc2(nsteps, ssys.N)
+	varS := alloc2(nsteps, ssys.N)
+	if _, err := Solve(gs, opts, func(step int, _ float64, coeffs [][]float64) {
+		for i := 0; i < ssys.N; i++ {
+			meanS[step][i] = coeffs[0][i]
+			v := 0.0
+			for m := 1; m < basis.Size(); m++ {
+				v += coeffs[m][i] * coeffs[m][i]
+			}
+			varS[step][i] = v
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mean2, var2, _ := runGalerkin(t, sys2, 2, opts)
+	for s := 0; s <= opts.Steps; s++ {
+		for i := 0; i < ssys.N; i++ {
+			if d := math.Abs(meanS[s][i] - mean2[s][i]); d > 1e-9 {
+				t.Fatalf("spatial/inter-die mean mismatch at step %d node %d: %g", s, i, d)
+			}
+			if d := math.Abs(varS[s][i] - var2[s][i]); d > 1e-11 {
+				t.Fatalf("spatial/inter-die variance mismatch at step %d node %d: %g vs %g",
+					s, i, varS[s][i], var2[s][i])
+			}
+		}
+	}
+}
+
+func TestSpatialIndependentRegionsReduceVariance(t *testing.T) {
+	// With independent regions (L = 0) the per-node σ must be no larger
+	// than under perfect correlation: spatial averaging cancels part of
+	// the fluctuation.
+	nl := regionedGrid()
+	base := mna.SpatialSpec{
+		RegionsPerAxis: 2,
+		KG:             0.25 / 3, KCL: 0.08 / 3, KIL: 0.2 / 3,
+		EnergyCutoff: 0.999999,
+	}
+	runVar := func(corr float64) []float64 {
+		spec := base
+		spec.CorrLength = corr
+		ssys, err := mna.BuildSpatial(nl, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		basis := pce.NewHermiteBasis(ssys.Dims, 2)
+		gs, err := FromSpatial(ssys, basis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{Step: tStep, Steps: 12}
+		out := make([]float64, ssys.N)
+		if _, err := Solve(gs, opts, func(step int, _ float64, coeffs [][]float64) {
+			if step != opts.Steps {
+				return
+			}
+			for i := 0; i < ssys.N; i++ {
+				v := 0.0
+				for m := 1; m < basis.Size(); m++ {
+					v += coeffs[m][i] * coeffs[m][i]
+				}
+				out[i] = v
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	indep := runVar(0)
+	corr := runVar(1e9)
+	totI, totC := 0.0, 0.0
+	for i := range indep {
+		totI += indep[i]
+		totC += corr[i]
+	}
+	t.Logf("total variance: independent %.4g, correlated %.4g", totI, totC)
+	if totI >= totC {
+		t.Errorf("independent-region variance %g should be below correlated %g", totI, totC)
+	}
+}
+
+// TestSpatialGalerkinMatchesQuadrature validates the spatial solve
+// against a tensor-quadrature reference over the principal variables on
+// the small grid (independent regions, truncated to few dims).
+func TestSpatialGalerkinMatchesQuadrature(t *testing.T) {
+	nl := regionedGrid()
+	spec := mna.SpatialSpec{
+		RegionsPerAxis: 2,
+		KG:             0.25 / 3, KCL: 0.08 / 3, KIL: 0.2 / 3,
+		CorrLength: 1.0,
+		MaxDims:    2, // keep the quadrature tensor small: 2+2 dims
+	}
+	ssys, err := mna.BuildSpatial(nl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ssys.Dims != 4 {
+		t.Fatalf("expected 4 truncated dims, got %d", ssys.Dims)
+	}
+	basis := pce.NewHermiteBasis(ssys.Dims, 2)
+	gs, err := FromSpatial(ssys, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Step: tStep, Steps: 10}
+	nsteps := opts.Steps + 1
+	mean := alloc2(nsteps, ssys.N)
+	variance := alloc2(nsteps, ssys.N)
+	if _, err := Solve(gs, opts, func(step int, _ float64, coeffs [][]float64) {
+		for i := 0; i < ssys.N; i++ {
+			mean[step][i] = coeffs[0][i]
+			v := 0.0
+			for m := 1; m < basis.Size(); m++ {
+				v += coeffs[m][i] * coeffs[m][i]
+			}
+			variance[step][i] = v
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Quadrature reference over 4 dims with 4 points each (256 runs of
+	// a 9-node system).
+	rule, err := quad.GaussHermite(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refMean := alloc2(nsteps, ssys.N)
+	refM2 := alloc2(nsteps, ssys.N)
+	z := make([]float64, 4)
+	var rec func(d int, w float64)
+	rec = func(d int, w float64) {
+		if d == 4 {
+			g, c, rhs := ssys.Realize(z)
+			err := transient.Run(g, c, rhs,
+				transient.Options{Step: tStep, Steps: opts.Steps, Method: transient.BackwardEuler},
+				func(step int, _ float64, x []float64) {
+					for i, xi := range x {
+						refMean[step][i] += w * xi
+						refM2[step][i] += w * xi * xi
+					}
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		for q, x := range rule.Nodes {
+			z[d] = x
+			rec(d+1, w*rule.Weights[q])
+		}
+	}
+	rec(0, 1)
+	for s := 0; s <= opts.Steps; s++ {
+		for i := 0; i < ssys.N; i++ {
+			if d := math.Abs(mean[s][i] - refMean[s][i]); d > 3e-5 {
+				t.Fatalf("spatial mean vs quadrature at step %d node %d: %g", s, i, d)
+			}
+			refVar := refM2[s][i] - refMean[s][i]*refMean[s][i]
+			if refVar > 1e-12 {
+				if rel := math.Abs(variance[s][i]-refVar) / refVar; rel > 0.06 {
+					t.Fatalf("spatial variance vs quadrature at step %d node %d: rel %g", s, i, rel)
+				}
+			}
+		}
+	}
+}

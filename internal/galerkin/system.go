@@ -1,0 +1,158 @@
+// Package galerkin implements the stochastic Galerkin method at the
+// heart of OPERA (paper §4.2, §5): the truncated chaos expansion of the
+// grid response is substituted into the stochastic MNA equation, the
+// residual is made orthogonal to every retained basis function, and the
+// resulting deterministic block system (Eq. 19)
+//
+//	(G̃ + s·C̃)·a(s) = Ũ(s),  G̃ = Σ_k T_k ⊗ G_k,  C̃ = Σ_k T_k ⊗ C_k
+//
+// is assembled sparsely, factored once, and stepped through time. The
+// package also provides the §5.1 decoupled fast path: when only the
+// right-hand side is stochastic, the block system splits into N+1
+// independent solves sharing a single factorization of (G + sC)
+// (Eq. 27).
+package galerkin
+
+import (
+	"fmt"
+
+	"opera/internal/mna"
+	"opera/internal/pce"
+	"opera/internal/sparse"
+)
+
+// Term is one summand of a stochastic operator in Galerkin form: the
+// chaos coupling matrix (B×B, from pce.Basis coupling constructors)
+// paired with the node-level matrix it multiplies.
+type Term struct {
+	Coupling *sparse.Matrix
+	A        *sparse.Matrix
+}
+
+// System is a stochastic MNA system ready for Galerkin projection.
+type System struct {
+	// N is the node count; B the chaos basis size.
+	N     int
+	Basis *pce.Basis
+	// GTerms and CTerms define G(ξ) and C(ξ).
+	GTerms, CTerms []Term
+	// RHS fills the orthonormal chaos coefficients of the excitation at
+	// time t: out[m][i] is coefficient m at node i. len(out) = B.
+	RHS func(t float64, out [][]float64)
+}
+
+// Validate checks dimensions.
+func (s *System) Validate() error {
+	if s.N <= 0 {
+		return fmt.Errorf("galerkin: node count %d", s.N)
+	}
+	if s.Basis == nil {
+		return fmt.Errorf("galerkin: missing basis")
+	}
+	if s.RHS == nil {
+		return fmt.Errorf("galerkin: missing RHS")
+	}
+	b := s.Basis.Size()
+	for _, set := range [][]Term{s.GTerms, s.CTerms} {
+		for _, t := range set {
+			if t.Coupling.Rows != b || t.Coupling.Cols != b {
+				return fmt.Errorf("galerkin: coupling is %dx%d, basis size %d", t.Coupling.Rows, t.Coupling.Cols, b)
+			}
+			if t.A.Rows != s.N || t.A.Cols != s.N {
+				return fmt.Errorf("galerkin: node matrix is %dx%d, want %d", t.A.Rows, t.A.Cols, s.N)
+			}
+		}
+	}
+	if len(s.GTerms) == 0 {
+		return fmt.Errorf("galerkin: G(ξ) has no terms")
+	}
+	return nil
+}
+
+// RHSOnly reports whether the operator is deterministic (every coupling
+// is the identity), which enables the §5.1 decoupled fast path.
+func (s *System) RHSOnly() bool {
+	for _, t := range s.GTerms {
+		if !isIdentity(t.Coupling) {
+			return false
+		}
+	}
+	for _, t := range s.CTerms {
+		if !isIdentity(t.Coupling) {
+			return false
+		}
+	}
+	return true
+}
+
+// FromMNA lifts a stamped two-variable (ξG, ξL) MNA system (the paper's
+// Eq. 13–14 linear variation model) into Galerkin form on the given
+// basis. Dimension mna.DimG of the basis carries the geometry variable
+// and mna.DimL the channel-length variable; any Askey family may back
+// either dimension (the paper's Gaussian case uses Hermite for both).
+func FromMNA(sys *mna.System, basis *pce.Basis) (*System, error) {
+	if basis.Dim() != mna.Dims {
+		return nil, fmt.Errorf("galerkin: basis has %d dimensions, the MNA variation model needs %d", basis.Dim(), mna.Dims)
+	}
+	ident := basis.CouplingIdentity()
+	cg := basis.CouplingLinear(mna.DimG)
+	cl := basis.CouplingLinear(mna.DimL)
+	gTerms := []Term{{Coupling: ident, A: sys.Ga}}
+	if sys.Gg.NNZ() > 0 {
+		gTerms = append(gTerms, Term{Coupling: cg, A: sys.Gg})
+	}
+	cTerms := []Term{{Coupling: ident, A: sys.Ca}}
+	if sys.Cc.NNZ() > 0 {
+		cTerms = append(cTerms, Term{Coupling: cl, A: sys.Cc})
+	}
+	// Excitation chaos coefficients: u = ua + ug·ξG + uc·ξL, with the
+	// raw variables expanded on the (possibly non-Gaussian) basis.
+	pg := basis.ProjectVariable(mna.DimG)
+	pl := basis.ProjectVariable(mna.DimL)
+	n := sys.N
+	ua := make([]float64, n)
+	ug := make([]float64, n)
+	uc := make([]float64, n)
+	rhs := func(t float64, out [][]float64) {
+		sys.RHS(t, ua, ug, uc)
+		for m := range out {
+			dst := out[m]
+			cgm, clm := pg[m], pl[m]
+			for i := 0; i < n; i++ {
+				v := cgm*ug[i] + clm*uc[i]
+				if m == 0 {
+					v += ua[i]
+				}
+				dst[i] = v
+			}
+		}
+	}
+	return &System{
+		N:      n,
+		Basis:  basis,
+		GTerms: gTerms,
+		CTerms: cTerms,
+		RHS:    rhs,
+	}, nil
+}
+
+// AssembleG builds the full block matrix G̃.
+func (s *System) AssembleG() *sparse.Matrix {
+	return sparse.AssembleBlocks(s.Basis.Size(), s.N, toBlockTerms(s.GTerms))
+}
+
+// AssembleC builds the full block matrix C̃.
+func (s *System) AssembleC() *sparse.Matrix {
+	if len(s.CTerms) == 0 {
+		return sparse.NewMatrix(s.Basis.Size()*s.N, s.Basis.Size()*s.N)
+	}
+	return sparse.AssembleBlocks(s.Basis.Size(), s.N, toBlockTerms(s.CTerms))
+}
+
+func toBlockTerms(ts []Term) []sparse.BlockTerm {
+	out := make([]sparse.BlockTerm, len(ts))
+	for i, t := range ts {
+		out[i] = sparse.BlockTerm{T: t.Coupling, A: t.A}
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package galerkin
+
+import (
+	"fmt"
+
+	"opera/internal/mna"
+	"opera/internal/pce"
+)
+
+// FromThreeVar lifts the separated (ξW, ξT, ξL) system of the paper's
+// Eq. 13 into Galerkin form on a three-dimensional basis. Because the
+// linear conductance model makes the response a function of the
+// combination d·ξW + e·ξT only, and total-degree Hermite spaces are
+// invariant under rotations of the Gaussian variables, the projected
+// moments coincide exactly with those of the reduced Eq. 14 system —
+// the paper's justification for collapsing W and T into a single ξG.
+// This constructor exists to state (and test) that claim, and for
+// variation models where the W/T sensitivities do not share the Ga
+// pattern and therefore cannot be combined.
+func FromThreeVar(sys *mna.ThreeVarSystem, basis *pce.Basis) (*System, error) {
+	if basis.Dim() != mna.Dims3 {
+		return nil, fmt.Errorf("galerkin: basis has %d dimensions, the three-variable model needs %d", basis.Dim(), mna.Dims3)
+	}
+	ident := basis.CouplingIdentity()
+	gTerms := []Term{{Coupling: ident, A: sys.Ga}}
+	if sys.Gw.NNZ() > 0 {
+		gTerms = append(gTerms, Term{Coupling: basis.CouplingLinear(mna.Dim3W), A: sys.Gw})
+	}
+	if sys.Gt.NNZ() > 0 {
+		gTerms = append(gTerms, Term{Coupling: basis.CouplingLinear(mna.Dim3T), A: sys.Gt})
+	}
+	cTerms := []Term{{Coupling: ident, A: sys.Ca}}
+	if sys.Cc.NNZ() > 0 {
+		cTerms = append(cTerms, Term{Coupling: basis.CouplingLinear(mna.Dim3L), A: sys.Cc})
+	}
+	pw := basis.ProjectVariable(mna.Dim3W)
+	pt := basis.ProjectVariable(mna.Dim3T)
+	pl := basis.ProjectVariable(mna.Dim3L)
+	n := sys.N
+	ua := make([]float64, n)
+	uw := make([]float64, n)
+	ut := make([]float64, n)
+	uc := make([]float64, n)
+	rhs := func(t float64, out [][]float64) {
+		sys.RHS(t, ua, uw, ut, uc)
+		for m := range out {
+			dst := out[m]
+			wm, tm, lm := pw[m], pt[m], pl[m]
+			for i := 0; i < n; i++ {
+				v := wm*uw[i] + tm*ut[i] + lm*uc[i]
+				if m == 0 {
+					v += ua[i]
+				}
+				dst[i] = v
+			}
+		}
+	}
+	return &System{
+		N:      n,
+		Basis:  basis,
+		GTerms: gTerms,
+		CTerms: cTerms,
+		RHS:    rhs,
+	}, nil
+}

@@ -1,0 +1,347 @@
+package grid
+
+import (
+	"fmt"
+	"math/rand"
+
+	"opera/internal/netlist"
+	"opera/internal/randvar"
+)
+
+// Build generates the netlist: mesh topology, vias, pads, load caps and
+// calibrated block current sources.
+func Build(s Spec) (*netlist.Netlist, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rng := randvar.NewStream(s.Seed, 0)
+	nl := &netlist.Netlist{NumNodes: s.NumNodes()}
+	blocked := s.placeMacros(rng)
+	s.buildMesh(nl, blocked)
+	s.buildPads(nl)
+	s.buildCaps(nl, blocked)
+	if err := s.buildSources(nl, rng, blocked); err != nil {
+		return nil, err
+	}
+	if err := calibrate(s, nl); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}
+
+// placeMacros marks fine-mesh nodes covered by macro blockages. The
+// macro interiors keep their node ids (so indexing is unchanged) but
+// receive no mesh segments, caps or sources; a weak tie to a corner
+// keeps the matrix nonsingular.
+func (s Spec) placeMacros(rng *rand.Rand) []bool {
+	if s.Macros <= 0 {
+		return nil
+	}
+	blocked := make([]bool, s.Rows*s.Cols)
+	for m := 0; m < s.Macros; m++ {
+		h := 2 + rng.Intn(maxInt(2, s.Rows/6))
+		w := 2 + rng.Intn(maxInt(2, s.Cols/6))
+		// Keep macros off the borders so pads and the mesh boundary
+		// survive.
+		if s.Rows-h-2 < 1 || s.Cols-w-2 < 1 {
+			continue
+		}
+		r0 := 1 + rng.Intn(s.Rows-h-2)
+		c0 := 1 + rng.Intn(s.Cols-w-2)
+		// Block strictly interior nodes; the macro's ring stays routable.
+		for r := r0 + 1; r < r0+h; r++ {
+			for c := c0 + 1; c < c0+w; c++ {
+				blocked[s.fineID(r, c)] = true
+			}
+		}
+	}
+	return blocked
+}
+
+// buildMesh stamps the fine mesh, the optional coarse overlay and the
+// vias between them. All mesh metal is on-die (varies with ξG).
+func (s Spec) buildMesh(nl *netlist.Netlist, blocked []bool) {
+	name := 0
+	addR := func(a, b int, ohms float64, region int) {
+		nl.Resistors = append(nl.Resistors, netlist.Resistor{
+			Name: fmt.Sprintf("%d", name), A: a, B: b, Ohms: ohms, OnDie: true,
+			Region: region,
+		})
+		name++
+	}
+	isBlocked := func(id int) bool { return blocked != nil && blocked[id] }
+	for r := 0; r < s.Rows; r++ {
+		for c := 0; c < s.Cols; c++ {
+			id := s.fineID(r, c)
+			if c+1 < s.Cols && !isBlocked(id) && !isBlocked(s.fineID(r, c+1)) {
+				addR(id, s.fineID(r, c+1), s.RSeg, s.regionOf(r, c))
+			}
+			if r+1 < s.Rows && !isBlocked(id) && !isBlocked(s.fineID(r+1, c)) {
+				addR(id, s.fineID(r+1, c), s.RSeg, s.regionOf(r, c))
+			}
+		}
+	}
+	// Blocked (macro-interior) nodes would be singular; tie each to its
+	// nearest unblocked left/up neighbor with a high-resistance strap
+	// (representing the macro's internal rail tap).
+	if blocked != nil {
+		for r := 0; r < s.Rows; r++ {
+			for c := 0; c < s.Cols; c++ {
+				id := s.fineID(r, c)
+				if !blocked[id] {
+					continue
+				}
+				n := s.fineID(r, c-1) // interiors never touch column 0
+				addR(id, n, 100*s.RSeg, s.regionOf(r, c))
+			}
+		}
+	}
+	if s.CoarseStride > 1 {
+		cr, cc := s.coarseRows(), s.coarseCols()
+		for i := 0; i < cr; i++ {
+			for j := 0; j < cc; j++ {
+				fr := i * s.CoarseStride
+				fc := j * s.CoarseStride
+				if fr >= s.Rows {
+					fr = s.Rows - 1
+				}
+				if fc >= s.Cols {
+					fc = s.Cols - 1
+				}
+				region := s.regionOf(fr, fc)
+				if j+1 < cc {
+					addR(s.coarseID(i, j), s.coarseID(i, j+1), s.RSegCoarse, region)
+				}
+				if i+1 < cr {
+					addR(s.coarseID(i, j), s.coarseID(i+1, j), s.RSegCoarse, region)
+				}
+				// Via down to the matching fine node.
+				addR(s.coarseID(i, j), s.fineID(fr, fc), s.RVia, region)
+			}
+		}
+	}
+}
+
+// buildPads attaches supply pads on the top metal (coarse mesh when
+// present) every PadStride nodes.
+func (s Spec) buildPads(nl *netlist.Netlist) {
+	name := 0
+	addPad := func(node int) {
+		nl.Pads = append(nl.Pads, netlist.Pad{
+			Name: fmt.Sprintf("%d", name), Node: node, VDD: s.VDD, Rpin: s.RPin, OnDie: true,
+		})
+		name++
+	}
+	if s.CoarseStride > 1 {
+		cr, cc := s.coarseRows(), s.coarseCols()
+		for i := 0; i < cr; i += s.PadStride {
+			for j := 0; j < cc; j += s.PadStride {
+				addPad(s.coarseID(i, j))
+			}
+		}
+		// Guarantee a far-corner pad so no region is starved.
+		addPad(s.coarseID(cr-1, cc-1))
+	} else {
+		for r := 0; r < s.Rows; r += s.PadStride {
+			for c := 0; c < s.Cols; c += s.PadStride {
+				addPad(s.fineID(r, c))
+			}
+		}
+		addPad(s.fineID(s.Rows-1, s.Cols-1))
+	}
+}
+
+// buildCaps places the load capacitance at every fine node (the paper:
+// grid capacitance is dominated by the non-switching load caps of the
+// functional blocks, with a 40% gate fraction varying with Leff).
+func (s Spec) buildCaps(nl *netlist.Netlist, blocked []bool) {
+	if s.CNode <= 0 {
+		return
+	}
+	for r := 0; r < s.Rows; r++ {
+		for c := 0; c < s.Cols; c++ {
+			if blocked != nil && blocked[s.fineID(r, c)] {
+				continue
+			}
+			nl.Caps = append(nl.Caps, netlist.Capacitor{
+				Name:     fmt.Sprintf("%d", s.fineID(r, c)),
+				A:        s.fineID(r, c),
+				B:        netlist.Ground,
+				Farads:   s.CNode,
+				GateFrac: s.GateFrac,
+				Region:   s.regionOf(r, c),
+			})
+		}
+	}
+}
+
+// block is a rectangular functional block on the fine mesh.
+type block struct {
+	r0, c0, r1, c1 int // inclusive bounds
+	peak           float64
+	delay          float64
+	rise, width    float64
+}
+
+// buildSources lays out functional blocks and stamps their per-node
+// switching currents plus a per-node leakage floor with region tags.
+// Current magnitudes here are pre-calibration (arbitrary scale).
+func (s Spec) buildSources(nl *netlist.Netlist, rng *rand.Rand, blocked []bool) error {
+	blocks := make([]block, s.NumBlocks)
+	for b := range blocks {
+		h := 2 + rng.Intn(maxInt(2, s.Rows/3))
+		w := 2 + rng.Intn(maxInt(2, s.Cols/3))
+		r0 := rng.Intn(maxInt(1, s.Rows-h))
+		c0 := rng.Intn(maxInt(1, s.Cols-w))
+		blocks[b] = block{
+			r0: r0, c0: c0,
+			r1: minInt(s.Rows-1, r0+h), c1: minInt(s.Cols-1, c0+w),
+			peak:  0.5 + rng.Float64(), // relative block activity
+			delay: rng.Float64() * 0.4 * s.ClockPeriod,
+			rise:  (0.05 + 0.1*rng.Float64()) * s.ClockPeriod,
+			width: (0.1 + 0.2*rng.Float64()) * s.ClockPeriod,
+		}
+	}
+	// Accumulate per-node switching peaks so each node gets one source.
+	type nodeCur struct {
+		waves []netlist.Waveform
+	}
+	perNode := make(map[int]*nodeCur)
+	for _, b := range blocks {
+		nNodes := (b.r1 - b.r0 + 1) * (b.c1 - b.c0 + 1)
+		share := b.peak / float64(nNodes)
+		for r := b.r0; r <= b.r1; r++ {
+			for c := b.c0; c <= b.c1; c++ {
+				id := s.fineID(r, c)
+				if blocked != nil && blocked[id] {
+					continue
+				}
+				nc := perNode[id]
+				if nc == nil {
+					nc = &nodeCur{}
+					perNode[id] = nc
+				}
+				nc.waves = append(nc.waves, &netlist.Pulse{
+					Low: 0, High: share,
+					Delay: b.delay, Rise: b.rise, Width: b.width, Fall: b.rise,
+					Period: s.ClockPeriod,
+				})
+			}
+		}
+	}
+	// Leakage floor: distributed over all fine nodes, region-tagged.
+	// Scale: LeakageFrac of the average switching current.
+	totalAvg := 0.0
+	for _, b := range blocks {
+		duty := (b.width + b.rise) / s.ClockPeriod
+		totalAvg += b.peak * duty
+	}
+	leakPerNode := 0.0
+	if s.LeakageFrac > 0 {
+		leakPerNode = s.LeakageFrac * totalAvg / float64(s.Rows*s.Cols) / maxFloat(1e-12, 1-s.LeakageFrac)
+	}
+	name := 0
+	for r := 0; r < s.Rows; r++ {
+		for c := 0; c < s.Cols; c++ {
+			id := s.fineID(r, c)
+			if blocked != nil && blocked[id] {
+				continue
+			}
+			region := s.regionOf(r, c)
+			if nc, ok := perNode[id]; ok {
+				var wave netlist.Waveform
+				if len(nc.waves) == 1 {
+					wave = nc.waves[0]
+				} else {
+					wave = sumWave(nc.waves, s.ClockPeriod)
+				}
+				nl.Sources = append(nl.Sources, netlist.CurrentSource{
+					Name: fmt.Sprintf("sw%d", name), A: id, Wave: wave,
+					LeffSens: 1, Region: region,
+				})
+				name++
+			}
+			if leakPerNode > 0 {
+				nl.Sources = append(nl.Sources, netlist.CurrentSource{
+					Name: fmt.Sprintf("lk%d", name), A: id, Wave: netlist.DC(leakPerNode),
+					LeffSens: 1, Region: region, Leakage: true,
+				})
+				name++
+			}
+		}
+	}
+	if len(nl.Sources) == 0 {
+		return fmt.Errorf("grid: no current sources generated")
+	}
+	return nil
+}
+
+// sumWave represents the superposition of several waveforms; it
+// serializes as a PWL sampled over a few clock periods.
+func sumWave(ws []netlist.Waveform, period float64) netlist.Waveform {
+	return &superposition{ws: ws, period: period}
+}
+
+// superposition sums component waveforms pointwise.
+type superposition struct {
+	ws     []netlist.Waveform
+	period float64
+}
+
+// At implements netlist.Waveform.
+func (s *superposition) At(t float64) float64 {
+	v := 0.0
+	for _, w := range s.ws {
+		v += w.At(t)
+	}
+	return v
+}
+
+// Format implements netlist.Waveform by nesting SCALE/PWL forms; for
+// serialization we sample onto a PWL over one period — see SamplePWL.
+func (s *superposition) Format() string {
+	// Serialize as a dense PWL over the envelope of the components.
+	return s.asPWL().Format()
+}
+
+func (s *superposition) asPWL() *netlist.PWL {
+	// Sample densely over five clock periods — enough for any analysis
+	// window aligned to the clock; the PWL holds its end value beyond.
+	const samples = 256
+	span := 5 * s.period
+	if span <= 0 {
+		span = 10e-9
+	}
+	ts := make([]float64, samples)
+	vs := make([]float64, samples)
+	for i := range ts {
+		ts[i] = span * float64(i) / float64(samples-1)
+		vs[i] = s.At(ts[i])
+	}
+	p, err := netlist.NewPWL(ts, vs)
+	if err != nil {
+		panic(err) // times are constructed ascending
+	}
+	return p
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

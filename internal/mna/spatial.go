@@ -1,0 +1,338 @@
+package mna
+
+import (
+	"fmt"
+	"math"
+
+	"opera/internal/netlist"
+	"opera/internal/randvar"
+	"opera/internal/sparse"
+)
+
+// SpatialSpec describes *intra-die* (within-die) process variation — the
+// case the paper's §3 defers: "We consider only the inter-die variations
+// in this work… [intra-die parameters] vary randomly and spatially
+// across a die". The die is partitioned into regions (the netlist's
+// element Region tags); each region carries its own geometry and Leff
+// variables, correlated across regions by an exponential spatial kernel
+// exp(−d/CorrLength). Principal component analysis turns the correlated
+// region field into a small number of independent chaos dimensions —
+// precisely the discretized Karhunen–Loève construction the
+// stochastic-finite-element literature the paper builds on uses for
+// spatial processes.
+type SpatialSpec struct {
+	// RegionsPerAxis partitions the die into R×R regions; element
+	// Region tags must lie in [0, R²).
+	RegionsPerAxis int
+	// KG is the per-region relative conductance standard deviation
+	// (the ξG magnitude of a single region).
+	KG float64
+	// KCL and KIL are the per-region Leff sensitivities for gate
+	// capacitance and drain currents.
+	KCL, KIL float64
+	// CorrLength is the spatial correlation length in units of region
+	// pitch; 0 means independent regions, large values approach the
+	// paper's fully correlated inter-die case.
+	CorrLength float64
+	// EnergyCutoff truncates the principal components once their
+	// cumulative eigenvalue share reaches this fraction (default 0.99);
+	// MaxDims caps the count outright (0 = no cap).
+	EnergyCutoff float64
+	MaxDims      int
+}
+
+// Validate checks the spec.
+func (s SpatialSpec) Validate() error {
+	if s.RegionsPerAxis < 1 {
+		return fmt.Errorf("mna: spatial spec needs >= 1 region per axis, got %d", s.RegionsPerAxis)
+	}
+	if s.KG < 0 || s.KCL < 0 || s.KIL < 0 {
+		return fmt.Errorf("mna: negative spatial sensitivities")
+	}
+	if s.CorrLength < 0 {
+		return fmt.Errorf("mna: negative correlation length %g", s.CorrLength)
+	}
+	if s.EnergyCutoff < 0 || s.EnergyCutoff > 1 {
+		return fmt.Errorf("mna: energy cutoff %g outside [0,1]", s.EnergyCutoff)
+	}
+	return nil
+}
+
+// SpatialSystem is the stamped intra-die system: independent principal
+// dimensions zG (geometry field) followed by zL (Leff field).
+type SpatialSystem struct {
+	N   int
+	Ga  *sparse.Matrix
+	Ca  *sparse.Matrix
+	VDD float64
+
+	// DimsG + DimsL = Dims independent chaos dimensions.
+	Dims, DimsG, DimsL int
+
+	// GSens[k] = ∂G/∂z_k (nil where zero); CSens likewise for C. The
+	// geometry dims occupy k < DimsG, the Leff dims k >= DimsG.
+	GSens []*sparse.Matrix
+	CSens []*sparse.Matrix
+
+	// iSens[k][region] scales each source's current sensitivity.
+	iSens [][]float64
+
+	netlist *netlist.Netlist
+	padBase []float64
+	// padSens[k] = ∂(pad injection)/∂z_k (geometry dims only).
+	padSens [][]float64
+	regions int
+}
+
+// BuildSpatial stamps the netlist under the intra-die spatial model.
+// Every on-die resistor and gate capacitor must carry a Region tag in
+// range (the generator's grids do); pads attach to the region of their
+// node via the resistive stamps and are treated as region-free (package
+// metal), except that their on-die effective conductance follows the
+// mean field, i.e. remains deterministic here for simplicity.
+func BuildSpatial(nl *netlist.Netlist, spec SpatialSpec) (*SpatialSystem, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	nreg := spec.RegionsPerAxis * spec.RegionsPerAxis
+	n := nl.NumNodes
+	// Nominal matrices and per-region sensitivity stamps.
+	ga := sparse.NewTriplet(n, n, 4*len(nl.Resistors)+len(nl.Pads))
+	ca := sparse.NewTriplet(n, n, 4*len(nl.Caps))
+	gReg := make([]*sparse.Triplet, nreg)
+	cReg := make([]*sparse.Triplet, nreg)
+	for r := 0; r < nreg; r++ {
+		gReg[r] = sparse.NewTriplet(n, n, 16)
+		cReg[r] = sparse.NewTriplet(n, n, 16)
+	}
+	stamp := func(t *sparse.Triplet, a, b int, v float64) {
+		if a != netlist.Ground {
+			t.Add(a, a, v)
+		}
+		if b != netlist.Ground {
+			t.Add(b, b, v)
+		}
+		if a != netlist.Ground && b != netlist.Ground {
+			t.Add(a, b, -v)
+			t.Add(b, a, -v)
+		}
+	}
+	for _, r := range nl.Resistors {
+		g := 1 / r.Ohms
+		stamp(ga, r.A, r.B, g)
+		if r.OnDie {
+			if r.Region < 0 || r.Region >= nreg {
+				return nil, fmt.Errorf("mna: resistor %q region %d outside [0,%d)", r.Name, r.Region, nreg)
+			}
+			stamp(gReg[r.Region], r.A, r.B, g)
+		}
+	}
+	for _, c := range nl.Caps {
+		stamp(ca, c.A, c.B, c.Farads)
+		if c.GateFrac > 0 {
+			if c.Region < 0 || c.Region >= nreg {
+				return nil, fmt.Errorf("mna: capacitor %q region %d outside [0,%d)", c.Name, c.Region, nreg)
+			}
+			stamp(cReg[c.Region], c.A, c.B, c.Farads*c.GateFrac)
+		}
+	}
+	padBase := make([]float64, n)
+	vdd := 0.0
+	for _, p := range nl.Pads {
+		g := 1 / p.Rpin
+		ga.Add(p.Node, p.Node, g)
+		padBase[p.Node] += g * p.VDD
+		if p.VDD > vdd {
+			vdd = p.VDD
+		}
+	}
+	// Spatial covariance over the region grid and its PCA.
+	cov := spatialCovariance(spec.RegionsPerAxis, spec.CorrLength)
+	pca, err := randvar.NewPCA(make([]float64, nreg), cov)
+	if err != nil {
+		return nil, fmt.Errorf("mna: spatial covariance: %w", err)
+	}
+	cut := spec.EnergyCutoff
+	if cut == 0 {
+		cut = 0.99
+	}
+	dims := truncateDims(pca.Lambda, cut, spec.MaxDims)
+	// Per-principal-dimension weights w_k[r] = √λ_k·V[k][r].
+	weight := func(k, r int) float64 {
+		return math.Sqrt(pca.Lambda[k]) * pca.Vecs[k][r]
+	}
+	gRegM := make([]*sparse.Matrix, nreg)
+	cRegM := make([]*sparse.Matrix, nreg)
+	for r := 0; r < nreg; r++ {
+		gRegM[r] = gReg[r].Compile()
+		cRegM[r] = cReg[r].Compile()
+	}
+	sys := &SpatialSystem{
+		N: n, Ga: ga.Compile(), Ca: ca.Compile(), VDD: vdd,
+		DimsG: dims, DimsL: dims, Dims: 2 * dims,
+		netlist: nl, padBase: padBase, regions: nreg,
+	}
+	sys.GSens = make([]*sparse.Matrix, sys.Dims)
+	sys.CSens = make([]*sparse.Matrix, sys.Dims)
+	sys.iSens = make([][]float64, sys.Dims)
+	sys.padSens = make([][]float64, sys.Dims)
+	for k := 0; k < dims; k++ {
+		// Geometry dim k: conductance field.
+		acc := sparse.NewMatrix(n, n)
+		for r := 0; r < nreg; r++ {
+			w := spec.KG * weight(k, r)
+			if w != 0 && gRegM[r].NNZ() > 0 {
+				acc = sparse.Add(1, acc, w, gRegM[r])
+			}
+		}
+		sys.GSens[k] = acc
+		// Leff dim (offset by DimsG): gate capacitance + currents.
+		accC := sparse.NewMatrix(n, n)
+		for r := 0; r < nreg; r++ {
+			w := spec.KCL * weight(k, r)
+			if w != 0 && cRegM[r].NNZ() > 0 {
+				accC = sparse.Add(1, accC, w, cRegM[r])
+			}
+		}
+		sys.CSens[dims+k] = accC
+		is := make([]float64, nreg)
+		for r := 0; r < nreg; r++ {
+			is[r] = spec.KIL * weight(k, r)
+		}
+		sys.iSens[dims+k] = is
+	}
+	return sys, nil
+}
+
+// spatialCovariance builds the unit-variance exponential kernel over an
+// R×R region grid: Cov[r][s] = exp(−dist(r,s)/L); L = 0 is the identity.
+func spatialCovariance(rPerAxis int, corrLength float64) [][]float64 {
+	nreg := rPerAxis * rPerAxis
+	cov := make([][]float64, nreg)
+	for i := range cov {
+		cov[i] = make([]float64, nreg)
+	}
+	for a := 0; a < nreg; a++ {
+		ax, ay := a%rPerAxis, a/rPerAxis
+		for b := 0; b < nreg; b++ {
+			bx, by := b%rPerAxis, b/rPerAxis
+			d := math.Hypot(float64(ax-bx), float64(ay-by))
+			switch {
+			case a == b:
+				cov[a][b] = 1
+			case corrLength <= 0:
+				cov[a][b] = 0
+			default:
+				cov[a][b] = math.Exp(-d / corrLength)
+			}
+		}
+	}
+	return cov
+}
+
+// truncateDims returns the number of leading eigenvalues reaching the
+// energy cutoff, subject to the cap.
+func truncateDims(lambda []float64, cutoff float64, maxDims int) int {
+	total := 0.0
+	for _, l := range lambda {
+		if l > 0 {
+			total += l
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	acc := 0.0
+	dims := 0
+	for _, l := range lambda {
+		if l <= 0 {
+			break
+		}
+		acc += l
+		dims++
+		if acc/total >= cutoff {
+			break
+		}
+	}
+	if maxDims > 0 && dims > maxDims {
+		dims = maxDims
+	}
+	if dims == 0 {
+		dims = 1
+	}
+	return dims
+}
+
+// RHS fills ua and the per-dimension excitation sensitivities (length
+// Dims; entries may be nil to skip).
+func (s *SpatialSystem) RHS(t float64, ua []float64, sens [][]float64) {
+	if ua != nil {
+		copy(ua, s.padBase)
+	}
+	for k := range sens {
+		if sens[k] != nil {
+			for i := range sens[k] {
+				sens[k][i] = 0
+			}
+		}
+	}
+	for _, src := range s.netlist.Sources {
+		iv := src.Wave.At(t)
+		if ua != nil {
+			ua[src.A] -= iv
+		}
+		if src.LeffSens == 0 || src.Region < 0 {
+			continue
+		}
+		for k := range sens {
+			if sens[k] == nil || s.iSens[k] == nil {
+				continue
+			}
+			sens[k][src.A] -= iv * src.LeffSens * s.iSens[k][src.Region]
+		}
+	}
+}
+
+// Realize returns deterministic matrices and RHS for one draw of the
+// principal variables z (length Dims).
+func (s *SpatialSystem) Realize(z []float64) (g, c *sparse.Matrix, rhs func(t float64, u []float64)) {
+	if len(z) != s.Dims {
+		panic(fmt.Sprintf("mna: Realize needs %d variables, got %d", s.Dims, len(z)))
+	}
+	g = s.Ga
+	for k, zk := range z {
+		if s.GSens[k] != nil && s.GSens[k].NNZ() > 0 && zk != 0 {
+			g = sparse.Add(1, g, zk, s.GSens[k])
+		}
+	}
+	c = s.Ca
+	for k, zk := range z {
+		if s.CSens[k] != nil && s.CSens[k].NNZ() > 0 && zk != 0 {
+			c = sparse.Add(1, c, zk, s.CSens[k])
+		}
+	}
+	if g == s.Ga {
+		g = s.Ga.Clone()
+	}
+	if c == s.Ca {
+		c = s.Ca.Clone()
+	}
+	ua := make([]float64, s.N)
+	sens := make([][]float64, s.Dims)
+	for k := range sens {
+		sens[k] = make([]float64, s.N)
+	}
+	rhs = func(t float64, u []float64) {
+		s.RHS(t, ua, sens)
+		for i := range u {
+			u[i] = ua[i]
+			for k, zk := range z {
+				u[i] += zk * sens[k][i]
+			}
+		}
+	}
+	return g, c, rhs
+}

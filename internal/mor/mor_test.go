@@ -1,0 +1,291 @@
+package mor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"opera/internal/factor"
+	"opera/internal/sparse"
+)
+
+// rcGrid builds an SPD RC mesh with a pad conductance at node 0.
+func rcGrid(rows, cols int) (*sparse.Matrix, *sparse.Matrix) {
+	n := rows * cols
+	g := sparse.NewTriplet(n, n, 5*n)
+	c := sparse.NewTriplet(n, n, n)
+	id := func(r, cc int) int { return r*cols + cc }
+	for r := 0; r < rows; r++ {
+		for cc := 0; cc < cols; cc++ {
+			v := id(r, cc)
+			if cc+1 < cols {
+				g.Add(v, v, 1)
+				g.Add(id(r, cc+1), id(r, cc+1), 1)
+				g.Add(v, id(r, cc+1), -1)
+				g.Add(id(r, cc+1), v, -1)
+			}
+			if r+1 < rows {
+				g.Add(v, v, 1)
+				g.Add(id(r+1, cc), id(r+1, cc), 1)
+				g.Add(v, id(r+1, cc), -1)
+				g.Add(id(r+1, cc), v, -1)
+			}
+			c.Add(v, v, 1e-12)
+		}
+	}
+	g.Add(0, 0, 10) // pad
+	return g.Compile(), c.Compile()
+}
+
+func TestReduceBasisOrthonormal(t *testing.T) {
+	g, c := rcGrid(8, 8)
+	red, err := Reduce(g, c, Options{Ports: []int{63, 32}, Moments: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < red.K; i++ {
+		for j := 0; j <= i; j++ {
+			d := dot(red.V[i], red.V[j])
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(d-want) > 1e-10 {
+				t.Fatalf("V not orthonormal at (%d,%d): %g", i, j, d)
+			}
+		}
+	}
+	if red.K > 6 {
+		t.Errorf("reduced size %d, expected <= moments*ports = 6", red.K)
+	}
+}
+
+func TestReducedPreservesSPD(t *testing.T) {
+	g, c := rcGrid(7, 9)
+	red, err := Reduce(g, c, Options{Ports: []int{10, 40}, Moments: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Congruence transforms preserve definiteness: dense Cholesky of Gr
+	// and Cr must succeed.
+	for name, m := range map[string][][]float64{"Gr": red.Gr, "Cr": red.Cr} {
+		if !denseSPD(m) {
+			t.Errorf("%s is not positive definite", name)
+		}
+	}
+}
+
+func denseSPD(a [][]float64) bool {
+	n := len(a)
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = append([]float64(nil), a[i]...)
+	}
+	for j := 0; j < n; j++ {
+		d := l[j][j]
+		for k := 0; k < j; k++ {
+			d -= l[j][k] * l[j][k]
+		}
+		if d <= 0 {
+			return false
+		}
+		d = math.Sqrt(d)
+		l[j][j] = d
+		for i := j + 1; i < n; i++ {
+			s := l[i][j]
+			for k := 0; k < j; k++ {
+				s -= l[i][k] * l[j][k]
+			}
+			l[i][j] = s / d
+		}
+	}
+	return true
+}
+
+// TestDCMomentMatching: the reduced model must reproduce the DC port
+// resistance matrix H(0) = Bᵀ·G⁻¹·B exactly (0th moment at any s0 with
+// q >= 1 matches about s0; at s=s0 the match is exact — we test at the
+// expansion point).
+func TestTransferMatchAtExpansionPoint(t *testing.T) {
+	g, c := rcGrid(6, 6)
+	ports := []int{35, 20}
+	s0 := 1e11
+	red, err := Reduce(g, c, Options{Ports: ports, Moments: 2, S0: s0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := red.PortTransfer(s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full model H(s0).
+	shifted := sparse.Add(1, g, s0, c)
+	fac, err := factor.Cholesky(shifted, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, pj := range ports {
+		e := make([]float64, g.Rows)
+		e[pj] = 1
+		x := fac.Solve(e)
+		for i, pi := range ports {
+			want := x[pi]
+			if math.Abs(hr[i][j]-want) > 1e-9*(1+math.Abs(want)) {
+				t.Errorf("H(s0)[%d][%d] = %g, want %g", i, j, hr[i][j], want)
+			}
+		}
+	}
+}
+
+// TestMomentMatchingDerivative: with q = 2 the first derivative of the
+// transfer function about s0 must also match (finite difference).
+func TestMomentMatchingDerivative(t *testing.T) {
+	g, c := rcGrid(6, 6)
+	ports := []int{35}
+	s0 := 1e11
+	red, err := Reduce(g, c, Options{Ports: ports, Moments: 3, S0: s0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := func(s float64) float64 {
+		shifted := sparse.Add(1, g, s, c)
+		fac, err := factor.Cholesky(shifted, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := make([]float64, g.Rows)
+		e[ports[0]] = 1
+		return fac.Solve(e)[ports[0]]
+	}
+	hr := func(s float64) float64 {
+		m, err := red.PortTransfer(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m[0][0]
+	}
+	ds := s0 * 1e-4
+	dFull := (h(s0+ds) - h(s0-ds)) / (2 * ds)
+	dRed := (hr(s0+ds) - hr(s0-ds)) / (2 * ds)
+	if math.Abs(dFull-dRed) > 1e-4*math.Abs(dFull) {
+		t.Errorf("derivative mismatch: full %g, reduced %g", dFull, dRed)
+	}
+}
+
+func TestReducedTransientTracksFull(t *testing.T) {
+	g, c := rcGrid(8, 8)
+	port := 63
+	red, err := Reduce(g, c, Options{Ports: []int{port}, Moments: 10, S0: 2e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full reference: inject a ramped pulse at the port (moment-matched
+	// models approximate band-limited inputs; a discontinuity would
+	// excite frequencies far beyond the matched moments).
+	iAt := func(tt float64) float64 {
+		const rise, top, fall = 1e-11, 2.5e-11, 4e-11
+		switch {
+		case tt <= 0 || tt >= fall:
+			return 0
+		case tt < rise:
+			return 1e-3 * tt / rise
+		case tt < top:
+			return 1e-3
+		default:
+			return 1e-3 * (fall - tt) / (fall - top)
+		}
+	}
+	step := 1e-12
+	steps := 80
+	comp := sparse.Add(1, g, 1/step, c)
+	fac, err := factor.Cholesky(comp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gfac, err := factor.Cholesky(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.Rows
+	u := make([]float64, n)
+	u[port] = iAt(0)
+	x := gfac.Solve(u)
+	full := []float64{x[port]}
+	cx := make([]float64, n)
+	for s := 1; s <= steps; s++ {
+		u[port] = iAt(float64(s) * step)
+		c.MulVec(cx, x)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = cx[i]/step + u[i]
+		}
+		fac.SolveTo(x, b)
+		full = append(full, x[port])
+	}
+	var reduced []float64
+	err = red.Transient(step, steps, func(tt float64, out []float64) {
+		out[0] = iAt(tt)
+	}, func(idx int, tt float64, ports []float64) {
+		reduced = append(reduced, ports[0])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reduced) != len(full) {
+		t.Fatalf("lengths %d vs %d", len(reduced), len(full))
+	}
+	maxV := 0.0
+	for _, v := range full {
+		if math.Abs(v) > maxV {
+			maxV = math.Abs(v)
+		}
+	}
+	for i := range full {
+		if math.Abs(full[i]-reduced[i]) > 0.03*maxV {
+			t.Fatalf("step %d: full %g vs reduced %g (max %g)", i, full[i], reduced[i], maxV)
+		}
+	}
+}
+
+func TestReduceValidation(t *testing.T) {
+	g, c := rcGrid(3, 3)
+	if _, err := Reduce(g, c, Options{}); err == nil {
+		t.Error("no ports accepted")
+	}
+	if _, err := Reduce(g, c, Options{Ports: []int{99}}); err == nil {
+		t.Error("out-of-range port accepted")
+	}
+}
+
+func TestDenseLURandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(8)
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.NormFloat64()
+			}
+			a[i][i] += 3
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		lu, piv, err := denseLU(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := denseLUSolve(lu, piv, b)
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += a[i][j] * x[j]
+			}
+			if math.Abs(s-b[i]) > 1e-9 {
+				t.Fatalf("residual %g", s-b[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package netlist_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"opera/internal/netlist"
+)
+
+// ExamplePWL interpolates a triangular current pulse.
+func ExamplePWL() {
+	wave, err := netlist.NewPWL(
+		[]float64{0, 1e-9, 2e-9},
+		[]float64{0, 1e-3, 0},
+	)
+	if err != nil {
+		panic(err)
+	}
+	for _, t := range []float64{0, 0.5e-9, 1e-9, 1.5e-9, 3e-9} {
+		fmt.Printf("i(%.1f ns) = %.2f mA\n", t*1e9, wave.At(t)*1e3)
+	}
+	// Output:
+	// i(0.0 ns) = 0.00 mA
+	// i(0.5 ns) = 0.50 mA
+	// i(1.0 ns) = 1.00 mA
+	// i(1.5 ns) = 0.50 mA
+	// i(3.0 ns) = 0.00 mA
+}
+
+// ExampleWrite shows the text netlist format round-tripping.
+func ExampleWrite() {
+	nl := &netlist.Netlist{
+		NumNodes: 2,
+		Resistors: []netlist.Resistor{
+			{Name: "m1", A: 0, B: 1, Ohms: 2.5, OnDie: true, Region: 0},
+		},
+		Caps: []netlist.Capacitor{
+			{Name: "c1", A: 1, B: netlist.Ground, Farads: 1e-13, GateFrac: 0.4, Region: 0},
+		},
+		Sources: []netlist.CurrentSource{
+			{Name: "s1", A: 1, Wave: netlist.DC(0.001), LeffSens: 1, Region: 0},
+		},
+		Pads: []netlist.Pad{
+			{Name: "p1", Node: 0, VDD: 1.2, Rpin: 0.05, OnDie: true},
+		},
+	}
+	var buf bytes.Buffer
+	if err := netlist.Write(&buf, nl); err != nil {
+		panic(err)
+	}
+	fmt.Print(buf.String())
+	// Output:
+	// * OPERA power grid netlist
+	// .nodes 2
+	// Rm1 1 2 2.5 ondie=1 region=0
+	// Cc1 2 0 1e-13 gatefrac=0.4 region=0
+	// Is1 2 DC(0.001) leffsens=1 region=0 leakage=0
+	// Pp1 1 1.2 0.05 ondie=1
+	// .end
+}

@@ -1,0 +1,148 @@
+// Package netlist defines the circuit-level model of a power grid: an
+// RC network of metal resistors, decoupling/load capacitors, transient
+// drain-current sources for the functional blocks, and supply pads
+// (ideal VDD behind a package pin resistance, per the paper's §3). It
+// also provides a SPICE-like text format so grids can be generated,
+// stored and re-analyzed by the command-line tools.
+//
+// Node convention: nodes are integers 0..NumNodes-1; Ground (-1)
+// denotes the reference node (written as node "0" in the text format,
+// with circuit nodes shifted to 1-based ids).
+package netlist
+
+import "fmt"
+
+// Ground is the reference node id.
+const Ground = -1
+
+// Resistor is a two-terminal resistance. OnDie marks metal whose
+// conductance varies with the interconnect geometry variables (W, T —
+// the paper's ξG); package/pin resistances are off-die and fixed.
+type Resistor struct {
+	Name  string
+	A, B  int
+	Ohms  float64
+	OnDie bool
+	// Region is the intra-die region for spatial (within-die) variation
+	// models; -1 means unassigned (inter-die-only analyses ignore it).
+	Region int
+}
+
+// Capacitor is a two-terminal capacitance. GateFrac is the fraction of
+// the capacitance contributed by MOS gate capacitance, which varies
+// with Leff (the paper assumes 40% grid-wide); the remaining fraction is
+// interconnect/diffusion capacitance treated as fixed.
+type Capacitor struct {
+	Name     string
+	A, B     int
+	Farads   float64
+	GateFrac float64
+	// Region is the intra-die region of the load; -1 means unassigned.
+	Region int
+}
+
+// CurrentSource models a functional block's drain current: a transient
+// waveform drawn from node A to ground. LeffSens is the relative
+// first-order sensitivity of the current to the normalized Leff
+// variable (paper: drain and leakage currents "vary significantly with
+// Leff"). Region identifies the intra-die region for the §5.1 special
+// case; -1 means no region assignment. Leakage marks the source as a
+// subthreshold/gate leakage component, which the §5.1 analysis treats
+// as lognormally distributed under threshold-voltage variation.
+type CurrentSource struct {
+	Name     string
+	A        int
+	Wave     Waveform
+	LeffSens float64
+	Region   int
+	Leakage  bool
+}
+
+// Pad is a supply connection: an ideal VDD source in series with the
+// package pin resistance Rpin, attached to a grid node. It is
+// Norton-transformed during MNA stamping. OnDie marks the pad's
+// effective resistance as belonging to on-die metal (and therefore
+// varying with ξG, which produces the paper's Ug·ξG excitation term).
+type Pad struct {
+	Name  string
+	Node  int
+	VDD   float64
+	Rpin  float64
+	OnDie bool
+}
+
+// Netlist is a complete power grid description.
+type Netlist struct {
+	NumNodes  int
+	Resistors []Resistor
+	Caps      []Capacitor
+	Sources   []CurrentSource
+	Pads      []Pad
+}
+
+// Validate checks node ranges and element values.
+func (n *Netlist) Validate() error {
+	checkNode := func(kind, name string, node int, allowGround bool) error {
+		if node == Ground && allowGround {
+			return nil
+		}
+		if node < 0 || node >= n.NumNodes {
+			return fmt.Errorf("netlist: %s %q references node %d (grid has %d nodes)", kind, name, node, n.NumNodes)
+		}
+		return nil
+	}
+	for _, r := range n.Resistors {
+		if err := checkNode("resistor", r.Name, r.A, true); err != nil {
+			return err
+		}
+		if err := checkNode("resistor", r.Name, r.B, true); err != nil {
+			return err
+		}
+		if r.A == r.B {
+			return fmt.Errorf("netlist: resistor %q is shorted to itself", r.Name)
+		}
+		if r.Ohms <= 0 {
+			return fmt.Errorf("netlist: resistor %q has nonpositive value %g", r.Name, r.Ohms)
+		}
+	}
+	for _, c := range n.Caps {
+		if err := checkNode("capacitor", c.Name, c.A, true); err != nil {
+			return err
+		}
+		if err := checkNode("capacitor", c.Name, c.B, true); err != nil {
+			return err
+		}
+		if c.Farads < 0 {
+			return fmt.Errorf("netlist: capacitor %q has negative value %g", c.Name, c.Farads)
+		}
+		if c.GateFrac < 0 || c.GateFrac > 1 {
+			return fmt.Errorf("netlist: capacitor %q gate fraction %g outside [0,1]", c.Name, c.GateFrac)
+		}
+	}
+	for _, s := range n.Sources {
+		if err := checkNode("source", s.Name, s.A, false); err != nil {
+			return err
+		}
+		if s.Wave == nil {
+			return fmt.Errorf("netlist: source %q has no waveform", s.Name)
+		}
+	}
+	for _, p := range n.Pads {
+		if err := checkNode("pad", p.Name, p.Node, false); err != nil {
+			return err
+		}
+		if p.Rpin <= 0 {
+			return fmt.Errorf("netlist: pad %q has nonpositive pin resistance %g", p.Name, p.Rpin)
+		}
+	}
+	if len(n.Pads) == 0 {
+		return fmt.Errorf("netlist: grid has no supply pads; the conductance matrix would be singular")
+	}
+	return nil
+}
+
+// Stats summarizes element counts for reports.
+func (n *Netlist) Stats() string {
+	return fmt.Sprintf("%d nodes, %d resistors, %d capacitors, %d current sources, %d pads",
+		n.NumNodes, len(n.Resistors), len(n.Caps), len(n.Sources), len(n.Pads))
+}

@@ -1,0 +1,318 @@
+package netlist
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPWLInterpolation(t *testing.T) {
+	p, err := NewPWL([]float64{0, 1, 3}, []float64{0, 10, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[float64]float64{
+		-1:  0, // before first point: hold
+		0:   0,
+		0.5: 5,
+		1:   10,
+		2:   5,
+		3:   0,
+		9:   0, // after last point: hold
+	}
+	for tt, want := range cases {
+		if got := p.At(tt); math.Abs(got-want) > 1e-12 {
+			t.Errorf("At(%g) = %g, want %g", tt, got, want)
+		}
+	}
+}
+
+func TestPWLRejectsUnsorted(t *testing.T) {
+	if _, err := NewPWL([]float64{1, 0}, []float64{0, 0}); err == nil {
+		t.Error("expected error for unsorted times")
+	}
+	if _, err := NewPWL([]float64{1}, []float64{}); err == nil {
+		t.Error("expected error for mismatched lengths")
+	}
+}
+
+func TestPulseShape(t *testing.T) {
+	p := &Pulse{Low: 1, High: 5, Delay: 10, Rise: 2, Width: 4, Fall: 2, Period: 20}
+	cases := map[float64]float64{
+		0:  1, // before delay
+		10: 1, // start of rise
+		11: 3, // mid rise
+		12: 5, // top
+		15: 5,
+		16: 5, // end of width
+		17: 3, // mid fall
+		18: 1, // low again
+		30: 1, // next period start of rise
+		32: 5, // next period top
+	}
+	for tt, want := range cases {
+		if got := p.At(tt); math.Abs(got-want) > 1e-9 {
+			t.Errorf("Pulse.At(%g) = %g, want %g", tt, got, want)
+		}
+	}
+}
+
+func TestPeriodicWrapsNegativeAndPositive(t *testing.T) {
+	inner, _ := NewPWL([]float64{0, 1}, []float64{0, 1})
+	p := &Periodic{Inner: inner, Period: 1}
+	if got := p.At(2.25); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("At(2.25) = %g", got)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := &Scaled{Inner: DC(3), Gain: -2}
+	if s.At(0) != -6 {
+		t.Errorf("scaled DC = %g", s.At(0))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Netlist{
+		NumNodes:  2,
+		Resistors: []Resistor{{Name: "1", A: 0, B: 1, Ohms: 1, OnDie: true}},
+		Caps:      []Capacitor{{Name: "1", A: 1, B: Ground, Farads: 1e-15, GateFrac: 0.4}},
+		Sources:   []CurrentSource{{Name: "1", A: 1, Wave: DC(1e-3), Region: -1}},
+		Pads:      []Pad{{Name: "1", Node: 0, VDD: 1.2, Rpin: 0.1, OnDie: true}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid netlist rejected: %v", err)
+	}
+	bad := *good
+	bad.Resistors = []Resistor{{Name: "x", A: 0, B: 5, Ohms: 1}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	bad = *good
+	bad.Resistors = []Resistor{{Name: "x", A: 0, B: 1, Ohms: -2}}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative resistance accepted")
+	}
+	bad = *good
+	bad.Pads = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("padless grid accepted")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	pwl, _ := NewPWL([]float64{0, 1e-9, 2e-9}, []float64{0, 5e-3, 0})
+	nl := &Netlist{
+		NumNodes: 4,
+		Resistors: []Resistor{
+			{Name: "a", A: 0, B: 1, Ohms: 2.5, OnDie: true},
+			{Name: "b", A: 1, B: Ground, Ohms: 100},
+		},
+		Caps: []Capacitor{
+			{Name: "c1", A: 2, B: Ground, Farads: 3e-15, GateFrac: 0.4},
+		},
+		Sources: []CurrentSource{
+			{Name: "s1", A: 2, Wave: pwl, LeffSens: 1, Region: 2},
+			{Name: "s2", A: 3, Wave: &Periodic{Inner: pwl, Period: 2e-9}, LeffSens: 0.5, Region: -1},
+			{Name: "s3", A: 1, Wave: &Pulse{Low: 0, High: 1e-3, Delay: 1e-10, Rise: 1e-10, Width: 3e-10, Fall: 1e-10, Period: 2e-9}, Region: -1},
+			{Name: "s4", A: 0, Wave: &Scaled{Inner: DC(2e-4), Gain: 3}, Region: -1},
+		},
+		Pads: []Pad{
+			{Name: "p1", Node: 0, VDD: 1.2, Rpin: 0.05, OnDie: true},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("parse failed: %v\ntext:\n%s", err, buf.String())
+	}
+	if got.NumNodes != 4 {
+		t.Errorf("NumNodes = %d", got.NumNodes)
+	}
+	if len(got.Resistors) != 2 || len(got.Caps) != 1 || len(got.Sources) != 4 || len(got.Pads) != 1 {
+		t.Fatalf("element counts wrong: %s", got.Stats())
+	}
+	if got.Resistors[0].B != 1 || !got.Resistors[0].OnDie {
+		t.Errorf("resistor a wrong: %+v", got.Resistors[0])
+	}
+	if got.Resistors[1].B != Ground {
+		t.Errorf("ground not restored: %+v", got.Resistors[1])
+	}
+	if got.Caps[0].GateFrac != 0.4 {
+		t.Errorf("gatefrac = %g", got.Caps[0].GateFrac)
+	}
+	if got.Sources[0].Region != 2 || got.Sources[0].LeffSens != 1 {
+		t.Errorf("source attrs wrong: %+v", got.Sources[0])
+	}
+	// Waveforms evaluate identically.
+	for i, s := range nl.Sources {
+		for _, tt := range []float64{0, 3e-10, 1e-9, 2.5e-9, 7e-9} {
+			if a, b := s.Wave.At(tt), got.Sources[i].Wave.At(tt); math.Abs(a-b) > 1e-15 {
+				t.Errorf("source %d waveform differs at %g: %g vs %g", i, tt, a, b)
+			}
+		}
+	}
+	if got.Pads[0].VDD != 1.2 || got.Pads[0].Rpin != 0.05 || !got.Pads[0].OnDie {
+		t.Errorf("pad wrong: %+v", got.Pads[0])
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		".nodes 2\nR1 1 2 1\n",                       // missing .end
+		".nodes 2\nR1 1 9 1 ondie=0\n.end\n",         // bad node
+		".nodes 2\nXfoo 1 2\n.end\n",                 // unknown card
+		".nodes 2\nI1 1 PWL(0 0 1\n.end\n",           // unclosed PWL
+		".nodes 1\nP1 1 1.2 0.1 ondie=1\n.end\nR1\n", // content after .end
+	}
+	for i, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected parse error", i)
+		}
+	}
+}
+
+func TestReadIgnoresCommentsAndBlank(t *testing.T) {
+	src := `* header comment
+
+.nodes 2
+* elements
+R1 1 2 1 ondie=1
+P1 1 1.0 0.1 ondie=0
+.end
+`
+	nl, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Resistors) != 1 || len(nl.Pads) != 1 {
+		t.Errorf("parsed %s", nl.Stats())
+	}
+}
+
+func TestStats(t *testing.T) {
+	nl := &Netlist{NumNodes: 3, Pads: []Pad{{Name: "p", Node: 0, VDD: 1, Rpin: 1}}}
+	s := nl.Stats()
+	if !strings.Contains(s, "3 nodes") || !strings.Contains(s, "1 pads") {
+		t.Errorf("Stats = %q", s)
+	}
+}
+
+func TestWaveformFormats(t *testing.T) {
+	pwl, _ := NewPWL([]float64{0, 1}, []float64{0, 2})
+	cases := []struct {
+		w    Waveform
+		want string
+	}{
+		{DC(3), "DC(3)"},
+		{pwl, "PWL(0 0 1 2)"},
+		{&Pulse{Low: 0, High: 1, Delay: 2, Rise: 3, Width: 4, Fall: 5, Period: 6}, "PULSE(0 1 2 3 4 5 6)"},
+		{&Periodic{Inner: DC(1), Period: 7}, "PER(7 DC(1))"},
+		{&Scaled{Inner: DC(2), Gain: -1}, "SCALE(-1 DC(2))"},
+	}
+	for _, tc := range cases {
+		if got := tc.w.Format(); got != tc.want {
+			t.Errorf("Format = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestParseErrorsDetailed(t *testing.T) {
+	cases := []string{
+		".nodes x\n.end\n",                          // bad node count
+		".nodes 2\nR1 1 2\n.end\n",                  // resistor missing value
+		".nodes 2\nR1 a 2 1\n.end\n",                // bad node token
+		".nodes 2\nR1 1 2 abc\n.end\n",              // bad resistance
+		".nodes 2\nR1 1 2 1 bogus\n.end\n",          // non-kv tail
+		".nodes 2\nR1 1 2 1 region=z\n.end\n",       // bad region
+		".nodes 2\nC1 1 0 x\n.end\n",                // bad capacitance
+		".nodes 2\nC1 1 0 1e-15 gatefrac=z\n.end\n", // bad gatefrac
+		".nodes 2\nC1 1 0 1e-15 region=z\n.end\n",   // bad cap region
+		".nodes 2\nI1 1 DC(x)\n.end\n",              // bad DC value
+		".nodes 2\nI1 1 DC(1\n.end\n",               // unclosed DC
+		".nodes 2\nI1 1 FOO(1)\n.end\n",             // unknown waveform
+		".nodes 2\nI1 1 DC(1) leffsens=z\n.end\n",   // bad leffsens
+		".nodes 2\nI1 1 DC(1) region=z\n.end\n",     // bad source region
+		".nodes 2\nI1 1 PULSE(1 2 3)\n.end\n",       // short PULSE
+		".nodes 2\nI1 1 PER(x DC(1))\n.end\n",       // bad period
+		".nodes 2\nI1 1 PER(1 DC(1)\n.end\n",        // unclosed PER
+		".nodes 2\nI1 1 SCALE(x DC(1))\n.end\n",     // bad gain
+		".nodes 2\nI1 1 SCALE(1 DC(1)\n.end\n",      // unclosed SCALE
+		".nodes 2\nI1 1 PWL(0 0 1)\n.end\n",         // odd PWL values
+		".nodes 2\nP1 1 1.2\n.end\n",                // short pad
+		".nodes 2\nP1 1 x 0.1\n.end\n",              // bad vdd
+		".nodes 2\nP1 1 1.2 x\n.end\n",              // bad rpin
+		".nodes 2\nP1 z 1.2 0.1\n.end\n",            // bad pad node
+		".nodes 2\n.nodes\n.end\n",                  // .nodes arity
+		".nodes 2\nI1 1 PWL(0 z)\n.end\n",           // bad PWL number
+	}
+	for i, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted: %q", i, src)
+		}
+	}
+}
+
+func TestValidateMoreCases(t *testing.T) {
+	base := func() *Netlist {
+		return &Netlist{
+			NumNodes: 2,
+			Pads:     []Pad{{Name: "p", Node: 0, VDD: 1, Rpin: 1}},
+		}
+	}
+	nl := base()
+	nl.Caps = []Capacitor{{Name: "c", A: 0, B: Ground, Farads: -1}}
+	if nl.Validate() == nil {
+		t.Error("negative capacitance accepted")
+	}
+	nl = base()
+	nl.Caps = []Capacitor{{Name: "c", A: 0, B: Ground, Farads: 1, GateFrac: 2}}
+	if nl.Validate() == nil {
+		t.Error("gatefrac > 1 accepted")
+	}
+	nl = base()
+	nl.Sources = []CurrentSource{{Name: "s", A: 0}}
+	if nl.Validate() == nil {
+		t.Error("source without waveform accepted")
+	}
+	nl = base()
+	nl.Sources = []CurrentSource{{Name: "s", A: Ground, Wave: DC(1)}}
+	if nl.Validate() == nil {
+		t.Error("grounded source accepted")
+	}
+	nl = base()
+	nl.Pads[0].Rpin = 0
+	if nl.Validate() == nil {
+		t.Error("zero pin resistance accepted")
+	}
+	nl = base()
+	nl.Pads[0].Node = 9
+	if nl.Validate() == nil {
+		t.Error("out-of-range pad accepted")
+	}
+}
+
+func TestPulseZeroRiseFall(t *testing.T) {
+	p := &Pulse{Low: 0, High: 1, Delay: 1, Rise: 0, Width: 2, Fall: 0, Period: 0}
+	if p.At(1.0) != 1 {
+		t.Errorf("instant rise At(1) = %g", p.At(1.0))
+	}
+	if p.At(3.5) != 0 {
+		t.Errorf("after instant fall At(3.5) = %g", p.At(3.5))
+	}
+	// Non-repeating: stays low after the single pulse.
+	if p.At(100) != 0 {
+		t.Errorf("single pulse repeated")
+	}
+}
+
+func TestPeriodicZeroPeriodPassthrough(t *testing.T) {
+	p := &Periodic{Inner: DC(5), Period: 0}
+	if p.At(3) != 5 {
+		t.Error("zero-period periodic should pass through")
+	}
+}

@@ -1,0 +1,340 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Write renders the netlist in the text format parsed by Read.
+func Write(w io.Writer, n *Netlist) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "* OPERA power grid netlist\n.nodes %d\n", n.NumNodes)
+	ext := func(node int) int { return node + 1 } // ground -1 -> 0
+	for _, r := range n.Resistors {
+		onDie := 0
+		if r.OnDie {
+			onDie = 1
+		}
+		fmt.Fprintf(bw, "R%s %d %d %g ondie=%d region=%d\n", r.Name, ext(r.A), ext(r.B), r.Ohms, onDie, r.Region)
+	}
+	for _, c := range n.Caps {
+		fmt.Fprintf(bw, "C%s %d %d %g gatefrac=%g region=%d\n", c.Name, ext(c.A), ext(c.B), c.Farads, c.GateFrac, c.Region)
+	}
+	for _, s := range n.Sources {
+		leak := 0
+		if s.Leakage {
+			leak = 1
+		}
+		fmt.Fprintf(bw, "I%s %d %s leffsens=%g region=%d leakage=%d\n",
+			s.Name, ext(s.A), s.Wave.Format(), s.LeffSens, s.Region, leak)
+	}
+	for _, p := range n.Pads {
+		onDie := 0
+		if p.OnDie {
+			onDie = 1
+		}
+		fmt.Fprintf(bw, "P%s %d %g %g ondie=%d\n", p.Name, ext(p.Node), p.VDD, p.Rpin, onDie)
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+// Read parses the text format produced by Write.
+func Read(r io.Reader) (*Netlist, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	n := &Netlist{}
+	line := 0
+	seenEnd := false
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "*") {
+			continue
+		}
+		if seenEnd {
+			return nil, fmt.Errorf("netlist: line %d: content after .end", line)
+		}
+		toks := tokenize(text)
+		if len(toks) == 0 {
+			continue
+		}
+		var err error
+		switch {
+		case toks[0] == ".nodes":
+			if len(toks) != 2 {
+				err = fmt.Errorf(".nodes takes one argument")
+				break
+			}
+			n.NumNodes, err = strconv.Atoi(toks[1])
+		case toks[0] == ".end":
+			seenEnd = true
+		case strings.HasPrefix(toks[0], "R"):
+			err = parseResistor(n, toks)
+		case strings.HasPrefix(toks[0], "C"):
+			err = parseCapacitor(n, toks)
+		case strings.HasPrefix(toks[0], "I"):
+			err = parseSource(n, toks)
+		case strings.HasPrefix(toks[0], "P"):
+			err = parsePad(n, toks)
+		default:
+			err = fmt.Errorf("unknown card %q", toks[0])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("netlist: line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: %w", err)
+	}
+	if !seenEnd {
+		return nil, fmt.Errorf("netlist: missing .end")
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// tokenize splits a card into words, separating parentheses so that
+// waveform expressions parse recursively.
+func tokenize(s string) []string {
+	s = strings.ReplaceAll(s, "(", " ( ")
+	s = strings.ReplaceAll(s, ")", " ) ")
+	return strings.Fields(s)
+}
+
+func parseNode(tok string) (int, error) {
+	v, err := strconv.Atoi(tok)
+	if err != nil {
+		return 0, fmt.Errorf("bad node %q", tok)
+	}
+	return v - 1, nil // external 0 = ground -> internal -1
+}
+
+// parseKV extracts key=value options from the tail of a card.
+func parseKV(toks []string) (map[string]string, error) {
+	kv := map[string]string{}
+	for _, t := range toks {
+		eq := strings.IndexByte(t, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("expected key=value, got %q", t)
+		}
+		kv[t[:eq]] = t[eq+1:]
+	}
+	return kv, nil
+}
+
+func parseResistor(n *Netlist, toks []string) error {
+	if len(toks) < 4 {
+		return fmt.Errorf("resistor needs nodes and value")
+	}
+	a, err := parseNode(toks[1])
+	if err != nil {
+		return err
+	}
+	b, err := parseNode(toks[2])
+	if err != nil {
+		return err
+	}
+	ohms, err := strconv.ParseFloat(toks[3], 64)
+	if err != nil {
+		return fmt.Errorf("bad resistance %q", toks[3])
+	}
+	kv, err := parseKV(toks[4:])
+	if err != nil {
+		return err
+	}
+	r := Resistor{Name: toks[0][1:], A: a, B: b, Ohms: ohms, OnDie: kv["ondie"] == "1", Region: -1}
+	if s, ok := kv["region"]; ok {
+		if r.Region, err = strconv.Atoi(s); err != nil {
+			return fmt.Errorf("bad region %q", s)
+		}
+	}
+	n.Resistors = append(n.Resistors, r)
+	return nil
+}
+
+func parseCapacitor(n *Netlist, toks []string) error {
+	if len(toks) < 4 {
+		return fmt.Errorf("capacitor needs nodes and value")
+	}
+	a, err := parseNode(toks[1])
+	if err != nil {
+		return err
+	}
+	b, err := parseNode(toks[2])
+	if err != nil {
+		return err
+	}
+	f, err := strconv.ParseFloat(toks[3], 64)
+	if err != nil {
+		return fmt.Errorf("bad capacitance %q", toks[3])
+	}
+	kv, err := parseKV(toks[4:])
+	if err != nil {
+		return err
+	}
+	gf := 0.0
+	if s, ok := kv["gatefrac"]; ok {
+		if gf, err = strconv.ParseFloat(s, 64); err != nil {
+			return fmt.Errorf("bad gatefrac %q", s)
+		}
+	}
+	cap := Capacitor{Name: toks[0][1:], A: a, B: b, Farads: f, GateFrac: gf, Region: -1}
+	if s, ok := kv["region"]; ok {
+		if cap.Region, err = strconv.Atoi(s); err != nil {
+			return fmt.Errorf("bad region %q", s)
+		}
+	}
+	n.Caps = append(n.Caps, cap)
+	return nil
+}
+
+func parseSource(n *Netlist, toks []string) error {
+	if len(toks) < 3 {
+		return fmt.Errorf("source needs node and waveform")
+	}
+	a, err := parseNode(toks[1])
+	if err != nil {
+		return err
+	}
+	wave, rest, err := parseWave(toks[2:])
+	if err != nil {
+		return err
+	}
+	kv, err := parseKV(rest)
+	if err != nil {
+		return err
+	}
+	src := CurrentSource{Name: toks[0][1:], A: a, Wave: wave, Region: -1}
+	if s, ok := kv["leffsens"]; ok {
+		if src.LeffSens, err = strconv.ParseFloat(s, 64); err != nil {
+			return fmt.Errorf("bad leffsens %q", s)
+		}
+	}
+	if s, ok := kv["region"]; ok {
+		if src.Region, err = strconv.Atoi(s); err != nil {
+			return fmt.Errorf("bad region %q", s)
+		}
+	}
+	src.Leakage = kv["leakage"] == "1"
+	n.Sources = append(n.Sources, src)
+	return nil
+}
+
+func parsePad(n *Netlist, toks []string) error {
+	if len(toks) < 4 {
+		return fmt.Errorf("pad needs node, vdd, rpin")
+	}
+	node, err := parseNode(toks[1])
+	if err != nil {
+		return err
+	}
+	vdd, err := strconv.ParseFloat(toks[2], 64)
+	if err != nil {
+		return fmt.Errorf("bad vdd %q", toks[2])
+	}
+	rpin, err := strconv.ParseFloat(toks[3], 64)
+	if err != nil {
+		return fmt.Errorf("bad rpin %q", toks[3])
+	}
+	kv, err := parseKV(toks[4:])
+	if err != nil {
+		return err
+	}
+	n.Pads = append(n.Pads, Pad{Name: toks[0][1:], Node: node, VDD: vdd, Rpin: rpin, OnDie: kv["ondie"] == "1"})
+	return nil
+}
+
+// parseWave parses one waveform expression from the token stream,
+// returning the waveform and the remaining tokens.
+func parseWave(toks []string) (Waveform, []string, error) {
+	if len(toks) < 3 || toks[1] != "(" {
+		return nil, nil, fmt.Errorf("expected waveform, got %v", toks)
+	}
+	kind := toks[0]
+	rest := toks[2:]
+	switch kind {
+	case "DC":
+		v, err := strconv.ParseFloat(rest[0], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad DC value %q", rest[0])
+		}
+		if len(rest) < 2 || rest[1] != ")" {
+			return nil, nil, fmt.Errorf("unclosed DC()")
+		}
+		return DC(v), rest[2:], nil
+	case "PWL":
+		var vals []float64
+		i := 0
+		for ; i < len(rest) && rest[i] != ")"; i++ {
+			v, err := strconv.ParseFloat(rest[i], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad PWL value %q", rest[i])
+			}
+			vals = append(vals, v)
+		}
+		if i == len(rest) {
+			return nil, nil, fmt.Errorf("unclosed PWL()")
+		}
+		if len(vals)%2 != 0 || len(vals) == 0 {
+			return nil, nil, fmt.Errorf("PWL needs time/value pairs")
+		}
+		ts := make([]float64, len(vals)/2)
+		vs := make([]float64, len(vals)/2)
+		for k := range ts {
+			ts[k] = vals[2*k]
+			vs[k] = vals[2*k+1]
+		}
+		p, err := NewPWL(ts, vs)
+		if err != nil {
+			return nil, nil, err
+		}
+		return p, rest[i+1:], nil
+	case "PULSE":
+		if len(rest) < 8 || rest[7] != ")" {
+			return nil, nil, fmt.Errorf("PULSE needs 7 values")
+		}
+		var v [7]float64
+		for k := 0; k < 7; k++ {
+			f, err := strconv.ParseFloat(rest[k], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad PULSE value %q", rest[k])
+			}
+			v[k] = f
+		}
+		return &Pulse{Low: v[0], High: v[1], Delay: v[2], Rise: v[3], Width: v[4], Fall: v[5], Period: v[6]}, rest[8:], nil
+	case "PER":
+		period, err := strconv.ParseFloat(rest[0], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad PER period %q", rest[0])
+		}
+		inner, rem, err := parseWave(rest[1:])
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(rem) == 0 || rem[0] != ")" {
+			return nil, nil, fmt.Errorf("unclosed PER()")
+		}
+		return &Periodic{Inner: inner, Period: period}, rem[1:], nil
+	case "SCALE":
+		gain, err := strconv.ParseFloat(rest[0], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad SCALE gain %q", rest[0])
+		}
+		inner, rem, err := parseWave(rest[1:])
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(rem) == 0 || rem[0] != ")" {
+			return nil, nil, fmt.Errorf("unclosed SCALE()")
+		}
+		return &Scaled{Inner: inner, Gain: gain}, rem[1:], nil
+	default:
+		return nil, nil, fmt.Errorf("unknown waveform %q", kind)
+	}
+}

@@ -1,0 +1,178 @@
+package netlist
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomNetlist builds a structurally valid random netlist.
+func randomNetlist(rng *rand.Rand) *Netlist {
+	n := 2 + rng.Intn(20)
+	nl := &Netlist{NumNodes: n}
+	nres := 1 + rng.Intn(3*n)
+	for i := 0; i < nres; i++ {
+		a := rng.Intn(n)
+		b := rng.Intn(n + 1) // n means ground
+		if b == n {
+			b = Ground
+		}
+		if a == b {
+			b = (a+1)%n + 0
+		}
+		nl.Resistors = append(nl.Resistors, Resistor{
+			Name: fmt.Sprintf("r%d", i), A: a, B: b,
+			Ohms:  math.Exp(rng.NormFloat64()),
+			OnDie: rng.Intn(2) == 0,
+		})
+	}
+	ncap := rng.Intn(2 * n)
+	for i := 0; i < ncap; i++ {
+		nl.Caps = append(nl.Caps, Capacitor{
+			Name: fmt.Sprintf("c%d", i), A: rng.Intn(n), B: Ground,
+			Farads:   math.Exp(rng.NormFloat64()) * 1e-13,
+			GateFrac: rng.Float64(),
+		})
+	}
+	nsrc := rng.Intn(n)
+	for i := 0; i < nsrc; i++ {
+		var wave Waveform
+		switch rng.Intn(4) {
+		case 0:
+			wave = DC(rng.Float64() * 1e-3)
+		case 1:
+			k := 2 + rng.Intn(4)
+			ts := make([]float64, k)
+			vs := make([]float64, k)
+			for j := range ts {
+				ts[j] = float64(j) * 1e-10
+				vs[j] = rng.Float64() * 1e-3
+			}
+			wave, _ = NewPWL(ts, vs)
+		case 2:
+			wave = &Pulse{
+				Low: 0, High: rng.Float64() * 1e-3,
+				Delay: rng.Float64() * 1e-10, Rise: 1e-11,
+				Width: rng.Float64() * 1e-10, Fall: 1e-11, Period: 2e-9,
+			}
+		default:
+			wave = &Scaled{Inner: DC(1e-3), Gain: rng.Float64()}
+		}
+		nl.Sources = append(nl.Sources, CurrentSource{
+			Name: fmt.Sprintf("s%d", i), A: rng.Intn(n), Wave: wave,
+			LeffSens: rng.Float64(), Region: rng.Intn(4) - 1,
+			Leakage: rng.Intn(3) == 0,
+		})
+	}
+	npad := 1 + rng.Intn(3)
+	for i := 0; i < npad; i++ {
+		nl.Pads = append(nl.Pads, Pad{
+			Name: fmt.Sprintf("p%d", i), Node: rng.Intn(n),
+			VDD: 0.9 + rng.Float64(), Rpin: 0.01 + rng.Float64(),
+			OnDie: rng.Intn(2) == 0,
+		})
+	}
+	return nl
+}
+
+// TestRoundTripProperty: Write∘Read is the identity on structure and on
+// waveform samples for arbitrary valid netlists.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl := randomNetlist(rng)
+		if err := nl.Validate(); err != nil {
+			t.Logf("generator produced invalid netlist: %v", err)
+			return false
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, nl); err != nil {
+			t.Logf("write: %v", err)
+			return false
+		}
+		got, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Logf("read: %v\n%s", err, buf.String())
+			return false
+		}
+		if got.NumNodes != nl.NumNodes ||
+			len(got.Resistors) != len(nl.Resistors) ||
+			len(got.Caps) != len(nl.Caps) ||
+			len(got.Sources) != len(nl.Sources) ||
+			len(got.Pads) != len(nl.Pads) {
+			return false
+		}
+		for i, r := range nl.Resistors {
+			g := got.Resistors[i]
+			if g.A != r.A || g.B != r.B || g.OnDie != r.OnDie ||
+				math.Abs(g.Ohms-r.Ohms) > 1e-12*r.Ohms {
+				return false
+			}
+		}
+		for i, c := range nl.Caps {
+			g := got.Caps[i]
+			if g.A != c.A || math.Abs(g.Farads-c.Farads) > 1e-12*c.Farads ||
+				math.Abs(g.GateFrac-c.GateFrac) > 1e-12 {
+				return false
+			}
+		}
+		for i, s := range nl.Sources {
+			g := got.Sources[i]
+			if g.A != s.A || g.Region != s.Region || g.Leakage != s.Leakage {
+				return false
+			}
+			for _, tt := range []float64{0, 7e-11, 3e-10, 1.7e-9} {
+				a, b := s.Wave.At(tt), g.Wave.At(tt)
+				if math.Abs(a-b) > 1e-12*(1+math.Abs(a)) {
+					return false
+				}
+			}
+		}
+		for i, p := range nl.Pads {
+			g := got.Pads[i]
+			if g.Node != p.Node || g.OnDie != p.OnDie ||
+				math.Abs(g.VDD-p.VDD) > 1e-12 || math.Abs(g.Rpin-p.Rpin) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDoubleRoundTripIdempotent: a second Write produces byte-identical
+// output (the format is canonical).
+func TestDoubleRoundTripIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		nl := randomNetlist(rng)
+		var b1 bytes.Buffer
+		if err := Write(&b1, nl); err != nil {
+			t.Fatal(err)
+		}
+		again, err := Read(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b2 bytes.Buffer
+		if err := Write(&b2, again); err != nil {
+			t.Fatal(err)
+		}
+		reread, err := Read(bytes.NewReader(b2.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b3 bytes.Buffer
+		if err := Write(&b3, reread); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b2.Bytes(), b3.Bytes()) {
+			t.Fatalf("format not canonical after first round trip")
+		}
+	}
+}

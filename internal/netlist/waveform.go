@@ -1,0 +1,154 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Waveform is a transient scalar signal.
+type Waveform interface {
+	// At evaluates the waveform at time t (seconds).
+	At(t float64) float64
+	// Format renders the waveform in the netlist text syntax.
+	Format() string
+}
+
+// DC is a constant waveform.
+type DC float64
+
+// At implements Waveform.
+func (d DC) At(float64) float64 { return float64(d) }
+
+// Format implements Waveform.
+func (d DC) Format() string { return fmt.Sprintf("DC(%g)", float64(d)) }
+
+// PWL is a piecewise-linear waveform through (T[i], V[i]) breakpoints;
+// it holds the end values outside the breakpoint range. Breakpoints
+// must be sorted by time.
+type PWL struct {
+	T, V []float64
+}
+
+// NewPWL validates and constructs a PWL waveform.
+func NewPWL(t, v []float64) (*PWL, error) {
+	if len(t) != len(v) || len(t) == 0 {
+		return nil, fmt.Errorf("netlist: PWL needs equal nonzero breakpoint counts, got %d/%d", len(t), len(v))
+	}
+	if !sort.Float64sAreSorted(t) {
+		return nil, fmt.Errorf("netlist: PWL times must be ascending")
+	}
+	return &PWL{T: append([]float64(nil), t...), V: append([]float64(nil), v...)}, nil
+}
+
+// At implements Waveform by linear interpolation.
+func (p *PWL) At(t float64) float64 {
+	n := len(p.T)
+	if t <= p.T[0] {
+		return p.V[0]
+	}
+	if t >= p.T[n-1] {
+		return p.V[n-1]
+	}
+	i := sort.SearchFloat64s(p.T, t)
+	// p.T[i-1] < t <= p.T[i]
+	t0, t1 := p.T[i-1], p.T[i]
+	v0, v1 := p.V[i-1], p.V[i]
+	if t1 == t0 {
+		return v1
+	}
+	return v0 + (v1-v0)*(t-t0)/(t1-t0)
+}
+
+// Format implements Waveform.
+func (p *PWL) Format() string {
+	var sb strings.Builder
+	sb.WriteString("PWL(")
+	for i := range p.T {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%g %g", p.T[i], p.V[i])
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Periodic repeats an inner waveform with the given period, evaluating
+// the inner waveform at t mod Period.
+type Periodic struct {
+	Inner  Waveform
+	Period float64
+}
+
+// At implements Waveform.
+func (p *Periodic) At(t float64) float64 {
+	if p.Period <= 0 {
+		return p.Inner.At(t)
+	}
+	m := t - float64(int(t/p.Period))*p.Period
+	if m < 0 {
+		m += p.Period
+	}
+	return p.Inner.At(m)
+}
+
+// Format implements Waveform.
+func (p *Periodic) Format() string {
+	return fmt.Sprintf("PER(%g %s)", p.Period, p.Inner.Format())
+}
+
+// Pulse is a trapezoidal pulse train: baseline Low, rising to High at
+// Delay over Rise, holding for Width, falling over Fall, repeating
+// every Period (0 = single pulse).
+type Pulse struct {
+	Low, High                float64
+	Delay, Rise, Width, Fall float64
+	Period                   float64
+}
+
+// At implements Waveform.
+func (p *Pulse) At(t float64) float64 {
+	tt := t - p.Delay
+	if p.Period > 0 && tt >= 0 {
+		tt -= float64(int(tt/p.Period)) * p.Period
+	}
+	switch {
+	case tt < 0:
+		return p.Low
+	case tt < p.Rise:
+		if p.Rise == 0 {
+			return p.High
+		}
+		return p.Low + (p.High-p.Low)*tt/p.Rise
+	case tt < p.Rise+p.Width:
+		return p.High
+	case tt < p.Rise+p.Width+p.Fall:
+		if p.Fall == 0 {
+			return p.Low
+		}
+		return p.High - (p.High-p.Low)*(tt-p.Rise-p.Width)/p.Fall
+	default:
+		return p.Low
+	}
+}
+
+// Format implements Waveform.
+func (p *Pulse) Format() string {
+	return fmt.Sprintf("PULSE(%g %g %g %g %g %g %g)",
+		p.Low, p.High, p.Delay, p.Rise, p.Width, p.Fall, p.Period)
+}
+
+// Scaled multiplies an inner waveform by a constant gain.
+type Scaled struct {
+	Inner Waveform
+	Gain  float64
+}
+
+// At implements Waveform.
+func (s *Scaled) At(t float64) float64 { return s.Gain * s.Inner.At(t) }
+
+// Format implements Waveform.
+func (s *Scaled) Format() string {
+	return fmt.Sprintf("SCALE(%g %s)", s.Gain, s.Inner.Format())
+}

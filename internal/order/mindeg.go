@@ -1,0 +1,125 @@
+package order
+
+// MinimumDegree computes a minimum-degree ordering using the quotient
+// graph (element) model: eliminating a vertex creates an element whose
+// boundary is the union of the vertex's remaining neighbors and the
+// boundaries of its adjacent elements; adjacent elements are absorbed.
+// Degrees are recomputed exactly for the affected vertices. This is the
+// classical (non-approximate) algorithm — O(n·k) per elimination where k
+// is the clique size — adequate for the moderate systems where a
+// minimum-degree order is preferable to nested dissection.
+func MinimumDegree(g *Graph) []int {
+	n := g.N
+	// Variable adjacency as mutable sets (slices, lazily cleaned).
+	varAdj := make([][]int, n)  // adjacent *variables* (uneliminated)
+	elemAdj := make([][]int, n) // adjacent element ids
+	for v := 0; v < n; v++ {
+		varAdj[v] = append([]int(nil), g.Neighbors(v)...)
+	}
+	elems := make([][]int, 0, n) // element id -> boundary variables
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	elemAlive := make([]bool, 0, n)
+
+	mark := make([]int, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	stamp := 0
+
+	// reach computes the current adjacency set (variables reachable
+	// through direct edges or shared elements) of v into out.
+	reach := func(v int, out []int) []int {
+		stamp++
+		mark[v] = stamp
+		out = out[:0]
+		live := varAdj[v][:0]
+		for _, w := range varAdj[v] {
+			if alive[w] {
+				live = append(live, w)
+				if mark[w] != stamp {
+					mark[w] = stamp
+					out = append(out, w)
+				}
+			}
+		}
+		varAdj[v] = live
+		liveE := elemAdj[v][:0]
+		for _, e := range elemAdj[v] {
+			if !elemAlive[e] {
+				continue
+			}
+			liveE = append(liveE, e)
+			for _, w := range elems[e] {
+				if alive[w] && mark[w] != stamp {
+					mark[w] = stamp
+					out = append(out, w)
+				}
+			}
+		}
+		elemAdj[v] = liveE
+		return out
+	}
+
+	deg := make([]int, n)
+	scratch := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+	}
+	// Simple bucket structure: buckets[d] holds candidate vertices of
+	// recorded degree d (lazy deletion).
+	buckets := make([][]int, n+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], v)
+	}
+	inBucketDeg := append([]int(nil), deg...)
+
+	perm := make([]int, 0, n)
+	d := 0
+	for len(perm) < n {
+		// Find next minimum-degree live vertex.
+		for d <= n {
+			found := -1
+			for len(buckets[d]) > 0 {
+				v := buckets[d][len(buckets[d])-1]
+				buckets[d] = buckets[d][:len(buckets[d])-1]
+				if alive[v] && inBucketDeg[v] == d {
+					found = v
+					break
+				}
+			}
+			if found >= 0 {
+				// Eliminate found.
+				v := found
+				bnd := reach(v, scratch)
+				scratch = bnd
+				perm = append(perm, v)
+				alive[v] = false
+				// Absorb v's elements into a new element.
+				for _, e := range elemAdj[v] {
+					elemAlive[e] = false
+				}
+				eid := len(elems)
+				elems = append(elems, append([]int(nil), bnd...))
+				elemAlive = append(elemAlive, true)
+				// Iterate over the stable element copy: reach() below
+				// reuses scratch, which bnd aliases.
+				for _, w := range elems[eid] {
+					elemAdj[w] = append(elemAdj[w], eid)
+					nd := len(reach(w, scratch[:0]))
+					deg[w] = nd
+					inBucketDeg[w] = nd
+					buckets[nd] = append(buckets[nd], w)
+					if nd < d {
+						d = nd
+					}
+				}
+				break
+			}
+			d++
+		}
+	}
+	return perm
+}

@@ -1,0 +1,61 @@
+package order
+
+import "sort"
+
+// Natural returns the identity permutation of length n.
+func Natural(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// RCM computes the reverse Cuthill–McKee ordering of the graph of a
+// square matrix. It processes every connected component, rooting each at
+// a pseudo-peripheral vertex, and returns the permutation p such that
+// row/column p[k] of the original matrix becomes row/column k of the
+// permuted matrix.
+func RCM(g *Graph) []int {
+	n := g.N
+	perm := make([]int, 0, n)
+	visited := make([]bool, n)
+	mask := make([]bool, n)
+	for i := range mask {
+		mask[i] = true
+	}
+	level := make([]int, n)
+	for i := range level {
+		level[i] = -1
+	}
+	scratch := make([]int, 0, n)
+	// Neighbor scratch reused across vertices; sorted by degree.
+	var nbrs []int
+	for s := 0; s < n; s++ {
+		if visited[s] {
+			continue
+		}
+		root, _ := g.PseudoPeripheral(s, mask, level, scratch)
+		// Cuthill–McKee BFS from root, neighbors in increasing degree.
+		start := len(perm)
+		perm = append(perm, root)
+		visited[root] = true
+		for head := start; head < len(perm); head++ {
+			v := perm[head]
+			nbrs = nbrs[:0]
+			for _, w := range g.Neighbors(v) {
+				if !visited[w] {
+					visited[w] = true
+					nbrs = append(nbrs, w)
+				}
+			}
+			sort.Slice(nbrs, func(a, b int) bool { return g.Degree(nbrs[a]) < g.Degree(nbrs[b]) })
+			perm = append(perm, nbrs...)
+		}
+		// Reverse this component's segment.
+		for i, j := start, len(perm)-1; i < j; i, j = i+1, j-1 {
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	return perm
+}

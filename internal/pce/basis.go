@@ -1,0 +1,132 @@
+package pce
+
+import (
+	"fmt"
+	"math"
+
+	"opera/internal/poly"
+)
+
+// Basis is a truncated multivariate polynomial chaos basis: the products
+// Ψ_α(ξ) = Π_d p_{α_d}(ξ_d) over all total-degree multi-indices |α| ≤ p,
+// with one (possibly different) univariate family per independent
+// dimension. Internally the orthonormalized functions ψ_α = Ψ_α/‖Ψ_α‖
+// are used everywhere: coefficients stored against this basis give the
+// variance as a plain sum of squares and make the Galerkin matrix
+// symmetric.
+type Basis struct {
+	Families []poly.Family
+	Order    int
+	Indices  [][]int
+	normSq   []float64 // ‖Ψ_α‖² per index
+	maxDeg   int
+}
+
+// NewBasis constructs the total-degree basis of the given order.
+func NewBasis(families []poly.Family, order int) *Basis {
+	if len(families) == 0 {
+		panic("pce: NewBasis requires at least one family")
+	}
+	idx := TotalDegreeIndices(len(families), order)
+	b := &Basis{Families: families, Order: order, Indices: idx, maxDeg: order}
+	b.normSq = make([]float64, len(idx))
+	for i, alpha := range idx {
+		v := 1.0
+		for d, a := range alpha {
+			v *= families[d].NormSq(a)
+		}
+		b.normSq[i] = v
+	}
+	return b
+}
+
+// NewHermiteBasis is the common case: dim i.i.d. standard Gaussian
+// dimensions with probabilists' Hermite polynomials.
+func NewHermiteBasis(dim, order int) *Basis {
+	fams := make([]poly.Family, dim)
+	for i := range fams {
+		fams[i] = poly.Hermite{}
+	}
+	return NewBasis(fams, order)
+}
+
+// Dim returns the number of random dimensions.
+func (b *Basis) Dim() int { return len(b.Families) }
+
+// Size returns the number of basis functions, the paper's N+1.
+func (b *Basis) Size() int { return len(b.Indices) }
+
+// NormSq returns ‖Ψ_α‖² for basis index i (conventional, unnormalized
+// polynomials).
+func (b *Basis) NormSq(i int) float64 { return b.normSq[i] }
+
+// Norm returns ‖Ψ_α‖.
+func (b *Basis) Norm(i int) float64 { return math.Sqrt(b.normSq[i]) }
+
+// FirstOrderIndex returns the basis position of the multi-index e_d
+// (degree one in dimension d). Requires Order >= 1.
+func (b *Basis) FirstOrderIndex(d int) int {
+	if d < 0 || d >= b.Dim() {
+		panic(fmt.Sprintf("pce: dimension %d out of range %d", d, b.Dim()))
+	}
+	for i, alpha := range b.Indices {
+		if indexDegree(alpha) == 1 && alpha[d] == 1 {
+			return i
+		}
+	}
+	panic("pce: basis has no first-order terms (order 0?)")
+}
+
+// EvalAll evaluates every *orthonormal* basis function at the point ξ,
+// filling out (length Size()). Scratch buffers are allocated per call;
+// use an Evaluator for hot loops.
+func (b *Basis) EvalAll(xi []float64, out []float64) {
+	ev := NewEvaluator(b)
+	ev.EvalAll(xi, out)
+}
+
+// Evaluator amortizes the per-dimension univariate recurrence buffers
+// for repeated basis evaluation (e.g. sampling an expansion many times).
+type Evaluator struct {
+	b    *Basis
+	uni  [][]float64 // uni[d][k] = p_k(ξ_d)
+	dims int
+}
+
+// NewEvaluator creates an evaluator for b.
+func NewEvaluator(b *Basis) *Evaluator {
+	uni := make([][]float64, b.Dim())
+	for d := range uni {
+		uni[d] = make([]float64, b.maxDeg+1)
+	}
+	return &Evaluator{b: b, uni: uni, dims: b.Dim()}
+}
+
+// EvalAll fills out[i] = ψ_i(ξ) for every orthonormal basis function.
+func (e *Evaluator) EvalAll(xi []float64, out []float64) {
+	b := e.b
+	if len(xi) != e.dims {
+		panic(fmt.Sprintf("pce: point dimension %d != basis dimension %d", len(xi), e.dims))
+	}
+	if len(out) != b.Size() {
+		panic(fmt.Sprintf("pce: output length %d != basis size %d", len(out), b.Size()))
+	}
+	for d := 0; d < e.dims; d++ {
+		b.Families[d].EvalAll(xi[d], e.uni[d])
+	}
+	for i, alpha := range b.Indices {
+		v := 1.0
+		for d, a := range alpha {
+			v *= e.uni[d][a]
+		}
+		out[i] = v / math.Sqrt(b.normSq[i])
+	}
+}
+
+// EvalRaw fills out[i] = Ψ_i(ξ) (conventional, unnormalized).
+func (e *Evaluator) EvalRaw(xi []float64, out []float64) {
+	e.EvalAll(xi, out)
+	for i := range out {
+		out[i] *= math.Sqrt(e.b.normSq[i])
+	}
+}

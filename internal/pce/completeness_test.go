@@ -1,0 +1,148 @@
+package pce
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomPolynomial builds a random multivariate polynomial of total
+// degree ≤ p as an explicit coefficient map over monomials.
+type monomial struct {
+	powers []int
+	coeff  float64
+}
+
+func randomPolynomial(rng *rand.Rand, dim, p int) []monomial {
+	idx := TotalDegreeIndices(dim, p)
+	out := make([]monomial, 0, len(idx))
+	for _, alpha := range idx {
+		if rng.Float64() < 0.7 {
+			out = append(out, monomial{
+				powers: append([]int(nil), alpha...),
+				coeff:  rng.NormFloat64(),
+			})
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, monomial{powers: make([]int, dim), coeff: 1})
+	}
+	return out
+}
+
+func evalPoly(m []monomial, xi []float64) float64 {
+	s := 0.0
+	for _, t := range m {
+		v := t.coeff
+		for d, pw := range t.powers {
+			for k := 0; k < pw; k++ {
+				v *= xi[d]
+			}
+		}
+		s += v
+	}
+	return s
+}
+
+// TestBasisCompleteness: any polynomial of total degree ≤ p projects
+// onto the order-p basis *exactly* — projection followed by evaluation
+// reproduces the polynomial pointwise. This is the completeness half of
+// the Cameron–Martin property the paper's expansion rests on, checked
+// for Hermite bases with random polynomials.
+func TestBasisCompleteness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(3)
+		p := 1 + rng.Intn(3)
+		b := NewHermiteBasis(dim, p)
+		poly := randomPolynomial(rng, dim, p)
+		coeffs, err := b.ProjectFunc(func(xi []float64) float64 {
+			return evalPoly(poly, xi)
+		}, p+2)
+		if err != nil {
+			return false
+		}
+		e := FromCoeffs(b, coeffs)
+		for trial := 0; trial < 20; trial++ {
+			xi := make([]float64, dim)
+			for d := range xi {
+				xi[d] = rng.NormFloat64()
+			}
+			want := evalPoly(poly, xi)
+			got := e.Eval(xi)
+			if math.Abs(got-want) > 1e-7*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParsevalIdentity: for a polynomial inside the basis, the second
+// moment computed from coefficients (Parseval) equals the quadrature
+// second moment.
+func TestParsevalIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(2)
+		p := 1 + rng.Intn(3)
+		b := NewHermiteBasis(dim, p)
+		e := NewExpansion(b)
+		for i := range e.Coeffs {
+			e.Coeffs[i] = rng.NormFloat64()
+		}
+		// Parseval: E[X²] = Σ c_i².
+		sum := 0.0
+		for _, c := range e.Coeffs {
+			sum += c * c
+		}
+		m2 := e.Moment(2)
+		return math.Abs(m2-sum) < 1e-7*(1+sum)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEvalRawMatchesNormalized verifies the two evaluator outputs agree
+// up to the norm scaling.
+func TestEvalRawMatchesNormalized(t *testing.T) {
+	b := NewHermiteBasis(2, 3)
+	ev := NewEvaluator(b)
+	ortho := make([]float64, b.Size())
+	raw := make([]float64, b.Size())
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 25; trial++ {
+		xi := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		ev.EvalAll(xi, ortho)
+		ev.EvalRaw(xi, raw)
+		for i := range raw {
+			want := ortho[i] * b.Norm(i)
+			if math.Abs(raw[i]-want) > 1e-10*(1+math.Abs(want)) {
+				t.Fatalf("raw[%d] = %g, want %g", i, raw[i], want)
+			}
+		}
+	}
+}
+
+// TestMomentHighDimSamplingFallback: the sampled-integration fallback
+// for high-dimensional bases stays within Monte Carlo tolerance of the
+// closed-form variance.
+func TestMomentHighDimSamplingFallback(t *testing.T) {
+	b := NewHermiteBasis(12, 2) // 12 dims: tensor quadrature impossible
+	e := NewExpansion(b)
+	rng := rand.New(rand.NewSource(11))
+	for d := 0; d < 12; d++ {
+		e.Coeffs[b.FirstOrderIndex(d)] = rng.NormFloat64()
+	}
+	e.Coeffs[0] = 2
+	exact := e.Variance() + e.Mean()*e.Mean()
+	m2 := e.Moment(2) // falls back to sampling internally
+	if rel := math.Abs(m2-exact) / exact; rel > 0.02 {
+		t.Errorf("sampled E[X²] %g vs exact %g (rel %g)", m2, exact, rel)
+	}
+}

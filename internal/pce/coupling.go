@@ -1,0 +1,205 @@
+package pce
+
+import (
+	"fmt"
+	"math"
+
+	"opera/internal/sparse"
+)
+
+// uniTriple returns the univariate integral E[p_a(x)·p_b(x)·p_c(x)]
+// under dimension d's measure, computed with a Gauss rule of exactly
+// sufficient degree (hence exact up to roundoff).
+func (b *Basis) uniTriple(d, a, bb, c int) float64 {
+	n := (a+bb+c)/2 + 1
+	rule, err := b.Families[d].Quadrature(n)
+	if err != nil {
+		panic(fmt.Sprintf("pce: quadrature failed: %v", err))
+	}
+	maxDeg := a
+	if bb > maxDeg {
+		maxDeg = bb
+	}
+	if c > maxDeg {
+		maxDeg = c
+	}
+	vals := make([]float64, maxDeg+1)
+	s := 0.0
+	for q, x := range rule.Nodes {
+		b.Families[d].EvalAll(x, vals)
+		s += rule.Weights[q] * vals[a] * vals[bb] * vals[c]
+	}
+	return s
+}
+
+// uniTripleTable precomputes E[p_a p_b p_c] for all a,b,c ≤ deg in
+// dimension d.
+func (b *Basis) uniTripleTable(d, deg int) [][][]float64 {
+	n := (3*deg)/2 + 1
+	rule, err := b.Families[d].Quadrature(n)
+	if err != nil {
+		panic(fmt.Sprintf("pce: quadrature failed: %v", err))
+	}
+	vals := make([][]float64, len(rule.Nodes))
+	for q, x := range rule.Nodes {
+		vals[q] = b.Families[d].EvalAll(x, make([]float64, deg+1))
+	}
+	tbl := make([][][]float64, deg+1)
+	for i := 0; i <= deg; i++ {
+		tbl[i] = make([][]float64, deg+1)
+		for j := 0; j <= deg; j++ {
+			tbl[i][j] = make([]float64, deg+1)
+			for k := 0; k <= deg; k++ {
+				s := 0.0
+				for q := range rule.Nodes {
+					s += rule.Weights[q] * vals[q][i] * vals[q][j] * vals[q][k]
+				}
+				tbl[i][j][k] = s
+			}
+		}
+	}
+	return tbl
+}
+
+// uniLinearTable precomputes E[x·p_a p_b] for a,b ≤ deg in dimension d
+// (the raw coordinate, not the degree-1 polynomial, so it is valid for
+// families whose p₁ is not x itself).
+func (b *Basis) uniLinearTable(d, deg int) [][]float64 {
+	n := (2*deg+1)/2 + 1
+	rule, err := b.Families[d].Quadrature(n)
+	if err != nil {
+		panic(fmt.Sprintf("pce: quadrature failed: %v", err))
+	}
+	vals := make([][]float64, len(rule.Nodes))
+	for q, x := range rule.Nodes {
+		vals[q] = b.Families[d].EvalAll(x, make([]float64, deg+1))
+	}
+	tbl := make([][]float64, deg+1)
+	for i := 0; i <= deg; i++ {
+		tbl[i] = make([]float64, deg+1)
+		for j := 0; j <= deg; j++ {
+			s := 0.0
+			for q, x := range rule.Nodes {
+				s += rule.Weights[q] * x * vals[q][i] * vals[q][j]
+			}
+			tbl[i][j] = s
+		}
+	}
+	return tbl
+}
+
+// CouplingIdentity returns the B×B identity: E[ψ_i ψ_j] = δ_ij for the
+// orthonormal basis. It is the coupling matrix of the mean (ξ-free)
+// part of a stochastic operator.
+func (b *Basis) CouplingIdentity() *sparse.Matrix {
+	return sparse.Identity(b.Size())
+}
+
+// CouplingLinear returns T_d with T_d[i][j] = E[ξ_d·ψ_i·ψ_j] for the
+// orthonormal basis — the Galerkin coupling of an operator term that is
+// linear in the raw random coordinate ξ_d (the paper's Gg, Cc blocks in
+// Eq. 20–21, up to the orthonormal scaling). The result is symmetric
+// and very sparse: entries require the multi-indices to agree in every
+// other dimension and differ by at most 1 in dimension d.
+func (b *Basis) CouplingLinear(d int) *sparse.Matrix {
+	if d < 0 || d >= b.Dim() {
+		panic(fmt.Sprintf("pce: CouplingLinear dimension %d out of range %d", d, b.Dim()))
+	}
+	B := b.Size()
+	lin := b.uniLinearTable(d, b.maxDeg)
+	t := sparse.NewTriplet(B, B, 4*B)
+	for i, ai := range b.Indices {
+		for j, aj := range b.Indices {
+			if !matchExcept(ai, aj, d) {
+				continue
+			}
+			v := lin[ai[d]][aj[d]]
+			if v == 0 {
+				continue
+			}
+			// Other dimensions contribute Π E[p²] = Π NormSq.
+			for dd, a := range ai {
+				if dd != d {
+					v *= b.Families[dd].NormSq(a)
+				}
+			}
+			v /= math.Sqrt(b.normSq[i] * b.normSq[j])
+			if math.Abs(v) > 1e-14 {
+				t.Add(i, j, v)
+			}
+		}
+	}
+	return t.Compile()
+}
+
+// TripleTensor returns the full set of coupling matrices C_m with
+// C_m[i][j] = E[ψ_m·ψ_i·ψ_j] (all orthonormal). C_0 is the identity.
+// These drive the Galerkin projection for operators with a general
+// (non-linear-in-ξ) chaos expansion and the in-basis product of two
+// expansions.
+func (b *Basis) TripleTensor() []*sparse.Matrix {
+	B := b.Size()
+	dim := b.Dim()
+	tables := make([][][][]float64, dim)
+	for d := 0; d < dim; d++ {
+		tables[d] = b.uniTripleTable(d, b.maxDeg)
+	}
+	out := make([]*sparse.Matrix, B)
+	for m, am := range b.Indices {
+		t := sparse.NewTriplet(B, B, 4*B)
+		for i, ai := range b.Indices {
+			for j, aj := range b.Indices {
+				v := 1.0
+				for d := 0; d < dim; d++ {
+					v *= tables[d][am[d]][ai[d]][aj[d]]
+					if v == 0 {
+						break
+					}
+				}
+				if v == 0 {
+					continue
+				}
+				v /= math.Sqrt(b.normSq[m] * b.normSq[i] * b.normSq[j])
+				if math.Abs(v) > 1e-12 {
+					t.Add(i, j, v)
+				}
+			}
+		}
+		out[m] = t.Compile()
+	}
+	return out
+}
+
+// matchExcept reports whether multi-indices a and b agree in every
+// dimension except possibly d.
+func matchExcept(a, b []int, d int) bool {
+	for k := range a {
+		if k != d && a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// CouplingExpansion returns the Galerkin coupling matrix of a random
+// coefficient given by its own orthonormal chaos expansion
+// g(ξ) = Σ_m coeffs[m]·ψ_m:  T[i][j] = E[g·ψ_i·ψ_j] = Σ_m coeffs[m]·C_m.
+// This is how operators with *nonlinear* parameter dependence enter the
+// Galerkin system (the paper's §5 notes "there are no limitations on
+// the specific model to be chosen"): expand the coefficient with
+// ProjectFunc or a closed form, then couple it here. Linear models can
+// use the cheaper CouplingLinear.
+func (b *Basis) CouplingExpansion(coeffs []float64) *sparse.Matrix {
+	if len(coeffs) != b.Size() {
+		panic(fmt.Sprintf("pce: coefficient length %d != basis size %d", len(coeffs), b.Size()))
+	}
+	tensor := b.TripleTensor()
+	acc := sparse.NewMatrix(b.Size(), b.Size())
+	for m, c := range coeffs {
+		if c == 0 {
+			continue
+		}
+		acc = sparse.Add(1, acc, c, tensor[m])
+	}
+	return acc
+}

@@ -1,0 +1,84 @@
+package pce_test
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"opera/internal/pce"
+	"opera/internal/poly"
+)
+
+// ExampleExpansion shows the closed-form moments of a chaos expansion:
+// X = 3 + 2ξ₁ + √2·(ξ₀²−1)/√2 … here simply assembled coefficient by
+// coefficient against the orthonormal Hermite basis.
+func ExampleExpansion() {
+	basis := pce.NewHermiteBasis(2, 2)
+	x := pce.NewExpansion(basis)
+	x.Coeffs[0] = 3                          // mean
+	x.Coeffs[basis.FirstOrderIndex(0)] = 2   // 2·ξ₀
+	x.Coeffs[basis.FirstOrderIndex(1)] = 0.5 // 0.5·ξ₁
+	fmt.Printf("mean = %.1f\n", x.Mean())
+	fmt.Printf("variance = %.2f\n", x.Variance())
+	fmt.Printf("std = %.4f\n", x.Std())
+	// Output:
+	// mean = 3.0
+	// variance = 4.25
+	// std = 2.0616
+}
+
+// ExampleBasis_CouplingLinear prints the paper's Eq. 20 coupling
+// structure (orthonormal form) for two Gaussian variables at order 2.
+func ExampleBasis_CouplingLinear() {
+	basis := pce.NewHermiteBasis(2, 2)
+	t := basis.CouplingLinear(0) // coupling of a term linear in ξG
+	for i := 0; i < basis.Size(); i++ {
+		row := make([]string, basis.Size())
+		for j := 0; j < basis.Size(); j++ {
+			v := t.At(i, j)
+			if math.Abs(v) < 1e-12 {
+				row[j] = "."
+			} else {
+				row[j] = fmt.Sprintf("%.3f", v)
+			}
+		}
+		fmt.Println(strings.Join(row, " "))
+	}
+	// Output:
+	// . 1.000 . . . .
+	// 1.000 . . 1.414 . .
+	// . . . . 1.000 .
+	// . 1.414 . . . .
+	// . . 1.000 . . .
+	// . . . . . .
+}
+
+// ExampleBasis_LognormalCoefficients reproduces the classical Hermite
+// expansion of a lognormal random variable (the §5.1 leakage model).
+func ExampleBasis_LognormalCoefficients() {
+	basis := pce.NewBasis([]poly.Family{poly.Hermite{}}, 3)
+	// exp(µ + σξ) with unit mean: µ = −σ²/2.
+	sigma := 0.5
+	c := basis.LognormalCoefficients(0, -sigma*sigma/2, sigma)
+	for k, v := range c {
+		fmt.Printf("c%d = %.4f\n", k, v)
+	}
+	// Output:
+	// c0 = 1.0000
+	// c1 = 0.5000
+	// c2 = 0.1768
+	// c3 = 0.0510
+}
+
+// ExampleExpansion_SobolTotal attributes variance to its sources.
+func ExampleExpansion_SobolTotal() {
+	basis := pce.NewHermiteBasis(2, 2)
+	x := pce.NewExpansion(basis)
+	x.Coeffs[basis.FirstOrderIndex(0)] = 3 // geometry dominates
+	x.Coeffs[basis.FirstOrderIndex(1)] = 1
+	fmt.Printf("geometry share: %.0f%%\n", 100*x.SobolTotal(0))
+	fmt.Printf("channel share:  %.0f%%\n", 100*x.SobolTotal(1))
+	// Output:
+	// geometry share: 90%
+	// channel share:  10%
+}

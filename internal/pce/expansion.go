@@ -1,0 +1,282 @@
+package pce
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Expansion is a scalar random quantity represented by its coefficients
+// against the *orthonormal* basis: X(ξ) = Σ_i Coeffs[i]·ψ_i(ξ). Node
+// voltages at a fixed time point are Expansions; the stochastic Galerkin
+// solver produces one coefficient vector per node per time step.
+type Expansion struct {
+	Basis  *Basis
+	Coeffs []float64
+}
+
+// NewExpansion returns the zero expansion on b.
+func NewExpansion(b *Basis) *Expansion {
+	return &Expansion{Basis: b, Coeffs: make([]float64, b.Size())}
+}
+
+// Constant returns the deterministic expansion with value v.
+func Constant(b *Basis, v float64) *Expansion {
+	e := NewExpansion(b)
+	e.Coeffs[0] = v
+	return e
+}
+
+// FromCoeffs wraps a coefficient slice (not copied).
+func FromCoeffs(b *Basis, c []float64) *Expansion {
+	if len(c) != b.Size() {
+		panic(fmt.Sprintf("pce: coefficient length %d != basis size %d", len(c), b.Size()))
+	}
+	return &Expansion{Basis: b, Coeffs: c}
+}
+
+// Mean returns E[X] = c₀ (ψ₀ ≡ 1 for every Askey family measure).
+func (e *Expansion) Mean() float64 { return e.Coeffs[0] }
+
+// Variance returns Var(X) = Σ_{i≥1} c_i² — the orthonormal form of the
+// paper's Eq. 23.
+func (e *Expansion) Variance() float64 {
+	v := 0.0
+	for _, c := range e.Coeffs[1:] {
+		v += c * c
+	}
+	return v
+}
+
+// Std returns the standard deviation.
+func (e *Expansion) Std() float64 { return math.Sqrt(e.Variance()) }
+
+// Eval evaluates the expansion at a realization ξ.
+func (e *Expansion) Eval(xi []float64) float64 {
+	psi := make([]float64, e.Basis.Size())
+	e.Basis.EvalAll(xi, psi)
+	s := 0.0
+	for i, c := range e.Coeffs {
+		s += c * psi[i]
+	}
+	return s
+}
+
+// Add returns X + Y (same basis required).
+func (e *Expansion) Add(o *Expansion) *Expansion {
+	e.checkSameBasis(o)
+	r := NewExpansion(e.Basis)
+	for i := range r.Coeffs {
+		r.Coeffs[i] = e.Coeffs[i] + o.Coeffs[i]
+	}
+	return r
+}
+
+// Sub returns X − Y.
+func (e *Expansion) Sub(o *Expansion) *Expansion {
+	e.checkSameBasis(o)
+	r := NewExpansion(e.Basis)
+	for i := range r.Coeffs {
+		r.Coeffs[i] = e.Coeffs[i] - o.Coeffs[i]
+	}
+	return r
+}
+
+// Scale returns a·X.
+func (e *Expansion) Scale(a float64) *Expansion {
+	r := NewExpansion(e.Basis)
+	for i := range r.Coeffs {
+		r.Coeffs[i] = a * e.Coeffs[i]
+	}
+	return r
+}
+
+// Mul returns the Galerkin product of X and Y projected back onto the
+// basis: (XY)_k = Σ_ij x_i y_j E[ψ_i ψ_j ψ_k]. triples must come from
+// Basis.TripleTensor (it is accepted as an argument so callers amortize
+// the tensor across many products).
+func (e *Expansion) Mul(o *Expansion, triples []*Matrix3) *Expansion {
+	e.checkSameBasis(o)
+	r := NewExpansion(e.Basis)
+	for k, t := range triples {
+		s := 0.0
+		for _, ent := range t.Entries {
+			s += e.Coeffs[ent.I] * o.Coeffs[ent.J] * ent.V
+		}
+		r.Coeffs[k] = s
+	}
+	return r
+}
+
+// Matrix3 is a compact COO view of one slice of the triple tensor,
+// produced by TripleEntries.
+type Matrix3 struct {
+	Entries []TripleEntry
+}
+
+// TripleEntry is one nonzero E[ψ_I ψ_J ψ_k] of a tensor slice.
+type TripleEntry struct {
+	I, J int
+	V    float64
+}
+
+// TripleEntries converts the sparse coupling matrices from TripleTensor
+// into flat entry lists for fast expansion products.
+func TripleEntries(b *Basis) []*Matrix3 {
+	mats := b.TripleTensor()
+	out := make([]*Matrix3, len(mats))
+	for k, m := range mats {
+		var ents []TripleEntry
+		for j := 0; j < m.Cols; j++ {
+			for p := m.Colp[j]; p < m.Colp[j+1]; p++ {
+				ents = append(ents, TripleEntry{I: m.Rowi[p], J: j, V: m.Val[p]})
+			}
+		}
+		out[k] = &Matrix3{Entries: ents}
+	}
+	return out
+}
+
+// Moment returns the raw moment E[Xᵏ], computed by full tensor Gauss
+// quadrature of adequate degree (exact for the polynomial X up to
+// roundoff).
+func (e *Expansion) Moment(k int) float64 {
+	if k < 0 {
+		panic("pce: negative moment order")
+	}
+	if k == 0 {
+		return 1
+	}
+	npts := (k*e.Basis.Order)/2 + 1
+	if npts < 2 {
+		npts = 2
+	}
+	return e.integrate(func(x float64) float64 { return math.Pow(x, float64(k)) }, npts)
+}
+
+// CentralMoment returns E[(X−µ)ᵏ].
+func (e *Expansion) CentralMoment(k int) float64 {
+	mu := e.Mean()
+	npts := (k*e.Basis.Order)/2 + 1
+	if npts < 2 {
+		npts = 2
+	}
+	return e.integrate(func(x float64) float64 { return math.Pow(x-mu, float64(k)) }, npts)
+}
+
+// Skewness returns the standardized third central moment.
+func (e *Expansion) Skewness() float64 {
+	s := e.Std()
+	if s == 0 {
+		return 0
+	}
+	return e.CentralMoment(3) / (s * s * s)
+}
+
+// ExcessKurtosis returns E[(X−µ)⁴]/σ⁴ − 3.
+func (e *Expansion) ExcessKurtosis() float64 {
+	v := e.Variance()
+	if v == 0 {
+		return 0
+	}
+	return e.CentralMoment(4)/(v*v) - 3
+}
+
+// integrate computes E[g(X)] with tensor quadrature at npts points per
+// dimension; above a budget of quadrature points (high-dimensional
+// spatial bases) it falls back to deterministic quasi-random sampling
+// of the expansion, which converges as 1/√N but does not explode
+// combinatorially.
+func (e *Expansion) integrate(g func(float64) float64, npts int) float64 {
+	b := e.Basis
+	dim := b.Dim()
+	total := 1
+	for d := 0; d < dim; d++ {
+		total *= npts
+		if total > 1<<20 {
+			return e.integrateSampled(g)
+		}
+	}
+	nodes := make([][]float64, dim)
+	weights := make([][]float64, dim)
+	for d := 0; d < dim; d++ {
+		r, err := b.Families[d].Quadrature(npts)
+		if err != nil {
+			panic(fmt.Sprintf("pce: moment quadrature: %v", err))
+		}
+		nodes[d] = r.Nodes
+		weights[d] = r.Weights
+	}
+	ev := NewEvaluator(b)
+	psi := make([]float64, b.Size())
+	xi := make([]float64, dim)
+	idx := make([]int, dim)
+	acc := 0.0
+	for {
+		w := 1.0
+		for d := 0; d < dim; d++ {
+			xi[d] = nodes[d][idx[d]]
+			w *= weights[d][idx[d]]
+		}
+		ev.EvalAll(xi, psi)
+		x := 0.0
+		for i, c := range e.Coeffs {
+			x += c * psi[i]
+		}
+		acc += w * g(x)
+		d := 0
+		for ; d < dim; d++ {
+			idx[d]++
+			if idx[d] < npts {
+				break
+			}
+			idx[d] = 0
+		}
+		if d == dim {
+			break
+		}
+	}
+	return acc
+}
+
+// Sample draws n realizations of X by sampling ξ from the basis
+// measures and evaluating the explicit polynomial — the cheap
+// alternative to Monte Carlo on the full system that the paper's
+// distribution figures rely on.
+func (e *Expansion) Sample(rng *rand.Rand, n int) []float64 {
+	b := e.Basis
+	ev := NewEvaluator(b)
+	psi := make([]float64, b.Size())
+	xi := make([]float64, b.Dim())
+	out := make([]float64, n)
+	for s := 0; s < n; s++ {
+		for d := range xi {
+			xi[d] = b.Families[d].Sample(rng)
+		}
+		ev.EvalAll(xi, psi)
+		x := 0.0
+		for i, c := range e.Coeffs {
+			x += c * psi[i]
+		}
+		out[s] = x
+	}
+	return out
+}
+
+// integrateSampled estimates E[g(X)] from 2·10⁵ seeded samples.
+func (e *Expansion) integrateSampled(g func(float64) float64) float64 {
+	const n = 200000
+	rng := rand.New(rand.NewSource(0x09e2a))
+	xs := e.Sample(rng, n)
+	s := 0.0
+	for _, x := range xs {
+		s += g(x)
+	}
+	return s / n
+}
+
+func (e *Expansion) checkSameBasis(o *Expansion) {
+	if e.Basis != o.Basis {
+		panic("pce: expansions are on different bases")
+	}
+}

@@ -1,0 +1,64 @@
+// Package pce implements multivariate polynomial chaos expansions (the
+// paper's §4): total-degree truncated bases of products of univariate
+// orthogonal polynomials over independent random dimensions, the
+// triple-product (Galerkin coupling) tensors E[ψ_m ψ_i ψ_j], projection
+// of known random quantities onto the basis, expansion arithmetic,
+// moment extraction (Eq. 23) and probability density recovery via
+// Gram–Charlier/Edgeworth series or direct sampling of the explicit
+// polynomial representation.
+package pce
+
+import "fmt"
+
+// TotalDegreeIndices enumerates all multi-indices α ∈ ℕ^dim with
+// |α| ≤ order, graded by total degree; within one degree the first
+// dimension's exponent descends first, matching the paper's order for
+// two variables: (0,0), (1,0), (0,1), (2,0), (1,1), (0,2), …
+// The count is C(dim+order, order).
+func TotalDegreeIndices(dim, order int) [][]int {
+	if dim <= 0 {
+		panic(fmt.Sprintf("pce: dimension must be positive, got %d", dim))
+	}
+	if order < 0 {
+		panic(fmt.Sprintf("pce: order must be nonnegative, got %d", order))
+	}
+	var out [][]int
+	idx := make([]int, dim)
+	var gen func(pos, remaining int)
+	gen = func(pos, remaining int) {
+		if pos == dim-1 {
+			idx[pos] = remaining
+			out = append(out, append([]int(nil), idx...))
+			return
+		}
+		for v := remaining; v >= 0; v-- {
+			idx[pos] = v
+			gen(pos+1, remaining-v)
+		}
+	}
+	for g := 0; g <= order; g++ {
+		gen(0, g)
+	}
+	return out
+}
+
+// BasisSize returns C(dim+order, order), the number of total-degree
+// multi-indices (the paper's N+1).
+func BasisSize(dim, order int) int {
+	// Compute the binomial coefficient without overflow for practical
+	// sizes.
+	n := 1
+	for k := 1; k <= order; k++ {
+		n = n * (dim + k) / k
+	}
+	return n
+}
+
+// indexDegree returns |α|.
+func indexDegree(alpha []int) int {
+	d := 0
+	for _, a := range alpha {
+		d += a
+	}
+	return d
+}

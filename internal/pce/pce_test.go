@@ -1,0 +1,583 @@
+package pce
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"opera/internal/poly"
+)
+
+func TestTotalDegreeIndicesPaperOrder(t *testing.T) {
+	// For two variables at order 2 the paper's Eq. 15 expansion order is
+	// 1, ξG, ξL, ξG²−1, ξGξL, ξL²−1 — multi-indices:
+	want := [][]int{{0, 0}, {1, 0}, {0, 1}, {2, 0}, {1, 1}, {0, 2}}
+	got := TotalDegreeIndices(2, 2)
+	if len(got) != len(want) {
+		t.Fatalf("got %d indices, want %d", len(got), len(want))
+	}
+	for i := range want {
+		for d := range want[i] {
+			if got[i][d] != want[i][d] {
+				t.Fatalf("index %d: got %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBasisSizeFormula(t *testing.T) {
+	for dim := 1; dim <= 5; dim++ {
+		for order := 0; order <= 4; order++ {
+			n := len(TotalDegreeIndices(dim, order))
+			if f := BasisSize(dim, order); f != n {
+				t.Errorf("BasisSize(%d,%d) = %d, enumeration gives %d", dim, order, f, n)
+			}
+		}
+	}
+	// Paper: n=2, p=2 → N+1 = 6.
+	if BasisSize(2, 2) != 6 {
+		t.Errorf("BasisSize(2,2) = %d, want 6", BasisSize(2, 2))
+	}
+	// Paper: n=2, p=3 → 10.
+	if BasisSize(2, 3) != 10 {
+		t.Errorf("BasisSize(2,3) = %d, want 10", BasisSize(2, 3))
+	}
+}
+
+// TestBasisOrthonormality integrates ψ_i ψ_j over a tensor Gauss grid.
+func TestBasisOrthonormality(t *testing.T) {
+	bases := []*Basis{
+		NewHermiteBasis(2, 3),
+		NewBasis([]poly.Family{poly.Legendre{}, poly.Hermite{}}, 2),
+		NewBasis([]poly.Family{poly.Laguerre{Alpha: 1}, poly.Jacobi{Alpha: 0.5, Beta: 1}}, 2),
+	}
+	for _, b := range bases {
+		B := b.Size()
+		gram := make([][]float64, B)
+		for i := range gram {
+			gram[i] = make([]float64, B)
+		}
+		npts := b.Order + 2
+		nodes := make([][]float64, b.Dim())
+		weights := make([][]float64, b.Dim())
+		for d := 0; d < b.Dim(); d++ {
+			r, err := b.Families[d].Quadrature(npts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes[d], weights[d] = r.Nodes, r.Weights
+		}
+		psi := make([]float64, B)
+		ev := NewEvaluator(b)
+		var rec func(d int, w float64, xi []float64)
+		xi := make([]float64, b.Dim())
+		rec = func(d int, w float64, xi []float64) {
+			if d == b.Dim() {
+				ev.EvalAll(xi, psi)
+				for i := 0; i < B; i++ {
+					for j := 0; j < B; j++ {
+						gram[i][j] += w * psi[i] * psi[j]
+					}
+				}
+				return
+			}
+			for q := range nodes[d] {
+				xi[d] = nodes[d][q]
+				rec(d+1, w*weights[d][q], xi)
+			}
+		}
+		rec(0, 1, xi)
+		for i := 0; i < B; i++ {
+			for j := 0; j < B; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(gram[i][j]-want) > 1e-9 {
+					t.Errorf("basis dim=%d: <ψ%d,ψ%d> = %g, want %g", b.Dim(), i, j, gram[i][j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestFirstOrderIndex(t *testing.T) {
+	b := NewHermiteBasis(3, 2)
+	for d := 0; d < 3; d++ {
+		i := b.FirstOrderIndex(d)
+		alpha := b.Indices[i]
+		if indexDegree(alpha) != 1 || alpha[d] != 1 {
+			t.Errorf("FirstOrderIndex(%d) = %d with index %v", d, i, alpha)
+		}
+	}
+}
+
+// hermiteTripleClosed is the classical closed form E[He_a He_b He_c].
+func hermiteTripleClosed(a, b, c int) float64 {
+	s := a + b + c
+	if s%2 != 0 {
+		return 0
+	}
+	s /= 2
+	if s < a || s < b || s < c {
+		return 0
+	}
+	fact := func(k int) float64 {
+		v := 1.0
+		for i := 2; i <= k; i++ {
+			v *= float64(i)
+		}
+		return v
+	}
+	return fact(a) * fact(b) * fact(c) / (fact(s-a) * fact(s-b) * fact(s-c))
+}
+
+func TestUniTripleMatchesHermiteClosedForm(t *testing.T) {
+	b := NewHermiteBasis(1, 5)
+	for a := 0; a <= 5; a++ {
+		for bb := 0; bb <= 5; bb++ {
+			for c := 0; c <= 5; c++ {
+				got := b.uniTriple(0, a, bb, c)
+				want := hermiteTripleClosed(a, bb, c)
+				if math.Abs(got-want) > 1e-7*(1+math.Abs(want)) {
+					t.Errorf("E[He%d He%d He%d] = %g, want %g", a, bb, c, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCouplingLinearMatchesPaperEq20(t *testing.T) {
+	// Paper Eq. 20 for (ξG, ξL), p = 2 uses the unnormalized basis; the
+	// orthonormal coupling is D^{-1/2}·E[ξG γi γj]·D^{-1/2} with
+	// D = diag(1,1,1,2,1,2). Expected nonzeros:
+	// (0,1) = 1, (1,3) = 2/√2 = √2, (2,4) = 1 (and symmetric).
+	b := NewHermiteBasis(2, 2)
+	tg := b.CouplingLinear(0)
+	want := map[[2]int]float64{
+		{0, 1}: 1, {1, 0}: 1,
+		{1, 3}: math.Sqrt2, {3, 1}: math.Sqrt2,
+		{2, 4}: 1, {4, 2}: 1,
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			w := want[[2]int{i, j}]
+			if got := tg.At(i, j); math.Abs(got-w) > 1e-9 {
+				t.Errorf("T_G[%d][%d] = %g, want %g", i, j, got, w)
+			}
+		}
+	}
+	// Coupling for ξL mirrors with dimensions swapped:
+	tl := b.CouplingLinear(1)
+	wantL := map[[2]int]float64{
+		{0, 2}: 1, {2, 0}: 1,
+		{2, 5}: math.Sqrt2, {5, 2}: math.Sqrt2,
+		{1, 4}: 1, {4, 1}: 1,
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			w := wantL[[2]int{i, j}]
+			if got := tl.At(i, j); math.Abs(got-w) > 1e-9 {
+				t.Errorf("T_L[%d][%d] = %g, want %g", i, j, got, w)
+			}
+		}
+	}
+}
+
+func TestCouplingLinearSymmetricAllFamilies(t *testing.T) {
+	b := NewBasis([]poly.Family{poly.Legendre{}, poly.Laguerre{Alpha: 0.5}}, 3)
+	for d := 0; d < 2; d++ {
+		c := b.CouplingLinear(d)
+		if !c.IsSymmetric(1e-10) {
+			t.Errorf("CouplingLinear(%d) not symmetric", d)
+		}
+	}
+}
+
+func TestTripleTensorIdentitySlice(t *testing.T) {
+	b := NewHermiteBasis(2, 2)
+	tt := b.TripleTensor()
+	// C_0 = E[ψ0 ψi ψj] = δij.
+	for i := 0; i < b.Size(); i++ {
+		for j := 0; j < b.Size(); j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if got := tt[0].At(i, j); math.Abs(got-want) > 1e-10 {
+				t.Errorf("C_0[%d][%d] = %g", i, j, got)
+			}
+		}
+	}
+	// Full symmetry in (m,i,j): C_m[i][j] = C_i[m][j].
+	for m := 0; m < b.Size(); m++ {
+		for i := 0; i < b.Size(); i++ {
+			for j := 0; j < b.Size(); j++ {
+				if d := tt[m].At(i, j) - tt[i].At(m, j); math.Abs(d) > 1e-9 {
+					t.Errorf("triple tensor not symmetric: (%d,%d,%d) differs by %g", m, i, j, d)
+				}
+			}
+		}
+	}
+}
+
+func TestTripleTensorMatchesCouplingLinearForHermite(t *testing.T) {
+	// For Hermite dimensions ξ_d = ψ_{e_d}, so CouplingLinear(d) must
+	// equal the TripleTensor slice at the first-order index.
+	b := NewHermiteBasis(2, 2)
+	tt := b.TripleTensor()
+	for d := 0; d < 2; d++ {
+		cl := b.CouplingLinear(d)
+		m := tt[b.FirstOrderIndex(d)]
+		for i := 0; i < b.Size(); i++ {
+			for j := 0; j < b.Size(); j++ {
+				if diff := cl.At(i, j) - m.At(i, j); math.Abs(diff) > 1e-9 {
+					t.Errorf("dim %d: (%d,%d) differs by %g", d, i, j, diff)
+				}
+			}
+		}
+	}
+}
+
+func TestProjectVariableHermite(t *testing.T) {
+	b := NewHermiteBasis(2, 2)
+	c := b.ProjectVariable(1)
+	for i := range c {
+		want := 0.0
+		if i == b.FirstOrderIndex(1) {
+			want = 1
+		}
+		if math.Abs(c[i]-want) > 1e-10 {
+			t.Errorf("coeff %d = %g, want %g", i, c[i], want)
+		}
+	}
+}
+
+func TestProjectVariableLaguerreMean(t *testing.T) {
+	// Gamma(α+1) has mean α+1, so ξ projected on ψ0 gives the mean.
+	alpha := 1.5
+	b := NewBasis([]poly.Family{poly.Laguerre{Alpha: alpha}}, 2)
+	c := b.ProjectVariable(0)
+	if math.Abs(c[0]-(alpha+1)) > 1e-9 {
+		t.Errorf("mean coefficient %g, want %g", c[0], alpha+1)
+	}
+	// Reconstruct: expansion evaluates to x at quadrature nodes.
+	e := FromCoeffs(b, c)
+	rule, _ := b.Families[0].Quadrature(4)
+	for _, x := range rule.Nodes {
+		if got := e.Eval([]float64{x}); math.Abs(got-x) > 1e-8*(1+math.Abs(x)) {
+			t.Errorf("reconstructed variable at %g = %g", x, got)
+		}
+	}
+}
+
+func TestProjectFuncExactPolynomial(t *testing.T) {
+	// f = 2 + 3ξ0 + ξ0ξ1 − ξ1² lies in the order-2 basis; projection
+	// then evaluation must reproduce f exactly.
+	b := NewHermiteBasis(2, 2)
+	f := func(xi []float64) float64 { return 2 + 3*xi[0] + xi[0]*xi[1] - xi[1]*xi[1] }
+	c, err := b.ProjectFunc(f, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := FromCoeffs(b, c)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		xi := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		if got, want := e.Eval(xi), f(xi); math.Abs(got-want) > 1e-8*(1+math.Abs(want)) {
+			t.Fatalf("projection not exact: f(%v) = %g, expansion %g", xi, want, got)
+		}
+	}
+}
+
+func TestLognormalCoefficientsClosedForm(t *testing.T) {
+	mu, sigma := -1.0, 0.4
+	b := NewHermiteBasis(2, 3)
+	closed := b.LognormalCoefficients(0, mu, sigma)
+	numeric, err := b.ProjectFunc(func(xi []float64) float64 {
+		return math.Exp(mu + sigma*xi[0])
+	}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range closed {
+		if math.Abs(closed[i]-numeric[i]) > 1e-8 {
+			t.Errorf("coeff %d: closed %g vs numeric %g", i, closed[i], numeric[i])
+		}
+	}
+	// Mean and variance of the truncated expansion approach the exact
+	// lognormal values.
+	e := FromCoeffs(b, closed)
+	exactMean := math.Exp(mu + sigma*sigma/2)
+	if math.Abs(e.Mean()-exactMean) > 1e-12 {
+		t.Errorf("mean %g, want %g", e.Mean(), exactMean)
+	}
+	exactVar := (math.Exp(sigma*sigma) - 1) * math.Exp(2*mu+sigma*sigma)
+	if rel := math.Abs(e.Variance()-exactVar) / exactVar; rel > 0.01 {
+		t.Errorf("variance %g vs exact %g (rel err %g)", e.Variance(), exactVar, rel)
+	}
+}
+
+func TestExpansionMomentsLinearGaussian(t *testing.T) {
+	// X = 3 + 2ξ: mean 3, var 4, skew 0, excess kurtosis 0.
+	b := NewHermiteBasis(1, 3)
+	e := NewExpansion(b)
+	e.Coeffs[0] = 3
+	e.Coeffs[b.FirstOrderIndex(0)] = 2
+	if e.Mean() != 3 {
+		t.Errorf("mean %g", e.Mean())
+	}
+	if math.Abs(e.Variance()-4) > 1e-12 {
+		t.Errorf("var %g", e.Variance())
+	}
+	if math.Abs(e.Skewness()) > 1e-9 {
+		t.Errorf("skew %g", e.Skewness())
+	}
+	if math.Abs(e.ExcessKurtosis()) > 1e-8 {
+		t.Errorf("kurt %g", e.ExcessKurtosis())
+	}
+}
+
+func TestExpansionMomentsChiSquare(t *testing.T) {
+	// X = ξ² = ψ0 + √2·ψ2 (orthonormal) ~ χ²₁: mean 1, var 2,
+	// skew = √8 = 2.828…, excess kurtosis = 12.
+	b := NewHermiteBasis(1, 2)
+	e := NewExpansion(b)
+	e.Coeffs[0] = 1
+	e.Coeffs[2] = math.Sqrt2
+	if math.Abs(e.Mean()-1) > 1e-12 {
+		t.Errorf("mean %g", e.Mean())
+	}
+	if math.Abs(e.Variance()-2) > 1e-12 {
+		t.Errorf("var %g", e.Variance())
+	}
+	if math.Abs(e.Skewness()-2*math.Sqrt2) > 1e-8 {
+		t.Errorf("skew %g, want %g", e.Skewness(), 2*math.Sqrt2)
+	}
+	if math.Abs(e.ExcessKurtosis()-12) > 1e-7 {
+		t.Errorf("excess kurtosis %g, want 12", e.ExcessKurtosis())
+	}
+}
+
+func TestExpansionMulExactForLowDegree(t *testing.T) {
+	// Products of two degree-1 expansions fit in an order-2 basis, so
+	// the Galerkin product must be exact pointwise.
+	b := NewHermiteBasis(2, 2)
+	triples := TripleEntries(b)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		x := NewExpansion(b)
+		y := NewExpansion(b)
+		x.Coeffs[0] = rng.NormFloat64()
+		y.Coeffs[0] = rng.NormFloat64()
+		for d := 0; d < 2; d++ {
+			x.Coeffs[b.FirstOrderIndex(d)] = rng.NormFloat64()
+			y.Coeffs[b.FirstOrderIndex(d)] = rng.NormFloat64()
+		}
+		z := x.Mul(y, triples)
+		xi := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		want := x.Eval(xi) * y.Eval(xi)
+		if got := z.Eval(xi); math.Abs(got-want) > 1e-8*(1+math.Abs(want)) {
+			t.Fatalf("product mismatch: %g vs %g", got, want)
+		}
+	}
+}
+
+func TestExpansionArithmetic(t *testing.T) {
+	b := NewHermiteBasis(2, 2)
+	x := Constant(b, 2)
+	y := NewExpansion(b)
+	y.Coeffs[1] = 3
+	s := x.Add(y)
+	if s.Mean() != 2 || math.Abs(s.Variance()-9) > 1e-12 {
+		t.Errorf("add: mean %g var %g", s.Mean(), s.Variance())
+	}
+	d := s.Sub(y)
+	if d.Mean() != 2 || d.Variance() != 0 {
+		t.Errorf("sub: mean %g var %g", d.Mean(), d.Variance())
+	}
+	sc := y.Scale(-2)
+	if math.Abs(sc.Variance()-36) > 1e-12 {
+		t.Errorf("scale: var %g", sc.Variance())
+	}
+}
+
+func TestExpansionSampleMatchesMoments(t *testing.T) {
+	b := NewHermiteBasis(2, 2)
+	e := NewExpansion(b)
+	e.Coeffs[0] = 1
+	e.Coeffs[1] = 0.5
+	e.Coeffs[3] = 0.25
+	rng := rand.New(rand.NewSource(11))
+	xs := e.Sample(rng, 100000)
+	var s, s2 float64
+	for _, x := range xs {
+		s += x
+		s2 += x * x
+	}
+	n := float64(len(xs))
+	mean := s / n
+	variance := s2/n - mean*mean
+	if math.Abs(mean-e.Mean()) > 0.01 {
+		t.Errorf("sample mean %g, expansion %g", mean, e.Mean())
+	}
+	if math.Abs(variance-e.Variance()) > 0.02 {
+		t.Errorf("sample var %g, expansion %g", variance, e.Variance())
+	}
+}
+
+func TestGramCharlierGaussianCase(t *testing.T) {
+	// With zero skew and kurtosis the series is the exact normal pdf.
+	pdf := GramCharlierPDF(1, 2, 0, 0)
+	for _, x := range []float64{-3, 0, 1, 4} {
+		z := (x - 1.0) / 2
+		want := math.Exp(-z*z/2) / (2 * math.Sqrt(2*math.Pi))
+		if got := pdf(x); math.Abs(got-want) > 1e-14 {
+			t.Errorf("pdf(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestPDFIntegratesToOne(t *testing.T) {
+	b := NewHermiteBasis(2, 2)
+	e := NewExpansion(b)
+	e.Coeffs[0] = 5
+	e.Coeffs[1] = 1
+	e.Coeffs[2] = 0.3
+	e.Coeffs[3] = 0.2
+	pdf := e.PDF()
+	// Trapezoid over ±8σ.
+	mu, sd := e.Mean(), e.Std()
+	lo, hi := mu-8*sd, mu+8*sd
+	n := 4000
+	h := (hi - lo) / float64(n)
+	sum := 0.0
+	for i := 0; i <= n; i++ {
+		w := 1.0
+		if i == 0 || i == n {
+			w = 0.5
+		}
+		sum += w * pdf(lo+float64(i)*h)
+	}
+	sum *= h
+	if math.Abs(sum-1) > 0.01 {
+		t.Errorf("Gram-Charlier pdf integrates to %g", sum)
+	}
+}
+
+func TestEdgeworthReducesToGramCharlierForZeroSkew(t *testing.T) {
+	g := GramCharlierPDF(0, 1, 0, 0.5)
+	e := EdgeworthPDF(0, 1, 0, 0.5)
+	for _, x := range []float64{-2, 0, 1.3} {
+		if math.Abs(g(x)-e(x)) > 1e-14 {
+			t.Errorf("at %g: GC %g vs Edgeworth %g", x, g(x), e(x))
+		}
+	}
+}
+
+func TestEvaluatorMatchesEvalAll(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(3)
+		order := 1 + rng.Intn(3)
+		b := NewHermiteBasis(dim, order)
+		xi := make([]float64, dim)
+		for d := range xi {
+			xi[d] = rng.NormFloat64()
+		}
+		a := make([]float64, b.Size())
+		c := make([]float64, b.Size())
+		b.EvalAll(xi, a)
+		NewEvaluator(b).EvalAll(xi, c)
+		for i := range a {
+			if a[i] != c[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarianceMatchesPaperEq23(t *testing.T) {
+	// Paper Eq. 23 (corrected form): for the unnormalized coefficients
+	// a_i of Eq. 15, Var = a1² + a2² + 2·a3² + a4² + 2·a5².
+	// Our orthonormal coefficients c_i relate by c_i = a_i·‖Ψ_i‖, so
+	// Var = Σ c_i² must equal the paper's weighted sum.
+	b := NewHermiteBasis(2, 2)
+	a := []float64{7, 0.1, -0.2, 0.05, 0.03, -0.04} // unnormalized coeffs
+	e := NewExpansion(b)
+	for i := range a {
+		e.Coeffs[i] = a[i] * b.Norm(i)
+	}
+	wantVar := a[1]*a[1] + a[2]*a[2] + 2*a[3]*a[3] + a[4]*a[4] + 2*a[5]*a[5]
+	if math.Abs(e.Variance()-wantVar) > 1e-12 {
+		t.Errorf("variance %g, paper formula %g", e.Variance(), wantVar)
+	}
+	if e.Mean() != 7 {
+		t.Errorf("mean %g, want a0 = 7", e.Mean())
+	}
+}
+
+func TestCouplingExpansionMatchesLinear(t *testing.T) {
+	// The expansion-based coupling of g(ξ) = ξ_d must equal
+	// CouplingLinear(d).
+	b := NewHermiteBasis(2, 2)
+	for d := 0; d < 2; d++ {
+		coeffs := b.ProjectVariable(d)
+		ce := b.CouplingExpansion(coeffs)
+		cl := b.CouplingLinear(d)
+		for i := 0; i < b.Size(); i++ {
+			for j := 0; j < b.Size(); j++ {
+				if diff := ce.At(i, j) - cl.At(i, j); math.Abs(diff) > 1e-9 {
+					t.Fatalf("dim %d (%d,%d): differ by %g", d, i, j, diff)
+				}
+			}
+		}
+	}
+}
+
+func TestCouplingExpansionQuadratic(t *testing.T) {
+	// g(ξ) = ξ0² − 1 = √2·ψ_{(2,0)}: the coupling must equal √2 times
+	// the triple-tensor slice at that index, and reproduce the exact
+	// E[(ξ²−1)ψiψj] integrals by quadrature.
+	b := NewHermiteBasis(1, 3)
+	coeffs, err := b.ProjectFunc(func(xi []float64) float64 { return xi[0]*xi[0] - 1 }, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := b.CouplingExpansion(coeffs)
+	if !tc.IsSymmetric(1e-10) {
+		t.Error("quadratic coupling not symmetric")
+	}
+	// Reference by direct quadrature: E[(x²−1)ψi(x)ψj(x)].
+	rule, err := b.Families[0].Quadrature(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psi := make([]float64, b.Size())
+	ref := make([][]float64, b.Size())
+	for i := range ref {
+		ref[i] = make([]float64, b.Size())
+	}
+	ev := NewEvaluator(b)
+	for q, x := range rule.Nodes {
+		ev.EvalAll([]float64{x}, psi)
+		w := rule.Weights[q] * (x*x - 1)
+		for i := range psi {
+			for j := range psi {
+				ref[i][j] += w * psi[i] * psi[j]
+			}
+		}
+	}
+	for i := 0; i < b.Size(); i++ {
+		for j := 0; j < b.Size(); j++ {
+			if d := math.Abs(tc.At(i, j) - ref[i][j]); d > 1e-8 {
+				t.Fatalf("(%d,%d): coupling %g vs quadrature %g", i, j, tc.At(i, j), ref[i][j])
+			}
+		}
+	}
+}

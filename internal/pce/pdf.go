@@ -1,0 +1,47 @@
+package pce
+
+import "math"
+
+// GramCharlierPDF returns the Gram–Charlier Type-A series density built
+// from a mean, standard deviation, skewness and excess kurtosis (paper
+// §5: "expansions like Gram-Charlier series or Edgeworth series could
+// be used to obtain the probability density function of x(t,ξ)
+// directly"). The returned function evaluates the approximate density;
+// it may go slightly negative in the tails, which is inherent to the
+// series.
+func GramCharlierPDF(mean, std, skew, exKurt float64) func(float64) float64 {
+	return func(x float64) float64 {
+		if std <= 0 {
+			return 0
+		}
+		z := (x - mean) / std
+		he3 := z*z*z - 3*z
+		he4 := z*z*z*z - 6*z*z + 3
+		phi := math.Exp(-z*z/2) / math.Sqrt(2*math.Pi)
+		return phi / std * (1 + skew/6*he3 + exKurt/24*he4)
+	}
+}
+
+// EdgeworthPDF returns the Edgeworth series density, which augments
+// Gram–Charlier with the skew² correction term (He₆), giving a proper
+// asymptotic expansion.
+func EdgeworthPDF(mean, std, skew, exKurt float64) func(float64) float64 {
+	return func(x float64) float64 {
+		if std <= 0 {
+			return 0
+		}
+		z := (x - mean) / std
+		z2 := z * z
+		he3 := z*z2 - 3*z
+		he4 := z2*z2 - 6*z2 + 3
+		he6 := z2*z2*z2 - 15*z2*z2 + 45*z2 - 15
+		phi := math.Exp(-z2/2) / math.Sqrt(2*math.Pi)
+		return phi / std * (1 + skew/6*he3 + exKurt/24*he4 + skew*skew/72*he6)
+	}
+}
+
+// PDF returns the Gram–Charlier density of the expansion, using its
+// quadrature-exact moments.
+func (e *Expansion) PDF() func(float64) float64 {
+	return GramCharlierPDF(e.Mean(), e.Std(), e.Skewness(), e.ExcessKurtosis())
+}

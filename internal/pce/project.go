@@ -1,0 +1,124 @@
+package pce
+
+import (
+	"fmt"
+	"math"
+)
+
+// ProjectFunc computes the orthonormal chaos coefficients of an
+// arbitrary function f(ξ): c_i = E[f·ψ_i], by full tensor-product Gauss
+// quadrature with npts points per dimension. Choose npts so that
+// f·ψ_i is integrated accurately (for polynomial f of degree q, npts ≥
+// (q+Order)/2 + 1). Cost grows as npts^dim; intended for the small
+// dimension counts (2–4) typical of inter-die variation models.
+func (b *Basis) ProjectFunc(f func(xi []float64) float64, npts int) ([]float64, error) {
+	dim := b.Dim()
+	rules := make([][]float64, dim)   // nodes
+	weights := make([][]float64, dim) // weights
+	for d := 0; d < dim; d++ {
+		r, err := b.Families[d].Quadrature(npts)
+		if err != nil {
+			return nil, fmt.Errorf("pce: ProjectFunc quadrature: %w", err)
+		}
+		rules[d] = r.Nodes
+		weights[d] = r.Weights
+	}
+	coeffs := make([]float64, b.Size())
+	xi := make([]float64, dim)
+	idx := make([]int, dim)
+	psi := make([]float64, b.Size())
+	ev := NewEvaluator(b)
+	for {
+		w := 1.0
+		for d := 0; d < dim; d++ {
+			xi[d] = rules[d][idx[d]]
+			w *= weights[d][idx[d]]
+		}
+		fv := f(xi)
+		ev.EvalAll(xi, psi)
+		for i := range coeffs {
+			coeffs[i] += w * fv * psi[i]
+		}
+		// Advance the tensor-grid counter.
+		d := 0
+		for ; d < dim; d++ {
+			idx[d]++
+			if idx[d] < npts {
+				break
+			}
+			idx[d] = 0
+		}
+		if d == dim {
+			break
+		}
+	}
+	return coeffs, nil
+}
+
+// ProjectVariable returns the orthonormal coefficients of the raw
+// coordinate function ξ_d itself. For a Gaussian (Hermite) dimension
+// this is the unit vector at the first-order index; for asymmetric
+// measures (Gamma, Beta) the mean also appears at index 0.
+func (b *Basis) ProjectVariable(d int) []float64 {
+	if d < 0 || d >= b.Dim() {
+		panic(fmt.Sprintf("pce: ProjectVariable dimension %d out of range %d", d, b.Dim()))
+	}
+	lin := b.uniLinearTable(d, b.maxDeg)
+	coeffs := make([]float64, b.Size())
+	for i, ai := range b.Indices {
+		ok := true
+		for dd, a := range ai {
+			if dd != d && a != 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// c_i = E[x·p_{α_d}]/‖Ψ_i‖ (other dims contribute E[p_0] = 1).
+		coeffs[i] = lin[ai[d]][0] / math.Sqrt(b.normSq[i])
+	}
+	return coeffs
+}
+
+// LognormalCoefficients returns the orthonormal Hermite chaos
+// coefficients of exp(µ + σ·ξ_d) for a Gaussian dimension d: the
+// classical closed form E[e^{µ+σξ}·He_k(ξ)]/k! = e^{µ+σ²/2}·σ^k/k!,
+// i.e. c_k = e^{µ+σ²/2}·σ^k/√(k!) in orthonormal coordinates. This is
+// the representation the §5.1 special case uses for leakage currents
+// under threshold-voltage variation. Panics if dimension d is not a
+// Hermite family.
+func (b *Basis) LognormalCoefficients(d int, mu, sigma float64) []float64 {
+	if d < 0 || d >= b.Dim() {
+		panic(fmt.Sprintf("pce: LognormalCoefficients dimension %d out of range %d", d, b.Dim()))
+	}
+	if b.Families[d].Name() != "hermite" {
+		panic("pce: LognormalCoefficients requires a Gaussian (Hermite) dimension")
+	}
+	scale := math.Exp(mu + sigma*sigma/2)
+	coeffs := make([]float64, b.Size())
+	for i, ai := range b.Indices {
+		ok := true
+		for dd, a := range ai {
+			if dd != d && a != 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		k := ai[d]
+		coeffs[i] = scale * math.Pow(sigma, float64(k)) / math.Sqrt(factorialF(k))
+	}
+	return coeffs
+}
+
+func factorialF(k int) float64 {
+	v := 1.0
+	for i := 2; i <= k; i++ {
+		v *= float64(i)
+	}
+	return v
+}

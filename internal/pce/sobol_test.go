@@ -1,0 +1,122 @@
+package pce
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSobolIndicesAnalytic(t *testing.T) {
+	// X = 2ξ0 + 1ξ1 + 0.5·ξ0ξ1 (orthonormal Hermite coefficients):
+	// Var = 4 + 1 + 0.25 = 5.25.
+	b := NewHermiteBasis(2, 2)
+	e := NewExpansion(b)
+	e.Coeffs[b.FirstOrderIndex(0)] = 2
+	e.Coeffs[b.FirstOrderIndex(1)] = 1
+	// the (1,1) mixed index:
+	for i, alpha := range b.Indices {
+		if alpha[0] == 1 && alpha[1] == 1 {
+			e.Coeffs[i] = 0.5
+		}
+	}
+	if math.Abs(e.Variance()-5.25) > 1e-12 {
+		t.Fatalf("variance %g", e.Variance())
+	}
+	if s := e.SobolFirstOrder(0); math.Abs(s-4/5.25) > 1e-12 {
+		t.Errorf("S_0 = %g, want %g", s, 4/5.25)
+	}
+	if s := e.SobolFirstOrder(1); math.Abs(s-1/5.25) > 1e-12 {
+		t.Errorf("S_1 = %g, want %g", s, 1/5.25)
+	}
+	if s := e.SobolTotal(0); math.Abs(s-4.25/5.25) > 1e-12 {
+		t.Errorf("S_T0 = %g, want %g", s, 4.25/5.25)
+	}
+	if s := e.SobolInteraction(); math.Abs(s-0.25/5.25) > 1e-12 {
+		t.Errorf("interaction share %g, want %g", s, 0.25/5.25)
+	}
+	// First-order + interaction partitions the variance exactly here.
+	sum := e.SobolFirstOrder(0) + e.SobolFirstOrder(1) + e.SobolInteraction()
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("shares sum to %g", sum)
+	}
+}
+
+func TestSobolZeroVariance(t *testing.T) {
+	b := NewHermiteBasis(2, 2)
+	e := Constant(b, 3)
+	if e.SobolFirstOrder(0) != 0 || e.SobolTotal(1) != 0 || e.SobolInteraction() != 0 {
+		t.Error("deterministic expansion should have zero indices")
+	}
+}
+
+func TestSobolMatchesSampledVarianceDecomposition(t *testing.T) {
+	// Cross-check S_T,0 against the sampling definition:
+	// S_T,0 = E[Var(X|ξ1)]/Var(X) — estimated by conditioning on ξ1.
+	b := NewHermiteBasis(2, 2)
+	e := NewExpansion(b)
+	rng := rand.New(rand.NewSource(5))
+	for i := 1; i < b.Size(); i++ {
+		e.Coeffs[i] = rng.NormFloat64()
+	}
+	want := e.SobolTotal(0)
+	// Numerical: fix ξ1, variance over ξ0, average over ξ1.
+	const outer, inner = 400, 400
+	sumVar := 0.0
+	xi := make([]float64, 2)
+	for o := 0; o < outer; o++ {
+		xi[1] = rng.NormFloat64()
+		var s1, s2 float64
+		for i := 0; i < inner; i++ {
+			xi[0] = rng.NormFloat64()
+			v := e.Eval(xi)
+			s1 += v
+			s2 += v * v
+		}
+		m := s1 / inner
+		sumVar += s2/inner - m*m
+	}
+	got := sumVar / outer / e.Variance()
+	if math.Abs(got-want) > 0.08 {
+		t.Errorf("sampled S_T0 %g vs analytic %g", got, want)
+	}
+}
+
+func TestCovarianceAndCorrelation(t *testing.T) {
+	b := NewHermiteBasis(2, 2)
+	x := NewExpansion(b)
+	y := NewExpansion(b)
+	x.Coeffs[1] = 3
+	y.Coeffs[1] = 2
+	y.Coeffs[2] = 2
+	// Cov = 3·2 = 6; σx = 3, σy = √8.
+	if c := Covariance(x, y); math.Abs(c-6) > 1e-12 {
+		t.Errorf("cov %g", c)
+	}
+	wantCorr := 6 / (3 * math.Sqrt(8))
+	if c := Correlation(x, y); math.Abs(c-wantCorr) > 1e-12 {
+		t.Errorf("corr %g, want %g", c, wantCorr)
+	}
+	// Self-correlation is 1; correlation with a constant is 0.
+	if c := Correlation(x, x); math.Abs(c-1) > 1e-12 {
+		t.Errorf("self-corr %g", c)
+	}
+	if c := Correlation(x, Constant(b, 5)); c != 0 {
+		t.Errorf("corr with constant %g", c)
+	}
+	// Sampling cross-check.
+	rng := rand.New(rand.NewSource(7))
+	const n = 200000
+	var sx, sy, sxy float64
+	xi := make([]float64, 2)
+	for i := 0; i < n; i++ {
+		xi[0], xi[1] = rng.NormFloat64(), rng.NormFloat64()
+		a, bv := x.Eval(xi), y.Eval(xi)
+		sx += a
+		sy += bv
+		sxy += a * bv
+	}
+	cov := sxy/n - (sx/n)*(sy/n)
+	if math.Abs(cov-6) > 0.15 {
+		t.Errorf("sampled cov %g", cov)
+	}
+}

@@ -1,0 +1,267 @@
+// Package poly implements the univariate orthogonal polynomial families
+// of the Askey scheme used as polynomial chaos bases (paper §4): the
+// probabilists' Hermite polynomials (Gaussian measure), Legendre
+// (uniform), generalized Laguerre (Gamma) and Jacobi (Beta). Each family
+// knows its three-term recurrence, its squared norms under the
+// associated probability measure, a matching Gaussian quadrature rule,
+// and how to sample its measure — everything the multivariate chaos
+// machinery in package pce needs.
+package poly
+
+import (
+	"math"
+	"math/rand"
+
+	"opera/internal/quad"
+)
+
+// Family is one univariate orthogonal polynomial family together with
+// its orthogonality (probability) measure.
+type Family interface {
+	// Name identifies the family (e.g. "hermite").
+	Name() string
+	// Eval evaluates the degree-k polynomial in its conventional
+	// normalization at x.
+	Eval(k int, x float64) float64
+	// EvalAll fills out[0..len(out)-1] with degrees 0..len(out)-1 at x,
+	// sharing the recurrence work, and returns out.
+	EvalAll(x float64, out []float64) []float64
+	// NormSq returns E[p_k²] under the family's probability measure.
+	NormSq(k int) float64
+	// Quadrature returns an n-point Gauss rule for the measure.
+	Quadrature(n int) (quad.Rule, error)
+	// Sample draws one variate from the measure.
+	Sample(rng *rand.Rand) float64
+}
+
+// Hermite is the probabilists' Hermite family He_k, orthogonal under the
+// standard Gaussian: He₀=1, He₁=x, He_{k+1} = x·He_k − k·He_{k−1},
+// E[He_k²] = k!.
+type Hermite struct{}
+
+// Name implements Family.
+func (Hermite) Name() string { return "hermite" }
+
+// Eval implements Family.
+func (h Hermite) Eval(k int, x float64) float64 {
+	return evalByRecurrence(h, k, x)
+}
+
+// EvalAll implements Family.
+func (Hermite) EvalAll(x float64, out []float64) []float64 {
+	if len(out) == 0 {
+		return out
+	}
+	out[0] = 1
+	if len(out) > 1 {
+		out[1] = x
+	}
+	for k := 1; k < len(out)-1; k++ {
+		out[k+1] = x*out[k] - float64(k)*out[k-1]
+	}
+	return out
+}
+
+// NormSq implements Family: E[He_k²] = k!.
+func (Hermite) NormSq(k int) float64 {
+	return factorial(k)
+}
+
+// Quadrature implements Family.
+func (Hermite) Quadrature(n int) (quad.Rule, error) { return quad.GaussHermite(n) }
+
+// Sample implements Family.
+func (Hermite) Sample(rng *rand.Rand) float64 { return rng.NormFloat64() }
+
+// Legendre is the Legendre family P_k, orthogonal under the uniform
+// density on [−1, 1]; E[P_k²] = 1/(2k+1).
+type Legendre struct{}
+
+// Name implements Family.
+func (Legendre) Name() string { return "legendre" }
+
+// Eval implements Family.
+func (l Legendre) Eval(k int, x float64) float64 {
+	return evalByRecurrence(l, k, x)
+}
+
+// EvalAll implements Family.
+func (Legendre) EvalAll(x float64, out []float64) []float64 {
+	if len(out) == 0 {
+		return out
+	}
+	out[0] = 1
+	if len(out) > 1 {
+		out[1] = x
+	}
+	for k := 1; k < len(out)-1; k++ {
+		fk := float64(k)
+		out[k+1] = ((2*fk+1)*x*out[k] - fk*out[k-1]) / (fk + 1)
+	}
+	return out
+}
+
+// NormSq implements Family: E[P_k²] = 1/(2k+1) under the uniform density.
+func (Legendre) NormSq(k int) float64 { return 1 / float64(2*k+1) }
+
+// Quadrature implements Family.
+func (Legendre) Quadrature(n int) (quad.Rule, error) { return quad.GaussLegendre(n) }
+
+// Sample implements Family.
+func (Legendre) Sample(rng *rand.Rand) float64 { return 2*rng.Float64() - 1 }
+
+// Laguerre is the generalized Laguerre family L_k^{(α)}, orthogonal
+// under the Gamma(α+1, 1) density x^α e^{−x}/Γ(α+1) on [0, ∞);
+// E[(L_k^{(α)})²] = Γ(k+α+1)/(k!·Γ(α+1)) = C(k+α, k).
+type Laguerre struct {
+	Alpha float64 // Alpha > −1; 0 gives the standard Laguerre family
+}
+
+// Name implements Family.
+func (Laguerre) Name() string { return "laguerre" }
+
+// Eval implements Family.
+func (l Laguerre) Eval(k int, x float64) float64 {
+	return evalByRecurrence(l, k, x)
+}
+
+// EvalAll implements Family.
+func (l Laguerre) EvalAll(x float64, out []float64) []float64 {
+	if len(out) == 0 {
+		return out
+	}
+	out[0] = 1
+	if len(out) > 1 {
+		out[1] = 1 + l.Alpha - x
+	}
+	for k := 1; k < len(out)-1; k++ {
+		fk := float64(k)
+		out[k+1] = ((2*fk+1+l.Alpha-x)*out[k] - (fk+l.Alpha)*out[k-1]) / (fk + 1)
+	}
+	return out
+}
+
+// NormSq implements Family.
+func (l Laguerre) NormSq(k int) float64 {
+	// Γ(k+α+1)/(k!·Γ(α+1)) computed stably as Π_{j=1..k} (α+j)/j.
+	v := 1.0
+	for j := 1; j <= k; j++ {
+		v *= (l.Alpha + float64(j)) / float64(j)
+	}
+	return v
+}
+
+// Quadrature implements Family.
+func (l Laguerre) Quadrature(n int) (quad.Rule, error) { return quad.GaussLaguerre(n, l.Alpha) }
+
+// Sample implements Family: draws from Gamma(α+1, 1).
+func (l Laguerre) Sample(rng *rand.Rand) float64 { return sampleGamma(rng, l.Alpha+1) }
+
+// Jacobi is the Jacobi family P_k^{(α,β)}, orthogonal under the
+// Beta-type density ∝ (1−x)^α (1+x)^β on [−1, 1].
+type Jacobi struct {
+	Alpha, Beta float64 // both > −1
+}
+
+// Name implements Family.
+func (Jacobi) Name() string { return "jacobi" }
+
+// Eval implements Family.
+func (j Jacobi) Eval(k int, x float64) float64 {
+	return evalByRecurrence(j, k, x)
+}
+
+// EvalAll implements Family.
+func (j Jacobi) EvalAll(x float64, out []float64) []float64 {
+	if len(out) == 0 {
+		return out
+	}
+	a, b := j.Alpha, j.Beta
+	out[0] = 1
+	if len(out) > 1 {
+		out[1] = (a+b+2)/2*x + (a-b)/2
+	}
+	for k := 1; k < len(out)-1; k++ {
+		fk := float64(k)
+		c1 := 2 * (fk + 1) * (fk + a + b + 1) * (2*fk + a + b)
+		c2 := (2*fk + a + b + 1) * (a*a - b*b)
+		c3 := (2*fk + a + b) * (2*fk + a + b + 1) * (2*fk + a + b + 2)
+		c4 := 2 * (fk + a) * (fk + b) * (2*fk + a + b + 2)
+		out[k+1] = ((c2+c3*x)*out[k] - c4*out[k-1]) / c1
+	}
+	return out
+}
+
+// NormSq implements Family: the squared norm of P_k^{(α,β)} under the
+// *normalized* Beta density.
+func (j Jacobi) NormSq(k int) float64 {
+	a, b := j.Alpha, j.Beta
+	// hk = ∫ (P_k)² w dx with w = (1−x)^α(1+x)^β equals
+	// 2^{a+b+1}/(2k+a+b+1) · Γ(k+a+1)Γ(k+b+1)/(Γ(k+a+b+1)·k!).
+	// Dividing by µ0 = 2^{a+b+1}·B(a+1,b+1) normalizes the measure.
+	lg := func(x float64) float64 {
+		v, _ := math.Lgamma(x)
+		return v
+	}
+	fk := float64(k)
+	logHk := lg(fk+a+1) + lg(fk+b+1) - lg(fk+a+b+1) - lg(fk+1) - math.Log(2*fk+a+b+1)
+	logB := lg(a+1) + lg(b+1) - lg(a+b+2)
+	return math.Exp(logHk - logB)
+}
+
+// Quadrature implements Family.
+func (j Jacobi) Quadrature(n int) (quad.Rule, error) { return quad.GaussJacobi(n, j.Alpha, j.Beta) }
+
+// Sample implements Family: draws x = 2u − 1 with u ~ Beta(β+1, α+1)
+// (the +1 exponents swap because (1−x) pairs with α and (1+x) with β).
+func (j Jacobi) Sample(rng *rand.Rand) float64 {
+	g1 := sampleGamma(rng, j.Beta+1)
+	g2 := sampleGamma(rng, j.Alpha+1)
+	return 2*g1/(g1+g2) - 1
+}
+
+// evalByRecurrence evaluates a single degree via EvalAll, allocating a
+// small scratch; fine for non-inner-loop use.
+func evalByRecurrence(f Family, k int, x float64) float64 {
+	out := make([]float64, k+1)
+	f.EvalAll(x, out)
+	return out[k]
+}
+
+func factorial(k int) float64 {
+	v := 1.0
+	for i := 2; i <= k; i++ {
+		v *= float64(i)
+	}
+	return v
+}
+
+// sampleGamma draws from Gamma(shape, 1) using the Marsaglia–Tsang
+// method (with the boost for shape < 1).
+func sampleGamma(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) · U^{1/a}
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return sampleGamma(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package poly
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func families() []Family {
+	return []Family{
+		Hermite{},
+		Legendre{},
+		Laguerre{Alpha: 0},
+		Laguerre{Alpha: 1.5},
+		Jacobi{Alpha: 0.5, Beta: 2},
+		Jacobi{Alpha: 0, Beta: 0},
+	}
+}
+
+// TestOrthogonality verifies <p_i, p_j> = δij·NormSq(i) under each
+// family's own quadrature of sufficient degree.
+func TestOrthogonality(t *testing.T) {
+	const maxDeg = 6
+	for _, f := range families() {
+		rule, err := f.Quadrature(maxDeg + 2) // integrates degree 2(maxDeg+2)-1 ≥ 2maxDeg
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name(), err)
+		}
+		vals := make([]float64, maxDeg+1)
+		gram := make([][]float64, maxDeg+1)
+		for i := range gram {
+			gram[i] = make([]float64, maxDeg+1)
+		}
+		for q, x := range rule.Nodes {
+			f.EvalAll(x, vals)
+			w := rule.Weights[q]
+			for i := 0; i <= maxDeg; i++ {
+				for j := 0; j <= maxDeg; j++ {
+					gram[i][j] += w * vals[i] * vals[j]
+				}
+			}
+		}
+		for i := 0; i <= maxDeg; i++ {
+			for j := 0; j <= maxDeg; j++ {
+				want := 0.0
+				if i == j {
+					want = f.NormSq(i)
+				}
+				if math.Abs(gram[i][j]-want) > 1e-8*(1+math.Abs(want)) {
+					t.Errorf("%s: <p%d,p%d> = %g, want %g", f.Name(), i, j, gram[i][j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestHermiteExplicit(t *testing.T) {
+	// He_2 = x²−1, He_3 = x³−3x, He_4 = x⁴−6x²+3.
+	h := Hermite{}
+	for _, x := range []float64{-2, -0.5, 0, 1, 3.7} {
+		if got, want := h.Eval(2, x), x*x-1; math.Abs(got-want) > 1e-12 {
+			t.Errorf("He2(%g) = %g, want %g", x, got, want)
+		}
+		if got, want := h.Eval(3, x), x*x*x-3*x; math.Abs(got-want) > 1e-12 {
+			t.Errorf("He3(%g) = %g, want %g", x, got, want)
+		}
+		if got, want := h.Eval(4, x), x*x*x*x-6*x*x+3; math.Abs(got-want) > 1e-11 {
+			t.Errorf("He4(%g) = %g, want %g", x, got, want)
+		}
+	}
+	if h.NormSq(4) != 24 {
+		t.Errorf("NormSq(4) = %g, want 4! = 24", h.NormSq(4))
+	}
+}
+
+func TestLegendreExplicit(t *testing.T) {
+	// P_2 = (3x²−1)/2, P_3 = (5x³−3x)/2; P_k(1) = 1.
+	l := Legendre{}
+	for _, x := range []float64{-1, -0.3, 0, 0.8, 1} {
+		if got, want := l.Eval(2, x), (3*x*x-1)/2; math.Abs(got-want) > 1e-12 {
+			t.Errorf("P2(%g) = %g, want %g", x, got, want)
+		}
+		if got, want := l.Eval(3, x), (5*x*x*x-3*x)/2; math.Abs(got-want) > 1e-12 {
+			t.Errorf("P3(%g) = %g, want %g", x, got, want)
+		}
+	}
+	for k := 0; k <= 8; k++ {
+		if got := l.Eval(k, 1); math.Abs(got-1) > 1e-12 {
+			t.Errorf("P%d(1) = %g, want 1", k, got)
+		}
+	}
+}
+
+func TestLaguerreExplicit(t *testing.T) {
+	// L_1 = 1−x, L_2 = (x²−4x+2)/2 for α=0; L_k(0) = C(k+α, k).
+	l := Laguerre{}
+	for _, x := range []float64{0, 0.5, 2, 5} {
+		if got, want := l.Eval(1, x), 1-x; math.Abs(got-want) > 1e-12 {
+			t.Errorf("L1(%g) = %g, want %g", x, got, want)
+		}
+		if got, want := l.Eval(2, x), (x*x-4*x+2)/2; math.Abs(got-want) > 1e-12 {
+			t.Errorf("L2(%g) = %g, want %g", x, got, want)
+		}
+	}
+	la := Laguerre{Alpha: 2}
+	// L_k^{(α)}(0) = C(k+α, k): k=3, α=2 → C(5,3) = 10.
+	if got := la.Eval(3, 0); math.Abs(got-10) > 1e-12 {
+		t.Errorf("L3^(2)(0) = %g, want 10", got)
+	}
+}
+
+func TestJacobiExplicit(t *testing.T) {
+	// P_1^{(α,β)}(x) = (α+β+2)x/2 + (α−β)/2.
+	j := Jacobi{Alpha: 1, Beta: 2}
+	for _, x := range []float64{-1, 0, 0.5, 1} {
+		want := (1.0+2+2)/2*x + (1.0-2)/2
+		if got := j.Eval(1, x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("P1(%g) = %g, want %g", x, got, want)
+		}
+	}
+	// P_k^{(α,β)}(1) = C(k+α, k).
+	j2 := Jacobi{Alpha: 2, Beta: 0.5}
+	if got, want := j2.Eval(2, 1.0), 6.0; math.Abs(got-want) > 1e-12 { // C(4,2)
+		t.Errorf("P2(1) = %g, want %g", got, want)
+	}
+}
+
+func TestEvalAllMatchesEval(t *testing.T) {
+	for _, f := range families() {
+		out := make([]float64, 7)
+		for _, x := range []float64{-1.3, 0.2, 2.5} {
+			f.EvalAll(x, out)
+			for k := range out {
+				if got := f.Eval(k, x); math.Abs(got-out[k]) > 1e-12*(1+math.Abs(got)) {
+					t.Errorf("%s: EvalAll[%d](%g) = %g, Eval = %g", f.Name(), k, x, out[k], got)
+				}
+			}
+		}
+	}
+}
+
+// TestSampleMomentsMatchQuadrature cross-checks each family's sampler
+// against its quadrature: first two moments must agree.
+func TestSampleMomentsMatchQuadrature(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const nSamples = 200000
+	for _, f := range families() {
+		rule, err := f.Quadrature(12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantMean := rule.Integrate(func(x float64) float64 { return x })
+		wantM2 := rule.Integrate(func(x float64) float64 { return x * x })
+		var s, s2 float64
+		for i := 0; i < nSamples; i++ {
+			x := f.Sample(rng)
+			s += x
+			s2 += x * x
+		}
+		mean := s / nSamples
+		m2 := s2 / nSamples
+		sd := math.Sqrt(wantM2 - wantMean*wantMean)
+		if math.Abs(mean-wantMean) > 5*sd/math.Sqrt(nSamples)+1e-3 {
+			t.Errorf("%s: sample mean %g, quadrature %g", f.Name(), mean, wantMean)
+		}
+		if math.Abs(m2-wantM2) > 0.05*(1+wantM2) {
+			t.Errorf("%s: sample E[x²] %g, quadrature %g", f.Name(), m2, wantM2)
+		}
+	}
+}
+
+func TestNormSqPositive(t *testing.T) {
+	for _, f := range families() {
+		for k := 0; k <= 10; k++ {
+			if v := f.NormSq(k); v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: NormSq(%d) = %g", f.Name(), k, v)
+			}
+		}
+	}
+}
+
+func TestHermiteNormSqIsFactorial(t *testing.T) {
+	h := Hermite{}
+	want := 1.0
+	for k := 0; k <= 12; k++ {
+		if k > 0 {
+			want *= float64(k)
+		}
+		if got := h.NormSq(k); got != want {
+			t.Errorf("NormSq(%d) = %g, want %g", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package quad_test
+
+import (
+	"fmt"
+	"math"
+
+	"opera/internal/quad"
+)
+
+// ExampleGaussHermite prints the classical 3-point rule for the
+// standard Gaussian: nodes ±√3 and 0 with weights 1/6, 2/3, 1/6.
+func ExampleGaussHermite() {
+	r, err := quad.GaussHermite(3)
+	if err != nil {
+		panic(err)
+	}
+	for i := range r.Nodes {
+		x := r.Nodes[i]
+		if math.Abs(x) < 1e-12 {
+			x = 0 // normalize the middle node's sign for display
+		}
+		fmt.Printf("x = %+.4f  w = %.4f\n", x, r.Weights[i])
+	}
+	// Exactness: E[ξ⁴] = 3 for a standard Gaussian.
+	m4 := r.Integrate(func(x float64) float64 { return x * x * x * x })
+	fmt.Printf("E[x^4] = %.1f\n", m4)
+	// Output:
+	// x = -1.7321  w = 0.1667
+	// x = +0.0000  w = 0.6667
+	// x = +1.7321  w = 0.1667
+	// E[x^4] = 3.0
+}

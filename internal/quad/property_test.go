@@ -1,0 +1,109 @@
+package quad
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestGaussExactnessProperty: for every family and random rule size n,
+// the n-point rule integrates random polynomials of degree ≤ 2n−1
+// exactly, compared against a much larger reference rule.
+func TestGaussExactnessProperty(t *testing.T) {
+	type ruleGen struct {
+		name string
+		gen  func(n int) (Rule, error)
+	}
+	gens := []ruleGen{
+		{"hermite", GaussHermite},
+		{"legendre", GaussLegendre},
+		{"laguerre", func(n int) (Rule, error) { return GaussLaguerre(n, 0.7) }},
+		{"jacobi", func(n int) (Rule, error) { return GaussJacobi(n, 0.3, 1.2) }},
+	}
+	for _, g := range gens {
+		g := g
+		f := func(seedRaw int64) bool {
+			seed := seedRaw
+			if seed < 0 {
+				seed = -seed
+			}
+			n := 1 + int(seed%9)
+			deg := 2*n - 1
+			rule, err := g.gen(n)
+			if err != nil {
+				return false
+			}
+			ref, err := g.gen(n + 8)
+			if err != nil {
+				return false
+			}
+			// Random-ish polynomial of degree deg from the seed.
+			coef := make([]float64, deg+1)
+			s := uint64(seed) + 12345
+			for i := range coef {
+				s = s*6364136223846793005 + 1442695040888963407
+				coef[i] = float64(int64(s>>33))/float64(1<<30) - 1
+			}
+			p := func(x float64) float64 {
+				v := 0.0
+				for i := deg; i >= 0; i-- {
+					v = v*x + coef[i]
+				}
+				return v
+			}
+			got := rule.Integrate(p)
+			want := ref.Integrate(p)
+			scale := math.Abs(want) + 1
+			return math.Abs(got-want) < 1e-8*scale
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("%s: %v", g.name, err)
+		}
+	}
+}
+
+// TestWeightPositivityProperty: Gauss weights are strictly positive for
+// every family and size — a defining property of Gaussian quadrature
+// that the Golub–Welsch construction must preserve.
+func TestWeightPositivityProperty(t *testing.T) {
+	for n := 1; n <= 25; n++ {
+		for name, gen := range map[string]func() (Rule, error){
+			"hermite":  func() (Rule, error) { return GaussHermite(n) },
+			"legendre": func() (Rule, error) { return GaussLegendre(n) },
+			"laguerre": func() (Rule, error) { return GaussLaguerre(n, 2.5) },
+			"jacobi":   func() (Rule, error) { return GaussJacobi(n, 1.5, 0.2) },
+		} {
+			r, err := gen()
+			if err != nil {
+				t.Fatalf("%s(%d): %v", name, n, err)
+			}
+			for i, w := range r.Weights {
+				if w <= 0 {
+					t.Errorf("%s(%d): weight %d = %g", name, n, i, w)
+				}
+			}
+		}
+	}
+}
+
+// TestSymmetricFamiliesHaveSymmetricNodes: Hermite and Legendre nodes
+// come in ± pairs with equal weights.
+func TestSymmetricFamiliesHaveSymmetricNodes(t *testing.T) {
+	for _, gen := range []func(int) (Rule, error){GaussHermite, GaussLegendre} {
+		for _, n := range []int{2, 5, 10, 17} {
+			r, err := gen(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range r.Nodes {
+				j := len(r.Nodes) - 1 - i
+				if math.Abs(r.Nodes[i]+r.Nodes[j]) > 1e-10 {
+					t.Errorf("n=%d: nodes %d/%d not symmetric: %g vs %g", n, i, j, r.Nodes[i], r.Nodes[j])
+				}
+				if math.Abs(r.Weights[i]-r.Weights[j]) > 1e-10 {
+					t.Errorf("n=%d: weights %d/%d differ", n, i, j)
+				}
+			}
+		}
+	}
+}

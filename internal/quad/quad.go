@@ -1,0 +1,217 @@
+// Package quad computes Gaussian quadrature rules for the probability
+// measures of the Askey scheme — Gauss–Hermite (Gaussian), Gauss–Legendre
+// (uniform), Gauss–Laguerre (Gamma) and Gauss–Jacobi (Beta) — via the
+// Golub–Welsch algorithm: the nodes are the eigenvalues of the symmetric
+// tridiagonal Jacobi matrix of the monic three-term recurrence and the
+// weights follow from the first components of its eigenvectors. All
+// rules are normalized so that the weights sum to one, i.e. they
+// integrate against a probability density. These rules provide the inner
+// products that orthogonalize the polynomial chaos bases.
+package quad
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rule is an n-point quadrature rule for a probability measure:
+// ∫ f dP ≈ Σ Weights[i]·f(Nodes[i]).
+type Rule struct {
+	Nodes   []float64
+	Weights []float64
+}
+
+// Integrate applies the rule to f.
+func (r Rule) Integrate(f func(float64) float64) float64 {
+	s := 0.0
+	for i, x := range r.Nodes {
+		s += r.Weights[i] * f(x)
+	}
+	return s
+}
+
+// golubWelsch computes the n-point rule from monic recurrence
+// coefficients: p_{k+1}(x) = (x − a[k])·p_k(x) − b[k]·p_{k−1}(x), where
+// b[0] = µ0 is the total mass of the measure.
+func golubWelsch(a, b []float64) (Rule, error) {
+	n := len(a)
+	d := append([]float64(nil), a...)
+	e := make([]float64, n)
+	for k := 1; k < n; k++ {
+		if b[k] < 0 {
+			return Rule{}, fmt.Errorf("quad: negative recurrence coefficient b[%d] = %g", k, b[k])
+		}
+		e[k-1] = math.Sqrt(b[k])
+	}
+	z := make([]float64, n)
+	z[0] = 1
+	if err := imtqlx(d, e, z); err != nil {
+		return Rule{}, err
+	}
+	w := make([]float64, n)
+	mu0 := b[0]
+	for i := range w {
+		w[i] = mu0 * z[i] * z[i]
+	}
+	return Rule{Nodes: d, Weights: w}, nil
+}
+
+// imtqlx diagonalizes a symmetric tridiagonal matrix by the implicit QL
+// method, simultaneously transforming the vector z (initialized to e₁)
+// so that on return z holds the first components of the normalized
+// eigenvectors. d is the diagonal (overwritten with eigenvalues in
+// ascending order), e the subdiagonal (e[n-1] unused, destroyed). This
+// is the classical IMTQLX routine used by Gaussian quadrature codes.
+func imtqlx(d, e, z []float64) error {
+	n := len(d)
+	if n == 1 {
+		return nil
+	}
+	const maxIter = 60
+	prec := machineEps()
+	e[n-1] = 0
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			if iter > maxIter {
+				return fmt.Errorf("quad: tridiagonal eigen iteration failed to converge at row %d", l)
+			}
+			// Find a small subdiagonal element.
+			m := l
+			for ; m < n-1; m++ {
+				if math.Abs(e[m]) <= prec*(math.Abs(d[m])+math.Abs(d[m+1])) {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				bb := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*bb
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - bb
+				// Transform the z vector.
+				f = z[i+1]
+				z[i+1] = s*z[i] + c*f
+				z[i] = c*z[i] - s*f
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	// Sort eigenvalues (and z) ascending by insertion sort.
+	for i := 1; i < n; i++ {
+		dv, zv := d[i], z[i]
+		j := i - 1
+		for j >= 0 && d[j] > dv {
+			d[j+1] = d[j]
+			z[j+1] = z[j]
+			j--
+		}
+		d[j+1] = dv
+		z[j+1] = zv
+	}
+	return nil
+}
+
+func machineEps() float64 {
+	return math.Nextafter(1, 2) - 1
+}
+
+// GaussHermite returns the n-point rule for the standard Gaussian
+// density (probabilists' convention: weight e^{−x²/2}/√(2π)).
+func GaussHermite(n int) (Rule, error) {
+	if n < 1 {
+		return Rule{}, fmt.Errorf("quad: GaussHermite needs n >= 1, got %d", n)
+	}
+	a := make([]float64, n)
+	b := make([]float64, n)
+	b[0] = 1 // total mass of a probability density
+	for k := 1; k < n; k++ {
+		b[k] = float64(k)
+	}
+	return golubWelsch(a, b)
+}
+
+// GaussLegendre returns the n-point rule for the uniform density on
+// [−1, 1].
+func GaussLegendre(n int) (Rule, error) {
+	if n < 1 {
+		return Rule{}, fmt.Errorf("quad: GaussLegendre needs n >= 1, got %d", n)
+	}
+	a := make([]float64, n)
+	b := make([]float64, n)
+	b[0] = 1
+	for k := 1; k < n; k++ {
+		fk := float64(k)
+		b[k] = fk * fk / (4*fk*fk - 1)
+	}
+	return golubWelsch(a, b)
+}
+
+// GaussLaguerre returns the n-point rule for the Gamma(α+1, 1)
+// probability density x^α e^{−x}/Γ(α+1) on [0, ∞). α > −1.
+func GaussLaguerre(n int, alpha float64) (Rule, error) {
+	if n < 1 {
+		return Rule{}, fmt.Errorf("quad: GaussLaguerre needs n >= 1, got %d", n)
+	}
+	if alpha <= -1 {
+		return Rule{}, fmt.Errorf("quad: GaussLaguerre needs alpha > -1, got %g", alpha)
+	}
+	a := make([]float64, n)
+	b := make([]float64, n)
+	b[0] = 1
+	for k := 0; k < n; k++ {
+		a[k] = 2*float64(k) + alpha + 1
+		if k > 0 {
+			b[k] = float64(k) * (float64(k) + alpha)
+		}
+	}
+	return golubWelsch(a, b)
+}
+
+// GaussJacobi returns the n-point rule for the Beta-type probability
+// density ∝ (1−x)^α (1+x)^β on [−1, 1]. α, β > −1.
+func GaussJacobi(n int, alpha, beta float64) (Rule, error) {
+	if n < 1 {
+		return Rule{}, fmt.Errorf("quad: GaussJacobi needs n >= 1, got %d", n)
+	}
+	if alpha <= -1 || beta <= -1 {
+		return Rule{}, fmt.Errorf("quad: GaussJacobi needs alpha, beta > -1, got %g, %g", alpha, beta)
+	}
+	a := make([]float64, n)
+	b := make([]float64, n)
+	ab := alpha + beta
+	a[0] = (beta - alpha) / (ab + 2)
+	b[0] = 1 // normalized to probability mass
+	for k := 1; k < n; k++ {
+		fk := float64(k)
+		den := 2*fk + ab
+		a[k] = (beta*beta - alpha*alpha) / (den * (den + 2))
+		if k == 1 {
+			b[1] = 4 * (alpha + 1) * (beta + 1) / ((ab + 2) * (ab + 2) * (ab + 3))
+		} else {
+			b[k] = 4 * fk * (fk + alpha) * (fk + beta) * (fk + ab) /
+				(den * den * (den + 1) * (den - 1))
+		}
+	}
+	return golubWelsch(a, b)
+}

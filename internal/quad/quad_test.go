@@ -1,0 +1,186 @@
+package quad
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %.15g, want %.15g (tol %g)", name, got, want, tol)
+	}
+}
+
+func checkProbability(t *testing.T, r Rule) {
+	t.Helper()
+	s := 0.0
+	for _, w := range r.Weights {
+		if w < 0 {
+			t.Errorf("negative weight %g", w)
+		}
+		s += w
+	}
+	approx(t, "weight sum", s, 1, 1e-12)
+}
+
+func TestGaussHermiteMoments(t *testing.T) {
+	// n-point Gauss-Hermite integrates polynomials up to degree 2n-1
+	// exactly; standard normal moments: E[x^k] = (k-1)!! for even k.
+	r, err := GaussHermite(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkProbability(t, r)
+	moments := map[int]float64{0: 1, 1: 0, 2: 1, 3: 0, 4: 3, 5: 0, 6: 15, 8: 105, 10: 945, 12: 10395, 14: 135135}
+	for k, want := range moments {
+		got := r.Integrate(func(x float64) float64 { return math.Pow(x, float64(k)) })
+		approx(t, "E[x^k]", got, want, 1e-8*math.Max(1, want))
+	}
+}
+
+func TestGaussHermiteSmallRules(t *testing.T) {
+	// The 2-point rule is x = ±1 with weights 1/2.
+	r, err := GaussHermite(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "node 0", r.Nodes[0], -1, 1e-12)
+	approx(t, "node 1", r.Nodes[1], 1, 1e-12)
+	approx(t, "weight 0", r.Weights[0], 0.5, 1e-12)
+	// The 3-point rule is x = -√3, 0, √3 with weights 1/6, 2/3, 1/6.
+	r3, err := GaussHermite(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "3pt node", r3.Nodes[0], -math.Sqrt(3), 1e-12)
+	approx(t, "3pt mid", r3.Nodes[1], 0, 1e-12)
+	approx(t, "3pt w mid", r3.Weights[1], 2.0/3, 1e-12)
+}
+
+func TestGaussLegendreMoments(t *testing.T) {
+	r, err := GaussLegendre(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkProbability(t, r)
+	// Uniform on [-1,1]: E[x^k] = 1/(k+1) for even k, 0 for odd.
+	for k := 0; k <= 11; k++ {
+		want := 0.0
+		if k%2 == 0 {
+			want = 1 / float64(k+1)
+		}
+		got := r.Integrate(func(x float64) float64 { return math.Pow(x, float64(k)) })
+		approx(t, "uniform moment", got, want, 1e-12)
+	}
+}
+
+func TestGaussLegendreClassicNodes(t *testing.T) {
+	// 2-point Gauss-Legendre: ±1/√3.
+	r, err := GaussLegendre(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "node", r.Nodes[1], 1/math.Sqrt(3), 1e-13)
+}
+
+func TestGaussLaguerreMoments(t *testing.T) {
+	for _, alpha := range []float64{0, 0.5, 2} {
+		r, err := GaussLaguerre(7, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkProbability(t, r)
+		// Gamma(α+1,1) moments: E[x^k] = Γ(α+1+k)/Γ(α+1).
+		want := 1.0
+		for k := 1; k <= 5; k++ {
+			want *= alpha + float64(k)
+			got := r.Integrate(func(x float64) float64 { return math.Pow(x, float64(k)) })
+			approx(t, "gamma moment", got, want, 1e-9*want)
+		}
+	}
+}
+
+func TestGaussJacobiMoments(t *testing.T) {
+	// Jacobi(α=1, β=2): density ∝ (1-x)(1+x)². Mean of the Beta-type
+	// distribution on [-1,1]: with a=β+1=3, b=α+1=2 on [0,1] scale,
+	// E[u] = a/(a+b) = 3/5, so E[x] = 2·(3/5) − 1 = 1/5.
+	r, err := GaussJacobi(6, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkProbability(t, r)
+	mean := r.Integrate(func(x float64) float64 { return x })
+	approx(t, "jacobi mean", mean, 0.2, 1e-12)
+	// Var(u) = ab/((a+b)²(a+b+1)) = 6/(25·6) = 1/25; Var(x) = 4·Var(u).
+	ex2 := r.Integrate(func(x float64) float64 { return x * x })
+	approx(t, "jacobi var", ex2-mean*mean, 4.0/25, 1e-12)
+}
+
+func TestGaussJacobiSymmetricIsLegendreLike(t *testing.T) {
+	// Jacobi(0,0) equals Legendre.
+	rj, err := GaussJacobi(5, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := GaussLegendre(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rj.Nodes {
+		approx(t, "node", rj.Nodes[i], rl.Nodes[i], 1e-12)
+		approx(t, "weight", rj.Weights[i], rl.Weights[i], 1e-12)
+	}
+}
+
+func TestRuleExactnessDegree(t *testing.T) {
+	// n-point Gauss rule integrates degree 2n-1 exactly but not 2n:
+	// check Hermite with the 2n-th moment.
+	n := 4
+	r, err := GaussHermite(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degree 2n-1 = 7 exact: E[x^7] = 0 by symmetry — use x^6 (deg 6): 15.
+	approx(t, "deg 6", r.Integrate(func(x float64) float64 { return math.Pow(x, 6) }), 15, 1e-9)
+	// Degree 8 must be wrong for n=4: E[x^8] = 105.
+	got := r.Integrate(func(x float64) float64 { return math.Pow(x, 8) })
+	if math.Abs(got-105) < 1e-6 {
+		t.Errorf("4-point rule unexpectedly exact at degree 8 (got %g)", got)
+	}
+}
+
+func TestInvalidArguments(t *testing.T) {
+	if _, err := GaussHermite(0); err == nil {
+		t.Error("GaussHermite(0) should fail")
+	}
+	if _, err := GaussLaguerre(3, -1.5); err == nil {
+		t.Error("GaussLaguerre with alpha <= -1 should fail")
+	}
+	if _, err := GaussJacobi(3, -2, 0); err == nil {
+		t.Error("GaussJacobi with alpha <= -1 should fail")
+	}
+}
+
+func TestSinglePointRules(t *testing.T) {
+	r, err := GaussHermite(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "1pt node", r.Nodes[0], 0, 1e-15)
+	approx(t, "1pt weight", r.Weights[0], 1, 1e-15)
+}
+
+func TestNodesAscending(t *testing.T) {
+	for _, n := range []int{2, 5, 11, 20, 40} {
+		r, err := GaussHermite(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < n; i++ {
+			if r.Nodes[i] <= r.Nodes[i-1] {
+				t.Fatalf("n=%d: nodes not ascending at %d", n, i)
+			}
+		}
+	}
+}

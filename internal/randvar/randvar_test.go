@@ -1,0 +1,267 @@
+package randvar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRunningMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var r Running
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = 3 + 2*rng.NormFloat64()
+		r.Push(xs[i])
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var m2, m3, m4 float64
+	for _, x := range xs {
+		d := x - mean
+		m2 += d * d
+		m3 += d * d * d
+		m4 += d * d * d * d
+	}
+	n := float64(len(xs))
+	if math.Abs(r.Mean()-mean) > 1e-10 {
+		t.Errorf("mean %g vs %g", r.Mean(), mean)
+	}
+	if math.Abs(r.Variance()-m2/n) > 1e-9 {
+		t.Errorf("var %g vs %g", r.Variance(), m2/n)
+	}
+	wantSkew := math.Sqrt(n) * m3 / math.Pow(m2, 1.5)
+	if math.Abs(r.Skewness()-wantSkew) > 1e-8 {
+		t.Errorf("skew %g vs %g", r.Skewness(), wantSkew)
+	}
+	wantKurt := n*m4/(m2*m2) - 3
+	if math.Abs(r.ExcessKurtosis()-wantKurt) > 1e-7 {
+		t.Errorf("kurt %g vs %g", r.ExcessKurtosis(), wantKurt)
+	}
+}
+
+func TestRunningMinMax(t *testing.T) {
+	var r Running
+	for _, x := range []float64{3, -1, 7, 2} {
+		r.Push(x)
+	}
+	if r.Min() != -1 || r.Max() != 7 {
+		t.Errorf("min %g max %g", r.Min(), r.Max())
+	}
+	if r.N() != 4 {
+		t.Errorf("n = %d", r.N())
+	}
+}
+
+func TestRunningGaussianMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var r Running
+	for i := 0; i < 200000; i++ {
+		r.Push(rng.NormFloat64())
+	}
+	if math.Abs(r.Mean()) > 0.01 {
+		t.Errorf("mean %g", r.Mean())
+	}
+	if math.Abs(r.Variance()-1) > 0.02 {
+		t.Errorf("var %g", r.Variance())
+	}
+	if math.Abs(r.Skewness()) > 0.05 {
+		t.Errorf("skew %g", r.Skewness())
+	}
+	if math.Abs(r.ExcessKurtosis()) > 0.1 {
+		t.Errorf("kurt %g", r.ExcessKurtosis())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Push(float64(i) + 0.5)
+	}
+	h.Push(-5)  // clamps to bin 0
+	h.Push(100) // clamps to last bin
+	if h.Total() != 12 {
+		t.Errorf("total %d", h.Total())
+	}
+	if h.Counts[0] != 2 || h.Counts[9] != 2 {
+		t.Errorf("edge bins %d %d", h.Counts[0], h.Counts[9])
+	}
+	pct := h.Percent()
+	sum := 0.0
+	for _, p := range pct {
+		sum += p
+	}
+	if math.Abs(sum-100) > 1e-9 {
+		t.Errorf("percent sums to %g", sum)
+	}
+	centers := h.BinCenters()
+	if centers[0] != 0.5 || centers[9] != 9.5 {
+		t.Errorf("centers %v", centers)
+	}
+}
+
+func TestKolmogorovSmirnov(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := make([]float64, 4000)
+	b := make([]float64, 4000)
+	c := make([]float64, 4000)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+		c[i] = rng.NormFloat64() + 2 // shifted
+	}
+	same := KolmogorovSmirnov(a, b)
+	diff := KolmogorovSmirnov(a, c)
+	if same > 0.05 {
+		t.Errorf("KS of identical distributions %g", same)
+	}
+	if diff < 0.5 {
+		t.Errorf("KS of shifted distributions %g", diff)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Errorf("q0 = %g", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Errorf("q1 = %g", q)
+	}
+	if q := Quantile(xs, 0.5); q != 3 {
+		t.Errorf("median = %g", q)
+	}
+	if q := Quantile(xs, 0.25); q != 2 {
+		t.Errorf("q25 = %g", q)
+	}
+}
+
+func TestPCARoundTrip(t *testing.T) {
+	// Build a known covariance, sample through PCA, verify empirical
+	// covariance matches.
+	cov := [][]float64{
+		{4, 1.2, 0.5},
+		{1.2, 2, -0.3},
+		{0.5, -0.3, 1},
+	}
+	mean := []float64{1, -2, 0.5}
+	p, err := NewPCA(mean, cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	const n = 300000
+	sum := make([]float64, 3)
+	cc := make([][]float64, 3)
+	for i := range cc {
+		cc[i] = make([]float64, 3)
+	}
+	z := make([]float64, 3)
+	for s := 0; s < n; s++ {
+		for d := range z {
+			z[d] = rng.NormFloat64()
+		}
+		x := p.Transform(z)
+		for i := 0; i < 3; i++ {
+			sum[i] += x[i]
+		}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				cc[i][j] += (x[i] - mean[i]) * (x[j] - mean[j])
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if math.Abs(sum[i]/n-mean[i]) > 0.02 {
+			t.Errorf("mean[%d] = %g, want %g", i, sum[i]/n, mean[i])
+		}
+		for j := 0; j < 3; j++ {
+			if math.Abs(cc[i][j]/n-cov[i][j]) > 0.05 {
+				t.Errorf("cov[%d][%d] = %g, want %g", i, j, cc[i][j]/n, cov[i][j])
+			}
+		}
+	}
+}
+
+func TestPCAEigenvaluesOfDiagonal(t *testing.T) {
+	p, err := NewPCA([]float64{0, 0}, [][]float64{{9, 0}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Lambda[0]-9) > 1e-10 || math.Abs(p.Lambda[1]-1) > 1e-10 {
+		t.Errorf("eigenvalues %v", p.Lambda)
+	}
+}
+
+func TestPCARejectsAsymmetric(t *testing.T) {
+	if _, err := NewPCA([]float64{0, 0}, [][]float64{{1, 0.5}, {0.2, 1}}); err == nil {
+		t.Error("expected error for asymmetric covariance")
+	}
+}
+
+func TestPCARejectsIndefinite(t *testing.T) {
+	if _, err := NewPCA([]float64{0, 0}, [][]float64{{1, 2}, {2, 1}}); err == nil {
+		t.Error("expected error for indefinite covariance")
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := map[float64]float64{
+		0.5:    0,
+		0.8413: 0.9998, // ≈ 1
+		0.9772: 1.9991, // ≈ 2
+		0.0228: -1.9991,
+	}
+	for p, want := range cases {
+		if got := NormalQuantile(p); math.Abs(got-want) > 5e-3 {
+			t.Errorf("Phi^-1(%g) = %g, want ≈ %g", p, got, want)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("quantile at 0/1 should be infinite")
+	}
+}
+
+func TestLatinHypercubeNormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n, dim = 1000, 3
+	xs := LatinHypercubeNormal(rng, n, dim)
+	for d := 0; d < dim; d++ {
+		var r Running
+		for i := 0; i < n; i++ {
+			r.Push(xs[i][d])
+		}
+		// LHS matches moments much faster than plain MC.
+		if math.Abs(r.Mean()) > 0.01 {
+			t.Errorf("dim %d mean %g", d, r.Mean())
+		}
+		if math.Abs(r.Variance()-1) > 0.05 {
+			t.Errorf("dim %d var %g", d, r.Variance())
+		}
+	}
+}
+
+func TestNewStreamIndependence(t *testing.T) {
+	a := NewStream(42, 0)
+	b := NewStream(42, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams with different ids produced %d identical draws", same)
+	}
+	// Same seed+id is reproducible.
+	c := NewStream(42, 0)
+	d := NewStream(42, 0)
+	for i := 0; i < 100; i++ {
+		if c.Float64() != d.Float64() {
+			t.Fatal("same stream not reproducible")
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package randvar supplies the probabilistic substrate for OPERA's
+// Monte Carlo baseline and its validation: reproducible RNG streams,
+// streaming (Welford) moment accumulators, histograms, two-sample
+// Kolmogorov–Smirnov distance, principal-component decorrelation of
+// correlated Gaussian parameter vectors (paper §5: correlated variations
+// "can always be transformed into a set of uncorrelated random variables
+// by an orthogonal transformation technique like principal component
+// analysis"), and Latin hypercube sampling.
+package randvar
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// NewStream returns a deterministic RNG stream. Distinct ids derived
+// from one seed give independent, reproducible streams for parallel
+// Monte Carlo.
+func NewStream(seed, id int64) *rand.Rand {
+	// SplitMix-style mixing to decorrelate sequential ids.
+	z := uint64(seed) + uint64(id)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return rand.New(rand.NewSource(int64(z)))
+}
+
+// Running accumulates streaming moments with Welford's algorithm; it is
+// numerically stable over millions of samples.
+type Running struct {
+	n        int
+	mean, m2 float64
+	m3, m4   float64
+	min, max float64
+}
+
+// Push adds one observation.
+func (r *Running) Push(x float64) {
+	if r.n == 0 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	n1 := float64(r.n)
+	r.n++
+	n := float64(r.n)
+	delta := x - r.mean
+	deltaN := delta / n
+	deltaN2 := deltaN * deltaN
+	term1 := delta * deltaN * n1
+	r.mean += deltaN
+	r.m4 += term1*deltaN2*(n*n-3*n+3) + 6*deltaN2*r.m2 - 4*deltaN*r.m3
+	r.m3 += term1*deltaN*(n-2) - 3*deltaN*r.m2
+	r.m2 += term1
+}
+
+// N returns the sample count.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the sample mean.
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the population (biased, divide-by-n) variance, which
+// is the estimator the paper's Monte Carlo comparison uses.
+func (r *Running) Variance() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// SampleVariance returns the unbiased (divide-by-n−1) variance.
+func (r *Running) SampleVariance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// Std returns the population standard deviation.
+func (r *Running) Std() float64 { return math.Sqrt(r.Variance()) }
+
+// Skewness returns the sample skewness.
+func (r *Running) Skewness() float64 {
+	if r.m2 == 0 {
+		return 0
+	}
+	n := float64(r.n)
+	return math.Sqrt(n) * r.m3 / math.Pow(r.m2, 1.5)
+}
+
+// ExcessKurtosis returns the sample excess kurtosis.
+func (r *Running) ExcessKurtosis() float64 {
+	if r.m2 == 0 {
+		return 0
+	}
+	n := float64(r.n)
+	return n*r.m4/(r.m2*r.m2) - 3
+}
+
+// Min and Max return the observed extremes.
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest observation.
+func (r *Running) Max() float64 { return r.max }
+
+// Histogram is a fixed-bin histogram over [Lo, Hi); out-of-range
+// observations clamp into the edge bins so mass is never lost.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if !(hi > lo) || bins < 1 {
+		panic(fmt.Sprintf("randvar: invalid histogram [%g,%g) with %d bins", lo, hi, bins))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Push adds one observation.
+func (h *Histogram) Push(x float64) {
+	b := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(h.Counts) {
+		b = len(h.Counts) - 1
+	}
+	h.Counts[b]++
+	h.total++
+}
+
+// PushAll adds a batch.
+func (h *Histogram) PushAll(xs []float64) {
+	for _, x := range xs {
+		h.Push(x)
+	}
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Percent returns each bin's share of the total in percent (the y-axis
+// of the paper's Figures 1–2, "% of occurrences").
+func (h *Histogram) Percent() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = 100 * float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// BinCenters returns the center abscissa of each bin.
+func (h *Histogram) BinCenters() []float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	out := make([]float64, len(h.Counts))
+	for i := range out {
+		out[i] = h.Lo + (float64(i)+0.5)*w
+	}
+	return out
+}
+
+// KolmogorovSmirnov returns the two-sample KS statistic
+// sup |F̂_a − F̂_b|. It is used to compare OPERA-sampled voltage
+// distributions with Monte Carlo ones.
+func KolmogorovSmirnov(a, b []float64) float64 {
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	i, j := 0, 0
+	d := 0.0
+	na, nb := float64(len(as)), float64(len(bs))
+	for i < len(as) && j < len(bs) {
+		if as[i] <= bs[j] {
+			i++
+		} else {
+			j++
+		}
+		if diff := math.Abs(float64(i)/na - float64(j)/nb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by linear
+// interpolation on the sorted order statistics.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("randvar: Quantile of empty sample")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}

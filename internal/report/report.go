@@ -1,0 +1,180 @@
+// Package report renders experiment outputs in the shapes the paper
+// publishes: the Table 1 grid-by-grid comparison (sizes, accuracy
+// columns, CPU times, speedups) and the Figures 1–2 voltage-drop
+// distribution plots ("% of occurrences" vs "voltage drop as % VDD") as
+// aligned text tables, ASCII charts and CSV.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{Headers: headers}
+}
+
+// AddRow appends a formatted row; values are rendered with %v unless
+// they are float64 (rendered %.4g) or string.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Write renders the table with column alignment.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		return strings.TrimRight(sb.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Headers)); err != nil {
+		return err
+	}
+	total := len(t.Headers)*2 - 2
+	for _, wd := range widths {
+		total += wd
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	all := append([][]string{t.Headers}, t.Rows...)
+	for _, row := range all {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = esc(c)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is a named (x, y) sequence, the unit of the figure outputs.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// WriteSeriesCSV renders several series sharing an x-axis as CSV
+// columns: x, name1, name2, …  All series must share X.
+func WriteSeriesCSV(w io.Writer, xLabel string, series ...Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("report: no series")
+	}
+	n := len(series[0].X)
+	for _, s := range series {
+		if len(s.X) != n || len(s.Y) != n {
+			return fmt.Errorf("report: series %q has mismatched lengths", s.Name)
+		}
+	}
+	head := []string{xLabel}
+	for _, s := range series {
+		head = append(head, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(head, ",")); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		cells := []string{fmt.Sprintf("%g", series[0].X[i])}
+		for _, s := range series {
+			cells = append(cells, fmt.Sprintf("%g", s.Y[i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AsciiChart renders series as a side-by-side bar chart in the style of
+// the paper's distribution figures: one row per x bin, bars scaled to
+// width columns. Two series render as paired glyphs ('#' and 'o').
+func AsciiChart(w io.Writer, xLabel, yLabel string, width int, series ...Series) error {
+	if len(series) == 0 || len(series) > 2 {
+		return fmt.Errorf("report: AsciiChart supports 1 or 2 series, got %d", len(series))
+	}
+	if width < 10 {
+		width = 40
+	}
+	maxY := 0.0
+	for _, s := range series {
+		for _, y := range s.Y {
+			if y > maxY {
+				maxY = y
+			}
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	glyphs := []byte{'#', 'o'}
+	fmt.Fprintf(w, "%s vs %s", yLabel, xLabel)
+	for i, s := range series {
+		fmt.Fprintf(w, "   [%c] %s", glyphs[i], s.Name)
+	}
+	fmt.Fprintln(w)
+	for i := range series[0].X {
+		fmt.Fprintf(w, "%8.3f |", series[0].X[i])
+		for si, s := range series {
+			n := int(s.Y[i] / maxY * float64(width))
+			fmt.Fprintf(w, " %-*s", width, strings.Repeat(string(glyphs[si]), n))
+			if si == 0 && len(series) == 2 {
+				fmt.Fprint(w, "|")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("short", 1)
+	tb.AddRow("much-longer-name", 3.14159)
+	var buf bytes.Buffer
+	if err := tb.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header line %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "3.142") {
+		t.Errorf("float formatting: %q", lines[3])
+	}
+	// Columns align: "value" header starts at the same offset as 1.
+	off := strings.Index(lines[0], "value")
+	if lines[2][off:off+1] != "1" {
+		t.Errorf("misaligned columns:\n%s", buf.String())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("x,y", `quote"d`)
+	var buf bytes.Buffer
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",\"quote\"\"d\"\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteSeriesCSV(&buf, "x",
+		Series{Name: "mc", X: []float64{1, 2}, Y: []float64{10, 20}},
+		Series{Name: "opera", X: []float64{1, 2}, Y: []float64{11, 19}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "x,mc,opera\n1,10,11\n2,20,19\n"
+	if buf.String() != want {
+		t.Errorf("got %q", buf.String())
+	}
+}
+
+func TestWriteSeriesCSVMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteSeriesCSV(&buf, "x",
+		Series{Name: "a", X: []float64{1, 2}, Y: []float64{1}},
+	)
+	if err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestAsciiChart(t *testing.T) {
+	var buf bytes.Buffer
+	err := AsciiChart(&buf, "drop", "pct", 10,
+		Series{Name: "MC", X: []float64{1, 2, 3}, Y: []float64{5, 10, 2.5}},
+		Series{Name: "OPERA", X: []float64{1, 2, 3}, Y: []float64{4, 10, 3}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "##########") {
+		t.Errorf("max bar not full width:\n%s", out)
+	}
+	if !strings.Contains(out, "oooooooooo") {
+		t.Errorf("second series missing:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 4 {
+		t.Errorf("expected header + 3 rows:\n%s", out)
+	}
+}
+
+func TestAsciiChartRejectsTooManySeries(t *testing.T) {
+	var buf bytes.Buffer
+	s := Series{Name: "s", X: []float64{1}, Y: []float64{1}}
+	if err := AsciiChart(&buf, "x", "y", 10, s, s, s); err == nil {
+		t.Error("3 series accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package sparse_test
+
+import (
+	"fmt"
+
+	"opera/internal/sparse"
+)
+
+// ExampleTriplet shows MNA-style stamping: duplicate entries sum.
+func ExampleTriplet() {
+	t := sparse.NewTriplet(2, 2, 8)
+	// Stamp a 2-ohm resistor between nodes 0 and 1 (conductance 0.5).
+	g := 0.5
+	t.Add(0, 0, g)
+	t.Add(1, 1, g)
+	t.Add(0, 1, -g)
+	t.Add(1, 0, -g)
+	// Stamp a pad conductance of 10 at node 0 — accumulates on (0,0).
+	t.Add(0, 0, 10)
+	m := t.Compile()
+	fmt.Printf("G[0][0] = %.1f\n", m.At(0, 0))
+	fmt.Printf("G[0][1] = %.1f\n", m.At(0, 1))
+	fmt.Printf("nnz = %d\n", m.NNZ())
+	// Output:
+	// G[0][0] = 10.5
+	// G[0][1] = -0.5
+	// nnz = 4
+}
+
+// ExampleAssembleBlocks builds a small stochastic Galerkin matrix
+// G̃ = I⊗Ga + T⊗Gg (the structure of the paper's Eq. 19).
+func ExampleAssembleBlocks() {
+	ga := sparse.FromDense([][]float64{{4, -1}, {-1, 4}})
+	gg := sparse.FromDense([][]float64{{0.4, -0.1}, {-0.1, 0.4}})
+	ident := sparse.Identity(2)
+	coupling := sparse.FromDense([][]float64{{0, 1}, {1, 0}}) // E[ξψiψj]
+	gh := sparse.AssembleBlocks(2, 2, []sparse.BlockTerm{
+		{T: ident, A: ga},
+		{T: coupling, A: gg},
+	})
+	fmt.Printf("%dx%d, symmetric: %v\n", gh.Rows, gh.Cols, gh.IsSymmetric(0))
+	fmt.Printf("block(0,1) entry = %.1f\n", gh.At(0, 2))
+	// Output:
+	// 4x4, symmetric: true
+	// block(0,1) entry = 0.4
+}

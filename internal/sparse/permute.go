@@ -1,0 +1,131 @@
+package sparse
+
+import "fmt"
+
+// InversePerm returns the inverse of permutation p: q[p[i]] = i.
+func InversePerm(p []int) []int {
+	q := make([]int, len(p))
+	for i, pi := range p {
+		q[pi] = i
+	}
+	return q
+}
+
+// IsPerm reports whether p is a permutation of 0..len(p)-1.
+func IsPerm(p []int) bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// PermVec gathers x into y according to y[k] = x[p[k]]. The returned
+// slice is newly allocated.
+func PermVec(p []int, x []float64) []float64 {
+	y := make([]float64, len(x))
+	for k, pk := range p {
+		y[k] = x[pk]
+	}
+	return y
+}
+
+// InvPermVec scatters x according to y[p[k]] = x[k].
+func InvPermVec(p []int, x []float64) []float64 {
+	y := make([]float64, len(x))
+	for k, pk := range p {
+		y[pk] = x[k]
+	}
+	return y
+}
+
+// Permute returns P·A·Qᵀ where P and Q are the permutations given by
+// prow and pcol in "new = old[p[new]]" convention: result(i,j) =
+// A(prow[i], pcol[j]). Pass nil for an identity permutation.
+func (m *Matrix) Permute(prow, pcol []int) *Matrix {
+	if prow != nil && len(prow) != m.Rows {
+		panic(fmt.Sprintf("sparse: Permute row permutation length %d != %d", len(prow), m.Rows))
+	}
+	if pcol != nil && len(pcol) != m.Cols {
+		panic(fmt.Sprintf("sparse: Permute column permutation length %d != %d", len(pcol), m.Cols))
+	}
+	// invRow maps old row -> new row.
+	var invRow []int
+	if prow != nil {
+		invRow = InversePerm(prow)
+	}
+	nz := m.NNZ()
+	colp := make([]int, m.Cols+1)
+	rowi := make([]int, nz)
+	val := make([]float64, nz)
+	p := 0
+	for jnew := 0; jnew < m.Cols; jnew++ {
+		jold := jnew
+		if pcol != nil {
+			jold = pcol[jnew]
+		}
+		colp[jnew] = p
+		for q := m.Colp[jold]; q < m.Colp[jold+1]; q++ {
+			i := m.Rowi[q]
+			if invRow != nil {
+				i = invRow[i]
+			}
+			rowi[p] = i
+			val[p] = m.Val[q]
+			p++
+		}
+	}
+	colp[m.Cols] = p
+	r := &Matrix{Rows: m.Rows, Cols: m.Cols, Colp: colp, Rowi: rowi, Val: val}
+	r.sortColumns()
+	return r
+}
+
+// SymPerm returns P·A·Pᵀ for a symmetric matrix A of which the full
+// pattern is stored; it is a convenience over Permute(p, p).
+func (m *Matrix) SymPerm(p []int) *Matrix {
+	if m.Rows != m.Cols {
+		panic("sparse: SymPerm requires a square matrix")
+	}
+	return m.Permute(p, p)
+}
+
+// UpperTriangle returns the upper-triangular part of A (including the
+// diagonal) as a new matrix. Direct symmetric factorizations consume
+// this half-storage form.
+func (m *Matrix) UpperTriangle() *Matrix {
+	colp := make([]int, m.Cols+1)
+	rowi := make([]int, 0, (m.NNZ()+m.Cols)/2+m.Cols)
+	val := make([]float64, 0, cap(rowi))
+	for j := 0; j < m.Cols; j++ {
+		for p := m.Colp[j]; p < m.Colp[j+1]; p++ {
+			if m.Rowi[p] <= j {
+				rowi = append(rowi, m.Rowi[p])
+				val = append(val, m.Val[p])
+			}
+		}
+		colp[j+1] = len(rowi)
+	}
+	return &Matrix{Rows: m.Rows, Cols: m.Cols, Colp: colp, Rowi: rowi, Val: val}
+}
+
+// LowerTriangle returns the lower-triangular part of A (including the
+// diagonal) as a new matrix.
+func (m *Matrix) LowerTriangle() *Matrix {
+	colp := make([]int, m.Cols+1)
+	rowi := make([]int, 0, (m.NNZ()+m.Cols)/2+m.Cols)
+	val := make([]float64, 0, cap(rowi))
+	for j := 0; j < m.Cols; j++ {
+		for p := m.Colp[j]; p < m.Colp[j+1]; p++ {
+			if m.Rowi[p] >= j {
+				rowi = append(rowi, m.Rowi[p])
+				val = append(val, m.Val[p])
+			}
+		}
+		colp[j+1] = len(rowi)
+	}
+	return &Matrix{Rows: m.Rows, Cols: m.Cols, Colp: colp, Rowi: rowi, Val: val}
+}

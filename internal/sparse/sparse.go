@@ -1,0 +1,302 @@
+// Package sparse provides the sparse linear-algebra kernel used by every
+// other subsystem in OPERA: a triplet (COO) builder, a compressed
+// sparse-column (CSC) matrix type, and the structural and arithmetic
+// operations (SpMV, add, scale, transpose, permutation, block assembly)
+// needed by the MNA stamper, the stochastic Galerkin assembler, and the
+// direct and iterative solvers.
+//
+// The design follows the conventions of compressed-column sparse codes:
+// a matrix is stored as column pointers Colp (length Cols+1), row
+// indices Rowi and values Val (length NNZ). Row indices within a column
+// are kept sorted unless a routine documents otherwise. All matrices are
+// real and use zero-based indexing.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Triplet accumulates matrix entries in coordinate (COO) form. Duplicate
+// entries are allowed and are summed when the triplet is compiled into a
+// Matrix; this is exactly the semantics needed by MNA "stamping".
+type Triplet struct {
+	Rows, Cols int
+	rowi       []int
+	coli       []int
+	val        []float64
+}
+
+// NewTriplet returns an empty triplet accumulator for an r-by-c matrix.
+// The capacity hint nz pre-allocates storage and may be zero.
+func NewTriplet(r, c, nz int) *Triplet {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("sparse: negative triplet dimensions %dx%d", r, c))
+	}
+	return &Triplet{
+		Rows: r,
+		Cols: c,
+		rowi: make([]int, 0, nz),
+		coli: make([]int, 0, nz),
+		val:  make([]float64, 0, nz),
+	}
+}
+
+// Add accumulates v into entry (i, j). Adding zero is permitted and
+// recorded (it preserves structural symmetry of stamped systems).
+func (t *Triplet) Add(i, j int, v float64) {
+	if i < 0 || i >= t.Rows || j < 0 || j >= t.Cols {
+		panic(fmt.Sprintf("sparse: triplet index (%d,%d) out of range %dx%d", i, j, t.Rows, t.Cols))
+	}
+	t.rowi = append(t.rowi, i)
+	t.coli = append(t.coli, j)
+	t.val = append(t.val, v)
+}
+
+// NNZ reports the number of accumulated entries (before duplicate
+// summation).
+func (t *Triplet) NNZ() int { return len(t.val) }
+
+// Compile converts the triplet to compressed sparse-column form, summing
+// duplicate entries. Exact zeros arising from cancellation are NOT
+// dropped: structural zeros are retained so that repeated stamps with
+// different values share one symbolic pattern.
+func (t *Triplet) Compile() *Matrix {
+	n := t.Cols
+	nz := len(t.val)
+	// Count entries per column.
+	count := make([]int, n+1)
+	for _, j := range t.coli {
+		count[j+1]++
+	}
+	for j := 0; j < n; j++ {
+		count[j+1] += count[j]
+	}
+	colp := count // count is now the column pointer array
+	rowi := make([]int, nz)
+	val := make([]float64, nz)
+	next := make([]int, n)
+	for j := 0; j < n; j++ {
+		next[j] = colp[j]
+	}
+	for k := 0; k < nz; k++ {
+		j := t.coli[k]
+		p := next[j]
+		next[j]++
+		rowi[p] = t.rowi[k]
+		val[p] = t.val[k]
+	}
+	m := &Matrix{Rows: t.Rows, Cols: t.Cols, Colp: colp, Rowi: rowi, Val: val}
+	m.sortColumns()
+	m.sumDuplicates()
+	return m
+}
+
+// Matrix is a sparse matrix in compressed sparse-column (CSC) form.
+type Matrix struct {
+	Rows, Cols int
+	Colp       []int // column pointers, length Cols+1
+	Rowi       []int // row indices, length NNZ
+	Val        []float64
+}
+
+// NewMatrix returns an all-zero CSC matrix of the given shape (no
+// structural entries).
+func NewMatrix(r, c int) *Matrix {
+	return &Matrix{Rows: r, Cols: c, Colp: make([]int, c+1)}
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) *Matrix {
+	m := &Matrix{Rows: n, Cols: n, Colp: make([]int, n+1), Rowi: make([]int, n), Val: make([]float64, n)}
+	for j := 0; j < n; j++ {
+		m.Colp[j] = j
+		m.Rowi[j] = j
+		m.Val[j] = 1
+	}
+	m.Colp[n] = n
+	return m
+}
+
+// Diagonal returns a square matrix with d on the diagonal.
+func Diagonal(d []float64) *Matrix {
+	n := len(d)
+	m := &Matrix{Rows: n, Cols: n, Colp: make([]int, n+1), Rowi: make([]int, n), Val: make([]float64, n)}
+	for j := 0; j < n; j++ {
+		m.Colp[j] = j
+		m.Rowi[j] = j
+		m.Val[j] = d[j]
+	}
+	m.Colp[n] = n
+	return m
+}
+
+// NNZ reports the number of stored entries.
+func (m *Matrix) NNZ() int { return m.Colp[m.Cols] }
+
+// At returns element (i, j). It is O(log nnz(column j)) and intended for
+// tests and small matrices, not inner loops.
+func (m *Matrix) At(i, j int) float64 {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("sparse: index (%d,%d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+	lo, hi := m.Colp[j], m.Colp[j+1]
+	k := lo + sort.SearchInts(m.Rowi[lo:hi], i)
+	if k < hi && m.Rowi[k] == i {
+		return m.Val[k]
+	}
+	return 0
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{
+		Rows: m.Rows, Cols: m.Cols,
+		Colp: append([]int(nil), m.Colp...),
+		Rowi: append([]int(nil), m.Rowi...),
+		Val:  append([]float64(nil), m.Val...),
+	}
+	return c
+}
+
+// CloneStructure returns a copy sharing no storage with m whose values
+// are all zero but whose sparsity pattern matches m exactly.
+func (m *Matrix) CloneStructure() *Matrix {
+	return &Matrix{
+		Rows: m.Rows, Cols: m.Cols,
+		Colp: append([]int(nil), m.Colp...),
+		Rowi: append([]int(nil), m.Rowi...),
+		Val:  make([]float64, m.NNZ()),
+	}
+}
+
+// sortColumns sorts row indices (and values) within each column.
+func (m *Matrix) sortColumns() {
+	for j := 0; j < m.Cols; j++ {
+		lo, hi := m.Colp[j], m.Colp[j+1]
+		col := columnSorter{rowi: m.Rowi[lo:hi], val: m.Val[lo:hi]}
+		sort.Sort(col)
+	}
+}
+
+type columnSorter struct {
+	rowi []int
+	val  []float64
+}
+
+// Len implements sort.Interface.
+func (c columnSorter) Len() int { return len(c.rowi) }
+
+// Less implements sort.Interface.
+func (c columnSorter) Less(i, j int) bool { return c.rowi[i] < c.rowi[j] }
+
+// Swap implements sort.Interface.
+func (c columnSorter) Swap(i, j int) {
+	c.rowi[i], c.rowi[j] = c.rowi[j], c.rowi[i]
+	c.val[i], c.val[j] = c.val[j], c.val[i]
+}
+
+// sumDuplicates merges consecutive equal row indices within each sorted
+// column, compacting storage in place.
+func (m *Matrix) sumDuplicates() {
+	nz := 0
+	for j := 0; j < m.Cols; j++ {
+		lo, hi := m.Colp[j], m.Colp[j+1]
+		m.Colp[j] = nz
+		for p := lo; p < hi; {
+			r := m.Rowi[p]
+			v := m.Val[p]
+			p++
+			for p < hi && m.Rowi[p] == r {
+				v += m.Val[p]
+				p++
+			}
+			m.Rowi[nz] = r
+			m.Val[nz] = v
+			nz++
+		}
+	}
+	m.Colp[m.Cols] = nz
+	m.Rowi = m.Rowi[:nz]
+	m.Val = m.Val[:nz]
+}
+
+// Transpose returns Aᵀ as a new matrix (row indices sorted).
+func (m *Matrix) Transpose() *Matrix {
+	r, c := m.Cols, m.Rows
+	nz := m.NNZ()
+	colp := make([]int, c+1)
+	for _, i := range m.Rowi {
+		colp[i+1]++
+	}
+	for j := 0; j < c; j++ {
+		colp[j+1] += colp[j]
+	}
+	rowi := make([]int, nz)
+	val := make([]float64, nz)
+	next := make([]int, c)
+	copy(next, colp[:c])
+	for j := 0; j < m.Cols; j++ {
+		for p := m.Colp[j]; p < m.Colp[j+1]; p++ {
+			i := m.Rowi[p]
+			q := next[i]
+			next[i]++
+			rowi[q] = j
+			val[q] = m.Val[p]
+		}
+	}
+	return &Matrix{Rows: r, Cols: c, Colp: colp, Rowi: rowi, Val: val}
+}
+
+// ToDense expands the matrix into a dense row-major slice of slices.
+// For tests and tiny systems only.
+func (m *Matrix) ToDense() [][]float64 {
+	d := make([][]float64, m.Rows)
+	for i := range d {
+		d[i] = make([]float64, m.Cols)
+	}
+	for j := 0; j < m.Cols; j++ {
+		for p := m.Colp[j]; p < m.Colp[j+1]; p++ {
+			d[m.Rowi[p]][j] += m.Val[p]
+		}
+	}
+	return d
+}
+
+// FromDense compiles a dense row-major matrix into CSC form, dropping
+// exact zeros.
+func FromDense(d [][]float64) *Matrix {
+	r := len(d)
+	c := 0
+	if r > 0 {
+		c = len(d[0])
+	}
+	t := NewTriplet(r, c, 0)
+	for i := 0; i < r; i++ {
+		if len(d[i]) != c {
+			panic("sparse: ragged dense matrix")
+		}
+		for j := 0; j < c; j++ {
+			if d[i][j] != 0 {
+				t.Add(i, j, d[i][j])
+			}
+		}
+	}
+	return t.Compile()
+}
+
+// String renders small matrices for debugging.
+func (m *Matrix) String() string {
+	if m.Rows > 16 || m.Cols > 16 {
+		return fmt.Sprintf("sparse.Matrix{%dx%d, nnz=%d}", m.Rows, m.Cols, m.NNZ())
+	}
+	s := ""
+	d := m.ToDense()
+	for _, row := range d {
+		for _, v := range row {
+			s += fmt.Sprintf("%10.4g ", v)
+		}
+		s += "\n"
+	}
+	return s
+}

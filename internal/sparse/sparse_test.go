@@ -1,0 +1,376 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomTriplet builds a random r×c matrix with approximately density d,
+// returning both the triplet-compiled sparse matrix and a dense
+// reference.
+func randomDense(rng *rand.Rand, r, c int, density float64) [][]float64 {
+	d := make([][]float64, r)
+	for i := range d {
+		d[i] = make([]float64, c)
+		for j := range d[i] {
+			if rng.Float64() < density {
+				d[i][j] = rng.NormFloat64()
+			}
+		}
+	}
+	return d
+}
+
+func denseEqual(t *testing.T, got, want [][]float64, tol float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("row count %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("col count row %d: %d != %d", i, len(got[i]), len(want[i]))
+		}
+		for j := range got[i] {
+			if math.Abs(got[i][j]-want[i][j]) > tol {
+				t.Fatalf("entry (%d,%d): got %g want %g", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestTripletCompileSumsDuplicates(t *testing.T) {
+	tr := NewTriplet(3, 3, 4)
+	tr.Add(0, 0, 1)
+	tr.Add(0, 0, 2)
+	tr.Add(2, 1, -1)
+	tr.Add(2, 1, 1.5)
+	tr.Add(1, 2, 4)
+	m := tr.Compile()
+	if got := m.At(0, 0); got != 3 {
+		t.Errorf("At(0,0) = %g, want 3", got)
+	}
+	if got := m.At(2, 1); got != 0.5 {
+		t.Errorf("At(2,1) = %g, want 0.5", got)
+	}
+	if got := m.At(1, 2); got != 4 {
+		t.Errorf("At(1,2) = %g, want 4", got)
+	}
+	if got := m.At(1, 1); got != 0 {
+		t.Errorf("At(1,1) = %g, want 0", got)
+	}
+	if m.NNZ() != 3 {
+		t.Errorf("NNZ = %d, want 3", m.NNZ())
+	}
+}
+
+func TestCompileRoundTripDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		r := 1 + rng.Intn(12)
+		c := 1 + rng.Intn(12)
+		d := randomDense(rng, r, c, 0.4)
+		m := FromDense(d)
+		denseEqual(t, m.ToDense(), d, 0)
+	}
+}
+
+func TestColumnsSortedAfterCompile(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := NewTriplet(20, 20, 100)
+	for k := 0; k < 100; k++ {
+		tr.Add(rng.Intn(20), rng.Intn(20), rng.NormFloat64())
+	}
+	m := tr.Compile()
+	for j := 0; j < m.Cols; j++ {
+		for p := m.Colp[j] + 1; p < m.Colp[j+1]; p++ {
+			if m.Rowi[p-1] >= m.Rowi[p] {
+				t.Fatalf("column %d not strictly sorted at %d", j, p)
+			}
+		}
+	}
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		r := 1 + rng.Intn(15)
+		c := 1 + rng.Intn(15)
+		d := randomDense(rng, r, c, 0.3)
+		m := FromDense(d)
+		x := make([]float64, c)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y := make([]float64, r)
+		m.MulVec(y, x)
+		for i := 0; i < r; i++ {
+			want := 0.0
+			for j := 0; j < c; j++ {
+				want += d[i][j] * x[j]
+			}
+			if math.Abs(y[i]-want) > 1e-12 {
+				t.Fatalf("MulVec row %d: got %g want %g", i, y[i], want)
+			}
+		}
+		// Transposed product.
+		yt := make([]float64, c)
+		xr := make([]float64, r)
+		for i := range xr {
+			xr[i] = rng.NormFloat64()
+		}
+		m.MulVecT(yt, xr)
+		for j := 0; j < c; j++ {
+			want := 0.0
+			for i := 0; i < r; i++ {
+				want += d[i][j] * xr[i]
+			}
+			if math.Abs(yt[j]-want) > 1e-12 {
+				t.Fatalf("MulVecT col %d: got %g want %g", j, yt[j], want)
+			}
+		}
+	}
+}
+
+func TestMulVecAddAccumulates(t *testing.T) {
+	m := FromDense([][]float64{{1, 2}, {3, 4}})
+	y := []float64{10, 20}
+	m.MulVecAdd(y, 2, []float64{1, 1})
+	if y[0] != 10+2*3 || y[1] != 20+2*7 {
+		t.Errorf("MulVecAdd got %v", y)
+	}
+}
+
+func TestAddAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		r := 1 + rng.Intn(10)
+		c := 1 + rng.Intn(10)
+		da := randomDense(rng, r, c, 0.3)
+		db := randomDense(rng, r, c, 0.3)
+		alpha, beta := rng.NormFloat64(), rng.NormFloat64()
+		got := Add(alpha, FromDense(da), beta, FromDense(db)).ToDense()
+		want := make([][]float64, r)
+		for i := range want {
+			want[i] = make([]float64, c)
+			for j := range want[i] {
+				want[i][j] = alpha*da[i][j] + beta*db[i][j]
+			}
+		}
+		denseEqual(t, got, want, 1e-12)
+	}
+}
+
+func TestMulAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		r := 1 + rng.Intn(8)
+		k := 1 + rng.Intn(8)
+		c := 1 + rng.Intn(8)
+		da := randomDense(rng, r, k, 0.4)
+		db := randomDense(rng, k, c, 0.4)
+		got := Mul(FromDense(da), FromDense(db)).ToDense()
+		want := make([][]float64, r)
+		for i := range want {
+			want[i] = make([]float64, c)
+			for j := range want[i] {
+				for l := 0; l < k; l++ {
+					want[i][j] += da[i][l] * db[l][j]
+				}
+			}
+		}
+		denseEqual(t, got, want, 1e-10)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := randomDense(rng, 9, 13, 0.3)
+	m := FromDense(d)
+	tt := m.Transpose().Transpose()
+	denseEqual(t, tt.ToDense(), d, 0)
+	// Check Aᵀ entries explicitly.
+	at := m.Transpose()
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 13; j++ {
+			if at.At(j, i) != d[i][j] {
+				t.Fatalf("transpose entry (%d,%d) mismatch", j, i)
+			}
+		}
+	}
+}
+
+func TestIdentityAndDiagonal(t *testing.T) {
+	id := Identity(4)
+	x := []float64{1, -2, 3, -4}
+	y := make([]float64, 4)
+	id.MulVec(y, x)
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatalf("identity MulVec mismatch at %d", i)
+		}
+	}
+	dg := Diagonal([]float64{2, 3})
+	if dg.At(0, 0) != 2 || dg.At(1, 1) != 3 || dg.At(0, 1) != 0 {
+		t.Error("Diagonal entries wrong")
+	}
+}
+
+func TestPermute(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := randomDense(rng, 6, 6, 0.5)
+	m := FromDense(d)
+	p := []int{3, 1, 5, 0, 2, 4}
+	q := []int{2, 0, 1, 5, 4, 3}
+	pm := m.Permute(p, q)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if pm.At(i, j) != d[p[i]][q[j]] {
+				t.Fatalf("Permute entry (%d,%d) = %g want %g", i, j, pm.At(i, j), d[p[i]][q[j]])
+			}
+		}
+	}
+	// Symmetric permutation of a symmetric matrix stays symmetric.
+	s := Add(0.5, m, 0.5, m.Transpose())
+	sp := s.SymPerm(p)
+	if !sp.IsSymmetric(1e-14) {
+		t.Error("SymPerm broke symmetry")
+	}
+}
+
+func TestInversePermProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		p := rng.Perm(n)
+		q := InversePerm(p)
+		if !IsPerm(q) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if q[p[i]] != i || p[q[i]] != i {
+				return false
+			}
+		}
+		// PermVec then InvPermVec round-trips.
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y := InvPermVec(p, PermVec(p, x))
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := randomDense(rng, 7, 7, 0.6)
+	m := FromDense(d)
+	u := m.UpperTriangle()
+	l := m.LowerTriangle()
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 7; j++ {
+			wantU, wantL := 0.0, 0.0
+			if i <= j {
+				wantU = d[i][j]
+			}
+			if i >= j {
+				wantL = d[i][j]
+			}
+			if u.At(i, j) != wantU {
+				t.Fatalf("upper (%d,%d)", i, j)
+			}
+			if l.At(i, j) != wantL {
+				t.Fatalf("lower (%d,%d)", i, j)
+			}
+		}
+	}
+	// upper + lower - diag == original
+	sum := Add(1, u, 1, l)
+	diag := Diagonal(m.Diag())
+	recon := Add(1, sum, -1, diag)
+	denseEqual(t, recon.ToDense(), d, 1e-14)
+}
+
+func TestDropTol(t *testing.T) {
+	m := FromDense([][]float64{{1e-12, 2}, {0.5, 1e-9}})
+	m.DropTol(1e-8)
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ after drop = %d, want 2", m.NNZ())
+	}
+	if m.At(0, 1) != 2 || m.At(1, 0) != 0.5 {
+		t.Error("DropTol removed wrong entries")
+	}
+}
+
+func TestNorm1(t *testing.T) {
+	m := FromDense([][]float64{{1, -4}, {-2, 1}})
+	if got := m.Norm1(); got != 5 {
+		t.Errorf("Norm1 = %g, want 5", got)
+	}
+}
+
+func TestKronAgainstDense(t *testing.T) {
+	a := FromDense([][]float64{{1, 2}, {0, 3}})
+	b := FromDense([][]float64{{0, 1}, {2, 0}})
+	k := Kron(a, b)
+	want := [][]float64{
+		{0, 1, 0, 2},
+		{2, 0, 4, 0},
+		{0, 0, 0, 3},
+		{0, 0, 6, 0},
+	}
+	denseEqual(t, k.ToDense(), want, 0)
+}
+
+func TestAssembleBlocksMultiTerm(t *testing.T) {
+	// Two terms: I ⊗ A + T ⊗ B must equal the dense sum.
+	a := FromDense([][]float64{{4, 1}, {1, 4}})
+	b := FromDense([][]float64{{0, 1}, {1, 0}})
+	ti := Identity(3)
+	tc := FromDense([][]float64{{0, 1, 0}, {1, 0, 2}, {0, 2, 0}})
+	g := AssembleBlocks(3, 2, []BlockTerm{{T: ti, A: a}, {T: tc, A: b}})
+	want := Add(1, Kron(ti, a), 1, Kron(tc, b))
+	denseEqual(t, g.ToDense(), want.ToDense(), 1e-14)
+	if !g.IsSymmetric(1e-14) {
+		t.Error("assembled Galerkin-style matrix should be symmetric")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := FromDense([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Val[0] = 99
+	if m.Val[0] == 99 {
+		t.Error("Clone shares value storage")
+	}
+	s := m.CloneStructure()
+	if s.NNZ() != m.NNZ() {
+		t.Error("CloneStructure NNZ mismatch")
+	}
+	for _, v := range s.Val {
+		if v != 0 {
+			t.Error("CloneStructure values not zeroed")
+		}
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	sym := FromDense([][]float64{{2, -1, 0}, {-1, 2, -1}, {0, -1, 2}})
+	if !sym.IsSymmetric(0) {
+		t.Error("tridiagonal Laplacian should be symmetric")
+	}
+	asym := FromDense([][]float64{{1, 2}, {3, 4}})
+	if asym.IsSymmetric(1e-14) {
+		t.Error("asymmetric matrix reported symmetric")
+	}
+}

@@ -1,0 +1,268 @@
+// Package transient implements fixed-step transient analysis of the
+// deterministic RC systems C·dx/dt + G·x = u(t), with backward Euler or
+// trapezoidal integration. It is the inner engine of both the Monte
+// Carlo baseline (one run per parameter sample) and — applied to the
+// block-augmented Galerkin system — of OPERA itself. The companion
+// matrix G + C/h is factored once per run (the paper uses a fixed time
+// step), and a symbolic Cholesky analysis can be shared across runs
+// that differ only in matrix values, which is what makes per-sample
+// Monte Carlo refactorization affordable.
+package transient
+
+import (
+	"errors"
+	"fmt"
+
+	"opera/internal/factor"
+	"opera/internal/iterative"
+	"opera/internal/sparse"
+)
+
+// Method selects the integration rule.
+type Method int
+
+// Integration methods.
+const (
+	BackwardEuler Method = iota
+	Trapezoidal
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case BackwardEuler:
+		return "backward-euler"
+	case Trapezoidal:
+		return "trapezoidal"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Options configures a transient run.
+type Options struct {
+	Step   float64 // fixed time step h > 0
+	Steps  int     // number of steps (the run covers [0, Steps·h])
+	Method Method
+	// Perm is an optional fill-reducing permutation for the companion
+	// matrix factorization.
+	Perm []int
+	// Symbolic optionally supplies a pre-computed Cholesky analysis
+	// whose pattern covers G + scale·C; it overrides Perm.
+	Symbolic *factor.CholSymbolic
+	// ReuseFactor optionally recycles a previous numeric factor's
+	// storage (must come from the same Symbolic).
+	ReuseFactor *factor.CholFactor
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if o.Step <= 0 {
+		return fmt.Errorf("transient: step must be positive, got %g", o.Step)
+	}
+	if o.Steps < 1 {
+		return fmt.Errorf("transient: need at least one step, got %d", o.Steps)
+	}
+	return nil
+}
+
+// ErrSize reports mismatched dimensions.
+var ErrSize = errors.New("transient: dimension mismatch")
+
+// Stepper advances one RC system through time.
+type Stepper struct {
+	N      int
+	opts   Options
+	g, c   *sparse.Matrix
+	fac    *factor.CholFactor
+	x      []float64 // current state
+	t      float64
+	stepNo int
+	// Workspaces.
+	b, cx, gx, uPrev []float64
+	havePrev         bool
+}
+
+// NewStepper factors the companion matrix of (g, c) under opts. The
+// factorization is SPD-Cholesky; power grid MNA systems with
+// Norton-transformed pads always qualify.
+func NewStepper(g, c *sparse.Matrix, opts Options) (*Stepper, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.Rows
+	if g.Cols != n || c.Rows != n || c.Cols != n {
+		return nil, fmt.Errorf("%w: G is %dx%d, C is %dx%d", ErrSize, g.Rows, g.Cols, c.Rows, c.Cols)
+	}
+	scale := 1 / opts.Step
+	if opts.Method == Trapezoidal {
+		scale = 2 / opts.Step
+	}
+	a := sparse.Add(1, g, scale, c)
+	sym := opts.Symbolic
+	if sym == nil {
+		sym = factor.CholAnalyze(a, opts.Perm)
+	}
+	fac, err := sym.Factorize(a, opts.ReuseFactor)
+	if err != nil {
+		return nil, fmt.Errorf("transient: companion factorization: %w", err)
+	}
+	return &Stepper{
+		N:    n,
+		opts: opts,
+		g:    g,
+		c:    c,
+		fac:  fac,
+		x:    make([]float64, n),
+		b:    make([]float64, n),
+		cx:   make([]float64, n),
+	}, nil
+}
+
+// Factor exposes the companion factor so callers can recycle its
+// storage across Monte Carlo samples.
+func (s *Stepper) Factor() *factor.CholFactor { return s.fac }
+
+// Init sets the initial state x(0) explicitly.
+func (s *Stepper) Init(x0 []float64) error {
+	if len(x0) != s.N {
+		return fmt.Errorf("%w: x0 length %d != %d", ErrSize, len(x0), s.N)
+	}
+	copy(s.x, x0)
+	s.t = 0
+	s.stepNo = 0
+	s.havePrev = false
+	return nil
+}
+
+// InitDC sets x(0) to the DC operating point G·x = u(0). The solve uses
+// conjugate gradients preconditioned with the already-available
+// companion factor (G + scale·C), which differs from G only by the
+// capacitive term and therefore converges in a handful of iterations at
+// power-grid time constants; if CG stalls (extremely stiff steps), a
+// dedicated factorization of G is performed instead.
+func (s *Stepper) InitDC(u0 []float64) error {
+	if len(u0) != s.N {
+		return fmt.Errorf("%w: u0 length %d != %d", ErrSize, len(u0), s.N)
+	}
+	pre := iterative.PrecondFunc(func(z, r []float64) { s.fac.SolveTo(z, r) })
+	for i := range s.x {
+		s.x[i] = 0
+	}
+	if _, err := iterative.CG(s.g, s.x, u0, iterative.CGOptions{
+		Tol: 1e-12, MaxIter: 200, M: pre,
+	}); err != nil {
+		fg, ferr := factor.Cholesky(s.g, s.fac.Sym.Perm)
+		if ferr != nil {
+			return fmt.Errorf("transient: DC solve: CG failed (%v) and factorization failed: %w", err, ferr)
+		}
+		fg.SolveTo(s.x, u0)
+	}
+	s.t = 0
+	s.stepNo = 0
+	s.havePrev = false
+	if s.opts.Method == Trapezoidal {
+		copy(s.ensurePrev(), u0)
+		s.havePrev = true
+	}
+	return nil
+}
+
+func (s *Stepper) ensurePrev() []float64 {
+	if s.uPrev == nil {
+		s.uPrev = make([]float64, s.N)
+	}
+	return s.uPrev
+}
+
+// State returns the current solution vector (live storage; copy before
+// mutating).
+func (s *Stepper) State() []float64 { return s.x }
+
+// Time returns the current simulation time.
+func (s *Stepper) Time() float64 { return s.t }
+
+// StepCount returns the number of completed steps.
+func (s *Stepper) StepCount() int { return s.stepNo }
+
+// Advance performs one time step using the excitation u evaluated at
+// the *new* time t+h (backward Euler) or at both endpoints
+// (trapezoidal; the previous endpoint's u is retained internally).
+func (s *Stepper) Advance(uNew []float64) error {
+	if len(uNew) != s.N {
+		return fmt.Errorf("%w: u length %d != %d", ErrSize, len(uNew), s.N)
+	}
+	h := s.opts.Step
+	switch s.opts.Method {
+	case BackwardEuler:
+		// (G + C/h)·x⁺ = C/h·x + u(t+h)
+		s.c.MulVec(s.cx, s.x)
+		for i := range s.b {
+			s.b[i] = s.cx[i]/h + uNew[i]
+		}
+	case Trapezoidal:
+		// (G + 2C/h)·x⁺ = (2C/h − G)·x + u(t) + u(t+h)
+		if !s.havePrev {
+			return fmt.Errorf("transient: trapezoidal stepping requires InitDC or a prior Advance with the initial excitation; call SetPrevExcitation")
+		}
+		if s.gx == nil {
+			s.gx = make([]float64, s.N)
+		}
+		s.c.MulVec(s.cx, s.x)
+		s.g.MulVec(s.gx, s.x)
+		for i := range s.b {
+			s.b[i] = 2*s.cx[i]/h - s.gx[i] + s.uPrev[i] + uNew[i]
+		}
+	default:
+		return fmt.Errorf("transient: unknown method %v", s.opts.Method)
+	}
+	s.fac.SolveTo(s.x, s.b)
+	if s.opts.Method == Trapezoidal {
+		copy(s.ensurePrev(), uNew)
+		s.havePrev = true
+	}
+	s.t += h
+	s.stepNo++
+	return nil
+}
+
+// SetPrevExcitation primes the trapezoidal history with u(t₀) when the
+// initial state comes from Init rather than InitDC.
+func (s *Stepper) SetPrevExcitation(u0 []float64) error {
+	if len(u0) != s.N {
+		return fmt.Errorf("%w: u0 length %d != %d", ErrSize, len(u0), s.N)
+	}
+	copy(s.ensurePrev(), u0)
+	s.havePrev = true
+	return nil
+}
+
+// Run executes a full transient: initial DC at t=0 from rhs(0), then
+// opts.Steps steps, invoking visit after the initial condition and
+// after every step with (step index, time, state). visit must not
+// retain the state slice.
+func Run(g, c *sparse.Matrix, rhs func(t float64, u []float64), opts Options, visit func(step int, t float64, x []float64)) error {
+	st, err := NewStepper(g, c, opts)
+	if err != nil {
+		return err
+	}
+	u := make([]float64, st.N)
+	rhs(0, u)
+	if err := st.InitDC(u); err != nil {
+		return err
+	}
+	if visit != nil {
+		visit(0, 0, st.State())
+	}
+	for k := 1; k <= opts.Steps; k++ {
+		t := float64(k) * opts.Step
+		rhs(t, u)
+		if err := st.Advance(u); err != nil {
+			return err
+		}
+		if visit != nil {
+			visit(k, t, st.State())
+		}
+	}
+	return nil
+}
