@@ -25,6 +25,7 @@ import (
 	"opera/internal/grid"
 	"opera/internal/mna"
 	"opera/internal/netlist"
+	"opera/internal/numguard"
 	"opera/internal/report"
 )
 
@@ -65,8 +66,12 @@ func main() {
 	}
 	trackNodes := parseTrack(*track)
 	opts.TrackNodes = trackNodes
+	// The basis dimension comes from the stamped system's random
+	// variables (mna.Dims: the paper's W/T/Leff reduced to ξG, ξL by
+	// Eq. 14), not a hardcoded constant, so the printed size matches
+	// what is actually solved.
 	fmt.Printf("opera: %s, order %d (basis %d), %d steps of %.3g s\n",
-		nl.Stats(), *order, basisSize(2, *order), *steps, *step)
+		nl.Stats(), *order, basisSize(mna.Dims, *order), *steps, *step)
 	var res *core.Result
 	if *adaptive {
 		ares, err := core.AnalyzeAdaptive(sys, core.AdaptiveOptions{Base: opts})
@@ -90,6 +95,7 @@ func main() {
 	fmt.Printf("opera: solved %d-unknown augmented system (%s, nnz(L)=%d) in %.3fs%s\n",
 		res.Galerkin.AugmentedN, res.Galerkin.Factorer, res.Galerkin.FactorNNZ,
 		res.Elapsed.Seconds(), decoupledNote(res))
+	printGuard(res.Galerkin.Guard)
 	node, stepIdx := res.MaxMeanDropNode()
 	sd := math.Sqrt(res.Variance[stepIdx][node])
 	drop := res.VDD - res.Mean[stepIdx][node]
@@ -169,6 +175,22 @@ func basisSize(dim, order int) int {
 	return n
 }
 
+// printGuard reports the numerical-robustness telemetry: residual
+// verification stats always, plus every escalation-ladder transition
+// and step retry when the solve was not entirely healthy.
+func printGuard(rep *numguard.Report) {
+	if rep == nil {
+		return
+	}
+	fmt.Printf("numguard: %s\n", rep.Summary())
+	for _, tr := range rep.Transitions {
+		fmt.Printf("numguard:   transition %s\n", tr)
+	}
+	if rep.StepRetries > 0 {
+		fmt.Printf("numguard:   %d step(s) retried on a higher rung\n", rep.StepRetries)
+	}
+}
+
 func decoupledNote(res *core.Result) string {
 	if res.Galerkin.Decoupled {
 		return " [decoupled Eq. 27 path]"
@@ -226,6 +248,7 @@ func runLeakage(nl *netlist.Netlist, opts core.LeakageOptions) {
 	fmt.Printf("opera: §5.1 special case, %d regions, sigma(ln I) = %.2g\n", opts.Regions, opts.SigmaLogI)
 	fmt.Printf("opera: decoupled=%v, %d-unknown factorization, %.3fs\n",
 		res.Galerkin.Decoupled, res.Galerkin.AugmentedN, res.Elapsed.Seconds())
+	printGuard(res.Galerkin.Guard)
 	node, step := res.MaxMeanDropNode()
 	sd := math.Sqrt(res.Variance[step][node])
 	drop := res.VDD - res.Mean[step][node]

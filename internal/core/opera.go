@@ -16,6 +16,7 @@ import (
 	"opera/internal/mna"
 	"opera/internal/montecarlo"
 	"opera/internal/netlist"
+	"opera/internal/numguard"
 	"opera/internal/pce"
 	"opera/internal/poly"
 	"opera/internal/transient"
@@ -45,6 +46,10 @@ type Options struct {
 	ForceLU      bool
 	// Iterative selects the §5.2 mean-preconditioned CG solver path.
 	Iterative bool
+	// Guard tunes the numerical-robustness layer (residual tolerance,
+	// iterative-refinement caps, verification cadence). Zero value =
+	// numguard defaults.
+	Guard numguard.Config
 }
 
 func (o Options) withDefaults() Options {
@@ -147,6 +152,7 @@ func analyze(gsys *galerkin.System, vdd float64, opts Options) (*Result, error) 
 		Step: opts.Step, Steps: opts.Steps,
 		Ordering: opts.Ordering, ForceCoupled: opts.ForceCoupled,
 		ForceLU: opts.ForceLU, Iterative: opts.Iterative,
+		Guard: opts.Guard,
 	}, func(step int, _ float64, coeffs [][]float64) {
 		B := len(coeffs)
 		for i := 0; i < n; i++ {

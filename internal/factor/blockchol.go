@@ -111,6 +111,33 @@ func (bm *BlockMatrix) MulVec(y, x []float64) {
 	}
 }
 
+// NormInf returns the ∞-norm (maximum absolute row sum) of the block
+// matrix, used to scale residual verification.
+func (bm *BlockMatrix) NormInf() float64 {
+	B := bm.B
+	rowSum := make([]float64, bm.N*B)
+	for j := 0; j < bm.N; j++ {
+		for p := bm.Colp[j]; p < bm.Colp[j+1]; p++ {
+			i := bm.Rowi[p]
+			blk := bm.Val[p*B*B : (p+1)*B*B]
+			for r := 0; r < B; r++ {
+				s := 0.0
+				for c := 0; c < B; c++ {
+					s += math.Abs(blk[r*B+c])
+				}
+				rowSum[i*B+r] += s
+			}
+		}
+	}
+	m := 0.0
+	for _, s := range rowSum {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
 // ToCSC expands the block matrix into a scalar CSC matrix with
 // node-major indexing (global index i·B+m) — for tests and the LU
 // fallback path.
@@ -149,6 +176,9 @@ type BlockCholFactor struct {
 // diagonal block fails its dense Cholesky.
 func BlockCholesky(m *BlockMatrix, perm []int) (*BlockCholFactor, error) {
 	n, B := m.N, m.B
+	if perm != nil && len(perm) != n {
+		return nil, fmt.Errorf("factor: node permutation length %d != %d", len(perm), n)
+	}
 	// Permute the scalar pattern and block values.
 	colp, rowi, val := m.Colp, m.Rowi, m.Val
 	if perm != nil {

@@ -84,7 +84,7 @@ type CholFactor struct {
 func (sym *CholSymbolic) Factorize(a *sparse.Matrix, reuse *CholFactor) (*CholFactor, error) {
 	n := sym.N
 	if a.Rows != n || a.Cols != n {
-		panic(fmt.Sprintf("factor: Factorize matrix is %dx%d, analyzed %d", a.Rows, a.Cols, n))
+		return nil, fmt.Errorf("factor: Factorize matrix is %dx%d, analyzed %d", a.Rows, a.Cols, n)
 	}
 	c := a
 	if sym.Perm != nil {
@@ -150,7 +150,16 @@ func (sym *CholSymbolic) Factorize(a *sparse.Matrix, reuse *CholFactor) (*CholFa
 }
 
 // Cholesky is a convenience wrapper: analyze and factor in one call.
+// Malformed shapes return errors here (they can originate in user
+// input); CholAnalyze itself keeps its invariant panics for callers
+// that have already validated.
 func Cholesky(a *sparse.Matrix, perm []int) (*CholFactor, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("factor: Cholesky requires a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if perm != nil && len(perm) != a.Rows {
+		return nil, fmt.Errorf("factor: permutation length %d != %d", len(perm), a.Rows)
+	}
 	sym := CholAnalyze(a, perm)
 	return sym.Factorize(a, nil)
 }

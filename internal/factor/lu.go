@@ -115,11 +115,11 @@ func spSolve(l *sparse.Matrix, b *sparse.Matrix, col int, x []float64, xi, pstac
 // largest-magnitude eligible row in each column.
 func LU(a *sparse.Matrix, q []int) (*LUFactor, error) {
 	if a.Rows != a.Cols {
-		panic("factor: LU requires a square matrix")
+		return nil, fmt.Errorf("factor: LU requires a square matrix, got %dx%d", a.Rows, a.Cols)
 	}
 	n := a.Rows
 	if q != nil && len(q) != n {
-		panic(fmt.Sprintf("factor: column permutation length %d != %d", len(q), n))
+		return nil, fmt.Errorf("factor: column permutation length %d != %d", len(q), n)
 	}
 	guess := 4*a.NNZ() + n
 	l := &sparse.Matrix{Rows: n, Cols: n, Colp: make([]int, n+1), Rowi: make([]int, 0, guess), Val: make([]float64, 0, guess)}
@@ -189,6 +189,30 @@ func LU(a *sparse.Matrix, q []int) (*LUFactor, error) {
 		qc = append([]int(nil), q...)
 	}
 	return &LUFactor{N: n, L: l, U: u, pinv: pinv, q: qc}, nil
+}
+
+// PivotGrowth returns the element-growth factor max|U| / max|A| of the
+// factorization of a. Partial pivoting bounds it by 2ⁿ⁻¹ in theory but
+// keeps it small in practice; a huge value (≳1e8) signals that the
+// factorization has lost backward stability and its solutions cannot be
+// trusted even though no pivot was exactly zero.
+func (f *LUFactor) PivotGrowth(a *sparse.Matrix) float64 {
+	amax := 0.0
+	for _, v := range a.Val {
+		if x := math.Abs(v); x > amax {
+			amax = x
+		}
+	}
+	if amax == 0 {
+		return 0
+	}
+	umax := 0.0
+	for _, v := range f.U.Val {
+		if x := math.Abs(v); x > umax {
+			umax = x
+		}
+	}
+	return umax / amax
 }
 
 // Solve solves A·x = b and returns a new slice.

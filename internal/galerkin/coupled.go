@@ -6,6 +6,7 @@ import (
 
 	"opera/internal/factor"
 	"opera/internal/iterative"
+	"opera/internal/numguard"
 	"opera/internal/sparse"
 )
 
@@ -20,7 +21,10 @@ import (
 // whole transient costs a single factorization. If the block Cholesky
 // reports an indefinite matrix (possible under extreme variation
 // magnitudes where the Gaussian linear model loses positivity), the
-// solver falls back to scalar assembly with sparse LU.
+// numguard escalation ladder takes over: scalar Cholesky on the
+// expanded CSC system, then pivot-growth-checked LU, then IC(0)-
+// preconditioned CG, with every transition recorded and every accepted
+// solve residual-verified.
 func solveCoupled(sys *System, opts Options, visit func(int, float64, [][]float64)) (Result, error) {
 	n, b := sys.N, sys.Basis.Size()
 	// Scalar union pattern over every operator term.
@@ -60,18 +64,16 @@ func solveCoupled(sys *System, opts Options, visit func(int, float64, [][]float6
 		gBM.AddTerm(t.Coupling, t.A)
 	}
 
-	var fac *factor.BlockCholFactor
-	if !opts.ForceLU {
-		var err error
-		fac, err = factor.BlockCholesky(comp, perm)
-		if err != nil && !errors.Is(err, factor.ErrNotPositiveDefinite) {
-			return Result{}, fmt.Errorf("galerkin: block factorization: %w", err)
-		}
+	res := Result{AugmentedN: n * b}
+	rep := &numguard.Report{}
+	res.Guard = rep
+	lad := numguard.NewLadder("step", opts.Guard, comp, comp.NormInf(),
+		blockRungs(comp, perm, opts.Guard, opts.ForceLU, &res.FactorNNZ), rep)
+	sol, err := lad.Solver(0)
+	if err != nil {
+		return Result{}, fmt.Errorf("galerkin: companion factorization: %w", err)
 	}
-	if fac == nil {
-		return solveCoupledScalarLU(sys, opts, visit)
-	}
-	res := Result{Factorer: "block-cholesky", AugmentedN: n * b, FactorNNZ: fac.NNZ()}
+	res.Factorer = lad.Rung()
 
 	// Node-major state and workspaces.
 	nb := n * b
@@ -101,20 +103,30 @@ func solveCoupled(sys *System, opts Options, visit func(int, float64, [][]float6
 		}
 	}
 
-	// DC init by companion-preconditioned CG on G̃.
+	// DC init by companion-preconditioned CG on G̃ (the companion factor
+	// differs from G̃ only by C̃/h, small at power-grid time constants).
 	sys.RHS(0, rhsBlocks)
 	pack(rhsBlocks, rhs)
-	pre := iterative.PrecondFunc(func(z, r []float64) { fac.Solve(z, r) })
-	if _, err := iterative.CG(gBM, x, rhs, iterative.CGOptions{
+	pre := iterative.PrecondFunc(func(z, r []float64) { sol.SolveTo(z, r) })
+	_, cgErr := iterative.CG(gBM, x, rhs, iterative.CGOptions{
 		Tol: 1e-12, MaxIter: 200, M: pre,
-	}); err != nil {
-		// Stiff step sizes can defeat the preconditioner; factor G̃
-		// outright as a (rare) fallback.
-		gf, gerr := factor.BlockCholesky(gBM, perm)
-		if gerr != nil {
-			return Result{}, fmt.Errorf("galerkin: DC solve: CG failed (%v) and G̃ factorization failed: %w", err, gerr)
+	})
+	if cgErr != nil || !numguard.Finite(x) {
+		// Stiff step sizes can defeat the preconditioner; run the DC
+		// solve through its own ladder on G̃ as a (rare) fallback.
+		if cgErr == nil {
+			cgErr = errors.New("non-finite DC solution")
+			rep.NaNEvents++
 		}
-		gf.Solve(x, rhs)
+		rep.Transitions = append(rep.Transitions, numguard.Transition{
+			Stage: "dc", From: "cg+companion-precond", To: "ladder",
+			Reason: fmt.Sprintf("CG failed: %v", cgErr),
+		})
+		dcLad := numguard.NewLadder("dc", opts.Guard, gBM, gBM.NormInf(),
+			blockRungs(gBM, perm, opts.Guard, opts.ForceLU, nil), rep)
+		if err := dcLad.Solve(0, x, rhs); err != nil {
+			return Result{}, fmt.Errorf("galerkin: DC solve: %w", err)
+		}
 	}
 	if visit != nil {
 		unpack(x, outBlocks)
@@ -130,13 +142,16 @@ func solveCoupled(sys *System, opts Options, visit func(int, float64, [][]float6
 				rhs[i] += work[i] / opts.Step
 			}
 		}
-		fac.Solve(x, rhs)
+		if err := lad.Solve(k, x, rhs); err != nil {
+			return Result{}, fmt.Errorf("galerkin: step %d: %w", k, err)
+		}
 		if visit != nil {
 			unpack(x, outBlocks)
 			visit(k, t, outBlocks)
 		}
 		res.StepsRun = k
 	}
+	res.Factorer = lad.Rung()
 	return res, nil
 }
 
@@ -160,50 +175,3 @@ func unionScalarPattern(sys *System) *sparse.Matrix {
 	return u
 }
 
-// solveCoupledScalarLU is the fallback path: assemble the full scalar
-// CSC augmented system (coefficient-major layout) and factor with
-// partial-pivoting LU.
-func solveCoupledScalarLU(sys *System, opts Options, visit func(int, float64, [][]float64)) (Result, error) {
-	n, b := sys.N, sys.Basis.Size()
-	gHat := sys.AssembleG()
-	cHat := sys.AssembleC()
-	companion := sparse.Add(1, gHat, 1/opts.Step, cHat)
-	perm := permFor(companion, opts.Ordering)
-	comp, err := factor.LU(companion, perm)
-	if err != nil {
-		return Result{}, fmt.Errorf("galerkin: LU fallback: %w", err)
-	}
-	gSolve, err := factor.LU(gHat, perm)
-	if err != nil {
-		return Result{}, fmt.Errorf("galerkin: LU DC fallback: %w", err)
-	}
-	res := Result{Factorer: "lu", AugmentedN: n * b}
-	x := make([]float64, n*b)
-	rhsBig := make([]float64, n*b)
-	work := make([]float64, n*b)
-	blocks := make([][]float64, b)
-	rhsBlocks := make([][]float64, b)
-	for m := 0; m < b; m++ {
-		blocks[m] = x[m*n : (m+1)*n]
-		rhsBlocks[m] = rhsBig[m*n : (m+1)*n]
-	}
-	sys.RHS(0, rhsBlocks)
-	gSolve.SolveTo(x, rhsBig)
-	if visit != nil {
-		visit(0, 0, blocks)
-	}
-	for k := 1; k <= opts.Steps; k++ {
-		t := float64(k) * opts.Step
-		sys.RHS(t, rhsBlocks)
-		cHat.MulVec(work, x)
-		for i := range rhsBig {
-			rhsBig[i] += work[i] / opts.Step
-		}
-		comp.SolveTo(x, rhsBig)
-		if visit != nil {
-			visit(k, t, blocks)
-		}
-		res.StepsRun = k
-	}
-	return res, nil
-}

@@ -1,0 +1,147 @@
+package galerkin
+
+import (
+	"fmt"
+
+	"opera/internal/factor"
+	"opera/internal/iterative"
+	"opera/internal/numguard"
+	"opera/internal/sparse"
+)
+
+// This file wires the numguard escalation ladder into the Galerkin
+// solve paths. Rung order (most economical first, per the numguard
+// design): block Cholesky on the block-sparse companion → scalar
+// Cholesky on the expanded CSC → sparse LU with a pivot-growth
+// acceptance check → IC(0)-preconditioned CG as the last resort. Every
+// factorization is attempted lazily: a healthy run never expands the
+// block matrix to CSC at all.
+
+// expandPerm lifts a node permutation to node-major scalar indexing
+// (global unknown i·B+m).
+func expandPerm(perm []int, b int) []int {
+	if perm == nil {
+		return nil
+	}
+	out := make([]int, len(perm)*b)
+	for k, p := range perm {
+		for m := 0; m < b; m++ {
+			out[k*b+m] = p*b + m
+		}
+	}
+	return out
+}
+
+// scalarRungs builds the ladder rungs for a scalar (n×n) system matrix:
+// cholesky → lu (pivot-growth checked) → cg+ic0. With forceLU the
+// Cholesky rung is omitted (ablation switch). nnzOut, when non-nil,
+// receives the factor's scalar nonzero count on the first successful
+// direct factorization.
+func scalarRungs(a *sparse.Matrix, perm []int, cfg numguard.Config, forceLU bool, nnzOut *int) []numguard.Rung {
+	cfg = cfg.WithDefaults()
+	var rungs []numguard.Rung
+	if !forceLU {
+		rungs = append(rungs, numguard.Rung{Name: "cholesky", Prepare: func() (numguard.Solver, error) {
+			f, err := factor.Cholesky(a, perm)
+			if err != nil {
+				return nil, err
+			}
+			if nnzOut != nil && *nnzOut == 0 {
+				*nnzOut = f.Sym.LNNZ()
+			}
+			return f, nil
+		}})
+	}
+	rungs = append(rungs,
+		luRung(func() (*sparse.Matrix, []int) { return a, perm }, cfg.PivotGrowthMax),
+		cgRung(a, func() *sparse.Matrix { return a }),
+	)
+	return rungs
+}
+
+// blockRungs builds the ladder rungs for a block companion matrix. The
+// CSC expansion and the expanded permutation are computed at most once,
+// shared by the scalar rungs.
+func blockRungs(m *factor.BlockMatrix, perm []int, cfg numguard.Config, forceLU bool, nnzOut *int) []numguard.Rung {
+	cfg = cfg.WithDefaults()
+	var csc *sparse.Matrix
+	var scalPerm []int
+	expand := func() (*sparse.Matrix, []int) {
+		if csc == nil {
+			csc = m.ToCSC()
+			scalPerm = expandPerm(perm, m.B)
+		}
+		return csc, scalPerm
+	}
+	var rungs []numguard.Rung
+	if !forceLU {
+		rungs = append(rungs,
+			numguard.Rung{Name: "block-cholesky", Prepare: func() (numguard.Solver, error) {
+				f, err := factor.BlockCholesky(m, perm)
+				if err != nil {
+					return nil, err
+				}
+				if nnzOut != nil && *nnzOut == 0 {
+					*nnzOut = f.NNZ()
+				}
+				return numguard.SolverFunc(func(x, b []float64) { f.Solve(x, b) }), nil
+			}},
+			numguard.Rung{Name: "cholesky", Prepare: func() (numguard.Solver, error) {
+				a, p := expand()
+				f, err := factor.Cholesky(a, p)
+				if err != nil {
+					return nil, err
+				}
+				if nnzOut != nil && *nnzOut == 0 {
+					*nnzOut = f.Sym.LNNZ()
+				}
+				return f, nil
+			}},
+		)
+	}
+	rungs = append(rungs,
+		luRung(expand, cfg.PivotGrowthMax),
+		cgRung(m, func() *sparse.Matrix { a, _ := expand(); return a }),
+	)
+	return rungs
+}
+
+// luRung factors with partial-pivoting LU and rejects factors whose
+// element growth signals lost backward stability.
+func luRung(mat func() (*sparse.Matrix, []int), growthMax float64) numguard.Rung {
+	return numguard.Rung{Name: "lu", Prepare: func() (numguard.Solver, error) {
+		a, perm := mat()
+		f, err := factor.LU(a, perm)
+		if err != nil {
+			return nil, err
+		}
+		if g := f.PivotGrowth(a); g > growthMax {
+			return nil, fmt.Errorf("pivot growth %.3g exceeds %.3g", g, growthMax)
+		}
+		return f, nil
+	}}
+}
+
+// cgRung is the last resort: IC(0)-preconditioned conjugate gradients,
+// cold-started per solve. Convergence failures are left to the ladder's
+// residual verification — the rung never returns an unverified answer
+// as success.
+func cgRung(op iterative.Operator, mat func() *sparse.Matrix) numguard.Rung {
+	return numguard.Rung{Name: "cg+ic0", Prepare: func() (numguard.Solver, error) {
+		pre, err := iterative.NewIC0(mat())
+		if err != nil {
+			return nil, fmt.Errorf("IC(0) preconditioner: %w", err)
+		}
+		return numguard.SolverFunc(func(x, b []float64) {
+			// Copy b first: callers may alias x and b, and CG needs a
+			// zeroed cold start.
+			rhs := append([]float64(nil), b...)
+			for i := range x {
+				x[i] = 0
+			}
+			// The error is deliberately dropped: the ladder verifies the
+			// residual of whatever CG produced and diagnoses on failure.
+			_, _ = iterative.CG(op, x, rhs, iterative.CGOptions{Tol: 1e-12, MaxIter: 20 * len(b), M: pre})
+		}), nil
+	}}
+}

@@ -1,0 +1,312 @@
+package galerkin
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"opera/internal/mna"
+	"opera/internal/numguard"
+	"opera/internal/numguard/inject"
+	"opera/internal/pce"
+)
+
+// The tests in this file drive the numguard escalation ladder through
+// every transition deterministically, via the fault-injection hooks:
+// refinement recovery, Cholesky→LU escalation, mid-transient NaN step
+// retry, and full-ladder exhaustion. Each asserts the hard invariant
+// that no injected fault ever yields NaN/Inf chaos coefficients
+// without an accompanying error.
+
+// guardedRun runs the Galerkin solve while asserting that every block
+// of coefficients delivered to the visitor is finite.
+func guardedRun(t *testing.T, sys *mna.System, order int, opts Options) (mean, variance [][]float64, res Result) {
+	t.Helper()
+	basis := pce.NewHermiteBasis(2, order)
+	gsys, err := FromMNA(sys, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsteps := opts.Steps + 1
+	mean = alloc2(nsteps, sys.N)
+	variance = alloc2(nsteps, sys.N)
+	res, err = Solve(gsys, opts, func(step int, _ float64, coeffs [][]float64) {
+		if !numguard.FiniteBlocks(coeffs) {
+			t.Fatalf("step %d: non-finite coefficients delivered to visitor", step)
+		}
+		for i := 0; i < sys.N; i++ {
+			mean[step][i] = coeffs[0][i]
+			v := 0.0
+			for m := 1; m < basis.Size(); m++ {
+				v += coeffs[m][i] * coeffs[m][i]
+			}
+			variance[step][i] = v
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mean, variance, res
+}
+
+func maxAbsDiff(a, b [][]float64) float64 {
+	worst := 0.0
+	for s := range a {
+		for i := range a[s] {
+			if d := math.Abs(a[s][i] - b[s][i]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+func TestInjectDriftRecoveredByRefinement(t *testing.T) {
+	sys, err := mna.Build(smallGrid(), mna.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify every step: a consistent drift on unverified steps would
+	// otherwise pass through on the default cadence by design.
+	opts := Options{Step: tStep, Steps: 10, Guard: numguard.Config{VerifyEvery: 1}}
+	refMean, refVar, _ := guardedRun(t, sys, 2, opts)
+
+	restore := inject.Enable(&inject.Faults{
+		SolveDrift: map[string]float64{"block-cholesky": 1e-3},
+	})
+	t.Cleanup(restore)
+	mean, variance, res := guardedRun(t, sys, 2, opts)
+
+	// A 1e-3 consistent drift is far above the 1e-8 residual tolerance
+	// but well within refinement reach (the error contracts by ~1e-3 per
+	// sweep), so the run must stay on the first rung and refine.
+	if res.Factorer != "block-cholesky" {
+		t.Errorf("drift must not escalate, got factorer %q", res.Factorer)
+	}
+	rep := res.Guard
+	if rep == nil || rep.Refinements == 0 || rep.RefinedSolves == 0 {
+		t.Fatalf("refinement not engaged: %+v", rep)
+	}
+	if len(rep.Transitions) != 0 {
+		t.Errorf("unexpected transitions: %+v", rep.Transitions)
+	}
+	if d := maxAbsDiff(mean, refMean); d > 1e-6 {
+		t.Errorf("refined means off by %g", d)
+	}
+	if d := maxAbsDiff(variance, refVar); d > 1e-8 {
+		t.Errorf("refined variances off by %g", d)
+	}
+}
+
+func TestInjectCholeskyBreakdownEscalatesToLU(t *testing.T) {
+	sys, err := mna.Build(smallGrid(), mna.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Step: tStep, Steps: 10}
+	refMean, _, _ := guardedRun(t, sys, 2, opts)
+
+	restore := inject.Enable(&inject.Faults{
+		FailPrepare: map[string]int{"block-cholesky": -1, "cholesky": -1},
+	})
+	t.Cleanup(restore)
+	mean, _, res := guardedRun(t, sys, 2, opts)
+
+	if res.Factorer != "lu" {
+		t.Errorf("factorer %q, want lu", res.Factorer)
+	}
+	rep := res.Guard
+	if rep == nil || len(rep.Transitions) < 2 {
+		t.Fatalf("expected block-cholesky→cholesky→lu transitions, got %+v", rep)
+	}
+	if rep.Transitions[0].From != "block-cholesky" || rep.Transitions[1].From != "cholesky" {
+		t.Errorf("transition order wrong: %+v", rep.Transitions)
+	}
+	if d := maxAbsDiff(mean, refMean); d > 1e-8 {
+		t.Errorf("LU-rung means off by %g", d)
+	}
+}
+
+func TestInjectNaNMidTransientRetriesStep(t *testing.T) {
+	sys, err := mna.Build(smallGrid(), mna.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Step: tStep, Steps: 10}
+	refMean, _, _ := guardedRun(t, sys, 2, opts)
+
+	restore := inject.Enable(&inject.Faults{
+		SolveNaN: map[int]string{5: "block-cholesky"},
+	})
+	t.Cleanup(restore)
+	mean, _, res := guardedRun(t, sys, 2, opts)
+
+	rep := res.Guard
+	if rep == nil || rep.NaNEvents != 1 {
+		t.Fatalf("NaN event not recorded: %+v", rep)
+	}
+	if rep.StepRetries < 1 {
+		t.Errorf("step 5 was not retried: %+v", rep)
+	}
+	found := false
+	for _, tr := range rep.Transitions {
+		if tr.Step == 5 && tr.From == "block-cholesky" && tr.To == "cholesky" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no block-cholesky→cholesky transition at step 5: %+v", rep.Transitions)
+	}
+	// The retried step (and all later ones, now on the scalar Cholesky
+	// rung) must still carry the correct verified solution.
+	if d := maxAbsDiff(mean, refMean); d > 1e-8 {
+		t.Errorf("post-retry means off by %g", d)
+	}
+}
+
+func TestInjectExhaustedLadderReturnsDiagnosis(t *testing.T) {
+	sys, err := mna.Build(smallGrid(), mna.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis := pce.NewHermiteBasis(2, 2)
+	gsys, err := FromMNA(sys, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restore := inject.Enable(&inject.Faults{
+		FailPrepare: map[string]int{"": -1},
+	})
+	t.Cleanup(restore)
+	_, err = Solve(gsys, Options{Step: tStep, Steps: 5}, func(step int, _ float64, coeffs [][]float64) {
+		if !numguard.FiniteBlocks(coeffs) {
+			t.Fatalf("step %d: non-finite coefficients delivered despite exhaustion", step)
+		}
+	})
+	if err == nil {
+		t.Fatal("exhausted ladder returned nil error")
+	}
+	var d *numguard.Diagnosis
+	if !errors.As(err, &d) {
+		t.Fatalf("error %T (%v) does not wrap *numguard.Diagnosis", err, err)
+	}
+}
+
+func TestInjectNaNNeverEscapesWithoutError(t *testing.T) {
+	// Poison a mid-transient solve AND break every higher rung: the run
+	// cannot recover, so Solve must fail with a Diagnosis at that step —
+	// never deliver poisoned coefficients as success.
+	sys, err := mna.Build(smallGrid(), mna.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis := pce.NewHermiteBasis(2, 2)
+	gsys, err := FromMNA(sys, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restore := inject.Enable(&inject.Faults{
+		SolveNaN:    map[int]string{3: ""},
+		FailPrepare: map[string]int{"cholesky": -1, "lu": -1, "cg+ic0": -1},
+	})
+	t.Cleanup(restore)
+	_, err = Solve(gsys, Options{Step: tStep, Steps: 10}, func(step int, _ float64, coeffs [][]float64) {
+		if !numguard.FiniteBlocks(coeffs) {
+			t.Fatalf("step %d: non-finite coefficients escaped without error", step)
+		}
+		if step >= 3 {
+			t.Fatalf("step %d delivered after the unrecoverable fault at step 3", step)
+		}
+	})
+	if err == nil {
+		t.Fatal("unrecoverable NaN returned nil error")
+	}
+	var d *numguard.Diagnosis
+	if !errors.As(err, &d) {
+		t.Fatalf("error %T (%v) does not wrap *numguard.Diagnosis", err, err)
+	}
+	if d.Step != 3 {
+		t.Errorf("diagnosis step %d, want 3", d.Step)
+	}
+}
+
+func TestInjectDecoupledPathEscalates(t *testing.T) {
+	// The §5.1 decoupled path runs scalar ladders; breaking Cholesky
+	// everywhere must land both the companion and DC ladders on LU.
+	nl := smallGrid()
+	for i := range nl.Resistors {
+		nl.Resistors[i].OnDie = false
+	}
+	for i := range nl.Pads {
+		nl.Pads[i].OnDie = false
+	}
+	for i := range nl.Caps {
+		nl.Caps[i].GateFrac = 0
+	}
+	sys, err := mna.Build(nl, mna.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Step: tStep, Steps: 10}
+	refMean, _, refRes := guardedRun(t, sys, 1, opts)
+	if !refRes.Decoupled {
+		t.Fatal("reference run did not take the decoupled path")
+	}
+
+	restore := inject.Enable(&inject.Faults{
+		FailPrepare: map[string]int{"cholesky": -1},
+	})
+	t.Cleanup(restore)
+	mean, _, res := guardedRun(t, sys, 1, opts)
+	if !res.Decoupled {
+		t.Fatal("faulted run did not take the decoupled path")
+	}
+	if res.Factorer != "lu" {
+		t.Errorf("factorer %q, want lu", res.Factorer)
+	}
+	if d := maxAbsDiff(mean, refMean); d > 1e-8 {
+		t.Errorf("decoupled LU means off by %g", d)
+	}
+}
+
+func TestInjectIterativePathEscalatesToDirect(t *testing.T) {
+	// A NaN injected into the §5.2 CG path mid-transient must hand the
+	// step to the direct block ladder and keep the rest of the run there.
+	sys, err := mna.Build(smallGrid(), mna.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Step: tStep, Steps: 10}
+	refMean, _, _ := guardedRun(t, sys, 2, opts)
+
+	restore := inject.Enable(&inject.Faults{
+		SolveNaN: map[int]string{4: "cg+mean-precond"},
+	})
+	t.Cleanup(restore)
+	itOpts := opts
+	itOpts.Iterative = true
+	mean, _, res := guardedRun(t, sys, 2, itOpts)
+
+	if !strings.HasPrefix(res.Factorer, "cg+mean-precond→") {
+		t.Errorf("factorer %q does not record the escalation", res.Factorer)
+	}
+	rep := res.Guard
+	if rep == nil || rep.NaNEvents != 1 || rep.StepRetries < 1 {
+		t.Fatalf("escalation telemetry wrong: %+v", rep)
+	}
+	found := false
+	for _, tr := range rep.Transitions {
+		if tr.Step == 4 && tr.From == "cg+mean-precond" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no cg+mean-precond transition at step 4: %+v", rep.Transitions)
+	}
+	if d := maxAbsDiff(mean, refMean); d > 1e-7 {
+		t.Errorf("escalated iterative means off by %g", d)
+	}
+}

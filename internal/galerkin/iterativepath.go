@@ -5,6 +5,8 @@ import (
 
 	"opera/internal/factor"
 	"opera/internal/iterative"
+	"opera/internal/numguard"
+	"opera/internal/numguard/inject"
 	"opera/internal/sparse"
 )
 
@@ -40,24 +42,32 @@ func solveCoupledIterative(sys *System, opts Options, visit func(int, float64, [
 		gBM.AddTerm(t.Coupling, t.A)
 	}
 
-	// Mean (identity-coupling) scalar matrices.
+	// Mean (identity-coupling) scalar matrices. The preconditioner
+	// factors go through mini-ladders of their own: a mean companion
+	// that defeats Cholesky falls back to LU rather than aborting.
+	res := Result{Factorer: "cg+mean-precond", AugmentedN: n * b}
+	rep := &numguard.Report{}
+	res.Guard = rep
 	g0 := meanTermSum(sys.GTerms, n)
 	c0 := meanTermSum(sys.CTerms, n)
 	scalarComp := sparse.Add(1, g0, 1/opts.Step, c0)
-	compFac, err := factor.Cholesky(scalarComp, perm)
+	compLad := numguard.NewLadder("precond", opts.Guard, scalarComp, scalarComp.NormInf(),
+		scalarRungs(scalarComp, perm, opts.Guard, false, &res.FactorNNZ), rep)
+	compFac, err := compLad.Solver(0)
 	if err != nil {
 		return Result{}, fmt.Errorf("galerkin: iterative path mean factorization: %w", err)
 	}
-	g0Fac, err := factor.Cholesky(g0, perm)
+	g0Lad := numguard.NewLadder("precond-dc", opts.Guard, g0, g0.NormInf(),
+		scalarRungs(g0, perm, opts.Guard, false, nil), rep)
+	g0Fac, err := g0Lad.Solver(0)
 	if err != nil {
 		return Result{}, fmt.Errorf("galerkin: iterative path DC factorization: %w", err)
 	}
-	res := Result{Factorer: "cg+mean-precond", AugmentedN: n * b, FactorNNZ: compFac.Sym.LNNZ()}
 
 	// Block-diagonal preconditioner: apply the scalar factor to each
 	// chaos coefficient's sub-vector.
 	zc := make([]float64, n)
-	makePre := func(f *factor.CholFactor) iterative.Preconditioner {
+	makePre := func(f numguard.Solver) iterative.Preconditioner {
 		return iterative.PrecondFunc(func(z, r []float64) {
 			for m := 0; m < b; m++ {
 				for i := 0; i < n; i++ {
@@ -100,15 +110,52 @@ func solveCoupledIterative(sys *System, opts Options, visit func(int, float64, [
 		}
 	}
 
+	// On CG breakdown or a poisoned state the path escalates to the
+	// direct block ladder (block-cholesky → cholesky → lu → cg+ic0) and
+	// re-solves the failing step there — correctness over the memory
+	// economy that motivated the iterative path.
+	var direct *numguard.Ladder
+	escalate := func(step int, op *factor.BlockMatrix, cause error) error {
+		rep.NaNEvents += boolToInt(cause == nil)
+		reason := "non-finite solution"
+		if cause != nil {
+			reason = cause.Error()
+		}
+		rep.Transitions = append(rep.Transitions, numguard.Transition{
+			Stage: "step", Step: step, From: "cg+mean-precond", To: "block-cholesky", Reason: reason,
+		})
+		if step > 0 {
+			rep.StepRetries++
+		}
+		if direct == nil {
+			direct = numguard.NewLadder("step", opts.Guard, comp, comp.NormInf(),
+				blockRungs(comp, perm, opts.Guard, false, nil), rep)
+		}
+		if op == comp {
+			return direct.Solve(step, x, rhs)
+		}
+		dcLad := numguard.NewLadder("dc", opts.Guard, op, op.NormInf(),
+			blockRungs(op, perm, opts.Guard, false, nil), rep)
+		return dcLad.Solve(step, x, rhs)
+	}
+
 	sys.RHS(0, rhsBlocks)
 	pack(rhsBlocks, rhs)
 	cgOpts := iterative.CGOptions{Tol: 1e-11, MaxIter: 1000}
 	cgOpts.M = preG
-	r0, err := iterative.CG(gBM, x, rhs, cgOpts)
-	if err != nil {
-		return Result{}, fmt.Errorf("galerkin: iterative DC solve: %w", err)
+	r0, cgErr := iterative.CG(gBM, x, rhs, cgOpts)
+	inject.CorruptSolve("cg+mean-precond", 0, x)
+	if cgErr != nil || !numguard.Finite(x) {
+		if e := escalate(0, gBM, cgErr); e != nil {
+			return Result{}, fmt.Errorf("galerkin: iterative DC solve: %w", e)
+		}
+	} else {
+		res.CGIterations += r0.Iterations
+		rep.Verified++ // CG is residual-controlled (‖b−Ax‖₂/‖b‖₂ ≤ tol)
+		if r0.Residual > rep.MaxResidual {
+			rep.MaxResidual = r0.Residual
+		}
 	}
-	res.CGIterations += r0.Iterations
 	if visit != nil {
 		unpack(x, outBlocks)
 		visit(0, 0, outBlocks)
@@ -124,19 +171,44 @@ func solveCoupledIterative(sys *System, opts Options, visit func(int, float64, [
 				rhs[i] += work[i] / opts.Step
 			}
 		}
-		// Warm start from the previous step's solution.
-		rk, err := iterative.CG(comp, x, rhs, cgOpts)
-		if err != nil {
-			return Result{}, fmt.Errorf("galerkin: iterative step %d: %w", k, err)
+		if direct != nil {
+			// Already escalated: stay on the verified direct ladder.
+			if err := direct.Solve(k, x, rhs); err != nil {
+				return Result{}, fmt.Errorf("galerkin: iterative step %d: %w", k, err)
+			}
+		} else {
+			// Warm start from the previous step's solution.
+			rk, cgErr := iterative.CG(comp, x, rhs, cgOpts)
+			inject.CorruptSolve("cg+mean-precond", k, x)
+			if cgErr != nil || !numguard.Finite(x) {
+				if e := escalate(k, comp, cgErr); e != nil {
+					return Result{}, fmt.Errorf("galerkin: iterative step %d: %w", k, e)
+				}
+			} else {
+				res.CGIterations += rk.Iterations
+				rep.Verified++
+				if rk.Residual > rep.MaxResidual {
+					rep.MaxResidual = rk.Residual
+				}
+			}
 		}
-		res.CGIterations += rk.Iterations
 		if visit != nil {
 			unpack(x, outBlocks)
 			visit(k, t, outBlocks)
 		}
 		res.StepsRun = k
 	}
+	if direct != nil {
+		res.Factorer = "cg+mean-precond→" + direct.Rung()
+	}
 	return res, nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // meanTermSum adds the node matrices of terms whose coupling is the

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"opera/internal/factor"
+	"opera/internal/numguard"
 	"opera/internal/order"
 	"opera/internal/sparse"
 )
@@ -57,6 +58,10 @@ type Options struct {
 	// switches to the iterative path automatically (its memory is the
 	// scalar factor's). 0 means 4 GiB; negative disables the check.
 	MemoryBudget int64
+	// Guard tunes the numerical-robustness layer (residual tolerance,
+	// refinement caps, verification cadence). The zero value uses the
+	// numguard defaults; the guard cannot be disabled.
+	Guard numguard.Config
 }
 
 // Validate checks the options.
@@ -118,6 +123,9 @@ type Result struct {
 	// CGIterations totals the conjugate gradient iterations when the
 	// iterative path is used.
 	CGIterations int
+	// Guard carries the numerical-robustness telemetry: residuals
+	// verified, refinement sweeps, rung transitions, non-finite events.
+	Guard *numguard.Report
 }
 
 // Solve runs the stochastic Galerkin transient. visit is called after
@@ -142,24 +150,24 @@ func Solve(sys *System, opts Options, visit func(step int, t float64, coeffs [][
 }
 
 // solveDecoupled exploits a deterministic operator (§5.1, Eq. 27): one
-// n×n factorization, N+1 independent recursions.
+// n×n factorization, N+1 independent recursions. Every solve runs
+// through the numguard escalation ladder (cholesky → lu → cg+ic0) with
+// residual verification.
 func solveDecoupled(sys *System, opts Options, visit func(int, float64, [][]float64)) (Result, error) {
 	n, b := sys.N, sys.Basis.Size()
 	g0 := sumTerms(sys.GTerms, n)
 	c0 := sumTerms(sys.CTerms, n)
 	companion := sparse.Add(1, g0, 1/opts.Step, c0)
-	comp, kind, err := factorize(companion, opts.Ordering, opts.ForceLU)
-	if err != nil {
+	res := Result{Decoupled: true, AugmentedN: n}
+	rep := &numguard.Report{}
+	res.Guard = rep
+	lad := numguard.NewLadder("step", opts.Guard, companion, companion.NormInf(),
+		scalarRungs(companion, permFor(companion, opts.Ordering), opts.Guard, opts.ForceLU, &res.FactorNNZ), rep)
+	if _, err := lad.Solver(0); err != nil {
 		return Result{}, fmt.Errorf("galerkin: decoupled companion factorization: %w", err)
 	}
-	res := Result{Decoupled: true, Factorer: kind, AugmentedN: n}
-	if cf, ok := comp.(*factor.CholFactor); ok {
-		res.FactorNNZ = cf.Sym.LNNZ()
-	}
-	gSolve, _, err := factorize(g0, opts.Ordering, opts.ForceLU)
-	if err != nil {
-		return Result{}, fmt.Errorf("galerkin: decoupled DC factorization: %w", err)
-	}
+	dcLad := numguard.NewLadder("dc", opts.Guard, g0, g0.NormInf(),
+		scalarRungs(g0, permFor(g0, opts.Ordering), opts.Guard, opts.ForceLU, nil), rep)
 	blocks := make([][]float64, b)
 	rhsBlocks := make([][]float64, b)
 	for m := 0; m < b; m++ {
@@ -168,7 +176,9 @@ func solveDecoupled(sys *System, opts Options, visit func(int, float64, [][]floa
 	}
 	sys.RHS(0, rhsBlocks)
 	for m := 0; m < b; m++ {
-		gSolve.SolveTo(blocks[m], rhsBlocks[m])
+		if err := dcLad.Solve(0, blocks[m], rhsBlocks[m]); err != nil {
+			return Result{}, fmt.Errorf("galerkin: decoupled DC solve: %w", err)
+		}
 	}
 	if visit != nil {
 		visit(0, 0, blocks)
@@ -183,13 +193,16 @@ func solveDecoupled(sys *System, opts Options, visit func(int, float64, [][]floa
 			for i := 0; i < n; i++ {
 				rhs[i] = rhsBlocks[m][i] + cx[i]/opts.Step
 			}
-			comp.SolveTo(blocks[m], rhs)
+			if err := lad.Solve(k, blocks[m], rhs); err != nil {
+				return Result{}, fmt.Errorf("galerkin: decoupled step %d: %w", k, err)
+			}
 		}
 		if visit != nil {
 			visit(k, t, blocks)
 		}
 		res.StepsRun = k
 	}
+	res.Factorer = lad.Rung()
 	return res, nil
 }
 

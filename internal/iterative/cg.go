@@ -92,7 +92,7 @@ type CGResult struct {
 func CG(a Operator, x, b []float64, opt CGOptions) (CGResult, error) {
 	n := len(b)
 	if len(x) != n {
-		panic(fmt.Sprintf("iterative: CG shapes x %d, b %d", len(x), len(b)))
+		return CGResult{}, fmt.Errorf("iterative: CG shapes x %d, b %d", len(x), len(b))
 	}
 	if opt.Tol <= 0 {
 		opt.Tol = 1e-10

@@ -22,7 +22,7 @@ type IC0 struct {
 // α·diag(A), which yields a valid—if weaker—preconditioner.
 func NewIC0(a *sparse.Matrix) (*IC0, error) {
 	if a.Rows != a.Cols {
-		panic("iterative: NewIC0 requires a square matrix")
+		return nil, fmt.Errorf("iterative: NewIC0 requires a square matrix, got %dx%d", a.Rows, a.Cols)
 	}
 	shift := 0.0
 	for attempt := 0; attempt < 8; attempt++ {

@@ -1,0 +1,48 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts two properties of the netlist reader on arbitrary
+// input: it never panics (malformed cards must surface as errors), and
+// accepted input is format-stable — parse → Write → parse → Write
+// reproduces the first rendering byte for byte, so the text format is a
+// faithful round-trip of the in-memory netlist.
+func FuzzParse(f *testing.F) {
+	f.Add("* comment only\n.nodes 2\nR1 1 2 2.5 ondie=1 region=0\n.end\n")
+	f.Add(".nodes 3\nRa 1 2 1\nRb 2 3 1\nCa 1 0 1e-12 gatefrac=0.4 region=1\n" +
+		"I1 3 DC ( 0.005 ) leffsens=1 region=0 leakage=1\nPp 1 1.2 0.1 ondie=1\n.end\n")
+	f.Add(".nodes 2\nI1 1 PULSE ( 0 0.02 2e-10 1e-10 4e-10 1e-10 2e-9 ) leffsens=1\n.end\n")
+	f.Add(".nodes 2\nI1 1 PWL ( 0 0 1e-9 0.01 2e-9 0 )\n.end\n")
+	f.Add(".nodes 2\nI1 1 PER ( 2e-9 PWL ( 0 0 1e-9 0.01 ) )\n.end\n")
+	f.Add(".nodes 2\nI1 1 SCALE ( 2 DC ( 0.001 ) )\n.end\n")
+	f.Add(".nodes 1\n.end\nextra")
+	f.Add(".nodes -5\n.end\n")
+	f.Add("R1 1\nI1 ( ) DC\nP1\n.end")
+	f.Add(".nodes 2\nI1 1 DC ( )\n.end\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		nl, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; only panics are bugs
+		}
+		var first bytes.Buffer
+		if err := Write(&first, nl); err != nil {
+			t.Fatalf("Write after successful Read: %v", err)
+		}
+		nl2, err := Read(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse of own output failed: %v\noutput:\n%s", err, first.String())
+		}
+		var second bytes.Buffer
+		if err := Write(&second, nl2); err != nil {
+			t.Fatalf("second Write: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("format not stable:\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
+		}
+	})
+}

@@ -1,0 +1,203 @@
+package numguard
+
+import (
+	"fmt"
+	"math"
+
+	"opera/internal/numguard/inject"
+)
+
+// Rung is one solver configuration in the escalation ladder, from
+// cheapest/most fragile to most expensive/most robust. Prepare is
+// called at most once per escalation (lazily — a rung that is never
+// reached is never factored).
+type Rung struct {
+	Name    string
+	Prepare func() (Solver, error)
+}
+
+// Ladder runs verified solves against an ordered list of rungs,
+// escalating when a rung's factorization fails, its solution is
+// non-finite, or its residual cannot be refined below tolerance.
+// A Ladder is not safe for concurrent use.
+type Ladder struct {
+	Stage string // labels transitions/diagnoses ("step", "dc", ...)
+
+	cfg    Config
+	op     Operator
+	anorm  float64
+	rungs  []Rung
+	cur    int
+	solver Solver
+	last   Solver // most recent usable solver, kept across escalations for diagnosis
+	report *Report
+
+	r, dx []float64
+}
+
+// NewLadder builds a ladder over op (the matrix being solved, for
+// residuals) with ‖A‖∞ ≈ anorm. report may be shared across ladders of
+// one analysis; nil allocates a private one.
+func NewLadder(stage string, cfg Config, op Operator, anorm float64, rungs []Rung, report *Report) *Ladder {
+	if report == nil {
+		report = &Report{}
+	}
+	return &Ladder{Stage: stage, cfg: cfg.WithDefaults(), op: op, anorm: anorm, rungs: rungs, report: report}
+}
+
+// Report returns the shared telemetry.
+func (l *Ladder) Report() *Report { return l.report }
+
+// Rung returns the name of the rung currently in use (after at least
+// one successful Prepare), or the name of the next rung to try.
+func (l *Ladder) Rung() string {
+	if l.cur < len(l.rungs) {
+		return l.rungs[l.cur].Name
+	}
+	return "exhausted"
+}
+
+// Solver prepares (if necessary) and returns the current rung's solver,
+// escalating past rungs whose factorization fails. It is used by
+// callers that need the raw factor (e.g. as a preconditioner).
+func (l *Ladder) Solver(step int) (Solver, error) {
+	for l.solver == nil {
+		if l.cur >= len(l.rungs) {
+			return nil, &Diagnosis{
+				Stage: l.Stage, Step: step, Rung: "exhausted",
+				Reason: "no rung produced a usable factorization",
+			}
+		}
+		r := l.rungs[l.cur]
+		var s Solver
+		var err error
+		if inject.FailPrepare(r.Name) {
+			err = fmt.Errorf("injected factorization failure")
+		} else {
+			s, err = r.Prepare()
+		}
+		if err != nil {
+			l.recordTransition(step, r.Name, l.nextName(), fmt.Sprintf("factorization failed: %v", err))
+			l.cur++
+			continue
+		}
+		l.solver = s
+		l.last = s
+	}
+	return l.solver, nil
+}
+
+func (l *Ladder) nextName() string {
+	if l.cur+1 < len(l.rungs) {
+		return l.rungs[l.cur+1].Name
+	}
+	return ""
+}
+
+func (l *Ladder) recordTransition(step int, from, to, reason string) {
+	l.report.Transitions = append(l.report.Transitions, Transition{
+		Stage: l.Stage, Step: step, From: from, To: to, Reason: reason,
+	})
+}
+
+// escalate abandons the current rung. It returns false when no rung is
+// left.
+func (l *Ladder) escalate(step int, reason string) bool {
+	l.recordTransition(step, l.Rung(), l.nextName(), reason)
+	l.cur++
+	l.solver = nil
+	if step > 0 {
+		l.report.StepRetries++
+	}
+	return l.cur < len(l.rungs)
+}
+
+// Solve computes x ← A⁻¹·b with verification: non-finite sentinel on
+// every call, residual check on the configured cadence, capped
+// iterative refinement before any escalation, and rung escalation (the
+// whole solve retried on the next rung) when refinement cannot reach
+// tolerance. It returns a *Diagnosis when the ladder is exhausted —
+// never a silently wrong x.
+func (l *Ladder) Solve(step int, x, b []float64) error {
+	if len(l.r) != len(b) {
+		l.r = make([]float64, len(b))
+		l.dx = make([]float64, len(b))
+	}
+	var history []float64
+	for {
+		s, err := l.Solver(step)
+		if err != nil {
+			if d, ok := err.(*Diagnosis); ok {
+				d.Residuals = history
+			}
+			return err
+		}
+		rung := l.Rung()
+		s.SolveTo(x, b)
+		inject.CorruptSolve(rung, step, x)
+		if !Finite(x) {
+			l.report.NaNEvents++
+			history = append(history, math.Inf(1))
+			if l.escalate(step, "non-finite solution") {
+				continue
+			}
+			return l.diagnose(step, rung, history, "non-finite solution on the last rung")
+		}
+		if !l.cfg.ShouldVerify(step) {
+			return nil
+		}
+		res := ScaledResidual(l.op, l.anorm, l.r, x, b)
+		history = append(history, res)
+		if res <= l.cfg.ResidualTol {
+			l.accept(res)
+			return nil
+		}
+		// Iterative refinement: solve on the residual, add the
+		// correction. The residual vector is already in l.r.
+		refined := false
+		for sweep := 0; sweep < l.cfg.MaxRefine && res > l.cfg.ResidualTol && !math.IsInf(res, 1); sweep++ {
+			s.SolveTo(l.dx, l.r)
+			inject.CorruptSolve(rung, step, l.dx)
+			if !Finite(l.dx) {
+				l.report.NaNEvents++
+				res = math.Inf(1)
+				history = append(history, res)
+				break
+			}
+			for i := range x {
+				x[i] += l.dx[i]
+			}
+			l.report.Refinements++
+			refined = true
+			res = ScaledResidual(l.op, l.anorm, l.r, x, b)
+			history = append(history, res)
+		}
+		if refined {
+			l.report.RefinedSolves++
+		}
+		if res <= l.cfg.ResidualTol {
+			l.accept(res)
+			return nil
+		}
+		if l.escalate(step, fmt.Sprintf("residual %.3g above tolerance %.3g after %d refinement sweeps",
+			res, l.cfg.ResidualTol, l.cfg.MaxRefine)) {
+			continue
+		}
+		return l.diagnose(step, rung, history, "residual above tolerance on every rung")
+	}
+}
+
+func (l *Ladder) accept(res float64) {
+	l.report.Verified++
+	if res > l.report.MaxResidual {
+		l.report.MaxResidual = res
+	}
+}
+
+func (l *Ladder) diagnose(step int, rung string, history []float64, reason string) error {
+	d := &Diagnosis{Stage: l.Stage, Step: step, Rung: rung, Residuals: history, Reason: reason}
+	if s := l.last; s != nil {
+		d.Cond1 = CondEst1(len(l.r), l.anorm, func(x, b []float64) { s.SolveTo(x, b) })
+	}
+	return d
+}

@@ -1,0 +1,304 @@
+package numguard
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// denseOp is a small dense matrix implementing Operator for tests.
+type denseOp [][]float64
+
+func (m denseOp) MulVec(y, x []float64) {
+	for i, row := range m {
+		s := 0.0
+		for j, a := range row {
+			s += a * x[j]
+		}
+		y[i] = s
+	}
+}
+
+func (m denseOp) normInf() float64 {
+	worst := 0.0
+	for _, row := range m {
+		s := 0.0
+		for _, a := range row {
+			s += math.Abs(a)
+		}
+		if s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// spd2 is a well-conditioned 2x2 SPD test matrix with its exact inverse.
+var spd2 = denseOp{{4, 1}, {1, 3}}
+
+func spd2Solve(x, b []float64) {
+	// inv([[4,1],[1,3]]) = 1/11 * [[3,-1],[-1,4]]
+	b0, b1 := b[0], b[1]
+	x[0] = (3*b0 - b1) / 11
+	x[1] = (-b0 + 4*b1) / 11
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.ResidualTol != 1e-8 || c.MaxRefine != 3 || c.VerifyEvery != 8 || c.PivotGrowthMax != 1e8 {
+		t.Fatalf("unexpected defaults: %+v", c)
+	}
+	// Explicit settings survive.
+	c = Config{ResidualTol: 1e-6, MaxRefine: 5, VerifyEvery: 4, PivotGrowthMax: 10}.WithDefaults()
+	if c.ResidualTol != 1e-6 || c.MaxRefine != 5 || c.VerifyEvery != 4 || c.PivotGrowthMax != 10 {
+		t.Fatalf("explicit config overwritten: %+v", c)
+	}
+}
+
+func TestShouldVerifyCadence(t *testing.T) {
+	c := Config{VerifyEvery: 4}.WithDefaults()
+	for _, tc := range []struct {
+		step int
+		want bool
+	}{{0, true}, {1, true}, {2, false}, {3, false}, {4, true}, {7, false}, {8, true}} {
+		if got := c.ShouldVerify(tc.step); got != tc.want {
+			t.Errorf("ShouldVerify(%d) with VerifyEvery=4: got %v want %v", tc.step, got, tc.want)
+		}
+	}
+	every := Config{VerifyEvery: 1}.WithDefaults()
+	for step := 0; step < 10; step++ {
+		if !every.ShouldVerify(step) {
+			t.Errorf("VerifyEvery=1 must verify step %d", step)
+		}
+	}
+}
+
+func TestFinite(t *testing.T) {
+	if !Finite([]float64{0, -1, 1e300}) {
+		t.Error("finite vector reported non-finite")
+	}
+	if Finite([]float64{0, math.NaN()}) {
+		t.Error("NaN not caught")
+	}
+	if Finite([]float64{math.Inf(-1)}) {
+		t.Error("-Inf not caught")
+	}
+	if !FiniteBlocks([][]float64{{1, 2}, {3}}) {
+		t.Error("finite blocks reported non-finite")
+	}
+	if FiniteBlocks([][]float64{{1}, {math.Inf(1)}}) {
+		t.Error("Inf block not caught")
+	}
+}
+
+func TestScaledResidual(t *testing.T) {
+	b := []float64{5, 4}
+	x := make([]float64, 2)
+	spd2Solve(x, b) // exact solve
+	r := make([]float64, 2)
+	res := ScaledResidual(spd2, spd2.normInf(), r, x, b)
+	if res > 1e-15 {
+		t.Errorf("exact solve residual %g, want ~0", res)
+	}
+	// Perturb the solution; the scaled residual must see it.
+	x[0] += 1e-3
+	res = ScaledResidual(spd2, spd2.normInf(), r, x, b)
+	if res < 1e-5 {
+		t.Errorf("perturbed solve residual %g, want noticeable", res)
+	}
+	// Non-finite x yields +Inf.
+	x[0] = math.NaN()
+	if res = ScaledResidual(spd2, spd2.normInf(), r, x, b); !math.IsInf(res, 1) {
+		t.Errorf("NaN x residual %g, want +Inf", res)
+	}
+}
+
+func TestCondEst1Diagonal(t *testing.T) {
+	// diag(1, 10, 100): kappa_1 = 100 exactly.
+	n := 3
+	d := []float64{1, 10, 100}
+	solve := func(x, b []float64) {
+		for i := range x {
+			x[i] = b[i] / d[i]
+		}
+	}
+	est := CondEst1(n, 100, solve)
+	if est < 50 || est > 101 {
+		t.Errorf("cond estimate %g for kappa=100", est)
+	}
+	// Singular solve (Inf output) reports +Inf.
+	bad := func(x, b []float64) {
+		for i := range x {
+			x[i] = math.Inf(1)
+		}
+	}
+	if est = CondEst1(n, 100, bad); !math.IsInf(est, 1) {
+		t.Errorf("singular solve estimate %g, want +Inf", est)
+	}
+}
+
+// driftSolver wraps the exact solve with a consistent relative error,
+// the classic situation iterative refinement fixes.
+func driftSolver(eps float64) Solver {
+	return SolverFunc(func(x, b []float64) {
+		spd2Solve(x, b)
+		x[0] *= 1 + eps
+		x[1] *= 1 - eps
+	})
+}
+
+func TestLadderRefinementRecoversDrift(t *testing.T) {
+	rep := &Report{}
+	lad := NewLadder("test", Config{}, spd2, spd2.normInf(),
+		[]Rung{{Name: "drifted", Prepare: func() (Solver, error) { return driftSolver(1e-3), nil }}}, rep)
+	b := []float64{5, 4}
+	x := make([]float64, 2)
+	if err := lad.Solve(0, x, b); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, 2)
+	spd2Solve(want, b)
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-8 {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+	if rep.Refinements == 0 || rep.RefinedSolves != 1 {
+		t.Errorf("refinement not recorded: %+v", rep)
+	}
+	if len(rep.Transitions) != 0 {
+		t.Errorf("drift within refinement reach must not escalate: %+v", rep.Transitions)
+	}
+	if rep.Healthy() {
+		t.Error("a refined solve is not Healthy")
+	}
+}
+
+func TestLadderEscalatesPastBadRungs(t *testing.T) {
+	rep := &Report{}
+	rungs := []Rung{
+		{Name: "broken", Prepare: func() (Solver, error) { return nil, errors.New("boom") }},
+		{Name: "drifted-hopeless", Prepare: func() (Solver, error) { return driftSolver(0.5), nil }},
+		{Name: "exact", Prepare: func() (Solver, error) { return SolverFunc(spd2Solve), nil }},
+	}
+	lad := NewLadder("test", Config{}, spd2, spd2.normInf(), rungs, rep)
+	b := []float64{5, 4}
+	x := make([]float64, 2)
+	if err := lad.Solve(0, x, b); err != nil {
+		t.Fatal(err)
+	}
+	if lad.Rung() != "exact" {
+		t.Errorf("final rung %q, want exact", lad.Rung())
+	}
+	if len(rep.Transitions) != 2 {
+		t.Fatalf("want 2 transitions (broken→drifted, drifted→exact), got %+v", rep.Transitions)
+	}
+	if rep.Transitions[0].From != "broken" || rep.Transitions[1].From != "drifted-hopeless" {
+		t.Errorf("transition order wrong: %+v", rep.Transitions)
+	}
+	if rep.Verified != 1 {
+		t.Errorf("verified count %d, want 1", rep.Verified)
+	}
+}
+
+func TestLadderNaNEscalates(t *testing.T) {
+	rep := &Report{}
+	nan := math.NaN()
+	rungs := []Rung{
+		{Name: "poisoned", Prepare: func() (Solver, error) {
+			return SolverFunc(func(x, b []float64) {
+				for i := range x {
+					x[i] = nan
+				}
+			}), nil
+		}},
+		{Name: "exact", Prepare: func() (Solver, error) { return SolverFunc(spd2Solve), nil }},
+	}
+	lad := NewLadder("test", Config{}, spd2, spd2.normInf(), rungs, rep)
+	b := []float64{5, 4}
+	x := make([]float64, 2)
+	if err := lad.Solve(3, x, b); err != nil {
+		t.Fatal(err)
+	}
+	if !Finite(x) {
+		t.Fatal("accepted solution is non-finite")
+	}
+	if rep.NaNEvents != 1 {
+		t.Errorf("NaNEvents %d, want 1", rep.NaNEvents)
+	}
+	if rep.StepRetries != 1 {
+		t.Errorf("StepRetries %d, want 1 (step 3 re-solved)", rep.StepRetries)
+	}
+}
+
+func TestLadderExhaustionReturnsDiagnosis(t *testing.T) {
+	rep := &Report{}
+	rungs := []Rung{
+		{Name: "a", Prepare: func() (Solver, error) { return driftSolver(0.9), nil }},
+		{Name: "b", Prepare: func() (Solver, error) { return driftSolver(0.9), nil }},
+	}
+	lad := NewLadder("stage-x", Config{VerifyEvery: 1}, spd2, spd2.normInf(), rungs, rep)
+	b := []float64{5, 4}
+	x := make([]float64, 2)
+	err := lad.Solve(7, x, b)
+	if err == nil {
+		t.Fatal("exhausted ladder returned nil error")
+	}
+	var d *Diagnosis
+	if !errors.As(err, &d) {
+		t.Fatalf("error %T is not a *Diagnosis", err)
+	}
+	if d.Stage != "stage-x" || d.Step != 7 {
+		t.Errorf("diagnosis context wrong: %+v", d)
+	}
+	if len(d.Residuals) == 0 {
+		t.Error("diagnosis carries no residual history")
+	}
+	if d.Cond1 <= 0 {
+		t.Errorf("diagnosis cond estimate %g, want > 0", d.Cond1)
+	}
+	if !strings.Contains(d.Error(), "stage-x") {
+		t.Errorf("Error() lacks stage: %s", d.Error())
+	}
+}
+
+func TestLadderVerifyCadenceSkipsResidual(t *testing.T) {
+	// With VerifyEvery=10, steps 2..9 skip the residual check, so a
+	// drifted-but-finite answer passes through unverified there — but the
+	// NaN sentinel still runs every step.
+	rep := &Report{}
+	lad := NewLadder("test", Config{VerifyEvery: 10}, spd2, spd2.normInf(),
+		[]Rung{{Name: "drifted", Prepare: func() (Solver, error) { return driftSolver(1e-3), nil }}}, rep)
+	b := []float64{5, 4}
+	x := make([]float64, 2)
+	if err := lad.Solve(2, x, b); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verified != 0 || rep.Refinements != 0 {
+		t.Errorf("step 2 must skip verification under VerifyEvery=10: %+v", rep)
+	}
+	if err := lad.Solve(10, x, b); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verified != 1 {
+		t.Errorf("step 10 must verify under VerifyEvery=10: %+v", rep)
+	}
+}
+
+func TestReportSummary(t *testing.T) {
+	var nilRep *Report
+	if !nilRep.Healthy() {
+		t.Error("nil report must be Healthy")
+	}
+	rep := &Report{Verified: 3, MaxResidual: 1e-12, NaNEvents: 1,
+		Transitions: []Transition{{Stage: "step", From: "lu", To: "", Reason: "x"}}}
+	s := rep.Summary()
+	if !strings.Contains(s, "3 solves verified") || !strings.Contains(s, "1 rung transitions") ||
+		!strings.Contains(s, "1 non-finite events") {
+		t.Errorf("summary incomplete: %s", s)
+	}
+	if got := rep.Transitions[0].String(); !strings.Contains(got, "exhausted") {
+		t.Errorf("empty To must render as exhausted: %s", got)
+	}
+}

@@ -145,6 +145,22 @@ func (m *Matrix) Norm1() float64 {
 	return max
 }
 
+// NormInf returns the ∞-norm (maximum absolute row sum). For the
+// symmetric matrices of this codebase it coincides with Norm1.
+func (m *Matrix) NormInf() float64 {
+	rowSum := make([]float64, m.Rows)
+	for p, i := range m.Rowi {
+		rowSum[i] += abs(m.Val[p])
+	}
+	max := 0.0
+	for _, s := range rowSum {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
 // DropTol removes stored entries with |value| <= tol, compacting in
 // place, and returns m. DropTol(0) removes exact structural zeros.
 func (m *Matrix) DropTol(tol float64) *Matrix {

@@ -15,6 +15,7 @@ import (
 
 	"opera/internal/factor"
 	"opera/internal/iterative"
+	"opera/internal/numguard"
 	"opera/internal/sparse"
 )
 
@@ -74,7 +75,9 @@ type Stepper struct {
 	N      int
 	opts   Options
 	g, c   *sparse.Matrix
-	fac    *factor.CholFactor
+	a      *sparse.Matrix     // companion G + scale·C (kept for escalation)
+	fac    *factor.CholFactor // nil when the LU rung is in use
+	lu     *factor.LUFactor
 	x      []float64 // current state
 	t      float64
 	stepNo int
@@ -103,20 +106,78 @@ func NewStepper(g, c *sparse.Matrix, opts Options) (*Stepper, error) {
 	if sym == nil {
 		sym = factor.CholAnalyze(a, opts.Perm)
 	}
-	fac, err := sym.Factorize(a, opts.ReuseFactor)
-	if err != nil {
-		return nil, fmt.Errorf("transient: companion factorization: %w", err)
-	}
-	return &Stepper{
+	st := &Stepper{
 		N:    n,
 		opts: opts,
 		g:    g,
 		c:    c,
-		fac:  fac,
+		a:    a,
 		x:    make([]float64, n),
 		b:    make([]float64, n),
 		cx:   make([]float64, n),
-	}, nil
+	}
+	fac, err := sym.Factorize(a, opts.ReuseFactor)
+	if err != nil {
+		// A companion matrix that defeats Cholesky (borderline
+		// indefinite under extreme parameter samples) escalates to
+		// partial-pivoting LU rather than aborting the run.
+		if !errors.Is(err, factor.ErrNotPositiveDefinite) {
+			return nil, fmt.Errorf("transient: companion factorization: %w", err)
+		}
+		lu, luErr := factor.LU(a, sym.Perm)
+		if luErr != nil {
+			return nil, fmt.Errorf("transient: companion factorization: %v; LU escalation: %w", err, luErr)
+		}
+		st.lu = lu
+		return st, nil
+	}
+	st.fac = fac
+	return st, nil
+}
+
+// Factorer names the factorization rung in use ("cholesky" or "lu").
+func (s *Stepper) Factorer() string {
+	if s.lu != nil {
+		return "lu"
+	}
+	return "cholesky"
+}
+
+// solveTo dispatches to the active factorization rung.
+func (s *Stepper) solveTo(x, b []float64) {
+	if s.lu != nil {
+		s.lu.SolveTo(x, b)
+		return
+	}
+	s.fac.SolveTo(x, b)
+}
+
+// guardState checks the freshly computed state for NaN/Inf; on
+// poisoning it retries the solve once on the LU rung and, failing that,
+// returns a structured numguard.Diagnosis instead of letting garbage
+// propagate through the recursion.
+func (s *Stepper) guardState(stage string, step int, b []float64) error {
+	if numguard.Finite(s.x) {
+		return nil
+	}
+	if s.lu == nil {
+		var perm []int
+		if s.fac != nil {
+			perm = s.fac.Sym.Perm
+		}
+		lu, err := factor.LU(s.a, perm)
+		if err == nil {
+			s.lu = lu
+			s.lu.SolveTo(s.x, b)
+			if numguard.Finite(s.x) {
+				return nil
+			}
+		}
+	}
+	return &numguard.Diagnosis{
+		Stage: stage, Step: step, Rung: s.Factorer(),
+		Reason: "non-finite transient state",
+	}
 }
 
 // Factor exposes the companion factor so callers can recycle its
@@ -145,18 +206,25 @@ func (s *Stepper) InitDC(u0 []float64) error {
 	if len(u0) != s.N {
 		return fmt.Errorf("%w: u0 length %d != %d", ErrSize, len(u0), s.N)
 	}
-	pre := iterative.PrecondFunc(func(z, r []float64) { s.fac.SolveTo(z, r) })
+	pre := iterative.PrecondFunc(func(z, r []float64) { s.solveTo(z, r) })
 	for i := range s.x {
 		s.x[i] = 0
 	}
 	if _, err := iterative.CG(s.g, s.x, u0, iterative.CGOptions{
 		Tol: 1e-12, MaxIter: 200, M: pre,
 	}); err != nil {
-		fg, ferr := factor.Cholesky(s.g, s.fac.Sym.Perm)
+		var perm []int
+		if s.fac != nil {
+			perm = s.fac.Sym.Perm
+		}
+		fg, ferr := factor.Cholesky(s.g, perm)
 		if ferr != nil {
 			return fmt.Errorf("transient: DC solve: CG failed (%v) and factorization failed: %w", err, ferr)
 		}
 		fg.SolveTo(s.x, u0)
+	}
+	if !numguard.Finite(s.x) {
+		return &numguard.Diagnosis{Stage: "transient-dc", Rung: s.Factorer(), Reason: "non-finite DC state"}
 	}
 	s.t = 0
 	s.stepNo = 0
@@ -216,7 +284,10 @@ func (s *Stepper) Advance(uNew []float64) error {
 	default:
 		return fmt.Errorf("transient: unknown method %v", s.opts.Method)
 	}
-	s.fac.SolveTo(s.x, s.b)
+	s.solveTo(s.x, s.b)
+	if err := s.guardState("transient", s.stepNo+1, s.b); err != nil {
+		return err
+	}
 	if s.opts.Method == Trapezoidal {
 		copy(s.ensurePrev(), uNew)
 		s.havePrev = true
