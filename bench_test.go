@@ -27,9 +27,13 @@ import (
 
 	"opera/internal/core"
 	"opera/internal/experiments"
+	"opera/internal/factor"
 	"opera/internal/galerkin"
 	"opera/internal/grid"
 	"opera/internal/mna"
+	"opera/internal/obs"
+	"opera/internal/order"
+	"opera/internal/sparse"
 )
 
 // printOnce keys output by benchmark name so repeated b.N iterations
@@ -182,6 +186,49 @@ func BenchmarkOperaOnly(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkObsOverhead measures the cost of the observability layer on
+// the same analysis as BenchmarkOperaOnly (nodes=1000): "disabled"
+// leaves Options.Obs nil (the production default — every obs call must
+// hit the nil fast path), "enabled" attaches a live tracer with the
+// solver metrics installed. Compare disabled against
+// BenchmarkOperaOnly/nodes=1000: they must agree within noise (≤1%).
+func BenchmarkObsOverhead(b *testing.B) {
+	nl, err := grid.Build(grid.DefaultSpec(1000, 2005))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := mna.Build(nl, mna.DefaultSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{Order: 2, Step: 1e-10, Steps: 20}
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Analyze(sys, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := obs.New("bench")
+			reg := tr.Registry()
+			sparse.SetMetrics(reg)
+			order.SetMetrics(reg)
+			factor.SetMetrics(reg)
+			o := opts
+			o.Obs = tr
+			if _, err := core.Analyze(sys, o); err != nil {
+				b.Fatal(err)
+			}
+			tr.Finish()
+		}
+		sparse.SetMetrics(nil)
+		order.SetMetrics(nil)
+		factor.SetMetrics(nil)
+	})
 }
 
 // BenchmarkMCPerSample isolates the Monte Carlo per-sample cost — the

@@ -14,24 +14,41 @@
 //	benchtab -exp solver
 //	benchtab -exp ordering
 //	benchtab -exp all
+//
+// With -trace it switches to report mode: it reads a JSON trace written
+// by `opera -trace-out` (or `mc -trace-out`) and renders a markdown
+// per-phase timing table plus a metrics summary.
+//
+//	opera -nodes 20000 -trace-out trace.json && benchtab -trace trace.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"opera/internal/experiments"
 	"opera/internal/galerkin"
+	"opera/internal/obs"
 )
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment: table1, fig1, fig2, special, ordersweep, solver, mor, ordering, all")
-		full = flag.Bool("full", false, "paper-scale configuration (slow)")
-		seed = flag.Int64("seed", 2005, "experiment seed")
+		exp       = flag.String("exp", "all", "experiment: table1, fig1, fig2, special, ordersweep, solver, mor, ordering, all")
+		full      = flag.Bool("full", false, "paper-scale configuration (slow)")
+		seed      = flag.Int64("seed", 2005, "experiment seed")
+		tracePath = flag.String("trace", "", "render a markdown timing table from this JSON trace file and exit")
 	)
 	flag.Parse()
+	if *tracePath != "" {
+		if err := writeTraceTable(os.Stdout, *tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	logf := func(format string, args ...interface{}) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
@@ -129,4 +146,101 @@ func main() {
 		fmt.Printf("Augmented-system ordering ablation (%d nodes)\n\n", nodes)
 		return experiments.FormatOrderingAblation(rows).Write(os.Stdout)
 	})
+}
+
+// writeTraceTable renders a trace dump (as written by -trace-out) as a
+// markdown per-phase timing table followed by a metrics summary.
+func writeTraceTable(w *os.File, path string) error {
+	d, err := obs.ReadDumpFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## Phase timing — %s\n\n", d.Name)
+	fmt.Fprintf(w, "Total %.2f ms", d.TotalMS)
+	if d.AllocBytes > 0 {
+		fmt.Fprintf(w, ", %s allocated", fmtBytes(d.AllocBytes))
+	}
+	fmt.Fprintf(w, ".\n\n")
+	fmt.Fprintln(w, "| phase | ms | % of total | alloc | attrs |")
+	fmt.Fprintln(w, "|:------|---:|-----------:|------:|:------|")
+	total := d.TotalMS
+	if total <= 0 {
+		total = 1
+	}
+	var sumTop float64
+	var walk func(spans []obs.SpanDump, depth int)
+	walk = func(spans []obs.SpanDump, depth int) {
+		for _, s := range spans {
+			if depth == 0 {
+				sumTop += s.DurMS
+			}
+			name := s.Name
+			if depth > 0 {
+				name = strings.Repeat("&nbsp;&nbsp;", depth) + "↳ " + name
+			}
+			fmt.Fprintf(w, "| %s | %.2f | %.1f%% | %s | %s |\n",
+				name, s.DurMS, 100*s.DurMS/total, fmtBytes(s.AllocBytes), fmtAttrs(s.Attrs))
+			walk(s.Spans, depth+1)
+		}
+	}
+	walk(d.Spans, 0)
+	fmt.Fprintf(w, "| **total (phases)** | **%.2f** | **%.1f%%** | | |\n", sumTop, 100*sumTop/total)
+	m := d.Metrics
+	if len(m.Counters)+len(m.Gauges)+len(m.Histograms) == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "\n## Metrics\n\n")
+	fmt.Fprintln(w, "| metric | value |")
+	fmt.Fprintln(w, "|:-------|:------|")
+	for _, name := range sortedKeys(m.Counters) {
+		fmt.Fprintf(w, "| %s | %d |\n", name, m.Counters[name])
+	}
+	for _, name := range sortedKeys(m.Gauges) {
+		fmt.Fprintf(w, "| %s | %g |\n", name, m.Gauges[name])
+	}
+	for _, name := range sortedKeys(m.Histograms) {
+		h := m.Histograms[name]
+		if h.Count == 0 {
+			fmt.Fprintf(w, "| %s | (no observations) |\n", name)
+			continue
+		}
+		fmt.Fprintf(w, "| %s | count=%d mean=%.4g min=%.4g max=%.4g |\n",
+			name, h.Count, h.Mean(), h.Min, h.Max)
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fmtBytes(b uint64) string {
+	switch {
+	case b == 0:
+		return ""
+	case b < 1<<10:
+		return fmt.Sprintf("%dB", b)
+	case b < 1<<20:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	case b < 1<<30:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	default:
+		return fmt.Sprintf("%.2fGB", float64(b)/(1<<30))
+	}
+}
+
+func fmtAttrs(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(attrs))
+	for _, k := range sortedKeys(attrs) {
+		parts = append(parts, k+"="+attrs[k])
+	}
+	return strings.Join(parts, " ")
 }

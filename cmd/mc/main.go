@@ -6,6 +6,7 @@
 //
 //	mc -netlist grid.sp -samples 1000
 //	mc -nodes 20000 -samples 200 -lhs
+//	mc -nodes 20000 -samples 200 -trace -trace-out mc-trace.json
 package main
 
 import (
@@ -15,24 +16,35 @@ import (
 	"os"
 	"time"
 
+	"opera/internal/factor"
 	"opera/internal/grid"
 	"opera/internal/mna"
 	"opera/internal/montecarlo"
 	"opera/internal/netlist"
+	"opera/internal/obs"
+	"opera/internal/order"
+	"opera/internal/sparse"
 )
 
 func main() {
 	var (
-		netPath = flag.String("netlist", "", "input netlist (OPERA text format); empty = generate")
-		nodes   = flag.Int("nodes", 10000, "node count when generating")
-		seed    = flag.Int64("seed", 1, "seed")
-		samples = flag.Int("samples", 1000, "Monte Carlo samples")
-		step    = flag.Float64("step", 1e-10, "time step (s)")
-		steps   = flag.Int("steps", 20, "number of time steps")
-		lhs     = flag.Bool("lhs", false, "use Latin hypercube sampling")
+		netPath  = flag.String("netlist", "", "input netlist (OPERA text format); empty = generate")
+		nodes    = flag.Int("nodes", 10000, "node count when generating")
+		seed     = flag.Int64("seed", 1, "seed")
+		samples  = flag.Int("samples", 1000, "Monte Carlo samples")
+		step     = flag.Float64("step", 1e-10, "time step (s)")
+		steps    = flag.Int("steps", 20, "number of time steps")
+		lhs      = flag.Bool("lhs", false, "use Latin hypercube sampling")
+		trace    = flag.Bool("trace", false, "print the per-phase trace and metrics table after the run")
+		traceOut = flag.String("trace-out", "", "write the trace + metrics as JSON to this file")
+		pprof    = flag.String("pprof-addr", "", "serve net/http/pprof, expvar and live trace/metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
+	tr := newTracer(*trace, *traceOut, *pprof)
+	defer exportTrace(tr, *trace, *traceOut)
+
+	spA := tr.Start("assemble")
 	var nl *netlist.Netlist
 	var err error
 	if *netPath == "" {
@@ -52,11 +64,13 @@ func main() {
 	if err != nil {
 		fatal("mc: %v", err)
 	}
+	spA.SetAttrs(obs.Int("n", sys.N))
+	spA.End()
 	fmt.Printf("mc: %s, %d samples, %d steps of %.3g s\n", nl.Stats(), *samples, *steps, *step)
 	start := time.Now()
 	res, err := montecarlo.Run(sys, montecarlo.Options{
 		Samples: *samples, Step: *step, Steps: *steps,
-		Seed: *seed, LatinHypercube: *lhs,
+		Seed: *seed, LatinHypercube: *lhs, Obs: tr,
 	})
 	if err != nil {
 		fatal("mc: %v", err)
@@ -77,6 +91,46 @@ func main() {
 		res.SamplesRun, elapsed.Seconds(), 1000*elapsed.Seconds()/float64(res.SamplesRun))
 	fmt.Printf("worst node %d at step %d: mean drop %.2f%% VDD, σ %.4g V, ±3σ = ±%.0f%% of the drop\n",
 		worstNode, worstStep, 100*worstDrop/sys.VDD, sd, 300*sd/worstDrop)
+}
+
+// newTracer builds the run tracer when any observability flag is set,
+// installing the shared solver metrics so the MC baseline reports from
+// the same instrumentation source as cmd/opera.
+func newTracer(trace bool, traceOut, pprofAddr string) *obs.Tracer {
+	if !trace && traceOut == "" && pprofAddr == "" {
+		return nil
+	}
+	tr := obs.New("mc.run")
+	reg := tr.Registry()
+	sparse.SetMetrics(reg)
+	order.SetMetrics(reg)
+	factor.SetMetrics(reg)
+	if pprofAddr != "" {
+		if _, err := obs.ServeDebug(pprofAddr, tr); err != nil {
+			fatal("mc: pprof server: %v", err)
+		}
+		fmt.Printf("mc: debug server on http://%s/debug/pprof/ (also /debug/vars, /metrics, /trace)\n", pprofAddr)
+	}
+	return tr
+}
+
+// exportTrace finishes the trace and emits the requested exports.
+func exportTrace(tr *obs.Tracer, trace bool, traceOut string) {
+	if tr == nil {
+		return
+	}
+	tr.Finish()
+	if trace {
+		if err := tr.WriteText(os.Stdout); err != nil {
+			fatal("mc: writing trace: %v", err)
+		}
+	}
+	if traceOut != "" {
+		if err := tr.WriteJSONFile(traceOut); err != nil {
+			fatal("mc: writing %s: %v", traceOut, err)
+		}
+		fmt.Printf("mc: wrote trace to %s\n", traceOut)
+	}
 }
 
 func fatal(format string, args ...interface{}) {

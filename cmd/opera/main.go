@@ -21,12 +21,16 @@ import (
 	"strings"
 
 	"opera/internal/core"
+	"opera/internal/factor"
 	"opera/internal/galerkin"
 	"opera/internal/grid"
 	"opera/internal/mna"
 	"opera/internal/netlist"
 	"opera/internal/numguard"
+	"opera/internal/obs"
+	"opera/internal/order"
 	"opera/internal/report"
+	"opera/internal/sparse"
 )
 
 func main() {
@@ -45,14 +49,22 @@ func main() {
 		sigmaI   = flag.Float64("sigmai", 0.6, "sigma of ln(I_leak) for -leakage")
 		regions  = flag.Int("regions", 4, "intra-die region count for -leakage")
 		adaptive = flag.Bool("adaptive", false, "escalate the expansion order until the variance converges")
+		trace    = flag.Bool("trace", false, "print the per-phase trace and metrics table after the run")
+		traceOut = flag.String("trace-out", "", "write the trace + metrics as JSON to this file")
+		pprof    = flag.String("pprof-addr", "", "serve net/http/pprof, expvar and live trace/metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
+	tr := newTracer(*trace, *traceOut, *pprof)
+	defer exportTrace(tr, *trace, *traceOut)
+
+	spA := tr.Start("assemble")
 	nl := loadOrGenerate(*netPath, *nodes, *seed)
 	if *leakage {
+		spA.End()
 		runLeakage(nl, core.LeakageOptions{
 			Regions: *regions, SigmaLogI: *sigmaI, Order: *order,
-			Step: *step, Steps: *steps,
+			Step: *step, Steps: *steps, Obs: tr,
 		})
 		return
 	}
@@ -60,9 +72,11 @@ func main() {
 	if err != nil {
 		fatal("opera: %v", err)
 	}
+	spA.SetAttrs(obs.Int("n", sys.N))
+	spA.End()
 	opts := core.Options{
 		Order: *order, Step: *step, Steps: *steps,
-		Ordering: parseOrdering(*ordering),
+		Ordering: parseOrdering(*ordering), Obs: tr,
 	}
 	trackNodes := parseTrack(*track)
 	opts.TrackNodes = trackNodes
@@ -95,7 +109,7 @@ func main() {
 	fmt.Printf("opera: solved %d-unknown augmented system (%s, nnz(L)=%d) in %.3fs%s\n",
 		res.Galerkin.AugmentedN, res.Galerkin.Factorer, res.Galerkin.FactorNNZ,
 		res.Elapsed.Seconds(), decoupledNote(res))
-	printGuard(res.Galerkin.Guard)
+	printGuard(res.Galerkin.Guard())
 	node, stepIdx := res.MaxMeanDropNode()
 	sd := math.Sqrt(res.Variance[stepIdx][node])
 	drop := res.VDD - res.Mean[stepIdx][node]
@@ -113,6 +127,46 @@ func main() {
 	}
 	if *mcCheck > 0 {
 		runMCCheck(sys, opts, *mcCheck, *seed, res)
+	}
+}
+
+// newTracer builds the run tracer when any observability flag is set
+// (nil otherwise: the pipeline's nil fast path), installs the
+// package-level metric hooks, and starts the debug server.
+func newTracer(trace bool, traceOut, pprofAddr string) *obs.Tracer {
+	if !trace && traceOut == "" && pprofAddr == "" {
+		return nil
+	}
+	tr := obs.New("opera.run")
+	reg := tr.Registry()
+	sparse.SetMetrics(reg)
+	order.SetMetrics(reg)
+	factor.SetMetrics(reg)
+	if pprofAddr != "" {
+		if _, err := obs.ServeDebug(pprofAddr, tr); err != nil {
+			fatal("opera: pprof server: %v", err)
+		}
+		fmt.Printf("opera: debug server on http://%s/debug/pprof/ (also /debug/vars, /metrics, /trace)\n", pprofAddr)
+	}
+	return tr
+}
+
+// exportTrace finishes the trace and emits the requested exports.
+func exportTrace(tr *obs.Tracer, trace bool, traceOut string) {
+	if tr == nil {
+		return
+	}
+	tr.Finish()
+	if trace {
+		if err := tr.WriteText(os.Stdout); err != nil {
+			fatal("opera: writing trace: %v", err)
+		}
+	}
+	if traceOut != "" {
+		if err := tr.WriteJSONFile(traceOut); err != nil {
+			fatal("opera: writing %s: %v", traceOut, err)
+		}
+		fmt.Printf("opera: wrote trace to %s\n", traceOut)
 	}
 }
 
@@ -248,7 +302,7 @@ func runLeakage(nl *netlist.Netlist, opts core.LeakageOptions) {
 	fmt.Printf("opera: §5.1 special case, %d regions, sigma(ln I) = %.2g\n", opts.Regions, opts.SigmaLogI)
 	fmt.Printf("opera: decoupled=%v, %d-unknown factorization, %.3fs\n",
 		res.Galerkin.Decoupled, res.Galerkin.AugmentedN, res.Elapsed.Seconds())
-	printGuard(res.Galerkin.Guard)
+	printGuard(res.Galerkin.Guard())
 	node, step := res.MaxMeanDropNode()
 	sd := math.Sqrt(res.Variance[step][node])
 	drop := res.VDD - res.Mean[step][node]

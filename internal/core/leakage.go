@@ -9,6 +9,7 @@ import (
 	"opera/internal/galerkin"
 	"opera/internal/mna"
 	"opera/internal/netlist"
+	"opera/internal/obs"
 	"opera/internal/order"
 	"opera/internal/pce"
 	"opera/internal/poly"
@@ -35,6 +36,9 @@ type LeakageOptions struct {
 	Steps int
 	// TrackNodes retains full expansions at these nodes.
 	TrackNodes []int
+	// Obs, when non-nil, receives the pipeline phase spans and solver
+	// metrics (see Options.Obs).
+	Obs *obs.Tracer
 }
 
 // Validate checks the options.
@@ -132,7 +136,7 @@ func AnalyzeLeakage(nl *netlist.Netlist, opts LeakageOptions) (*Result, error) {
 	}
 	return analyze(gsys, sys.VDD, Options{
 		Order: opts.Order, Step: opts.Step, Steps: opts.Steps,
-		TrackNodes: opts.TrackNodes,
+		TrackNodes: opts.TrackNodes, Obs: opts.Obs,
 	})
 }
 
@@ -244,6 +248,6 @@ func AnalyzeLeakageForceCoupled(nl *netlist.Netlist, opts LeakageOptions) (*Resu
 	}
 	return analyze(gsys, sys.VDD, Options{
 		Order: opts.Order, Step: opts.Step, Steps: opts.Steps,
-		TrackNodes: opts.TrackNodes, ForceCoupled: true,
+		TrackNodes: opts.TrackNodes, ForceCoupled: true, Obs: opts.Obs,
 	})
 }

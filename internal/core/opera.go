@@ -17,6 +17,7 @@ import (
 	"opera/internal/montecarlo"
 	"opera/internal/netlist"
 	"opera/internal/numguard"
+	"opera/internal/obs"
 	"opera/internal/pce"
 	"opera/internal/poly"
 	"opera/internal/transient"
@@ -50,6 +51,10 @@ type Options struct {
 	// iterative-refinement caps, verification cadence). Zero value =
 	// numguard defaults.
 	Guard numguard.Config
+	// Obs, when non-nil, receives the pipeline phase spans (stamp,
+	// order, factor, transient, moments) and all solver metrics. Nil
+	// disables instrumentation at zero cost.
+	Obs *obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -102,8 +107,11 @@ func Analyze(sys *mna.System, opts Options) (*Result, error) {
 	if fams == nil {
 		fams = []poly.Family{poly.Hermite{}, poly.Hermite{}}
 	}
+	sp := opts.Obs.Start("stamp", obs.Int("n", sys.N), obs.Int("order", opts.Order))
 	basis := pce.NewBasis(fams, opts.Order)
 	gsys, err := galerkin.FromMNA(sys, basis)
+	sp.SetAttrs(obs.Int("basis", basis.Size()))
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -148,12 +156,18 @@ func analyze(gsys *galerkin.System, vdd float64, opts Options) (*Result, error) 
 		}
 	}
 	start := time.Now()
+	tr := opts.Obs
+	// Moment extraction runs interleaved with the stepping loop, so its
+	// time accumulates across visits and lands in the trace as one
+	// completed "moments" span after the solve.
+	var momentsDur time.Duration
 	gres, err := galerkin.Solve(gsys, galerkin.Options{
 		Step: opts.Step, Steps: opts.Steps,
 		Ordering: opts.Ordering, ForceCoupled: opts.ForceCoupled,
 		ForceLU: opts.ForceLU, Iterative: opts.Iterative,
-		Guard: opts.Guard,
+		Guard: opts.Guard, Obs: opts.Obs,
 	}, func(step int, _ float64, coeffs [][]float64) {
+		visitStart := time.Now()
 		B := len(coeffs)
 		for i := 0; i < n; i++ {
 			res.Mean[step][i] = coeffs[0][i]
@@ -170,11 +184,14 @@ func analyze(gsys *galerkin.System, vdd float64, opts Options) (*Result, error) 
 			}
 			exps[step] = pce.FromCoeffs(basis, c)
 		}
+		momentsDur += time.Since(visitStart)
 	})
 	if err != nil {
 		return nil, err
 	}
+	tr.Record("moments", momentsDur, obs.Int("steps", opts.Steps+1))
 	res.Elapsed = time.Since(start)
+	tr.Registry().Gauge("core.elapsed_ms").Set(float64(res.Elapsed) / float64(time.Millisecond))
 	res.Galerkin = gres
 	return res, nil
 }
@@ -223,7 +240,7 @@ func RunMC(sys *mna.System, opts Options, samples int, seed int64, trackNodes []
 	start := time.Now()
 	mc, err := montecarlo.Run(sys, montecarlo.Options{
 		Samples: samples, Step: opts.Step, Steps: opts.Steps,
-		Seed: seed, TrackNodes: trackNodes,
+		Seed: seed, TrackNodes: trackNodes, Obs: opts.Obs,
 	})
 	return mc, time.Since(start), err
 }

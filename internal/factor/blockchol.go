@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"opera/internal/obs"
 	"opera/internal/sparse"
 )
 
@@ -175,6 +176,7 @@ type BlockCholFactor struct {
 // permutation. It returns ErrNotPositiveDefinite (wrapped) when a
 // diagonal block fails its dense Cholesky.
 func BlockCholesky(m *BlockMatrix, perm []int) (*BlockCholFactor, error) {
+	defer observe(func(fm *factorMetrics) *obs.Histogram { return fm.blockChol })()
 	n, B := m.N, m.B
 	if perm != nil && len(perm) != n {
 		return nil, fmt.Errorf("factor: node permutation length %d != %d", len(perm), n)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"opera/internal/obs"
 	"opera/internal/sparse"
 )
 
@@ -82,6 +83,11 @@ type CholFactor struct {
 // structure, pass reuse = the previous factor to recycle its storage;
 // otherwise pass nil.
 func (sym *CholSymbolic) Factorize(a *sparse.Matrix, reuse *CholFactor) (*CholFactor, error) {
+	pick := func(m *factorMetrics) *obs.Histogram { return m.chol }
+	if reuse != nil {
+		pick = func(m *factorMetrics) *obs.Histogram { return m.refactor }
+	}
+	defer observe(pick)()
 	n := sym.N
 	if a.Rows != n || a.Cols != n {
 		return nil, fmt.Errorf("factor: Factorize matrix is %dx%d, analyzed %d", a.Rows, a.Cols, n)

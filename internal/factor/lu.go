@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"opera/internal/obs"
 	"opera/internal/sparse"
 )
 
@@ -114,6 +115,7 @@ func spSolve(l *sparse.Matrix, b *sparse.Matrix, col int, x []float64, xi, pstac
 // dissection or minimum degree on A+Aᵀ). Partial pivoting selects the
 // largest-magnitude eligible row in each column.
 func LU(a *sparse.Matrix, q []int) (*LUFactor, error) {
+	defer observe(func(m *factorMetrics) *obs.Histogram { return m.lu })()
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("factor: LU requires a square matrix, got %dx%d", a.Rows, a.Cols)
 	}

@@ -1,0 +1,54 @@
+package factor
+
+import (
+	"sync/atomic"
+	"time"
+
+	"opera/internal/obs"
+)
+
+// factorMetrics times the factorization entry points. Factorizations
+// run once (or once per transient-matrix refresh), so one atomic
+// pointer load per call is negligible against the numeric work.
+type factorMetrics struct {
+	chol      *obs.Histogram
+	refactor  *obs.Histogram
+	blockChol *obs.Histogram
+	lu        *obs.Histogram
+	count     *obs.Counter
+}
+
+var metrics atomic.Pointer[factorMetrics]
+
+// SetMetrics installs factorization-duration histograms
+// (factor.chol_ms, factor.refactor_ms, factor.block_chol_ms,
+// factor.lu_ms) and a total counter (factor.factorizations_total) on
+// the registry; nil uninstalls them.
+func SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		metrics.Store(nil)
+		return
+	}
+	metrics.Store(&factorMetrics{
+		chol:      reg.Histogram("factor.chol_ms", obs.MSBuckets),
+		refactor:  reg.Histogram("factor.refactor_ms", obs.MSBuckets),
+		blockChol: reg.Histogram("factor.block_chol_ms", obs.MSBuckets),
+		lu:        reg.Histogram("factor.lu_ms", obs.MSBuckets),
+		count:     reg.Counter("factor.factorizations_total"),
+	})
+}
+
+// observe times one factorization via the selector (nil-safe end to
+// end) and bumps the total count.
+func observe(pick func(*factorMetrics) *obs.Histogram) func() {
+	m := metrics.Load()
+	if m == nil {
+		return func() {}
+	}
+	h := pick(m)
+	start := time.Now()
+	return func() {
+		h.ObserveSince(start)
+		m.count.Inc()
+	}
+}

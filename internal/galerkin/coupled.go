@@ -3,10 +3,12 @@ package galerkin
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"opera/internal/factor"
 	"opera/internal/iterative"
 	"opera/internal/numguard"
+	"opera/internal/obs"
 	"opera/internal/sparse"
 )
 
@@ -26,10 +28,13 @@ import (
 // preconditioned CG, with every transition recorded and every accepted
 // solve residual-verified.
 func solveCoupled(sys *System, opts Options, visit func(int, float64, [][]float64)) (Result, error) {
+	tr := opts.Obs
 	n, b := sys.N, sys.Basis.Size()
 	// Scalar union pattern over every operator term.
+	spO := tr.Start("order", obs.String("ordering", opts.Ordering.String()), obs.Int("n", n))
 	pattern := unionScalarPattern(sys)
 	perm := permFor(pattern, opts.Ordering)
+	spO.End()
 
 	// Predict the block factor's memory from the scalar symbolic
 	// analysis and fall back to the §5.2 iterative path when it exceeds
@@ -46,7 +51,9 @@ func solveCoupled(sys *System, opts Options, visit func(int, float64, [][]float6
 		}
 	}
 
+	spF := tr.Start("factor")
 	// Companion G̃ + C̃/h and the separate C̃ (needed for stepping).
+	spAsm := tr.Start("galerkin.assemble", obs.Int("n", n), obs.Int("basis", b))
 	comp := factor.NewBlockMatrix(pattern, b)
 	for _, t := range sys.GTerms {
 		comp.AddTerm(t.Coupling, t.A)
@@ -63,10 +70,12 @@ func solveCoupled(sys *System, opts Options, visit func(int, float64, [][]float6
 	for _, t := range sys.GTerms {
 		gBM.AddTerm(t.Coupling, t.A)
 	}
+	spAsm.End()
 
 	res := Result{AugmentedN: n * b}
 	rep := &numguard.Report{}
-	res.Guard = rep
+	rep.Bind(tr.Registry())
+	res.guard = rep
 	lad := numguard.NewLadder("step", opts.Guard, comp, comp.NormInf(),
 		blockRungs(comp, perm, opts.Guard, opts.ForceLU, &res.FactorNNZ), rep)
 	sol, err := lad.Solver(0)
@@ -74,6 +83,8 @@ func solveCoupled(sys *System, opts Options, visit func(int, float64, [][]float6
 		return Result{}, fmt.Errorf("galerkin: companion factorization: %w", err)
 	}
 	res.Factorer = lad.Rung()
+	spF.SetAttrs(obs.String("rung", lad.Rung()), obs.Int("factor_nnz", res.FactorNNZ))
+	spF.End()
 
 	// Node-major state and workspaces.
 	nb := n * b
@@ -103,22 +114,30 @@ func solveCoupled(sys *System, opts Options, visit func(int, float64, [][]float6
 		}
 	}
 
+	spT := tr.Start("transient", obs.Int("steps", opts.Steps))
+	defer spT.End()
+	reg := tr.Registry()
+	stepMS := reg.Histogram("galerkin.step_ms", obs.MSBuckets)
+	stepsTotal := reg.Counter("galerkin.steps_total")
+	cgIters := reg.Counter("galerkin.cg_iterations_total")
+
 	// DC init by companion-preconditioned CG on G̃ (the companion factor
 	// differs from G̃ only by C̃/h, small at power-grid time constants).
 	sys.RHS(0, rhsBlocks)
 	pack(rhsBlocks, rhs)
 	pre := iterative.PrecondFunc(func(z, r []float64) { sol.SolveTo(z, r) })
-	_, cgErr := iterative.CG(gBM, x, rhs, iterative.CGOptions{
+	r0, cgErr := iterative.CG(gBM, x, rhs, iterative.CGOptions{
 		Tol: 1e-12, MaxIter: 200, M: pre,
 	})
+	cgIters.Add(int64(r0.Iterations))
 	if cgErr != nil || !numguard.Finite(x) {
 		// Stiff step sizes can defeat the preconditioner; run the DC
 		// solve through its own ladder on G̃ as a (rare) fallback.
 		if cgErr == nil {
 			cgErr = errors.New("non-finite DC solution")
-			rep.NaNEvents++
+			rep.NonFinite()
 		}
-		rep.Transitions = append(rep.Transitions, numguard.Transition{
+		rep.AddTransition(numguard.Transition{
 			Stage: "dc", From: "cg+companion-precond", To: "ladder",
 			Reason: fmt.Sprintf("CG failed: %v", cgErr),
 		})
@@ -134,6 +153,7 @@ func solveCoupled(sys *System, opts Options, visit func(int, float64, [][]float6
 	}
 	for k := 1; k <= opts.Steps; k++ {
 		t := float64(k) * opts.Step
+		stepStart := time.Now()
 		sys.RHS(t, rhsBlocks)
 		pack(rhsBlocks, rhs)
 		if cBM != nil {
@@ -145,6 +165,8 @@ func solveCoupled(sys *System, opts Options, visit func(int, float64, [][]float6
 		if err := lad.Solve(k, x, rhs); err != nil {
 			return Result{}, fmt.Errorf("galerkin: step %d: %w", k, err)
 		}
+		stepMS.ObserveSince(stepStart)
+		stepsTotal.Inc()
 		if visit != nil {
 			unpack(x, outBlocks)
 			visit(k, t, outBlocks)
@@ -174,4 +196,3 @@ func unionScalarPattern(sys *System) *sparse.Matrix {
 	}
 	return u
 }
-

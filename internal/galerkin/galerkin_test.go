@@ -6,6 +6,7 @@ import (
 
 	"opera/internal/mna"
 	"opera/internal/netlist"
+	"opera/internal/obs"
 	"opera/internal/pce"
 	"opera/internal/quad"
 	"opera/internal/sparse"
@@ -405,15 +406,17 @@ func TestIterativePathMatchesDirect(t *testing.T) {
 	opts := Options{Step: tStep, Steps: 25}
 	meanD, varD, resD := runGalerkin(t, sys, 2, opts)
 	opts.Iterative = true
+	opts.Obs = obs.New("test")
 	meanI, varI, resI := runGalerkin(t, sys, 2, opts)
 	if resI.Factorer != "cg+mean-precond" {
 		t.Fatalf("iterative path not taken: %s", resI.Factorer)
 	}
-	if resI.CGIterations == 0 {
+	cgIters := opts.Obs.Registry().Counter("galerkin.cg_iterations_total").Value()
+	if cgIters == 0 {
 		t.Error("no CG iterations recorded")
 	}
 	t.Logf("direct %s vs iterative %s (%d CG iterations over %d steps)",
-		resD.Factorer, resI.Factorer, resI.CGIterations, opts.Steps)
+		resD.Factorer, resI.Factorer, cgIters, opts.Steps)
 	for s := range meanD {
 		for i := range meanD[s] {
 			if math.Abs(meanD[s][i]-meanI[s][i]) > 1e-8 {

@@ -84,7 +84,7 @@ func TestInjectDriftRecoveredByRefinement(t *testing.T) {
 	if res.Factorer != "block-cholesky" {
 		t.Errorf("drift must not escalate, got factorer %q", res.Factorer)
 	}
-	rep := res.Guard
+	rep := res.Guard()
 	if rep == nil || rep.Refinements == 0 || rep.RefinedSolves == 0 {
 		t.Fatalf("refinement not engaged: %+v", rep)
 	}
@@ -116,7 +116,7 @@ func TestInjectCholeskyBreakdownEscalatesToLU(t *testing.T) {
 	if res.Factorer != "lu" {
 		t.Errorf("factorer %q, want lu", res.Factorer)
 	}
-	rep := res.Guard
+	rep := res.Guard()
 	if rep == nil || len(rep.Transitions) < 2 {
 		t.Fatalf("expected block-cholesky→cholesky→lu transitions, got %+v", rep)
 	}
@@ -142,7 +142,7 @@ func TestInjectNaNMidTransientRetriesStep(t *testing.T) {
 	t.Cleanup(restore)
 	mean, _, res := guardedRun(t, sys, 2, opts)
 
-	rep := res.Guard
+	rep := res.Guard()
 	if rep == nil || rep.NaNEvents != 1 {
 		t.Fatalf("NaN event not recorded: %+v", rep)
 	}
@@ -293,7 +293,7 @@ func TestInjectIterativePathEscalatesToDirect(t *testing.T) {
 	if !strings.HasPrefix(res.Factorer, "cg+mean-precond→") {
 		t.Errorf("factorer %q does not record the escalation", res.Factorer)
 	}
-	rep := res.Guard
+	rep := res.Guard()
 	if rep == nil || rep.NaNEvents != 1 || rep.StepRetries < 1 {
 		t.Fatalf("escalation telemetry wrong: %+v", rep)
 	}

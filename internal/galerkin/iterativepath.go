@@ -2,11 +2,13 @@ package galerkin
 
 import (
 	"fmt"
+	"time"
 
 	"opera/internal/factor"
 	"opera/internal/iterative"
 	"opera/internal/numguard"
 	"opera/internal/numguard/inject"
+	"opera/internal/obs"
 	"opera/internal/sparse"
 )
 
@@ -21,10 +23,15 @@ import (
 // drops from O((N+1)²·nnz(L)) to O(nnz(L)); the trade is CG matvecs per
 // step.
 func solveCoupledIterative(sys *System, opts Options, visit func(int, float64, [][]float64)) (Result, error) {
+	tr := opts.Obs
 	n, b := sys.N, sys.Basis.Size()
+	spO := tr.Start("order", obs.String("ordering", opts.Ordering.String()), obs.Int("n", n))
 	pattern := unionScalarPattern(sys)
 	perm := permFor(pattern, opts.Ordering)
+	spO.End()
 
+	spF := tr.Start("factor")
+	spAsm := tr.Start("galerkin.assemble", obs.Int("n", n), obs.Int("basis", b))
 	comp := factor.NewBlockMatrix(pattern, b)
 	for _, t := range sys.GTerms {
 		comp.AddTerm(t.Coupling, t.A)
@@ -47,10 +54,12 @@ func solveCoupledIterative(sys *System, opts Options, visit func(int, float64, [
 	// that defeats Cholesky falls back to LU rather than aborting.
 	res := Result{Factorer: "cg+mean-precond", AugmentedN: n * b}
 	rep := &numguard.Report{}
-	res.Guard = rep
+	rep.Bind(tr.Registry())
+	res.guard = rep
 	g0 := meanTermSum(sys.GTerms, n)
 	c0 := meanTermSum(sys.CTerms, n)
 	scalarComp := sparse.Add(1, g0, 1/opts.Step, c0)
+	spAsm.End()
 	compLad := numguard.NewLadder("precond", opts.Guard, scalarComp, scalarComp.NormInf(),
 		scalarRungs(scalarComp, perm, opts.Guard, false, &res.FactorNNZ), rep)
 	compFac, err := compLad.Solver(0)
@@ -63,6 +72,8 @@ func solveCoupledIterative(sys *System, opts Options, visit func(int, float64, [
 	if err != nil {
 		return Result{}, fmt.Errorf("galerkin: iterative path DC factorization: %w", err)
 	}
+	spF.SetAttrs(obs.String("rung", compLad.Rung()), obs.Int("factor_nnz", res.FactorNNZ))
+	spF.End()
 
 	// Block-diagonal preconditioner: apply the scalar factor to each
 	// chaos coefficient's sub-vector.
@@ -110,22 +121,31 @@ func solveCoupledIterative(sys *System, opts Options, visit func(int, float64, [
 		}
 	}
 
+	spT := tr.Start("transient", obs.Int("steps", opts.Steps))
+	defer spT.End()
+	reg := tr.Registry()
+	stepMS := reg.Histogram("galerkin.step_ms", obs.MSBuckets)
+	stepsTotal := reg.Counter("galerkin.steps_total")
+	cgIters := reg.Counter("galerkin.cg_iterations_total")
+
 	// On CG breakdown or a poisoned state the path escalates to the
 	// direct block ladder (block-cholesky → cholesky → lu → cg+ic0) and
 	// re-solves the failing step there — correctness over the memory
 	// economy that motivated the iterative path.
 	var direct *numguard.Ladder
 	escalate := func(step int, op *factor.BlockMatrix, cause error) error {
-		rep.NaNEvents += boolToInt(cause == nil)
+		if cause == nil {
+			rep.NonFinite()
+		}
 		reason := "non-finite solution"
 		if cause != nil {
 			reason = cause.Error()
 		}
-		rep.Transitions = append(rep.Transitions, numguard.Transition{
+		rep.AddTransition(numguard.Transition{
 			Stage: "step", Step: step, From: "cg+mean-precond", To: "block-cholesky", Reason: reason,
 		})
 		if step > 0 {
-			rep.StepRetries++
+			rep.AddStepRetry()
 		}
 		if direct == nil {
 			direct = numguard.NewLadder("step", opts.Guard, comp, comp.NormInf(),
@@ -150,11 +170,9 @@ func solveCoupledIterative(sys *System, opts Options, visit func(int, float64, [
 			return Result{}, fmt.Errorf("galerkin: iterative DC solve: %w", e)
 		}
 	} else {
-		res.CGIterations += r0.Iterations
-		rep.Verified++ // CG is residual-controlled (‖b−Ax‖₂/‖b‖₂ ≤ tol)
-		if r0.Residual > rep.MaxResidual {
-			rep.MaxResidual = r0.Residual
-		}
+		cgIters.Add(int64(r0.Iterations))
+		// CG is residual-controlled (‖b−Ax‖₂/‖b‖₂ ≤ tol).
+		rep.Accept(r0.Residual)
 	}
 	if visit != nil {
 		unpack(x, outBlocks)
@@ -163,6 +181,7 @@ func solveCoupledIterative(sys *System, opts Options, visit func(int, float64, [
 	cgOpts.M = preComp
 	for k := 1; k <= opts.Steps; k++ {
 		t := float64(k) * opts.Step
+		stepStart := time.Now()
 		sys.RHS(t, rhsBlocks)
 		pack(rhsBlocks, rhs)
 		if cBM != nil {
@@ -185,13 +204,12 @@ func solveCoupledIterative(sys *System, opts Options, visit func(int, float64, [
 					return Result{}, fmt.Errorf("galerkin: iterative step %d: %w", k, e)
 				}
 			} else {
-				res.CGIterations += rk.Iterations
-				rep.Verified++
-				if rk.Residual > rep.MaxResidual {
-					rep.MaxResidual = rk.Residual
-				}
+				cgIters.Add(int64(rk.Iterations))
+				rep.Accept(rk.Residual)
 			}
 		}
+		stepMS.ObserveSince(stepStart)
+		stepsTotal.Inc()
 		if visit != nil {
 			unpack(x, outBlocks)
 			visit(k, t, outBlocks)
@@ -202,13 +220,6 @@ func solveCoupledIterative(sys *System, opts Options, visit func(int, float64, [
 		res.Factorer = "cg+mean-precond→" + direct.Rung()
 	}
 	return res, nil
-}
-
-func boolToInt(b bool) int {
-	if b {
-		return 1
-	}
-	return 0
 }
 
 // meanTermSum adds the node matrices of terms whose coupling is the

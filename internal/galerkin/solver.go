@@ -3,9 +3,11 @@ package galerkin
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"opera/internal/factor"
 	"opera/internal/numguard"
+	"opera/internal/obs"
 	"opera/internal/order"
 	"opera/internal/sparse"
 )
@@ -62,6 +64,11 @@ type Options struct {
 	// refinement caps, verification cadence). The zero value uses the
 	// numguard defaults; the guard cannot be disabled.
 	Guard numguard.Config
+	// Obs, when non-nil, receives phase spans (order/factor/transient)
+	// and solver metrics (galerkin.step_ms, galerkin.steps_total,
+	// galerkin.cg_iterations_total, numguard.*). Nil disables
+	// instrumentation at zero cost.
+	Obs *obs.Tracer
 }
 
 // Validate checks the options.
@@ -113,20 +120,25 @@ func permFor(a *sparse.Matrix, ord Ordering) []int {
 	}
 }
 
-// Result carries solver telemetry.
+// Result carries solver telemetry. Quantitative counters that used to
+// live here (CG iterations, ...) are on the obs registry now
+// (galerkin.cg_iterations_total et al.); Result keeps the structural
+// facts of the solve plus the guard report accessor.
 type Result struct {
 	Decoupled  bool
 	Factorer   string // "block-cholesky", "cg+mean-precond" or "lu"
 	AugmentedN int    // size of the augmented system
 	FactorNNZ  int    // scalar-equivalent nnz of the factor (0 for LU)
 	StepsRun   int
-	// CGIterations totals the conjugate gradient iterations when the
-	// iterative path is used.
-	CGIterations int
-	// Guard carries the numerical-robustness telemetry: residuals
+
+	// guard carries the numerical-robustness telemetry: residuals
 	// verified, refinement sweeps, rung transitions, non-finite events.
-	Guard *numguard.Report
+	guard *numguard.Report
 }
+
+// Guard returns the numerical-robustness report of the solve (never
+// nil after a successful Solve).
+func (r Result) Guard() *numguard.Report { return r.guard }
 
 // Solve runs the stochastic Galerkin transient. visit is called after
 // the DC initialization (step 0) and after every time step with the
@@ -154,20 +166,36 @@ func Solve(sys *System, opts Options, visit func(step int, t float64, coeffs [][
 // through the numguard escalation ladder (cholesky → lu → cg+ic0) with
 // residual verification.
 func solveDecoupled(sys *System, opts Options, visit func(int, float64, [][]float64)) (Result, error) {
+	tr := opts.Obs
 	n, b := sys.N, sys.Basis.Size()
+	spA := tr.Start("galerkin.assemble", obs.Int("n", n), obs.Int("basis", b))
 	g0 := sumTerms(sys.GTerms, n)
 	c0 := sumTerms(sys.CTerms, n)
 	companion := sparse.Add(1, g0, 1/opts.Step, c0)
+	spA.End()
 	res := Result{Decoupled: true, AugmentedN: n}
 	rep := &numguard.Report{}
-	res.Guard = rep
+	rep.Bind(tr.Registry())
+	res.guard = rep
+	spO := tr.Start("order", obs.String("ordering", opts.Ordering.String()))
+	permComp := permFor(companion, opts.Ordering)
+	permG0 := permFor(g0, opts.Ordering)
+	spO.End()
+	spF := tr.Start("factor")
 	lad := numguard.NewLadder("step", opts.Guard, companion, companion.NormInf(),
-		scalarRungs(companion, permFor(companion, opts.Ordering), opts.Guard, opts.ForceLU, &res.FactorNNZ), rep)
+		scalarRungs(companion, permComp, opts.Guard, opts.ForceLU, &res.FactorNNZ), rep)
 	if _, err := lad.Solver(0); err != nil {
 		return Result{}, fmt.Errorf("galerkin: decoupled companion factorization: %w", err)
 	}
 	dcLad := numguard.NewLadder("dc", opts.Guard, g0, g0.NormInf(),
-		scalarRungs(g0, permFor(g0, opts.Ordering), opts.Guard, opts.ForceLU, nil), rep)
+		scalarRungs(g0, permG0, opts.Guard, opts.ForceLU, nil), rep)
+	spF.SetAttrs(obs.String("rung", lad.Rung()), obs.Int("factor_nnz", res.FactorNNZ))
+	spF.End()
+	spT := tr.Start("transient", obs.Int("steps", opts.Steps))
+	defer spT.End()
+	reg := tr.Registry()
+	stepMS := reg.Histogram("galerkin.step_ms", obs.MSBuckets)
+	stepsTotal := reg.Counter("galerkin.steps_total")
 	blocks := make([][]float64, b)
 	rhsBlocks := make([][]float64, b)
 	for m := 0; m < b; m++ {
@@ -187,6 +215,7 @@ func solveDecoupled(sys *System, opts Options, visit func(int, float64, [][]floa
 	rhs := make([]float64, n)
 	for k := 1; k <= opts.Steps; k++ {
 		t := float64(k) * opts.Step
+		stepStart := time.Now()
 		sys.RHS(t, rhsBlocks)
 		for m := 0; m < b; m++ {
 			c0.MulVec(cx, blocks[m])
@@ -197,6 +226,8 @@ func solveDecoupled(sys *System, opts Options, visit func(int, float64, [][]floa
 				return Result{}, fmt.Errorf("galerkin: decoupled step %d: %w", k, err)
 			}
 		}
+		stepMS.ObserveSince(stepStart)
+		stepsTotal.Inc()
 		if visit != nil {
 			visit(k, t, blocks)
 		}

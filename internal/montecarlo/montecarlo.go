@@ -12,9 +12,11 @@ package montecarlo
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"opera/internal/factor"
 	"opera/internal/mna"
+	"opera/internal/obs"
 	"opera/internal/order"
 	"opera/internal/randvar"
 	"opera/internal/sparse"
@@ -34,6 +36,11 @@ type Options struct {
 	// TrackNodes optionally restricts full per-sample trace collection
 	// to these nodes (statistics still cover every node).
 	TrackNodes []int
+	// Obs, when non-nil, wraps the run in a montecarlo.run span and
+	// feeds montecarlo.sample_ms / montecarlo.samples_total /
+	// montecarlo.elapsed_ms (plus the transient package's per-step
+	// metrics) on the tracer's registry.
+	Obs *obs.Tracer
 }
 
 // Validate checks the options.
@@ -78,6 +85,15 @@ func Run(sys *mna.System, opts Options) (*Result, error) {
 		res.Traces = make([][][]float64, opts.Samples)
 	}
 
+	tr := opts.Obs
+	runStart := time.Now()
+	sp := tr.Start("montecarlo.run",
+		obs.Int("samples", opts.Samples), obs.Int("steps", opts.Steps), obs.Int("n", n))
+	defer sp.End()
+	reg := tr.Registry()
+	sampleMS := reg.Histogram("montecarlo.sample_ms", obs.MSBuckets)
+	samplesTotal := reg.Counter("montecarlo.samples_total")
+
 	// One symbolic analysis on the union pattern of G + C/h serves every
 	// sample.
 	scale := 1 / opts.Step
@@ -96,11 +112,15 @@ func Run(sys *mna.System, opts Options) (*Result, error) {
 	}
 	var reuse *factor.CholFactor
 	for k := 0; k < opts.Samples; k++ {
+		var sampleStart time.Time
+		if sampleMS != nil {
+			sampleStart = time.Now()
+		}
 		xiG, xiL := drawSample(rng, lhsDraws, k)
 		g, c, rhs := sys.Realize(xiG, xiL)
 		st, err := transient.NewStepper(g, c, transient.Options{
 			Step: opts.Step, Steps: opts.Steps, Method: opts.Method,
-			Symbolic: sym, ReuseFactor: reuse,
+			Symbolic: sym, ReuseFactor: reuse, Obs: opts.Obs,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("montecarlo: sample %d: %w", k, err)
@@ -120,7 +140,12 @@ func Run(sys *mna.System, opts Options) (*Result, error) {
 			record(res, acc, opts, k, s, st.State())
 		}
 		res.SamplesRun = k + 1
+		if sampleMS != nil {
+			sampleMS.ObserveSince(sampleStart)
+			samplesTotal.Inc()
+		}
 	}
+	reg.Gauge("montecarlo.elapsed_ms").Set(float64(time.Since(runStart)) / float64(time.Millisecond))
 	res.Mean = make([][]float64, nsteps)
 	res.Variance = make([][]float64, nsteps)
 	for s := 0; s < nsteps; s++ {

@@ -95,7 +95,7 @@ func (l *Ladder) nextName() string {
 }
 
 func (l *Ladder) recordTransition(step int, from, to, reason string) {
-	l.report.Transitions = append(l.report.Transitions, Transition{
+	l.report.AddTransition(Transition{
 		Stage: l.Stage, Step: step, From: from, To: to, Reason: reason,
 	})
 }
@@ -107,7 +107,7 @@ func (l *Ladder) escalate(step int, reason string) bool {
 	l.cur++
 	l.solver = nil
 	if step > 0 {
-		l.report.StepRetries++
+		l.report.AddStepRetry()
 	}
 	return l.cur < len(l.rungs)
 }
@@ -136,7 +136,7 @@ func (l *Ladder) Solve(step int, x, b []float64) error {
 		s.SolveTo(x, b)
 		inject.CorruptSolve(rung, step, x)
 		if !Finite(x) {
-			l.report.NaNEvents++
+			l.report.NonFinite()
 			history = append(history, math.Inf(1))
 			if l.escalate(step, "non-finite solution") {
 				continue
@@ -159,7 +159,7 @@ func (l *Ladder) Solve(step int, x, b []float64) error {
 			s.SolveTo(l.dx, l.r)
 			inject.CorruptSolve(rung, step, l.dx)
 			if !Finite(l.dx) {
-				l.report.NaNEvents++
+				l.report.NonFinite()
 				res = math.Inf(1)
 				history = append(history, res)
 				break
@@ -167,13 +167,13 @@ func (l *Ladder) Solve(step int, x, b []float64) error {
 			for i := range x {
 				x[i] += l.dx[i]
 			}
-			l.report.Refinements++
+			l.report.AddRefinement()
 			refined = true
 			res = ScaledResidual(l.op, l.anorm, l.r, x, b)
 			history = append(history, res)
 		}
 		if refined {
-			l.report.RefinedSolves++
+			l.report.MarkRefinedSolve()
 		}
 		if res <= l.cfg.ResidualTol {
 			l.accept(res)
@@ -188,10 +188,7 @@ func (l *Ladder) Solve(step int, x, b []float64) error {
 }
 
 func (l *Ladder) accept(res float64) {
-	l.report.Verified++
-	if res > l.report.MaxResidual {
-		l.report.MaxResidual = res
-	}
+	l.report.Accept(res)
 }
 
 func (l *Ladder) diagnose(step int, rung string, history []float64, reason string) error {

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"opera/internal/obs"
 )
 
 // Solver solves A·x = b using a prepared factorization (or an inner
@@ -105,7 +107,10 @@ func (t Transition) String() string {
 
 // Report is the telemetry of every guarded solve of one analysis. It is
 // shared by the ladders of a solve path and surfaced on the solver
-// result.
+// result. When bound to an obs.Registry (Bind), every update is
+// mirrored onto named metrics — the registry is the canonical
+// instrumentation sink; the struct fields remain as the structured
+// per-analysis view that errors and the CLI summary read.
 type Report struct {
 	// Transitions lists every rung escalation, in order.
 	Transitions []Transition
@@ -122,6 +127,74 @@ type Report struct {
 	// higher rung.
 	NaNEvents   int
 	StepRetries int
+
+	// Registry-backed mirrors (nil when unbound; every obs instrument
+	// is a no-op on nil).
+	mVerified    *obs.Counter
+	mResidual    *obs.Histogram
+	mMaxResidual *obs.Gauge
+	mEscalations *obs.Counter
+	mRefinements *obs.Counter
+	mNaN         *obs.Counter
+	mRetries     *obs.Counter
+}
+
+// ResidualBuckets is the histogram layout for scaled residuals:
+// 1e-16, 1e-14, ..., 1e-2, 1.
+var ResidualBuckets = obs.ExpBuckets(1e-16, 100, 9)
+
+// Bind mirrors all subsequent report updates onto the registry under
+// the numguard.* metric names. Nil report or registry is a no-op.
+func (r *Report) Bind(reg *obs.Registry) {
+	if r == nil || reg == nil {
+		return
+	}
+	r.mVerified = reg.Counter("numguard.solves_verified_total")
+	r.mResidual = reg.Histogram("numguard.residual_norm", ResidualBuckets)
+	r.mMaxResidual = reg.Gauge("numguard.max_residual")
+	r.mEscalations = reg.Counter("numguard.ladder_escalations_total")
+	r.mRefinements = reg.Counter("numguard.refinement_sweeps_total")
+	r.mNaN = reg.Counter("numguard.nan_events_total")
+	r.mRetries = reg.Counter("numguard.step_retries_total")
+}
+
+// Accept records one residual-verified solve with the given scaled
+// residual.
+func (r *Report) Accept(res float64) {
+	r.Verified++
+	if res > r.MaxResidual {
+		r.MaxResidual = res
+	}
+	r.mVerified.Inc()
+	r.mResidual.Observe(res)
+	r.mMaxResidual.SetMax(res)
+}
+
+// AddTransition records one ladder escalation.
+func (r *Report) AddTransition(t Transition) {
+	r.Transitions = append(r.Transitions, t)
+	r.mEscalations.Inc()
+}
+
+// AddRefinement records one iterative-refinement sweep.
+func (r *Report) AddRefinement() {
+	r.Refinements++
+	r.mRefinements.Inc()
+}
+
+// MarkRefinedSolve records that a solve needed at least one sweep.
+func (r *Report) MarkRefinedSolve() { r.RefinedSolves++ }
+
+// NonFinite records a solve whose output contained NaN/Inf.
+func (r *Report) NonFinite() {
+	r.NaNEvents++
+	r.mNaN.Inc()
+}
+
+// AddStepRetry records a transient step re-solved on a higher rung.
+func (r *Report) AddStepRetry() {
+	r.StepRetries++
+	r.mRetries.Inc()
 }
 
 // Healthy reports whether the analysis completed without escalations,

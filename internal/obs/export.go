@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SpanDump is the JSON form of one span.
+type SpanDump struct {
+	Name       string            `json:"name"`
+	StartMS    float64           `json:"start_ms"`
+	DurMS      float64           `json:"dur_ms"`
+	AllocBytes uint64            `json:"alloc_bytes,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Spans      []SpanDump        `json:"spans,omitempty"`
+}
+
+// Dump is the JSON form of a whole trace: the root span's name and
+// duration, the phase tree beneath it, and the metrics snapshot. It is
+// what --trace-out writes and what cmd/benchtab consumes.
+type Dump struct {
+	Name       string          `json:"name"`
+	TotalMS    float64         `json:"total_ms"`
+	AllocBytes uint64          `json:"alloc_bytes,omitempty"`
+	Spans      []SpanDump      `json:"spans"`
+	Metrics    MetricsSnapshot `json:"metrics"`
+}
+
+// Dump snapshots the trace (open spans report their live elapsed
+// time). Returns nil for a nil tracer.
+func (t *Tracer) Dump() *Dump {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	root := dumpSpan(t.root)
+	t.mu.Unlock()
+	return &Dump{
+		Name:       root.Name,
+		TotalMS:    root.DurMS,
+		AllocBytes: root.AllocBytes,
+		Spans:      root.Spans,
+		Metrics:    t.reg.Snapshot(),
+	}
+}
+
+func dumpSpan(s *Span) SpanDump {
+	d := SpanDump{
+		Name:       s.Name,
+		StartMS:    ms(s.startOff),
+		DurMS:      ms(s.durationLocked()),
+		AllocBytes: s.allocs,
+	}
+	if len(s.attrs) > 0 {
+		d.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			d.Attrs[a.Key] = a.Value
+		}
+	}
+	for _, c := range s.children {
+		d.Spans = append(d.Spans, dumpSpan(c))
+	}
+	return d
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// WriteJSON writes the trace dump as indented JSON.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Dump())
+}
+
+// WriteJSONFile writes the trace dump to the named file.
+func (t *Tracer) WriteJSONFile(path string) error {
+	if t == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// DecodeDump parses a trace dump written by WriteJSON.
+func DecodeDump(r io.Reader) (*Dump, error) {
+	var d Dump
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("obs: decoding trace dump: %w", err)
+	}
+	return &d, nil
+}
+
+// ReadDumpFile parses a trace dump from the named file.
+func ReadDumpFile(path string) (*Dump, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeDump(f)
+}
+
+// MarshalJSON encodes the +Inf overflow bound as the string "+Inf"
+// (JSON has no infinity literal).
+func (b BucketSnapshot) MarshalJSON() ([]byte, error) {
+	if math.IsInf(b.UpperBound, 1) {
+		return json.Marshal(struct {
+			Le    string `json:"le"`
+			Count int64  `json:"count"`
+		}{"+Inf", b.Count})
+	}
+	return json.Marshal(struct {
+		Le    float64 `json:"le"`
+		Count int64   `json:"count"`
+	}{b.UpperBound, b.Count})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (b *BucketSnapshot) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Le    any   `json:"le"`
+		Count int64 `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	switch v := raw.Le.(type) {
+	case float64:
+		b.UpperBound = v
+	case string:
+		b.UpperBound = math.Inf(1)
+	default:
+		return fmt.Errorf("obs: bucket bound %v is neither number nor string", raw.Le)
+	}
+	return nil
+}
+
+// WriteText renders the human-readable trace/metrics summary: the
+// nested phase table (duration, share of total, allocations,
+// attributes) followed by every registered metric.
+func (t *Tracer) WriteText(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	d := t.Dump()
+	total := d.TotalMS
+	fmt.Fprintf(w, "trace: %s  %s total", d.Name, fmtMS(total))
+	if d.AllocBytes > 0 {
+		fmt.Fprintf(w, ", %s allocated", fmtBytes(d.AllocBytes))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  %-34s %10s %6s %9s  %s\n", "phase", "ms", "%", "alloc", "attrs")
+	for _, s := range d.Spans {
+		writeSpanText(w, s, total, 0)
+	}
+	writeMetricsText(w, d.Metrics)
+	return nil
+}
+
+func writeSpanText(w io.Writer, s SpanDump, total float64, depth int) {
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * s.DurMS / total
+	}
+	name := strings.Repeat("  ", depth) + s.Name
+	fmt.Fprintf(w, "  %-34s %10.2f %5.1f%% %9s  %s\n",
+		name, s.DurMS, pct, fmtBytes(s.AllocBytes), fmtAttrs(s.Attrs))
+	for _, c := range s.Spans {
+		writeSpanText(w, c, total, depth+1)
+	}
+}
+
+func writeMetricsText(w io.Writer, m MetricsSnapshot) {
+	if len(m.Counters)+len(m.Gauges)+len(m.Histograms) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "metrics:")
+	for _, name := range sortedKeys(m.Counters) {
+		fmt.Fprintf(w, "  %-42s %d\n", name, m.Counters[name])
+	}
+	for _, name := range sortedKeys(m.Gauges) {
+		fmt.Fprintf(w, "  %-42s %.6g\n", name, m.Gauges[name])
+	}
+	for _, name := range sortedKeys(m.Histograms) {
+		h := m.Histograms[name]
+		if h.Count == 0 {
+			fmt.Fprintf(w, "  %-42s count=0\n", name)
+			continue
+		}
+		fmt.Fprintf(w, "  %-42s count=%d mean=%.4g min=%.4g max=%.4g\n",
+			name, h.Count, h.Mean(), h.Min, h.Max)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fmtAttrs(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(attrs))
+	for _, k := range sortedKeys(attrs) {
+		parts = append(parts, k+"="+attrs[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+func fmtMS(v float64) string {
+	switch {
+	case v >= 1000:
+		return fmt.Sprintf("%.2fs", v/1000)
+	default:
+		return fmt.Sprintf("%.2fms", v)
+	}
+}
+
+func fmtBytes(b uint64) string {
+	switch {
+	case b == 0:
+		return ""
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

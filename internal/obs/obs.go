@@ -1,0 +1,282 @@
+// Package obs is the observability layer of the OPERA pipeline: a
+// hierarchical span tracer (wall time + allocation deltas + key-value
+// attributes per pipeline phase), a registry of named counters, gauges
+// and fixed-bucket histograms, and exporters (human-readable summary
+// table, JSON dump, expvar/pprof debug server). It is stdlib-only and
+// designed around a nil fast path: every method on a nil *Tracer,
+// *Span, *Registry, *Counter, *Gauge or *Histogram is a no-op, so
+// instrumented code pays nothing when observability is disabled — no
+// branches at call sites, no allocation, no time.Now.
+//
+// Span names are pipeline phase names ("assemble", "order", "factor",
+// "transient", ...); metric names follow the <pkg>.<noun>_<unit>
+// convention ("galerkin.step_ms", "numguard.refinement_sweeps_total").
+package obs
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Attr is one key-value annotation on a span (matrix dimension, nnz,
+// basis size, solver rung, ...). Values are stringified at creation so
+// spans never retain references into solver state.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// String builds a string attribute.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer attribute.
+func Int(key string, value int) Attr { return Attr{Key: key, Value: fmt.Sprintf("%d", value)} }
+
+// Int64 builds an int64 attribute.
+func Int64(key string, value int64) Attr { return Attr{Key: key, Value: fmt.Sprintf("%d", value)} }
+
+// Float builds a float attribute.
+func Float(key string, value float64) Attr { return Attr{Key: key, Value: fmt.Sprintf("%.6g", value)} }
+
+// Span is one timed region of a run. Spans nest: Start on the owning
+// tracer opens a child of the innermost open span, End closes it and
+// records wall time and the runtime.MemStats TotalAlloc delta across
+// the span's lifetime (children included — allocation attribution is
+// inclusive, like the durations).
+type Span struct {
+	Name string
+
+	tracer   *Tracer
+	parent   *Span
+	start    time.Time
+	startOff time.Duration // offset from the trace root's start
+	dur      time.Duration
+	alloc0   uint64
+	allocs   uint64
+	attrs    []Attr
+	children []*Span
+	done     bool
+}
+
+// Tracer records one run's span tree and owns the metrics registry.
+// Span lifecycle calls (Start/End/Record/Finish) are serialized by an
+// internal mutex, so the tracer may be shared across goroutines; the
+// span *tree* is still shaped by call order, which matches the
+// single-goroutine pipeline it instruments. A nil *Tracer is the
+// disabled state: every method is a no-op and Registry returns nil.
+type Tracer struct {
+	mu   sync.Mutex
+	root *Span
+	cur  *Span
+	reg  *Registry
+	mem  bool
+}
+
+// New starts a tracer whose root span carries the given name (e.g.
+// "opera.run"). The root clock starts immediately.
+func New(name string) *Tracer {
+	t := &Tracer{reg: NewRegistry(), mem: true}
+	t.root = &Span{tracer: t, Name: name, start: time.Now(), alloc0: totalAlloc()}
+	t.cur = t.root
+	return t
+}
+
+// CollectAllocs toggles per-span allocation deltas. Reading
+// runtime.MemStats costs tens of microseconds per span boundary; turn
+// it off for microbenchmarks of the tracer itself.
+func (t *Tracer) CollectAllocs(on bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.mem = on
+	t.mu.Unlock()
+}
+
+// Registry returns the tracer's metrics registry (nil for a nil
+// tracer, which every registry method tolerates).
+func (t *Tracer) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Root returns the root span (nil for a nil tracer).
+func (t *Tracer) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Start opens a new span as a child of the innermost open span.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Span{
+		tracer: t,
+		parent: t.cur,
+		Name:   name,
+		start:  time.Now(),
+		attrs:  attrs,
+	}
+	s.startOff = s.start.Sub(t.root.start)
+	if t.mem {
+		s.alloc0 = totalAlloc()
+	}
+	t.cur.children = append(t.cur.children, s)
+	t.cur = s
+	return s
+}
+
+// Record inserts an already-measured span of the given duration as a
+// completed child of the innermost open span. It is the tool for
+// phases whose time accumulates across many interleaved slices (e.g.
+// moment extraction inside the stepping loop).
+func (t *Tracer) Record(name string, d time.Duration, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	s := &Span{
+		tracer:   t,
+		parent:   t.cur,
+		Name:     name,
+		start:    now.Add(-d),
+		startOff: now.Add(-d).Sub(t.root.start),
+		dur:      d,
+		attrs:    attrs,
+		done:     true,
+	}
+	t.cur.children = append(t.cur.children, s)
+}
+
+// Finish ends the root span and force-closes any spans left open (an
+// aborted run's error path may skip Ends); safe to call more than
+// once.
+func (t *Tracer) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for s := t.cur; s != nil; s = s.parent {
+		s.finishLocked(t.mem)
+	}
+	t.cur = t.root
+}
+
+// End closes the span, recording wall time and the allocation delta.
+// Ending a span also closes any of its descendants still open.
+func (s *Span) End() {
+	if s == nil || s.tracer == nil {
+		return
+	}
+	t := s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.done {
+		return
+	}
+	// Close any open descendants first (cursor is at or below s).
+	for c := t.cur; c != nil && c != s; c = c.parent {
+		c.finishLocked(t.mem)
+	}
+	s.finishLocked(t.mem)
+	if s.parent != nil {
+		t.cur = s.parent
+	} else {
+		t.cur = s
+	}
+}
+
+func (s *Span) finishLocked(mem bool) {
+	if s.done {
+		return
+	}
+	s.dur = time.Since(s.start)
+	if mem {
+		if a := totalAlloc(); a > s.alloc0 {
+			s.allocs = a - s.alloc0
+		}
+	}
+	s.done = true
+}
+
+// SetAttrs appends attributes to the span (e.g. results known only
+// after the work: factor nnz, rung chosen).
+func (s *Span) SetAttrs(attrs ...Attr) {
+	if s == nil || s.tracer == nil {
+		return
+	}
+	s.tracer.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.tracer.mu.Unlock()
+}
+
+// Duration returns the span's recorded wall time (the live elapsed
+// time if the span is still open).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	return s.durationLocked()
+}
+
+func (s *Span) durationLocked() time.Duration {
+	if s.done {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// Children returns the span's completed and open children.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+func totalAlloc() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.TotalAlloc
+}
+
+// ctxKey is the context key type for tracer propagation.
+type ctxKey struct{}
+
+// NewContext returns a context carrying the tracer.
+func NewContext(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext extracts the tracer from the context, or nil (the
+// disabled tracer) when absent.
+func FromContext(ctx context.Context) *Tracer {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(ctxKey{}).(*Tracer)
+	return t
+}
+
+// Start opens a span on the context's tracer: the context-plumbed
+// spelling of Tracer.Start for call sites that carry a context.
+func Start(ctx context.Context, name string, attrs ...Attr) *Span {
+	return FromContext(ctx).Start(name, attrs...)
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+var expvarOnce sync.Once
+
+// ServeDebug starts an opt-in HTTP debug server on addr exposing
+//
+//	/debug/pprof/*   — net/http/pprof profiles (CPU, heap, block, ...)
+//	/debug/vars      — expvar, including the live metrics snapshot
+//	/metrics         — the registry snapshot as JSON
+//	/trace           — the current trace dump as JSON (open spans live)
+//
+// The listener is bound synchronously (so address errors surface
+// immediately); serving happens on a background goroutine that lives
+// until the process exits. The returned server can be Closed by tests.
+func ServeDebug(addr string, t *Tracer) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	expvarOnce.Do(func() {
+		expvar.Publish("opera.metrics", expvar.Func(func() any {
+			return t.Registry().Snapshot()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSONValue(w, t.Registry().Snapshot())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSONValue(w, t.Dump())
+	})
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: mux}
+	go srv.Serve(ln)
+	return srv, nil
+}
+
+func writeJSONValue(w http.ResponseWriter, v any) {
+	// Encoding errors on a live HTTP response are not recoverable;
+	// report them to the client if the header is still open.
+	if err := encodeJSON(w, v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func encodeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

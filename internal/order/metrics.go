@@ -1,0 +1,43 @@
+package order
+
+import (
+	"sync/atomic"
+	"time"
+
+	"opera/internal/obs"
+)
+
+// orderMetrics times the fill-reducing ordering algorithms. Installed
+// atomically; absent by default, so uninstrumented runs pay one
+// pointer load per ordering call (orderings run once per analysis, not
+// per step).
+type orderMetrics struct {
+	nd, rcm, md *obs.Histogram
+}
+
+var metrics atomic.Pointer[orderMetrics]
+
+// SetMetrics installs ordering-duration histograms (order.nd_ms,
+// order.rcm_ms, order.md_ms) on the registry; nil uninstalls.
+func SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		metrics.Store(nil)
+		return
+	}
+	metrics.Store(&orderMetrics{
+		nd:  reg.Histogram("order.nd_ms", obs.MSBuckets),
+		rcm: reg.Histogram("order.rcm_ms", obs.MSBuckets),
+		md:  reg.Histogram("order.md_ms", obs.MSBuckets),
+	})
+}
+
+// observe times one ordering via the selector (nil-safe end to end).
+func observe(pick func(*orderMetrics) *obs.Histogram) func() {
+	m := metrics.Load()
+	if m == nil {
+		return func() {}
+	}
+	h := pick(m)
+	start := time.Now()
+	return func() { h.ObserveSince(start) }
+}

@@ -1,5 +1,7 @@
 package order
 
+import "opera/internal/obs"
+
 // MinimumDegree computes a minimum-degree ordering using the quotient
 // graph (element) model: eliminating a vertex creates an element whose
 // boundary is the union of the vertex's remaining neighbors and the
@@ -9,6 +11,7 @@ package order
 // is the clique size — adequate for the moderate systems where a
 // minimum-degree order is preferable to nested dissection.
 func MinimumDegree(g *Graph) []int {
+	defer observe(func(m *orderMetrics) *obs.Histogram { return m.md })()
 	n := g.N
 	// Variable adjacency as mutable sets (slices, lazily cleaned).
 	varAdj := make([][]int, n)  // adjacent *variables* (uneliminated)

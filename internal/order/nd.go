@@ -1,5 +1,7 @@
 package order
 
+import "opera/internal/obs"
+
 // NestedDissection computes a George–Liu style automatic nested
 // dissection ordering. Each recursion finds a small vertex separator
 // from the middle level of a level structure rooted at a
@@ -9,6 +11,7 @@ package order
 // order for elimination. The default leaf size is used when leafSize
 // <= 0.
 func NestedDissection(g *Graph, leafSize int) []int {
+	defer observe(func(m *orderMetrics) *obs.Histogram { return m.nd })()
 	if leafSize <= 0 {
 		leafSize = 32
 	}

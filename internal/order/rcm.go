@@ -1,6 +1,10 @@
 package order
 
-import "sort"
+import (
+	"sort"
+
+	"opera/internal/obs"
+)
 
 // Natural returns the identity permutation of length n.
 func Natural(n int) []int {
@@ -17,6 +21,7 @@ func Natural(n int) []int {
 // row/column p[k] of the original matrix becomes row/column k of the
 // permuted matrix.
 func RCM(g *Graph) []int {
+	defer observe(func(m *orderMetrics) *obs.Histogram { return m.rcm })()
 	n := g.N
 	perm := make([]int, 0, n)
 	visited := make([]bool, n)

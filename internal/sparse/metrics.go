@@ -1,0 +1,43 @@
+package sparse
+
+import (
+	"sync/atomic"
+
+	"opera/internal/obs"
+)
+
+// opCounters is the resolved instrument set for the matvec hot path.
+// It is installed atomically so an analysis goroutine and a debug
+// server never race on it; when absent (the default, and always in
+// benchmarks of the disabled path) the cost is one atomic pointer load
+// and a nil check per matvec — noise next to the nnz-proportional work
+// each matvec performs.
+type opCounters struct {
+	matvecs *obs.Counter
+	flops   *obs.Counter
+}
+
+var counters atomic.Pointer[opCounters]
+
+// SetMetrics installs matvec counters (sparse.matvec_total,
+// sparse.matvec_flops_total) on the registry. Passing a nil registry
+// uninstalls them.
+func SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		counters.Store(nil)
+		return
+	}
+	counters.Store(&opCounters{
+		matvecs: reg.Counter("sparse.matvec_total"),
+		flops:   reg.Counter("sparse.matvec_flops_total"),
+	})
+}
+
+// countMatvec records one matrix-vector product over nnz stored
+// entries (2 flops each: multiply + add).
+func countMatvec(nnz int) {
+	if c := counters.Load(); c != nil {
+		c.matvecs.Inc()
+		c.flops.Add(2 * int64(nnz))
+	}
+}

@@ -7,6 +7,7 @@ func (m *Matrix) MulVec(y, x []float64) {
 	if len(x) != m.Cols || len(y) != m.Rows {
 		panic(fmt.Sprintf("sparse: MulVec dimension mismatch: A is %dx%d, x %d, y %d", m.Rows, m.Cols, len(x), len(y)))
 	}
+	countMatvec(m.NNZ())
 	for i := range y {
 		y[i] = 0
 	}
@@ -26,6 +27,7 @@ func (m *Matrix) MulVecAdd(y []float64, alpha float64, x []float64) {
 	if len(x) != m.Cols || len(y) != m.Rows {
 		panic(fmt.Sprintf("sparse: MulVecAdd dimension mismatch: A is %dx%d, x %d, y %d", m.Rows, m.Cols, len(x), len(y)))
 	}
+	countMatvec(m.NNZ())
 	for j := 0; j < m.Cols; j++ {
 		xj := alpha * x[j]
 		if xj == 0 {

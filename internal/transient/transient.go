@@ -12,10 +12,12 @@ package transient
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"opera/internal/factor"
 	"opera/internal/iterative"
 	"opera/internal/numguard"
+	"opera/internal/obs"
 	"opera/internal/sparse"
 )
 
@@ -54,6 +56,10 @@ type Options struct {
 	// ReuseFactor optionally recycles a previous numeric factor's
 	// storage (must come from the same Symbolic).
 	ReuseFactor *factor.CholFactor
+	// Obs, when non-nil, feeds transient.step_ms /
+	// transient.steps_total on the tracer's registry. Nil disables the
+	// per-step timing entirely (no time.Now in Advance).
+	Obs *obs.Tracer
 }
 
 // Validate checks the options.
@@ -84,6 +90,11 @@ type Stepper struct {
 	// Workspaces.
 	b, cx, gx, uPrev []float64
 	havePrev         bool
+
+	// Instruments (nil when Options.Obs is nil; Advance checks stepMS
+	// so the disabled path never reads the clock).
+	stepMS     *obs.Histogram
+	stepsTotal *obs.Counter
 }
 
 // NewStepper factors the companion matrix of (g, c) under opts. The
@@ -115,6 +126,10 @@ func NewStepper(g, c *sparse.Matrix, opts Options) (*Stepper, error) {
 		x:    make([]float64, n),
 		b:    make([]float64, n),
 		cx:   make([]float64, n),
+	}
+	if reg := opts.Obs.Registry(); reg != nil {
+		st.stepMS = reg.Histogram("transient.step_ms", obs.MSBuckets)
+		st.stepsTotal = reg.Counter("transient.steps_total")
 	}
 	fac, err := sym.Factorize(a, opts.ReuseFactor)
 	if err != nil {
@@ -260,6 +275,10 @@ func (s *Stepper) Advance(uNew []float64) error {
 	if len(uNew) != s.N {
 		return fmt.Errorf("%w: u length %d != %d", ErrSize, len(uNew), s.N)
 	}
+	var stepStart time.Time
+	if s.stepMS != nil {
+		stepStart = time.Now()
+	}
 	h := s.opts.Step
 	switch s.opts.Method {
 	case BackwardEuler:
@@ -294,6 +313,10 @@ func (s *Stepper) Advance(uNew []float64) error {
 	}
 	s.t += h
 	s.stepNo++
+	if s.stepMS != nil {
+		s.stepMS.ObserveSince(stepStart)
+		s.stepsTotal.Inc()
+	}
 	return nil
 }
 
