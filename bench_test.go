@@ -31,6 +31,7 @@ import (
 	"opera/internal/galerkin"
 	"opera/internal/grid"
 	"opera/internal/mna"
+	"opera/internal/montecarlo"
 	"opera/internal/obs"
 	"opera/internal/order"
 	"opera/internal/sparse"
@@ -248,6 +249,65 @@ func BenchmarkMCPerSample(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, _, err := core.RunMC(sys, core.Options{Order: 2, Step: 1e-10, Steps: 20}, 1, int64(i), nil); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMCParallel measures the worker-pool scaling of the Monte
+// Carlo hot loop on a §6-scale grid. Results are bit-identical across
+// the sub-benchmarks (see montecarlo's determinism contract); only the
+// wall clock changes.
+func BenchmarkMCParallel(b *testing.B) {
+	nl, err := grid.Build(grid.DefaultSpec(2600, 2005))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := mna.Build(nl, mna.DefaultSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := montecarlo.Run(sys, montecarlo.Options{
+					Samples: 32, Step: 1e-10, Steps: 10, Seed: 2005, Workers: w,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.SamplesRun != 32 {
+					b.Fatalf("ran %d samples", res.SamplesRun)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecoupledParallel measures the per-basis fan-out of the
+// §5.1 decoupled Galerkin path (the leakage special case: 4 regions at
+// order 3 give a 35-function basis, i.e. 35 independent recursions per
+// step).
+func BenchmarkDecoupledParallel(b *testing.B) {
+	spec := grid.DefaultSpec(2600, 2005)
+	spec.Regions = 2
+	nl, err := grid.Build(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.AnalyzeLeakage(nl, core.LeakageOptions{
+					Regions: spec.NumRegions(), SigmaLogI: 0.6, Order: 3,
+					Step: 1e-10, Steps: 15, Workers: w,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Galerkin.Decoupled {
+					b.Fatal("decoupled path not taken")
 				}
 			}
 		})

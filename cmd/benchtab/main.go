@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -40,8 +41,12 @@ func main() {
 		full      = flag.Bool("full", false, "paper-scale configuration (slow)")
 		seed      = flag.Int64("seed", 2005, "experiment seed")
 		tracePath = flag.String("trace", "", "render a markdown timing table from this JSON trace file and exit")
+		workers   = flag.Int("workers", 0, "cap GOMAXPROCS for the run; 0 leaves it alone (results are identical for any value)")
 	)
 	flag.Parse()
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
 	if *tracePath != "" {
 		if err := writeTraceTable(os.Stdout, *tracePath); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)

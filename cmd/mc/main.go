@@ -38,6 +38,7 @@ func main() {
 		trace    = flag.Bool("trace", false, "print the per-phase trace and metrics table after the run")
 		traceOut = flag.String("trace-out", "", "write the trace + metrics as JSON to this file")
 		pprof    = flag.String("pprof-addr", "", "serve net/http/pprof, expvar and live trace/metrics on this address (e.g. localhost:6060)")
+		workers  = flag.Int("workers", 0, "sampling worker pool size; 0 = GOMAXPROCS (results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -70,7 +71,7 @@ func main() {
 	start := time.Now()
 	res, err := montecarlo.Run(sys, montecarlo.Options{
 		Samples: *samples, Step: *step, Steps: *steps,
-		Seed: *seed, LatinHypercube: *lhs, Obs: tr,
+		Seed: *seed, LatinHypercube: *lhs, Workers: *workers, Obs: tr,
 	})
 	if err != nil {
 		fatal("mc: %v", err)

@@ -52,6 +52,7 @@ func main() {
 		trace    = flag.Bool("trace", false, "print the per-phase trace and metrics table after the run")
 		traceOut = flag.String("trace-out", "", "write the trace + metrics as JSON to this file")
 		pprof    = flag.String("pprof-addr", "", "serve net/http/pprof, expvar and live trace/metrics on this address (e.g. localhost:6060)")
+		workers  = flag.Int("workers", 0, "worker pool size for the parallel hot loops; 0 = GOMAXPROCS (results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -64,7 +65,7 @@ func main() {
 		spA.End()
 		runLeakage(nl, core.LeakageOptions{
 			Regions: *regions, SigmaLogI: *sigmaI, Order: *order,
-			Step: *step, Steps: *steps, Obs: tr,
+			Step: *step, Steps: *steps, Workers: *workers, Obs: tr,
 		})
 		return
 	}
@@ -76,7 +77,7 @@ func main() {
 	spA.End()
 	opts := core.Options{
 		Order: *order, Step: *step, Steps: *steps,
-		Ordering: parseOrdering(*ordering), Obs: tr,
+		Ordering: parseOrdering(*ordering), Workers: *workers, Obs: tr,
 	}
 	trackNodes := parseTrack(*track)
 	opts.TrackNodes = trackNodes

@@ -36,6 +36,10 @@ type LeakageOptions struct {
 	Steps int
 	// TrackNodes retains full expansions at these nodes.
 	TrackNodes []int
+	// Workers caps the decoupled solver's per-basis worker pool; 0 or
+	// negative means GOMAXPROCS. Results are bit-identical for every
+	// value.
+	Workers int
 	// Obs, when non-nil, receives the pipeline phase spans and solver
 	// metrics (see Options.Obs).
 	Obs *obs.Tracer
@@ -136,7 +140,7 @@ func AnalyzeLeakage(nl *netlist.Netlist, opts LeakageOptions) (*Result, error) {
 	}
 	return analyze(gsys, sys.VDD, Options{
 		Order: opts.Order, Step: opts.Step, Steps: opts.Steps,
-		TrackNodes: opts.TrackNodes, Obs: opts.Obs,
+		TrackNodes: opts.TrackNodes, Workers: opts.Workers, Obs: opts.Obs,
 	})
 }
 
@@ -248,6 +252,6 @@ func AnalyzeLeakageForceCoupled(nl *netlist.Netlist, opts LeakageOptions) (*Resu
 	}
 	return analyze(gsys, sys.VDD, Options{
 		Order: opts.Order, Step: opts.Step, Steps: opts.Steps,
-		TrackNodes: opts.TrackNodes, ForceCoupled: true, Obs: opts.Obs,
+		TrackNodes: opts.TrackNodes, ForceCoupled: true, Workers: opts.Workers, Obs: opts.Obs,
 	})
 }

@@ -47,6 +47,11 @@ type Options struct {
 	ForceLU      bool
 	// Iterative selects the §5.2 mean-preconditioned CG solver path.
 	Iterative bool
+	// Workers caps the worker pools of the parallel hot loops (Monte
+	// Carlo sampling, decoupled per-basis solves, block applies); 0 or
+	// negative means GOMAXPROCS. Results are bit-identical for every
+	// value.
+	Workers int
 	// Guard tunes the numerical-robustness layer (residual tolerance,
 	// iterative-refinement caps, verification cadence). Zero value =
 	// numguard defaults.
@@ -165,7 +170,7 @@ func analyze(gsys *galerkin.System, vdd float64, opts Options) (*Result, error) 
 		Step: opts.Step, Steps: opts.Steps,
 		Ordering: opts.Ordering, ForceCoupled: opts.ForceCoupled,
 		ForceLU: opts.ForceLU, Iterative: opts.Iterative,
-		Guard: opts.Guard, Obs: opts.Obs,
+		Workers: opts.Workers, Guard: opts.Guard, Obs: opts.Obs,
 	}, func(step int, _ float64, coeffs [][]float64) {
 		visitStart := time.Now()
 		B := len(coeffs)
@@ -240,7 +245,7 @@ func RunMC(sys *mna.System, opts Options, samples int, seed int64, trackNodes []
 	start := time.Now()
 	mc, err := montecarlo.Run(sys, montecarlo.Options{
 		Samples: samples, Step: opts.Step, Steps: opts.Steps,
-		Seed: seed, TrackNodes: trackNodes, Obs: opts.Obs,
+		Seed: seed, TrackNodes: trackNodes, Workers: opts.Workers, Obs: opts.Obs,
 	})
 	return mc, time.Since(start), err
 }

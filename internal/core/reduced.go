@@ -129,6 +129,7 @@ func AnalyzeReduced(sys *mna.System, ports []int, morMoments int, opts Options) 
 	_, err = galerkin.Solve(gsys, galerkin.Options{
 		Step: opts.Step, Steps: opts.Steps,
 		Ordering: galerkin.OrderNatural, // the reduced system is dense and tiny
+		Workers:  1,                     // fan-out overhead dwarfs the k×k solves
 	}, func(step int, _ float64, coeffs [][]float64) {
 		B := len(coeffs)
 		for j := range ports {

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"opera/internal/obs"
+	"opera/internal/parallel"
 	"opera/internal/sparse"
 )
 
@@ -110,6 +111,67 @@ func (bm *BlockMatrix) MulVec(y, x []float64) {
 			}
 		}
 	}
+}
+
+// mulVecSymBlockChunk is the block-row granularity of
+// BlockMatrix.MulVecSym; each entry costs B² multiplies, so chunks are
+// smaller than the scalar equivalent.
+const mulVecSymBlockChunk = 64
+
+// MulVecSym computes y = M·x for a *symmetric* block matrix (the
+// Galerkin operators: symmetric coupling tensors over symmetric node
+// matrices), row-partitioned across up to `workers` goroutines. By
+// symmetry block (i,j) equals the stored block (j,i) transposed, so
+// block-row i is a gather over stored column i:
+//
+//	y_i = Σ_p Block(p)ᵀ · x_{Rowi[p]}  over column i
+//
+// Each y_i is produced whole by one worker in a fixed order, so the
+// result is bit-identical for any worker count (though it associates
+// differently from the scatter-form MulVec — callers that need
+// worker-count invariance must use one form consistently).
+func (bm *BlockMatrix) MulVecSym(y, x []float64, workers int) {
+	B := bm.B
+	if len(x) != bm.N*B || len(y) != bm.N*B {
+		panic(fmt.Sprintf("factor: block MulVecSym lengths %d/%d want %d", len(y), len(x), bm.N*B))
+	}
+	bb := B * B
+	gather := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			yi := y[i*B : (i+1)*B]
+			for r := range yi {
+				yi[r] = 0
+			}
+			for p := bm.Colp[i]; p < bm.Colp[i+1]; p++ {
+				j := bm.Rowi[p]
+				blk := bm.Val[p*bb : (p+1)*bb]
+				xj := x[j*B : (j+1)*B]
+				// y_i += Block(p)ᵀ · x_j
+				for c := 0; c < B; c++ {
+					xc := xj[c]
+					row := blk[c*B : c*B+B]
+					for r := 0; r < B; r++ {
+						yi[r] += row[r] * xc
+					}
+				}
+			}
+		}
+	}
+	if workers <= 1 || bm.N <= mulVecSymBlockChunk {
+		gather(0, bm.N)
+		return
+	}
+	chunks := (bm.N + mulVecSymBlockChunk - 1) / mulVecSymBlockChunk
+	// Chunks write disjoint block rows of y; errors are impossible here.
+	_ = parallel.ForEach(workers, chunks, func(_, c int) error {
+		lo := c * mulVecSymBlockChunk
+		hi := lo + mulVecSymBlockChunk
+		if hi > bm.N {
+			hi = bm.N
+		}
+		gather(lo, hi)
+		return nil
+	})
 }
 
 // NormInf returns the ∞-norm (maximum absolute row sum) of the block
@@ -420,14 +482,17 @@ func rightSolveLT(b int, x, l, out []float64) {
 }
 
 // Solve solves M·x = rhs for node-major vectors, overwriting x (which
-// may alias rhs).
+// may alias rhs). The work vector is pooled, so the steady state
+// allocates nothing.
 func (f *BlockCholFactor) Solve(x, rhs []float64) {
 	n, B := f.N, f.B
 	bb := B * B
 	if len(x) != n*B || len(rhs) != n*B {
 		panic(fmt.Sprintf("factor: block solve lengths %d/%d want %d", len(x), len(rhs), n*B))
 	}
-	y := make([]float64, n*B)
+	yp := getScratch(n * B)
+	defer putScratch(yp)
+	y := *yp
 	if f.Perm != nil {
 		for k := 0; k < n; k++ {
 			copy(y[k*B:(k+1)*B], rhs[f.Perm[k]*B:f.Perm[k]*B+B])

@@ -178,22 +178,34 @@ func (f *CholFactor) Solve(b []float64) []float64 {
 	return x
 }
 
-// SolveTo solves A·x = b into x (which may alias b).
+// SolveTo solves A·x = b into x (which may alias b). Scratch comes
+// from a package pool, so the steady state allocates nothing; it is
+// safe to call concurrently on a shared factor.
 func (f *CholFactor) SolveTo(x, b []float64) {
+	y := getScratch(f.Sym.N)
+	f.SolveToWithScratch(x, b, *y)
+	putScratch(y)
+}
+
+// SolveToWithScratch solves A·x = b into x using the caller-provided
+// work vector y of length n. It performs no allocations, which makes it
+// the right call in per-worker hot loops that own their scratch. x may
+// alias b (b is fully consumed into y before x is written); y must not
+// alias x or b.
+func (f *CholFactor) SolveToWithScratch(x, b, y []float64) {
 	n := f.Sym.N
-	if len(b) != n || len(x) != n {
-		panic(fmt.Sprintf("factor: Solve length %d/%d != %d", len(x), len(b), n))
+	if len(b) != n || len(x) != n || len(y) != n {
+		panic(fmt.Sprintf("factor: Solve length %d/%d/%d != %d", len(x), len(b), len(y), n))
 	}
-	var y []float64
 	if f.Sym.Perm != nil {
-		y = sparse.PermVec(f.Sym.Perm, b)
+		sparse.PermVecTo(y, f.Sym.Perm, b)
 	} else {
-		y = append([]float64(nil), b...)
+		copy(y, b)
 	}
 	LowerSolve(f.L, y)
 	LowerTransposeSolve(f.L, y)
 	if f.Sym.Perm != nil {
-		copy(x, sparse.InvPermVec(f.Sym.Perm, y))
+		sparse.InvPermVecTo(x, f.Sym.Perm, y)
 	} else {
 		copy(x, y)
 	}

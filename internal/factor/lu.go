@@ -224,14 +224,24 @@ func (f *LUFactor) Solve(b []float64) []float64 {
 	return x
 }
 
-// SolveTo solves A·x = b into x (x may alias b).
+// SolveTo solves A·x = b into x (x may alias b). Scratch comes from a
+// package pool, so the steady state allocates nothing; it is safe to
+// call concurrently on a shared factor.
 func (f *LUFactor) SolveTo(x, b []float64) {
+	y := getScratch(f.N)
+	f.SolveToWithScratch(x, b, *y)
+	putScratch(y)
+}
+
+// SolveToWithScratch solves A·x = b into x using the caller-provided
+// work vector y of length n; no allocations. x may alias b (b is fully
+// consumed into y before x is written); y must not alias x or b.
+func (f *LUFactor) SolveToWithScratch(x, b, y []float64) {
 	n := f.N
-	if len(b) != n || len(x) != n {
-		panic(fmt.Sprintf("factor: LU Solve length %d/%d != %d", len(x), len(b), n))
+	if len(b) != n || len(x) != n || len(y) != n {
+		panic(fmt.Sprintf("factor: LU Solve length %d/%d/%d != %d", len(x), len(b), len(y), n))
 	}
 	// y[pinv[i]] = b[i]
-	y := make([]float64, n)
 	for i := 0; i < n; i++ {
 		y[f.pinv[i]] = b[i]
 	}

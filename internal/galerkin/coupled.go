@@ -9,6 +9,7 @@ import (
 	"opera/internal/iterative"
 	"opera/internal/numguard"
 	"opera/internal/obs"
+	"opera/internal/parallel"
 	"opera/internal/sparse"
 )
 
@@ -116,7 +117,9 @@ func solveCoupled(sys *System, opts Options, visit func(int, float64, [][]float6
 
 	spT := tr.Start("transient", obs.Int("steps", opts.Steps))
 	defer spT.End()
+	workers := parallel.Workers(opts.Workers)
 	reg := tr.Registry()
+	reg.Gauge("parallel.workers").Set(float64(workers))
 	stepMS := reg.Histogram("galerkin.step_ms", obs.MSBuckets)
 	stepsTotal := reg.Counter("galerkin.steps_total")
 	cgIters := reg.Counter("galerkin.cg_iterations_total")
@@ -157,7 +160,10 @@ func solveCoupled(sys *System, opts Options, visit func(int, float64, [][]float6
 		sys.RHS(t, rhsBlocks)
 		pack(rhsBlocks, rhs)
 		if cBM != nil {
-			cBM.MulVec(work, x)
+			// The gather-form apply is used at every worker count
+			// (including 1) so the summation order — and therefore the
+			// trajectory — never depends on Workers.
+			cBM.MulVecSym(work, x, workers)
 			for i := range rhs {
 				rhs[i] += work[i] / opts.Step
 			}

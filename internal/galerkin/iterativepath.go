@@ -9,6 +9,7 @@ import (
 	"opera/internal/numguard"
 	"opera/internal/numguard/inject"
 	"opera/internal/obs"
+	"opera/internal/parallel"
 	"opera/internal/sparse"
 )
 
@@ -123,7 +124,9 @@ func solveCoupledIterative(sys *System, opts Options, visit func(int, float64, [
 
 	spT := tr.Start("transient", obs.Int("steps", opts.Steps))
 	defer spT.End()
+	workers := parallel.Workers(opts.Workers)
 	reg := tr.Registry()
+	reg.Gauge("parallel.workers").Set(float64(workers))
 	stepMS := reg.Histogram("galerkin.step_ms", obs.MSBuckets)
 	stepsTotal := reg.Counter("galerkin.steps_total")
 	cgIters := reg.Counter("galerkin.cg_iterations_total")
@@ -185,7 +188,9 @@ func solveCoupledIterative(sys *System, opts Options, visit func(int, float64, [
 		sys.RHS(t, rhsBlocks)
 		pack(rhsBlocks, rhs)
 		if cBM != nil {
-			cBM.MulVec(work, x)
+			// Gather-form apply at every worker count (including 1), so
+			// the trajectory never depends on Workers.
+			cBM.MulVecSym(work, x, workers)
 			for i := range rhs {
 				rhs[i] += work[i] / opts.Step
 			}

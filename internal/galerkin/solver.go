@@ -9,6 +9,7 @@ import (
 	"opera/internal/numguard"
 	"opera/internal/obs"
 	"opera/internal/order"
+	"opera/internal/parallel"
 	"opera/internal/sparse"
 )
 
@@ -55,6 +56,11 @@ type Options struct {
 	// Iterative selects the §5.2 mean-preconditioned conjugate gradient
 	// path instead of the direct block factorization.
 	Iterative bool
+	// Workers caps the worker pool of the decoupled fast path's
+	// per-basis fan-out and the coupled paths' row-parallel block apply;
+	// 0 or negative means GOMAXPROCS. Results are bit-identical for
+	// every value.
+	Workers int
 	// MemoryBudget caps the block factor's value storage in bytes; when
 	// the symbolic analysis predicts a larger factor, the solver
 	// switches to the iterative path automatically (its memory is the
@@ -165,6 +171,12 @@ func Solve(sys *System, opts Options, visit func(step int, t float64, coeffs [][
 // n×n factorization, N+1 independent recursions. Every solve runs
 // through the numguard escalation ladder (cholesky → lu → cg+ic0) with
 // residual verification.
+//
+// The N+1 recursions are independent within each time step, so they fan
+// out across a worker pool: basis m reads only blocks[m] and writes
+// only blocks[m], each worker owns private cx/rhs scratch, and the
+// shared ladder's Solve is concurrency-safe. Coefficients are therefore
+// bit-identical for every worker count, including 1.
 func solveDecoupled(sys *System, opts Options, visit func(int, float64, [][]float64)) (Result, error) {
 	tr := opts.Obs
 	n, b := sys.N, sys.Basis.Size()
@@ -193,38 +205,66 @@ func solveDecoupled(sys *System, opts Options, visit func(int, float64, [][]floa
 	spF.End()
 	spT := tr.Start("transient", obs.Int("steps", opts.Steps))
 	defer spT.End()
+	workers := parallel.Workers(opts.Workers)
+	if workers > b {
+		workers = b
+	}
 	reg := tr.Registry()
+	reg.Gauge("parallel.workers").Set(float64(workers))
 	stepMS := reg.Histogram("galerkin.step_ms", obs.MSBuckets)
 	stepsTotal := reg.Counter("galerkin.steps_total")
+	workerMS := make([]*obs.Histogram, workers)
+	for w := range workerMS {
+		workerMS[w] = reg.WorkerHistogram("galerkin.solve_ms", w, obs.MSBuckets)
+	}
 	blocks := make([][]float64, b)
 	rhsBlocks := make([][]float64, b)
 	for m := 0; m < b; m++ {
 		blocks[m] = make([]float64, n)
 		rhsBlocks[m] = make([]float64, n)
 	}
+	// Per-worker step scratch: basis m's rhs assembly must not share
+	// vectors across concurrent solves.
+	type stepScratch struct{ cx, rhs []float64 }
+	scratch := make([]stepScratch, workers)
+	for w := range scratch {
+		scratch[w] = stepScratch{cx: make([]float64, n), rhs: make([]float64, n)}
+	}
 	sys.RHS(0, rhsBlocks)
-	for m := 0; m < b; m++ {
+	if err := parallel.ForEach(workers, b, func(_, m int) error {
 		if err := dcLad.Solve(0, blocks[m], rhsBlocks[m]); err != nil {
-			return Result{}, fmt.Errorf("galerkin: decoupled DC solve: %w", err)
+			return fmt.Errorf("galerkin: decoupled DC solve (basis %d): %w", m, err)
 		}
+		return nil
+	}); err != nil {
+		return Result{}, err
 	}
 	if visit != nil {
 		visit(0, 0, blocks)
 	}
-	cx := make([]float64, n)
-	rhs := make([]float64, n)
 	for k := 1; k <= opts.Steps; k++ {
 		t := float64(k) * opts.Step
 		stepStart := time.Now()
 		sys.RHS(t, rhsBlocks)
-		for m := 0; m < b; m++ {
-			c0.MulVec(cx, blocks[m])
+		if err := parallel.ForEach(workers, b, func(worker, m int) error {
+			sc := &scratch[worker]
+			var solveStart time.Time
+			if workerMS[worker] != nil {
+				solveStart = time.Now()
+			}
+			c0.MulVec(sc.cx, blocks[m])
 			for i := 0; i < n; i++ {
-				rhs[i] = rhsBlocks[m][i] + cx[i]/opts.Step
+				sc.rhs[i] = rhsBlocks[m][i] + sc.cx[i]/opts.Step
 			}
-			if err := lad.Solve(k, blocks[m], rhs); err != nil {
-				return Result{}, fmt.Errorf("galerkin: decoupled step %d: %w", k, err)
+			if err := lad.Solve(k, blocks[m], sc.rhs); err != nil {
+				return fmt.Errorf("galerkin: decoupled step %d (basis %d): %w", k, m, err)
 			}
+			if workerMS[worker] != nil {
+				workerMS[worker].ObserveSince(solveStart)
+			}
+			return nil
+		}); err != nil {
+			return Result{}, err
 		}
 		stepMS.ObserveSince(stepStart)
 		stepsTotal.Inc()
@@ -238,12 +278,14 @@ func solveDecoupled(sys *System, opts Options, visit func(int, float64, [][]floa
 }
 
 // sumTerms adds the node matrices of a term list (couplings are
-// identities on this path).
+// identities on this path). The result is always freshly allocated:
+// a single-term list must NOT return the term's own matrix, or the
+// caller would mutate solver input through the alias.
 func sumTerms(ts []Term, n int) *sparse.Matrix {
 	if len(ts) == 0 {
 		return sparse.NewMatrix(n, n)
 	}
-	acc := ts[0].A
+	acc := ts[0].A.Clone()
 	for _, t := range ts[1:] {
 		acc = sparse.Add(1, acc, 1, t.A)
 	}

@@ -7,17 +7,32 @@
 // union pattern and shared across all samples, so each sample pays only
 // the numeric refactorization — the strongest fair version of the
 // baseline.
+//
+// Samples are independent, so the loop fans out across a worker pool.
+// The run is deterministic by construction, not by luck:
+//
+//   - Sample k draws its (ξG, ξL) from randvar.NewStream(Seed, k) — a
+//     private substream keyed by the sample index, so the draws do not
+//     depend on which worker runs the sample or in what order.
+//   - Samples are grouped into fixed-size chunks (boundaries depend
+//     only on the sample count), each chunk accumulates into a private
+//     moment shard, and shards merge into the global accumulators in
+//     ascending chunk order via randvar.Running.Merge.
+//
+// Together these make Mean/Variance (and Traces) bit-identical for any
+// worker count, including 1.
 package montecarlo
 
 import (
 	"fmt"
-	"math/rand"
+	"sync"
 	"time"
 
 	"opera/internal/factor"
 	"opera/internal/mna"
 	"opera/internal/obs"
 	"opera/internal/order"
+	"opera/internal/parallel"
 	"opera/internal/randvar"
 	"opera/internal/sparse"
 	"opera/internal/transient"
@@ -30,6 +45,9 @@ type Options struct {
 	Steps   int
 	Method  transient.Method
 	Seed    int64
+	// Workers caps the sampling worker pool; 0 or negative means
+	// GOMAXPROCS. Results are identical for every value.
+	Workers int
 	// LatinHypercube stratifies the parameter draws (variance
 	// reduction); plain i.i.d. sampling matches the paper's setup.
 	LatinHypercube bool
@@ -43,13 +61,33 @@ type Options struct {
 	Obs *obs.Tracer
 }
 
-// Validate checks the options.
-func (o Options) Validate() error {
+// TrackNodeError reports a TrackNodes entry outside the system's node
+// range. It is returned by Validate (and therefore Run) instead of the
+// index panic the bad entry would otherwise cause deep inside the
+// sample loop.
+type TrackNodeError struct {
+	Node int // the offending TrackNodes entry
+	N    int // valid node indices are [0, N)
+}
+
+func (e *TrackNodeError) Error() string {
+	return fmt.Sprintf("montecarlo: TrackNodes entry %d outside node range [0, %d)", e.Node, e.N)
+}
+
+// Validate checks the options against a system of n nodes. Pass n <= 0
+// to skip the TrackNodes upper-bound check when no system is at hand
+// (negative entries are always rejected).
+func (o Options) Validate(n int) error {
 	if o.Samples < 1 {
 		return fmt.Errorf("montecarlo: need at least one sample, got %d", o.Samples)
 	}
 	if o.Step <= 0 || o.Steps < 1 {
 		return fmt.Errorf("montecarlo: bad time stepping %g x %d", o.Step, o.Steps)
+	}
+	for _, node := range o.TrackNodes {
+		if node < 0 || (n > 0 && node >= n) {
+			return &TrackNodeError{Node: node, N: n}
+		}
 	}
 	return nil
 }
@@ -68,10 +106,23 @@ type Result struct {
 	SamplesRun int
 }
 
+// mcChunk is the fixed number of samples per accumulation chunk. The
+// boundary layout depends only on the sample count — never the worker
+// count — which is half of the determinism contract (the other half is
+// the per-sample RNG substream).
+const mcChunk = 4
+
+// mcShard is one chunk's private accumulation state.
+type mcShard struct {
+	acc [][]randvar.Running // [step][node]
+	lo  int                 // first sample of the chunk
+	hi  int                 // one past the last sample
+}
+
 // Run executes the Monte Carlo experiment over the two-variable
 // (ξG, ξL) Gaussian model of a stamped MNA system.
 func Run(sys *mna.System, opts Options) (*Result, error) {
-	if err := opts.Validate(); err != nil {
+	if err := opts.Validate(sys.N); err != nil {
 		return nil, err
 	}
 	n := sys.N
@@ -85,17 +136,20 @@ func Run(sys *mna.System, opts Options) (*Result, error) {
 		res.Traces = make([][][]float64, opts.Samples)
 	}
 
+	workers := parallel.Workers(opts.Workers)
 	tr := opts.Obs
 	runStart := time.Now()
 	sp := tr.Start("montecarlo.run",
-		obs.Int("samples", opts.Samples), obs.Int("steps", opts.Steps), obs.Int("n", n))
+		obs.Int("samples", opts.Samples), obs.Int("steps", opts.Steps),
+		obs.Int("n", n), obs.Int("workers", workers))
 	defer sp.End()
 	reg := tr.Registry()
 	sampleMS := reg.Histogram("montecarlo.sample_ms", obs.MSBuckets)
 	samplesTotal := reg.Counter("montecarlo.samples_total")
+	reg.Gauge("parallel.workers").Set(float64(workers))
 
 	// One symbolic analysis on the union pattern of G + C/h serves every
-	// sample.
+	// sample (read-only during factorization, safe to share).
 	scale := 1 / opts.Step
 	if opts.Method == transient.Trapezoidal {
 		scale = 2 / opts.Step
@@ -105,46 +159,91 @@ func Run(sys *mna.System, opts Options) (*Result, error) {
 	perm := order.NestedDissection(order.NewGraph(pattern), 0)
 	sym := factor.CholAnalyze(pattern, perm)
 
-	rng := randvar.NewStream(opts.Seed, 0)
 	var lhsDraws [][]float64
 	if opts.LatinHypercube {
-		lhsDraws = randvar.LatinHypercubeNormal(rng, opts.Samples, mna.Dims)
+		lhsDraws = randvar.LatinHypercubeNormal(randvar.NewStream(opts.Seed, 0), opts.Samples, mna.Dims)
 	}
-	var reuse *factor.CholFactor
-	for k := 0; k < opts.Samples; k++ {
-		var sampleStart time.Time
-		if sampleMS != nil {
-			sampleStart = time.Now()
+
+	// Per-worker mutable state: the recycled numeric factor and the
+	// per-worker sample-time histogram. Shards are pooled because a
+	// chunk's accumulator array (nsteps×n) is the largest transient
+	// allocation of the loop.
+	reuse := make([]*factor.CholFactor, workers)
+	workerMS := make([]*obs.Histogram, workers)
+	for w := 0; w < workers; w++ {
+		workerMS[w] = reg.WorkerHistogram("montecarlo.sample_ms", w, obs.MSBuckets)
+	}
+	shardPool := sync.Pool{New: func() any {
+		sh := &mcShard{acc: make([][]randvar.Running, nsteps)}
+		for s := range sh.acc {
+			sh.acc[s] = make([]randvar.Running, n)
 		}
-		xiG, xiL := drawSample(rng, lhsDraws, k)
-		g, c, rhs := sys.Realize(xiG, xiL)
-		st, err := transient.NewStepper(g, c, transient.Options{
-			Step: opts.Step, Steps: opts.Steps, Method: opts.Method,
-			Symbolic: sym, ReuseFactor: reuse, Obs: opts.Obs,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("montecarlo: sample %d: %w", k, err)
+		return sh
+	}}
+
+	chunks := (opts.Samples + mcChunk - 1) / mcChunk
+	runChunk := func(worker, chunk int) (*mcShard, error) {
+		sh := shardPool.Get().(*mcShard)
+		sh.lo = chunk * mcChunk
+		sh.hi = sh.lo + mcChunk
+		if sh.hi > opts.Samples {
+			sh.hi = opts.Samples
 		}
-		reuse = st.Factor()
-		u := make([]float64, n)
-		rhs(0, u)
-		if err := st.InitDC(u); err != nil {
-			return nil, fmt.Errorf("montecarlo: sample %d DC: %w", k, err)
-		}
-		record(res, acc, opts, k, 0, st.State())
-		for s := 1; s <= opts.Steps; s++ {
-			rhs(float64(s)*opts.Step, u)
-			if err := st.Advance(u); err != nil {
-				return nil, fmt.Errorf("montecarlo: sample %d step %d: %w", k, s, err)
+		for s := range sh.acc {
+			for i := range sh.acc[s] {
+				sh.acc[s][i].Reset()
 			}
-			record(res, acc, opts, k, s, st.State())
 		}
-		res.SamplesRun = k + 1
-		if sampleMS != nil {
-			sampleMS.ObserveSince(sampleStart)
-			samplesTotal.Inc()
+		u := make([]float64, n)
+		for k := sh.lo; k < sh.hi; k++ {
+			var sampleStart time.Time
+			if sampleMS != nil {
+				sampleStart = time.Now()
+			}
+			xiG, xiL := drawSample(opts, lhsDraws, k)
+			g, c, rhs := sys.Realize(xiG, xiL)
+			st, err := transient.NewStepper(g, c, transient.Options{
+				Step: opts.Step, Steps: opts.Steps, Method: opts.Method,
+				Symbolic: sym, ReuseFactor: reuse[worker], Obs: opts.Obs,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("montecarlo: sample %d: %w", k, err)
+			}
+			reuse[worker] = st.Factor()
+			rhs(0, u)
+			if err := st.InitDC(u); err != nil {
+				return nil, fmt.Errorf("montecarlo: sample %d DC: %w", k, err)
+			}
+			record(res, sh.acc, opts, k, 0, st.State())
+			for s := 1; s <= opts.Steps; s++ {
+				rhs(float64(s)*opts.Step, u)
+				if err := st.Advance(u); err != nil {
+					return nil, fmt.Errorf("montecarlo: sample %d step %d: %w", k, s, err)
+				}
+				record(res, sh.acc, opts, k, s, st.State())
+			}
+			if sampleMS != nil {
+				sampleMS.ObserveSince(sampleStart)
+				workerMS[worker].ObserveSince(sampleStart)
+				samplesTotal.Inc()
+			}
 		}
+		return sh, nil
 	}
+	mergeChunk := func(_ int, sh *mcShard) error {
+		for s := range acc {
+			for i := range acc[s] {
+				acc[s][i].Merge(&sh.acc[s][i])
+			}
+		}
+		res.SamplesRun = sh.hi
+		shardPool.Put(sh)
+		return nil
+	}
+	if err := parallel.OrderedChunks(workers, chunks, 2*workers, runChunk, mergeChunk); err != nil {
+		return nil, err
+	}
+
 	reg.Gauge("montecarlo.elapsed_ms").Set(float64(time.Since(runStart)) / float64(time.Millisecond))
 	res.Mean = make([][]float64, nsteps)
 	res.Variance = make([][]float64, nsteps)
@@ -159,13 +258,21 @@ func Run(sys *mna.System, opts Options) (*Result, error) {
 	return res, nil
 }
 
-func drawSample(rng *rand.Rand, lhs [][]float64, k int) (xiG, xiL float64) {
+// drawSample produces sample k's parameter realization. In i.i.d. mode
+// each sample owns the substream keyed by its index — two NormFloat64
+// draws from a stream no other sample touches — so the value depends
+// only on (Seed, k). Latin hypercube mode reads the precomputed table.
+func drawSample(opts Options, lhs [][]float64, k int) (xiG, xiL float64) {
 	if lhs != nil {
 		return lhs[k][0], lhs[k][1]
 	}
+	rng := randvar.NewStream(opts.Seed, int64(k))
 	return rng.NormFloat64(), rng.NormFloat64()
 }
 
+// record pushes sample k's state at one step into the chunk-private
+// accumulators and, when tracking is on, stores the trace row. Traces
+// are indexed by sample, so workers write disjoint entries.
 func record(res *Result, acc [][]randvar.Running, opts Options, sample, step int, x []float64) {
 	for i, v := range x {
 		acc[step][i].Push(v)

@@ -1,6 +1,7 @@
 package montecarlo
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -186,10 +187,77 @@ func TestTrapezoidalMethod(t *testing.T) {
 }
 
 func TestOptionsValidate(t *testing.T) {
-	if err := (Options{Samples: 0, Step: 1, Steps: 1}).Validate(); err == nil {
+	if err := (Options{Samples: 0, Step: 1, Steps: 1}).Validate(16); err == nil {
 		t.Error("zero samples accepted")
 	}
-	if err := (Options{Samples: 1, Step: 0, Steps: 1}).Validate(); err == nil {
+	if err := (Options{Samples: 1, Step: 0, Steps: 1}).Validate(16); err == nil {
 		t.Error("zero step accepted")
+	}
+	if err := (Options{Samples: 1, Step: 1, Steps: 1}).Validate(16); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBadTrackNodes(t *testing.T) {
+	var tne *TrackNodeError
+	err := (Options{Samples: 1, Step: 1, Steps: 1, TrackNodes: []int{0, 16}}).Validate(16)
+	if !errors.As(err, &tne) {
+		t.Fatalf("out-of-range node: err %T (%v), want *TrackNodeError", err, err)
+	}
+	if tne.Node != 16 || tne.N != 16 {
+		t.Errorf("TrackNodeError = %+v", tne)
+	}
+	err = (Options{Samples: 1, Step: 1, Steps: 1, TrackNodes: []int{-1}}).Validate(0)
+	if !errors.As(err, &tne) {
+		t.Fatalf("negative node: err %T (%v), want *TrackNodeError", err, err)
+	}
+	// Run must surface the error instead of panicking mid-loop.
+	sys := testGrid()
+	if _, err := Run(sys, Options{Samples: 2, Step: 5e-11, Steps: 2, TrackNodes: []int{sys.N}}); err == nil {
+		t.Error("Run accepted an out-of-range TrackNodes entry")
+	}
+}
+
+// TestParallelDeterminism is the tentpole's acceptance criterion: the
+// full result tensors must be bit-identical across worker counts.
+func TestParallelDeterminism(t *testing.T) {
+	sys := testGrid()
+	base := Options{Samples: 61, Step: 5e-11, Steps: 8, Seed: 42, TrackNodes: []int{15}}
+	var ref *Result
+	for _, w := range []int{1, 2, 4} {
+		opt := base
+		opt.Workers = w
+		res, err := Run(sys, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SamplesRun != base.Samples {
+			t.Fatalf("workers=%d: ran %d samples", w, res.SamplesRun)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		for s := range ref.Mean {
+			for i := range ref.Mean[s] {
+				if res.Mean[s][i] != ref.Mean[s][i] {
+					t.Fatalf("workers=%d: mean differs at step %d node %d: %.17g vs %.17g",
+						w, s, i, res.Mean[s][i], ref.Mean[s][i])
+				}
+				if res.Variance[s][i] != ref.Variance[s][i] {
+					t.Fatalf("workers=%d: variance differs at step %d node %d: %.17g vs %.17g",
+						w, s, i, res.Variance[s][i], ref.Variance[s][i])
+				}
+			}
+		}
+		for k := range ref.Traces {
+			for s := range ref.Traces[k] {
+				for j := range ref.Traces[k][s] {
+					if res.Traces[k][s][j] != ref.Traces[k][s][j] {
+						t.Fatalf("workers=%d: trace differs at sample %d step %d", w, k, s)
+					}
+				}
+			}
+		}
 	}
 }

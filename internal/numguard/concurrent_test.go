@@ -1,0 +1,148 @@
+package numguard
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestLadderConcurrentSolves hammers one shared ladder from many
+// goroutines (the decoupled-Galerkin usage pattern: one factor, N+1
+// independent right-hand sides per step). Run under -race this checks
+// the mutex-guarded rung state and pooled scratch; the assertions check
+// that every solution is still verified-correct.
+func TestLadderConcurrentSolves(t *testing.T) {
+	rep := &Report{}
+	lad := NewLadder("step", Config{VerifyEvery: 1}, spd2, spd2.normInf(),
+		[]Rung{{Name: "exact", Prepare: func() (Solver, error) { return SolverFunc(spd2Solve), nil }}}, rep)
+
+	const workers, solves = 8, 200
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			x := make([]float64, 2)
+			b := []float64{float64(w + 1), float64(2*w + 1)}
+			for k := 1; k <= solves; k++ {
+				if err := lad.Solve(k, x, b); err != nil {
+					errs[w] = err
+					return
+				}
+				want := make([]float64, 2)
+				spd2Solve(want, b)
+				if math.Abs(x[0]-want[0]) > 1e-12 || math.Abs(x[1]-want[1]) > 1e-12 {
+					errs[w] = fmt.Errorf("worker %d solve %d: got %v want %v", w, k, x, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rep.Verified != workers*solves {
+		t.Errorf("Verified = %d, want %d", rep.Verified, workers*solves)
+	}
+	if !rep.Healthy() {
+		t.Errorf("report not healthy: %s", rep.Summary())
+	}
+}
+
+// TestLadderConcurrentEscalationCoalesces makes every worker hit the
+// same broken first rung at once: exactly one transition must be
+// recorded (the losers coalesce into retries), and every worker must
+// land on the good rung with a correct solution.
+func TestLadderConcurrentEscalationCoalesces(t *testing.T) {
+	rep := &Report{}
+	bad := SolverFunc(func(x, b []float64) {
+		for i := range x {
+			x[i] = math.NaN()
+		}
+	})
+	lad := NewLadder("step", Config{VerifyEvery: 1}, spd2, spd2.normInf(), []Rung{
+		{Name: "poisoned", Prepare: func() (Solver, error) { return bad, nil }},
+		{Name: "exact", Prepare: func() (Solver, error) { return SolverFunc(spd2Solve), nil }},
+	}, rep)
+
+	const workers = 8
+	// Barrier so all workers race the same rung-0 failure window.
+	var start sync.WaitGroup
+	start.Add(workers)
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			x := make([]float64, 2)
+			b := []float64{1, float64(w)}
+			start.Done()
+			start.Wait()
+			if err := lad.Solve(1, x, b); err != nil {
+				errs[w] = err
+				return
+			}
+			want := make([]float64, 2)
+			spd2Solve(want, b)
+			if math.Abs(x[0]-want[0]) > 1e-12 || math.Abs(x[1]-want[1]) > 1e-12 {
+				errs[w] = fmt.Errorf("worker %d: got %v want %v", w, x, want)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(rep.Transitions) != 1 {
+		t.Errorf("transitions = %d, want exactly 1 (coalesced): %+v", len(rep.Transitions), rep.Transitions)
+	}
+	if rep.Transitions[0].From != "poisoned" || rep.Transitions[0].To != "exact" {
+		t.Errorf("unexpected transition: %+v", rep.Transitions[0])
+	}
+	if got := lad.Rung(); got != "exact" {
+		t.Errorf("final rung %q, want exact", got)
+	}
+	if rep.NaNEvents < 1 {
+		t.Errorf("NaN events = %d, want >= 1", rep.NaNEvents)
+	}
+}
+
+// TestReportSnapshotWhileMutating reads a snapshot concurrently with
+// writers; -race validates the locking.
+func TestReportSnapshotWhileMutating(t *testing.T) {
+	rep := &Report{}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			rep.Accept(1e-12)
+			rep.AddRefinement()
+			rep.MarkRefinedSolve()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			snap := rep.Snapshot()
+			if snap.Refinements < 0 || snap.Verified < 0 {
+				t.Error("impossible snapshot")
+				return
+			}
+			_ = rep.Summary()
+			_ = rep.Healthy()
+		}
+	}()
+	wg.Wait()
+	if rep.Verified != 1000 || rep.Refinements != 1000 || rep.RefinedSolves != 1000 {
+		t.Errorf("final counts %d/%d/%d, want 1000 each", rep.Verified, rep.Refinements, rep.RefinedSolves)
+	}
+}

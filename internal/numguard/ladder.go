@@ -3,6 +3,7 @@ package numguard
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"opera/internal/numguard/inject"
 )
@@ -19,7 +20,14 @@ type Rung struct {
 // Ladder runs verified solves against an ordered list of rungs,
 // escalating when a rung's factorization fails, its solution is
 // non-finite, or its residual cannot be refined below tolerance.
-// A Ladder is not safe for concurrent use.
+//
+// A Ladder is safe for concurrent Solve calls on disjoint x/b pairs
+// (the decoupled-Galerkin workers share one ladder): rung state is
+// mutex-guarded, residual/refinement scratch is pooled per call, and an
+// escalation requested by a worker that lost the race to another
+// worker's escalation is coalesced rather than double-counted. The
+// rungs' Solvers must themselves tolerate concurrent SolveTo calls —
+// true of every factorization in internal/factor.
 type Ladder struct {
 	Stage string // labels transitions/diagnoses ("step", "dc", ...)
 
@@ -27,11 +35,18 @@ type Ladder struct {
 	op     Operator
 	anorm  float64
 	rungs  []Rung
+	report *Report
+
+	mu     sync.Mutex
 	cur    int
 	solver Solver
 	last   Solver // most recent usable solver, kept across escalations for diagnosis
-	report *Report
 
+	scratch sync.Pool // *ladderScratch
+}
+
+// ladderScratch carries the per-call residual and correction vectors.
+type ladderScratch struct {
 	r, dx []float64
 }
 
@@ -51,19 +66,44 @@ func (l *Ladder) Report() *Report { return l.report }
 // Rung returns the name of the rung currently in use (after at least
 // one successful Prepare), or the name of the next rung to try.
 func (l *Ladder) Rung() string {
-	if l.cur < len(l.rungs) {
-		return l.rungs[l.cur].Name
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rungName(l.cur)
+}
+
+// rungName maps a rung index to its display name. The rung list is
+// immutable, so this needs no lock.
+func (l *Ladder) rungName(idx int) string {
+	if idx < len(l.rungs) {
+		return l.rungs[idx].Name
 	}
 	return "exhausted"
+}
+
+func (l *Ladder) nextNameLocked(idx int) string {
+	if idx+1 < len(l.rungs) {
+		return l.rungs[idx+1].Name
+	}
+	return ""
 }
 
 // Solver prepares (if necessary) and returns the current rung's solver,
 // escalating past rungs whose factorization fails. It is used by
 // callers that need the raw factor (e.g. as a preconditioner).
 func (l *Ladder) Solver(step int) (Solver, error) {
+	s, _, err := l.acquire(step)
+	return s, err
+}
+
+// acquire returns the current rung's solver together with the rung
+// index it belongs to, preparing lazily and skipping rungs whose
+// factorization fails.
+func (l *Ladder) acquire(step int) (Solver, int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	for l.solver == nil {
 		if l.cur >= len(l.rungs) {
-			return nil, &Diagnosis{
+			return nil, l.cur, &Diagnosis{
 				Stage: l.Stage, Step: step, Rung: "exhausted",
 				Reason: "no rung produced a usable factorization",
 			}
@@ -77,21 +117,14 @@ func (l *Ladder) Solver(step int) (Solver, error) {
 			s, err = r.Prepare()
 		}
 		if err != nil {
-			l.recordTransition(step, r.Name, l.nextName(), fmt.Sprintf("factorization failed: %v", err))
+			l.recordTransition(step, r.Name, l.nextNameLocked(l.cur), fmt.Sprintf("factorization failed: %v", err))
 			l.cur++
 			continue
 		}
 		l.solver = s
 		l.last = s
 	}
-	return l.solver, nil
-}
-
-func (l *Ladder) nextName() string {
-	if l.cur+1 < len(l.rungs) {
-		return l.rungs[l.cur+1].Name
-	}
-	return ""
+	return l.solver, l.cur, nil
 }
 
 func (l *Ladder) recordTransition(step int, from, to, reason string) {
@@ -100,16 +133,32 @@ func (l *Ladder) recordTransition(step int, from, to, reason string) {
 	})
 }
 
-// escalate abandons the current rung. It returns false when no rung is
+// escalateFrom abandons rung idx. When another worker already escalated
+// past idx the call coalesces into a plain retry (no transition is
+// recorded twice for one bad factor). It returns false when no rung is
 // left.
-func (l *Ladder) escalate(step int, reason string) bool {
-	l.recordTransition(step, l.Rung(), l.nextName(), reason)
+func (l *Ladder) escalateFrom(step, idx int, reason string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cur != idx {
+		return l.cur < len(l.rungs)
+	}
+	l.recordTransition(step, l.rungName(idx), l.nextNameLocked(idx), reason)
 	l.cur++
 	l.solver = nil
 	if step > 0 {
 		l.report.AddStepRetry()
 	}
 	return l.cur < len(l.rungs)
+}
+
+func (l *Ladder) getScratch(n int) *ladderScratch {
+	if sc, _ := l.scratch.Get().(*ladderScratch); sc != nil && cap(sc.r) >= n {
+		sc.r = sc.r[:n]
+		sc.dx = sc.dx[:n]
+		return sc
+	}
+	return &ladderScratch{r: make([]float64, n), dx: make([]float64, n)}
 }
 
 // Solve computes x ← A⁻¹·b with verification: non-finite sentinel on
@@ -119,57 +168,55 @@ func (l *Ladder) escalate(step int, reason string) bool {
 // tolerance. It returns a *Diagnosis when the ladder is exhausted —
 // never a silently wrong x.
 func (l *Ladder) Solve(step int, x, b []float64) error {
-	if len(l.r) != len(b) {
-		l.r = make([]float64, len(b))
-		l.dx = make([]float64, len(b))
-	}
+	sc := l.getScratch(len(b))
+	defer l.scratch.Put(sc)
 	var history []float64
 	for {
-		s, err := l.Solver(step)
+		s, idx, err := l.acquire(step)
 		if err != nil {
 			if d, ok := err.(*Diagnosis); ok {
 				d.Residuals = history
 			}
 			return err
 		}
-		rung := l.Rung()
+		rung := l.rungName(idx)
 		s.SolveTo(x, b)
 		inject.CorruptSolve(rung, step, x)
 		if !Finite(x) {
 			l.report.NonFinite()
 			history = append(history, math.Inf(1))
-			if l.escalate(step, "non-finite solution") {
+			if l.escalateFrom(step, idx, "non-finite solution") {
 				continue
 			}
-			return l.diagnose(step, rung, history, "non-finite solution on the last rung")
+			return l.diagnose(step, rung, history, "non-finite solution on the last rung", len(b))
 		}
 		if !l.cfg.ShouldVerify(step) {
 			return nil
 		}
-		res := ScaledResidual(l.op, l.anorm, l.r, x, b)
+		res := ScaledResidual(l.op, l.anorm, sc.r, x, b)
 		history = append(history, res)
 		if res <= l.cfg.ResidualTol {
 			l.accept(res)
 			return nil
 		}
 		// Iterative refinement: solve on the residual, add the
-		// correction. The residual vector is already in l.r.
+		// correction. The residual vector is already in sc.r.
 		refined := false
 		for sweep := 0; sweep < l.cfg.MaxRefine && res > l.cfg.ResidualTol && !math.IsInf(res, 1); sweep++ {
-			s.SolveTo(l.dx, l.r)
-			inject.CorruptSolve(rung, step, l.dx)
-			if !Finite(l.dx) {
+			s.SolveTo(sc.dx, sc.r)
+			inject.CorruptSolve(rung, step, sc.dx)
+			if !Finite(sc.dx) {
 				l.report.NonFinite()
 				res = math.Inf(1)
 				history = append(history, res)
 				break
 			}
 			for i := range x {
-				x[i] += l.dx[i]
+				x[i] += sc.dx[i]
 			}
 			l.report.AddRefinement()
 			refined = true
-			res = ScaledResidual(l.op, l.anorm, l.r, x, b)
+			res = ScaledResidual(l.op, l.anorm, sc.r, x, b)
 			history = append(history, res)
 		}
 		if refined {
@@ -179,11 +226,11 @@ func (l *Ladder) Solve(step int, x, b []float64) error {
 			l.accept(res)
 			return nil
 		}
-		if l.escalate(step, fmt.Sprintf("residual %.3g above tolerance %.3g after %d refinement sweeps",
+		if l.escalateFrom(step, idx, fmt.Sprintf("residual %.3g above tolerance %.3g after %d refinement sweeps",
 			res, l.cfg.ResidualTol, l.cfg.MaxRefine)) {
 			continue
 		}
-		return l.diagnose(step, rung, history, "residual above tolerance on every rung")
+		return l.diagnose(step, rung, history, "residual above tolerance on every rung", len(b))
 	}
 }
 
@@ -191,10 +238,13 @@ func (l *Ladder) accept(res float64) {
 	l.report.Accept(res)
 }
 
-func (l *Ladder) diagnose(step int, rung string, history []float64, reason string) error {
+func (l *Ladder) diagnose(step int, rung string, history []float64, reason string, n int) error {
 	d := &Diagnosis{Stage: l.Stage, Step: step, Rung: rung, Residuals: history, Reason: reason}
-	if s := l.last; s != nil {
-		d.Cond1 = CondEst1(len(l.r), l.anorm, func(x, b []float64) { s.SolveTo(x, b) })
+	l.mu.Lock()
+	s := l.last
+	l.mu.Unlock()
+	if s != nil {
+		d.Cond1 = CondEst1(n, l.anorm, func(x, b []float64) { s.SolveTo(x, b) })
 	}
 	return d
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"opera/internal/obs"
 )
@@ -111,7 +112,13 @@ func (t Transition) String() string {
 // mirrored onto named metrics — the registry is the canonical
 // instrumentation sink; the struct fields remain as the structured
 // per-analysis view that errors and the CLI summary read.
+//
+// All mutating methods are safe for concurrent use (parallel solve
+// workers share one report); read the exported fields only after the
+// analysis has finished, or through Snapshot while it runs.
 type Report struct {
+	mu sync.Mutex
+
 	// Transitions lists every rung escalation, in order.
 	Transitions []Transition
 	// Verified counts residual-verified solves; MaxResidual is the
@@ -161,10 +168,12 @@ func (r *Report) Bind(reg *obs.Registry) {
 // Accept records one residual-verified solve with the given scaled
 // residual.
 func (r *Report) Accept(res float64) {
+	r.mu.Lock()
 	r.Verified++
 	if res > r.MaxResidual {
 		r.MaxResidual = res
 	}
+	r.mu.Unlock()
 	r.mVerified.Inc()
 	r.mResidual.Observe(res)
 	r.mMaxResidual.SetMax(res)
@@ -172,35 +181,71 @@ func (r *Report) Accept(res float64) {
 
 // AddTransition records one ladder escalation.
 func (r *Report) AddTransition(t Transition) {
+	r.mu.Lock()
 	r.Transitions = append(r.Transitions, t)
+	r.mu.Unlock()
 	r.mEscalations.Inc()
 }
 
 // AddRefinement records one iterative-refinement sweep.
 func (r *Report) AddRefinement() {
+	r.mu.Lock()
 	r.Refinements++
+	r.mu.Unlock()
 	r.mRefinements.Inc()
 }
 
 // MarkRefinedSolve records that a solve needed at least one sweep.
-func (r *Report) MarkRefinedSolve() { r.RefinedSolves++ }
+func (r *Report) MarkRefinedSolve() {
+	r.mu.Lock()
+	r.RefinedSolves++
+	r.mu.Unlock()
+}
 
 // NonFinite records a solve whose output contained NaN/Inf.
 func (r *Report) NonFinite() {
+	r.mu.Lock()
 	r.NaNEvents++
+	r.mu.Unlock()
 	r.mNaN.Inc()
 }
 
 // AddStepRetry records a transient step re-solved on a higher rung.
 func (r *Report) AddStepRetry() {
+	r.mu.Lock()
 	r.StepRetries++
+	r.mu.Unlock()
 	r.mRetries.Inc()
+}
+
+// Snapshot returns a copy of the current counters, safe to read while
+// solves are still running.
+func (r *Report) Snapshot() Report {
+	if r == nil {
+		return Report{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Report{
+		Transitions:   append([]Transition(nil), r.Transitions...),
+		Verified:      r.Verified,
+		MaxResidual:   r.MaxResidual,
+		Refinements:   r.Refinements,
+		RefinedSolves: r.RefinedSolves,
+		NaNEvents:     r.NaNEvents,
+		StepRetries:   r.StepRetries,
+	}
 }
 
 // Healthy reports whether the analysis completed without escalations,
 // refinements or non-finite events.
 func (r *Report) Healthy() bool {
-	return r == nil || (len(r.Transitions) == 0 && r.Refinements == 0 && r.NaNEvents == 0)
+	if r == nil {
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.Transitions) == 0 && r.Refinements == 0 && r.NaNEvents == 0
 }
 
 // Summary renders a one-line digest for CLI output.
@@ -208,6 +253,8 @@ func (r *Report) Summary() string {
 	if r == nil {
 		return "numguard: off"
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s := fmt.Sprintf("%d solves verified, max residual %.2e, %d refinement sweeps",
 		r.Verified, r.MaxResidual, r.Refinements)
 	if len(r.Transitions) > 0 {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"sync"
@@ -90,6 +91,17 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 		r.histograms[name] = h
 	}
 	return h
+}
+
+// WorkerHistogram returns the per-worker variant of a histogram,
+// named "<base>.w<worker>" — e.g. montecarlo.sample_ms.w3. Parallel
+// loops register one per worker so -trace output shows how evenly the
+// pool is loaded.
+func (r *Registry) WorkerHistogram(base string, worker int, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.Histogram(fmt.Sprintf("%s.w%d", base, worker), bounds)
 }
 
 // Counter is a monotone event count, safe for concurrent use.

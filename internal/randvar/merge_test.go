@@ -1,0 +1,168 @@
+package randvar
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// mergeTolerance is the agreement demanded between a merged set of
+// shards and one serial accumulator over the same data.
+const mergeTolerance = 1e-12
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		return d
+	}
+	return d / scale
+}
+
+// TestMergeMatchesSerial is the property test of the satellite task:
+// split a random sample into random shards, accumulate each shard
+// separately, merge in order, and compare every derived statistic
+// against one serial accumulator to 1e-12.
+func TestMergeMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2005))
+	for trial := 0; trial < 50; trial++ {
+		n := 50 + rng.Intn(2000)
+		// Mix of scales and offsets so the higher moments are exercised
+		// away from zero.
+		mean := rng.NormFloat64() * 10
+		scale := math.Exp(rng.NormFloat64())
+		xs := make([]float64, n)
+		for i := range xs {
+			x := rng.NormFloat64()
+			xs[i] = mean + scale*(x+0.3*x*x) // skewed
+		}
+
+		var serial Running
+		for _, x := range xs {
+			serial.Push(x)
+		}
+
+		// Random shard boundaries (including possibly empty shards).
+		shards := 1 + rng.Intn(8)
+		cuts := make([]int, shards+1)
+		cuts[shards] = n
+		for i := 1; i < shards; i++ {
+			cuts[i] = rng.Intn(n + 1)
+		}
+		for i := 1; i < shards; i++ { // sort the interior cuts
+			for j := i; j > 0 && cuts[j] < cuts[j-1]; j-- {
+				cuts[j], cuts[j-1] = cuts[j-1], cuts[j]
+			}
+		}
+		var merged Running
+		for s := 0; s < shards; s++ {
+			var shard Running
+			for _, x := range xs[cuts[s]:cuts[s+1]] {
+				shard.Push(x)
+			}
+			merged.Merge(&shard)
+		}
+
+		checks := []struct {
+			name     string
+			got, ref float64
+		}{
+			{"mean", merged.Mean(), serial.Mean()},
+			{"variance", merged.Variance(), serial.Variance()},
+			{"skewness", merged.Skewness(), serial.Skewness()},
+			{"kurtosis", merged.ExcessKurtosis(), serial.ExcessKurtosis()},
+			{"min", merged.Min(), serial.Min()},
+			{"max", merged.Max(), serial.Max()},
+		}
+		if merged.N() != serial.N() {
+			t.Fatalf("trial %d: N = %d, want %d", trial, merged.N(), serial.N())
+		}
+		for _, c := range checks {
+			if relDiff(c.got, c.ref) > mergeTolerance {
+				t.Fatalf("trial %d (%d samples, %d shards): %s merged %.17g vs serial %.17g (rel %g)",
+					trial, n, shards, c.name, c.got, c.ref, relDiff(c.got, c.ref))
+			}
+		}
+	}
+}
+
+func TestMergeEmptyAndSelfCases(t *testing.T) {
+	var a, empty Running
+	a.Push(1)
+	a.Push(2)
+	a.Push(4)
+	want := a
+
+	// Merging an empty shard is a no-op.
+	a.Merge(&empty)
+	if a != want {
+		t.Errorf("merge of empty shard changed the accumulator: %+v vs %+v", a, want)
+	}
+	// Merging into an empty accumulator copies.
+	var b Running
+	b.Merge(&want)
+	if b != want {
+		t.Errorf("merge into empty accumulator: %+v vs %+v", b, want)
+	}
+	// Reset clears.
+	b.Reset()
+	if b.N() != 0 || b.Mean() != 0 || b.Variance() != 0 {
+		t.Errorf("Reset left state: %+v", b)
+	}
+}
+
+// TestMergeOrderIsDeterministic documents the contract the parallel
+// Monte Carlo merge relies on: the same shards merged in the same order
+// give bit-identical accumulators, run to run.
+func TestMergeOrderIsDeterministic(t *testing.T) {
+	build := func() Running {
+		rng := rand.New(rand.NewSource(7))
+		var total Running
+		for s := 0; s < 16; s++ {
+			var shard Running
+			for i := 0; i < 100; i++ {
+				shard.Push(rng.NormFloat64())
+			}
+			total.Merge(&shard)
+		}
+		return total
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Errorf("identical merge sequences disagree: %+v vs %+v", a, b)
+	}
+}
+
+func BenchmarkRunningMerge(b *testing.B) {
+	shards := make([]Running, 64)
+	rng := rand.New(rand.NewSource(1))
+	for s := range shards {
+		for i := 0; i < 1000; i++ {
+			shards[s].Push(rng.NormFloat64())
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var total Running
+		for s := range shards {
+			total.Merge(&shards[s])
+		}
+		if total.N() == 0 {
+			b.Fatal("empty merge")
+		}
+	}
+}
+
+func ExampleRunning_Merge() {
+	var left, right Running
+	for i := 0; i < 4; i++ {
+		left.Push(float64(i))
+	}
+	for i := 4; i < 8; i++ {
+		right.Push(float64(i))
+	}
+	left.Merge(&right)
+	fmt.Printf("n=%d mean=%.1f\n", left.N(), left.Mean())
+	// Output: n=8 mean=3.5
+}

@@ -61,6 +61,50 @@ func (r *Running) Push(x float64) {
 	r.m2 += term1
 }
 
+// Merge folds another accumulator into r, as if every observation
+// pushed into o had been pushed into r. It uses the Chan/Pébay pairwise
+// combination formulas through the fourth central moment, which are
+// numerically stable for shards of any relative size. Deterministic
+// parallel Monte Carlo relies on merging shards in ascending shard
+// order: the combination is exact in real arithmetic but, like any
+// floating-point sum, associates — a fixed merge order makes the result
+// independent of worker count.
+func (r *Running) Merge(o *Running) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = *o
+		return
+	}
+	na, nb := float64(r.n), float64(o.n)
+	n := na + nb
+	delta := o.mean - r.mean
+	d2 := delta * delta
+
+	m2 := r.m2 + o.m2 + d2*na*nb/n
+	m3 := r.m3 + o.m3 +
+		delta*d2*na*nb*(na-nb)/(n*n) +
+		3*delta*(na*o.m2-nb*r.m2)/n
+	m4 := r.m4 + o.m4 +
+		d2*d2*na*nb*(na*na-na*nb+nb*nb)/(n*n*n) +
+		6*d2*(na*na*o.m2+nb*nb*r.m2)/(n*n) +
+		4*delta*(na*o.m3-nb*r.m3)/n
+
+	r.mean += delta * nb / n
+	r.m2, r.m3, r.m4 = m2, m3, m4
+	r.n += o.n
+	if o.min < r.min {
+		r.min = o.min
+	}
+	if o.max > r.max {
+		r.max = o.max
+	}
+}
+
+// Reset clears the accumulator for reuse.
+func (r *Running) Reset() { *r = Running{} }
+
 // N returns the sample count.
 func (r *Running) N() int { return r.n }
 

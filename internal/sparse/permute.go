@@ -42,6 +42,28 @@ func InvPermVec(p []int, x []float64) []float64 {
 	return y
 }
 
+// PermVecTo gathers x into y according to y[k] = x[p[k]] without
+// allocating. y must have length len(p) and must not alias x.
+func PermVecTo(y []float64, p []int, x []float64) {
+	if len(y) != len(p) {
+		panic(fmt.Sprintf("sparse: PermVecTo length mismatch: y %d, p %d", len(y), len(p)))
+	}
+	for k, pk := range p {
+		y[k] = x[pk]
+	}
+}
+
+// InvPermVecTo scatters x into y according to y[p[k]] = x[k] without
+// allocating. y must have length len(p) and must not alias x.
+func InvPermVecTo(y []float64, p []int, x []float64) {
+	if len(y) != len(p) {
+		panic(fmt.Sprintf("sparse: InvPermVecTo length mismatch: y %d, p %d", len(y), len(p)))
+	}
+	for k, pk := range p {
+		y[pk] = x[k]
+	}
+}
+
 // Permute returns P·A·Qᵀ where P and Q are the permutations given by
 // prow and pcol in "new = old[p[new]]" convention: result(i,j) =
 // A(prow[i], pcol[j]). Pass nil for an identity permutation.

@@ -87,9 +87,10 @@ type Stepper struct {
 	x      []float64 // current state
 	t      float64
 	stepNo int
-	// Workspaces.
-	b, cx, gx, uPrev []float64
-	havePrev         bool
+	// Workspaces. y is the factor-solve scratch, so a stepper in a
+	// steady loop performs zero per-solve allocations.
+	b, cx, gx, uPrev, y []float64
+	havePrev            bool
 
 	// Instruments (nil when Options.Obs is nil; Advance checks stepMS
 	// so the disabled path never reads the clock).
@@ -126,6 +127,7 @@ func NewStepper(g, c *sparse.Matrix, opts Options) (*Stepper, error) {
 		x:    make([]float64, n),
 		b:    make([]float64, n),
 		cx:   make([]float64, n),
+		y:    make([]float64, n),
 	}
 	if reg := opts.Obs.Registry(); reg != nil {
 		st.stepMS = reg.Histogram("transient.step_ms", obs.MSBuckets)
@@ -158,13 +160,14 @@ func (s *Stepper) Factorer() string {
 	return "cholesky"
 }
 
-// solveTo dispatches to the active factorization rung.
+// solveTo dispatches to the active factorization rung, reusing the
+// stepper-owned scratch vector.
 func (s *Stepper) solveTo(x, b []float64) {
 	if s.lu != nil {
-		s.lu.SolveTo(x, b)
+		s.lu.SolveToWithScratch(x, b, s.y)
 		return
 	}
-	s.fac.SolveTo(x, b)
+	s.fac.SolveToWithScratch(x, b, s.y)
 }
 
 // guardState checks the freshly computed state for NaN/Inf; on
