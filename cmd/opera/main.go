@@ -53,8 +53,18 @@ func main() {
 		traceOut = flag.String("trace-out", "", "write the trace + metrics as JSON to this file")
 		pprof    = flag.String("pprof-addr", "", "serve net/http/pprof, expvar and live trace/metrics on this address (e.g. localhost:6060)")
 		workers  = flag.Int("workers", 0, "worker pool size for the parallel hot loops; 0 = GOMAXPROCS (results are identical for any value)")
+		remote   = flag.String("remote", "", "submit to a running operad at this address instead of solving locally")
+		priority = flag.String("priority", "interactive", "remote job priority: interactive or batch")
+		timeout  = flag.Duration("timeout", 0, "remote job deadline; 0 = server default")
 	)
 	flag.Parse()
+
+	if *remote != "" {
+		runRemote(*remote, buildRemoteRequest(*netPath, *nodes, *seed, *order,
+			*step, *steps, *ordering, *track, *leakage, *sigmaI, *regions,
+			*workers, *priority, *timeout))
+		return
+	}
 
 	tr := newTracer(*trace, *traceOut, *pprof)
 	defer exportTrace(tr, *trace, *traceOut)

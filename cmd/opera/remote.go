@@ -1,0 +1,118 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"opera/internal/grid"
+	"opera/internal/service"
+)
+
+// runRemote submits the analysis described by the local flags to a
+// running operad and prints the same summary the local path would. The
+// request encoding is the service package's own Client, so the CLI and
+// the daemon can never drift apart on the wire format.
+func runRemote(addr string, req service.Request) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	c := service.NewClient(addr)
+	sub, err := c.Submit(ctx, req)
+	if err != nil {
+		fatal("opera: remote submit: %v", err)
+	}
+	how := "queued"
+	switch {
+	case sub.Cached:
+		how = "served from cache"
+	case sub.Coalesced:
+		how = "coalesced onto in-flight job"
+	}
+	fmt.Printf("opera: remote job %s on %s (%s)\n", sub.ID, addr, how)
+	st, err := c.Wait(ctx, sub.ID)
+	if err != nil {
+		fatal("opera: remote wait: %v", err)
+	}
+	if st.State != service.StateDone {
+		if st.Diagnosis != nil {
+			fmt.Fprintf(os.Stderr, "opera: diagnosis: %v\n", st.Diagnosis)
+		}
+		fatal("opera: remote job %s: %s", st.State, st.Error)
+	}
+	res, err := c.Result(ctx, sub.ID)
+	if err != nil {
+		fatal("opera: remote result: %v", err)
+	}
+	printRemote(res, st)
+}
+
+func printRemote(res *service.JobResult, st service.JobStatus) {
+	fmt.Printf("opera: %s analysis, %d nodes, %d steps", res.Kind, res.N, res.Steps)
+	if res.Basis > 0 {
+		fmt.Printf(", basis %d", res.Basis)
+	}
+	fmt.Println()
+	if res.Factorer != "" {
+		note := ""
+		if res.Decoupled {
+			note = " [decoupled Eq. 27 path]"
+		}
+		fmt.Printf("opera: solved %d-unknown augmented system (%s, nnz(L)=%d) in %.3fs%s\n",
+			res.AugmentedN, res.Factorer, res.FactorNNZ, res.ElapsedMS/1000, note)
+	}
+	if res.SamplesRun > 0 {
+		fmt.Printf("opera: %d Monte Carlo samples in %.3fs\n", res.SamplesRun, res.ElapsedMS/1000)
+	}
+	if g := res.Guard; g != nil {
+		fmt.Printf("numguard: %s\n", g.Summary)
+		for _, tr := range g.Transitions {
+			fmt.Printf("numguard:   transition %s\n", tr)
+		}
+	}
+	drop := res.VDD - res.Mean[res.WorstStep][res.WorstNode]
+	fmt.Printf("worst node %d at step %d: mean drop %.2f%% VDD, σ %.4g V",
+		res.WorstNode, res.WorstStep, res.WorstDropPct, res.WorstStd)
+	if drop > 0 {
+		fmt.Printf(", ±3σ = ±%.0f%% of the drop", 300*res.WorstStd/drop)
+	}
+	fmt.Println()
+	fmt.Printf("opera: queued %.0f ms, ran %.0f ms on the server\n", st.QueuedMS, st.RunMS)
+}
+
+// buildRemoteRequest maps the CLI flags onto the wire request. A
+// -netlist file is inlined; otherwise the generator spec itself is
+// shipped (tiny, and the server builds the identical grid — same
+// generator, same seed).
+func buildRemoteRequest(netPath string, nodes int, seed int64, order int,
+	step float64, steps int, ordering, track string,
+	leakage bool, sigmaI float64, regions int, workers int,
+	priority string, timeout time.Duration) service.Request {
+	req := service.Request{
+		Order: order, Step: step, Steps: steps, Ordering: ordering,
+		TrackNodes: parseTrack(track),
+		Workers:    workers,
+		Priority:   priority,
+		TimeoutMS:  int64(timeout / time.Millisecond),
+	}
+	if leakage {
+		req.Analysis = service.KindLeakage
+		req.Regions = regions
+		req.SigmaLogI = sigmaI
+	}
+	if netPath != "" {
+		data, err := os.ReadFile(netPath)
+		if err != nil {
+			fatal("opera: %v", err)
+		}
+		req.Netlist = string(data)
+	} else {
+		spec := grid.DefaultSpec(nodes, seed)
+		if leakage && regions > 1 {
+			spec.Regions = regions
+		}
+		req.Grid = &spec
+	}
+	return req
+}

@@ -1,0 +1,111 @@
+// Command operad is the long-running OPERA analysis service: it accepts
+// analysis jobs over HTTP/JSON, runs them through a bounded priority
+// queue with per-job deadlines and cooperative cancellation, and serves
+// results from a content-addressed cache so identical requests cost one
+// solve.
+//
+// Usage:
+//
+//	operad -addr :9130 -jobs 2 -queue 64 -cache-mb 256
+//
+// Submit with curl or `opera -remote`:
+//
+//	curl -s localhost:9130/v1/jobs -d '{"grid":{"rows":20,"cols":20,...}}'
+//	opera -remote localhost:9130 -nodes 1000 -order 2
+//
+// SIGINT/SIGTERM drains: readiness flips to 503 immediately, in-flight
+// jobs get -drain-timeout to finish, stragglers are canceled at their
+// next step boundary, then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"opera/internal/factor"
+	"opera/internal/netlist"
+	"opera/internal/obs"
+	"opera/internal/order"
+	"opera/internal/service"
+	"opera/internal/sparse"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:9130", "HTTP listen address")
+		queueDepth   = flag.Int("queue", 64, "max queued jobs before submissions get 429")
+		jobs         = flag.Int("jobs", 2, "jobs executing concurrently")
+		workers      = flag.Int("workers", 0, "solver workers per job; 0 = GOMAXPROCS split across jobs")
+		cacheMB      = flag.Int64("cache-mb", 256, "result cache budget in MiB; 0 disables")
+		journalPath  = flag.String("journal", "", "JSON-lines job journal; unfinished jobs re-run on restart")
+		jobTimeout   = flag.Duration("job-timeout", 10*time.Minute, "default per-job deadline; 0 = none")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight jobs on shutdown")
+		maxBytes     = flag.Int64("max-netlist-bytes", 0, "max inline netlist size; 0 = default (256 MiB)")
+		maxNodes     = flag.Int("max-nodes", 0, "max circuit nodes; 0 = default (20M)")
+		withTrace    = flag.Bool("trace", false, "attach per-job span trees and metrics to results")
+	)
+	flag.Parse()
+
+	limits := netlist.DefaultLimits()
+	if *maxBytes > 0 {
+		limits.MaxBytes = *maxBytes
+	}
+	if *maxNodes > 0 {
+		limits.MaxNodes = *maxNodes
+	}
+	reg := obs.NewRegistry()
+	sparse.SetMetrics(reg)
+	order.SetMetrics(reg)
+	factor.SetMetrics(reg)
+
+	srv, err := service.New(service.Options{
+		QueueDepth:     *queueDepth,
+		ConcurrentJobs: *jobs,
+		SolverWorkers:  *workers,
+		CacheBytes:     *cacheMB << 20,
+		Limits:         limits,
+		DefaultTimeout: *jobTimeout,
+		JournalPath:    *journalPath,
+		Registry:       reg,
+		CollectTrace:   *withTrace,
+	})
+	if err != nil {
+		fatal("operad: %v", err)
+	}
+	hs, err := obs.StartHTTP(*addr, srv.Handler())
+	if err != nil {
+		fatal("operad: %v", err)
+	}
+	fmt.Printf("operad: serving on http://%s (queue %d, %d concurrent jobs, cache %d MiB)\n",
+		hs.Addr(), *queueDepth, *jobs, *cacheMB)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+
+	// Drain: readiness flips inside Shutdown before it blocks, and the
+	// HTTP server keeps answering status polls until the queue is empty.
+	fmt.Printf("operad: draining (up to %s)...\n", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Printf("operad: drain deadline hit, canceled outstanding jobs\n")
+	}
+	closeCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := hs.Close(closeCtx); err != nil {
+		fatal("operad: closing listener: %v", err)
+	}
+	fmt.Println("operad: drained, bye")
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Package cancel defines the repo-wide cancellation contract for the
+// long-running solve loops. Every hot loop (transient time stepping,
+// Monte Carlo sampling, the Galerkin per-basis fan-out) polls its
+// context at natural unit boundaries — one time step, one sample, one
+// basis solve — and stops with a structured *Error that wraps both the
+// ErrCanceled sentinel and the context's own error, so callers can
+// distinguish "the job was canceled" (errors.Is(err, cancel.ErrCanceled))
+// from numerical failure, and still see whether the cause was an
+// explicit cancel or a deadline (errors.Is(err, context.DeadlineExceeded)).
+//
+// The contract is: a canceled analysis returns within one unit of work
+// of the cancellation, leaves no goroutines behind, and leaves shared
+// solver state (factors, numguard ladders) reusable — cancellation is
+// an ordinary early return, never a panic or a poisoned state.
+package cancel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled is the sentinel every cancellation-induced error wraps.
+// Test with errors.Is(err, cancel.ErrCanceled).
+var ErrCanceled = errors.New("analysis canceled")
+
+// Error reports where a solve stopped when its context ended. It wraps
+// both ErrCanceled and the context error, so errors.Is works against
+// either (and against context.DeadlineExceeded for expired deadlines).
+type Error struct {
+	// Stage names the loop that observed the cancellation
+	// ("transient", "montecarlo", "galerkin.decoupled", ...).
+	Stage string
+	// Unit is the loop index at which the solve stopped (time step,
+	// sample or basis term, per Stage); -1 when not meaningful.
+	Unit int
+	// Cause is the context's error (context.Canceled or
+	// context.DeadlineExceeded).
+	Cause error
+}
+
+// Error formats the diagnosis.
+func (e *Error) Error() string {
+	if e.Unit >= 0 {
+		return fmt.Sprintf("cancel: %s stopped at unit %d: %v", e.Stage, e.Unit, e.Cause)
+	}
+	return fmt.Sprintf("cancel: %s stopped: %v", e.Stage, e.Cause)
+}
+
+// Unwrap exposes both the sentinel and the context cause.
+func (e *Error) Unwrap() []error { return []error{ErrCanceled, e.Cause} }
+
+// Poll returns nil when ctx is nil (cancellation disabled) or still
+// live, and a structured *Error once the context has been canceled or
+// its deadline has passed. It is cheap enough to call once per time
+// step / sample / basis solve.
+func Poll(ctx context.Context, stage string, unit int) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return &Error{Stage: stage, Unit: unit, Cause: err}
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package cancel
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestPollNilAndLiveContexts(t *testing.T) {
+	if err := Poll(nil, "x", 0); err != nil {
+		t.Fatalf("nil context must disable polling, got %v", err)
+	}
+	if err := Poll(context.Background(), "x", 0); err != nil {
+		t.Fatalf("live context must poll clean, got %v", err)
+	}
+}
+
+func TestPollCanceled(t *testing.T) {
+	ctx, cancelFn := context.WithCancel(context.Background())
+	cancelFn()
+	err := Poll(ctx, "transient", 7)
+	if err == nil {
+		t.Fatal("canceled context must return an error")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("error must wrap ErrCanceled: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error must wrap context.Canceled: %v", err)
+	}
+	var ce *Error
+	if !errors.As(err, &ce) {
+		t.Fatalf("error must be a *cancel.Error: %T", err)
+	}
+	if ce.Stage != "transient" || ce.Unit != 7 {
+		t.Errorf("structured fields lost: %+v", ce)
+	}
+}
+
+func TestPollDeadline(t *testing.T) {
+	ctx, cancelFn := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancelFn()
+	err := Poll(ctx, "montecarlo", -1)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline error must wrap both sentinels: %v", err)
+	}
+	if got := err.Error(); got == "" {
+		t.Fatal("empty error text")
+	}
+}

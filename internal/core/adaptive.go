@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"opera/internal/cancel"
 	"opera/internal/mna"
 )
 
@@ -60,6 +61,9 @@ func AnalyzeAdaptive(sys *mna.System, opts AdaptiveOptions) (*AdaptiveResult, er
 	out := &AdaptiveResult{}
 	prevMax := math.NaN()
 	for p := base.Order; p <= opts.MaxOrder; p++ {
+		if err := cancel.Poll(base.Ctx, "core.adaptive", p); err != nil {
+			return nil, err
+		}
 		o := base
 		o.Order = p
 		res, err := Analyze(sys, o)

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
+	"opera/internal/cancel"
 	"opera/internal/factor"
 	"opera/internal/galerkin"
 	"opera/internal/mna"
@@ -43,6 +45,9 @@ type LeakageOptions struct {
 	// Obs, when non-nil, receives the pipeline phase spans and solver
 	// metrics (see Options.Obs).
 	Obs *obs.Tracer
+	// Ctx, when non-nil, cancels the analysis cooperatively (see
+	// Options.Ctx).
+	Ctx context.Context
 }
 
 // Validate checks the options.
@@ -141,6 +146,7 @@ func AnalyzeLeakage(nl *netlist.Netlist, opts LeakageOptions) (*Result, error) {
 	return analyze(gsys, sys.VDD, Options{
 		Order: opts.Order, Step: opts.Step, Steps: opts.Steps,
 		TrackNodes: opts.TrackNodes, Workers: opts.Workers, Obs: opts.Obs,
+		Ctx: opts.Ctx,
 	})
 }
 
@@ -206,6 +212,9 @@ func RunLeakageMC(nl *netlist.Netlist, opts LeakageOptions, samples int, seed in
 		}
 	}
 	for k := 0; k < samples; k++ {
+		if err := cancel.Poll(opts.Ctx, "leakage-mc", k); err != nil {
+			return nil, err
+		}
 		for r := range xi {
 			xi[r] = rng.NormFloat64()
 			multiplier[r] = math.Exp(sigma*xi[r] - sigma*sigma/2)

@@ -1,0 +1,123 @@
+package galerkin
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"opera/internal/cancel"
+	"opera/internal/mna"
+	"opera/internal/pce"
+)
+
+// cancelTestSystem builds the Galerkin lift of the small test grid;
+// rhsOnly strips the operator variation (no on-die metal or gate-cap
+// sensitivity) so the decoupled Eq. 27 path is selected.
+func cancelTestSystem(t *testing.T, rhsOnly bool) *System {
+	t.Helper()
+	nl := smallGrid()
+	if rhsOnly {
+		for i := range nl.Resistors {
+			nl.Resistors[i].OnDie = false
+		}
+		for i := range nl.Pads {
+			nl.Pads[i].OnDie = false
+		}
+		for i := range nl.Caps {
+			nl.Caps[i].GateFrac = 0
+		}
+	}
+	sys, err := mna.Build(nl, mna.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gsys, err := FromMNA(sys, pce.NewHermiteBasis(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gsys
+}
+
+// TestSolveCancelAllPaths cancels each of the three solve paths from
+// inside the visit callback and checks every one stops within a step
+// with the structured error, leaks no worker goroutines, and leaves
+// the system solvable again (factors and the numguard ladder are not
+// poisoned by the abort).
+func TestSolveCancelAllPaths(t *testing.T) {
+	cases := []struct {
+		name    string
+		stage   string
+		rhsOnly bool
+		opts    Options
+	}{
+		{"decoupled", "galerkin.decoupled", true, Options{}},
+		{"coupled", "galerkin.coupled", false, Options{ForceCoupled: true}},
+		{"iterative", "galerkin.iterative", false, Options{ForceCoupled: true, Iterative: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			gsys := cancelTestSystem(t, tc.rhsOnly)
+			base := runtime.NumGoroutine()
+			ctx, stop := context.WithCancel(context.Background())
+			defer stop()
+			opts := tc.opts
+			opts.Step, opts.Steps, opts.Ctx, opts.Workers = tStep, 200, ctx, 4
+			last := -1
+			_, err := Solve(gsys, opts, func(step int, _ float64, _ [][]float64) {
+				last = step
+				if step == 2 {
+					stop()
+				}
+			})
+			if !errors.Is(err, cancel.ErrCanceled) {
+				t.Fatalf("want error wrapping cancel.ErrCanceled, got %v", err)
+			}
+			var ce *cancel.Error
+			if !errors.As(err, &ce) || ce.Stage != tc.stage {
+				t.Errorf("want *cancel.Error with stage %s, got %v", tc.stage, err)
+			}
+			if last > 3 {
+				t.Errorf("solve continued to step %d after cancel at step 2", last)
+			}
+			waitForGoroutines(t, base)
+
+			// The same system must solve cleanly afterwards: the abort
+			// left no half-updated state behind.
+			opts.Ctx = nil
+			opts.Steps = 5
+			res, err := Solve(gsys, opts, nil)
+			if err != nil {
+				t.Fatalf("rerun after cancel: %v", err)
+			}
+			if g := res.Guard(); g != nil && !g.Healthy() {
+				t.Errorf("rerun ladder unhealthy after cancel: %s", g.Summary())
+			}
+		})
+	}
+}
+
+// TestSolveCancelBeforeStart fails fast under a dead context, before
+// any factorization work.
+func TestSolveCancelBeforeStart(t *testing.T) {
+	gsys := cancelTestSystem(t, false)
+	ctx, stop := context.WithCancel(context.Background())
+	stop()
+	_, err := Solve(gsys, Options{Step: tStep, Steps: 5, Ctx: ctx}, nil)
+	if !errors.Is(err, cancel.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want ErrCanceled wrapping context.Canceled, got %v", err)
+	}
+}
+
+func waitForGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d now, %d before", runtime.NumGoroutine(), base)
+}

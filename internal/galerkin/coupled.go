@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"opera/internal/cancel"
 	"opera/internal/factor"
 	"opera/internal/iterative"
 	"opera/internal/numguard"
@@ -155,6 +156,9 @@ func solveCoupled(sys *System, opts Options, visit func(int, float64, [][]float6
 		visit(0, 0, outBlocks)
 	}
 	for k := 1; k <= opts.Steps; k++ {
+		if err := cancel.Poll(opts.Ctx, "galerkin.coupled", k); err != nil {
+			return Result{}, err
+		}
 		t := float64(k) * opts.Step
 		stepStart := time.Now()
 		sys.RHS(t, rhsBlocks)

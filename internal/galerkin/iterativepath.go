@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"opera/internal/cancel"
 	"opera/internal/factor"
 	"opera/internal/iterative"
 	"opera/internal/numguard"
@@ -183,6 +184,9 @@ func solveCoupledIterative(sys *System, opts Options, visit func(int, float64, [
 	}
 	cgOpts.M = preComp
 	for k := 1; k <= opts.Steps; k++ {
+		if err := cancel.Poll(opts.Ctx, "galerkin.iterative", k); err != nil {
+			return Result{}, err
+		}
 		t := float64(k) * opts.Step
 		stepStart := time.Now()
 		sys.RHS(t, rhsBlocks)

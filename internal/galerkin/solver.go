@@ -1,10 +1,12 @@
 package galerkin
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
+	"opera/internal/cancel"
 	"opera/internal/factor"
 	"opera/internal/numguard"
 	"opera/internal/obs"
@@ -75,6 +77,12 @@ type Options struct {
 	// galerkin.cg_iterations_total, numguard.*). Nil disables
 	// instrumentation at zero cost.
 	Obs *obs.Tracer
+	// Ctx, when non-nil, is polled at every time step (all three solve
+	// paths) and before every per-basis solve on the decoupled path; a
+	// canceled or expired context stops the solve within one step with
+	// a structured error wrapping cancel.ErrCanceled, leaving factors
+	// and the numguard ladder reusable. Nil disables the check.
+	Ctx context.Context
 }
 
 // Validate checks the options.
@@ -232,6 +240,9 @@ func solveDecoupled(sys *System, opts Options, visit func(int, float64, [][]floa
 	}
 	sys.RHS(0, rhsBlocks)
 	if err := parallel.ForEach(workers, b, func(_, m int) error {
+		if err := cancel.Poll(opts.Ctx, "galerkin.decoupled", m); err != nil {
+			return err
+		}
 		if err := dcLad.Solve(0, blocks[m], rhsBlocks[m]); err != nil {
 			return fmt.Errorf("galerkin: decoupled DC solve (basis %d): %w", m, err)
 		}
@@ -243,10 +254,16 @@ func solveDecoupled(sys *System, opts Options, visit func(int, float64, [][]floa
 		visit(0, 0, blocks)
 	}
 	for k := 1; k <= opts.Steps; k++ {
+		if err := cancel.Poll(opts.Ctx, "galerkin.decoupled", k); err != nil {
+			return Result{}, err
+		}
 		t := float64(k) * opts.Step
 		stepStart := time.Now()
 		sys.RHS(t, rhsBlocks)
 		if err := parallel.ForEach(workers, b, func(worker, m int) error {
+			if err := cancel.Poll(opts.Ctx, "galerkin.decoupled", k); err != nil {
+				return err
+			}
 			sc := &scratch[worker]
 			var solveStart time.Time
 			if workerMS[worker] != nil {

@@ -24,10 +24,12 @@
 package montecarlo
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
+	"opera/internal/cancel"
 	"opera/internal/factor"
 	"opera/internal/mna"
 	"opera/internal/obs"
@@ -59,6 +61,11 @@ type Options struct {
 	// montecarlo.elapsed_ms (plus the transient package's per-step
 	// metrics) on the tracer's registry.
 	Obs *obs.Tracer
+	// Ctx, when non-nil, is polled before every sample and every time
+	// step inside a sample; a canceled or expired context stops the run
+	// within one step with a structured error wrapping
+	// cancel.ErrCanceled. Nil disables the check.
+	Ctx context.Context
 }
 
 // TrackNodeError reports a TrackNodes entry outside the system's node
@@ -196,6 +203,9 @@ func Run(sys *mna.System, opts Options) (*Result, error) {
 		}
 		u := make([]float64, n)
 		for k := sh.lo; k < sh.hi; k++ {
+			if err := cancel.Poll(opts.Ctx, "montecarlo", k); err != nil {
+				return nil, err
+			}
 			var sampleStart time.Time
 			if sampleMS != nil {
 				sampleStart = time.Now()
@@ -216,6 +226,9 @@ func Run(sys *mna.System, opts Options) (*Result, error) {
 			}
 			record(res, sh.acc, opts, k, 0, st.State())
 			for s := 1; s <= opts.Steps; s++ {
+				if err := cancel.Poll(opts.Ctx, "montecarlo", k); err != nil {
+					return nil, err
+				}
 				rhs(float64(s)*opts.Step, u)
 				if err := st.Advance(u); err != nil {
 					return nil, fmt.Errorf("montecarlo: sample %d step %d: %w", k, s, err)

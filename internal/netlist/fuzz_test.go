@@ -2,6 +2,7 @@ package netlist
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -23,8 +24,27 @@ func FuzzParse(f *testing.F) {
 	f.Add(".nodes -5\n.end\n")
 	f.Add("R1 1\nI1 ( ) DC\nP1\n.end")
 	f.Add(".nodes 2\nI1 1 DC ( )\n.end\n")
+	// Limit-edge cases: element names at/over the fuzz limits below, a
+	// node count over the bound, many elements, and a card that is pure
+	// name.
+	f.Add(".nodes 2\nR" + strings.Repeat("n", 16) + " 1 2 1\nPp 1 1.2 0.1\n.end\n")
+	f.Add(".nodes 2\nR" + strings.Repeat("n", 17) + " 1 2 1\nPp 1 1.2 0.1\n.end\n")
+	f.Add(".nodes 99999999\n.end\n")
+	f.Add(".nodes 3\nRa 1 2 1\nRb 2 3 1\nRc 1 3 1\nRd 1 2 2\nPp 1 1.2 0.1\n.end\n")
+	f.Add("R\n.end\n")
 
 	f.Fuzz(func(t *testing.T, input string) {
+		// The limited reader must never panic either, and must only
+		// ever reject with ordinary errors (structured *LimitError for
+		// limit violations).
+		if _, err := ReadLimited(strings.NewReader(input), Limits{
+			MaxBytes: 96, MaxElements: 3, MaxNodes: 100, MaxNameLen: 16,
+		}); err != nil {
+			var le *LimitError
+			if errors.As(err, &le) && le.Limit <= 0 {
+				t.Fatalf("LimitError with nonpositive limit: %+v", le)
+			}
+		}
 		nl, err := Read(strings.NewReader(input))
 		if err != nil {
 			return // rejected input is fine; only panics are bugs

@@ -1,0 +1,111 @@
+package netlist
+
+import (
+	"fmt"
+	"io"
+)
+
+// Limits bounds how much input the netlist reader will accept before
+// any stamping happens. A zero field disables that bound; the zero
+// value therefore accepts everything, which is what the trusted
+// command-line tools use. Servers that accept uploads should pass
+// DefaultLimits (or something stricter) so oversized or hostile input
+// is rejected with a structured *LimitError while still cheap to
+// reject — the reader never buffers more than one line past a limit.
+type Limits struct {
+	// MaxBytes caps the total input size in bytes.
+	MaxBytes int64
+	// MaxElements caps the total element count (resistors + capacitors
+	// + sources + pads).
+	MaxElements int
+	// MaxNodes caps the .nodes declaration.
+	MaxNodes int
+	// MaxNameLen caps the length of an element name (the card token
+	// minus its type letter).
+	MaxNameLen int
+}
+
+// DefaultLimits is a generous bound for untrusted uploads: large
+// enough for multi-million-node industrial grids, small enough that a
+// hostile request cannot exhaust server memory during parsing.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxBytes:    256 << 20, // 256 MiB of netlist text
+		MaxElements: 20_000_000,
+		MaxNodes:    20_000_000,
+		MaxNameLen:  256,
+	}
+}
+
+// LimitError reports input that exceeds a reader limit. It is
+// structured so servers can map it to a 4xx response (the input is the
+// problem, not the service).
+type LimitError struct {
+	// What names the exceeded bound: "bytes", "elements", "nodes" or
+	// "name-length".
+	What string
+	// Limit is the configured bound; Got is the observed value (for
+	// "bytes" it is the limit+1 watermark at which reading stopped).
+	Limit, Got int64
+}
+
+// Error formats the violation.
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("netlist: input exceeds %s limit: %d > %d", e.What, e.Got, e.Limit)
+}
+
+// limitedReader counts bytes and fails once the limit+1-th byte
+// arrives (input exactly at the limit reads cleanly to EOF), so a huge
+// upload is rejected without buffering the oversized remainder.
+type limitedReader struct {
+	r     io.Reader
+	n     int64 // remaining budget, initialized to limit+1
+	limit int64
+	hit   bool // over-limit byte observed
+}
+
+func newLimitedReader(r io.Reader, limit int64) *limitedReader {
+	return &limitedReader{r: r, n: limit + 1, limit: limit}
+}
+
+func (l *limitedReader) err() *LimitError {
+	l.hit = true
+	return &LimitError{What: "bytes", Limit: l.limit, Got: l.limit + 1}
+}
+
+func (l *limitedReader) Read(p []byte) (int, error) {
+	if l.n <= 0 {
+		return 0, l.err()
+	}
+	if int64(len(p)) > l.n {
+		p = p[:l.n]
+	}
+	n, err := l.r.Read(p)
+	l.n -= int64(n)
+	if l.n <= 0 {
+		return 0, l.err()
+	}
+	return n, err
+}
+
+// checkCard enforces the per-card limits (element count, name length,
+// node bound) after one card has been parsed into n.
+func (lim Limits) checkCard(n *Netlist) error {
+	if lim.MaxElements > 0 {
+		if el := len(n.Resistors) + len(n.Caps) + len(n.Sources) + len(n.Pads); el > lim.MaxElements {
+			return &LimitError{What: "elements", Limit: int64(lim.MaxElements), Got: int64(el)}
+		}
+	}
+	if lim.MaxNodes > 0 && n.NumNodes > lim.MaxNodes {
+		return &LimitError{What: "nodes", Limit: int64(lim.MaxNodes), Got: int64(n.NumNodes)}
+	}
+	return nil
+}
+
+// checkName enforces MaxNameLen on one element name.
+func (lim Limits) checkName(name string) error {
+	if lim.MaxNameLen > 0 && len(name) > lim.MaxNameLen {
+		return &LimitError{What: "name-length", Limit: int64(lim.MaxNameLen), Got: int64(len(name))}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package netlist
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const tinyGrid = ".nodes 2\nRa 1 2 1\nCa 1 0 1e-12\nI1 2 DC ( 0.001 )\nPp 1 1.2 0.1\n.end\n"
+
+func TestReadLimitedZeroValueAcceptsEverything(t *testing.T) {
+	nl, err := ReadLimited(strings.NewReader(tinyGrid), Limits{})
+	if err != nil {
+		t.Fatalf("zero limits must accept valid input: %v", err)
+	}
+	if nl.NumNodes != 2 {
+		t.Fatalf("parsed %d nodes, want 2", nl.NumNodes)
+	}
+}
+
+func TestReadLimitedMaxBytes(t *testing.T) {
+	_, err := ReadLimited(strings.NewReader(tinyGrid), Limits{MaxBytes: 10})
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("want *LimitError, got %v", err)
+	}
+	if le.What != "bytes" || le.Limit != 10 {
+		t.Errorf("wrong violation: %+v", le)
+	}
+	// Exactly at the limit is fine.
+	if _, err := ReadLimited(strings.NewReader(tinyGrid), Limits{MaxBytes: int64(len(tinyGrid))}); err != nil {
+		t.Fatalf("input exactly at MaxBytes must parse: %v", err)
+	}
+}
+
+func TestReadLimitedMaxElements(t *testing.T) {
+	_, err := ReadLimited(strings.NewReader(tinyGrid), Limits{MaxElements: 3})
+	var le *LimitError
+	if !errors.As(err, &le) || le.What != "elements" {
+		t.Fatalf("want elements *LimitError, got %v", err)
+	}
+	if le.Got != 4 || le.Limit != 3 {
+		t.Errorf("violation observed at %d/%d, want 4/3", le.Got, le.Limit)
+	}
+	if _, err := ReadLimited(strings.NewReader(tinyGrid), Limits{MaxElements: 4}); err != nil {
+		t.Fatalf("element count at the limit must parse: %v", err)
+	}
+}
+
+func TestReadLimitedMaxNodes(t *testing.T) {
+	_, err := ReadLimited(strings.NewReader(".nodes 1000000\n.end\n"), Limits{MaxNodes: 10})
+	var le *LimitError
+	if !errors.As(err, &le) || le.What != "nodes" {
+		t.Fatalf("want nodes *LimitError, got %v", err)
+	}
+}
+
+func TestReadLimitedMaxNameLen(t *testing.T) {
+	long := ".nodes 2\nR" + strings.Repeat("x", 50) + " 1 2 1\nPp 1 1.2 0.1\n.end\n"
+	_, err := ReadLimited(strings.NewReader(long), Limits{MaxNameLen: 8})
+	var le *LimitError
+	if !errors.As(err, &le) || le.What != "name-length" {
+		t.Fatalf("want name-length *LimitError, got %v", err)
+	}
+	if le.Got != 50 {
+		t.Errorf("got name length %d, want 50", le.Got)
+	}
+}
+
+func TestDefaultLimitsAcceptGeneratedGrids(t *testing.T) {
+	if _, err := ReadLimited(strings.NewReader(tinyGrid), DefaultLimits()); err != nil {
+		t.Fatalf("default limits must accept a normal grid: %v", err)
+	}
+}
+
+func TestLimitErrorText(t *testing.T) {
+	e := &LimitError{What: "bytes", Limit: 10, Got: 11}
+	if !strings.Contains(e.Error(), "bytes") || !strings.Contains(e.Error(), "11 > 10") {
+		t.Fatalf("unhelpful error text: %s", e.Error())
+	}
+}

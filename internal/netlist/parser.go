@@ -2,6 +2,7 @@ package netlist
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -42,8 +43,31 @@ func Write(w io.Writer, n *Netlist) error {
 	return bw.Flush()
 }
 
-// Read parses the text format produced by Write.
+// Read parses the text format produced by Write with no input limits
+// (the trusted command-line path). Servers accepting uploads should
+// use ReadLimited.
 func Read(r io.Reader) (*Netlist, error) {
+	return ReadLimited(r, Limits{})
+}
+
+// ReadLimited parses the text format produced by Write, enforcing the
+// given input limits while reading: a violated bound stops parsing
+// immediately with a structured *LimitError, before any matrix is
+// stamped and without buffering the oversized remainder.
+func ReadLimited(r io.Reader, lim Limits) (*Netlist, error) {
+	var lr *limitedReader
+	if lim.MaxBytes > 0 {
+		lr = newLimitedReader(r, lim.MaxBytes)
+		r = lr
+	}
+	// A byte-limit hit truncates the input mid-line, so whatever card
+	// error the tail produces is an artifact; report the limit instead.
+	bytesHit := func() error {
+		if lr != nil && lr.hit {
+			return &LimitError{What: "bytes", Limit: lr.limit, Got: lr.limit + 1}
+		}
+		return nil
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	n := &Netlist{}
@@ -61,6 +85,11 @@ func Read(r io.Reader) (*Netlist, error) {
 		toks := tokenize(text)
 		if len(toks) == 0 {
 			continue
+		}
+		if isElementCard(toks[0]) {
+			if err := lim.checkName(toks[0][1:]); err != nil {
+				return nil, err
+			}
 		}
 		var err error
 		switch {
@@ -84,19 +113,39 @@ func Read(r io.Reader) (*Netlist, error) {
 			err = fmt.Errorf("unknown card %q", toks[0])
 		}
 		if err != nil {
+			if lerr := bytesHit(); lerr != nil {
+				return nil, lerr
+			}
 			return nil, fmt.Errorf("netlist: line %d: %w", line, err)
+		}
+		if err := lim.checkCard(n); err != nil {
+			return nil, err
 		}
 	}
 	if err := sc.Err(); err != nil {
+		var le *LimitError
+		if errors.As(err, &le) {
+			return nil, le
+		}
 		return nil, fmt.Errorf("netlist: %w", err)
 	}
 	if !seenEnd {
+		if lerr := bytesHit(); lerr != nil {
+			return nil, lerr
+		}
 		return nil, fmt.Errorf("netlist: missing .end")
 	}
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
 	return n, nil
+}
+
+// isElementCard reports whether a leading token introduces a named
+// element (as opposed to a directive).
+func isElementCard(tok string) bool {
+	return strings.HasPrefix(tok, "R") || strings.HasPrefix(tok, "C") ||
+		strings.HasPrefix(tok, "I") || strings.HasPrefix(tok, "P")
 }
 
 // tokenize splits a card into words, separating parentheses so that

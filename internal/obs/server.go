@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"io"
@@ -8,9 +9,64 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"time"
 )
 
 var expvarOnce sync.Once
+
+// HTTPServer is a managed http.Server with sane connection timeouts
+// and a graceful Close. Both the debug server and the operad analysis
+// daemon run on it, so timeout policy and shutdown live in one place.
+type HTTPServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartHTTP binds addr synchronously (so address errors surface
+// immediately) and serves handler on a background goroutine. The
+// server carries protective timeouts: slow-loris reads are cut off at
+// the header (5s) and body (1m) stages, idle keep-alive connections
+// are dropped after 2m, and writes get 2m — long enough for a 30s
+// pprof CPU profile, short enough that a dead peer cannot pin a
+// connection forever.
+func StartHTTP(addr string, handler http.Handler) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{
+		Addr:              ln.Addr().String(),
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go srv.Serve(ln)
+	return &HTTPServer{srv: srv, ln: ln}, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *HTTPServer) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.srv.Addr
+}
+
+// Close gracefully shuts the server down: it stops accepting new
+// connections and waits for in-flight requests until ctx is done, then
+// force-closes whatever remains. Safe on a nil receiver.
+func (s *HTTPServer) Close(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	if err := s.srv.Shutdown(ctx); err != nil {
+		s.srv.Close()
+		return err
+	}
+	return nil
+}
 
 // ServeDebug starts an opt-in HTTP debug server on addr exposing
 //
@@ -19,19 +75,21 @@ var expvarOnce sync.Once
 //	/metrics         — the registry snapshot as JSON
 //	/trace           — the current trace dump as JSON (open spans live)
 //
-// The listener is bound synchronously (so address errors surface
-// immediately); serving happens on a background goroutine that lives
-// until the process exits. The returned server can be Closed by tests.
-func ServeDebug(addr string, t *Tracer) (*http.Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
+// The listener is bound synchronously; serving happens on a background
+// goroutine. The returned server has protective timeouts (see
+// StartHTTP) and should be Closed with a deadline on shutdown.
+func ServeDebug(addr string, t *Tracer) (*HTTPServer, error) {
 	expvarOnce.Do(func() {
 		expvar.Publish("opera.metrics", expvar.Func(func() any {
 			return t.Registry().Snapshot()
 		}))
 	})
+	return StartHTTP(addr, DebugMux(t))
+}
+
+// DebugMux builds the debug-server route table so other servers (the
+// operad daemon) can mount the same endpoints alongside their own.
+func DebugMux(t *Tracer) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -39,17 +97,20 @@ func ServeDebug(addr string, t *Tracer) (*http.Server, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		writeJSONValue(w, t.Registry().Snapshot())
-	})
+	mux.Handle("/metrics", MetricsHandler(t.Registry()))
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		writeJSONValue(w, t.Dump())
 	})
-	srv := &http.Server{Addr: ln.Addr().String(), Handler: mux}
-	go srv.Serve(ln)
-	return srv, nil
+	return mux
+}
+
+// MetricsHandler serves the registry snapshot as indented JSON.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSONValue(w, reg.Snapshot())
+	})
 }
 
 func writeJSONValue(w http.ResponseWriter, v any) {

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestStartHTTPServesAndCloses(t *testing.T) {
+	tr := New("test.run")
+	tr.Registry().Counter("test.events_total").Add(3)
+	srv, err := ServeDebug("127.0.0.1:0", tr)
+	if err != nil {
+		t.Fatalf("ServeDebug: %v", err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["test.events_total"] != 3 {
+		t.Errorf("counter lost in snapshot: %+v", snap.Counters)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Error("server still serving after Close")
+	}
+}
+
+func TestStartHTTPTimeoutsConfigured(t *testing.T) {
+	srv, err := StartHTTP("127.0.0.1:0", http.NewServeMux())
+	if err != nil {
+		t.Fatalf("StartHTTP: %v", err)
+	}
+	defer srv.Close(context.Background())
+	if srv.srv.ReadHeaderTimeout <= 0 || srv.srv.IdleTimeout <= 0 || srv.srv.WriteTimeout <= 0 {
+		t.Errorf("protective timeouts missing: %+v", srv.srv)
+	}
+	if (*HTTPServer)(nil).Close(context.Background()) != nil {
+		t.Error("nil Close must be a no-op")
+	}
+}

@@ -1,0 +1,110 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"opera/internal/obs"
+)
+
+// Cache is the content-addressed result cache: request key (sha256 of
+// the canonical request) → encoded JobResult bytes. Eviction is LRU
+// under a byte budget, so a Table-1-style sweep can hold its whole
+// working set while a pathological stream of huge results cannot
+// exhaust memory. Hit/miss/eviction counts and the resident byte count
+// live on the obs registry (service.cache_*).
+type Cache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+
+	hits, misses, evictions *obs.Counter
+	bytes                   *obs.Gauge
+	entries                 *obs.Gauge
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// NewCache builds a cache with the given byte budget. A nonpositive
+// budget disables storage entirely (every Get misses, Put is a no-op).
+// reg may be nil (counters become no-ops).
+func NewCache(budget int64, reg *obs.Registry) *Cache {
+	return &Cache{
+		budget:    budget,
+		ll:        list.New(),
+		items:     make(map[string]*list.Element),
+		hits:      reg.Counter("service.cache_hits_total"),
+		misses:    reg.Counter("service.cache_misses_total"),
+		evictions: reg.Counter("service.cache_evictions_total"),
+		bytes:     reg.Gauge("service.cache_bytes"),
+		entries:   reg.Gauge("service.cache_entries"),
+	}
+}
+
+// Get returns the stored bytes for key and refreshes its recency. The
+// returned slice is shared — callers must treat it as read-only.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*cacheEntry).data, true
+}
+
+// Put stores data under key, evicting least-recently-used entries
+// until the budget holds. An entry larger than the whole budget is not
+// stored. Storing an existing key refreshes its bytes and recency.
+func (c *Cache) Put(key string, data []byte) {
+	size := int64(len(data))
+	if size > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.used += size - int64(len(ent.data))
+		ent.data = data
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
+		c.used += size
+	}
+	for c.used > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, ent.key)
+		c.used -= int64(len(ent.data))
+		c.evictions.Inc()
+	}
+	c.bytes.Set(float64(c.used))
+	c.entries.Set(float64(len(c.items)))
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Bytes returns the resident byte count.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}

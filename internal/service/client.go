@@ -1,0 +1,190 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a running operad over its HTTP API. It is the same
+// request encoding the server decodes, so cmd/opera -remote and any
+// other caller share one wire contract.
+type Client struct {
+	// BaseURL is the server address, e.g. "http://127.0.0.1:9130".
+	BaseURL string
+	// HTTPClient overrides the transport; nil uses a client with a
+	// sane overall timeout disabled (job waits are long-poll loops).
+	HTTPClient *http.Client
+}
+
+// NewClient builds a client for addr ("host:port" or full URL).
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{BaseURL: strings.TrimRight(addr, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 5 * time.Minute}
+}
+
+// APIError is a non-2xx reply, carrying the server's structured body.
+type APIError struct {
+	Status int
+	Kind   string
+	Msg    string
+}
+
+func (e *APIError) Error() string {
+	if e.Kind != "" {
+		return fmt.Sprintf("service: %s (%s, HTTP %d)", e.Msg, e.Kind, e.Status)
+	}
+	return fmt.Sprintf("service: %s (HTTP %d)", e.Msg, e.Status)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var he httpError
+		if json.Unmarshal(data, &he) == nil && he.Error != "" {
+			return &APIError{Status: resp.StatusCode, Kind: he.Kind, Msg: he.Error}
+		}
+		return &APIError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(data))}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Submit posts one job.
+func (c *Client) Submit(ctx context.Context, req Request) (SubmitResponse, error) {
+	var resp SubmitResponse
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &resp)
+	return resp, err
+}
+
+// Status fetches a job's state.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Cancel stops a job.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Wait polls a job until it reaches a terminal state or ctx ends.
+func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
+	delay := 50 * time.Millisecond
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		switch st.State {
+		case StateDone, StateFailed, StateCanceled:
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(delay):
+		}
+		if delay < time.Second {
+			delay *= 2
+		}
+	}
+}
+
+// Result fetches a finished job's decoded result.
+func (c *Client) Result(ctx context.Context, id string) (*JobResult, error) {
+	data, err := c.ResultBytes(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	var jr JobResult
+	if err := json.Unmarshal(data, &jr); err != nil {
+		return nil, err
+	}
+	return &jr, nil
+}
+
+// ResultBytes fetches the raw stored result payload (byte-identical
+// across identical requests — the cache serves stored bytes verbatim).
+func (c *Client) ResultBytes(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var he httpError
+		if json.Unmarshal(data, &he) == nil && he.Error != "" {
+			return nil, &APIError{Status: resp.StatusCode, Kind: he.Kind, Msg: he.Error}
+		}
+		return nil, &APIError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(data))}
+	}
+	return data, nil
+}
+
+// Run submits a job and waits for its result in one call.
+func (c *Client) Run(ctx context.Context, req Request) (*JobResult, JobStatus, error) {
+	sub, err := c.Submit(ctx, req)
+	if err != nil {
+		return nil, JobStatus{}, err
+	}
+	st, err := c.Wait(ctx, sub.ID)
+	if err != nil {
+		return nil, st, err
+	}
+	if st.State != StateDone {
+		return nil, st, fmt.Errorf("service: job %s %s: %s", st.ID, st.State, st.Error)
+	}
+	jr, err := c.Result(ctx, sub.ID)
+	return jr, st, err
+}

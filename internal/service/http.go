@@ -1,0 +1,139 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"opera/internal/netlist"
+	"opera/internal/obs"
+)
+
+// maxRequestBytes bounds the JSON request body independently of the
+// netlist limits (the netlist rides inside the JSON, so this must be a
+// little larger than Limits.MaxBytes).
+const requestOverhead = 1 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs             submit (202 queued / 200 cache hit or coalesced / 429 full / 503 draining)
+//	GET    /v1/jobs             list job statuses
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/result stored result bytes, verbatim (409 until done)
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /healthz             liveness
+//	GET    /readyz              readiness (503 while draining)
+//	GET    /metrics             service metrics snapshot
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if !s.Ready() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ready\n"))
+	})
+	mux.Handle("GET /metrics", obs.MetricsHandler(s.reg))
+	return mux
+}
+
+// httpError is the structured error body.
+type httpError struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps service errors to HTTP statuses.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	body := httpError{Error: err.Error()}
+	code := http.StatusBadRequest
+	var lim *netlist.LimitError
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		body.Kind = "queue_full"
+		w.Header().Set("Retry-After", "1")
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		body.Kind = "draining"
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrUnknownJob):
+		body.Kind = "unknown_job"
+		code = http.StatusNotFound
+	case errors.Is(err, ErrNotFinished):
+		body.Kind = "not_finished"
+		code = http.StatusConflict
+	case errors.As(err, &lim):
+		body.Kind = "limit"
+		code = http.StatusRequestEntityTooLarge
+	}
+	writeJSON(w, code, body)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	maxBody := int64(requestOverhead)
+	if s.opts.Limits.MaxBytes > 0 {
+		maxBody += s.opts.Limits.MaxBytes
+	}
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp, err := s.Submit(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	code := http.StatusAccepted
+	if resp.Cached || resp.Coalesced {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.List())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	data, _, err := s.Result(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}

@@ -1,0 +1,114 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Journal event kinds.
+const (
+	journalSubmit = "submit"
+	journalEnd    = "end"
+)
+
+// journalRecord is one JSON line of the job journal: a submission
+// (with the full request, so the job is re-runnable) or a terminal
+// transition. A submit without a matching end marks a job that was in
+// flight when the process died — replayed on restart.
+type journalRecord struct {
+	Event string   `json:"event"`
+	ID    string   `json:"id"`
+	Key   string   `json:"key,omitempty"`
+	State string   `json:"state,omitempty"`
+	Req   *Request `json:"req,omitempty"`
+}
+
+// journal is an append-only JSON-lines file of job lifecycle events.
+// It is deliberately crash-simple: one line per event, fsync-free (a
+// lost tail means at worst a re-run of an idempotent, cache-addressed
+// job), replayed once at startup.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+// openJournal reads the existing journal (if any), returning the
+// submitted-but-unfinished records in submission order, then reopens
+// the file for appending.
+func openJournal(path string) (*journal, []journalRecord, error) {
+	var pending []journalRecord
+	if f, err := os.Open(path); err == nil {
+		byID := make(map[string]int) // id → index in pending, -1 = finished
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var rec journalRecord
+			if json.Unmarshal(line, &rec) != nil {
+				continue // torn tail line from a crash — ignore
+			}
+			switch rec.Event {
+			case journalSubmit:
+				byID[rec.ID] = len(pending)
+				pending = append(pending, rec)
+			case journalEnd:
+				if i, ok := byID[rec.ID]; ok && i >= 0 {
+					pending[i].Req = nil // mark finished
+					byID[rec.ID] = -1
+				}
+			}
+		}
+		f.Close()
+		if err := sc.Err(); err != nil {
+			return nil, nil, fmt.Errorf("service: journal %s: %w", path, err)
+		}
+		live := pending[:0]
+		for _, rec := range pending {
+			if rec.Req != nil {
+				live = append(live, rec)
+			}
+		}
+		pending = live
+	} else if !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("service: journal %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: journal %s: %w", path, err)
+	}
+	return &journal{f: f, w: bufio.NewWriter(f)}, pending, nil
+}
+
+// record appends one event line and flushes it to the OS.
+func (j *journal) record(rec journalRecord) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	j.w.Write(b)
+	j.w.WriteByte('\n')
+	j.w.Flush()
+}
+
+func (j *journal) close() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return
+	}
+	j.w.Flush()
+	j.f.Close()
+	j.f = nil
+}

@@ -1,0 +1,131 @@
+package service
+
+import (
+	"math"
+	"time"
+
+	"opera/internal/core"
+	"opera/internal/montecarlo"
+	"opera/internal/numguard"
+	"opera/internal/obs"
+)
+
+// GuardSummary is the wire form of the numguard telemetry attached to
+// a job result, so solve-path health is debuggable from the API alone.
+type GuardSummary struct {
+	Summary     string   `json:"summary"`
+	Healthy     bool     `json:"healthy"`
+	Transitions []string `json:"transitions,omitempty"`
+	StepRetries int      `json:"step_retries,omitempty"`
+	NaNEvents   int      `json:"nan_events,omitempty"`
+}
+
+func guardSummary(rep *numguard.Report) *GuardSummary {
+	if rep == nil {
+		return nil
+	}
+	snap := rep.Snapshot()
+	gs := &GuardSummary{
+		Summary:     snap.Summary(),
+		Healthy:     snap.Healthy(),
+		StepRetries: snap.StepRetries,
+		NaNEvents:   snap.NaNEvents,
+	}
+	for _, tr := range snap.Transitions {
+		gs.Transitions = append(gs.Transitions, tr.String())
+	}
+	return gs
+}
+
+// JobResult is the wire form of a finished analysis. The service
+// stores the encoded bytes — what the cache holds and what the result
+// endpoint serves verbatim, so repeated identical requests return
+// byte-identical payloads.
+type JobResult struct {
+	Kind  string  `json:"kind"`
+	N     int     `json:"n"`
+	Steps int     `json:"steps"`
+	Basis int     `json:"basis,omitempty"`
+	VDD   float64 `json:"vdd,omitempty"`
+
+	// Mean[s][i] / Variance[s][i]: per-step, per-node moments.
+	Mean     [][]float64 `json:"mean"`
+	Variance [][]float64 `json:"variance"`
+
+	// Worst-drop summary (OPERA/leakage kinds).
+	WorstNode    int     `json:"worst_node"`
+	WorstStep    int     `json:"worst_step"`
+	WorstDropPct float64 `json:"worst_drop_pct,omitempty"`
+	WorstStd     float64 `json:"worst_std,omitempty"`
+
+	// Solver telemetry.
+	Decoupled  bool          `json:"decoupled,omitempty"`
+	Factorer   string        `json:"factorer,omitempty"`
+	AugmentedN int           `json:"augmented_n,omitempty"`
+	FactorNNZ  int           `json:"factor_nnz,omitempty"`
+	SamplesRun int           `json:"samples_run,omitempty"`
+	ElapsedMS  float64       `json:"elapsed_ms"`
+	Guard      *GuardSummary `json:"guard,omitempty"`
+
+	// Trace is the job's span tree (assemble/stamp/order/factor/
+	// transient/moments with wall time and allocation deltas).
+	Trace *obs.Dump `json:"trace,omitempty"`
+	// Metrics is the job-scoped metrics snapshot.
+	Metrics *obs.MetricsSnapshot `json:"metrics,omitempty"`
+}
+
+// fromCore converts an OPERA (or leakage) core.Result.
+func fromCore(kind string, res *core.Result) *JobResult {
+	node, step := res.MaxMeanDropNode()
+	drop := res.VDD - res.Mean[step][node]
+	jr := &JobResult{
+		Kind:       kind,
+		N:          res.N,
+		Steps:      res.Steps,
+		Basis:      res.Basis.Size(),
+		VDD:        res.VDD,
+		Mean:       res.Mean,
+		Variance:   res.Variance,
+		WorstNode:  node,
+		WorstStep:  step,
+		WorstStd:   math.Sqrt(res.Variance[step][node]),
+		Decoupled:  res.Galerkin.Decoupled,
+		Factorer:   res.Galerkin.Factorer,
+		AugmentedN: res.Galerkin.AugmentedN,
+		FactorNNZ:  res.Galerkin.FactorNNZ,
+		ElapsedMS:  float64(res.Elapsed) / float64(time.Millisecond),
+		Guard:      guardSummary(res.Galerkin.Guard()),
+	}
+	if res.VDD > 0 {
+		jr.WorstDropPct = 100 * drop / res.VDD
+	}
+	return jr
+}
+
+// fromMC converts a Monte Carlo result.
+func fromMC(res *montecarlo.Result, vdd float64, elapsed time.Duration) *JobResult {
+	jr := &JobResult{
+		Kind:       KindMC,
+		N:          res.N,
+		Steps:      res.Steps,
+		VDD:        vdd,
+		Mean:       res.Mean,
+		Variance:   res.Variance,
+		SamplesRun: res.SamplesRun,
+		ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
+	}
+	worst := -1.0
+	for s := range res.Mean {
+		for i, v := range res.Mean[s] {
+			if d := vdd - v; d > worst {
+				worst = d
+				jr.WorstNode, jr.WorstStep = i, s
+			}
+		}
+	}
+	jr.WorstStd = math.Sqrt(res.Variance[jr.WorstStep][jr.WorstNode])
+	if vdd > 0 {
+		jr.WorstDropPct = 100 * worst / vdd
+	}
+	return jr
+}

@@ -1,0 +1,720 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"opera/internal/cancel"
+	"opera/internal/core"
+	"opera/internal/grid"
+	"opera/internal/mna"
+	"opera/internal/montecarlo"
+	"opera/internal/netlist"
+	"opera/internal/numguard"
+	"opera/internal/obs"
+	"opera/internal/parallel"
+)
+
+// Admission and lifecycle errors (the HTTP layer maps these to status
+// codes: 429, 503, 404, 409).
+var (
+	// ErrQueueFull rejects a submission when the bounded queue is at
+	// capacity (HTTP 429 + Retry-After).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining rejects submissions during graceful shutdown (503).
+	ErrDraining = errors.New("service: server draining")
+	// ErrUnknownJob reports a job id the server has never seen (404).
+	ErrUnknownJob = errors.New("service: unknown job")
+	// ErrNotFinished reports a result fetch on an unfinished job (409).
+	ErrNotFinished = errors.New("service: job not finished")
+)
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Options configures a Server.
+type Options struct {
+	// QueueDepth bounds how many jobs may wait (both priorities
+	// together); submissions beyond it are rejected with ErrQueueFull.
+	// Default 64.
+	QueueDepth int
+	// ConcurrentJobs is the number of jobs executing at once. Default
+	// 2 (each job parallelizes internally via SolverWorkers).
+	ConcurrentJobs int
+	// SolverWorkers caps each job's internal worker pools (results are
+	// identical for any value); 0 = GOMAXPROCS split across the
+	// concurrent jobs.
+	SolverWorkers int
+	// CacheBytes is the result cache budget; <= 0 disables caching.
+	// Default 256 MiB.
+	CacheBytes int64
+	// Limits bounds uploaded netlists and generated grids. The zero
+	// value means netlist.DefaultLimits.
+	Limits netlist.Limits
+	// DefaultTimeout bounds jobs that do not carry their own
+	// TimeoutMS; 0 means no deadline.
+	DefaultTimeout time.Duration
+	// JournalPath, when non-empty, appends a JSON journal of
+	// submissions and completions; on construction, submitted-but-
+	// unfinished jobs from a previous process are re-enqueued.
+	JournalPath string
+	// Registry receives the service metrics (queue depth, job counts,
+	// cache counters). A nil Registry allocates a private one.
+	Registry *obs.Registry
+	// CollectTrace attaches each job's obs span tree and metrics
+	// snapshot to its result payload.
+	CollectTrace bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 64
+	}
+	if o.ConcurrentJobs == 0 {
+		o.ConcurrentJobs = 2
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 256 << 20
+	}
+	if o.Limits == (netlist.Limits{}) {
+		o.Limits = netlist.DefaultLimits()
+	}
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
+	if o.SolverWorkers == 0 {
+		// Split the machine across concurrent jobs so two jobs do not
+		// oversubscribe cores; at least one worker each.
+		o.SolverWorkers = runtime.GOMAXPROCS(0) / o.ConcurrentJobs
+		if o.SolverWorkers < 1 {
+			o.SolverWorkers = 1
+		}
+	}
+	return o
+}
+
+// job is the server-side state of one submission.
+type job struct {
+	id       string
+	key      string
+	req      Request
+	state    string
+	cached   bool
+	result   []byte
+	err      error
+	diag     *numguard.Diagnosis
+	cancelFn context.CancelFunc
+	ctx      context.Context
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	done      chan struct{}
+}
+
+// SubmitResponse is the wire reply to a submission.
+type SubmitResponse struct {
+	ID    string `json:"id"`
+	Key   string `json:"key"`
+	State string `json:"state"`
+	// Cached marks a submission served entirely from the result cache.
+	Cached bool `json:"cached,omitempty"`
+	// Coalesced marks a submission attached to an in-flight job with
+	// the same content key (one solve will serve both).
+	Coalesced bool `json:"coalesced,omitempty"`
+}
+
+// JobStatus is the wire form of a job's current state.
+type JobStatus struct {
+	ID        string              `json:"id"`
+	Key       string              `json:"key"`
+	State     string              `json:"state"`
+	Cached    bool                `json:"cached,omitempty"`
+	Error     string              `json:"error,omitempty"`
+	Canceled  bool                `json:"canceled,omitempty"`
+	Diagnosis *numguard.Diagnosis `json:"diagnosis,omitempty"`
+	QueuedMS  float64             `json:"queued_ms,omitempty"`
+	RunMS     float64             `json:"run_ms,omitempty"`
+}
+
+// Server is the analysis service: a bounded two-priority job queue, a
+// fixed worker pool, the content-addressed result cache, and the
+// drain-aware lifecycle. Construct with New, serve over HTTP with
+// Handler, stop with Shutdown.
+type Server struct {
+	opts  Options
+	reg   *obs.Registry
+	cache *Cache
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	interactive []*job
+	batch       []*job
+	jobs        map[string]*job
+	inflight    map[string]*job // content key → queued/running job
+	seq         int64
+	draining    bool
+
+	workers  sync.WaitGroup
+	baseCtx  context.Context
+	baseStop context.CancelFunc
+	journal  *journal
+
+	mSubmitted, mCompleted, mFailed *obs.Counter
+	mCanceled, mRejected, mPanics   *obs.Counter
+	mCoalesced                      *obs.Counter
+	mQueueDepth, mRunning           *obs.Gauge
+	mJobMS                          *obs.Histogram
+}
+
+// New builds and starts a server: the worker pool is live and, when a
+// journal is configured, unfinished jobs from a previous process are
+// re-enqueued before the first submission is accepted.
+func New(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		opts:       opts,
+		reg:        opts.Registry,
+		cache:      NewCache(opts.CacheBytes, opts.Registry),
+		jobs:       make(map[string]*job),
+		inflight:   make(map[string]*job),
+		baseCtx:    ctx,
+		baseStop:   stop,
+		mSubmitted: opts.Registry.Counter("service.jobs_submitted_total"),
+		mCompleted: opts.Registry.Counter("service.jobs_completed_total"),
+		mFailed:    opts.Registry.Counter("service.jobs_failed_total"),
+		mCanceled:  opts.Registry.Counter("service.jobs_canceled_total"),
+		mRejected:  opts.Registry.Counter("service.jobs_rejected_total"),
+		mPanics:    opts.Registry.Counter("service.job_panics_total"),
+		mCoalesced: opts.Registry.Counter("service.jobs_coalesced_total"),
+		mQueueDepth: opts.Registry.Gauge("service.queue_depth"),
+		mRunning:    opts.Registry.Gauge("service.jobs_running"),
+		mJobMS:      opts.Registry.Histogram("service.job_ms", obs.MSBuckets),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	var pending []journalRecord
+	if opts.JournalPath != "" {
+		var err error
+		s.journal, pending, err = openJournal(opts.JournalPath)
+		if err != nil {
+			stop()
+			return nil, err
+		}
+	}
+	// Recover the queue before workers start so replayed jobs keep
+	// their submission order.
+	for _, rec := range pending {
+		if rec.Req == nil {
+			continue
+		}
+		if _, err := s.enqueueLocked(*rec.Req, rec.ID); err != nil {
+			// A journal full of more jobs than the queue holds drops
+			// the tail; the journal still records their submission.
+			break
+		}
+	}
+	for w := 0; w < opts.ConcurrentJobs; w++ {
+		s.workers.Add(1)
+		go func() {
+			defer s.workers.Done()
+			s.workerLoop()
+		}()
+	}
+	return s, nil
+}
+
+// Registry exposes the service metrics registry (for /metrics).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Ready reports whether the server accepts submissions (false while
+// draining or after shutdown) — the /readyz signal.
+func (s *Server) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.draining
+}
+
+// Submit validates, normalizes and admits one request. The fast paths
+// never touch the queue: a content-key hit on the result cache returns
+// a completed job immediately, and a key matching an in-flight job
+// coalesces onto it. Otherwise the job is enqueued under its priority,
+// or rejected with ErrQueueFull / ErrDraining.
+func (s *Server) Submit(req Request) (SubmitResponse, error) {
+	req.Normalize()
+	if err := req.Validate(); err != nil {
+		return SubmitResponse{}, err
+	}
+	if err := s.checkLimits(req); err != nil {
+		return SubmitResponse{}, err
+	}
+	key := req.Key()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return SubmitResponse{}, ErrDraining
+	}
+	s.mSubmitted.Inc()
+	if !req.NoCache {
+		if data, ok := s.cache.Get(key); ok {
+			j := s.newJobLocked(req, key, "")
+			j.state = StateDone
+			j.cached = true
+			j.result = data
+			j.finished = j.submitted
+			close(j.done)
+			return SubmitResponse{ID: j.id, Key: key, State: StateDone, Cached: true}, nil
+		}
+		if prior, ok := s.inflight[key]; ok {
+			s.mCoalesced.Inc()
+			return SubmitResponse{ID: prior.id, Key: key, State: prior.state, Coalesced: true}, nil
+		}
+	}
+	j, err := s.enqueueLocked(req, "")
+	if err != nil {
+		return SubmitResponse{}, err
+	}
+	if s.journal != nil {
+		s.journal.record(journalRecord{Event: journalSubmit, ID: j.id, Key: key, Req: &j.req})
+	}
+	return SubmitResponse{ID: j.id, Key: key, State: StateQueued}, nil
+}
+
+// checkLimits rejects oversized inputs at admission, before they cost
+// a queue slot: inline netlist bytes and generator-spec node counts
+// are both known up front (the full netlist limits — element counts,
+// name lengths — are enforced again by ReadLimited at execution).
+func (s *Server) checkLimits(req Request) error {
+	if req.Netlist != "" && s.opts.Limits.MaxBytes > 0 {
+		if n := int64(len(req.Netlist)); n > s.opts.Limits.MaxBytes {
+			return &netlist.LimitError{What: "bytes", Limit: s.opts.Limits.MaxBytes, Got: n}
+		}
+	}
+	if req.Grid != nil && s.opts.Limits.MaxNodes > 0 {
+		if n := req.Grid.NumNodes(); n > s.opts.Limits.MaxNodes {
+			return &netlist.LimitError{What: "nodes", Limit: int64(s.opts.Limits.MaxNodes), Got: int64(n)}
+		}
+	}
+	return nil
+}
+
+// newJobLocked allocates a job record (id auto-assigned when empty)
+// and registers it in the job table.
+func (s *Server) newJobLocked(req Request, key, id string) *job {
+	if id == "" {
+		s.seq++
+		id = fmt.Sprintf("job-%06d", s.seq)
+	} else if n := parseJobSeq(id); n > s.seq {
+		s.seq = n
+	}
+	j := &job{
+		id: id, key: key, req: req,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	s.jobs[id] = j
+	return j
+}
+
+// enqueueLocked admits a job to its priority queue.
+func (s *Server) enqueueLocked(req Request, id string) (*job, error) {
+	if len(s.interactive)+len(s.batch) >= s.opts.QueueDepth {
+		s.mRejected.Inc()
+		return nil, ErrQueueFull
+	}
+	key := req.Key()
+	j := s.newJobLocked(req, key, id)
+	ctx := s.baseCtx
+	timeout := s.opts.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		j.ctx, j.cancelFn = context.WithTimeout(ctx, timeout)
+	} else {
+		j.ctx, j.cancelFn = context.WithCancel(ctx)
+	}
+	if req.Priority == PriorityBatch {
+		s.batch = append(s.batch, j)
+	} else {
+		s.interactive = append(s.interactive, j)
+	}
+	s.inflight[key] = j
+	s.mQueueDepth.Set(float64(len(s.interactive) + len(s.batch)))
+	s.cond.Signal()
+	return j, nil
+}
+
+func parseJobSeq(id string) int64 {
+	var n int64
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// workerLoop claims jobs (interactive before batch) until shutdown.
+func (s *Server) workerLoop() {
+	for {
+		j := s.nextJob()
+		if j == nil {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+// nextJob blocks until a job is available or the server drains empty.
+func (s *Server) nextJob() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if len(s.interactive) > 0 {
+			j := s.interactive[0]
+			s.interactive = s.interactive[1:]
+			return s.claimLocked(j)
+		}
+		if len(s.batch) > 0 {
+			j := s.batch[0]
+			s.batch = s.batch[1:]
+			return s.claimLocked(j)
+		}
+		if s.draining {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+func (s *Server) claimLocked(j *job) *job {
+	s.mQueueDepth.Set(float64(len(s.interactive) + len(s.batch)))
+	j.state = StateRunning
+	j.started = time.Now()
+	s.mRunning.Set(float64(s.runningLocked() + 1))
+	return j
+}
+
+func (s *Server) runningLocked() int {
+	n := 0
+	for _, j := range s.jobs {
+		if j.state == StateRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// runJob executes one claimed job with panic isolation: a panicking
+// solve surfaces as a failed job (via parallel's panic→error capture),
+// never as a daemon crash.
+func (s *Server) runJob(j *job) {
+	var result []byte
+	err := parallel.ForEach(1, 1, func(_, _ int) error {
+		var e error
+		result, e = s.execute(j)
+		return e
+	})
+	s.finishJob(j, result, err)
+}
+
+// finishJob moves a job to its terminal state and releases waiters.
+func (s *Server) finishJob(j *job, result []byte, err error) {
+	if j.cancelFn != nil {
+		j.cancelFn()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.finished = time.Now()
+	s.mJobMS.Observe(float64(j.finished.Sub(j.started)) / float64(time.Millisecond))
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = result
+		s.mCompleted.Inc()
+		if !j.req.NoCache {
+			s.cache.Put(j.key, result)
+		}
+	case errors.Is(err, cancel.ErrCanceled):
+		j.state = StateCanceled
+		j.err = err
+		s.mCanceled.Inc()
+	default:
+		j.state = StateFailed
+		j.err = err
+		s.mFailed.Inc()
+		var pe *parallel.PanicError
+		if errors.As(err, &pe) {
+			s.mPanics.Inc()
+		}
+		errors.As(err, &j.diag)
+	}
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	s.mRunning.Set(float64(s.runningLocked()))
+	if s.journal != nil {
+		s.journal.record(journalRecord{Event: journalEnd, ID: j.id, State: j.state})
+	}
+	close(j.done)
+}
+
+// execute runs the analysis for one job and encodes the wire result.
+func (s *Server) execute(j *job) ([]byte, error) {
+	req := j.req
+	nl, err := s.buildNetlist(req)
+	if err != nil {
+		return nil, err
+	}
+	tr := obs.New("service.job")
+	ordering, _ := ParseOrdering(req.Ordering)
+	workers := req.Workers
+	if workers == 0 {
+		workers = s.opts.SolverWorkers
+	}
+	var jr *JobResult
+	switch req.Analysis {
+	case KindLeakage:
+		res, err := core.AnalyzeLeakage(nl, core.LeakageOptions{
+			Regions: req.Regions, SigmaLogI: req.SigmaLogI,
+			Order: req.Order, Step: req.Step, Steps: req.Steps,
+			TrackNodes: req.TrackNodes, Workers: workers,
+			Obs: tr, Ctx: j.ctx,
+		})
+		if err != nil {
+			return nil, err
+		}
+		jr = fromCore(KindLeakage, res)
+	case KindMC:
+		spec := mna.DefaultSpec()
+		if req.Variation != nil {
+			spec = *req.Variation
+		}
+		sys, err := mna.Build(nl, spec)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res, err := montecarlo.Run(sys, montecarlo.Options{
+			Samples: req.Samples, Step: req.Step, Steps: req.Steps,
+			Seed: req.Seed, Workers: workers, Obs: tr, Ctx: j.ctx,
+		})
+		if err != nil {
+			return nil, err
+		}
+		jr = fromMC(res, sys.VDD, time.Since(start))
+	default: // KindOpera
+		res, err := core.AnalyzeNetlist(nl, core.Options{
+			Order: req.Order, Step: req.Step, Steps: req.Steps,
+			Variation: req.Variation, Ordering: ordering,
+			TrackNodes: req.TrackNodes, ForceCoupled: req.ForceCoupled,
+			ForceLU: req.ForceLU, Iterative: req.Iterative,
+			Workers: workers, Obs: tr, Ctx: j.ctx,
+		})
+		if err != nil {
+			return nil, err
+		}
+		jr = fromCore(KindOpera, res)
+	}
+	tr.Finish()
+	if s.opts.CollectTrace {
+		jr.Trace = tr.Dump()
+		snap := tr.Registry().Snapshot()
+		jr.Metrics = &snap
+	}
+	return json.Marshal(jr)
+}
+
+// buildNetlist materializes the request's circuit under the input
+// limits.
+func (s *Server) buildNetlist(req Request) (*netlist.Netlist, error) {
+	if req.Grid != nil {
+		return grid.Build(*req.Grid)
+	}
+	return netlist.ReadLimited(strings.NewReader(req.Netlist), s.opts.Limits)
+}
+
+// Status reports a job's current state.
+func (s *Server) Status(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrUnknownJob
+	}
+	return s.statusLocked(j), nil
+}
+
+func (s *Server) statusLocked(j *job) JobStatus {
+	st := JobStatus{
+		ID:     j.id,
+		Key:    j.key,
+		State:  j.state,
+		Cached: j.cached,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+		st.Canceled = errors.Is(j.err, cancel.ErrCanceled)
+	}
+	st.Diagnosis = j.diag
+	if !j.started.IsZero() {
+		st.QueuedMS = float64(j.started.Sub(j.submitted)) / float64(time.Millisecond)
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		st.RunMS = float64(end.Sub(j.started)) / float64(time.Millisecond)
+	}
+	return st
+}
+
+// List returns the status of every known job, newest first.
+func (s *Server) List() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, s.statusLocked(j))
+	}
+	// Job ids are zero-padded sequence numbers: lexicographic order is
+	// submission order.
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].ID > out[k-1].ID; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
+
+// Result returns a finished job's stored result bytes (served verbatim
+// so identical requests get byte-identical payloads).
+func (s *Server) Result(id string) ([]byte, JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, JobStatus{}, ErrUnknownJob
+	}
+	st := s.statusLocked(j)
+	if j.state != StateDone {
+		return nil, st, ErrNotFinished
+	}
+	return j.result, st, nil
+}
+
+// Cancel stops a job: a queued job is removed from its queue, a
+// running one has its context canceled (the solve loops notice within
+// one step/sample and return a structured cancel.Error).
+func (s *Server) Cancel(id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return JobStatus{}, ErrUnknownJob
+	}
+	switch j.state {
+	case StateQueued:
+		s.interactive = removeJob(s.interactive, j)
+		s.batch = removeJob(s.batch, j)
+		s.mQueueDepth.Set(float64(len(s.interactive) + len(s.batch)))
+		j.state = StateCanceled
+		j.err = cancel.ErrCanceled
+		j.finished = time.Now()
+		if s.inflight[j.key] == j {
+			delete(s.inflight, j.key)
+		}
+		if j.cancelFn != nil {
+			j.cancelFn()
+		}
+		s.mCanceled.Inc()
+		if s.journal != nil {
+			s.journal.record(journalRecord{Event: journalEnd, ID: j.id, State: StateCanceled})
+		}
+		close(j.done)
+	case StateRunning:
+		if j.cancelFn != nil {
+			j.cancelFn()
+		}
+	}
+	st := s.statusLocked(j)
+	s.mu.Unlock()
+	return st, nil
+}
+
+func removeJob(q []*job, j *job) []*job {
+	for i, x := range q {
+		if x == j {
+			return append(q[:i], q[i+1:]...)
+		}
+	}
+	return q
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is done.
+func (s *Server) Wait(ctx context.Context, id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, ErrUnknownJob
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return JobStatus{}, ctx.Err()
+	}
+	return s.Status(id)
+}
+
+// Shutdown drains the server: new submissions are rejected and
+// readiness flips immediately; queued and running jobs are given until
+// ctx is done to finish, after which everything outstanding is
+// canceled (the solve paths return within one step) and the workers
+// are awaited. The journal is closed last. Safe to call once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(drained)
+	}()
+	var err error
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		// Deadline passed: cancel every outstanding job. Queued jobs
+		// are claimed and fail their first poll; running jobs stop at
+		// the next step/sample boundary.
+		s.baseStop()
+		<-drained
+		err = ctx.Err()
+	}
+	s.baseStop()
+	if s.journal != nil {
+		s.journal.close()
+	}
+	return err
+}

@@ -1,0 +1,71 @@
+package transient
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"opera/internal/cancel"
+)
+
+// TestRunCancelMidway cancels from inside the visit callback and
+// checks the run stops at the very next step boundary with the
+// structured error.
+func TestRunCancelMidway(t *testing.T) {
+	gm, cm := singleRC(1, 1)
+	ctx, stop := context.WithCancel(context.Background())
+	defer stop()
+	last := -1
+	err := Run(gm, cm, func(tt float64, u []float64) { u[0] = 1 },
+		Options{Step: 0.01, Steps: 1000, Ctx: ctx},
+		func(step int, tt float64, x []float64) {
+			last = step
+			if step == 3 {
+				stop()
+			}
+		})
+	if err == nil {
+		t.Fatal("canceled run returned nil error")
+	}
+	if !errors.Is(err, cancel.ErrCanceled) {
+		t.Errorf("error does not wrap cancel.ErrCanceled: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error does not wrap the context cause: %v", err)
+	}
+	var ce *cancel.Error
+	if !errors.As(err, &ce) {
+		t.Fatalf("error is not a *cancel.Error: %v", err)
+	}
+	if ce.Stage != "transient" {
+		t.Errorf("stage = %q, want transient", ce.Stage)
+	}
+	// Cancellation must bite within one step of the cancel point.
+	if last > 4 {
+		t.Errorf("run continued to step %d after cancel at step 3", last)
+	}
+}
+
+// TestRunCancelBeforeStart returns before any step when the context is
+// already dead, and a fresh run on the same matrices still works.
+func TestRunCancelBeforeStart(t *testing.T) {
+	gm, cm := singleRC(1, 1)
+	ctx, stop := context.WithCancel(context.Background())
+	stop()
+	visited := 0
+	err := Run(gm, cm, func(tt float64, u []float64) { u[0] = 1 },
+		Options{Step: 0.01, Steps: 10, Ctx: ctx},
+		func(int, float64, []float64) { visited++ })
+	if !errors.Is(err, cancel.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if visited != 0 {
+		t.Errorf("visited %d steps under a dead context", visited)
+	}
+	// Same inputs, live context: unaffected by the aborted run.
+	if err := Run(gm, cm, func(tt float64, u []float64) { u[0] = 1 },
+		Options{Step: 0.01, Steps: 10, Ctx: context.Background()},
+		nil); err != nil {
+		t.Fatalf("rerun after canceled run: %v", err)
+	}
+}

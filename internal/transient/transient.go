@@ -10,10 +10,12 @@
 package transient
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
+	"opera/internal/cancel"
 	"opera/internal/factor"
 	"opera/internal/iterative"
 	"opera/internal/numguard"
@@ -60,6 +62,11 @@ type Options struct {
 	// transient.steps_total on the tracer's registry. Nil disables the
 	// per-step timing entirely (no time.Now in Advance).
 	Obs *obs.Tracer
+	// Ctx, when non-nil, is polled once per time step by Run; a
+	// canceled or expired context stops the transient at the next step
+	// boundary with a structured error wrapping cancel.ErrCanceled.
+	// Nil disables the check.
+	Ctx context.Context
 }
 
 // Validate checks the options.
@@ -343,6 +350,9 @@ func Run(g, c *sparse.Matrix, rhs func(t float64, u []float64), opts Options, vi
 	if err != nil {
 		return err
 	}
+	if err := cancel.Poll(opts.Ctx, "transient", 0); err != nil {
+		return err
+	}
 	u := make([]float64, st.N)
 	rhs(0, u)
 	if err := st.InitDC(u); err != nil {
@@ -352,6 +362,9 @@ func Run(g, c *sparse.Matrix, rhs func(t float64, u []float64), opts Options, vi
 		visit(0, 0, st.State())
 	}
 	for k := 1; k <= opts.Steps; k++ {
+		if err := cancel.Poll(opts.Ctx, "transient", k); err != nil {
+			return err
+		}
 		t := float64(k) * opts.Step
 		rhs(t, u)
 		if err := st.Advance(u); err != nil {
