@@ -20,6 +20,12 @@
 // per-phase timing table plus a metrics summary.
 //
 //	opera -nodes 20000 -trace-out trace.json && benchtab -trace trace.json
+//
+// With -flight it renders a flight-recorder dump fetched from a running
+// operad as markdown: the recent / slowest / failed views with per-job
+// timing splits and trace IDs.
+//
+//	curl -s localhost:9130/debug/flight > flight.json && benchtab -flight flight.json
 package main
 
 import (
@@ -40,8 +46,9 @@ func main() {
 		exp       = flag.String("exp", "all", "experiment: table1, fig1, fig2, special, ordersweep, solver, mor, ordering, all")
 		full      = flag.Bool("full", false, "paper-scale configuration (slow)")
 		seed      = flag.Int64("seed", 2005, "experiment seed")
-		tracePath = flag.String("trace", "", "render a markdown timing table from this JSON trace file and exit")
-		workers   = flag.Int("workers", 0, "cap GOMAXPROCS for the run; 0 leaves it alone (results are identical for any value)")
+		tracePath  = flag.String("trace", "", "render a markdown timing table from this JSON trace file and exit")
+		flightPath = flag.String("flight", "", "render a markdown report from this /debug/flight JSON dump and exit")
+		workers    = flag.Int("workers", 0, "cap GOMAXPROCS for the run; 0 leaves it alone (results are identical for any value)")
 	)
 	flag.Parse()
 	if *workers > 0 {
@@ -49,6 +56,13 @@ func main() {
 	}
 	if *tracePath != "" {
 		if err := writeTraceTable(os.Stdout, *tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *flightPath != "" {
+		if err := writeFlightTable(os.Stdout, *flightPath); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 			os.Exit(1)
 		}
@@ -211,6 +225,68 @@ func writeTraceTable(w *os.File, path string) error {
 		}
 		fmt.Fprintf(w, "| %s | count=%d mean=%.4g min=%.4g max=%.4g |\n",
 			name, h.Count, h.Mean(), h.Min, h.Max)
+	}
+	return nil
+}
+
+// writeFlightTable renders a /debug/flight dump as markdown: one table
+// per view (recent, slowest, failed), then a per-phase breakdown for
+// every entry that retained a span tree.
+func writeFlightTable(w *os.File, path string) error {
+	d, err := obs.ReadFlightFile(path)
+	if err != nil {
+		return err
+	}
+	view := func(title string, entries []obs.FlightEntry) {
+		fmt.Fprintf(w, "## Flight — %s (%d)\n\n", title, len(entries))
+		if len(entries) == 0 {
+			fmt.Fprintln(w, "(empty)")
+			fmt.Fprintln(w)
+			return
+		}
+		fmt.Fprintln(w, "| job | trace | state | analysis | priority | queued ms | run ms | error |")
+		fmt.Fprintln(w, "|:----|:------|:------|:---------|:---------|----------:|-------:|:------|")
+		for _, e := range entries {
+			state := e.State
+			if e.Cached {
+				state += " (cached)"
+			}
+			fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %.1f | %.1f | %s |\n",
+				e.JobID, e.TraceID, state, e.Analysis, e.Priority, e.QueuedMS, e.RunMS, e.Error)
+		}
+		fmt.Fprintln(w)
+	}
+	view("recent", d.Recent)
+	view("slowest", d.Slowest)
+	view("failed", d.Failed)
+	seen := map[string]bool{}
+	for _, entries := range [][]obs.FlightEntry{d.Slowest, d.Failed, d.Recent} {
+		for _, e := range entries {
+			if e.Trace == nil || seen[e.TraceID] {
+				continue
+			}
+			seen[e.TraceID] = true
+			fmt.Fprintf(w, "### Phases — %s (trace %s)\n\n", e.JobID, e.TraceID)
+			fmt.Fprintln(w, "| phase | ms | alloc |")
+			fmt.Fprintln(w, "|:------|---:|------:|")
+			var walk func(spans []obs.SpanDump, depth int)
+			walk = func(spans []obs.SpanDump, depth int) {
+				for _, s := range spans {
+					name := s.Name
+					if depth > 0 {
+						name = strings.Repeat("&nbsp;&nbsp;", depth) + "↳ " + name
+					}
+					alloc := fmtBytes(s.AllocBytes)
+					if s.AllocApprox && alloc != "" {
+						alloc = "~" + alloc
+					}
+					fmt.Fprintf(w, "| %s | %.2f | %s |\n", name, s.DurMS, alloc)
+					walk(s.Spans, depth+1)
+				}
+			}
+			walk(e.Trace.Spans, 0)
+			fmt.Fprintln(w)
+		}
 	}
 	return nil
 }

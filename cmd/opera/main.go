@@ -56,13 +56,17 @@ func main() {
 		remote   = flag.String("remote", "", "submit to a running operad at this address instead of solving locally")
 		priority = flag.String("priority", "interactive", "remote job priority: interactive or batch")
 		timeout  = flag.Duration("timeout", 0, "remote job deadline; 0 = server default")
+		traceID  = flag.String("trace-id", "", "remote request trace ID (32 hex chars); empty = server mints one")
+		logLevel = flag.String("log-level", "warn", "remote client structured-log level: debug|info|warn|error|off")
 	)
 	flag.Parse()
 
 	if *remote != "" {
-		runRemote(*remote, buildRemoteRequest(*netPath, *nodes, *seed, *order,
+		req := buildRemoteRequest(*netPath, *nodes, *seed, *order,
 			*step, *steps, *ordering, *track, *leakage, *sigmaI, *regions,
-			*workers, *priority, *timeout))
+			*workers, *priority, *timeout)
+		req.TraceID = *traceID
+		runRemote(*remote, req, *logLevel)
 		return
 	}
 

@@ -8,17 +8,27 @@ import (
 	"time"
 
 	"opera/internal/grid"
+	"opera/internal/obs/logx"
 	"opera/internal/service"
 )
 
 // runRemote submits the analysis described by the local flags to a
 // running operad and prints the same summary the local path would. The
 // request encoding is the service package's own Client, so the CLI and
-// the daemon can never drift apart on the wire format.
-func runRemote(addr string, req service.Request) {
+// the daemon can never drift apart on the wire format. The client's
+// structured log (queue-full retries) goes to stderr; the result
+// summary stays on stdout.
+func runRemote(addr string, req service.Request, logLevel string) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	c := service.NewClient(addr)
+	if logLevel != "off" {
+		level, err := logx.ParseLevel(logLevel)
+		if err != nil {
+			fatal("opera: %v", err)
+		}
+		c.Logger = logx.New(os.Stderr, level)
+	}
 	sub, err := c.Submit(ctx, req)
 	if err != nil {
 		fatal("opera: remote submit: %v", err)
@@ -31,6 +41,9 @@ func runRemote(addr string, req service.Request) {
 		how = "coalesced onto in-flight job"
 	}
 	fmt.Printf("opera: remote job %s on %s (%s)\n", sub.ID, addr, how)
+	if sub.TraceID != "" {
+		fmt.Printf("opera: trace %s\n", sub.TraceID)
+	}
 	st, err := c.Wait(ctx, sub.ID)
 	if err != nil {
 		fatal("opera: remote wait: %v", err)

@@ -22,6 +22,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,6 +31,7 @@ import (
 	"opera/internal/factor"
 	"opera/internal/netlist"
 	"opera/internal/obs"
+	"opera/internal/obs/logx"
 	"opera/internal/order"
 	"opera/internal/service"
 	"opera/internal/sparse"
@@ -48,8 +50,22 @@ func main() {
 		maxBytes     = flag.Int64("max-netlist-bytes", 0, "max inline netlist size; 0 = default (256 MiB)")
 		maxNodes     = flag.Int("max-nodes", 0, "max circuit nodes; 0 = default (20M)")
 		withTrace    = flag.Bool("trace", false, "attach per-job span trees and metrics to results")
+		logLevel     = flag.String("log-level", "info", "structured log level: debug|info|warn|error|off")
+		flightJobs   = flag.Int("flight", 32, "flight-recorder entries per view (recent/slowest/failed); 0 disables /debug/flight")
 	)
 	flag.Parse()
+
+	// Structured JSON logs go to stderr (stdout stays free for shells
+	// piping curl/opera output); -log-level off silences them while the
+	// flight recorder keeps collecting per-job tails.
+	var logger *slog.Logger
+	if *logLevel != "off" {
+		level, err := logx.ParseLevel(*logLevel)
+		if err != nil {
+			fatal("operad: %v", err)
+		}
+		logger = logx.New(os.Stderr, level)
+	}
 
 	limits := netlist.DefaultLimits()
 	if *maxBytes > 0 {
@@ -73,6 +89,8 @@ func main() {
 		JournalPath:    *journalPath,
 		Registry:       reg,
 		CollectTrace:   *withTrace,
+		Logger:         logger,
+		FlightJobs:     *flightJobs,
 	})
 	if err != nil {
 		fatal("operad: %v", err)
@@ -81,8 +99,11 @@ func main() {
 	if err != nil {
 		fatal("operad: %v", err)
 	}
-	fmt.Printf("operad: serving on http://%s (queue %d, %d concurrent jobs, cache %d MiB)\n",
-		hs.Addr(), *queueDepth, *jobs, *cacheMB)
+	if logger != nil {
+		logger.Info("operad.serving",
+			"addr", hs.Addr(), "queue", *queueDepth, "jobs", *jobs,
+			"cache_mb", *cacheMB, "flight", *flightJobs)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -91,18 +112,24 @@ func main() {
 
 	// Drain: readiness flips inside Shutdown before it blocks, and the
 	// HTTP server keeps answering status polls until the queue is empty.
-	fmt.Printf("operad: draining (up to %s)...\n", *drainTimeout)
+	if logger != nil {
+		logger.Info("operad.draining", "grace", drainTimeout.String())
+	}
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
-		fmt.Printf("operad: drain deadline hit, canceled outstanding jobs\n")
+		if logger != nil {
+			logger.Warn("operad.drain_deadline", logx.KeyError, err.Error())
+		}
 	}
 	closeCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()
 	if err := hs.Close(closeCtx); err != nil {
 		fatal("operad: closing listener: %v", err)
 	}
-	fmt.Println("operad: drained, bye")
+	if logger != nil {
+		logger.Info("operad.stopped")
+	}
 }
 
 func fatal(format string, args ...interface{}) {

@@ -117,6 +117,7 @@ func solveCoupled(sys *System, opts Options, visit func(int, float64, [][]float6
 	}
 
 	spT := tr.Start("transient", obs.Int("steps", opts.Steps))
+	spT.MarkAllocsApprox() // row-partitioned parallel apply runs on worker goroutines
 	defer spT.End()
 	workers := parallel.Workers(opts.Workers)
 	reg := tr.Registry()

@@ -124,6 +124,7 @@ func solveCoupledIterative(sys *System, opts Options, visit func(int, float64, [
 	}
 
 	spT := tr.Start("transient", obs.Int("steps", opts.Steps))
+	spT.MarkAllocsApprox() // parallel block apply runs on worker goroutines
 	defer spT.End()
 	workers := parallel.Workers(opts.Workers)
 	reg := tr.Registry()

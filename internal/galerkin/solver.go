@@ -212,6 +212,7 @@ func solveDecoupled(sys *System, opts Options, visit func(int, float64, [][]floa
 	spF.SetAttrs(obs.String("rung", lad.Rung()), obs.Int("factor_nnz", res.FactorNNZ))
 	spF.End()
 	spT := tr.Start("transient", obs.Int("steps", opts.Steps))
+	spT.MarkAllocsApprox() // per-basis fan-out allocates on worker goroutines
 	defer spT.End()
 	workers := parallel.Workers(opts.Workers)
 	if workers > b {

@@ -149,6 +149,7 @@ func Run(sys *mna.System, opts Options) (*Result, error) {
 	sp := tr.Start("montecarlo.run",
 		obs.Int("samples", opts.Samples), obs.Int("steps", opts.Steps),
 		obs.Int("n", n), obs.Int("workers", workers))
+	sp.MarkAllocsApprox() // samples allocate concurrently on worker goroutines
 	defer sp.End()
 	reg := tr.Registry()
 	sampleMS := reg.Histogram("montecarlo.sample_ms", obs.MSBuckets)

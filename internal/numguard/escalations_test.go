@@ -1,0 +1,26 @@
+package numguard
+
+import "testing"
+
+// TestReportEscalations pins the count the service mirrors into its
+// SLO counters: rung transitions only, nil-safe.
+func TestReportEscalations(t *testing.T) {
+	var nilReport *Report
+	if nilReport.Escalations() != 0 {
+		t.Error("nil report must count zero escalations")
+	}
+	r := &Report{}
+	if r.Escalations() != 0 {
+		t.Errorf("fresh report: %d escalations", r.Escalations())
+	}
+	r.Transitions = append(r.Transitions,
+		Transition{From: "cholesky", To: "lu-partial", Reason: "residual"},
+		Transition{From: "lu-partial", To: "lu-complete", Reason: "condition"},
+	)
+	if got := r.Escalations(); got != 2 {
+		t.Errorf("Escalations = %d, want 2", got)
+	}
+	if r.Healthy() {
+		t.Error("report with transitions must not be healthy")
+	}
+}

@@ -248,6 +248,19 @@ func (r *Report) Healthy() bool {
 	return len(r.Transitions) == 0 && r.Refinements == 0 && r.NaNEvents == 0
 }
 
+// Escalations counts the rung transitions recorded so far — the
+// per-job signal the service mirrors into its service.slo_* counters
+// (an escalating job is a slow job in the making: every transition
+// refactors on a costlier rung).
+func (r *Report) Escalations() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.Transitions)
+}
+
 // Summary renders a one-line digest for CLI output.
 func (r *Report) Summary() string {
 	if r == nil {

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestAllocAccountingConcurrentChildren covers the process-wide
+// allocation-delta caveat: with worker goroutines allocating while a
+// span is open, the delta stays non-negative (the runtime/metrics
+// counter is monotone) and spans wrapping a fan-out carry the
+// approximate marker through Dump and the text export.
+func TestAllocAccountingConcurrentChildren(t *testing.T) {
+	tr := New("test")
+	sp := tr.Start("fanout")
+	var wg sync.WaitGroup
+	sink := make([][]byte, 8)
+	for i := range sink {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sink[i] = make([]byte, 1<<16)
+		}(i)
+	}
+	wg.Wait()
+	sp.MarkAllocsApprox()
+	sp.End()
+	tr.Start("serial").End()
+	tr.Finish()
+
+	d := tr.Dump()
+	if len(d.Spans) != 2 {
+		t.Fatalf("got %d spans", len(d.Spans))
+	}
+	fan, serial := d.Spans[0], d.Spans[1]
+	if !fan.AllocApprox {
+		t.Error("fan-out span lost its approximate marker")
+	}
+	if serial.AllocApprox {
+		t.Error("serial span wrongly marked approximate")
+	}
+	// uint64 deltas: monotone counter means never a wrapped negative.
+	if fan.AllocBytes > 1<<40 || serial.AllocBytes > 1<<40 {
+		t.Errorf("alloc delta wrapped: fanout=%d serial=%d", fan.AllocBytes, serial.AllocBytes)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if fan.AllocBytes > 0 && !strings.Contains(buf.String(), "~") {
+		t.Errorf("text export does not mark approximate allocs:\n%s", buf.String())
+	}
+	_ = sink
+}

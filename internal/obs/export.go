@@ -11,21 +11,26 @@ import (
 	"time"
 )
 
-// SpanDump is the JSON form of one span.
+// SpanDump is the JSON form of one span. AllocApprox marks a span
+// whose allocation delta includes concurrent goroutines' work (see
+// Span.MarkAllocsApprox).
 type SpanDump struct {
-	Name       string            `json:"name"`
-	StartMS    float64           `json:"start_ms"`
-	DurMS      float64           `json:"dur_ms"`
-	AllocBytes uint64            `json:"alloc_bytes,omitempty"`
-	Attrs      map[string]string `json:"attrs,omitempty"`
-	Spans      []SpanDump        `json:"spans,omitempty"`
+	Name        string            `json:"name"`
+	StartMS     float64           `json:"start_ms"`
+	DurMS       float64           `json:"dur_ms"`
+	AllocBytes  uint64            `json:"alloc_bytes,omitempty"`
+	AllocApprox bool              `json:"alloc_approx,omitempty"`
+	Attrs       map[string]string `json:"attrs,omitempty"`
+	Spans       []SpanDump        `json:"spans,omitempty"`
 }
 
 // Dump is the JSON form of a whole trace: the root span's name and
-// duration, the phase tree beneath it, and the metrics snapshot. It is
+// duration, the trace ID when the run is tagged (per-job service
+// traces), the phase tree beneath it, and the metrics snapshot. It is
 // what --trace-out writes and what cmd/benchtab consumes.
 type Dump struct {
 	Name       string          `json:"name"`
+	TraceID    string          `json:"trace_id,omitempty"`
 	TotalMS    float64         `json:"total_ms"`
 	AllocBytes uint64          `json:"alloc_bytes,omitempty"`
 	Spans      []SpanDump      `json:"spans"`
@@ -40,9 +45,11 @@ func (t *Tracer) Dump() *Dump {
 	}
 	t.mu.Lock()
 	root := dumpSpan(t.root)
+	id := t.traceID
 	t.mu.Unlock()
 	return &Dump{
 		Name:       root.Name,
+		TraceID:    string(id),
 		TotalMS:    root.DurMS,
 		AllocBytes: root.AllocBytes,
 		Spans:      root.Spans,
@@ -52,10 +59,11 @@ func (t *Tracer) Dump() *Dump {
 
 func dumpSpan(s *Span) SpanDump {
 	d := SpanDump{
-		Name:       s.Name,
-		StartMS:    ms(s.startOff),
-		DurMS:      ms(s.durationLocked()),
-		AllocBytes: s.allocs,
+		Name:        s.Name,
+		StartMS:     ms(s.startOff),
+		DurMS:       ms(s.durationLocked()),
+		AllocBytes:  s.allocs,
+		AllocApprox: s.allocApprox,
 	}
 	if len(s.attrs) > 0 {
 		d.Attrs = make(map[string]string, len(s.attrs))
@@ -182,10 +190,21 @@ func writeSpanText(w io.Writer, s SpanDump, total float64, depth int) {
 	}
 	name := strings.Repeat("  ", depth) + s.Name
 	fmt.Fprintf(w, "  %-34s %10.2f %5.1f%% %9s  %s\n",
-		name, s.DurMS, pct, fmtBytes(s.AllocBytes), fmtAttrs(s.Attrs))
+		name, s.DurMS, pct, fmtAlloc(s.AllocBytes, s.AllocApprox), fmtAttrs(s.Attrs))
 	for _, c := range s.Spans {
 		writeSpanText(w, c, total, depth+1)
 	}
+}
+
+// fmtAlloc renders an allocation delta, prefixing approximate readings
+// (parallel-phase spans, where the process-wide counter folds in
+// concurrent workers) with "~".
+func fmtAlloc(b uint64, approx bool) string {
+	s := fmtBytes(b)
+	if approx && s != "" {
+		s = "~" + s
+	}
+	return s
 }
 
 func writeMetricsText(w io.Writer, m MetricsSnapshot) {

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+// FlightEntry is the black-box record of one finished job: identity,
+// timing split, terminal state, the complete span tree, the numguard
+// view and the tail of the job's structured log. Everything an operator
+// needs to explain a slow or failed job after the fact, with no
+// external tracing backend.
+type FlightEntry struct {
+	TraceID   string    `json:"trace_id"`
+	JobID     string    `json:"job_id"`
+	State     string    `json:"state"`
+	Analysis  string    `json:"analysis,omitempty"`
+	Priority  string    `json:"priority,omitempty"`
+	Cached    bool      `json:"cached,omitempty"`
+	Submitted time.Time `json:"submitted"`
+	QueuedMS  float64   `json:"queued_ms"`
+	RunMS     float64   `json:"run_ms"`
+	Error     string    `json:"error,omitempty"`
+	// Guard is the job's numguard summary (escalations, refinement
+	// counts) or, for failed jobs, the structured diagnosis.
+	Guard any `json:"guard,omitempty"`
+	// Trace is the job's span tree with the six-phase timing breakdown.
+	Trace *Dump `json:"trace,omitempty"`
+	// Log is the tail of the job's structured log, one rendered JSON
+	// line per element, oldest first.
+	Log []json.RawMessage `json:"log,omitempty"`
+}
+
+// FlightDump is the /debug/flight wire form: three bounded views over
+// the same stream of finished jobs. An entry can appear in more than
+// one view (a failed job is usually also among the most recent).
+type FlightDump struct {
+	// Recent holds the last K finished jobs, oldest first.
+	Recent []FlightEntry `json:"recent"`
+	// Slowest holds the K slowest jobs by run time, slowest first
+	// (cache hits, which run nothing, are excluded).
+	Slowest []FlightEntry `json:"slowest"`
+	// Failed holds the last K failed or canceled jobs, oldest first.
+	Failed []FlightEntry `json:"failed"`
+}
+
+// FlightRecorder is a fixed-size in-memory flight recorder for the
+// analysis service: it retains the last K finished jobs and, in
+// separate rings, the K slowest and the last K failed ones. All three
+// views are hard-bounded — recording the millionth job costs the same
+// memory as the hundredth. A nil *FlightRecorder is the disabled state:
+// Record and Snapshot are no-ops.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	k       int
+	recent  []FlightEntry
+	slowest []FlightEntry // sorted descending by RunMS, len <= k
+	failed  []FlightEntry
+}
+
+// NewFlightRecorder builds a recorder retaining k entries per view
+// (k <= 0 returns nil, the disabled recorder).
+func NewFlightRecorder(k int) *FlightRecorder {
+	if k <= 0 {
+		return nil
+	}
+	return &FlightRecorder{k: k}
+}
+
+// Record adds one finished job. Safe for concurrent use; no-op on nil.
+func (f *FlightRecorder) Record(e FlightEntry) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.recent = appendBounded(f.recent, e, f.k)
+	if e.Error != "" {
+		f.failed = appendBounded(f.failed, e, f.k)
+	}
+	if !e.Cached {
+		// Insertion sort into the slowest view (descending RunMS); K is
+		// small, so the linear scan is fine.
+		i := len(f.slowest)
+		for i > 0 && f.slowest[i-1].RunMS < e.RunMS {
+			i--
+		}
+		if i < f.k {
+			f.slowest = append(f.slowest, FlightEntry{})
+			copy(f.slowest[i+1:], f.slowest[i:])
+			f.slowest[i] = e
+			if len(f.slowest) > f.k {
+				f.slowest = f.slowest[:f.k]
+			}
+		}
+	}
+}
+
+func appendBounded(ring []FlightEntry, e FlightEntry, k int) []FlightEntry {
+	ring = append(ring, e)
+	if len(ring) > k {
+		copy(ring, ring[1:])
+		ring = ring[:k]
+	}
+	return ring
+}
+
+// Snapshot copies the recorder's current state (empty views on nil).
+func (f *FlightRecorder) Snapshot() FlightDump {
+	var d FlightDump
+	if f == nil {
+		return d
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d.Recent = append([]FlightEntry(nil), f.recent...)
+	d.Slowest = append([]FlightEntry(nil), f.slowest...)
+	d.Failed = append([]FlightEntry(nil), f.failed...)
+	return d
+}
+
+// Find returns the retained entry with the given trace ID, preferring
+// the most recently recorded one.
+func (f *FlightRecorder) Find(traceID string) (FlightEntry, bool) {
+	if f == nil {
+		return FlightEntry{}, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, ring := range [][]FlightEntry{f.recent, f.failed, f.slowest} {
+		for i := len(ring) - 1; i >= 0; i-- {
+			if ring[i].TraceID == traceID {
+				return ring[i], true
+			}
+		}
+	}
+	return FlightEntry{}, false
+}
+
+// Handler serves the recorder as JSON: the full three-view dump, or a
+// single entry with ?trace=<id> (404 when that trace is not retained).
+func (f *FlightRecorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if id := r.URL.Query().Get("trace"); id != "" {
+			e, ok := f.Find(id)
+			if !ok {
+				http.Error(w, fmt.Sprintf("flight: trace %s not retained", id), http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			writeJSONValue(w, e)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		writeJSONValue(w, f.Snapshot())
+	})
+}
+
+// DecodeFlight parses a FlightDump written by the /debug/flight
+// endpoint (what `benchtab -flight` consumes).
+func DecodeFlight(r io.Reader) (*FlightDump, error) {
+	var d FlightDump
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("obs: decoding flight dump: %w", err)
+	}
+	return &d, nil
+}
+
+// ReadFlightFile parses a flight dump from the named file.
+func ReadFlightFile(path string) (*FlightDump, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeFlight(f)
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestFlightRecorderBounded soaks the recorder far past its capacity
+// and asserts every view stays hard-bounded — recording the thousandth
+// job must cost the same memory as the tenth.
+func TestFlightRecorderBounded(t *testing.T) {
+	const k = 8
+	f := NewFlightRecorder(k)
+	for i := 0; i < 1000; i++ {
+		e := FlightEntry{
+			TraceID: fmt.Sprintf("%032x", i),
+			JobID:   fmt.Sprintf("job-%06d", i),
+			State:   "done",
+			RunMS:   float64(i % 97),
+		}
+		if i%5 == 0 {
+			e.State = "failed"
+			e.Error = "synthetic failure"
+		}
+		if i%7 == 0 {
+			e.Cached = true
+		}
+		f.Record(e)
+	}
+	d := f.Snapshot()
+	if len(d.Recent) != k || len(d.Failed) != k || len(d.Slowest) != k {
+		t.Fatalf("views not bounded to k=%d: recent=%d slowest=%d failed=%d",
+			k, len(d.Recent), len(d.Slowest), len(d.Failed))
+	}
+	// Recent keeps the newest k, oldest first.
+	if got, want := d.Recent[k-1].JobID, "job-000999"; got != want {
+		t.Errorf("recent tail = %s, want %s", got, want)
+	}
+	if got, want := d.Recent[0].JobID, fmt.Sprintf("job-%06d", 1000-k); got != want {
+		t.Errorf("recent head = %s, want %s", got, want)
+	}
+	// Slowest is sorted descending and excludes cache hits.
+	for i, e := range d.Slowest {
+		if e.Cached {
+			t.Errorf("slowest[%d] is a cache hit", i)
+		}
+		if i > 0 && d.Slowest[i-1].RunMS < e.RunMS {
+			t.Errorf("slowest not descending at %d: %.1f < %.1f", i, d.Slowest[i-1].RunMS, e.RunMS)
+		}
+	}
+	if d.Slowest[0].RunMS != 96 {
+		t.Errorf("slowest head RunMS = %.1f, want 96", d.Slowest[0].RunMS)
+	}
+	// Failed retains only failing entries.
+	for i, e := range d.Failed {
+		if e.Error == "" {
+			t.Errorf("failed[%d] has no error", i)
+		}
+	}
+}
+
+// TestFlightRecorderFind prefers the most recently recorded entry for a
+// trace and reports retention honestly.
+func TestFlightRecorderFind(t *testing.T) {
+	f := NewFlightRecorder(4)
+	const id = "00000000000000000000000000000abc"
+	f.Record(FlightEntry{TraceID: id, JobID: "job-000001", State: "done"})
+	f.Record(FlightEntry{TraceID: id, JobID: "job-000002", State: "done", Cached: true})
+	e, ok := f.Find(id)
+	if !ok || e.JobID != "job-000002" {
+		t.Errorf("Find = %+v ok=%v, want the most recent (job-000002)", e, ok)
+	}
+	if _, ok := f.Find("ffffffffffffffffffffffffffffffff"); ok {
+		t.Error("Find reported an unretained trace")
+	}
+}
+
+// TestFlightRecorderNil covers the disabled state: a nil recorder
+// accepts every call as a no-op.
+func TestFlightRecorderNil(t *testing.T) {
+	var f *FlightRecorder
+	if f != NewFlightRecorder(0) {
+		t.Error("NewFlightRecorder(0) must return the nil recorder")
+	}
+	f.Record(FlightEntry{TraceID: "x"})
+	if d := f.Snapshot(); len(d.Recent)+len(d.Slowest)+len(d.Failed) != 0 {
+		t.Error("nil recorder snapshot not empty")
+	}
+	if _, ok := f.Find("x"); ok {
+		t.Error("nil recorder Find reported a hit")
+	}
+}
+
+// TestFlightHandler drives the HTTP surface: the three-view dump, the
+// single-entry ?trace= lookup, and 404 for unretained traces — then
+// round-trips the dump through DecodeFlight as benchtab would.
+func TestFlightHandler(t *testing.T) {
+	f := NewFlightRecorder(4)
+	const id = "11112222333344445555666677778888"
+	f.Record(FlightEntry{
+		TraceID: id, JobID: "job-000001", State: "done", RunMS: 12.5,
+		Trace: &Dump{Name: "service.job", TraceID: id},
+	})
+	ts := httptest.NewServer(f.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/?trace=" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e FlightEntry
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if e.JobID != "job-000001" || e.Trace == nil || e.Trace.TraceID != id {
+		t.Errorf("trace lookup returned %+v", e)
+	}
+
+	resp, err = http.Get(ts.URL + "/?trace=ffffffffffffffffffffffffffffffff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unretained trace: status %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DecodeFlight(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Recent) != 1 || d.Recent[0].TraceID != id {
+		t.Errorf("decoded dump = %+v", d)
+	}
+}
+
+// TestTraceID covers minting and wire validation.
+func TestTraceID(t *testing.T) {
+	id := NewTraceID()
+	if len(id) != 32 {
+		t.Fatalf("NewTraceID length %d, want 32", len(id))
+	}
+	if strings.ToLower(string(id)) != string(id) {
+		t.Errorf("minted id %q not lowercase", id)
+	}
+	if id2 := NewTraceID(); id2 == id {
+		t.Errorf("two minted ids collided: %s", id)
+	}
+	canon, err := ParseTraceID(strings.ToUpper(string(id)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon != id {
+		t.Errorf("ParseTraceID did not canonicalize: %s != %s", canon, id)
+	}
+	for _, bad := range []string{"", "abc", strings.Repeat("g", 32), string(id) + "00"} {
+		if _, err := ParseTraceID(bad); err == nil {
+			t.Errorf("ParseTraceID accepted %q", bad)
+		}
+	}
+}

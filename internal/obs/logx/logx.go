@@ -1,0 +1,178 @@
+// Package logx is the shared structured-logging setup of the OPERA
+// daemons and CLIs, on stdlib log/slog: one JSON handler configuration,
+// a parsed level flag, the stable attribute schema every job-lifecycle
+// event uses, a no-op logger for the disabled path, a Tee handler for
+// fanning one record out to two sinks, and a bounded Tail that retains
+// the rendered log lines of a single job for the flight recorder.
+//
+// Schema: the slog message IS the event name ("job.enqueue",
+// "job.start", "job.phase", "job.done", "service.drain", ...); the Key*
+// constants below are the attribute names, identical across cmd/operad,
+// cmd/opera and internal/service so logs from every binary grep and
+// join the same way.
+package logx
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+)
+
+// Stable attribute keys of the job-lifecycle log schema.
+const (
+	KeyJob      = "job"       // job id ("job-000042")
+	KeyTrace    = "trace"     // 32-hex trace id
+	KeyKey      = "key"       // content-address (sha256) of the request
+	KeyState    = "state"     // terminal job state
+	KeyPriority = "priority"  // "interactive" | "batch"
+	KeyAnalysis = "analysis"  // "opera" | "mc" | "leakage"
+	KeyPhase    = "phase"     // pipeline phase name for job.phase events
+	KeyMS       = "ms"        // duration of the event's subject
+	KeyQueuedMS = "queued_ms" // admission → claim wall time
+	KeyRunMS    = "run_ms"    // claim → terminal-state wall time
+	KeyDepth    = "depth"     // queue depth after the event
+	KeyError    = "error"     // error text
+	KeyAttempt  = "attempt"   // client retry attempt number
+	KeyOnto     = "onto"      // job id a coalesced submission attached to
+)
+
+// ParseLevel maps a -log-level flag value to a slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("logx: unknown log level %q (want debug|info|warn|error)", s)
+	}
+}
+
+// New builds the standard JSON logger writing to w at the given level.
+func New(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// Nop returns a logger whose handler reports every level disabled, so
+// call sites that guard with Enabled (or use LogAttrs) pay only a
+// method call when logging is off.
+func Nop() *slog.Logger { return slog.New(nopHandler{}) }
+
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (h nopHandler) WithAttrs([]slog.Attr) slog.Handler     { return h }
+func (h nopHandler) WithGroup(string) slog.Handler          { return h }
+
+// Tee fans each record out to both handlers; a record is emitted to
+// every handler whose own level admits it. Enabled reports true when
+// either side would accept the level, so a Tee of a quiet stderr
+// handler and a per-job Tail still captures the tail.
+func Tee(a, b slog.Handler) slog.Handler { return tee{a, b} }
+
+type tee struct{ a, b slog.Handler }
+
+func (t tee) Enabled(ctx context.Context, l slog.Level) bool {
+	return t.a.Enabled(ctx, l) || t.b.Enabled(ctx, l)
+}
+
+func (t tee) Handle(ctx context.Context, r slog.Record) error {
+	var err error
+	if t.a.Enabled(ctx, r.Level) {
+		err = t.a.Handle(ctx, r.Clone())
+	}
+	if t.b.Enabled(ctx, r.Level) {
+		if e := t.b.Handle(ctx, r.Clone()); err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+func (t tee) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return tee{t.a.WithAttrs(attrs), t.b.WithAttrs(attrs)}
+}
+
+func (t tee) WithGroup(name string) slog.Handler {
+	return tee{t.a.WithGroup(name), t.b.WithGroup(name)}
+}
+
+// Tail retains the last MaxLines rendered JSON log lines — the per-job
+// log tail the flight recorder attaches to slow and failed jobs. It is
+// an io.Writer fed by a JSON handler (see Handler); writes are
+// line-buffered and safe for concurrent use.
+type Tail struct {
+	mu    sync.Mutex
+	max   int
+	lines [][]byte
+	part  []byte // bytes of an unterminated trailing line
+}
+
+// NewTail builds a tail bounded to maxLines (minimum 1).
+func NewTail(maxLines int) *Tail {
+	if maxLines < 1 {
+		maxLines = 1
+	}
+	return &Tail{max: maxLines}
+}
+
+// Handler returns a JSON slog handler that records into the tail at the
+// given level.
+func (t *Tail) Handler(level slog.Level) slog.Handler {
+	return slog.NewJSONHandler(t, &slog.HandlerOptions{Level: level})
+}
+
+// Write appends rendered bytes, splitting them into retained lines.
+func (t *Tail) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rest := p
+	for {
+		i := indexByte(rest, '\n')
+		if i < 0 {
+			t.part = append(t.part, rest...)
+			break
+		}
+		line := append(append([]byte(nil), t.part...), rest[:i]...)
+		t.part = t.part[:0]
+		t.lines = append(t.lines, line)
+		if len(t.lines) > t.max {
+			t.lines = t.lines[len(t.lines)-t.max:]
+		}
+		rest = rest[i+1:]
+	}
+	return len(p), nil
+}
+
+// Lines returns the retained lines, oldest first, as raw JSON (safe to
+// embed in a JSON document without re-encoding). Nil receiver → nil.
+func (t *Tail) Lines() []json.RawMessage {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]json.RawMessage, len(t.lines))
+	for i, l := range t.lines {
+		out[i] = json.RawMessage(append([]byte(nil), l...))
+	}
+	return out
+}
+
+func indexByte(b []byte, c byte) int {
+	for i, x := range b {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}

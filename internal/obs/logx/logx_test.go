@@ -1,0 +1,120 @@
+package logx
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"warn": slog.LevelWarn, "WARNING": slog.LevelWarn, "Error": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}
+
+func TestNewEmitsJSONSchema(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, slog.LevelInfo)
+	l.Info("job.enqueue", KeyJob, "job-000001", KeyTrace, "abc", KeyDepth, 3)
+	l.Debug("hidden") // below level
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("output is not one JSON line: %q (%v)", buf.String(), err)
+	}
+	if rec["msg"] != "job.enqueue" || rec[KeyJob] != "job-000001" || rec[KeyDepth] != 3.0 {
+		t.Errorf("unexpected record: %v", rec)
+	}
+	if strings.Contains(buf.String(), "hidden") {
+		t.Error("level filter did not apply")
+	}
+}
+
+func TestNopDisabled(t *testing.T) {
+	l := Nop()
+	if l.Enabled(context.Background(), slog.LevelError) {
+		t.Error("nop logger reports enabled")
+	}
+	// Must not panic and must allocate nothing on the guarded pattern.
+	if got := testing.AllocsPerRun(100, func() {
+		if l.Handler().Enabled(context.Background(), slog.LevelInfo) {
+			l.Info("never")
+		}
+	}); got != 0 {
+		t.Errorf("disabled log path allocates %.1f/op", got)
+	}
+}
+
+func TestTeeFansOutToBothSinks(t *testing.T) {
+	var a, b bytes.Buffer
+	// Quiet stderr side (warn) plus a debug-level tail: an info record
+	// must reach only the tail, a warn record both.
+	h := Tee(
+		slog.NewJSONHandler(&a, &slog.HandlerOptions{Level: slog.LevelWarn}),
+		slog.NewJSONHandler(&b, &slog.HandlerOptions{Level: slog.LevelDebug}),
+	)
+	l := slog.New(h).With(slog.String(KeyJob, "job-000009"))
+	l.Info("job.start")
+	l.Warn("job.cancel")
+	if strings.Contains(a.String(), "job.start") {
+		t.Error("quiet side received a below-level record")
+	}
+	if !strings.Contains(a.String(), "job.cancel") {
+		t.Error("quiet side missed an admitted record")
+	}
+	for _, msg := range []string{"job.start", "job.cancel"} {
+		if !strings.Contains(b.String(), msg) {
+			t.Errorf("verbose side missed %q", msg)
+		}
+	}
+	if !strings.Contains(b.String(), "job-000009") {
+		t.Error("WithAttrs did not propagate through the tee")
+	}
+}
+
+func TestTailRetainsBoundedLines(t *testing.T) {
+	tail := NewTail(3)
+	l := slog.New(tail.Handler(slog.LevelDebug))
+	for i := 0; i < 10; i++ {
+		l.Info("job.phase", KeyPhase, "factor", KeyMS, i)
+	}
+	lines := tail.Lines()
+	if len(lines) != 3 {
+		t.Fatalf("tail retained %d lines, want 3", len(lines))
+	}
+	// Oldest first, each line valid standalone JSON.
+	var first, last map[string]any
+	if err := json.Unmarshal(lines[0], &first); err != nil {
+		t.Fatalf("tail line not JSON: %v", err)
+	}
+	json.Unmarshal(lines[2], &last)
+	if first[KeyMS] != 7.0 || last[KeyMS] != 9.0 {
+		t.Errorf("tail window wrong: first ms=%v last ms=%v", first[KeyMS], last[KeyMS])
+	}
+	// Partial writes (no trailing newline yet) stay out of Lines.
+	tail2 := NewTail(2)
+	tail2.Write([]byte(`{"partial":`))
+	if n := len(tail2.Lines()); n != 0 {
+		t.Errorf("unterminated line leaked into Lines: %d", n)
+	}
+	tail2.Write([]byte("1}\n"))
+	if n := len(tail2.Lines()); n != 1 {
+		t.Errorf("line not assembled across writes: %d", n)
+	}
+	var nilTail *Tail
+	if nilTail.Lines() != nil {
+		t.Error("nil tail must return nil lines")
+	}
+}

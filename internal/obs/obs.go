@@ -16,7 +16,7 @@ package obs
 import (
 	"context"
 	"fmt"
-	"runtime"
+	"runtime/metrics"
 	"sync"
 	"time"
 )
@@ -43,22 +43,31 @@ func Float(key string, value float64) Attr { return Attr{Key: key, Value: fmt.Sp
 
 // Span is one timed region of a run. Spans nest: Start on the owning
 // tracer opens a child of the innermost open span, End closes it and
-// records wall time and the runtime.MemStats TotalAlloc delta across
-// the span's lifetime (children included — allocation attribution is
+// records wall time and the cumulative heap-allocation delta across the
+// span's lifetime (children included — allocation attribution is
 // inclusive, like the durations).
+//
+// The allocation delta is a process-wide reading (runtime/metrics
+// /gc/heap/allocs:bytes — there is no per-goroutine allocation counter
+// in the runtime), so a span whose work fans out across goroutines, or
+// that runs while other goroutines allocate, also counts their bytes.
+// Such spans should be marked with MarkAllocsApprox so exports render
+// the delta as approximate instead of presenting an exact-looking
+// number.
 type Span struct {
 	Name string
 
-	tracer   *Tracer
-	parent   *Span
-	start    time.Time
-	startOff time.Duration // offset from the trace root's start
-	dur      time.Duration
-	alloc0   uint64
-	allocs   uint64
-	attrs    []Attr
-	children []*Span
-	done     bool
+	tracer      *Tracer
+	parent      *Span
+	start       time.Time
+	startOff    time.Duration // offset from the trace root's start
+	dur         time.Duration
+	alloc0      uint64
+	allocs      uint64
+	allocApprox bool
+	attrs       []Attr
+	children    []*Span
+	done        bool
 }
 
 // Tracer records one run's span tree and owns the metrics registry.
@@ -68,11 +77,12 @@ type Span struct {
 // single-goroutine pipeline it instruments. A nil *Tracer is the
 // disabled state: every method is a no-op and Registry returns nil.
 type Tracer struct {
-	mu   sync.Mutex
-	root *Span
-	cur  *Span
-	reg  *Registry
-	mem  bool
+	mu      sync.Mutex
+	root    *Span
+	cur     *Span
+	reg     *Registry
+	mem     bool
+	traceID TraceID
 }
 
 // New starts a tracer whose root span carries the given name (e.g.
@@ -84,9 +94,10 @@ func New(name string) *Tracer {
 	return t
 }
 
-// CollectAllocs toggles per-span allocation deltas. Reading
-// runtime.MemStats costs tens of microseconds per span boundary; turn
-// it off for microbenchmarks of the tracer itself.
+// CollectAllocs toggles per-span allocation deltas. The reading is a
+// single runtime/metrics sample (no stop-the-world, unlike
+// runtime.ReadMemStats) but still costs a few hundred nanoseconds per
+// span boundary; turn it off for microbenchmarks of the tracer itself.
 func (t *Tracer) CollectAllocs(on bool) {
 	if t == nil {
 		return
@@ -205,11 +216,29 @@ func (s *Span) finishLocked(mem bool) {
 	}
 	s.dur = time.Since(s.start)
 	if mem {
+		// The counter is monotone, so the delta is never negative; it
+		// can still over-attribute when other goroutines allocate during
+		// the span (see MarkAllocsApprox).
 		if a := totalAlloc(); a > s.alloc0 {
 			s.allocs = a - s.alloc0
 		}
 	}
 	s.done = true
+}
+
+// MarkAllocsApprox flags the span's allocation delta as approximate.
+// Spans that wrap a parallel fan-out (the Monte Carlo sample loop, the
+// decoupled Galerkin per-basis solve, the coupled parallel apply) must
+// call this: the delta is process-wide, so concurrent workers and
+// sibling phases are folded into it. Exports render the value with a
+// "~" prefix and set alloc_approx in JSON.
+func (s *Span) MarkAllocsApprox() {
+	if s == nil || s.tracer == nil {
+		return
+	}
+	s.tracer.mu.Lock()
+	s.allocApprox = true
+	s.tracer.mu.Unlock()
 }
 
 // SetAttrs appends attributes to the span (e.g. results known only
@@ -251,10 +280,16 @@ func (s *Span) Children() []*Span {
 	return append([]*Span(nil), s.children...)
 }
 
+// totalAlloc reads the process's cumulative heap allocation through
+// runtime/metrics, which samples without stopping the world (unlike
+// runtime.ReadMemStats) — cheap enough for every span boundary.
 func totalAlloc() uint64 {
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	return ms.TotalAlloc
+	sample := [1]metrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	metrics.Read(sample[:])
+	if sample[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return sample[0].Value.Uint64()
 }
 
 // ctxKey is the context key type for tracer propagation.

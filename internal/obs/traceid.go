@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// TraceID is a 16-byte request identifier in lowercase-hex wire form
+// (32 characters), minted at job submission and threaded through the
+// queue, the job context, the span tracer and every structured log
+// line, so one ID joins the service view of a job to its phase spans.
+type TraceID string
+
+// NewTraceID mints a random trace ID from crypto/rand.
+func NewTraceID() TraceID {
+	var b [16]byte
+	// crypto/rand.Read does not fail on any supported platform.
+	rand.Read(b[:])
+	return TraceID(hex.EncodeToString(b[:]))
+}
+
+// ParseTraceID validates a wire trace ID (32 hex characters, any case)
+// and returns its canonical lowercase form.
+func ParseTraceID(s string) (TraceID, error) {
+	if len(s) != 32 {
+		return "", fmt.Errorf("obs: trace id must be 32 hex characters, got %d", len(s))
+	}
+	s = strings.ToLower(s)
+	if _, err := hex.DecodeString(s); err != nil {
+		return "", fmt.Errorf("obs: trace id is not hex: %v", err)
+	}
+	return TraceID(s), nil
+}
+
+// SetTraceID tags the tracer (and therefore its Dump) with the
+// request's trace ID. No-op on a nil tracer.
+func (t *Tracer) SetTraceID(id TraceID) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.traceID = id
+	t.mu.Unlock()
+}
+
+// TraceID returns the tracer's trace ID ("" for a nil or untagged
+// tracer).
+func (t *Tracer) TraceID() TraceID {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.traceID
+}

@@ -4,11 +4,17 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"log/slog"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
+
+	"opera/internal/obs/logx"
 )
 
 // Client talks to a running operad over its HTTP API. It is the same
@@ -20,6 +26,15 @@ type Client struct {
 	// HTTPClient overrides the transport; nil uses a client with a
 	// sane overall timeout disabled (job waits are long-poll loops).
 	HTTPClient *http.Client
+	// MaxRetries bounds how many times Submit retries a queue-full
+	// (429) rejection before surfacing the error; each retry honors
+	// the server's Retry-After with jittered exponential backoff and
+	// respects the submission context. 0 disables retries (NewClient
+	// sets 3).
+	MaxRetries int
+	// Logger, when non-nil, records each retry as a "client.retry"
+	// event (attempt number, wait, trace ID).
+	Logger *slog.Logger
 }
 
 // NewClient builds a client for addr ("host:port" or full URL).
@@ -27,7 +42,7 @@ func NewClient(addr string) *Client {
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
 	}
-	return &Client{BaseURL: strings.TrimRight(addr, "/")}
+	return &Client{BaseURL: strings.TrimRight(addr, "/"), MaxRetries: 3}
 }
 
 func (c *Client) http() *http.Client {
@@ -42,6 +57,12 @@ type APIError struct {
 	Status int
 	Kind   string
 	Msg    string
+	// TraceID is the submission's trace ID when the server attached
+	// one (every submission outcome carries it, rejections included).
+	TraceID string
+	// RetryAfter is the parsed Retry-After delay on a 429, zero
+	// otherwise.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -77,11 +98,20 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		return err
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		ae := &APIError{Status: resp.StatusCode, TraceID: resp.Header.Get(TraceIDHeader)}
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+			ae.RetryAfter = time.Duration(ra) * time.Second
+		}
 		var he httpError
 		if json.Unmarshal(data, &he) == nil && he.Error != "" {
-			return &APIError{Status: resp.StatusCode, Kind: he.Kind, Msg: he.Error}
+			ae.Kind, ae.Msg = he.Kind, he.Error
+			if ae.TraceID == "" {
+				ae.TraceID = he.Trace
+			}
+			return ae
 		}
-		return &APIError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(data))}
+		ae.Msg = strings.TrimSpace(string(data))
+		return ae
 	}
 	if out == nil {
 		return nil
@@ -89,11 +119,48 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	return json.Unmarshal(data, out)
 }
 
-// Submit posts one job.
+// Submit posts one job. A queue-full rejection (429) is retried up to
+// MaxRetries times, honoring the server's Retry-After with jittered
+// exponential backoff; the submission context bounds the whole loop.
+// Retrying with the same trace ID is safe — the server's telemetry
+// joins the attempts into one logical request.
 func (c *Client) Submit(ctx context.Context, req Request) (SubmitResponse, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var resp SubmitResponse
-	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &resp)
-	return resp, err
+	for attempt := 0; ; attempt++ {
+		err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &resp)
+		var ae *APIError
+		if err == nil || attempt >= c.MaxRetries ||
+			!errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests {
+			return resp, err
+		}
+		// Keep the server-assigned trace ID across attempts so the
+		// retries share one trace.
+		if req.TraceID == "" {
+			req.TraceID = ae.TraceID
+		}
+		wait := ae.RetryAfter
+		if wait <= 0 {
+			wait = 100 * time.Millisecond << attempt
+		}
+		// Full jitter on top of the base wait desynchronizes clients
+		// that were rejected by the same full queue.
+		wait += time.Duration(rand.Int63n(int64(wait) + 1))
+		if c.Logger != nil {
+			c.Logger.LogAttrs(ctx, slog.LevelWarn, "client.retry",
+				slog.Int(logx.KeyAttempt, attempt+1),
+				slog.String(logx.KeyTrace, req.TraceID),
+				slog.Float64(logx.KeyMS, float64(wait)/float64(time.Millisecond)),
+				slog.String(logx.KeyError, ae.Msg))
+		}
+		select {
+		case <-ctx.Done():
+			return resp, ctx.Err()
+		case <-time.After(wait):
+		}
+	}
 }
 
 // Status fetches a job's state.

@@ -4,10 +4,18 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"time"
 
 	"opera/internal/netlist"
 	"opera/internal/obs"
 )
+
+// TraceIDHeader carries a request's trace ID over HTTP, in both
+// directions: a client may set it on POST /v1/jobs to supply its own ID
+// (32 hex chars; malformed values are rejected), and the server echoes
+// the effective ID on every submission response — including 429/503
+// rejections — and on status/result responses.
+const TraceIDHeader = "X-Opera-Trace-Id"
 
 // maxRequestBytes bounds the JSON request body independently of the
 // netlist limits (the netlist rides inside the JSON, so this must be a
@@ -24,13 +32,17 @@ const requestOverhead = 1 << 20
 //	GET    /healthz             liveness
 //	GET    /readyz              readiness (503 while draining)
 //	GET    /metrics             service metrics snapshot
+//	GET    /debug/flight        flight recorder (when enabled); ?trace=<id> for one entry
+//
+// Every API endpoint is wrapped in per-endpoint SLO instrumentation:
+// an http.latency_ms.<endpoint> histogram plus request/error counters.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.Handle("POST /v1/jobs", s.instrument("submit", s.handleSubmit))
+	mux.Handle("GET /v1/jobs", s.instrument("list", s.handleList))
+	mux.Handle("GET /v1/jobs/{id}", s.instrument("status", s.handleStatus))
+	mux.Handle("GET /v1/jobs/{id}/result", s.instrument("result", s.handleResult))
+	mux.Handle("DELETE /v1/jobs/{id}", s.instrument("cancel", s.handleCancel))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
@@ -42,13 +54,48 @@ func (s *Server) Handler() http.Handler {
 		w.Write([]byte("ready\n"))
 	})
 	mux.Handle("GET /metrics", obs.MetricsHandler(s.reg))
+	if s.flight != nil {
+		mux.Handle("GET /debug/flight", s.flight.Handler())
+	}
 	return mux
+}
+
+// statusWriter captures the response code for the endpoint counters.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one endpoint in its latency histogram and
+// request/error counters (all registered once, at Handler time).
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	lat := s.reg.Histogram("http.latency_ms."+endpoint, obs.MSBuckets)
+	reqs := s.reg.Counter("http.requests_total." + endpoint)
+	errs := s.reg.Counter("http.errors_total." + endpoint)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		lat.ObserveSince(start)
+		reqs.Inc()
+		if sw.code >= 400 {
+			errs.Inc()
+		}
+	})
 }
 
 // httpError is the structured error body.
 type httpError struct {
 	Error string `json:"error"`
 	Kind  string `json:"kind,omitempty"`
+	// Trace is the submission's trace ID when the error concerns a
+	// specific submission (echoed in the X-Opera-Trace-Id header too).
+	Trace string `json:"trace_id,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -59,7 +106,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 // writeError maps service errors to HTTP statuses.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
-	body := httpError{Error: err.Error()}
+	s.writeErrorTrace(w, err, "")
+}
+
+func (s *Server) writeErrorTrace(w http.ResponseWriter, err error, traceID string) {
+	body := httpError{Error: err.Error(), Trace: traceID}
 	code := http.StatusBadRequest
 	var lim *netlist.LimitError
 	switch {
@@ -94,9 +145,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	if req.TraceID == "" {
+		req.TraceID = r.Header.Get(TraceIDHeader)
+	}
 	resp, err := s.Submit(req)
+	if resp.TraceID != "" {
+		w.Header().Set(TraceIDHeader, resp.TraceID)
+	}
 	if err != nil {
-		s.writeError(w, err)
+		s.writeErrorTrace(w, err, resp.TraceID)
 		return
 	}
 	code := http.StatusAccepted
@@ -116,14 +173,20 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	if st.TraceID != "" {
+		w.Header().Set(TraceIDHeader, st.TraceID)
+	}
 	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	data, _, err := s.Result(r.PathValue("id"))
+	data, st, err := s.Result(r.PathValue("id"))
 	if err != nil {
 		s.writeError(w, err)
 		return
+	}
+	if st.TraceID != "" {
+		w.Header().Set(TraceIDHeader, st.TraceID)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(data)

@@ -19,6 +19,7 @@ import (
 	"opera/internal/galerkin"
 	"opera/internal/grid"
 	"opera/internal/mna"
+	"opera/internal/obs"
 )
 
 // Analysis kinds accepted by Request.Analysis.
@@ -69,6 +70,13 @@ type Request struct {
 	// (Workers is worker-count-invariant by the parallel layer's
 	// determinism contract), so none participate in the cache key.
 	//
+	// TraceID is the caller-supplied request trace (32 hex chars; the
+	// X-Opera-Trace-Id header fills it over HTTP). Empty means the
+	// server mints one at admission. It tags the job's span tree, every
+	// log line and the flight-recorder entry, and is echoed in all
+	// responses — including 429 rejections — so a caller can always
+	// join its request to the server's telemetry.
+	TraceID string `json:"trace_id,omitempty"`
 	// Priority is "interactive" (default; served first) or "batch".
 	Priority string `json:"priority,omitempty"`
 	// TimeoutMS bounds the job's wall time; 0 uses the server default.
@@ -117,6 +125,12 @@ func (r *Request) Normalize() {
 	if r.Priority == "" {
 		r.Priority = PriorityInteractive
 	}
+	if r.TraceID != "" {
+		// Canonical lowercase; validity is checked in Validate.
+		if id, err := obs.ParseTraceID(r.TraceID); err == nil {
+			r.TraceID = string(id)
+		}
+	}
 }
 
 // Validate checks a normalized request.
@@ -156,6 +170,11 @@ func (r *Request) Validate() error {
 	}
 	if r.TimeoutMS < 0 {
 		return fmt.Errorf("service: negative timeout")
+	}
+	if r.TraceID != "" {
+		if _, err := obs.ParseTraceID(r.TraceID); err != nil {
+			return fmt.Errorf("service: %w", err)
+		}
 	}
 	return nil
 }

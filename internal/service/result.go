@@ -16,8 +16,11 @@ type GuardSummary struct {
 	Summary     string   `json:"summary"`
 	Healthy     bool     `json:"healthy"`
 	Transitions []string `json:"transitions,omitempty"`
-	StepRetries int      `json:"step_retries,omitempty"`
-	NaNEvents   int      `json:"nan_events,omitempty"`
+	// Escalations counts ladder transitions — the
+	// service.slo_escalations_total contribution of this job.
+	Escalations int `json:"escalations,omitempty"`
+	StepRetries int `json:"step_retries,omitempty"`
+	NaNEvents   int `json:"nan_events,omitempty"`
 }
 
 func guardSummary(rep *numguard.Report) *GuardSummary {
@@ -34,6 +37,7 @@ func guardSummary(rep *numguard.Report) *GuardSummary {
 	for _, tr := range snap.Transitions {
 		gs.Transitions = append(gs.Transitions, tr.String())
 	}
+	gs.Escalations = len(gs.Transitions)
 	return gs
 }
 
@@ -42,6 +46,13 @@ func guardSummary(rep *numguard.Report) *GuardSummary {
 // endpoint serves verbatim, so repeated identical requests return
 // byte-identical payloads.
 type JobResult struct {
+	// TraceID joins this result to the server's telemetry for the job
+	// that computed it: the span tree, the structured log lines and the
+	// flight-recorder entry all carry the same ID. Cached replays keep
+	// the ID of the job that originally solved (the cache serves bytes
+	// verbatim); the response headers carry the current request's ID.
+	TraceID string `json:"trace_id,omitempty"`
+
 	Kind  string  `json:"kind"`
 	N     int     `json:"n"`
 	Steps int     `json:"steps"`

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"strings"
 	"sync"
@@ -18,6 +19,7 @@ import (
 	"opera/internal/netlist"
 	"opera/internal/numguard"
 	"opera/internal/obs"
+	"opera/internal/obs/logx"
 	"opera/internal/parallel"
 )
 
@@ -76,6 +78,17 @@ type Options struct {
 	// CollectTrace attaches each job's obs span tree and metrics
 	// snapshot to its result payload.
 	CollectTrace bool
+	// Logger receives structured job-lifecycle events (the logx
+	// schema: the message is the event name, attributes use the
+	// logx.Key* names, every line carries the job and trace IDs). Nil
+	// disables lifecycle logging entirely — the disabled path adds no
+	// allocations per job.
+	Logger *slog.Logger
+	// FlightJobs sizes the flight recorder: the last K finished jobs,
+	// the K slowest and the last K failed are retained with their span
+	// trees, log tails and numguard summaries, served at /debug/flight.
+	// 0 disables the recorder (and the per-job tracing it implies).
+	FlightJobs int
 }
 
 func (o Options) withDefaults() Options {
@@ -109,6 +122,7 @@ func (o Options) withDefaults() Options {
 type job struct {
 	id       string
 	key      string
+	traceID  string
 	req      Request
 	state    string
 	cached   bool
@@ -118,10 +132,25 @@ type job struct {
 	cancelFn context.CancelFunc
 	ctx      context.Context
 
+	// Telemetry (all nil/zero when disabled — the hot path guards on
+	// log/tracer nil checks only).
+	log         *slog.Logger   // lifecycle logger with job+trace attrs
+	tail        *logx.Tail     // per-job log tail for the flight entry
+	tracer      *obs.Tracer    // per-job span tree (flight or CollectTrace)
+	guard       *GuardSummary  // numguard view of a successful solve
+	escalations int            // ladder transitions during the solve
+
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
 	done      chan struct{}
+}
+
+// event logs one lifecycle event. Call sites must guard with
+// `j.log != nil` before building attributes so the disabled path
+// allocates nothing.
+func (j *job) event(msg string, attrs ...slog.Attr) {
+	j.log.LogAttrs(context.Background(), slog.LevelInfo, msg, attrs...)
 }
 
 // SubmitResponse is the wire reply to a submission.
@@ -129,6 +158,13 @@ type SubmitResponse struct {
 	ID    string `json:"id"`
 	Key   string `json:"key"`
 	State string `json:"state"`
+	// TraceID identifies this submission in the server's telemetry:
+	// the caller's ID when one was supplied, a freshly minted one
+	// otherwise. Set on every outcome, including rejections, so a
+	// retried request can be joined to its eventual run. A coalesced
+	// submission gets the in-flight job's ID — the trace that will
+	// actually run.
+	TraceID string `json:"trace_id,omitempty"`
 	// Cached marks a submission served entirely from the result cache.
 	Cached bool `json:"cached,omitempty"`
 	// Coalesced marks a submission attached to an in-flight job with
@@ -140,6 +176,7 @@ type SubmitResponse struct {
 type JobStatus struct {
 	ID        string              `json:"id"`
 	Key       string              `json:"key"`
+	TraceID   string              `json:"trace_id,omitempty"`
 	State     string              `json:"state"`
 	Cached    bool                `json:"cached,omitempty"`
 	Error     string              `json:"error,omitempty"`
@@ -154,9 +191,11 @@ type JobStatus struct {
 // drain-aware lifecycle. Construct with New, serve over HTTP with
 // Handler, stop with Shutdown.
 type Server struct {
-	opts  Options
-	reg   *obs.Registry
-	cache *Cache
+	opts   Options
+	reg    *obs.Registry
+	cache  *Cache
+	log    *slog.Logger
+	flight *obs.FlightRecorder
 
 	mu          sync.Mutex
 	cond        *sync.Cond
@@ -177,6 +216,16 @@ type Server struct {
 	mCoalesced                      *obs.Counter
 	mQueueDepth, mRunning           *obs.Gauge
 	mJobMS                          *obs.Histogram
+
+	// SLO instrumentation: the queue-wait vs. solve-time split per
+	// priority, deadline-miss/cancel/escalation counters, and the
+	// queue-age gauge sampled on a ticker (queueSampler).
+	mQueueWaitI, mQueueWaitB *obs.Histogram
+	mSolveI, mSolveB         *obs.Histogram
+	mDeadlineMiss            *obs.Counter
+	mSLOCancels              *obs.Counter
+	mSLOEscalations          *obs.Counter
+	mQueueAge                *obs.Gauge
 }
 
 // New builds and starts a server: the worker pool is live and, when a
@@ -189,6 +238,8 @@ func New(opts Options) (*Server, error) {
 		opts:       opts,
 		reg:        opts.Registry,
 		cache:      NewCache(opts.CacheBytes, opts.Registry),
+		log:        opts.Logger,
+		flight:     obs.NewFlightRecorder(opts.FlightJobs),
 		jobs:       make(map[string]*job),
 		inflight:   make(map[string]*job),
 		baseCtx:    ctx,
@@ -203,6 +254,15 @@ func New(opts Options) (*Server, error) {
 		mQueueDepth: opts.Registry.Gauge("service.queue_depth"),
 		mRunning:    opts.Registry.Gauge("service.jobs_running"),
 		mJobMS:      opts.Registry.Histogram("service.job_ms", obs.MSBuckets),
+
+		mQueueWaitI:     opts.Registry.Histogram("service.queue_wait_ms.interactive", obs.MSBuckets),
+		mQueueWaitB:     opts.Registry.Histogram("service.queue_wait_ms.batch", obs.MSBuckets),
+		mSolveI:         opts.Registry.Histogram("service.solve_ms.interactive", obs.MSBuckets),
+		mSolveB:         opts.Registry.Histogram("service.solve_ms.batch", obs.MSBuckets),
+		mDeadlineMiss:   opts.Registry.Counter("service.slo_deadline_misses_total"),
+		mSLOCancels:     opts.Registry.Counter("service.slo_cancels_total"),
+		mSLOEscalations: opts.Registry.Counter("service.slo_escalations_total"),
+		mQueueAge:       opts.Registry.Gauge("service.queue_age_ms"),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	var pending []journalRecord
@@ -233,8 +293,41 @@ func New(opts Options) (*Server, error) {
 			s.workerLoop()
 		}()
 	}
+	go s.queueSampler()
 	return s, nil
 }
+
+// queueSampler refreshes the queue depth and oldest-queued-age gauges
+// on a fixed tick, so /metrics shows wait pressure even between
+// submissions. It exits when the base context is canceled (Shutdown).
+func (s *Server) queueSampler() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case now := <-t.C:
+			s.mu.Lock()
+			depth := len(s.interactive) + len(s.batch)
+			age := 0.0
+			for _, q := range [][]*job{s.interactive, s.batch} {
+				for _, j := range q {
+					if a := float64(now.Sub(j.submitted)) / float64(time.Millisecond); a > age {
+						age = a
+					}
+				}
+			}
+			s.mu.Unlock()
+			s.mQueueDepth.Set(float64(depth))
+			s.mQueueAge.Set(age)
+		}
+	}
+}
+
+// Flight exposes the flight recorder (nil when disabled) — what the
+// HTTP layer serves at /debug/flight.
+func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
 
 // Registry exposes the service metrics registry (for /metrics).
 func (s *Server) Registry() *obs.Registry { return s.reg }
@@ -260,12 +353,17 @@ func (s *Server) Submit(req Request) (SubmitResponse, error) {
 	if err := s.checkLimits(req); err != nil {
 		return SubmitResponse{}, err
 	}
+	// Every outcome — admitted, coalesced, cached, rejected — carries a
+	// trace ID: the caller's (validated above) or a freshly minted one.
+	if req.TraceID == "" {
+		req.TraceID = string(obs.NewTraceID())
+	}
 	key := req.Key()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		return SubmitResponse{}, ErrDraining
+		return SubmitResponse{TraceID: req.TraceID}, ErrDraining
 	}
 	s.mSubmitted.Inc()
 	if !req.NoCache {
@@ -276,21 +374,40 @@ func (s *Server) Submit(req Request) (SubmitResponse, error) {
 			j.result = data
 			j.finished = j.submitted
 			close(j.done)
-			return SubmitResponse{ID: j.id, Key: key, State: StateDone, Cached: true}, nil
+			if j.log != nil {
+				j.event("job.cache_hit", slog.String(logx.KeyKey, key))
+			}
+			s.flight.Record(obs.FlightEntry{
+				TraceID: j.traceID, JobID: j.id, State: StateDone,
+				Analysis: req.Analysis, Priority: req.Priority,
+				Cached: true, Submitted: j.submitted, Log: j.tail.Lines(),
+			})
+			return SubmitResponse{ID: j.id, Key: key, State: StateDone, Cached: true, TraceID: j.traceID}, nil
 		}
 		if prior, ok := s.inflight[key]; ok {
 			s.mCoalesced.Inc()
-			return SubmitResponse{ID: prior.id, Key: key, State: prior.state, Coalesced: true}, nil
+			if s.log != nil {
+				s.log.LogAttrs(context.Background(), slog.LevelInfo, "job.coalesce",
+					slog.String(logx.KeyTrace, req.TraceID),
+					slog.String(logx.KeyOnto, prior.id))
+			}
+			return SubmitResponse{ID: prior.id, Key: key, State: prior.state, Coalesced: true, TraceID: prior.traceID}, nil
 		}
 	}
 	j, err := s.enqueueLocked(req, "")
 	if err != nil {
-		return SubmitResponse{}, err
+		if s.log != nil {
+			s.log.LogAttrs(context.Background(), slog.LevelWarn, "job.reject",
+				slog.String(logx.KeyTrace, req.TraceID),
+				slog.String(logx.KeyError, err.Error()),
+				slog.Int(logx.KeyDepth, len(s.interactive)+len(s.batch)))
+		}
+		return SubmitResponse{TraceID: req.TraceID}, err
 	}
 	if s.journal != nil {
 		s.journal.record(journalRecord{Event: journalSubmit, ID: j.id, Key: key, Req: &j.req})
 	}
-	return SubmitResponse{ID: j.id, Key: key, State: StateQueued}, nil
+	return SubmitResponse{ID: j.id, Key: key, State: StateQueued, TraceID: j.traceID}, nil
 }
 
 // checkLimits rejects oversized inputs at admission, before they cost
@@ -320,15 +437,39 @@ func (s *Server) newJobLocked(req Request, key, id string) *job {
 	} else if n := parseJobSeq(id); n > s.seq {
 		s.seq = n
 	}
+	if req.TraceID == "" {
+		// Submit mints for live submissions; this covers journal
+		// replays recorded before trace propagation existed.
+		req.TraceID = string(obs.NewTraceID())
+	}
 	j := &job{
-		id: id, key: key, req: req,
+		id: id, key: key, traceID: req.TraceID, req: req,
 		state:     StateQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
+	// Per-job logger: every line carries the job and trace IDs; with
+	// the flight recorder on, lines are teed into the job's bounded
+	// tail so the flight entry ships its own log.
+	if s.log != nil || s.flight != nil {
+		h := logx.Nop().Handler()
+		if s.log != nil {
+			h = s.log.Handler()
+		}
+		if s.flight != nil {
+			j.tail = logx.NewTail(tailLines)
+			h = logx.Tee(h, j.tail.Handler(slog.LevelDebug))
+		}
+		j.log = slog.New(h).With(
+			slog.String(logx.KeyJob, j.id),
+			slog.String(logx.KeyTrace, j.traceID))
+	}
 	s.jobs[id] = j
 	return j
 }
+
+// tailLines bounds each job's retained log tail in the flight recorder.
+const tailLines = 64
 
 // enqueueLocked admits a job to its priority queue.
 func (s *Server) enqueueLocked(req Request, id string) (*job, error) {
@@ -355,6 +496,13 @@ func (s *Server) enqueueLocked(req Request, id string) (*job, error) {
 	}
 	s.inflight[key] = j
 	s.mQueueDepth.Set(float64(len(s.interactive) + len(s.batch)))
+	if j.log != nil {
+		j.event("job.enqueue",
+			slog.String(logx.KeyKey, key),
+			slog.String(logx.KeyPriority, j.req.Priority),
+			slog.String(logx.KeyAnalysis, j.req.Analysis),
+			slog.Int(logx.KeyDepth, len(s.interactive)+len(s.batch)))
+	}
 	s.cond.Signal()
 	return j, nil
 }
@@ -404,6 +552,12 @@ func (s *Server) claimLocked(j *job) *job {
 	s.mQueueDepth.Set(float64(len(s.interactive) + len(s.batch)))
 	j.state = StateRunning
 	j.started = time.Now()
+	wait := float64(j.started.Sub(j.submitted)) / float64(time.Millisecond)
+	if j.req.Priority == PriorityBatch {
+		s.mQueueWaitB.Observe(wait)
+	} else {
+		s.mQueueWaitI.Observe(wait)
+	}
 	s.mRunning.Set(float64(s.runningLocked() + 1))
 	return j
 }
@@ -422,6 +576,19 @@ func (s *Server) runningLocked() int {
 // solve surfaces as a failed job (via parallel's panic→error capture),
 // never as a daemon crash.
 func (s *Server) runJob(j *job) {
+	// Per-job tracing is on when results embed traces or the flight
+	// recorder retains them; otherwise the solve runs with a nil tracer
+	// (every obs call is then a no-op).
+	if s.opts.CollectTrace || s.flight != nil {
+		j.tracer = obs.New("service.job")
+		j.tracer.SetTraceID(obs.TraceID(j.traceID))
+	}
+	if j.log != nil {
+		j.event("job.start",
+			slog.String(logx.KeyAnalysis, j.req.Analysis),
+			slog.String(logx.KeyPriority, j.req.Priority),
+			slog.Float64(logx.KeyQueuedMS, float64(j.started.Sub(j.submitted))/float64(time.Millisecond)))
+	}
 	var result []byte
 	err := parallel.ForEach(1, 1, func(_, _ int) error {
 		var e error
@@ -432,19 +599,28 @@ func (s *Server) runJob(j *job) {
 }
 
 // finishJob moves a job to its terminal state and releases waiters.
+// Terminal telemetry (log events, flight entry) is emitted after the
+// server mutex is released.
 func (s *Server) finishJob(j *job, result []byte, err error) {
 	if j.cancelFn != nil {
 		j.cancelFn()
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j.finished = time.Now()
-	s.mJobMS.Observe(float64(j.finished.Sub(j.started)) / float64(time.Millisecond))
+	runMS := float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+	s.mJobMS.Observe(runMS)
+	if j.req.Priority == PriorityBatch {
+		s.mSolveB.Observe(runMS)
+	} else {
+		s.mSolveI.Observe(runMS)
+	}
+	deadline := false
 	switch {
 	case err == nil:
 		j.state = StateDone
 		j.result = result
 		s.mCompleted.Inc()
+		s.mSLOEscalations.Add(int64(j.escalations))
 		if !j.req.NoCache {
 			s.cache.Put(j.key, result)
 		}
@@ -452,6 +628,11 @@ func (s *Server) finishJob(j *job, result []byte, err error) {
 		j.state = StateCanceled
 		j.err = err
 		s.mCanceled.Inc()
+		s.mSLOCancels.Inc()
+		if errors.Is(err, context.DeadlineExceeded) {
+			deadline = true
+			s.mDeadlineMiss.Inc()
+		}
 	default:
 		j.state = StateFailed
 		j.err = err
@@ -469,17 +650,106 @@ func (s *Server) finishJob(j *job, result []byte, err error) {
 	if s.journal != nil {
 		s.journal.record(journalRecord{Event: journalEnd, ID: j.id, State: j.state})
 	}
+	state := j.state
 	close(j.done)
+	s.mu.Unlock()
+	s.recordTerminal(j, state, err, deadline)
+}
+
+// recordTerminal emits a job's terminal telemetry — the deadline/
+// cancel/panic event, the per-phase breakdown derived from the span
+// tree, the job.done line, and the flight-recorder entry. It runs
+// outside the server mutex, after the job is terminal (no more
+// writers touch the job's fields).
+func (s *Server) recordTerminal(j *job, state string, err error, deadline bool) {
+	if j.log == nil && s.flight == nil {
+		return
+	}
+	queuedEnd := j.started
+	if queuedEnd.IsZero() { // canceled while still queued
+		queuedEnd = j.finished
+	}
+	queuedMS := float64(queuedEnd.Sub(j.submitted)) / float64(time.Millisecond)
+	runMS := 0.0
+	if !j.started.IsZero() {
+		runMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+	}
+	var dump *obs.Dump
+	if j.tracer != nil {
+		dump = j.tracer.Dump()
+	}
+	if j.log != nil {
+		switch {
+		case deadline:
+			j.event("job.deadline", slog.Float64(logx.KeyRunMS, runMS))
+		case state == StateCanceled:
+			j.event("job.cancel", slog.Float64(logx.KeyRunMS, runMS))
+		case state == StateFailed:
+			var pe *parallel.PanicError
+			if errors.As(err, &pe) {
+				j.event("job.panic", slog.String(logx.KeyError, pe.Error()))
+			}
+		}
+		if dump != nil {
+			// One line per top-level phase of the solve, derived from
+			// the span tree at completion.
+			for _, sp := range dump.Spans {
+				j.event("job.phase",
+					slog.String(logx.KeyPhase, sp.Name),
+					slog.Float64(logx.KeyMS, sp.DurMS))
+			}
+		}
+		attrs := []slog.Attr{
+			slog.String(logx.KeyState, state),
+			slog.Float64(logx.KeyQueuedMS, queuedMS),
+			slog.Float64(logx.KeyRunMS, runMS),
+		}
+		if err != nil {
+			attrs = append(attrs, slog.String(logx.KeyError, err.Error()))
+		}
+		j.event("job.done", attrs...)
+	}
+	if s.flight != nil {
+		e := obs.FlightEntry{
+			TraceID:   j.traceID,
+			JobID:     j.id,
+			State:     state,
+			Analysis:  j.req.Analysis,
+			Priority:  j.req.Priority,
+			Submitted: j.submitted,
+			QueuedMS:  queuedMS,
+			RunMS:     runMS,
+			Trace:     dump,
+			Log:       j.tail.Lines(),
+		}
+		if err != nil {
+			e.Error = err.Error()
+		}
+		switch {
+		case j.guard != nil:
+			e.Guard = j.guard
+		case j.diag != nil:
+			e.Guard = j.diag
+		}
+		s.flight.Record(e)
+	}
 }
 
 // execute runs the analysis for one job and encodes the wire result.
 func (s *Server) execute(j *job) ([]byte, error) {
 	req := j.req
+	// The "assemble" phase mirrors the CLI's: netlist parse or grid
+	// generation, so the service's span tree carries the same six
+	// phases as a local -trace run.
+	spA := j.tracer.Start("assemble")
 	nl, err := s.buildNetlist(req)
 	if err != nil {
+		spA.End()
 		return nil, err
 	}
-	tr := obs.New("service.job")
+	spA.SetAttrs(obs.Int("nodes", nl.NumNodes))
+	spA.End()
+	tr := j.tracer
 	ordering, _ := ParseOrdering(req.Ordering)
 	workers := req.Workers
 	if workers == 0 {
@@ -530,6 +800,11 @@ func (s *Server) execute(j *job) ([]byte, error) {
 		jr = fromCore(KindOpera, res)
 	}
 	tr.Finish()
+	jr.TraceID = j.traceID
+	j.guard = jr.Guard
+	if jr.Guard != nil {
+		j.escalations = jr.Guard.Escalations
+	}
 	if s.opts.CollectTrace {
 		jr.Trace = tr.Dump()
 		snap := tr.Registry().Snapshot()
@@ -560,10 +835,11 @@ func (s *Server) Status(id string) (JobStatus, error) {
 
 func (s *Server) statusLocked(j *job) JobStatus {
 	st := JobStatus{
-		ID:     j.id,
-		Key:    j.key,
-		State:  j.state,
-		Cached: j.cached,
+		ID:      j.id,
+		Key:     j.key,
+		TraceID: j.traceID,
+		State:   j.state,
+		Cached:  j.cached,
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()
@@ -640,10 +916,17 @@ func (s *Server) Cancel(id string) (JobStatus, error) {
 			j.cancelFn()
 		}
 		s.mCanceled.Inc()
+		s.mSLOCancels.Inc()
 		if s.journal != nil {
 			s.journal.record(journalRecord{Event: journalEnd, ID: j.id, State: StateCanceled})
 		}
 		close(j.done)
+		st := s.statusLocked(j)
+		s.mu.Unlock()
+		// A queued job never ran: its terminal telemetry is emitted
+		// here (finishJob never sees it).
+		s.recordTerminal(j, StateCanceled, cancel.ErrCanceled, false)
+		return st, nil
 	case StateRunning:
 		if j.cancelFn != nil {
 			j.cancelFn()
@@ -690,8 +973,13 @@ func (s *Server) Wait(ctx context.Context, id string) (JobStatus, error) {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
+	queued := len(s.interactive) + len(s.batch)
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	if s.log != nil {
+		s.log.LogAttrs(context.Background(), slog.LevelInfo, "service.drain",
+			slog.Int(logx.KeyDepth, queued))
+	}
 
 	drained := make(chan struct{})
 	go func() {

@@ -102,6 +102,7 @@ type Stepper struct {
 	// Instruments (nil when Options.Obs is nil; Advance checks stepMS
 	// so the disabled path never reads the clock).
 	stepMS     *obs.Histogram
+	stepMSMax  *obs.Gauge
 	stepsTotal *obs.Counter
 }
 
@@ -138,6 +139,10 @@ func NewStepper(g, c *sparse.Matrix, opts Options) (*Stepper, error) {
 	}
 	if reg := opts.Obs.Registry(); reg != nil {
 		st.stepMS = reg.Histogram("transient.step_ms", obs.MSBuckets)
+		// Worst single step of the run: a slow-job flight entry shows at
+		// a glance whether one pathological step (ladder escalation, GC
+		// pause) or uniform slowness dominated the transient.
+		st.stepMSMax = reg.Gauge("transient.step_ms_max")
 		st.stepsTotal = reg.Counter("transient.steps_total")
 	}
 	fac, err := sym.Factorize(a, opts.ReuseFactor)
@@ -324,7 +329,9 @@ func (s *Stepper) Advance(uNew []float64) error {
 	s.t += h
 	s.stepNo++
 	if s.stepMS != nil {
-		s.stepMS.ObserveSince(stepStart)
+		ms := float64(time.Since(stepStart)) / float64(time.Millisecond)
+		s.stepMS.Observe(ms)
+		s.stepMSMax.SetMax(ms)
 		s.stepsTotal.Inc()
 	}
 	return nil
