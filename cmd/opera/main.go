@@ -64,7 +64,7 @@ func main() {
 	if *remote != "" {
 		req := buildRemoteRequest(*netPath, *nodes, *seed, *order,
 			*step, *steps, *ordering, *track, *leakage, *sigmaI, *regions,
-			*workers, *priority, *timeout)
+			*workers, *priority, *timeout, *mcCheck)
 		req.TraceID = *traceID
 		runRemote(*remote, req, *logLevel)
 		return

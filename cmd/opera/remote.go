@@ -78,6 +78,14 @@ func printRemote(res *service.JobResult, st service.JobStatus) {
 	if res.SamplesRun > 0 {
 		fmt.Printf("opera: %d Monte Carlo samples in %.3fs\n", res.SamplesRun, res.ElapsedMS/1000)
 	}
+	if res.Degraded {
+		se := 0.0
+		if res.StdErr != nil {
+			se = res.StdErr[res.WorstStep][res.WorstNode]
+		}
+		fmt.Printf("opera: DEGRADED result: %d of %d samples (deadline or drain); worst-node std error %.3g V\n",
+			res.SamplesRun, res.SamplesRequested, se)
+	}
 	if g := res.Guard; g != nil {
 		fmt.Printf("numguard: %s\n", g.Summary)
 		for _, tr := range g.Transitions {
@@ -97,11 +105,13 @@ func printRemote(res *service.JobResult, st service.JobStatus) {
 // buildRemoteRequest maps the CLI flags onto the wire request. A
 // -netlist file is inlined; otherwise the generator spec itself is
 // shipped (tiny, and the server builds the identical grid — same
-// generator, same seed).
+// generator, same seed). -mc N remotely means a Monte Carlo job
+// proper (there is no local result to compare against), which is the
+// analysis that can checkpoint, resume, and return degraded partials.
 func buildRemoteRequest(netPath string, nodes int, seed int64, order int,
 	step float64, steps int, ordering, track string,
 	leakage bool, sigmaI float64, regions int, workers int,
-	priority string, timeout time.Duration) service.Request {
+	priority string, timeout time.Duration, mcSamples int) service.Request {
 	req := service.Request{
 		Order: order, Step: step, Steps: steps, Ordering: ordering,
 		TrackNodes: parseTrack(track),
@@ -109,10 +119,15 @@ func buildRemoteRequest(netPath string, nodes int, seed int64, order int,
 		Priority:   priority,
 		TimeoutMS:  int64(timeout / time.Millisecond),
 	}
-	if leakage {
+	switch {
+	case leakage:
 		req.Analysis = service.KindLeakage
 		req.Regions = regions
 		req.SigmaLogI = sigmaI
+	case mcSamples > 0:
+		req.Analysis = service.KindMC
+		req.Samples = mcSamples
+		req.Seed = seed
 	}
 	if netPath != "" {
 		data, err := os.ReadFile(netPath)

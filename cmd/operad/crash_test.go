@@ -1,0 +1,286 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"opera/internal/grid"
+	"opera/internal/service"
+)
+
+// buildOperad compiles the daemon once per test binary.
+func buildOperad(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "operad")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// daemon wraps one operad process under test.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// startDaemon launches operad and parses the listen address from its
+// structured "operad.serving" log line.
+func startDaemon(t *testing.T, bin string, args ...string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0", "-log-level", "info"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd}
+	t.Cleanup(func() {
+		if d.cmd.Process != nil {
+			d.cmd.Process.Kill()
+			d.cmd.Wait()
+		}
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if bytes.Contains(line, []byte("operad.serving")) {
+				var ev struct {
+					Addr string `json:"addr"`
+				}
+				if json.Unmarshal(line, &ev) == nil && ev.Addr != "" {
+					select {
+					case addrCh <- ev.Addr:
+					default:
+					}
+				}
+			}
+		}
+		io.Copy(io.Discard, stderr)
+	}()
+	select {
+	case d.addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("operad never logged operad.serving")
+	}
+	return d
+}
+
+func (d *daemon) url(path string) string { return "http://" + d.addr + path }
+
+func httpJSON(t *testing.T, method, url string, body []byte) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, data
+}
+
+// normalize strips volatile result fields (trace IDs differ across
+// submissions, elapsed time across runs) so byte comparison tests the
+// numerics.
+func normalize(t *testing.T, data []byte) string {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("decode result: %v\n%s", err, data)
+	}
+	delete(m, "trace_id")
+	delete(m, "elapsed_ms")
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// mcJob builds a Monte Carlo request slow enough to SIGKILL mid-flight
+// but deterministic, so the resumed run must match a fresh one.
+func mcJob(t *testing.T, seed int64, samples int) []byte {
+	t.Helper()
+	spec := grid.DefaultSpec(64, seed)
+	b, err := json.Marshal(service.Request{
+		Grid: &spec, Analysis: service.KindMC,
+		Samples: samples, Steps: 4, Step: 1e-10, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestCrashResumeByteIdentical SIGKILLs operad mid-MC-job and
+// restarts it on the same journal and checkpoint directory. The
+// replayed job must resume from its snapshot and produce a result
+// byte-identical (modulo trace/timing fields) to an uninterrupted run
+// of the same request on a pristine daemon.
+func TestCrashResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	bin := buildOperad(t)
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "journal")
+	ckpt := filepath.Join(dir, "ckpt")
+	args := []string{"-journal", journal, "-checkpoint-dir", ckpt, "-checkpoint-every", "64", "-jobs", "1"}
+
+	// Reference result from an uninterrupted daemon on pristine state.
+	refDir := t.TempDir()
+	ref := startDaemon(t, bin, "-journal", filepath.Join(refDir, "journal"), "-checkpoint-dir", filepath.Join(refDir, "ckpt"), "-jobs", "1")
+	code, body := httpJSON(t, "POST", ref.url("/v1/jobs"), mcJob(t, 5, 20000))
+	if code != http.StatusAccepted {
+		t.Fatalf("reference submit: %d %s", code, body)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	json.Unmarshal(body, &sub)
+	want := normalize(t, waitResult(t, ref, sub.ID))
+	ref.cmd.Process.Signal(syscall.SIGTERM)
+	ref.cmd.Wait()
+
+	// Crash run: submit, wait for the first checkpoint to land, SIGKILL.
+	d1 := startDaemon(t, bin, args...)
+	code, body = httpJSON(t, "POST", d1.url("/v1/jobs"), mcJob(t, 5, 20000))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var sub1 struct {
+		ID string `json:"id"`
+	}
+	json.Unmarshal(body, &sub1)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if entries, err := os.ReadDir(ckpt); err == nil {
+			found := false
+			for _, e := range entries {
+				if strings.HasSuffix(e.Name(), ".ckpt") {
+					found = true
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			st, js := httpJSON(t, "GET", d1.url("/v1/jobs/"+sub1.ID), nil)
+			t.Fatalf("no checkpoint before deadline; job status %d %s", st, js)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := d1.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	d1.cmd.Wait()
+
+	// Restart on the same state: the journal replays the job under its
+	// original ID and the solve resumes from the snapshot.
+	d2 := startDaemon(t, bin, args...)
+	got := normalize(t, waitResult(t, d2, sub1.ID))
+	if got != want {
+		t.Fatal("resumed result differs from uninterrupted run")
+	}
+	d2.cmd.Process.Signal(syscall.SIGTERM)
+	d2.cmd.Wait()
+}
+
+// waitResult polls a job to completion and fetches its result bytes.
+func waitResult(t *testing.T, d *daemon, id string) []byte {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		code, body := httpJSON(t, "GET", d.url("/v1/jobs/"+id), nil)
+		if code == http.StatusOK {
+			var st struct {
+				State string `json:"state"`
+				Error string `json:"error"`
+			}
+			json.Unmarshal(body, &st)
+			switch st.State {
+			case "done":
+				code, res := httpJSON(t, "GET", d.url("/v1/jobs/"+id+"/result"), nil)
+				if code != http.StatusOK {
+					t.Fatalf("result fetch: %d %s", code, res)
+				}
+				return res
+			case "failed", "canceled":
+				t.Fatalf("job %s terminal state %s: %s", id, st.State, st.Error)
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished", id)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestTornCheckpointOnDiskIgnored plants a torn tmp snapshot and a
+// checksum-corrupt final snapshot in the checkpoint directory; the
+// daemon must start, sweep the tmp, discard the corrupt file, and
+// solve the job from scratch — same bytes as a clean run.
+func TestTornCheckpointOnDiskIgnored(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	bin := buildOperad(t)
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt")
+	if err := os.MkdirAll(ckpt, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A torn tmp write and a corrupt final file under plausible names.
+	if err := os.WriteFile(filepath.Join(ckpt, "deadbeef.ckpt.tmp"), []byte(`{"version":1,"kind":"mc"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(ckpt, "feedface.ckpt"), []byte(`{"version":1,"kind":"mc","key":"feedface","seq":8,"sum":"0000","payload":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d := startDaemon(t, bin, "-checkpoint-dir", ckpt, "-jobs", "1")
+	if _, err := os.Stat(filepath.Join(ckpt, "deadbeef.ckpt.tmp")); !os.IsNotExist(err) {
+		t.Fatal("torn tmp snapshot not swept at startup")
+	}
+	code, body := httpJSON(t, "POST", d.url("/v1/jobs"), mcJob(t, 9, 200))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	json.Unmarshal(body, &sub)
+	res := waitResult(t, d, sub.ID)
+	var jr struct {
+		SamplesRun int  `json:"samples_run"`
+		Degraded   bool `json:"degraded"`
+	}
+	if err := json.Unmarshal(res, &jr); err != nil {
+		t.Fatal(err)
+	}
+	if jr.SamplesRun != 200 || jr.Degraded {
+		t.Fatalf("job did not run cleanly from scratch: samples_run=%d degraded=%v", jr.SamplesRun, jr.Degraded)
+	}
+	d.cmd.Process.Signal(syscall.SIGTERM)
+	d.cmd.Wait()
+}

@@ -52,6 +52,9 @@ func main() {
 		withTrace    = flag.Bool("trace", false, "attach per-job span trees and metrics to results")
 		logLevel     = flag.String("log-level", "info", "structured log level: debug|info|warn|error|off")
 		flightJobs   = flag.Int("flight", 32, "flight-recorder entries per view (recent/slowest/failed); 0 disables /debug/flight")
+		ckptDir      = flag.String("checkpoint-dir", "", "directory for periodic Monte Carlo snapshots; jobs resume from them after a crash")
+		ckptEvery    = flag.Int("checkpoint-every", 64, "snapshot cadence in samples (rounded up to the solver's chunk grid)")
+		stallTimeout = flag.Duration("stall-timeout", 0, "kill a job whose progress counter stalls this long; 0 disables the watchdog")
 	)
 	flag.Parse()
 
@@ -80,17 +83,20 @@ func main() {
 	factor.SetMetrics(reg)
 
 	srv, err := service.New(service.Options{
-		QueueDepth:     *queueDepth,
-		ConcurrentJobs: *jobs,
-		SolverWorkers:  *workers,
-		CacheBytes:     *cacheMB << 20,
-		Limits:         limits,
-		DefaultTimeout: *jobTimeout,
-		JournalPath:    *journalPath,
-		Registry:       reg,
-		CollectTrace:   *withTrace,
-		Logger:         logger,
-		FlightJobs:     *flightJobs,
+		QueueDepth:      *queueDepth,
+		ConcurrentJobs:  *jobs,
+		SolverWorkers:   *workers,
+		CacheBytes:      *cacheMB << 20,
+		Limits:          limits,
+		DefaultTimeout:  *jobTimeout,
+		JournalPath:     *journalPath,
+		Registry:        reg,
+		CollectTrace:    *withTrace,
+		Logger:          logger,
+		FlightJobs:      *flightJobs,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		StallTimeout:    *stallTimeout,
 	})
 	if err != nil {
 		fatal("operad: %v", err)

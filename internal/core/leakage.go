@@ -45,6 +45,9 @@ type LeakageOptions struct {
 	// Obs, when non-nil, receives the pipeline phase spans and solver
 	// metrics (see Options.Obs).
 	Obs *obs.Tracer
+	// Progress, when non-nil, is marked per sample and per step (see
+	// Options.Progress).
+	Progress *obs.Progress
 	// Ctx, when non-nil, cancels the analysis cooperatively (see
 	// Options.Ctx).
 	Ctx context.Context
@@ -146,7 +149,7 @@ func AnalyzeLeakage(nl *netlist.Netlist, opts LeakageOptions) (*Result, error) {
 	return analyze(gsys, sys.VDD, Options{
 		Order: opts.Order, Step: opts.Step, Steps: opts.Steps,
 		TrackNodes: opts.TrackNodes, Workers: opts.Workers, Obs: opts.Obs,
-		Ctx: opts.Ctx,
+		Progress: opts.Progress, Ctx: opts.Ctx,
 	})
 }
 
@@ -215,6 +218,7 @@ func RunLeakageMC(nl *netlist.Netlist, opts LeakageOptions, samples int, seed in
 		if err := cancel.Poll(opts.Ctx, "leakage-mc", k); err != nil {
 			return nil, err
 		}
+		opts.Progress.Mark()
 		for r := range xi {
 			xi[r] = rng.NormFloat64()
 			multiplier[r] = math.Exp(sigma*xi[r] - sigma*sigma/2)
@@ -262,5 +266,6 @@ func AnalyzeLeakageForceCoupled(nl *netlist.Netlist, opts LeakageOptions) (*Resu
 	return analyze(gsys, sys.VDD, Options{
 		Order: opts.Order, Step: opts.Step, Steps: opts.Steps,
 		TrackNodes: opts.TrackNodes, ForceCoupled: true, Workers: opts.Workers, Obs: opts.Obs,
+		Progress: opts.Progress,
 	})
 }

@@ -61,6 +61,10 @@ type Options struct {
 	// order, factor, transient, moments) and all solver metrics. Nil
 	// disables instrumentation at zero cost.
 	Obs *obs.Tracer
+	// Progress, when non-nil, is marked at every step/sample/basis
+	// boundary the solve loops pass; a stall watchdog can poll it to
+	// tell a slow analysis from a hung one. Nil disables the marks.
+	Progress *obs.Progress
 	// Ctx, when non-nil, cancels the analysis cooperatively: the solve
 	// loops poll it at step/sample/basis boundaries and return a
 	// structured error wrapping cancel.ErrCanceled once it is canceled
@@ -177,7 +181,7 @@ func analyze(gsys *galerkin.System, vdd float64, opts Options) (*Result, error) 
 		Ordering: opts.Ordering, ForceCoupled: opts.ForceCoupled,
 		ForceLU: opts.ForceLU, Iterative: opts.Iterative,
 		Workers: opts.Workers, Guard: opts.Guard, Obs: opts.Obs,
-		Ctx: opts.Ctx,
+		Progress: opts.Progress, Ctx: opts.Ctx,
 	}, func(step int, _ float64, coeffs [][]float64) {
 		visitStart := time.Now()
 		B := len(coeffs)
@@ -236,7 +240,7 @@ func NominalRun(sys *mna.System, opts Options) ([][]float64, error) {
 	err := transient.Run(sys.Ga, sys.Ca, func(t float64, u []float64) {
 		sys.RHS(t, ua, nil, nil)
 		copy(u, ua)
-	}, transient.Options{Step: opts.Step, Steps: opts.Steps, Method: transient.BackwardEuler, Ctx: opts.Ctx},
+	}, transient.Options{Step: opts.Step, Steps: opts.Steps, Method: transient.BackwardEuler, Progress: opts.Progress, Ctx: opts.Ctx},
 		func(step int, _ float64, x []float64) {
 			copy(out[step], x)
 		})
@@ -253,7 +257,7 @@ func RunMC(sys *mna.System, opts Options, samples int, seed int64, trackNodes []
 	mc, err := montecarlo.Run(sys, montecarlo.Options{
 		Samples: samples, Step: opts.Step, Steps: opts.Steps,
 		Seed: seed, TrackNodes: trackNodes, Workers: opts.Workers, Obs: opts.Obs,
-		Ctx: opts.Ctx,
+		Progress: opts.Progress, Ctx: opts.Ctx,
 	})
 	return mc, time.Since(start), err
 }

@@ -178,6 +178,7 @@ func solveCoupled(sys *System, opts Options, visit func(int, float64, [][]float6
 		}
 		stepMS.ObserveSince(stepStart)
 		stepsTotal.Inc()
+		opts.Progress.Mark()
 		if visit != nil {
 			unpack(x, outBlocks)
 			visit(k, t, outBlocks)

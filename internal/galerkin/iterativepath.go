@@ -220,6 +220,7 @@ func solveCoupledIterative(sys *System, opts Options, visit func(int, float64, [
 		}
 		stepMS.ObserveSince(stepStart)
 		stepsTotal.Inc()
+		opts.Progress.Mark()
 		if visit != nil {
 			unpack(x, outBlocks)
 			visit(k, t, outBlocks)

@@ -77,6 +77,10 @@ type Options struct {
 	// galerkin.cg_iterations_total, numguard.*). Nil disables
 	// instrumentation at zero cost.
 	Obs *obs.Tracer
+	// Progress, when non-nil, is marked once per completed time step on
+	// every solve path; a stall watchdog can poll it to distinguish a
+	// slow solve from a hung one. Nil disables the marks.
+	Progress *obs.Progress
 	// Ctx, when non-nil, is polled at every time step (all three solve
 	// paths) and before every per-basis solve on the decoupled path; a
 	// canceled or expired context stops the solve within one step with
@@ -286,6 +290,7 @@ func solveDecoupled(sys *System, opts Options, visit func(int, float64, [][]floa
 		}
 		stepMS.ObserveSince(stepStart)
 		stepsTotal.Inc()
+		opts.Progress.Mark()
 		if visit != nil {
 			visit(k, t, blocks)
 		}

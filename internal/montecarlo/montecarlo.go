@@ -25,6 +25,7 @@ package montecarlo
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -64,8 +65,84 @@ type Options struct {
 	// Ctx, when non-nil, is polled before every sample and every time
 	// step inside a sample; a canceled or expired context stops the run
 	// within one step with a structured error wrapping
-	// cancel.ErrCanceled. Nil disables the check.
+	// cancel.ErrCanceled. When samples have already been merged, the
+	// partial Result (moments over the merged prefix, SamplesRun set
+	// accordingly) is returned alongside the error so callers can serve
+	// a statistically honest degraded answer. Nil disables the check.
 	Ctx context.Context
+	// Progress, when non-nil, is advanced once per completed sample
+	// (and, via the inner transient stepper, once per time step) — the
+	// liveness signal a stall watchdog monitors. Nil disables it.
+	Progress *obs.Progress
+	// CheckpointEvery emits a resumable Checkpoint through OnCheckpoint
+	// whenever at least that many new samples have been merged since
+	// the last snapshot. 0 disables checkpointing.
+	CheckpointEvery int
+	// OnCheckpoint receives periodic snapshots of the merged prefix. It
+	// runs on the merge goroutine (never concurrently with itself); a
+	// slow callback back-pressures the sampling pipeline but cannot
+	// corrupt it. The snapshot is a deep copy — safe to serialize after
+	// the call returns.
+	OnCheckpoint func(cp *Checkpoint)
+	// Resume restarts a run from a previous Checkpoint: merged moments
+	// are restored exactly and sampling continues at cp.NextSample.
+	// Because sample k's RNG substream depends only on (Seed, k) and
+	// chunks merge in ascending order, the final result is bit-identical
+	// to an uninterrupted run, at any worker count. A checkpoint whose
+	// shape does not match the options fails with ErrBadResume.
+	Resume *Checkpoint
+}
+
+// ErrBadResume rejects a Resume checkpoint that does not match the run
+// it is being applied to (different system size, sample budget, seed or
+// a next-sample index off the chunk grid). Callers holding a possibly
+// stale snapshot should discard it and restart from scratch.
+var ErrBadResume = errors.New("montecarlo: incompatible resume checkpoint")
+
+// Checkpoint is a resumable snapshot of a Monte Carlo run: the
+// Chan/Pébay accumulator states of every merged sample, the tracked
+// traces of the merged prefix, and the index of the next sample to
+// draw. NextSample always sits on a chunk boundary, so the resumed
+// run's chunk layout — and therefore its merge order and its
+// floating-point association — is identical to the uninterrupted run's.
+type Checkpoint struct {
+	N          int   `json:"n"`
+	Steps      int   `json:"steps"`
+	Samples    int   `json:"samples"`
+	Seed       int64 `json:"seed"`
+	NextSample int   `json:"next_sample"`
+	// Acc[s][i] is the accumulator state of node i at step s over
+	// samples [0, NextSample).
+	Acc [][]randvar.RunningState `json:"acc"`
+	// Traces holds the tracked-node traces of the merged prefix when
+	// TrackNodes is set (indexed by sample, like Result.Traces).
+	Traces [][][]float64 `json:"traces,omitempty"`
+}
+
+// compatible validates a checkpoint against the run about to use it.
+func (cp *Checkpoint) compatible(n int, opts Options) error {
+	nsteps := opts.Steps + 1
+	switch {
+	case cp.N != n:
+		return fmt.Errorf("%w: snapshot has %d nodes, run has %d", ErrBadResume, cp.N, n)
+	case cp.Steps != opts.Steps:
+		return fmt.Errorf("%w: snapshot has %d steps, run has %d", ErrBadResume, cp.Steps, opts.Steps)
+	case cp.Samples != opts.Samples:
+		return fmt.Errorf("%w: snapshot budget %d samples, run wants %d", ErrBadResume, cp.Samples, opts.Samples)
+	case cp.Seed != opts.Seed:
+		return fmt.Errorf("%w: snapshot seed %d, run seed %d", ErrBadResume, cp.Seed, opts.Seed)
+	case cp.NextSample < 0 || cp.NextSample > opts.Samples,
+		cp.NextSample%mcChunk != 0 && cp.NextSample != opts.Samples:
+		return fmt.Errorf("%w: next sample %d off the chunk grid", ErrBadResume, cp.NextSample)
+	case len(cp.Acc) != nsteps:
+		return fmt.Errorf("%w: snapshot has %d step rows, want %d", ErrBadResume, len(cp.Acc), nsteps)
+	}
+	for s := range cp.Acc {
+		if len(cp.Acc[s]) != n {
+			return fmt.Errorf("%w: step %d has %d nodes, want %d", ErrBadResume, s, len(cp.Acc[s]), n)
+		}
+	}
+	return nil
 }
 
 // TrackNodeError reports a TrackNodes entry outside the system's node
@@ -143,6 +220,27 @@ func Run(sys *mna.System, opts Options) (*Result, error) {
 		res.Traces = make([][][]float64, opts.Samples)
 	}
 
+	// Resume: restore the merged prefix exactly and pick up sampling at
+	// the snapshot's chunk boundary.
+	startChunk := 0
+	if cp := opts.Resume; cp != nil {
+		if err := cp.compatible(n, opts); err != nil {
+			return nil, err
+		}
+		for s := range acc {
+			for i := range acc[s] {
+				acc[s][i].Restore(cp.Acc[s][i])
+			}
+		}
+		if res.Traces != nil {
+			copy(res.Traces, cp.Traces)
+		}
+		res.SamplesRun = cp.NextSample
+		// Ceiling division covers the NextSample == Samples case, where
+		// the final (possibly short) chunk is already merged.
+		startChunk = (cp.NextSample + mcChunk - 1) / mcChunk
+	}
+
 	workers := parallel.Workers(opts.Workers)
 	tr := opts.Obs
 	runStart := time.Now()
@@ -191,6 +289,7 @@ func Run(sys *mna.System, opts Options) (*Result, error) {
 
 	chunks := (opts.Samples + mcChunk - 1) / mcChunk
 	runChunk := func(worker, chunk int) (*mcShard, error) {
+		chunk += startChunk
 		sh := shardPool.Get().(*mcShard)
 		sh.lo = chunk * mcChunk
 		sh.hi = sh.lo + mcChunk
@@ -216,6 +315,7 @@ func Run(sys *mna.System, opts Options) (*Result, error) {
 			st, err := transient.NewStepper(g, c, transient.Options{
 				Step: opts.Step, Steps: opts.Steps, Method: opts.Method,
 				Symbolic: sym, ReuseFactor: reuse[worker], Obs: opts.Obs,
+				Progress: opts.Progress,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("montecarlo: sample %d: %w", k, err)
@@ -241,9 +341,14 @@ func Run(sys *mna.System, opts Options) (*Result, error) {
 				workerMS[worker].ObserveSince(sampleStart)
 				samplesTotal.Inc()
 			}
+			opts.Progress.Mark()
 		}
 		return sh, nil
 	}
+	// lastCkpt tracks the merged-sample count at the latest snapshot; it
+	// is only touched on the merge goroutine (OrderedChunks serializes
+	// merges), so no locking is needed.
+	lastCkpt := res.SamplesRun
 	mergeChunk := func(_ int, sh *mcShard) error {
 		for s := range acc {
 			for i := range acc[s] {
@@ -252,24 +357,74 @@ func Run(sys *mna.System, opts Options) (*Result, error) {
 		}
 		res.SamplesRun = sh.hi
 		shardPool.Put(sh)
+		if opts.OnCheckpoint != nil && opts.CheckpointEvery > 0 &&
+			sh.hi < opts.Samples && sh.hi-lastCkpt >= opts.CheckpointEvery {
+			lastCkpt = sh.hi
+			opts.OnCheckpoint(snapshot(res, acc, opts, n, sh.hi))
+		}
 		return nil
 	}
-	if err := parallel.OrderedChunks(workers, chunks, 2*workers, runChunk, mergeChunk); err != nil {
-		return nil, err
+	runErr := parallel.OrderedChunks(workers, chunks-startChunk, 2*workers, runChunk, mergeChunk)
+
+	finalize := func() {
+		res.Mean = make([][]float64, nsteps)
+		res.Variance = make([][]float64, nsteps)
+		for s := 0; s < nsteps; s++ {
+			res.Mean[s] = make([]float64, n)
+			res.Variance[s] = make([]float64, n)
+			for i := 0; i < n; i++ {
+				res.Mean[s][i] = acc[s][i].Mean()
+				res.Variance[s][i] = acc[s][i].Variance()
+			}
+		}
+	}
+	if runErr != nil {
+		// A canceled run (deadline, drain, stall watchdog) with merged
+		// samples still has honest statistics over [0, SamplesRun): the
+		// merged prefix is contiguous (merges are strictly ascending) and
+		// equals what a run with Samples=SamplesRun would have produced.
+		// Return it alongside the error so the service can serve a
+		// degraded result; every other failure returns nil as before.
+		if errors.Is(runErr, cancel.ErrCanceled) && res.SamplesRun > 0 {
+			if res.Traces != nil {
+				// Drop traces computed by chunks that never merged so the
+				// result covers exactly the merged prefix.
+				for k := res.SamplesRun; k < len(res.Traces); k++ {
+					res.Traces[k] = nil
+				}
+			}
+			finalize()
+			return res, runErr
+		}
+		return nil, runErr
 	}
 
 	reg.Gauge("montecarlo.elapsed_ms").Set(float64(time.Since(runStart)) / float64(time.Millisecond))
-	res.Mean = make([][]float64, nsteps)
-	res.Variance = make([][]float64, nsteps)
-	for s := 0; s < nsteps; s++ {
-		res.Mean[s] = make([]float64, n)
-		res.Variance[s] = make([]float64, n)
-		for i := 0; i < n; i++ {
-			res.Mean[s][i] = acc[s][i].Mean()
-			res.Variance[s][i] = acc[s][i].Variance()
+	finalize()
+	return res, nil
+}
+
+// snapshot deep-copies the merged prefix into a Checkpoint. It runs on
+// the merge goroutine: accumulators for merged chunks are quiescent and
+// trace rows below the merge frontier were written before their chunk
+// was handed to the merger, so the copy is race-free.
+func snapshot(res *Result, acc [][]randvar.Running, opts Options, n, next int) *Checkpoint {
+	cp := &Checkpoint{
+		N: n, Steps: opts.Steps, Samples: opts.Samples, Seed: opts.Seed,
+		NextSample: next,
+		Acc:        make([][]randvar.RunningState, len(acc)),
+	}
+	for s := range acc {
+		cp.Acc[s] = make([]randvar.RunningState, n)
+		for i := range acc[s] {
+			cp.Acc[s][i] = acc[s][i].State()
 		}
 	}
-	return res, nil
+	if res.Traces != nil {
+		cp.Traces = make([][][]float64, next)
+		copy(cp.Traces, res.Traces[:next])
+	}
+	return cp
 }
 
 // drawSample produces sample k's parameter realization. In i.i.d. mode

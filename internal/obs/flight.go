@@ -22,6 +22,7 @@ type FlightEntry struct {
 	Analysis  string    `json:"analysis,omitempty"`
 	Priority  string    `json:"priority,omitempty"`
 	Cached    bool      `json:"cached,omitempty"`
+	Degraded  bool      `json:"degraded,omitempty"`
 	Submitted time.Time `json:"submitted"`
 	QueuedMS  float64   `json:"queued_ms"`
 	RunMS     float64   `json:"run_ms"`

@@ -1,0 +1,41 @@
+package obs
+
+import "sync/atomic"
+
+// Progress is a monotonic work counter published by the long-running
+// solve loops (one Mark per Monte Carlo sample, transient step or
+// Galerkin basis solve) and read by liveness watchdogs: a counter whose
+// value stops advancing means the job is stalled — hung factorization,
+// deadlocked pool, livelocked escalation — as opposed to merely slow,
+// which still advances between reads.
+//
+// The zero value is ready to use. All methods are safe for concurrent
+// use and, like *Tracer, safe on a nil receiver so disabled paths cost
+// a single nil check.
+type Progress struct {
+	v atomic.Uint64
+}
+
+// Mark records one completed unit of work.
+func (p *Progress) Mark() {
+	if p == nil {
+		return
+	}
+	p.v.Add(1)
+}
+
+// Add records n completed units of work.
+func (p *Progress) Add(n uint64) {
+	if p == nil {
+		return
+	}
+	p.v.Add(n)
+}
+
+// Value returns the units completed so far (0 on a nil receiver).
+func (p *Progress) Value() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.v.Load()
+}

@@ -105,6 +105,33 @@ func (r *Running) Merge(o *Running) {
 // Reset clears the accumulator for reuse.
 func (r *Running) Reset() { *r = Running{} }
 
+// RunningState is the exported snapshot of a Running accumulator, used
+// by checkpoint/resume to persist in-flight Monte Carlo moments. Fields
+// mirror the internal Welford state exactly; encoding/json round-trips
+// float64 values bit-exactly (shortest-representation encoding), so a
+// state written to disk and restored continues the accumulation with
+// no numerical drift.
+type RunningState struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	M3   float64 `json:"m3"`
+	M4   float64 `json:"m4"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// State captures the accumulator for serialization.
+func (r *Running) State() RunningState {
+	return RunningState{N: r.n, Mean: r.mean, M2: r.m2, M3: r.m3, M4: r.m4, Min: r.min, Max: r.max}
+}
+
+// Restore overwrites the accumulator from a snapshot, as if every
+// observation the snapshot summarizes had been pushed into r.
+func (r *Running) Restore(s RunningState) {
+	r.n, r.mean, r.m2, r.m3, r.m4, r.min, r.max = s.N, s.Mean, s.M2, s.M3, s.M4, s.Min, s.Max
+}
+
 // N returns the sample count.
 func (r *Running) N() int { return r.n }
 

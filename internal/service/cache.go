@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"opera/internal/obs"
+	"opera/internal/service/inject"
 )
 
 // Cache is the content-addressed result cache: request key (sha256 of
@@ -67,6 +68,12 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 func (c *Cache) Put(key string, data []byte) {
 	size := int64(len(data))
 	if size > c.budget {
+		return
+	}
+	if inject.CacheStore() {
+		// Injected store failure: the cache silently misses. The job's
+		// own result bytes still serve the waiters; only future
+		// submissions lose the fast path.
 		return
 	}
 	c.mu.Lock()

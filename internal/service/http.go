@@ -30,7 +30,7 @@ const requestOverhead = 1 << 20
 //	GET    /v1/jobs/{id}/result stored result bytes, verbatim (409 until done)
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /healthz             liveness
-//	GET    /readyz              readiness (503 while draining)
+//	GET    /readyz              readiness (JSON; 503 while draining or queue-saturated)
 //	GET    /metrics             service metrics snapshot
 //	GET    /debug/flight        flight recorder (when enabled); ?trace=<id> for one entry
 //
@@ -47,11 +47,17 @@ func (s *Server) Handler() http.Handler {
 		w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
-		if !s.Ready() {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
-			return
+		ok, reason, depth := s.Readiness()
+		body := struct {
+			Ready      bool   `json:"ready"`
+			Reason     string `json:"reason,omitempty"`
+			QueueDepth int    `json:"queue_depth"`
+		}{Ready: ok, Reason: reason, QueueDepth: depth}
+		code := http.StatusOK
+		if !ok {
+			code = http.StatusServiceUnavailable
 		}
-		w.Write([]byte("ready\n"))
+		writeJSON(w, code, body)
 	})
 	mux.Handle("GET /metrics", obs.MetricsHandler(s.reg))
 	if s.flight != nil {

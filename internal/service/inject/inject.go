@@ -1,0 +1,140 @@
+// Package inject provides deterministic fault injection for the
+// service layer — the operational mirror of numguard/inject's
+// numerical faults. It exists so the chaos soak test can force the
+// failure modes a long-lived daemon actually meets — journal writes
+// that vanish, cache stores that fail, workers that panic or hang,
+// crashes between a checkpoint's tmp write and its rename — rather
+// than hoping for an unlucky deployment. Production code never enables
+// it; every hook is an atomically-loaded nil check. Enable faults only
+// from tests, and always restore.
+//
+// Determinism contract: whether the n-th call at a given site fires is
+// a pure function of (Seed, site, n). Concurrency can reorder which
+// jobs hit the firing call indices, but the schedule itself — how many
+// faults, at which call ordinals — is reproducible from the seed, so a
+// failing soak run can be replayed.
+package inject
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Fault sites. Each names one hook in the service layer.
+const (
+	SiteJournalWrite = "journal.write"    // journal.record drops the line
+	SiteCacheStore   = "cache.put"        // Cache.Put silently refuses
+	SiteWorkerPanic  = "worker.panic"     // execute panics mid-solve
+	SiteStall        = "worker.stall"     // execute hangs until canceled
+	SiteCrashCkpt    = "checkpoint.crash" // crash between ckpt tmp write and rename
+)
+
+// Faults describes the active fault set: a per-site firing rate in
+// [0, 1] and the seed that makes the schedule reproducible. A rate of
+// 1 fires every call (targeted tests); fractional rates drive the
+// chaos soak.
+type Faults struct {
+	Seed int64
+
+	JournalWriteFail      float64
+	CacheStoreFail        float64
+	WorkerPanic           float64
+	ArtificialStall       float64
+	CrashBeforeCheckpoint float64
+
+	mu       sync.Mutex
+	counters map[string]*uint64
+}
+
+var active atomic.Pointer[Faults]
+
+// Enable installs the fault set and returns a restore function. Tests
+// must call the restore (typically via t.Cleanup).
+func Enable(f *Faults) (restore func()) {
+	active.Store(f)
+	return func() { active.Store(nil) }
+}
+
+// Enabled reports whether any faults are active.
+func Enabled() bool { return active.Load() != nil }
+
+// next returns this call's 0-based ordinal at the site.
+func (f *Faults) next(site string) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.counters == nil {
+		f.counters = make(map[string]*uint64)
+	}
+	c := f.counters[site]
+	if c == nil {
+		c = new(uint64)
+		f.counters[site] = c
+	}
+	n := *c
+	*c++
+	return n
+}
+
+// splitmix64 is the standard 64-bit finalizer — enough mixing that
+// consecutive ordinals decorrelate.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func hashSite(site string) uint64 {
+	h := uint64(14695981039346656037) // FNV-1a
+	for i := 0; i < len(site); i++ {
+		h ^= uint64(site[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// fire decides the n-th call at site deterministically from the seed.
+func (f *Faults) fire(site string, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		f.next(site) // keep the ordinal stream advancing
+		return true
+	}
+	n := f.next(site)
+	h := splitmix64(uint64(f.Seed) ^ splitmix64(hashSite(site)^n))
+	return float64(h>>11)/(1<<53) < rate
+}
+
+// JournalWrite reports whether this journal append should be dropped.
+func JournalWrite() bool {
+	f := active.Load()
+	return f != nil && f.fire(SiteJournalWrite, f.JournalWriteFail)
+}
+
+// CacheStore reports whether this cache store should silently fail.
+func CacheStore() bool {
+	f := active.Load()
+	return f != nil && f.fire(SiteCacheStore, f.CacheStoreFail)
+}
+
+// PanicPoint reports whether the executing worker should panic.
+func PanicPoint() bool {
+	f := active.Load()
+	return f != nil && f.fire(SiteWorkerPanic, f.WorkerPanic)
+}
+
+// StallPoint reports whether the executing worker should hang (until
+// its context is canceled — what the stall watchdog exists to do).
+func StallPoint() bool {
+	f := active.Load()
+	return f != nil && f.fire(SiteStall, f.ArtificialStall)
+}
+
+// CrashBeforeCheckpoint reports whether a checkpoint write should die
+// between its tmp write and the rename, leaving a torn tmp file.
+func CrashBeforeCheckpoint() bool {
+	f := active.Load()
+	return f != nil && f.fire(SiteCrashCkpt, f.CrashBeforeCheckpoint)
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"sync"
+
+	"opera/internal/service/inject"
 )
 
 // Journal event kinds.
@@ -13,6 +15,12 @@ const (
 	journalSubmit = "submit"
 	journalEnd    = "end"
 )
+
+// journalScanBuf bounds one journal line on replay. A line past the
+// bound is unparseable; openJournal then falls back to the longest
+// valid prefix rather than refusing to start. Variable so tests can
+// shrink it to exercise the fallback cheaply.
+var journalScanBuf = 64 * 1024 * 1024
 
 // journalRecord is one JSON line of the job journal: a submission
 // (with the full request, so the job is re-runnable) or a terminal
@@ -29,22 +37,45 @@ type journalRecord struct {
 // journal is an append-only JSON-lines file of job lifecycle events.
 // It is deliberately crash-simple: one line per event, fsync-free (a
 // lost tail means at worst a re-run of an idempotent, cache-addressed
-// job), replayed once at startup.
+// job), replayed and compacted once at startup.
 type journal struct {
 	mu sync.Mutex
 	f  *os.File
 	w  *bufio.Writer
+	// warn carries a non-fatal recovery diagnosis from openJournal — a
+	// scan error that forced the longest-valid-prefix fallback. The
+	// server logs it once at startup.
+	warn error
+	// dropped counts append lines lost to write failures (injected or
+	// real). The journal stays best-effort: a dropped line degrades
+	// replay, never the running server.
+	dropped int64
 }
 
 // openJournal reads the existing journal (if any), returning the
-// submitted-but-unfinished records in submission order, then reopens
-// the file for appending.
+// submitted-but-unfinished records in submission order, then compacts
+// the file — only the live submit lines are kept, matched submit/end
+// pairs and any torn tail are dropped — and reopens it for appending.
+//
+// A scan error (oversized line, I/O fault) is not fatal: the longest
+// valid prefix wins, the error is reported on journal.warn, and the
+// compaction rewrite discards the unreadable tail.
 func openJournal(path string) (*journal, []journalRecord, error) {
 	var pending []journalRecord
+	var warn error
+	existed := false
 	if f, err := os.Open(path); err == nil {
+		existed = true
 		byID := make(map[string]int) // id → index in pending, -1 = finished
 		sc := bufio.NewScanner(f)
-		sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+		// The scanner's cap is max(limit, cap(buf)) — keep the initial
+		// capacity at or under the limit so journalScanBuf really bounds
+		// the line size.
+		bufCap := 64 * 1024
+		if bufCap > journalScanBuf {
+			bufCap = journalScanBuf
+		}
+		sc.Buffer(make([]byte, 0, bufCap), journalScanBuf)
 		for sc.Scan() {
 			line := sc.Bytes()
 			if len(line) == 0 {
@@ -67,7 +98,10 @@ func openJournal(path string) (*journal, []journalRecord, error) {
 		}
 		f.Close()
 		if err := sc.Err(); err != nil {
-			return nil, nil, fmt.Errorf("service: journal %s: %w", path, err)
+			// The records scanned so far are intact; everything after
+			// the bad line is unrecoverable either way. Starting with
+			// the prefix beats refusing to start.
+			warn = fmt.Errorf("service: journal %s: recovered longest valid prefix: %w", path, err)
 		}
 		live := pending[:0]
 		for _, rec := range pending {
@@ -79,11 +113,50 @@ func openJournal(path string) (*journal, []journalRecord, error) {
 	} else if !os.IsNotExist(err) {
 		return nil, nil, fmt.Errorf("service: journal %s: %w", path, err)
 	}
+	if existed {
+		if err := compactJournal(path, pending); err != nil {
+			return nil, nil, err
+		}
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("service: journal %s: %w", path, err)
 	}
-	return &journal{f: f, w: bufio.NewWriter(f)}, pending, nil
+	return &journal{f: f, w: bufio.NewWriter(f), warn: warn}, pending, nil
+}
+
+// compactJournal rewrites the journal to exactly the live submit
+// records, via tmp-then-rename so a crash mid-compaction leaves either
+// the old journal or the new one, never a torn mix.
+func compactJournal(path string, live []journalRecord) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("service: journal compact %s: %w", path, err)
+	}
+	w := bufio.NewWriter(f)
+	for _, rec := range live {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			continue
+		}
+		w.Write(b)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("service: journal compact %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("service: journal compact %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("service: journal compact %s: %w", path, err)
+	}
+	return nil
 }
 
 // record appends one event line and flushes it to the OS.
@@ -93,11 +166,18 @@ func (j *journal) record(rec journalRecord) {
 	if j.f == nil {
 		return
 	}
+	if inject.JournalWrite() {
+		j.dropped++
+		return
+	}
 	b, err := json.Marshal(rec)
 	if err != nil {
 		return
 	}
-	j.w.Write(b)
+	if _, err := j.w.Write(b); err != nil {
+		j.dropped++
+		return
+	}
 	j.w.WriteByte('\n')
 	j.w.Flush()
 }

@@ -1,0 +1,142 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeJournalLines(t *testing.T, path string, lines ...string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func submitLine(t *testing.T, id string, req Request) string {
+	t.Helper()
+	req.Normalize()
+	b, err := json.Marshal(journalRecord{Event: journalSubmit, ID: id, Key: req.Key(), Req: &req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func endLine(t *testing.T, id string) string {
+	t.Helper()
+	b, err := json.Marshal(journalRecord{Event: journalEnd, ID: id, State: StateDone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func readLines(t *testing.T, path string) []string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	for sc.Scan() {
+		if len(sc.Bytes()) > 0 {
+			out = append(out, sc.Text())
+		}
+	}
+	return out
+}
+
+// An oversized line must not prevent startup: openJournal falls back
+// to the longest valid prefix and reports the recovery on warn.
+func TestJournalOversizedLineFallsBackToPrefix(t *testing.T) {
+	old := journalScanBuf
+	journalScanBuf = 4 * 1024
+	t.Cleanup(func() { journalScanBuf = old })
+
+	path := filepath.Join(t.TempDir(), "journal")
+	writeJournalLines(t, path,
+		submitLine(t, "job-000001", quickRequest(1)),
+		strings.Repeat("x", 8*1024), // unscannable under the shrunken buffer
+		submitLine(t, "job-000002", quickRequest(2)),
+	)
+	j, pending, err := openJournal(path)
+	if err != nil {
+		t.Fatalf("openJournal refused to start: %v", err)
+	}
+	defer j.close()
+	if j.warn == nil {
+		t.Fatal("no recovery warning for the truncated scan")
+	}
+	// The prefix before the bad line survives; everything after is lost.
+	if len(pending) != 1 || pending[0].ID != "job-000001" {
+		t.Fatalf("pending %+v, want exactly job-000001", pending)
+	}
+}
+
+// Startup compaction drops matched submit/end pairs and torn tails,
+// keeping exactly the live submissions.
+func TestJournalCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	writeJournalLines(t, path,
+		submitLine(t, "job-000001", quickRequest(1)),
+		endLine(t, "job-000001"),
+		submitLine(t, "job-000002", quickRequest(2)),
+		submitLine(t, "job-000003", quickRequest(3)),
+		endLine(t, "job-000003"),
+		`{"event":"submit","id":"job-000004",`, // torn tail from a crash
+	)
+	j, pending, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.close()
+	if len(pending) != 1 || pending[0].ID != "job-000002" {
+		t.Fatalf("pending %+v, want exactly job-000002", pending)
+	}
+	lines := readLines(t, path)
+	if len(lines) != 1 {
+		t.Fatalf("compacted journal has %d lines, want 1:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	var rec journalRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Event != journalSubmit || rec.ID != "job-000002" || rec.Req == nil {
+		t.Fatalf("compacted line %+v, want live submit of job-000002", rec)
+	}
+	// Reopening the compacted journal finds the same live set — the
+	// rewrite is idempotent.
+	j2, pending2, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.close()
+	if len(pending2) != 1 || pending2[0].ID != "job-000002" {
+		t.Fatalf("second open pending %+v", pending2)
+	}
+}
+
+// A journal that is pure garbage still opens (empty pending) rather
+// than wedging the daemon.
+func TestJournalGarbageOpens(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	writeJournalLines(t, path, "not json at all", "{also broken")
+	j, pending, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.close()
+	if len(pending) != 0 {
+		t.Fatalf("pending %+v from garbage", pending)
+	}
+	if lines := readLines(t, path); len(lines) != 0 {
+		t.Fatalf("garbage survived compaction: %v", lines)
+	}
+}

@@ -78,6 +78,17 @@ type JobResult struct {
 	ElapsedMS  float64       `json:"elapsed_ms"`
 	Guard      *GuardSummary `json:"guard,omitempty"`
 
+	// Degraded marks a partial Monte Carlo result returned because a
+	// deadline or drain interrupted the sampling: the moments cover
+	// SamplesRun of SamplesRequested samples — a contiguous,
+	// bit-reproducible prefix — with StdErr giving the standard error
+	// of each mean so the caller can judge the accuracy. Degraded
+	// results are never cached; resubmitting the same request resumes
+	// from the retained checkpoint and runs to the full budget.
+	Degraded         bool        `json:"degraded,omitempty"`
+	SamplesRequested int         `json:"samples_requested,omitempty"`
+	StdErr           [][]float64 `json:"stderr,omitempty"`
+
 	// Trace is the job's span tree (assemble/stamp/order/factor/
 	// transient/moments with wall time and allocation deltas).
 	Trace *obs.Dump `json:"trace,omitempty"`
@@ -139,4 +150,24 @@ func fromMC(res *montecarlo.Result, vdd float64, elapsed time.Duration) *JobResu
 		jr.WorstDropPct = 100 * worst / vdd
 	}
 	return jr
+}
+
+// mcStdErr computes the standard error of each per-step, per-node
+// mean. Result.Variance is the population variance m2/n, so the
+// unbiased standard error is sqrt(m2/(n−1)/n) = sqrt(Variance/(n−1)).
+// Needs at least two samples.
+func mcStdErr(res *montecarlo.Result) [][]float64 {
+	n := res.SamplesRun
+	if n < 2 {
+		return nil
+	}
+	out := make([][]float64, len(res.Variance))
+	for s := range res.Variance {
+		row := make([]float64, len(res.Variance[s]))
+		for i, v := range res.Variance[s] {
+			row[i] = math.Sqrt(v / float64(n-1))
+		}
+		out[s] = row
+	}
+	return out
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"opera/internal/cancel"
+	"opera/internal/checkpoint"
 	"opera/internal/core"
 	"opera/internal/grid"
 	"opera/internal/mna"
@@ -21,6 +22,7 @@ import (
 	"opera/internal/obs"
 	"opera/internal/obs/logx"
 	"opera/internal/parallel"
+	"opera/internal/service/inject"
 )
 
 // Admission and lifecycle errors (the HTTP layer maps these to status
@@ -36,6 +38,24 @@ var (
 	// ErrNotFinished reports a result fetch on an unfinished job (409).
 	ErrNotFinished = errors.New("service: job not finished")
 )
+
+// Cancellation causes. Every path that cancels a job context does so
+// with a discriminated cause, read back via context.Cause: an expired
+// deadline yields context.DeadlineExceeded, a drain yields
+// errCauseDrain, an explicit cancel errCauseUser, and a stall kill a
+// *StallError. The cause decides a canceled MC job's fate — deadline
+// and drain may return a degraded partial result; user cancels and
+// stalls never do.
+var (
+	errCauseUser  = errors.New("service: canceled by request")
+	errCauseDrain = errors.New("service: canceled by shutdown")
+	// errInjectedCrash is the chaos harness's simulated process death
+	// between a checkpoint's tmp write and its rename.
+	errInjectedCrash = errors.New("service: injected crash before checkpoint rename")
+)
+
+// ckptKindMC tags Monte Carlo snapshots in the checkpoint store.
+const ckptKindMC = "mc"
 
 // Job states.
 const (
@@ -89,6 +109,20 @@ type Options struct {
 	// trees, log tails and numguard summaries, served at /debug/flight.
 	// 0 disables the recorder (and the per-job tracing it implies).
 	FlightJobs int
+	// CheckpointDir, when non-empty, persists periodic Monte Carlo
+	// snapshots (atomic write-tmp-then-rename, keyed by the job's
+	// content key). A job whose key has a snapshot resumes from it —
+	// bit-identical to an uninterrupted run at any worker count — and
+	// the snapshot is deleted only on full, non-degraded success.
+	CheckpointDir string
+	// CheckpointEvery is the snapshot cadence in samples (rounded up to
+	// the solver's chunk grid). Default 64 when CheckpointDir is set.
+	CheckpointEvery int
+	// StallTimeout, when positive, arms a per-job watchdog: a running
+	// job whose progress counter (marked at every step/sample/basis
+	// boundary) does not move for this long is canceled with a
+	// *StallError and fails. 0 disables the watchdog.
+	StallTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -115,6 +149,9 @@ func (o Options) withDefaults() Options {
 			o.SolverWorkers = 1
 		}
 	}
+	if o.CheckpointDir != "" && o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 64
+	}
 	return o
 }
 
@@ -126,19 +163,27 @@ type job struct {
 	req      Request
 	state    string
 	cached   bool
+	degraded bool
 	result   []byte
 	err      error
 	diag     *numguard.Diagnosis
-	cancelFn context.CancelFunc
 	ctx      context.Context
+	// cancelCause cancels ctx with a discriminated cause (user cancel,
+	// stall, drain); stopTimer releases the deadline timer when the
+	// request carried one.
+	cancelCause context.CancelCauseFunc
+	stopTimer   context.CancelFunc
+	// progress is marked by every solve loop the job runs; the stall
+	// watchdog polls it to tell slow from hung.
+	progress *obs.Progress
 
 	// Telemetry (all nil/zero when disabled — the hot path guards on
 	// log/tracer nil checks only).
-	log         *slog.Logger   // lifecycle logger with job+trace attrs
-	tail        *logx.Tail     // per-job log tail for the flight entry
-	tracer      *obs.Tracer    // per-job span tree (flight or CollectTrace)
-	guard       *GuardSummary  // numguard view of a successful solve
-	escalations int            // ladder transitions during the solve
+	log         *slog.Logger  // lifecycle logger with job+trace attrs
+	tail        *logx.Tail    // per-job log tail for the flight entry
+	tracer      *obs.Tracer   // per-job span tree (flight or CollectTrace)
+	guard       *GuardSummary // numguard view of a successful solve
+	escalations int           // ladder transitions during the solve
 
 	submitted time.Time
 	started   time.Time
@@ -179,6 +224,7 @@ type JobStatus struct {
 	TraceID   string              `json:"trace_id,omitempty"`
 	State     string              `json:"state"`
 	Cached    bool                `json:"cached,omitempty"`
+	Degraded  bool                `json:"degraded,omitempty"`
 	Error     string              `json:"error,omitempty"`
 	Canceled  bool                `json:"canceled,omitempty"`
 	Diagnosis *numguard.Diagnosis `json:"diagnosis,omitempty"`
@@ -196,6 +242,7 @@ type Server struct {
 	cache  *Cache
 	log    *slog.Logger
 	flight *obs.FlightRecorder
+	ckpts  *checkpoint.Store // nil without CheckpointDir
 
 	mu          sync.Mutex
 	cond        *sync.Cond
@@ -226,6 +273,15 @@ type Server struct {
 	mSLOCancels              *obs.Counter
 	mSLOEscalations          *obs.Counter
 	mQueueAge                *obs.Gauge
+
+	// Fault-tolerance instrumentation: checkpoint writes and their
+	// failures, jobs resumed from a snapshot, watchdog kills, and jobs
+	// finished degraded under deadline/drain pressure.
+	mCheckpoints  *obs.Counter
+	mCkptFailures *obs.Counter
+	mResumes      *obs.Counter
+	mStalls       *obs.Counter
+	mDegraded     *obs.Counter
 }
 
 // New builds and starts a server: the worker pool is live and, when a
@@ -233,24 +289,25 @@ type Server struct {
 // re-enqueued before the first submission is accepted.
 func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
-	ctx, stop := context.WithCancel(context.Background())
+	ctx, stopCause := context.WithCancelCause(context.Background())
+	stop := func() { stopCause(errCauseDrain) }
 	s := &Server{
-		opts:       opts,
-		reg:        opts.Registry,
-		cache:      NewCache(opts.CacheBytes, opts.Registry),
-		log:        opts.Logger,
-		flight:     obs.NewFlightRecorder(opts.FlightJobs),
-		jobs:       make(map[string]*job),
-		inflight:   make(map[string]*job),
-		baseCtx:    ctx,
-		baseStop:   stop,
-		mSubmitted: opts.Registry.Counter("service.jobs_submitted_total"),
-		mCompleted: opts.Registry.Counter("service.jobs_completed_total"),
-		mFailed:    opts.Registry.Counter("service.jobs_failed_total"),
-		mCanceled:  opts.Registry.Counter("service.jobs_canceled_total"),
-		mRejected:  opts.Registry.Counter("service.jobs_rejected_total"),
-		mPanics:    opts.Registry.Counter("service.job_panics_total"),
-		mCoalesced: opts.Registry.Counter("service.jobs_coalesced_total"),
+		opts:        opts,
+		reg:         opts.Registry,
+		cache:       NewCache(opts.CacheBytes, opts.Registry),
+		log:         opts.Logger,
+		flight:      obs.NewFlightRecorder(opts.FlightJobs),
+		jobs:        make(map[string]*job),
+		inflight:    make(map[string]*job),
+		baseCtx:     ctx,
+		baseStop:    stop,
+		mSubmitted:  opts.Registry.Counter("service.jobs_submitted_total"),
+		mCompleted:  opts.Registry.Counter("service.jobs_completed_total"),
+		mFailed:     opts.Registry.Counter("service.jobs_failed_total"),
+		mCanceled:   opts.Registry.Counter("service.jobs_canceled_total"),
+		mRejected:   opts.Registry.Counter("service.jobs_rejected_total"),
+		mPanics:     opts.Registry.Counter("service.job_panics_total"),
+		mCoalesced:  opts.Registry.Counter("service.jobs_coalesced_total"),
 		mQueueDepth: opts.Registry.Gauge("service.queue_depth"),
 		mRunning:    opts.Registry.Gauge("service.jobs_running"),
 		mJobMS:      opts.Registry.Histogram("service.job_ms", obs.MSBuckets),
@@ -263,8 +320,31 @@ func New(opts Options) (*Server, error) {
 		mSLOCancels:     opts.Registry.Counter("service.slo_cancels_total"),
 		mSLOEscalations: opts.Registry.Counter("service.slo_escalations_total"),
 		mQueueAge:       opts.Registry.Gauge("service.queue_age_ms"),
+
+		mCheckpoints:  opts.Registry.Counter("service.checkpoints_total"),
+		mCkptFailures: opts.Registry.Counter("service.checkpoint_failures_total"),
+		mResumes:      opts.Registry.Counter("service.resumes_total"),
+		mStalls:       opts.Registry.Counter("service.stalls_total"),
+		mDegraded:     opts.Registry.Counter("service.jobs_degraded_total"),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if opts.CheckpointDir != "" {
+		var err error
+		s.ckpts, err = checkpoint.Open(opts.CheckpointDir)
+		if err != nil {
+			stop()
+			return nil, err
+		}
+		// The chaos harness's crash point: an injected error here
+		// aborts the snapshot after its tmp write, leaving a torn tmp
+		// file — exactly what a process death at that instant leaves.
+		s.ckpts.BeforeRename = func(string) error {
+			if inject.CrashBeforeCheckpoint() {
+				return errInjectedCrash
+			}
+			return nil
+		}
+	}
 	var pending []journalRecord
 	if opts.JournalPath != "" {
 		var err error
@@ -272,6 +352,10 @@ func New(opts Options) (*Server, error) {
 		if err != nil {
 			stop()
 			return nil, err
+		}
+		if s.journal.warn != nil && s.log != nil {
+			s.log.LogAttrs(context.Background(), slog.LevelWarn, "journal.recovered",
+				slog.String(logx.KeyError, s.journal.warn.Error()))
 		}
 	}
 	// Recover the queue before workers start so replayed jobs keep
@@ -335,9 +419,27 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // Ready reports whether the server accepts submissions (false while
 // draining or after shutdown) — the /readyz signal.
 func (s *Server) Ready() bool {
+	ok, _, _ := s.Readiness()
+	return ok
+}
+
+// Readiness is the full /readyz signal: whether a submission would be
+// admitted right now, a machine-readable reason when it would not
+// ("draining", "saturated"), and the current queue depth. Saturation
+// is advisory — a saturated server still accepts cache hits and
+// coalesced submissions — but it tells a load balancer to prefer
+// another replica before the 429s start.
+func (s *Server) Readiness() (ok bool, reason string, depth int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return !s.draining
+	depth = len(s.interactive) + len(s.batch)
+	if s.draining {
+		return false, "draining", depth
+	}
+	if depth >= s.opts.QueueDepth {
+		return false, "saturated", depth
+	}
+	return true, "", depth
 }
 
 // Submit validates, normalizes and admits one request. The fast paths
@@ -446,6 +548,7 @@ func (s *Server) newJobLocked(req Request, key, id string) *job {
 		id: id, key: key, traceID: req.TraceID, req: req,
 		state:     StateQueued,
 		submitted: time.Now(),
+		progress:  &obs.Progress{},
 		done:      make(chan struct{}),
 	}
 	// Per-job logger: every line carries the job and trace IDs; with
@@ -479,15 +582,16 @@ func (s *Server) enqueueLocked(req Request, id string) (*job, error) {
 	}
 	key := req.Key()
 	j := s.newJobLocked(req, key, id)
-	ctx := s.baseCtx
+	cctx, cause := context.WithCancelCause(s.baseCtx)
+	j.cancelCause = cause
 	timeout := s.opts.DefaultTimeout
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
 	}
 	if timeout > 0 {
-		j.ctx, j.cancelFn = context.WithTimeout(ctx, timeout)
+		j.ctx, j.stopTimer = context.WithTimeout(cctx, timeout)
 	} else {
-		j.ctx, j.cancelFn = context.WithCancel(ctx)
+		j.ctx = cctx
 	}
 	if req.Priority == PriorityBatch {
 		s.batch = append(s.batch, j)
@@ -589,6 +693,9 @@ func (s *Server) runJob(j *job) {
 			slog.String(logx.KeyPriority, j.req.Priority),
 			slog.Float64(logx.KeyQueuedMS, float64(j.started.Sub(j.submitted))/float64(time.Millisecond)))
 	}
+	if s.opts.StallTimeout > 0 {
+		go s.watchJob(j)
+	}
 	var result []byte
 	err := parallel.ForEach(1, 1, func(_, _ int) error {
 		var e error
@@ -602,8 +709,14 @@ func (s *Server) runJob(j *job) {
 // Terminal telemetry (log events, flight entry) is emitted after the
 // server mutex is released.
 func (s *Server) finishJob(j *job, result []byte, err error) {
-	if j.cancelFn != nil {
-		j.cancelFn()
+	// Read the cancellation cause before releasing the job's own
+	// context resources — our cleanup cancel would overwrite it.
+	cause := context.Cause(j.ctx)
+	if j.cancelCause != nil {
+		j.cancelCause(nil)
+	}
+	if j.stopTimer != nil {
+		j.stopTimer()
 	}
 	s.mu.Lock()
 	j.finished = time.Now()
@@ -615,15 +728,35 @@ func (s *Server) finishJob(j *job, result []byte, err error) {
 		s.mSolveI.Observe(runMS)
 	}
 	deadline := false
+	var stallErr *StallError
 	switch {
 	case err == nil:
 		j.state = StateDone
 		j.result = result
 		s.mCompleted.Inc()
 		s.mSLOEscalations.Add(int64(j.escalations))
-		if !j.req.NoCache {
-			s.cache.Put(j.key, result)
+		if j.degraded {
+			// Degraded results are honest but partial: never cached
+			// (a full-budget resubmission must actually run), and the
+			// checkpoint stays on disk so that run resumes rather than
+			// restarts.
+			s.mDegraded.Inc()
+		} else {
+			if !j.req.NoCache {
+				s.cache.Put(j.key, result)
+			}
+			if s.ckpts != nil {
+				s.ckpts.Delete(j.key)
+			}
 		}
+	case errors.Is(err, cancel.ErrCanceled) && errors.As(cause, &stallErr):
+		// Watchdog kill: the solve hung. Failed, not canceled — the
+		// caller asked for a result and the server could not produce
+		// one.
+		j.state = StateFailed
+		j.err = stallErr
+		err = stallErr
+		s.mFailed.Inc()
 	case errors.Is(err, cancel.ErrCanceled):
 		j.state = StateCanceled
 		j.err = err
@@ -678,6 +811,13 @@ func (s *Server) recordTerminal(j *job, state string, err error, deadline bool) 
 	if j.tracer != nil {
 		dump = j.tracer.Dump()
 	}
+	// A stall kill carries the span tree on the error itself, so the
+	// structured StallError and the flight entry agree on where the
+	// solve was stuck. The job is terminal here — no writer races.
+	var se *StallError
+	if errors.As(err, &se) {
+		se.Trace = dump
+	}
 	if j.log != nil {
 		switch {
 		case deadline:
@@ -716,6 +856,7 @@ func (s *Server) recordTerminal(j *job, state string, err error, deadline bool) 
 			State:     state,
 			Analysis:  j.req.Analysis,
 			Priority:  j.req.Priority,
+			Degraded:  j.degraded,
 			Submitted: j.submitted,
 			QueuedMS:  queuedMS,
 			RunMS:     runMS,
@@ -738,6 +879,17 @@ func (s *Server) recordTerminal(j *job, state string, err error, deadline bool) 
 // execute runs the analysis for one job and encodes the wire result.
 func (s *Server) execute(j *job) ([]byte, error) {
 	req := j.req
+	if inject.PanicPoint() {
+		panic("inject: worker panic")
+	}
+	if inject.StallPoint() {
+		// Simulated hang: the worker parks without ever marking
+		// progress. Only cancellation — the stall watchdog, a deadline,
+		// a drain — releases it, which is exactly what the watchdog
+		// exists to guarantee.
+		<-j.ctx.Done()
+		return nil, cancel.Poll(j.ctx, "inject.stall", -1)
+	}
 	// The "assemble" phase mirrors the CLI's: netlist parse or grid
 	// generation, so the service's span tree carries the same six
 	// phases as a local -trace run.
@@ -762,7 +914,7 @@ func (s *Server) execute(j *job) ([]byte, error) {
 			Regions: req.Regions, SigmaLogI: req.SigmaLogI,
 			Order: req.Order, Step: req.Step, Steps: req.Steps,
 			TrackNodes: req.TrackNodes, Workers: workers,
-			Obs: tr, Ctx: j.ctx,
+			Obs: tr, Progress: j.progress, Ctx: j.ctx,
 		})
 		if err != nil {
 			return nil, err
@@ -777,22 +929,17 @@ func (s *Server) execute(j *job) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		start := time.Now()
-		res, err := montecarlo.Run(sys, montecarlo.Options{
-			Samples: req.Samples, Step: req.Step, Steps: req.Steps,
-			Seed: req.Seed, Workers: workers, Obs: tr, Ctx: j.ctx,
-		})
+		jr, err = s.executeMC(j, sys, workers, tr)
 		if err != nil {
 			return nil, err
 		}
-		jr = fromMC(res, sys.VDD, time.Since(start))
 	default: // KindOpera
 		res, err := core.AnalyzeNetlist(nl, core.Options{
 			Order: req.Order, Step: req.Step, Steps: req.Steps,
 			Variation: req.Variation, Ordering: ordering,
 			TrackNodes: req.TrackNodes, ForceCoupled: req.ForceCoupled,
 			ForceLU: req.ForceLU, Iterative: req.Iterative,
-			Workers: workers, Obs: tr, Ctx: j.ctx,
+			Workers: workers, Obs: tr, Progress: j.progress, Ctx: j.ctx,
 		})
 		if err != nil {
 			return nil, err
@@ -811,6 +958,87 @@ func (s *Server) execute(j *job) ([]byte, error) {
 		jr.Metrics = &snap
 	}
 	return json.Marshal(jr)
+}
+
+// executeMC runs the Monte Carlo analysis with the fault-tolerance
+// machinery attached: resume from a stored snapshot when one exists
+// for this content key, periodic checkpointing at merged-chunk
+// boundaries, and a degraded partial result when a deadline or drain
+// interrupts the sampling.
+func (s *Server) executeMC(j *job, sys *mna.System, workers int, tr *obs.Tracer) (*JobResult, error) {
+	req := j.req
+	start := time.Now()
+	mcOpts := montecarlo.Options{
+		Samples: req.Samples, Step: req.Step, Steps: req.Steps,
+		Seed: req.Seed, Workers: workers, Obs: tr,
+		Progress: j.progress, Ctx: j.ctx,
+	}
+	resumed := 0
+	if s.ckpts != nil {
+		var cp montecarlo.Checkpoint
+		if info, ok, _ := s.ckpts.Load(j.key, &cp); ok && info.Kind == ckptKindMC {
+			mcOpts.Resume = &cp
+			resumed = cp.NextSample
+		}
+		mcOpts.CheckpointEvery = s.opts.CheckpointEvery
+		mcOpts.OnCheckpoint = func(cp *montecarlo.Checkpoint) {
+			if err := s.ckpts.Save(j.key, ckptKindMC, cp.NextSample, cp); err != nil {
+				// A failed snapshot never fails the job — the solve
+				// carries on; only resumability regresses to the last
+				// good snapshot.
+				s.mCkptFailures.Inc()
+				if j.log != nil {
+					j.event("job.checkpoint_fail", slog.String(logx.KeyError, err.Error()))
+				}
+				return
+			}
+			s.mCheckpoints.Inc()
+		}
+	}
+	res, err := montecarlo.Run(sys, mcOpts)
+	if mcOpts.Resume != nil && errors.Is(err, montecarlo.ErrBadResume) {
+		// The snapshot does not fit this request (a stale or corrupted
+		// survivor under a colliding key): drop it and solve fresh.
+		s.ckpts.Delete(j.key)
+		mcOpts.Resume = nil
+		resumed = 0
+		res, err = montecarlo.Run(sys, mcOpts)
+	}
+	if resumed > 0 {
+		s.mResumes.Inc()
+		if j.log != nil {
+			j.event("job.resume", slog.Int("samples_done", resumed))
+		}
+	}
+	if err != nil {
+		if res == nil || res.SamplesRun == 0 || !degradedCause(j.ctx) {
+			return nil, err
+		}
+		// Deadline or drain mid-sampling: return the honest partial
+		// result — the moments over the merged prefix, with error bars
+		// so the caller can judge whether the accuracy suffices.
+		jr := fromMC(res, sys.VDD, time.Since(start))
+		jr.Degraded = true
+		jr.SamplesRequested = req.Samples
+		jr.StdErr = mcStdErr(res)
+		j.degraded = true
+		if j.log != nil {
+			j.event("job.degraded",
+				slog.Int("samples_run", res.SamplesRun),
+				slog.Int("samples_requested", req.Samples))
+		}
+		return jr, nil
+	}
+	return fromMC(res, sys.VDD, time.Since(start)), nil
+}
+
+// degradedCause reports whether the job's cancellation cause permits
+// a degraded partial result: an expired deadline or a draining
+// server. A user cancel is an explicit "stop" and a stall kill means
+// the numbers cannot be trusted — neither degrades.
+func degradedCause(ctx context.Context) bool {
+	cause := context.Cause(ctx)
+	return errors.Is(cause, context.DeadlineExceeded) || errors.Is(cause, errCauseDrain)
 }
 
 // buildNetlist materializes the request's circuit under the input
@@ -835,11 +1063,12 @@ func (s *Server) Status(id string) (JobStatus, error) {
 
 func (s *Server) statusLocked(j *job) JobStatus {
 	st := JobStatus{
-		ID:      j.id,
-		Key:     j.key,
-		TraceID: j.traceID,
-		State:   j.state,
-		Cached:  j.cached,
+		ID:       j.id,
+		Key:      j.key,
+		TraceID:  j.traceID,
+		State:    j.state,
+		Cached:   j.cached,
+		Degraded: j.degraded,
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()
@@ -912,8 +1141,11 @@ func (s *Server) Cancel(id string) (JobStatus, error) {
 		if s.inflight[j.key] == j {
 			delete(s.inflight, j.key)
 		}
-		if j.cancelFn != nil {
-			j.cancelFn()
+		if j.cancelCause != nil {
+			j.cancelCause(errCauseUser)
+		}
+		if j.stopTimer != nil {
+			j.stopTimer()
 		}
 		s.mCanceled.Inc()
 		s.mSLOCancels.Inc()
@@ -928,8 +1160,8 @@ func (s *Server) Cancel(id string) (JobStatus, error) {
 		s.recordTerminal(j, StateCanceled, cancel.ErrCanceled, false)
 		return st, nil
 	case StateRunning:
-		if j.cancelFn != nil {
-			j.cancelFn()
+		if j.cancelCause != nil {
+			j.cancelCause(errCauseUser)
 		}
 	}
 	st := s.statusLocked(j)

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"fmt"
+	"log/slog"
+	"time"
+
+	"opera/internal/obs"
+	"opera/internal/obs/logx"
+)
+
+// StallError reports a job killed by the stall watchdog: its progress
+// counter — marked by every solve loop at step/sample/basis
+// boundaries — did not move for a full window, which distinguishes a
+// hung solve from a merely slow one (a slow solve still marks). It is
+// the job's cancellation cause (context.Cause of the job context) and
+// its terminal error.
+type StallError struct {
+	JobID string `json:"job_id"`
+	// Window is the configured stall timeout the job exceeded.
+	Window time.Duration `json:"window_ns"`
+	// Progress is the counter value at which the job stopped advancing.
+	Progress uint64 `json:"progress"`
+	// Trace is the job's span tree at the moment of death, attached
+	// post-mortem so the flight entry and the error agree on where the
+	// solve was stuck. Nil when tracing is disabled.
+	Trace *obs.Dump `json:"trace,omitempty"`
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("service: job %s stalled: no progress for %v (counter at %d)", e.JobID, e.Window, e.Progress)
+}
+
+// watchJob cancels the job with a StallError if its progress counter
+// stops moving for the configured window. It samples at a quarter of
+// the window, so detection lags the true stall by at most ~1.25
+// windows. Returns when the job finishes or the stall fires.
+func (s *Server) watchJob(j *job) {
+	window := s.opts.StallTimeout
+	tick := window / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	last := j.progress.Value()
+	lastMove := time.Now()
+	for {
+		select {
+		case <-j.done:
+			return
+		case <-j.ctx.Done():
+			return
+		case now := <-t.C:
+			v := j.progress.Value()
+			if v != last {
+				last, lastMove = v, now
+				continue
+			}
+			if now.Sub(lastMove) < window {
+				continue
+			}
+			se := &StallError{JobID: j.id, Window: window, Progress: v}
+			j.cancelCause(se)
+			s.mStalls.Inc()
+			if j.log != nil {
+				j.event("job.stall",
+					slog.Float64(logx.KeyMS, float64(window)/float64(time.Millisecond)),
+					slog.String(logx.KeyError, se.Error()))
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package transient
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"opera/internal/obs"
+	"opera/internal/sparse"
+)
+
+// snapshotSystem builds a small RC chain for resume tests.
+func snapshotSystem(n int) (*sparse.Matrix, *sparse.Matrix, func(t float64, u []float64)) {
+	gd := make([][]float64, n)
+	cd := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		gd[i] = make([]float64, n)
+		cd[i] = make([]float64, n)
+		gd[i][i] = 2.0
+		if i+1 < n {
+			gd[i][i+1] = -1.0
+		}
+		if i > 0 {
+			gd[i][i-1] = -1.0
+		}
+		cd[i][i] = 1e-12
+	}
+	rhs := func(t float64, u []float64) {
+		for i := range u {
+			u[i] = 0
+		}
+		u[0] = 1.0 + 0.1*math.Sin(2e9*t)
+	}
+	return sparse.FromDense(gd), sparse.FromDense(cd), rhs
+}
+
+// A run restored from a mid-flight snapshot must land on the exact
+// states of the uninterrupted run, for both integration methods, and
+// the snapshot must survive a JSON round trip (the on-disk path).
+func TestSnapshotResumeBitIdentical(t *testing.T) {
+	for _, method := range []Method{BackwardEuler, Trapezoidal} {
+		t.Run(method.String(), func(t *testing.T) {
+			g, c, rhs := snapshotSystem(12)
+			const steps, cut = 20, 9
+			opts := Options{Step: 2e-11, Steps: steps, Method: method}
+
+			var fullStates [][]float64
+			if err := Run(g, c, rhs, opts, func(k int, _ float64, x []float64) {
+				fullStates = append(fullStates, append([]float64(nil), x...))
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			// Re-run to the cut, snapshot, round-trip through JSON.
+			var snap *Snapshot
+			if err := Run(g, c, rhs, opts, func(k int, _ float64, x []float64) {}); err != nil {
+				t.Fatal(err)
+			}
+			st, err := NewStepper(g, c, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			u := make([]float64, st.N)
+			rhs(0, u)
+			if err := st.InitDC(u); err != nil {
+				t.Fatal(err)
+			}
+			for k := 1; k <= cut; k++ {
+				rhs(float64(k)*opts.Step, u)
+				if err := st.Advance(u); err != nil {
+					t.Fatal(err)
+				}
+			}
+			b, err := json.Marshal(st.Snapshot())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(b, &snap); err != nil {
+				t.Fatal(err)
+			}
+			if snap.Step != cut {
+				t.Fatalf("snapshot at step %d, want %d", snap.Step, cut)
+			}
+
+			// Resume through Run on a fresh stepper.
+			var resumed [][]float64
+			ropts := opts
+			ropts.Resume = snap
+			if err := Run(g, c, rhs, ropts, func(k int, _ float64, x []float64) {
+				if k <= cut {
+					t.Fatalf("visit for already-completed step %d", k)
+				}
+				resumed = append(resumed, append([]float64(nil), x...))
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(resumed) != steps-cut {
+				t.Fatalf("resumed %d steps, want %d", len(resumed), steps-cut)
+			}
+			for i, x := range resumed {
+				want := fullStates[cut+1+i]
+				for j := range x {
+					if math.Float64bits(x[j]) != math.Float64bits(want[j]) {
+						t.Fatalf("step %d node %d: resumed %g != full %g", cut+1+i, j, x[j], want[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRestoreDimensionErrors(t *testing.T) {
+	g, c, _ := snapshotSystem(6)
+	st, err := NewStepper(g, c, Options{Step: 1e-11, Steps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Restore(&Snapshot{Step: 1, X: make([]float64, 5)}); err == nil {
+		t.Error("short state accepted")
+	}
+	if err := st.Restore(&Snapshot{Step: 1, X: make([]float64, 6), HavePrev: true, UPrev: make([]float64, 2)}); err == nil {
+		t.Error("short excitation history accepted")
+	}
+	if err := st.Restore(&Snapshot{Step: -2, X: make([]float64, 6)}); err == nil {
+		t.Error("negative step accepted")
+	}
+}
+
+func TestStepperProgress(t *testing.T) {
+	g, c, rhs := snapshotSystem(6)
+	var p obs.Progress
+	if err := Run(g, c, rhs, Options{Step: 1e-11, Steps: 7, Progress: &p}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if p.Value() != 7 {
+		t.Fatalf("progress %d, want 7", p.Value())
+	}
+}

@@ -67,6 +67,29 @@ type Options struct {
 	// boundary with a structured error wrapping cancel.ErrCanceled.
 	// Nil disables the check.
 	Ctx context.Context
+	// Progress, when non-nil, is advanced once per completed time step
+	// — the liveness signal a stall watchdog monitors. Nil disables it.
+	Progress *obs.Progress
+	// Resume, when non-nil, makes Run continue a previous transient
+	// from the snapshot instead of computing the DC point: stepping
+	// starts at Resume.Step+1 and visit is invoked only for the
+	// remaining steps. The trajectory is bit-identical to the
+	// uninterrupted run because each step depends only on the previous
+	// state and the excitation, both captured exactly.
+	Resume *Snapshot
+}
+
+// Snapshot is a resumable capture of a Stepper mid-run: the step index
+// and state vector (plus the trapezoidal excitation history). Taken by
+// Stepper.Snapshot, applied by Stepper.Restore or Options.Resume.
+// float64 values survive JSON bit-exactly, so a snapshot persisted via
+// internal/checkpoint resumes with no numerical drift.
+type Snapshot struct {
+	Step     int       `json:"step"`
+	Time     float64   `json:"time"`
+	X        []float64 `json:"x"`
+	UPrev    []float64 `json:"u_prev,omitempty"`
+	HavePrev bool      `json:"have_prev"`
 }
 
 // Validate checks the options.
@@ -214,6 +237,45 @@ func (s *Stepper) guardState(stage string, step int, b []float64) error {
 // storage across Monte Carlo samples.
 func (s *Stepper) Factor() *factor.CholFactor { return s.fac }
 
+// Snapshot captures the stepper's resumable state (deep copy).
+func (s *Stepper) Snapshot() *Snapshot {
+	sn := &Snapshot{
+		Step:     s.stepNo,
+		Time:     s.t,
+		X:        append([]float64(nil), s.x...),
+		HavePrev: s.havePrev,
+	}
+	if s.havePrev {
+		sn.UPrev = append([]float64(nil), s.uPrev...)
+	}
+	return sn
+}
+
+// Restore rewinds (or fast-forwards) the stepper to a snapshot taken
+// from an identically configured run. Subsequent Advance calls produce
+// the exact states the original run would have: a step depends only on
+// the restored state, the excitation and the factorization, all of
+// which are reproduced bit-for-bit.
+func (s *Stepper) Restore(sn *Snapshot) error {
+	if len(sn.X) != s.N {
+		return fmt.Errorf("%w: snapshot state length %d != %d", ErrSize, len(sn.X), s.N)
+	}
+	if sn.HavePrev && len(sn.UPrev) != s.N {
+		return fmt.Errorf("%w: snapshot excitation length %d != %d", ErrSize, len(sn.UPrev), s.N)
+	}
+	if sn.Step < 0 {
+		return fmt.Errorf("transient: negative snapshot step %d", sn.Step)
+	}
+	copy(s.x, sn.X)
+	s.t = sn.Time
+	s.stepNo = sn.Step
+	s.havePrev = sn.HavePrev
+	if sn.HavePrev {
+		copy(s.ensurePrev(), sn.UPrev)
+	}
+	return nil
+}
+
 // Init sets the initial state x(0) explicitly.
 func (s *Stepper) Init(x0 []float64) error {
 	if len(x0) != s.N {
@@ -328,6 +390,7 @@ func (s *Stepper) Advance(uNew []float64) error {
 	}
 	s.t += h
 	s.stepNo++
+	s.opts.Progress.Mark()
 	if s.stepMS != nil {
 		ms := float64(time.Since(stepStart)) / float64(time.Millisecond)
 		s.stepMS.Observe(ms)
@@ -361,14 +424,22 @@ func Run(g, c *sparse.Matrix, rhs func(t float64, u []float64), opts Options, vi
 		return err
 	}
 	u := make([]float64, st.N)
-	rhs(0, u)
-	if err := st.InitDC(u); err != nil {
-		return err
+	start := 1
+	if opts.Resume != nil {
+		if err := st.Restore(opts.Resume); err != nil {
+			return err
+		}
+		start = opts.Resume.Step + 1
+	} else {
+		rhs(0, u)
+		if err := st.InitDC(u); err != nil {
+			return err
+		}
+		if visit != nil {
+			visit(0, 0, st.State())
+		}
 	}
-	if visit != nil {
-		visit(0, 0, st.State())
-	}
-	for k := 1; k <= opts.Steps; k++ {
+	for k := start; k <= opts.Steps; k++ {
 		if err := cancel.Poll(opts.Ctx, "transient", k); err != nil {
 			return err
 		}
