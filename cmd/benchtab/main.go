@@ -26,6 +26,14 @@
 // timing splits and trace IDs.
 //
 //	curl -s localhost:9130/debug/flight > flight.json && benchtab -flight flight.json
+//
+// With -suite it runs the standardized perf-scenario suite and emits
+// the machine-readable BenchReport; -compare diffs two reports under
+// the per-metric regression thresholds and exits 1 on soft (warn-band)
+// and 2 on hard regressions — the CI perf gate:
+//
+//	benchtab -suite quick -json new.json
+//	benchtab -compare BENCH_seed.json new.json
 package main
 
 import (
@@ -39,16 +47,21 @@ import (
 	"opera/internal/experiments"
 	"opera/internal/galerkin"
 	"opera/internal/obs"
+	"opera/internal/obs/bench"
 )
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1, fig1, fig2, special, ordersweep, solver, mor, ordering, all")
-		full      = flag.Bool("full", false, "paper-scale configuration (slow)")
-		seed      = flag.Int64("seed", 2005, "experiment seed")
-		tracePath  = flag.String("trace", "", "render a markdown timing table from this JSON trace file and exit")
-		flightPath = flag.String("flight", "", "render a markdown report from this /debug/flight JSON dump and exit")
-		workers    = flag.Int("workers", 0, "cap GOMAXPROCS for the run; 0 leaves it alone (results are identical for any value)")
+		exp         = flag.String("exp", "all", "experiment: table1, fig1, fig2, special, ordersweep, solver, mor, ordering, all")
+		full        = flag.Bool("full", false, "paper-scale configuration (slow)")
+		seed        = flag.Int64("seed", 2005, "experiment seed")
+		tracePath   = flag.String("trace", "", "render a markdown timing table from this JSON trace file and exit")
+		flightPath  = flag.String("flight", "", "render a markdown report from this /debug/flight JSON dump and exit")
+		workers     = flag.Int("workers", 0, "solver worker cap: threads into every suite row's worker pools and caps GOMAXPROCS for experiment runs; 0 leaves both alone (results are identical for any value)")
+		suite       = flag.String("suite", "", "run the perf-scenario suite (quick or default) instead of experiments")
+		jsonOut     = flag.String("json", "", "write the suite's BenchReport JSON to this file (- or empty with -suite: stdout)")
+		comparePath = flag.String("compare", "", "baseline BenchReport; compares against the report named by the positional argument and exits 0/1/2 (clean/warn/fail)")
+		traceOut    = flag.String("trace-out", "", "with -suite: write the shared suite trace (one span per scenario row) as JSON to this file")
 	)
 	flag.Parse()
 	if *workers > 0 {
@@ -63,6 +76,16 @@ func main() {
 	}
 	if *flightPath != "" {
 		if err := writeFlightTable(os.Stdout, *flightPath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *comparePath != "" {
+		os.Exit(runCompare(*comparePath, flag.Arg(0)))
+	}
+	if *suite != "" || *jsonOut != "" {
+		if err := runSuite(*suite, *jsonOut, *traceOut, *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 			os.Exit(1)
 		}
@@ -165,6 +188,71 @@ func main() {
 		fmt.Printf("Augmented-system ordering ablation (%d nodes)\n\n", nodes)
 		return experiments.FormatOrderingAblation(rows).Write(os.Stdout)
 	})
+}
+
+// runSuite executes the named perf-scenario suite. One tracer is
+// shared across every row (so -trace-out yields a single dump spanning
+// the whole suite) and the -workers cap threads into each scenario's
+// solver pools, not just GOMAXPROCS.
+func runSuite(name, jsonOut, traceOut string, workers int) error {
+	if name == "" {
+		name = "quick"
+	}
+	scenarios, err := bench.Suite(name)
+	if err != nil {
+		return err
+	}
+	tr := obs.New("benchtab.suite")
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	rep, err := bench.Run(name, scenarios, bench.RunOptions{
+		Workers: workers, Tracer: tr, Logf: logf,
+	})
+	if err != nil {
+		return err
+	}
+	tr.Finish()
+	if traceOut != "" {
+		if err := tr.WriteJSONFile(traceOut); err != nil {
+			return err
+		}
+	}
+	if jsonOut == "" || jsonOut == "-" {
+		return rep.Encode(os.Stdout)
+	}
+	return rep.WriteFile(jsonOut)
+}
+
+// runCompare diffs a new report against the baseline and returns the
+// gate's exit code: 0 clean, 1 soft regressions, 2 hard regressions or
+// a missing/unreadable report.
+func runCompare(basePath, newPath string) int {
+	if newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchtab: -compare needs the new report as positional argument: benchtab -compare base.json new.json")
+		return 2
+	}
+	base, err := bench.ReadReportFile(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+		return 2
+	}
+	cur, err := bench.ReadReportFile(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+		return 2
+	}
+	c := bench.Compare(base, cur, nil)
+	fmt.Printf("## Perf comparison — %s vs %s\n\n", basePath, newPath)
+	if base.Workers != cur.Workers || base.GOARCH != cur.GOARCH {
+		fmt.Printf("> header mismatch: base %s/%s w=%d, new %s/%s w=%d — wall deltas are not meaningful\n\n",
+			base.GOOS, base.GOARCH, base.Workers, cur.GOOS, cur.GOARCH, cur.Workers)
+	}
+	if err := c.WriteMarkdown(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+		return 2
+	}
+	return c.ExitCode()
 }
 
 // writeTraceTable renders a trace dump (as written by -trace-out) as a

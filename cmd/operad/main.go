@@ -55,6 +55,7 @@ func main() {
 		ckptDir      = flag.String("checkpoint-dir", "", "directory for periodic Monte Carlo snapshots; jobs resume from them after a crash")
 		ckptEvery    = flag.Int("checkpoint-every", 64, "snapshot cadence in samples (rounded up to the solver's chunk grid)")
 		stallTimeout = flag.Duration("stall-timeout", 0, "kill a job whose progress counter stalls this long; 0 disables the watchdog")
+		sloProfile   = flag.Duration("slo-profile-after", 0, "capture a pprof heap+CPU snapshot of any job still running after this long, served at /debug/profiles; 0 disables")
 	)
 	flag.Parse()
 
@@ -81,6 +82,11 @@ func main() {
 	sparse.SetMetrics(reg)
 	order.SetMetrics(reg)
 	factor.SetMetrics(reg)
+	// Runtime health (heap, GC pauses, scheduler latency, goroutines)
+	// lands on the same registry, so /metrics answers "is the process
+	// sick" alongside "is the solver sick".
+	stopSampler := obs.StartRuntimeSampler(reg, time.Second)
+	defer stopSampler()
 
 	srv, err := service.New(service.Options{
 		QueueDepth:      *queueDepth,
@@ -97,6 +103,7 @@ func main() {
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
 		StallTimeout:    *stallTimeout,
+		SLOProfileAfter: *sloProfile,
 	})
 	if err != nil {
 		fatal("operad: %v", err)
@@ -106,6 +113,13 @@ func main() {
 		fatal("operad: %v", err)
 	}
 	if logger != nil {
+		// One build-identity line at startup: the same facts /debug/build
+		// serves, so "which commit is this process" survives in the logs
+		// even after the process is gone.
+		bi := obs.ReadBuild()
+		logger.Info("operad.build",
+			"go", bi.GoVersion, "revision", bi.Revision, "dirty", bi.Dirty,
+			"module", bi.Path, "platform", bi.GOOS+"/"+bi.GOARCH)
 		logger.Info("operad.serving",
 			"addr", hs.Addr(), "queue", *queueDepth, "jobs", *jobs,
 			"cache_mb", *cacheMB, "flight", *flightJobs)

@@ -38,6 +38,9 @@ type LeakageOptions struct {
 	Steps int
 	// TrackNodes retains full expansions at these nodes.
 	TrackNodes []int
+	// Ordering selects the fill-reducing ordering of the decoupled
+	// companion factorization (default nested dissection).
+	Ordering galerkin.Ordering
 	// Workers caps the decoupled solver's per-basis worker pool; 0 or
 	// negative means GOMAXPROCS. Results are bit-identical for every
 	// value.
@@ -148,6 +151,7 @@ func AnalyzeLeakage(nl *netlist.Netlist, opts LeakageOptions) (*Result, error) {
 	}
 	return analyze(gsys, sys.VDD, Options{
 		Order: opts.Order, Step: opts.Step, Steps: opts.Steps,
+		Ordering:   opts.Ordering,
 		TrackNodes: opts.TrackNodes, Workers: opts.Workers, Obs: opts.Obs,
 		Progress: opts.Progress, Ctx: opts.Ctx,
 	})

@@ -232,6 +232,7 @@ type BlockCholFactor struct {
 	colp []int
 	rowi []int
 	val  []float64 // nnzL·B² blocks; diagonal block stored first per column
+	annz int       // scalar upper-triangle nnz of the analyzed pattern
 }
 
 // BlockCholesky factors the block matrix under the given node
@@ -395,11 +396,36 @@ func BlockCholesky(m *BlockMatrix, perm []int) (*BlockCholFactor, error) {
 	if perm != nil {
 		pc = append([]int(nil), perm...)
 	}
-	return &BlockCholFactor{N: n, B: B, Perm: pc, colp: lcolp, rowi: lrowi, val: lval}, nil
+	f := &BlockCholFactor{N: n, B: B, Perm: pc, colp: lcolp, rowi: lrowi, val: lval, annz: upColp[n]}
+	recordWork(f.FlopEstimate(), f.FillRatio())
+	return f, nil
 }
 
 // NNZ reports the scalar-equivalent nonzero count of the factor.
 func (f *BlockCholFactor) NNZ() int { return f.colp[f.N] * f.B * f.B }
+
+// FlopEstimate returns the symbolic work estimate of the block
+// factorization: the scalar-pattern column-count squares Σ_j c_j²
+// scaled by B³ (every scalar multiply-add becomes a B×B block
+// multiply). Deterministic given pattern and permutation.
+func (f *BlockCholFactor) FlopEstimate() int64 {
+	var fl int64
+	for j := 0; j < f.N; j++ {
+		c := int64(f.colp[j+1] - f.colp[j])
+		fl += c * c
+	}
+	b := int64(f.B)
+	return fl * b * b * b
+}
+
+// FillRatio reports the scalar-pattern fill nnz(L)/nnz(upper(A)); the
+// B×B block factors cancel out.
+func (f *BlockCholFactor) FillRatio() float64 {
+	if f.annz == 0 {
+		return 0
+	}
+	return float64(f.colp[f.N]) / float64(f.annz)
+}
 
 // permuteBlocks applies a node permutation to pattern and blocks.
 func permuteBlocks(m *BlockMatrix, perm []int) (colp, rowi []int, val []float64) {

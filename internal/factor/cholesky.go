@@ -71,6 +71,31 @@ func CholAnalyze(a *sparse.Matrix, perm []int) *CholSymbolic {
 // LNNZ reports the number of nonzeros in the factor L.
 func (s *CholSymbolic) LNNZ() int { return s.colp[s.N] }
 
+// FlopEstimate returns the classic symbolic flop count of one numeric
+// factorization, Σ_j |L(:,j)|² — the column-count squares dominate the
+// up-looking solve's multiply-adds. It is a deterministic function of
+// the pattern and permutation, which makes it a machine-independent
+// cost metric for bench trajectories.
+func (s *CholSymbolic) FlopEstimate() int64 {
+	var fl int64
+	for j := 0; j < s.N; j++ {
+		c := int64(s.colp[j+1] - s.colp[j])
+		fl += c * c
+	}
+	return fl
+}
+
+// FillRatio reports nnz(L)/nnz(upper(A)) — 1.0 means no fill-in. The
+// denominator is the upper triangle (diagonal included) of the analyzed
+// pattern.
+func (s *CholSymbolic) FillRatio() float64 {
+	annz := s.upper.Colp[s.upper.Cols]
+	if annz == 0 {
+		return 0
+	}
+	return float64(s.LNNZ()) / float64(annz)
+}
+
 // CholFactor is a numeric Cholesky factorization P·A·Pᵀ = L·Lᵀ.
 type CholFactor struct {
 	Sym *CholSymbolic
@@ -152,6 +177,7 @@ func (sym *CholSymbolic) Factorize(a *sparse.Matrix, reuse *CholFactor) (*CholFa
 		l.Rowi[p] = k
 		l.Val[p] = math.Sqrt(d)
 	}
+	recordWork(sym.FlopEstimate(), sym.FillRatio())
 	return &CholFactor{Sym: sym, L: l}, nil
 }
 

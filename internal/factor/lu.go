@@ -190,7 +190,30 @@ func LU(a *sparse.Matrix, q []int) (*LUFactor, error) {
 	if q != nil {
 		qc = append([]int(nil), q...)
 	}
-	return &LUFactor{N: n, L: l, U: u, pinv: pinv, q: qc}, nil
+	f := &LUFactor{N: n, L: l, U: u, pinv: pinv, q: qc}
+	fill := 0.0
+	if annz := a.NNZ(); annz > 0 {
+		fill = float64(f.NNZ()) / float64(annz)
+	}
+	recordWork(f.FlopEstimate(), fill)
+	return f, nil
+}
+
+// NNZ reports the nonzero count of the factorization, nnz(L)+nnz(U)
+// minus the unit diagonal of L stored explicitly.
+func (f *LUFactor) NNZ() int { return f.L.Colp[f.N] + f.U.Colp[f.N] - f.N }
+
+// FlopEstimate returns a post-hoc estimate of the factorization work,
+// 2·Σ_k |L(:,k)|·|U(:,k)| — the multiply-add count of the column-wise
+// sparse triangular solves. Deterministic given the pivot sequence.
+func (f *LUFactor) FlopEstimate() int64 {
+	var fl int64
+	for k := 0; k < f.N; k++ {
+		lk := int64(f.L.Colp[k+1] - f.L.Colp[k])
+		uk := int64(f.U.Colp[k+1] - f.U.Colp[k])
+		fl += 2 * lk * uk
+	}
+	return fl
 }
 
 // PivotGrowth returns the element-growth factor max|U| / max|A| of the

@@ -16,14 +16,18 @@ type factorMetrics struct {
 	blockChol *obs.Histogram
 	lu        *obs.Histogram
 	count     *obs.Counter
+	flops     *obs.Counter
+	fill      *obs.Gauge
 }
 
 var metrics atomic.Pointer[factorMetrics]
 
 // SetMetrics installs factorization-duration histograms
 // (factor.chol_ms, factor.refactor_ms, factor.block_chol_ms,
-// factor.lu_ms) and a total counter (factor.factorizations_total) on
-// the registry; nil uninstalls them.
+// factor.lu_ms), a total counter (factor.factorizations_total), a
+// cumulative work counter (factor.flops_total, symbolic estimates) and
+// a fill-ratio gauge (factor.fill_ratio, nnz(L)/nnz(upper(A)) of the
+// most recent factorization) on the registry; nil uninstalls them.
 func SetMetrics(reg *obs.Registry) {
 	if reg == nil {
 		metrics.Store(nil)
@@ -35,7 +39,23 @@ func SetMetrics(reg *obs.Registry) {
 		blockChol: reg.Histogram("factor.block_chol_ms", obs.MSBuckets),
 		lu:        reg.Histogram("factor.lu_ms", obs.MSBuckets),
 		count:     reg.Counter("factor.factorizations_total"),
+		flops:     reg.Counter("factor.flops_total"),
+		fill:      reg.Gauge("factor.fill_ratio"),
 	})
+}
+
+// recordWork accumulates a factorization's estimated flop count and
+// publishes its fill ratio. Called on the success path of each numeric
+// factorization; nil-safe when no registry is installed.
+func recordWork(flops int64, fill float64) {
+	m := metrics.Load()
+	if m == nil {
+		return
+	}
+	m.flops.Add(flops)
+	if fill > 0 {
+		m.fill.Set(fill)
+	}
 }
 
 // observe times one factorization via the selector (nil-safe end to

@@ -78,13 +78,15 @@ func solveCoupled(sys *System, opts Options, visit func(int, float64, [][]float6
 	rep := &numguard.Report{}
 	rep.Bind(tr.Registry())
 	res.guard = rep
+	st := &factorStats{}
 	lad := numguard.NewLadder("step", opts.Guard, comp, comp.NormInf(),
-		blockRungs(comp, perm, opts.Guard, opts.ForceLU, &res.FactorNNZ), rep)
+		blockRungs(comp, perm, opts.Guard, opts.ForceLU, st), rep)
 	sol, err := lad.Solver(0)
 	if err != nil {
 		return Result{}, fmt.Errorf("galerkin: companion factorization: %w", err)
 	}
 	res.Factorer = lad.Rung()
+	res.FactorNNZ, res.FactorFlops, res.FillRatio = st.nnz, st.flops, st.fill
 	spF.SetAttrs(obs.String("rung", lad.Rung()), obs.Int("factor_nnz", res.FactorNNZ))
 	spF.End()
 
@@ -186,6 +188,8 @@ func solveCoupled(sys *System, opts Options, visit func(int, float64, [][]float6
 		res.StepsRun = k
 	}
 	res.Factorer = lad.Rung()
+	res.FactorNNZ, res.FactorFlops, res.FillRatio = st.nnz, st.flops, st.fill
+	res.CondEst = lad.CondEstimate(nb)
 	return res, nil
 }
 

@@ -32,12 +32,31 @@ func expandPerm(perm []int, b int) []int {
 	return out
 }
 
+// factorStats receives the cost facts of the first successful direct
+// factorization of a ladder: scalar nonzero count, symbolic flop
+// estimate, and fill ratio nnz(L)/nnz(upper(A)). A later escalation
+// overwrites them (the costlier factor is the one the solve ran on).
+type factorStats struct {
+	nnz   int
+	flops int64
+	fill  float64
+}
+
+func (st *factorStats) set(nnz int, flops int64, fill float64) {
+	if st == nil {
+		return
+	}
+	st.nnz = nnz
+	st.flops = flops
+	st.fill = fill
+}
+
 // scalarRungs builds the ladder rungs for a scalar (n×n) system matrix:
 // cholesky → lu (pivot-growth checked) → cg+ic0. With forceLU the
-// Cholesky rung is omitted (ablation switch). nnzOut, when non-nil,
-// receives the factor's scalar nonzero count on the first successful
-// direct factorization.
-func scalarRungs(a *sparse.Matrix, perm []int, cfg numguard.Config, forceLU bool, nnzOut *int) []numguard.Rung {
+// Cholesky rung is omitted (ablation switch). st, when non-nil,
+// receives the factor's cost facts on each successful direct
+// factorization.
+func scalarRungs(a *sparse.Matrix, perm []int, cfg numguard.Config, forceLU bool, st *factorStats) []numguard.Rung {
 	cfg = cfg.WithDefaults()
 	var rungs []numguard.Rung
 	if !forceLU {
@@ -46,14 +65,12 @@ func scalarRungs(a *sparse.Matrix, perm []int, cfg numguard.Config, forceLU bool
 			if err != nil {
 				return nil, err
 			}
-			if nnzOut != nil && *nnzOut == 0 {
-				*nnzOut = f.Sym.LNNZ()
-			}
+			st.set(f.Sym.LNNZ(), f.Sym.FlopEstimate(), f.Sym.FillRatio())
 			return f, nil
 		}})
 	}
 	rungs = append(rungs,
-		luRung(func() (*sparse.Matrix, []int) { return a, perm }, cfg.PivotGrowthMax),
+		luRung(func() (*sparse.Matrix, []int) { return a, perm }, cfg.PivotGrowthMax, st),
 		cgRung(a, func() *sparse.Matrix { return a }),
 	)
 	return rungs
@@ -62,7 +79,7 @@ func scalarRungs(a *sparse.Matrix, perm []int, cfg numguard.Config, forceLU bool
 // blockRungs builds the ladder rungs for a block companion matrix. The
 // CSC expansion and the expanded permutation are computed at most once,
 // shared by the scalar rungs.
-func blockRungs(m *factor.BlockMatrix, perm []int, cfg numguard.Config, forceLU bool, nnzOut *int) []numguard.Rung {
+func blockRungs(m *factor.BlockMatrix, perm []int, cfg numguard.Config, forceLU bool, st *factorStats) []numguard.Rung {
 	cfg = cfg.WithDefaults()
 	var csc *sparse.Matrix
 	var scalPerm []int
@@ -81,9 +98,7 @@ func blockRungs(m *factor.BlockMatrix, perm []int, cfg numguard.Config, forceLU 
 				if err != nil {
 					return nil, err
 				}
-				if nnzOut != nil && *nnzOut == 0 {
-					*nnzOut = f.NNZ()
-				}
+				st.set(f.NNZ(), f.FlopEstimate(), f.FillRatio())
 				return numguard.SolverFunc(func(x, b []float64) { f.Solve(x, b) }), nil
 			}},
 			numguard.Rung{Name: "cholesky", Prepare: func() (numguard.Solver, error) {
@@ -92,15 +107,13 @@ func blockRungs(m *factor.BlockMatrix, perm []int, cfg numguard.Config, forceLU 
 				if err != nil {
 					return nil, err
 				}
-				if nnzOut != nil && *nnzOut == 0 {
-					*nnzOut = f.Sym.LNNZ()
-				}
+				st.set(f.Sym.LNNZ(), f.Sym.FlopEstimate(), f.Sym.FillRatio())
 				return f, nil
 			}},
 		)
 	}
 	rungs = append(rungs,
-		luRung(expand, cfg.PivotGrowthMax),
+		luRung(expand, cfg.PivotGrowthMax, st),
 		cgRung(m, func() *sparse.Matrix { a, _ := expand(); return a }),
 	)
 	return rungs
@@ -108,7 +121,7 @@ func blockRungs(m *factor.BlockMatrix, perm []int, cfg numguard.Config, forceLU 
 
 // luRung factors with partial-pivoting LU and rejects factors whose
 // element growth signals lost backward stability.
-func luRung(mat func() (*sparse.Matrix, []int), growthMax float64) numguard.Rung {
+func luRung(mat func() (*sparse.Matrix, []int), growthMax float64, st *factorStats) numguard.Rung {
 	return numguard.Rung{Name: "lu", Prepare: func() (numguard.Solver, error) {
 		a, perm := mat()
 		f, err := factor.LU(a, perm)
@@ -118,6 +131,11 @@ func luRung(mat func() (*sparse.Matrix, []int), growthMax float64) numguard.Rung
 		if g := f.PivotGrowth(a); g > growthMax {
 			return nil, fmt.Errorf("pivot growth %.3g exceeds %.3g", g, growthMax)
 		}
+		fill := 0.0
+		if annz := a.NNZ(); annz > 0 {
+			fill = float64(f.NNZ()) / float64(annz)
+		}
+		st.set(f.NNZ(), f.FlopEstimate(), fill)
 		return f, nil
 	}}
 }

@@ -62,8 +62,9 @@ func solveCoupledIterative(sys *System, opts Options, visit func(int, float64, [
 	c0 := meanTermSum(sys.CTerms, n)
 	scalarComp := sparse.Add(1, g0, 1/opts.Step, c0)
 	spAsm.End()
+	st := &factorStats{}
 	compLad := numguard.NewLadder("precond", opts.Guard, scalarComp, scalarComp.NormInf(),
-		scalarRungs(scalarComp, perm, opts.Guard, false, &res.FactorNNZ), rep)
+		scalarRungs(scalarComp, perm, opts.Guard, false, st), rep)
 	compFac, err := compLad.Solver(0)
 	if err != nil {
 		return Result{}, fmt.Errorf("galerkin: iterative path mean factorization: %w", err)
@@ -74,6 +75,7 @@ func solveCoupledIterative(sys *System, opts Options, visit func(int, float64, [
 	if err != nil {
 		return Result{}, fmt.Errorf("galerkin: iterative path DC factorization: %w", err)
 	}
+	res.FactorNNZ, res.FactorFlops, res.FillRatio = st.nnz, st.flops, st.fill
 	spF.SetAttrs(obs.String("rung", compLad.Rung()), obs.Int("factor_nnz", res.FactorNNZ))
 	spF.End()
 
@@ -229,6 +231,11 @@ func solveCoupledIterative(sys *System, opts Options, visit func(int, float64, [
 	}
 	if direct != nil {
 		res.Factorer = "cg+mean-precond→" + direct.Rung()
+		res.CondEst = direct.CondEstimate(nb)
+	} else {
+		// The mean-companion preconditioner is the operator CG ran
+		// against; its κ₁ is the meaningful per-job conditioning signal.
+		res.CondEst = compLad.CondEstimate(n)
 	}
 	return res, nil
 }

@@ -146,8 +146,18 @@ type Result struct {
 	Decoupled  bool
 	Factorer   string // "block-cholesky", "cg+mean-precond" or "lu"
 	AugmentedN int    // size of the augmented system
-	FactorNNZ  int    // scalar-equivalent nnz of the factor (0 for LU)
+	FactorNNZ  int    // scalar-equivalent nnz of the factor (0 on the pure-CG rung)
 	StepsRun   int
+
+	// FactorFlops is the symbolic flop estimate of one numeric
+	// factorization on the rung that served the solve; FillRatio is its
+	// nnz(L)/nnz(upper(A)). Both are deterministic functions of pattern
+	// and permutation — machine-independent cost metrics.
+	FactorFlops int64
+	FillRatio   float64
+	// CondEst is the Hager/Higham 1-norm condition estimate of the
+	// solved operator (0 when no direct rung produced a solver).
+	CondEst float64
 
 	// guard carries the numerical-robustness telemetry: residuals
 	// verified, refinement sweeps, rung transitions, non-finite events.
@@ -206,13 +216,15 @@ func solveDecoupled(sys *System, opts Options, visit func(int, float64, [][]floa
 	permG0 := permFor(g0, opts.Ordering)
 	spO.End()
 	spF := tr.Start("factor")
+	st := &factorStats{}
 	lad := numguard.NewLadder("step", opts.Guard, companion, companion.NormInf(),
-		scalarRungs(companion, permComp, opts.Guard, opts.ForceLU, &res.FactorNNZ), rep)
+		scalarRungs(companion, permComp, opts.Guard, opts.ForceLU, st), rep)
 	if _, err := lad.Solver(0); err != nil {
 		return Result{}, fmt.Errorf("galerkin: decoupled companion factorization: %w", err)
 	}
 	dcLad := numguard.NewLadder("dc", opts.Guard, g0, g0.NormInf(),
 		scalarRungs(g0, permG0, opts.Guard, opts.ForceLU, nil), rep)
+	res.FactorNNZ, res.FactorFlops, res.FillRatio = st.nnz, st.flops, st.fill
 	spF.SetAttrs(obs.String("rung", lad.Rung()), obs.Int("factor_nnz", res.FactorNNZ))
 	spF.End()
 	spT := tr.Start("transient", obs.Int("steps", opts.Steps))
@@ -297,6 +309,9 @@ func solveDecoupled(sys *System, opts Options, visit func(int, float64, [][]floa
 		res.StepsRun = k
 	}
 	res.Factorer = lad.Rung()
+	// Escalations can have moved the solve to a costlier factor.
+	res.FactorNNZ, res.FactorFlops, res.FillRatio = st.nnz, st.flops, st.fill
+	res.CondEst = lad.CondEstimate(n)
 	return res, nil
 }
 

@@ -188,6 +188,13 @@ type Result struct {
 	Traces [][][]float64
 	// SamplesRun is the number of completed samples.
 	SamplesRun int
+	// FactorNNZ, FillRatio and FactorFlops describe the shared symbolic
+	// Cholesky analysis that every sample refactors numerically:
+	// nnz(L), nnz(L)/nnz(upper(A)), and the per-sample symbolic flop
+	// estimate times SamplesRun. All deterministic given the pattern.
+	FactorNNZ   int
+	FillRatio   float64
+	FactorFlops int64
 }
 
 // mcChunk is the fixed number of samples per accumulation chunk. The
@@ -377,6 +384,9 @@ func Run(sys *mna.System, opts Options) (*Result, error) {
 				res.Variance[s][i] = acc[s][i].Variance()
 			}
 		}
+		res.FactorNNZ = sym.LNNZ()
+		res.FillRatio = sym.FillRatio()
+		res.FactorFlops = int64(res.SamplesRun) * sym.FlopEstimate()
 	}
 	if runErr != nil {
 		// A canceled run (deadline, drain, stall watchdog) with merged

@@ -238,6 +238,24 @@ func (l *Ladder) accept(res float64) {
 	l.report.Accept(res)
 }
 
+// CondEstimate runs the Hager/Higham 1-norm condition estimate against
+// the most recent usable solver (n is the system size) and records it
+// on the report. It costs at most five solves — negligible next to a
+// transient sweep — and returns 0 when no rung has produced a solver
+// yet. Callers invoke it once per analysis, after the solve finishes,
+// to attach κ₁ to the job's numerical-health record.
+func (l *Ladder) CondEstimate(n int) float64 {
+	l.mu.Lock()
+	s := l.last
+	l.mu.Unlock()
+	if s == nil || n <= 0 || l.anorm <= 0 {
+		return 0
+	}
+	c := CondEst1(n, l.anorm, func(x, b []float64) { s.SolveTo(x, b) })
+	l.report.SetCond(c)
+	return c
+}
+
 func (l *Ladder) diagnose(step int, rung string, history []float64, reason string, n int) error {
 	d := &Diagnosis{Stage: l.Stage, Step: step, Rung: rung, Residuals: history, Reason: reason}
 	l.mu.Lock()

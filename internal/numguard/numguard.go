@@ -134,6 +134,9 @@ type Report struct {
 	// higher rung.
 	NaNEvents   int
 	StepRetries int
+	// Cond1 is the Hager/Higham 1-norm condition estimate of the
+	// operator behind the final rung (0 when never estimated).
+	Cond1 float64
 
 	// Registry-backed mirrors (nil when unbound; every obs instrument
 	// is a no-op on nil).
@@ -144,6 +147,7 @@ type Report struct {
 	mRefinements *obs.Counter
 	mNaN         *obs.Counter
 	mRetries     *obs.Counter
+	mCond        *obs.Gauge
 }
 
 // ResidualBuckets is the histogram layout for scaled residuals:
@@ -163,6 +167,21 @@ func (r *Report) Bind(reg *obs.Registry) {
 	r.mRefinements = reg.Counter("numguard.refinement_sweeps_total")
 	r.mNaN = reg.Counter("numguard.nan_events_total")
 	r.mRetries = reg.Counter("numguard.step_retries_total")
+	r.mCond = reg.Gauge("numguard.cond_estimate")
+}
+
+// SetCond records a 1-norm condition estimate of the solved operator;
+// the worst estimate across ladders wins.
+func (r *Report) SetCond(c float64) {
+	if r == nil || c <= 0 {
+		return
+	}
+	r.mu.Lock()
+	if c > r.Cond1 {
+		r.Cond1 = c
+	}
+	r.mu.Unlock()
+	r.mCond.SetMax(c)
 }
 
 // Accept records one residual-verified solve with the given scaled
@@ -234,6 +253,7 @@ func (r *Report) Snapshot() Report {
 		RefinedSolves: r.RefinedSolves,
 		NaNEvents:     r.NaNEvents,
 		StepRetries:   r.StepRetries,
+		Cond1:         r.Cond1,
 	}
 }
 

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"net/http"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo is the subset of debug.ReadBuildInfo worth surfacing on a
+// running daemon: enough to answer "which commit is this process, and
+// was the tree clean when it was built?" without shelling into the
+// deploy host.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Path      string `json:"path,omitempty"`    // main module path
+	Version   string `json:"version,omitempty"` // module version ("(devel)" for local builds)
+	Revision  string `json:"vcs_revision,omitempty"`
+	Time      string `json:"vcs_time,omitempty"`
+	Dirty     bool   `json:"vcs_dirty,omitempty"` // uncommitted changes at build time
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+}
+
+// ReadBuild collects the build information of the running binary.
+// Binaries built without module support (rare) still report the Go
+// version and platform.
+func ReadBuild() BuildInfo {
+	b := BuildInfo{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.Path = info.Main.Path
+	b.Version = info.Main.Version
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.time":
+			b.Time = s.Value
+		case "vcs.modified":
+			b.Dirty = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// BuildHandler serves ReadBuild as indented JSON — mounted at
+// /debug/build on the debug server and the operad daemon.
+func BuildHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSONValue(w, ReadBuild())
+	})
+}

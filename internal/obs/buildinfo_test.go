@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestReadBuild(t *testing.T) {
+	b := ReadBuild()
+	if b.GoVersion == "" || b.GOOS == "" || b.GOARCH == "" {
+		t.Fatalf("build info incomplete: %+v", b)
+	}
+}
+
+func TestBuildHandler(t *testing.T) {
+	rec := httptest.NewRecorder()
+	BuildHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/build", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	var b BuildInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &b); err != nil {
+		t.Fatalf("body not JSON: %v\n%s", err, rec.Body.Bytes())
+	}
+	if b.GoVersion == "" {
+		t.Errorf("go_version missing: %+v", b)
+	}
+}

@@ -30,6 +30,10 @@ type FlightEntry struct {
 	// Guard is the job's numguard summary (escalations, refinement
 	// counts) or, for failed jobs, the structured diagnosis.
 	Guard any `json:"guard,omitempty"`
+	// Health is the job's numerical-health record: residual norm,
+	// condition estimate, ladder rung, flops and fill of the factor
+	// that served the solve.
+	Health any `json:"health,omitempty"`
 	// Trace is the job's span tree with the six-phase timing breakdown.
 	Trace *Dump `json:"trace,omitempty"`
 	// Log is the tail of the job's structured log, one rendered JSON

@@ -36,6 +36,7 @@ const (
 	KeyRunMS    = "run_ms"    // claim → terminal-state wall time
 	KeyDepth    = "depth"     // queue depth after the event
 	KeyError    = "error"     // error text
+	KeyReason   = "reason"    // human-readable cause (SLO-profile captures)
 	KeyAttempt  = "attempt"   // client retry attempt number
 	KeyOnto     = "onto"      // job id a coalesced submission attached to
 )
@@ -68,10 +69,10 @@ func Nop() *slog.Logger { return slog.New(nopHandler{}) }
 
 type nopHandler struct{}
 
-func (nopHandler) Enabled(context.Context, slog.Level) bool { return false }
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
 func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
-func (h nopHandler) WithAttrs([]slog.Attr) slog.Handler     { return h }
-func (h nopHandler) WithGroup(string) slog.Handler          { return h }
+func (h nopHandler) WithAttrs([]slog.Attr) slog.Handler      { return h }
+func (h nopHandler) WithGroup(string) slog.Handler           { return h }
 
 // Tee fans each record out to both handlers; a record is emitted to
 // every handler whose own level admits it. Enabled reports true when

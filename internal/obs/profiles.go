@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ProfileRing is a bounded in-memory store of pprof captures keyed by
+// trace ID. The service arms it on SLO breaches: when a job overruns
+// its latency objective while still running, the ring grabs a heap
+// snapshot plus a short CPU profile of the live process, so the
+// evidence of *why* the job was slow survives the job itself. Retention
+// is a fixed entry budget — oldest captures fall off; there is no TTL.
+//
+// CPU profiling is process-global and exclusive (runtime/pprof allows
+// one at a time), so overlapping captures coalesce: while one capture's
+// CPU window is open, further Capture calls store only their heap
+// snapshot and report ErrCaptureBusy.
+type ProfileRing struct {
+	// CPUDuration is the CPU-profile window per capture. 0 selects 1s —
+	// long enough to attribute a slow solve, short enough to not pile up
+	// behind the breach.
+	CPUDuration time.Duration
+
+	mu      sync.Mutex
+	max     int
+	entries []*Profile // oldest first
+	busy    bool       // a CPU window is open
+}
+
+// Profile is one stored capture.
+type Profile struct {
+	TraceID  string    `json:"trace_id"`
+	Kind     string    `json:"kind"` // "cpu" or "heap"
+	Reason   string    `json:"reason,omitempty"`
+	Captured time.Time `json:"captured"`
+	Size     int       `json:"size_bytes"`
+
+	data []byte
+}
+
+// ErrCaptureBusy reports that a CPU window was already open, so only
+// the heap snapshot was stored.
+var ErrCaptureBusy = fmt.Errorf("obs: a CPU profile capture is already in progress")
+
+// NewProfileRing builds a ring holding at most max profiles (a
+// cpu+heap pair is two entries). max <= 0 returns nil; every method is
+// nil-safe, so an unconfigured ring costs nothing.
+func NewProfileRing(max int) *ProfileRing {
+	if max <= 0 {
+		return nil
+	}
+	return &ProfileRing{max: max}
+}
+
+// Capture stores a heap snapshot immediately and then, unless another
+// capture holds the CPU window, a CPU profile of CPUDuration. It blocks
+// for the CPU window and is meant to be called from a watchdog
+// goroutine, not a request path.
+func (r *ProfileRing) Capture(traceID, reason string) error {
+	if r == nil {
+		return nil
+	}
+	var heap bytes.Buffer
+	if p := pprof.Lookup("heap"); p != nil {
+		if err := p.WriteTo(&heap, 0); err != nil {
+			return fmt.Errorf("obs: heap profile: %w", err)
+		}
+	}
+	r.add(&Profile{TraceID: traceID, Kind: "heap", Reason: reason, Captured: time.Now(), Size: heap.Len(), data: heap.Bytes()})
+
+	r.mu.Lock()
+	if r.busy {
+		r.mu.Unlock()
+		return ErrCaptureBusy
+	}
+	r.busy = true
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		r.busy = false
+		r.mu.Unlock()
+	}()
+
+	dur := r.CPUDuration
+	if dur <= 0 {
+		dur = time.Second
+	}
+	var cpu bytes.Buffer
+	if err := pprof.StartCPUProfile(&cpu); err != nil {
+		// Someone else (e.g. /debug/pprof/profile) owns the profiler.
+		return fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	time.Sleep(dur)
+	pprof.StopCPUProfile()
+	r.add(&Profile{TraceID: traceID, Kind: "cpu", Reason: reason, Captured: time.Now(), Size: cpu.Len(), data: cpu.Bytes()})
+	return nil
+}
+
+func (r *ProfileRing) add(p *Profile) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries = append(r.entries, p)
+	if over := len(r.entries) - r.max; over > 0 {
+		r.entries = append([]*Profile(nil), r.entries[over:]...)
+	}
+}
+
+// Snapshot lists the stored captures, newest first, without payloads.
+func (r *ProfileRing) Snapshot() []Profile {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Profile, 0, len(r.entries))
+	for i := len(r.entries) - 1; i >= 0; i-- {
+		out = append(out, *r.entries[i])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Captured.After(out[j].Captured) })
+	return out
+}
+
+// Get returns the newest capture for (traceID, kind).
+func (r *ProfileRing) Get(traceID, kind string) (Profile, bool) {
+	if r == nil {
+		return Profile{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := len(r.entries) - 1; i >= 0; i-- {
+		if e := r.entries[i]; e.TraceID == traceID && e.Kind == kind {
+			return *e, true
+		}
+	}
+	return Profile{}, false
+}
+
+// ServeIndex writes the capture index as JSON: GET /debug/profiles.
+func (r *ProfileRing) ServeIndex(w http.ResponseWriter, _ *http.Request) {
+	if r == nil {
+		http.Error(w, "profile ring disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSONValue(w, struct {
+		Profiles []Profile `json:"profiles"`
+	}{r.Snapshot()})
+}
+
+// ServeProfile streams one capture's raw pprof bytes:
+// GET /debug/profiles/{trace}/{kind}.
+func (r *ProfileRing) ServeProfile(w http.ResponseWriter, req *http.Request, traceID, kind string) {
+	if r == nil {
+		http.Error(w, "profile ring disabled", http.StatusNotFound)
+		return
+	}
+	kind = strings.ToLower(kind)
+	if kind != "cpu" && kind != "heap" {
+		http.Error(w, "kind must be cpu or heap", http.StatusBadRequest)
+		return
+	}
+	p, ok := r.Get(traceID, kind)
+	if !ok {
+		http.Error(w, "no such profile", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", p.TraceID+"."+p.Kind+".pprof"))
+	w.Write(p.data)
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestProfileRingCaptureAndServe(t *testing.T) {
+	r := NewProfileRing(8)
+	r.CPUDuration = 30 * time.Millisecond
+	if err := r.Capture("trace-1", "running > 1s"); err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("captures = %d, want 2 (heap + cpu)", len(snap))
+	}
+	for _, kind := range []string{"heap", "cpu"} {
+		p, ok := r.Get("trace-1", kind)
+		if !ok {
+			t.Fatalf("Get(trace-1, %s): not found", kind)
+		}
+		if p.Size <= 0 || p.Reason != "running > 1s" {
+			t.Errorf("%s profile: size=%d reason=%q", kind, p.Size, p.Reason)
+		}
+	}
+
+	// Index endpoint: JSON envelope without payloads.
+	rec := httptest.NewRecorder()
+	r.ServeIndex(rec, httptest.NewRequest(http.MethodGet, "/debug/profiles", nil))
+	var idx struct {
+		Profiles []Profile `json:"profiles"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &idx); err != nil {
+		t.Fatalf("index not JSON: %v", err)
+	}
+	if len(idx.Profiles) != 2 {
+		t.Fatalf("index entries = %d, want 2", len(idx.Profiles))
+	}
+
+	// Raw download: pprof bytes as octet-stream.
+	rec = httptest.NewRecorder()
+	r.ServeProfile(rec, httptest.NewRequest(http.MethodGet, "/x", nil), "trace-1", "heap")
+	if rec.Code != http.StatusOK || rec.Body.Len() == 0 {
+		t.Fatalf("ServeProfile: code=%d len=%d", rec.Code, rec.Body.Len())
+	}
+	rec = httptest.NewRecorder()
+	r.ServeProfile(rec, httptest.NewRequest(http.MethodGet, "/x", nil), "trace-1", "block")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad kind: code=%d, want 400", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	r.ServeProfile(rec, httptest.NewRequest(http.MethodGet, "/x", nil), "nope", "heap")
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown trace: code=%d, want 404", rec.Code)
+	}
+}
+
+func TestProfileRingBounded(t *testing.T) {
+	r := NewProfileRing(3)
+	r.CPUDuration = time.Millisecond
+	for i := 0; i < 3; i++ {
+		id := string(rune('a' + i))
+		if err := r.Capture(id, "x"); err != nil {
+			t.Fatalf("Capture %s: %v", id, err)
+		}
+	}
+	if got := len(r.Snapshot()); got != 3 {
+		t.Fatalf("ring size = %d, want 3", got)
+	}
+	// Six captures went in; only the newest three survive, so "a" (the
+	// oldest pair) must be fully evicted.
+	if _, ok := r.Get("a", "heap"); ok {
+		t.Error("oldest capture not evicted")
+	}
+	if _, ok := r.Get("c", "cpu"); !ok {
+		t.Error("newest capture missing")
+	}
+}
+
+func TestProfileRingNilSafe(t *testing.T) {
+	var r *ProfileRing
+	if err := r.Capture("t", "r"); err != nil {
+		t.Fatalf("nil Capture: %v", err)
+	}
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("nil Snapshot = %v, want nil", got)
+	}
+	if _, ok := r.Get("t", "heap"); ok {
+		t.Fatal("nil Get reported a hit")
+	}
+	rec := httptest.NewRecorder()
+	r.ServeIndex(rec, httptest.NewRequest(http.MethodGet, "/debug/profiles", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("nil index: code=%d, want 404", rec.Code)
+	}
+	if NewProfileRing(0) != nil {
+		t.Fatal("NewProfileRing(0) must return nil")
+	}
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Prometheus-style text exposition of a metrics snapshot. The JSON
+// snapshot stays the default /metrics body (the smoke scripts grep it);
+// ?format=text serves this rendering for scrape pipelines and for the
+// golden-file test that pins the format.
+//
+// Mapping: metric names are sanitized to [a-zA-Z0-9_:] (dots become
+// underscores), counters and gauges render as single samples, and
+// histograms render the standard _bucket{le="..."}/_sum/_count triple
+// with *cumulative* bucket counts (the snapshot stores per-bucket
+// counts; the exposition format requires running totals).
+
+// WriteProm renders the snapshot in the text exposition format, sorted
+// by metric name so the output is deterministic.
+func (m MetricsSnapshot) WriteProm(w io.Writer) error {
+	for _, name := range sortedKeys(m.Counters) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, m.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(m.Gauges) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(m.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(m.Histograms) {
+		h := m.Histograms[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := "+Inf"
+			if !math.IsInf(b.UpperBound, 1) {
+				le = promFloat(b.UpperBound)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, promFloat(h.Sum), pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName sanitizes a registry name ("factor.chol_ms",
+// "galerkin.solve_ms.w3") into a legal exposition-format metric name.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way the exposition format expects:
+// shortest round-trip representation, no exponent padding.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

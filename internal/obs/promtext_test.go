@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSnapshot builds a fully deterministic registry: fixed counter
+// and gauge values, histogram observations chosen to land in known
+// buckets. Any change to the exposition rendering shows up as a diff
+// against testdata/metrics.prom.
+func goldenSnapshot() MetricsSnapshot {
+	reg := NewRegistry()
+	reg.Counter("service.jobs_submitted_total").Add(42)
+	reg.Counter("factor.flops_total").Add(123456)
+	reg.Gauge("runtime.heap_bytes").Set(1048576)
+	reg.Gauge("numguard.cond_estimate").Set(1234.5)
+	h := reg.Histogram("service.job_ms", []float64{1, 10, 100, 1000})
+	h.Observe(0.5)  // first bucket
+	h.Observe(5)    // second
+	h.Observe(5)    // second
+	h.Observe(500)  // fourth
+	h.Observe(5000) // overflow (+Inf)
+	return reg.Snapshot()
+}
+
+// TestWritePromGolden pins the text exposition format byte-for-byte.
+// Regenerate with `go test ./internal/obs -run PromGolden -update`
+// after an intentional format change.
+func TestWritePromGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenSnapshot().WriteProm(&buf); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	path := filepath.Join("testdata", "metrics.prom")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file: %v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition format drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestPromNameSanitizes(t *testing.T) {
+	cases := map[string]string{
+		"service.job_ms":       "service_job_ms",
+		"galerkin.solve_ms.w3": "galerkin_solve_ms_w3",
+		"9starts.with.digit":   "_starts_with_digit",
+		"already_legal:name":   "already_legal:name",
+		"weird-dash and space": "weird_dash_and_space",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestMetricsHandlerFormats pins the /metrics contract: JSON by
+// default (the smoke scripts grep it), text exposition on
+// ?format=text.
+func TestMetricsHandlerFormats(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test.events_total").Add(7)
+	h := MetricsHandler(reg)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("default Content-Type = %q, want application/json", ct)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("default body not JSON: %v", err)
+	}
+	if snap.Counters["test.events_total"] != 7 {
+		t.Errorf("counter lost: %+v", snap.Counters)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics?format=text", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("text Content-Type = %q, want text/plain...", ct)
+	}
+	body, _ := io.ReadAll(rec.Body)
+	if !strings.Contains(string(body), "test_events_total 7") {
+		t.Errorf("text body missing sample:\n%s", body)
+	}
+	if !strings.Contains(string(body), "# TYPE test_events_total counter") {
+		t.Errorf("text body missing TYPE line:\n%s", body)
+	}
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"math"
+	runtimemetrics "runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Runtime-metrics sampler: a background goroutine that reads the
+// runtime/metrics slice on a fixed cadence and mirrors the interesting
+// series into registry gauges, so /metrics answers "is the process
+// GC-bound? scheduler-starved? leaking goroutines?" alongside the
+// service counters without any external agent.
+//
+// Exported gauge names (all under the runtime.* prefix):
+//
+//	runtime.goroutines              live goroutine count
+//	runtime.heap_bytes              bytes in live heap objects
+//	runtime.heap_goal_bytes         GC pacer target
+//	runtime.total_alloc_bytes       cumulative allocated bytes
+//	runtime.gc_cycles_total         completed GC cycles
+//	runtime.gc_pause_ms_p50/.p99    stop-the-world pause quantiles
+//	runtime.sched_latency_ms_p50/.p99  goroutine scheduling latency quantiles
+//
+// The quantiles come from the runtime's cumulative float64 histograms,
+// so they describe the process lifetime, not the last interval — the
+// right shape for "did anything ever stall" forensics.
+
+// runtimeSamples is the fixed read batch; building it once and reusing
+// it keeps each sample allocation-free per runtime/metrics guidance.
+var runtimeSampleNames = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/gc/heap/goal:bytes",
+	"/gc/heap/allocs:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// runtimeGauges holds the registry endpoints the sampler writes.
+type runtimeGauges struct {
+	goroutines  *Gauge
+	heap        *Gauge
+	heapGoal    *Gauge
+	totalAlloc  *Gauge
+	gcCycles    *Gauge
+	gcPauseP50  *Gauge
+	gcPauseP99  *Gauge
+	schedLatP50 *Gauge
+	schedLatP99 *Gauge
+}
+
+// StartRuntimeSampler begins sampling runtime/metrics into reg every
+// interval (minimum 100ms; 0 selects 1s) and returns a stop function.
+// The first sample is taken synchronously, so the gauges are populated
+// when StartRuntimeSampler returns. Stop is idempotent and safe to call
+// from any goroutine. A nil registry returns a no-op stop.
+func StartRuntimeSampler(reg *Registry, interval time.Duration) (stop func()) {
+	if reg == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	g := &runtimeGauges{
+		goroutines:  reg.Gauge("runtime.goroutines"),
+		heap:        reg.Gauge("runtime.heap_bytes"),
+		heapGoal:    reg.Gauge("runtime.heap_goal_bytes"),
+		totalAlloc:  reg.Gauge("runtime.total_alloc_bytes"),
+		gcCycles:    reg.Gauge("runtime.gc_cycles_total"),
+		gcPauseP50:  reg.Gauge("runtime.gc_pause_ms_p50"),
+		gcPauseP99:  reg.Gauge("runtime.gc_pause_ms_p99"),
+		schedLatP50: reg.Gauge("runtime.sched_latency_ms_p50"),
+		schedLatP99: reg.Gauge("runtime.sched_latency_ms_p99"),
+	}
+	samples := make([]runtimemetrics.Sample, len(runtimeSampleNames))
+	for i, name := range runtimeSampleNames {
+		samples[i].Name = name
+	}
+	sampleRuntime(samples, g)
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				sampleRuntime(samples, g)
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// sampleRuntime reads one batch and publishes it.
+func sampleRuntime(samples []runtimemetrics.Sample, g *runtimeGauges) {
+	runtimemetrics.Read(samples)
+	for i := range samples {
+		s := &samples[i]
+		switch s.Name {
+		case "/sched/goroutines:goroutines":
+			g.goroutines.Set(float64(s.Value.Uint64()))
+		case "/memory/classes/heap/objects:bytes":
+			g.heap.Set(float64(s.Value.Uint64()))
+		case "/gc/heap/goal:bytes":
+			g.heapGoal.Set(float64(s.Value.Uint64()))
+		case "/gc/heap/allocs:bytes":
+			g.totalAlloc.Set(float64(s.Value.Uint64()))
+		case "/gc/cycles/total:gc-cycles":
+			g.gcCycles.Set(float64(s.Value.Uint64()))
+		case "/gc/pauses:seconds":
+			if h := s.Value.Float64Histogram(); h != nil {
+				g.gcPauseP50.Set(histQuantile(h, 0.50) * 1e3)
+				g.gcPauseP99.Set(histQuantile(h, 0.99) * 1e3)
+			}
+		case "/sched/latencies:seconds":
+			if h := s.Value.Float64Histogram(); h != nil {
+				g.schedLatP50.Set(histQuantile(h, 0.50) * 1e3)
+				g.schedLatP99.Set(histQuantile(h, 0.99) * 1e3)
+			}
+		}
+	}
+}
+
+// histQuantile returns the q-quantile of a runtime cumulative
+// histogram, taking the upper bound of the bucket where the cumulative
+// count crosses q (0 when the histogram is empty). Infinite bounds fall
+// back to the nearest finite neighbor so the result stays plottable.
+func histQuantile(h *runtimemetrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			// Bucket i spans Buckets[i]..Buckets[i+1].
+			ub := h.Buckets[i+1]
+			if !math.IsInf(ub, 0) {
+				return ub
+			}
+			lb := h.Buckets[i]
+			if !math.IsInf(lb, 0) {
+				return lb
+			}
+			return 0
+		}
+	}
+	return 0
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	runtimemetrics "runtime/metrics"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuntimeSamplerPopulatesSynchronously(t *testing.T) {
+	reg := NewRegistry()
+	// An hour-long interval proves the first sample is the synchronous
+	// one, not a lucky tick.
+	stop := StartRuntimeSampler(reg, time.Hour)
+	defer stop()
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"runtime.goroutines",
+		"runtime.heap_bytes",
+		"runtime.heap_goal_bytes",
+		"runtime.total_alloc_bytes",
+		"runtime.gc_cycles_total",
+		"runtime.gc_pause_ms_p50",
+		"runtime.gc_pause_ms_p99",
+		"runtime.sched_latency_ms_p50",
+		"runtime.sched_latency_ms_p99",
+	} {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Errorf("gauge %s missing after StartRuntimeSampler", name)
+		}
+	}
+	if g := snap.Gauges["runtime.goroutines"]; g < 1 {
+		t.Errorf("runtime.goroutines = %g, want >= 1", g)
+	}
+	if g := snap.Gauges["runtime.heap_bytes"]; g <= 0 {
+		t.Errorf("runtime.heap_bytes = %g, want > 0", g)
+	}
+	if g := snap.Gauges["runtime.total_alloc_bytes"]; g <= 0 {
+		t.Errorf("runtime.total_alloc_bytes = %g, want > 0", g)
+	}
+}
+
+func TestRuntimeSamplerStopIdempotent(t *testing.T) {
+	stop := StartRuntimeSampler(NewRegistry(), time.Hour)
+	stop()
+	stop() // second call must not panic (close of closed channel)
+	if nilStop := StartRuntimeSampler(nil, time.Second); nilStop == nil {
+		t.Fatal("nil registry must return a usable stop func")
+	} else {
+		nilStop()
+	}
+}
+
+// TestRuntimeGaugesJSONRoundTrip pins the wire behavior the dashboards
+// rely on: the runtime.* gauges survive a MetricsSnapshot JSON
+// round-trip bit-exactly.
+func TestRuntimeGaugesJSONRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	stop := StartRuntimeSampler(reg, time.Hour)
+	defer stop()
+	snap := reg.Snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back MetricsSnapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	got := map[string]float64{}
+	want := map[string]float64{}
+	for name, v := range snap.Gauges {
+		if strings.HasPrefix(name, "runtime.") {
+			want[name] = v
+		}
+	}
+	for name, v := range back.Gauges {
+		if strings.HasPrefix(name, "runtime.") {
+			got[name] = v
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("no runtime.* gauges in the snapshot")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("runtime gauges changed across JSON round-trip:\n  want %v\n  got  %v", want, got)
+	}
+}
+
+func TestHistQuantileCrossesCumulativeCount(t *testing.T) {
+	// Synthetic cumulative histogram: 10 observations in [0,1), 85 in
+	// [1,2), 5 in [2,+Inf). p50 lands in the second bucket (upper bound
+	// 2); p99 lands in the infinite bucket and falls back to its finite
+	// lower bound.
+	h := &runtimemetrics.Float64Histogram{
+		Counts:  []uint64{10, 85, 5},
+		Buckets: []float64{0, 1, 2, math.Inf(1)},
+	}
+	if got := histQuantile(h, 0.50); got != 2 {
+		t.Errorf("p50 = %g, want 2", got)
+	}
+	if got := histQuantile(h, 0.99); got != 2 {
+		t.Errorf("p99 = %g, want 2 (finite lower bound of the +Inf bucket)", got)
+	}
+	empty := &runtimemetrics.Float64Histogram{
+		Counts:  []uint64{0, 0},
+		Buckets: []float64{0, 1, 2},
+	}
+	if got := histQuantile(empty, 0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", got)
+	}
+}

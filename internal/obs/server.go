@@ -72,7 +72,9 @@ func (s *HTTPServer) Close(ctx context.Context) error {
 //
 //	/debug/pprof/*   — net/http/pprof profiles (CPU, heap, block, ...)
 //	/debug/vars      — expvar, including the live metrics snapshot
-//	/metrics         — the registry snapshot as JSON
+//	/debug/build     — debug.ReadBuildInfo (VCS revision, dirty flag)
+//	/metrics         — the registry snapshot as JSON (?format=text for
+//	                   the exposition-format rendering)
 //	/trace           — the current trace dump as JSON (open spans live)
 //
 // The listener is bound synchronously; serving happens on a background
@@ -97,6 +99,7 @@ func DebugMux(t *Tracer) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/debug/build", BuildHandler())
 	mux.Handle("/metrics", MetricsHandler(t.Registry()))
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -105,9 +108,17 @@ func DebugMux(t *Tracer) *http.ServeMux {
 	return mux
 }
 
-// MetricsHandler serves the registry snapshot as indented JSON.
+// MetricsHandler serves the registry snapshot: indented JSON by
+// default, the Prometheus-style text exposition with ?format=text.
 func MetricsHandler(reg *Registry) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r != nil && r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := reg.Snapshot().WriteProm(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		writeJSONValue(w, reg.Snapshot())
 	})

@@ -60,8 +60,15 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, code, body)
 	})
 	mux.Handle("GET /metrics", obs.MetricsHandler(s.reg))
+	mux.Handle("GET /debug/build", obs.BuildHandler())
 	if s.flight != nil {
 		mux.Handle("GET /debug/flight", s.flight.Handler())
+	}
+	if s.profiles != nil {
+		mux.HandleFunc("GET /debug/profiles", s.profiles.ServeIndex)
+		mux.HandleFunc("GET /debug/profiles/{trace}/{kind}", func(w http.ResponseWriter, r *http.Request) {
+			s.profiles.ServeProfile(w, r, r.PathValue("trace"), r.PathValue("kind"))
+		})
 	}
 	return mux
 }

@@ -41,6 +41,50 @@ func guardSummary(rep *numguard.Report) *GuardSummary {
 	return gs
 }
 
+// NumHealth is the per-job numerical-health record: what the solve
+// cost and how trustworthy its numbers are, in machine-independent
+// terms. It rides on the job result and the flight-recorder entry, so
+// "why was this job slow / is this answer sound" is answerable from
+// either end without rerunning anything.
+type NumHealth struct {
+	// Rung is the numguard ladder rung that served the solve
+	// ("block-cholesky", "cholesky", "lu", "cg+mean-precond", ...).
+	Rung string `json:"rung,omitempty"`
+	// MaxResidual is the worst accepted scaled residual ‖Ax−b‖/(‖A‖‖x‖)
+	// among verified solves.
+	MaxResidual float64 `json:"max_residual,omitempty"`
+	// CondEstimate is the Hager–Higham 1-norm condition estimate of the
+	// solved operator (0 when no direct factor was available).
+	CondEstimate float64 `json:"cond_estimate,omitempty"`
+	// Escalations counts ladder rung transitions during the solve.
+	Escalations int `json:"escalations,omitempty"`
+	// FactorNNZ, FillRatio and FactorFlops describe the factorization
+	// that served the solve: nnz of the factor, nnz(L)/nnz(upper(A)),
+	// and the symbolic flop estimate (for Monte Carlo, summed over all
+	// samples). Deterministic given the input — comparable across
+	// machines and runs.
+	FactorNNZ   int     `json:"factor_nnz,omitempty"`
+	FillRatio   float64 `json:"fill_ratio,omitempty"`
+	FactorFlops int64   `json:"factor_flops,omitempty"`
+}
+
+// healthFromCore assembles the record from the Galerkin telemetry.
+func healthFromCore(res *core.Result) *NumHealth {
+	g := res.Galerkin
+	h := &NumHealth{
+		Rung:         g.Factorer,
+		CondEstimate: g.CondEst,
+		FactorNNZ:    g.FactorNNZ,
+		FillRatio:    g.FillRatio,
+		FactorFlops:  g.FactorFlops,
+	}
+	if gd := g.Guard(); gd != nil {
+		h.MaxResidual = gd.Snapshot().MaxResidual
+		h.Escalations = gd.Escalations()
+	}
+	return h
+}
+
 // JobResult is the wire form of a finished analysis. The service
 // stores the encoded bytes — what the cache holds and what the result
 // endpoint serves verbatim, so repeated identical requests return
@@ -77,6 +121,9 @@ type JobResult struct {
 	SamplesRun int           `json:"samples_run,omitempty"`
 	ElapsedMS  float64       `json:"elapsed_ms"`
 	Guard      *GuardSummary `json:"guard,omitempty"`
+	// Health is the numerical-health record of the solve (nil only for
+	// analyses that expose no solver telemetry).
+	Health *NumHealth `json:"health,omitempty"`
 
 	// Degraded marks a partial Monte Carlo result returned because a
 	// deadline or drain interrupted the sampling: the moments cover
@@ -117,6 +164,7 @@ func fromCore(kind string, res *core.Result) *JobResult {
 		FactorNNZ:  res.Galerkin.FactorNNZ,
 		ElapsedMS:  float64(res.Elapsed) / float64(time.Millisecond),
 		Guard:      guardSummary(res.Galerkin.Guard()),
+		Health:     healthFromCore(res),
 	}
 	if res.VDD > 0 {
 		jr.WorstDropPct = 100 * drop / res.VDD
@@ -135,6 +183,12 @@ func fromMC(res *montecarlo.Result, vdd float64, elapsed time.Duration) *JobResu
 		Variance:   res.Variance,
 		SamplesRun: res.SamplesRun,
 		ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
+		Health: &NumHealth{
+			Rung:        "cholesky",
+			FactorNNZ:   res.FactorNNZ,
+			FillRatio:   res.FillRatio,
+			FactorFlops: res.FactorFlops,
+		},
 	}
 	worst := -1.0
 	for s := range res.Mean {

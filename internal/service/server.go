@@ -123,6 +123,16 @@ type Options struct {
 	// boundary) does not move for this long is canceled with a
 	// *StallError and fails. 0 disables the watchdog.
 	StallTimeout time.Duration
+	// SLOProfileAfter, when positive, arms an evidence collector: a job
+	// still running after this long gets a heap snapshot and a short
+	// CPU profile of the live process captured into a bounded ring,
+	// keyed by the job's trace ID and served at /debug/profiles. The
+	// capture fires while the slow job is still executing, so the CPU
+	// window actually samples the offending solve. 0 disables capture.
+	SLOProfileAfter time.Duration
+	// ProfileRingSize bounds the capture ring (a cpu+heap pair is two
+	// entries). Default 16 when SLOProfileAfter is set.
+	ProfileRingSize int
 }
 
 func (o Options) withDefaults() Options {
@@ -151,6 +161,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CheckpointDir != "" && o.CheckpointEvery == 0 {
 		o.CheckpointEvery = 64
+	}
+	if o.SLOProfileAfter > 0 && o.ProfileRingSize == 0 {
+		o.ProfileRingSize = 16
 	}
 	return o
 }
@@ -183,6 +196,7 @@ type job struct {
 	tail        *logx.Tail    // per-job log tail for the flight entry
 	tracer      *obs.Tracer   // per-job span tree (flight or CollectTrace)
 	guard       *GuardSummary // numguard view of a successful solve
+	health      *NumHealth    // numerical-health record of the solve
 	escalations int           // ladder transitions during the solve
 
 	submitted time.Time
@@ -243,6 +257,9 @@ type Server struct {
 	log    *slog.Logger
 	flight *obs.FlightRecorder
 	ckpts  *checkpoint.Store // nil without CheckpointDir
+	// profiles holds the SLO-breach pprof captures (nil when
+	// SLOProfileAfter is unset); served at /debug/profiles.
+	profiles *obs.ProfileRing
 
 	mu          sync.Mutex
 	cond        *sync.Cond
@@ -272,6 +289,7 @@ type Server struct {
 	mDeadlineMiss            *obs.Counter
 	mSLOCancels              *obs.Counter
 	mSLOEscalations          *obs.Counter
+	mSLOProfiles             *obs.Counter
 	mQueueAge                *obs.Gauge
 
 	// Fault-tolerance instrumentation: checkpoint writes and their
@@ -319,6 +337,7 @@ func New(opts Options) (*Server, error) {
 		mDeadlineMiss:   opts.Registry.Counter("service.slo_deadline_misses_total"),
 		mSLOCancels:     opts.Registry.Counter("service.slo_cancels_total"),
 		mSLOEscalations: opts.Registry.Counter("service.slo_escalations_total"),
+		mSLOProfiles:    opts.Registry.Counter("service.slo_profiles_total"),
 		mQueueAge:       opts.Registry.Gauge("service.queue_age_ms"),
 
 		mCheckpoints:  opts.Registry.Counter("service.checkpoints_total"),
@@ -328,6 +347,9 @@ func New(opts Options) (*Server, error) {
 		mDegraded:     opts.Registry.Counter("service.jobs_degraded_total"),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if opts.SLOProfileAfter > 0 {
+		s.profiles = obs.NewProfileRing(opts.ProfileRingSize)
+	}
 	if opts.CheckpointDir != "" {
 		var err error
 		s.ckpts, err = checkpoint.Open(opts.CheckpointDir)
@@ -696,6 +718,9 @@ func (s *Server) runJob(j *job) {
 	if s.opts.StallTimeout > 0 {
 		go s.watchJob(j)
 	}
+	if s.opts.SLOProfileAfter > 0 && s.profiles != nil {
+		go s.profileOnBreach(j)
+	}
 	var result []byte
 	err := parallel.ForEach(1, 1, func(_, _ int) error {
 		var e error
@@ -704,6 +729,35 @@ func (s *Server) runJob(j *job) {
 	})
 	s.finishJob(j, result, err)
 }
+
+// profileOnBreach waits out the job's latency objective and, if the
+// job is still running when it expires, captures pprof evidence into
+// the profile ring under the job's trace ID. The job keeps running —
+// capture is observation, not intervention (contrast watchJob, which
+// kills). Runs on its own goroutine; Capture blocks for the CPU
+// window, which is why this must not run on the worker.
+func (s *Server) profileOnBreach(j *job) {
+	t := time.NewTimer(s.opts.SLOProfileAfter)
+	defer t.Stop()
+	select {
+	case <-j.done:
+		return // finished inside the objective; nothing to capture
+	case <-t.C:
+	}
+	s.mSLOProfiles.Inc()
+	reason := fmt.Sprintf("running > %s", s.opts.SLOProfileAfter)
+	if j.log != nil {
+		j.event("job.slo_profile", slog.String(logx.KeyReason, reason))
+	}
+	if err := s.profiles.Capture(j.traceID, reason); err != nil && j.log != nil {
+		// ErrCaptureBusy (another breach holds the CPU window) still
+		// stored the heap snapshot; anything else lost the capture.
+		j.event("job.slo_profile_err", slog.String(logx.KeyError, err.Error()))
+	}
+}
+
+// Profiles returns the SLO-breach capture ring (nil when disabled).
+func (s *Server) Profiles() *obs.ProfileRing { return s.profiles }
 
 // finishJob moves a job to its terminal state and releases waiters.
 // Terminal telemetry (log events, flight entry) is emitted after the
@@ -872,6 +926,9 @@ func (s *Server) recordTerminal(j *job, state string, err error, deadline bool) 
 		case j.diag != nil:
 			e.Guard = j.diag
 		}
+		if j.health != nil {
+			e.Health = j.health
+		}
 		s.flight.Record(e)
 	}
 }
@@ -949,6 +1006,7 @@ func (s *Server) execute(j *job) ([]byte, error) {
 	tr.Finish()
 	jr.TraceID = j.traceID
 	j.guard = jr.Guard
+	j.health = jr.Health
 	if jr.Guard != nil {
 		j.escalations = jr.Guard.Escalations
 	}
