@@ -62,6 +62,7 @@ func main() {
 		jsonOut     = flag.String("json", "", "write the suite's BenchReport JSON to this file (- or empty with -suite: stdout)")
 		comparePath = flag.String("compare", "", "baseline BenchReport; compares against the report named by the positional argument and exits 0/1/2 (clean/warn/fail)")
 		traceOut    = flag.String("trace-out", "", "with -suite: write the shared suite trace (one span per scenario row) as JSON to this file")
+		kernelGate  = flag.Bool("kernel-gate", false, "with -suite: fail (exit 2) if any supernodal factor row is slower than its scalar mate")
 	)
 	flag.Parse()
 	if *workers > 0 {
@@ -85,7 +86,7 @@ func main() {
 		os.Exit(runCompare(*comparePath, flag.Arg(0)))
 	}
 	if *suite != "" || *jsonOut != "" {
-		if err := runSuite(*suite, *jsonOut, *traceOut, *workers); err != nil {
+		if err := runSuite(*suite, *jsonOut, *traceOut, *workers, *kernelGate); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 			os.Exit(1)
 		}
@@ -180,7 +181,7 @@ func main() {
 			nodes = 19181
 		}
 		rows, err := experiments.RunOrderingAblation(nodes, *seed, []galerkin.Ordering{
-			galerkin.OrderND, galerkin.OrderRCM, galerkin.OrderMD, galerkin.OrderNatural,
+			galerkin.OrderND, galerkin.OrderRCM, galerkin.OrderMD, galerkin.OrderAMD, galerkin.OrderNatural,
 		})
 		if err != nil {
 			return err
@@ -194,7 +195,7 @@ func main() {
 // shared across every row (so -trace-out yields a single dump spanning
 // the whole suite) and the -workers cap threads into each scenario's
 // solver pools, not just GOMAXPROCS.
-func runSuite(name, jsonOut, traceOut string, workers int) error {
+func runSuite(name, jsonOut, traceOut string, workers int, kernelGate bool) error {
 	if name == "" {
 		name = "quick"
 	}
@@ -219,9 +220,22 @@ func runSuite(name, jsonOut, traceOut string, workers int) error {
 		}
 	}
 	if jsonOut == "" || jsonOut == "-" {
-		return rep.Encode(os.Stdout)
+		if err := rep.Encode(os.Stdout); err != nil {
+			return err
+		}
+	} else if err := rep.WriteFile(jsonOut); err != nil {
+		return err
 	}
-	return rep.WriteFile(jsonOut)
+	if kernelGate {
+		if fails := bench.KernelGate(rep, 0); len(fails) > 0 {
+			for _, f := range fails {
+				fmt.Fprintln(os.Stderr, f)
+			}
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "kernel gate: supernodal >= scalar on every paired factor row")
+	}
+	return nil
 }
 
 // runCompare diffs a new report against the baseline and returns the

@@ -41,7 +41,7 @@ func main() {
 		order    = flag.Int("order", 2, "chaos expansion order p")
 		step     = flag.Float64("step", 1e-10, "time step (s)")
 		steps    = flag.Int("steps", 20, "number of time steps")
-		ordering = flag.String("ordering", "nd", "fill-reducing ordering: nd, rcm, md, natural")
+		ordering = flag.String("ordering", "nd", "fill-reducing ordering: nd, rcm, md, amd, natural")
 		track    = flag.String("track", "", "comma-separated node ids to report distributions for")
 		csvPath  = flag.String("csv", "", "write per-node moments at the final step as CSV")
 		mcCheck  = flag.Int("mc", 0, "also run Monte Carlo with this many samples and report accuracy")
@@ -213,6 +213,8 @@ func parseOrdering(s string) galerkin.Ordering {
 		return galerkin.OrderRCM
 	case "md":
 		return galerkin.OrderMD
+	case "amd":
+		return galerkin.OrderAMD
 	case "natural":
 		return galerkin.OrderNatural
 	default:

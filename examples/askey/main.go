@@ -73,7 +73,7 @@ func main() {
 	comp := sparse.Add(1, pattern, 1/opts.Step, pattern)
 	perm := order.NestedDissection(order.NewGraph(comp), 0)
 	sym := factor.CholAnalyze(comp, perm)
-	var reuse *factor.CholFactor
+	var reuse factor.ScalarFactor
 	for k := 0; k < samples; k++ {
 		xiG := 2*rng.Float64() - 1
 		xiL := 2*rng.Float64() - 1

@@ -184,11 +184,11 @@ func RunLeakageMC(nl *netlist.Netlist, opts LeakageOptions, samples int, seed in
 	start := time.Now()
 	companion := sparse.Add(1, sys.Ga, 1/opts.Step, sys.Ca)
 	perm := order.NestedDissection(order.NewGraph(companion), 0)
-	comp, err := factor.Cholesky(companion, perm)
+	comp, err := factor.CholeskyKernel(companion, perm, factor.KernelSupernodal)
 	if err != nil {
 		return nil, fmt.Errorf("core: leakage MC companion: %w", err)
 	}
-	gfac, err := factor.Cholesky(sys.Ga, perm)
+	gfac, err := factor.CholeskyKernel(sys.Ga, perm, factor.KernelSupernodal)
 	if err != nil {
 		return nil, fmt.Errorf("core: leakage MC DC: %w", err)
 	}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"opera/internal/factor"
 	"opera/internal/galerkin"
 	"opera/internal/mna"
 	"opera/internal/montecarlo"
@@ -37,6 +38,10 @@ type Options struct {
 	// Ordering selects the fill-reducing ordering of the augmented
 	// factorization.
 	Ordering galerkin.Ordering
+	// Kernel selects the scalar Cholesky kernel (supernodal blocked
+	// panels by default; KernelScalar forces the up-looking reference —
+	// the ablation switch).
+	Kernel factor.Kernel
 	// TrackNodes lists nodes whose full chaos coefficients are retained
 	// at every step (needed for PDFs and the distribution figures).
 	TrackNodes []int
@@ -178,7 +183,7 @@ func analyze(gsys *galerkin.System, vdd float64, opts Options) (*Result, error) 
 	var momentsDur time.Duration
 	gres, err := galerkin.Solve(gsys, galerkin.Options{
 		Step: opts.Step, Steps: opts.Steps,
-		Ordering: opts.Ordering, ForceCoupled: opts.ForceCoupled,
+		Ordering: opts.Ordering, Kernel: opts.Kernel, ForceCoupled: opts.ForceCoupled,
 		ForceLU: opts.ForceLU, Iterative: opts.Iterative,
 		Workers: opts.Workers, Guard: opts.Guard, Obs: opts.Obs,
 		Progress: opts.Progress, Ctx: opts.Ctx,

@@ -34,6 +34,57 @@ func etree(a *sparse.Matrix) []int {
 	return parent
 }
 
+// postorder computes a depth-first postordering of the elimination
+// tree (forest), visiting each node's children in ascending order so
+// the result is deterministic. Returns nil when the tree is already
+// postordered — the common case for natural and dissection orderings —
+// so callers can skip the relabeling.
+func postorder(parent []int) []int {
+	n := len(parent)
+	// Child lists: filling in descending node order leaves each head
+	// pointing at the smallest child, so the DFS pops children
+	// ascending. Cell n collects the forest roots.
+	head := make([]int, n+1)
+	for i := range head {
+		head[i] = -1
+	}
+	next := make([]int, n)
+	for v := n - 1; v >= 0; v-- {
+		p := parent[v]
+		if p < 0 {
+			p = n
+		}
+		next[v] = head[p]
+		head[p] = v
+	}
+	post := make([]int, 0, n)
+	stack := make([]int, 0, n)
+	for r := head[n]; r != -1; r = next[r] {
+		stack = append(stack, r)
+		for len(stack) > 0 {
+			j := stack[len(stack)-1]
+			if c := head[j]; c != -1 {
+				head[j] = next[c] // consume the child; revisit j after
+				stack = append(stack, c)
+				continue
+			}
+			post = append(post, j)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	identity := true
+	for k, v := range post {
+		if v != k {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		return nil
+	}
+	return post
+}
+
 // ereach computes the nonzero pattern of row k of the Cholesky factor L
 // as the union of the tree paths from each entry of column k of A (upper
 // triangle) to the root, stopping at already-marked vertices. The

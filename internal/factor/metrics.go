@@ -12,6 +12,7 @@ import (
 // pointer load per call is negligible against the numeric work.
 type factorMetrics struct {
 	chol      *obs.Histogram
+	superChol *obs.Histogram
 	refactor  *obs.Histogram
 	blockChol *obs.Histogram
 	lu        *obs.Histogram
@@ -23,8 +24,8 @@ type factorMetrics struct {
 var metrics atomic.Pointer[factorMetrics]
 
 // SetMetrics installs factorization-duration histograms
-// (factor.chol_ms, factor.refactor_ms, factor.block_chol_ms,
-// factor.lu_ms), a total counter (factor.factorizations_total), a
+// (factor.chol_ms, factor.supernodal_ms, factor.refactor_ms,
+// factor.block_chol_ms, factor.lu_ms), a total counter (factor.factorizations_total), a
 // cumulative work counter (factor.flops_total, symbolic estimates) and
 // a fill-ratio gauge (factor.fill_ratio, nnz(L)/nnz(upper(A)) of the
 // most recent factorization) on the registry; nil uninstalls them.
@@ -35,6 +36,7 @@ func SetMetrics(reg *obs.Registry) {
 	}
 	metrics.Store(&factorMetrics{
 		chol:      reg.Histogram("factor.chol_ms", obs.MSBuckets),
+		superChol: reg.Histogram("factor.supernodal_ms", obs.MSBuckets),
 		refactor:  reg.Histogram("factor.refactor_ms", obs.MSBuckets),
 		blockChol: reg.Histogram("factor.block_chol_ms", obs.MSBuckets),
 		lu:        reg.Histogram("factor.lu_ms", obs.MSBuckets),

@@ -80,7 +80,7 @@ func solveCoupled(sys *System, opts Options, visit func(int, float64, [][]float6
 	res.guard = rep
 	st := &factorStats{}
 	lad := numguard.NewLadder("step", opts.Guard, comp, comp.NormInf(),
-		blockRungs(comp, perm, opts.Guard, opts.ForceLU, st), rep)
+		blockRungs(comp, perm, opts.Kernel, opts.Workers, opts.Guard, opts.ForceLU, st), rep)
 	sol, err := lad.Solver(0)
 	if err != nil {
 		return Result{}, fmt.Errorf("galerkin: companion factorization: %w", err)
@@ -149,7 +149,7 @@ func solveCoupled(sys *System, opts Options, visit func(int, float64, [][]float6
 			Reason: fmt.Sprintf("CG failed: %v", cgErr),
 		})
 		dcLad := numguard.NewLadder("dc", opts.Guard, gBM, gBM.NormInf(),
-			blockRungs(gBM, perm, opts.Guard, opts.ForceLU, nil), rep)
+			blockRungs(gBM, perm, opts.Kernel, opts.Workers, opts.Guard, opts.ForceLU, nil), rep)
 		if err := dcLad.Solve(0, x, rhs); err != nil {
 			return Result{}, fmt.Errorf("galerkin: DC solve: %w", err)
 		}

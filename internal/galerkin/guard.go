@@ -6,16 +6,19 @@ import (
 	"opera/internal/factor"
 	"opera/internal/iterative"
 	"opera/internal/numguard"
+	"opera/internal/parallel"
 	"opera/internal/sparse"
 )
 
 // This file wires the numguard escalation ladder into the Galerkin
 // solve paths. Rung order (most economical first, per the numguard
-// design): block Cholesky on the block-sparse companion → scalar
-// Cholesky on the expanded CSC → sparse LU with a pivot-growth
-// acceptance check → IC(0)-preconditioned CG as the last resort. Every
-// factorization is attempted lazily: a healthy run never expands the
-// block matrix to CSC at all.
+// design): block Cholesky on the block-sparse companion → supernodal
+// blocked Cholesky on the expanded CSC → scalar up-looking Cholesky →
+// sparse LU with a pivot-growth acceptance check →
+// IC(0)-preconditioned CG as the last resort. The supernodal rung is
+// gated on Options.Kernel (KernelScalar drops it — the ablation
+// switch). Every factorization is attempted lazily: a healthy run
+// never expands the block matrix to CSC at all.
 
 // expandPerm lifts a node permutation to node-major scalar indexing
 // (global unknown i·B+m).
@@ -51,15 +54,18 @@ func (st *factorStats) set(nnz int, flops int64, fill float64) {
 	st.fill = fill
 }
 
-// scalarRungs builds the ladder rungs for a scalar (n×n) system matrix:
-// cholesky → lu (pivot-growth checked) → cg+ic0. With forceLU the
-// Cholesky rung is omitted (ablation switch). st, when non-nil,
-// receives the factor's cost facts on each successful direct
-// factorization.
-func scalarRungs(a *sparse.Matrix, perm []int, cfg numguard.Config, forceLU bool, st *factorStats) []numguard.Rung {
+// scalarRungs builds the ladder rungs for a scalar (n×n) system
+// matrix: supernodal → cholesky → lu (pivot-growth checked) → cg+ic0.
+// kernel == KernelScalar drops the supernodal rung and forceLU drops
+// both Cholesky rungs (ablation switches). workers caps the
+// supernodal factorization's task pool — the factor is bit-identical
+// for every value. st, when non-nil, receives the factor's cost facts
+// on each successful direct factorization.
+func scalarRungs(a *sparse.Matrix, perm []int, kernel factor.Kernel, workers int, cfg numguard.Config, forceLU bool, st *factorStats) []numguard.Rung {
 	cfg = cfg.WithDefaults()
 	var rungs []numguard.Rung
 	if !forceLU {
+		rungs = append(rungs, supernodalRung(a, perm, kernel, workers, st)...)
 		rungs = append(rungs, numguard.Rung{Name: "cholesky", Prepare: func() (numguard.Solver, error) {
 			f, err := factor.Cholesky(a, perm)
 			if err != nil {
@@ -76,10 +82,28 @@ func scalarRungs(a *sparse.Matrix, perm []int, cfg numguard.Config, forceLU bool
 	return rungs
 }
 
+// supernodalRung builds the blocked-kernel rung, or nothing when the
+// scalar kernel was forced.
+func supernodalRung(a *sparse.Matrix, perm []int, kernel factor.Kernel, workers int, st *factorStats) []numguard.Rung {
+	if kernel == factor.KernelScalar {
+		return nil
+	}
+	return []numguard.Rung{{Name: "supernodal", Prepare: func() (numguard.Solver, error) {
+		sym := factor.CholAnalyzeSupernodal(a, perm, -1)
+		sym.Workers = parallel.Workers(workers)
+		f, err := sym.Refactorize(a, nil)
+		if err != nil {
+			return nil, err
+		}
+		st.set(sym.LNNZ(), sym.FlopEstimate(), sym.FillRatio())
+		return f, nil
+	}}}
+}
+
 // blockRungs builds the ladder rungs for a block companion matrix. The
 // CSC expansion and the expanded permutation are computed at most once,
 // shared by the scalar rungs.
-func blockRungs(m *factor.BlockMatrix, perm []int, cfg numguard.Config, forceLU bool, st *factorStats) []numguard.Rung {
+func blockRungs(m *factor.BlockMatrix, perm []int, kernel factor.Kernel, workers int, cfg numguard.Config, forceLU bool, st *factorStats) []numguard.Rung {
 	cfg = cfg.WithDefaults()
 	var csc *sparse.Matrix
 	var scalPerm []int
@@ -100,7 +124,21 @@ func blockRungs(m *factor.BlockMatrix, perm []int, cfg numguard.Config, forceLU 
 				}
 				st.set(f.NNZ(), f.FlopEstimate(), f.FillRatio())
 				return numguard.SolverFunc(func(x, b []float64) { f.Solve(x, b) }), nil
-			}},
+			}})
+		if kernel != factor.KernelScalar {
+			rungs = append(rungs, numguard.Rung{Name: "supernodal", Prepare: func() (numguard.Solver, error) {
+				a, p := expand()
+				sym := factor.CholAnalyzeSupernodal(a, p, -1)
+				sym.Workers = parallel.Workers(workers)
+				f, err := sym.Refactorize(a, nil)
+				if err != nil {
+					return nil, err
+				}
+				st.set(sym.LNNZ(), sym.FlopEstimate(), sym.FillRatio())
+				return f, nil
+			}})
+		}
+		rungs = append(rungs,
 			numguard.Rung{Name: "cholesky", Prepare: func() (numguard.Solver, error) {
 				a, p := expand()
 				f, err := factor.Cholesky(a, p)

@@ -25,6 +25,7 @@ const (
 	OrderRCM
 	OrderMD
 	OrderNatural
+	OrderAMD // approximate minimum degree
 )
 
 // String names the ordering.
@@ -38,6 +39,8 @@ func (o Ordering) String() string {
 		return "md"
 	case OrderNatural:
 		return "natural"
+	case OrderAMD:
+		return "amd"
 	default:
 		return fmt.Sprintf("Ordering(%d)", int(o))
 	}
@@ -49,6 +52,10 @@ type Options struct {
 	Steps int
 	// Ordering for the augmented companion factorization.
 	Ordering Ordering
+	// Kernel selects the scalar Cholesky kernel for the direct rungs
+	// (supernodal blocked panels by default; KernelScalar forces the
+	// up-looking reference kernel — the ablation switch).
+	Kernel factor.Kernel
 	// ForceCoupled disables the automatic decoupled fast path (used by
 	// the ablation benchmarks to measure its benefit).
 	ForceCoupled bool
@@ -133,6 +140,8 @@ func permFor(a *sparse.Matrix, ord Ordering) []int {
 		return order.RCM(order.NewGraph(a))
 	case OrderMD:
 		return order.MinimumDegree(order.NewGraph(a))
+	case OrderAMD:
+		return order.AMD(order.NewGraph(a))
 	default:
 		return order.NestedDissection(order.NewGraph(a), 0)
 	}
@@ -218,12 +227,12 @@ func solveDecoupled(sys *System, opts Options, visit func(int, float64, [][]floa
 	spF := tr.Start("factor")
 	st := &factorStats{}
 	lad := numguard.NewLadder("step", opts.Guard, companion, companion.NormInf(),
-		scalarRungs(companion, permComp, opts.Guard, opts.ForceLU, st), rep)
+		scalarRungs(companion, permComp, opts.Kernel, opts.Workers, opts.Guard, opts.ForceLU, st), rep)
 	if _, err := lad.Solver(0); err != nil {
 		return Result{}, fmt.Errorf("galerkin: decoupled companion factorization: %w", err)
 	}
 	dcLad := numguard.NewLadder("dc", opts.Guard, g0, g0.NormInf(),
-		scalarRungs(g0, permG0, opts.Guard, opts.ForceLU, nil), rep)
+		scalarRungs(g0, permG0, opts.Kernel, opts.Workers, opts.Guard, opts.ForceLU, nil), rep)
 	res.FactorNNZ, res.FactorFlops, res.FillRatio = st.nnz, st.flops, st.fill
 	spF.SetAttrs(obs.String("rung", lad.Rung()), obs.Int("factor_nnz", res.FactorNNZ))
 	spF.End()

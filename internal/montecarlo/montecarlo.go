@@ -195,6 +195,9 @@ type Result struct {
 	FactorNNZ   int
 	FillRatio   float64
 	FactorFlops int64
+	// Kernel names the numeric factorization kernel the samples ran on
+	// ("supernodal" or "cholesky").
+	Kernel string
 }
 
 // mcChunk is the fixed number of samples per accumulation chunk. The
@@ -270,7 +273,7 @@ func Run(sys *mna.System, opts Options) (*Result, error) {
 	union := sys.UnionPattern()
 	pattern := sparse.Add(1, union, scale, union)
 	perm := order.NestedDissection(order.NewGraph(pattern), 0)
-	sym := factor.CholAnalyze(pattern, perm)
+	sym := factor.Analyze(pattern, perm, factor.KernelSupernodal)
 
 	var lhsDraws [][]float64
 	if opts.LatinHypercube {
@@ -281,7 +284,7 @@ func Run(sys *mna.System, opts Options) (*Result, error) {
 	// per-worker sample-time histogram. Shards are pooled because a
 	// chunk's accumulator array (nsteps×n) is the largest transient
 	// allocation of the loop.
-	reuse := make([]*factor.CholFactor, workers)
+	reuse := make([]factor.ScalarFactor, workers)
 	workerMS := make([]*obs.Histogram, workers)
 	for w := 0; w < workers; w++ {
 		workerMS[w] = reg.WorkerHistogram("montecarlo.sample_ms", w, obs.MSBuckets)
@@ -387,6 +390,7 @@ func Run(sys *mna.System, opts Options) (*Result, error) {
 		res.FactorNNZ = sym.LNNZ()
 		res.FillRatio = sym.FillRatio()
 		res.FactorFlops = int64(res.SamplesRun) * sym.FlopEstimate()
+		res.Kernel = sym.KernelName()
 	}
 	if runErr != nil {
 		// A canceled run (deadline, drain, stall watchdog) with merged

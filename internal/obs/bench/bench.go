@@ -24,6 +24,7 @@ import (
 	"opera/internal/mna"
 	"opera/internal/obs"
 	"opera/internal/order"
+	"opera/internal/parallel"
 	"opera/internal/sparse"
 )
 
@@ -33,8 +34,9 @@ type Scenario struct {
 	// Name keys the row in reports; Compare pairs baseline and new rows
 	// by it, so renaming a scenario is a baseline-breaking change.
 	Name string `json:"name"`
-	// Path selects the solve: "mc", "decoupled", "coupled" or
-	// "transient".
+	// Path selects the solve: "mc", "decoupled", "coupled",
+	// "transient" or "factor" (repeated numeric refactorizations of
+	// the transient companion — the kernel microbenchmark).
 	Path string `json:"path"`
 	// Nodes is the requested grid size (grid.DefaultSpec clamps below
 	// 64).
@@ -46,8 +48,11 @@ type Scenario struct {
 	// Samples is the Monte Carlo sample count (mc only).
 	Samples int `json:"samples,omitempty"`
 	// Ordering is the fill-reducing ordering: "nd" (default), "rcm",
-	// "md" or "natural".
+	// "md", "amd" or "natural".
 	Ordering string `json:"ordering,omitempty"`
+	// Kernel selects the scalar Cholesky kernel: "" or "supernodal"
+	// (default, blocked panels), "scalar" (up-looking reference).
+	Kernel string `json:"kernel,omitempty"`
 	// Seed feeds the grid generator (and the mc sampler).
 	Seed int64 `json:"seed,omitempty"`
 }
@@ -78,6 +83,10 @@ func QuickSuite() []Scenario {
 		{Name: "mc-256-s40", Path: "mc", Nodes: 256, Steps: 8, Samples: 40, Seed: 3},
 		{Name: "decoupled-256-o2", Path: "decoupled", Nodes: 256, Order: 2, Steps: 8, Seed: 3},
 		{Name: "coupled-128-o2", Path: "coupled", Nodes: 128, Order: 2, Steps: 6, Seed: 3},
+		{Name: "factor-2k-nd-scalar", Path: "factor", Nodes: 2000, Kernel: "scalar", Seed: 3},
+		{Name: "factor-2k-nd-super", Path: "factor", Nodes: 2000, Kernel: "supernodal", Seed: 3},
+		{Name: "factor-2k-amd-scalar", Path: "factor", Nodes: 2000, Ordering: "amd", Kernel: "scalar", Seed: 3},
+		{Name: "factor-2k-amd-super", Path: "factor", Nodes: 2000, Ordering: "amd", Kernel: "supernodal", Seed: 3},
 	}
 }
 
@@ -90,7 +99,12 @@ func DefaultSuite() []Scenario {
 		Scenario{Name: "decoupled-1k-o3", Path: "decoupled", Nodes: 1000, Order: 3, Steps: 10, Seed: 5},
 		Scenario{Name: "decoupled-1k-o3-rcm", Path: "decoupled", Nodes: 1000, Order: 3, Steps: 10, Ordering: "rcm", Seed: 5},
 		Scenario{Name: "decoupled-1k-o3-natural", Path: "decoupled", Nodes: 1000, Order: 3, Steps: 10, Ordering: "natural", Seed: 5},
+		Scenario{Name: "decoupled-1k-o3-amd", Path: "decoupled", Nodes: 1000, Order: 3, Steps: 10, Ordering: "amd", Seed: 5},
 		Scenario{Name: "coupled-256-o2", Path: "coupled", Nodes: 256, Order: 2, Steps: 8, Seed: 5},
+		Scenario{Name: "factor-8k-nd-scalar", Path: "factor", Nodes: 8000, Kernel: "scalar", Seed: 5},
+		Scenario{Name: "factor-8k-nd-super", Path: "factor", Nodes: 8000, Kernel: "supernodal", Seed: 5},
+		Scenario{Name: "factor-8k-amd-scalar", Path: "factor", Nodes: 8000, Ordering: "amd", Kernel: "scalar", Seed: 5},
+		Scenario{Name: "factor-8k-amd-super", Path: "factor", Nodes: 8000, Ordering: "amd", Kernel: "supernodal", Seed: 5},
 	)
 }
 
@@ -147,6 +161,10 @@ func runScenario(sc Scenario, opts RunOptions) (Row, error) {
 	if err != nil {
 		return Row{}, err
 	}
+	kern, err := parseKernel(sc.Kernel)
+	if err != nil {
+		return Row{}, err
+	}
 	spec := grid.DefaultSpec(sc.Nodes, sc.Seed)
 	nl, err := grid.Build(spec)
 	if err != nil {
@@ -155,6 +173,7 @@ func runScenario(sc Scenario, opts RunOptions) (Row, error) {
 	row := Row{
 		Name: sc.Name, Path: sc.Path, Nodes: sc.Nodes,
 		Order: sc.Order, Steps: sc.Steps, Ordering: ordName(ord),
+		Kernel: kern.String(),
 	}
 	sp := opts.Tracer.Start("bench."+sc.Name,
 		obs.Attr{Key: "path", Value: sc.Path}, obs.Int("nodes", sc.Nodes))
@@ -224,8 +243,33 @@ func runScenario(sc Scenario, opts RunOptions) (Row, error) {
 			row.N = res.Galerkin.AugmentedN
 			row.fromGalerkin(res.Galerkin)
 		}
+	case "factor":
+		sys, berr := mna.Build(nl, mna.DefaultSpec())
+		if berr != nil {
+			return Row{}, berr
+		}
+		row.N = sys.N
+		companion := sparse.Add(1, sys.Ga, 1/step, sys.Ca)
+		perm := orderingPerm(ord, companion)
+		sym := factor.Analyze(companion, perm, kern)
+		if ss, ok := sym.(*factor.SuperSymbolic); ok {
+			ss.Workers = parallel.Workers(opts.Workers)
+		}
+		// Repeated numeric refactorizations of one symbolic analysis —
+		// exactly the Monte Carlo per-sample hot loop, so this wall time
+		// is the kernel comparison the perf gate's KernelGate reads.
+		var f factor.ScalarFactor
+		for rep := 0; rep < factorReps && err == nil; rep++ {
+			f, err = sym.Refactorize(companion, f)
+		}
+		if err == nil {
+			row.Rung = sym.KernelName()
+			row.FactorNNZ = sym.LNNZ()
+			row.FactorFlops = int64(factorReps) * sym.FlopEstimate()
+			row.FillRatio = sym.FillRatio()
+		}
 	default:
-		return Row{}, fmt.Errorf("unknown path %q (want mc, decoupled, coupled or transient)", sc.Path)
+		return Row{}, fmt.Errorf("unknown path %q (want mc, decoupled, coupled, transient or factor)", sc.Path)
 	}
 	if err != nil {
 		return Row{}, err
@@ -288,10 +332,47 @@ func parseOrdering(s string) (galerkin.Ordering, error) {
 		return galerkin.OrderRCM, nil
 	case "md":
 		return galerkin.OrderMD, nil
+	case "amd":
+		return galerkin.OrderAMD, nil
 	case "natural":
 		return galerkin.OrderNatural, nil
 	default:
 		return 0, fmt.Errorf("unknown ordering %q", s)
+	}
+}
+
+func parseKernel(s string) (factor.Kernel, error) {
+	switch s {
+	case "", "super", "supernodal":
+		return factor.KernelSupernodal, nil
+	case "scalar":
+		return factor.KernelScalar, nil
+	default:
+		return 0, fmt.Errorf("unknown kernel %q (want supernodal or scalar)", s)
+	}
+}
+
+// factorReps is the refactorization count of the "factor" path: enough
+// repetitions that the numeric kernel dominates the row's wall time
+// over the one-off symbolic analysis and ordering.
+const factorReps = 5
+
+// orderingPerm computes the fill-reducing permutation for the factor
+// path (mirrors the galerkin solver's ordering dispatch).
+func orderingPerm(o galerkin.Ordering, m *sparse.Matrix) []int {
+	if o == galerkin.OrderNatural {
+		return nil
+	}
+	g := order.NewGraph(m)
+	switch o {
+	case galerkin.OrderRCM:
+		return order.RCM(g)
+	case galerkin.OrderMD:
+		return order.MinimumDegree(g)
+	case galerkin.OrderAMD:
+		return order.AMD(g)
+	default:
+		return order.NestedDissection(g, 0)
 	}
 }
 

@@ -44,6 +44,7 @@ type Row struct {
 	Steps    int    `json:"steps,omitempty"`
 	Samples  int    `json:"samples,omitempty"`
 	Ordering string `json:"ordering,omitempty"`
+	Kernel   string `json:"kernel,omitempty"`
 
 	WallMS       float64 `json:"wall_ms"`
 	AllocBytes   uint64  `json:"alloc_bytes"`
@@ -252,6 +253,55 @@ func Compare(base, new *Report, th map[string]Threshold) *Comparison {
 	sort.Strings(c.MissingRows)
 	sort.Strings(c.NewRows)
 	return c
+}
+
+// KernelGate checks that the supernodal kernel earns its keep: for
+// every pair of "factor" rows identical up to the kernel, the
+// supernodal row's wall time must not exceed the scalar row's by more
+// than margin (default 1.1 — 10% grace for runner noise; the rows
+// share a noise floor with the wall threshold). Returns one message
+// per violated pair; empty means the gate passes. Unpaired rows are
+// skipped — the gate never fails on a suite without kernel pairs.
+func KernelGate(rep *Report, margin float64) []string {
+	if margin <= 0 {
+		margin = 1.1
+	}
+	const floor = 20 // ms, same noise floor as the wall_ms threshold
+	type key struct {
+		nodes    int
+		ordering string
+	}
+	scalar := make(map[key]Row)
+	super := make(map[key]Row)
+	for _, r := range rep.Rows {
+		if r.Path != "factor" {
+			continue
+		}
+		k := key{r.Nodes, r.Ordering}
+		switch r.Kernel {
+		case "scalar":
+			scalar[k] = r
+		case "supernodal":
+			super[k] = r
+		}
+	}
+	var fails []string
+	for k, s := range super {
+		ref, ok := scalar[k]
+		if !ok {
+			continue
+		}
+		if s.WallMS <= floor && ref.WallMS <= floor {
+			continue
+		}
+		if s.WallMS > ref.WallMS*margin {
+			fails = append(fails, fmt.Sprintf(
+				"kernel gate: %s %.1fms slower than %s %.1fms (ratio %.2f > %.2f)",
+				s.Name, s.WallMS, ref.Name, ref.WallMS, s.WallMS/ref.WallMS, margin))
+		}
+	}
+	sort.Strings(fails)
+	return fails
 }
 
 func compareMetric(row, metric string, base, new float64, t Threshold) Delta {

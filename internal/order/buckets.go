@@ -1,0 +1,74 @@
+package order
+
+// degBuckets is the degree-indexed candidate structure shared by the
+// minimum-degree orderings. Entries are lazily invalidated (a vertex
+// whose recorded degree no longer matches is skipped at pop time), and
+// PopMin always returns the lowest-index vertex among the minimum
+// current degree — the deterministic tie-break rule both MinimumDegree
+// and AMD promise.
+type degBuckets struct {
+	b   [][]int
+	cur []int // recorded degree per vertex; -1 once popped
+	min int
+}
+
+func newDegBuckets(deg []int, maxDeg int) *degBuckets {
+	d := &degBuckets{
+		b:   make([][]int, maxDeg+1),
+		cur: make([]int, len(deg)),
+	}
+	for v, dv := range deg {
+		d.cur[v] = dv
+		d.b[dv] = append(d.b[dv], v)
+	}
+	return d
+}
+
+// Update moves v to degree nd (stale entries are dropped lazily).
+func (d *degBuckets) Update(v, nd int) {
+	d.cur[v] = nd
+	d.b[nd] = append(d.b[nd], v)
+	if nd < d.min {
+		d.min = nd
+	}
+}
+
+// Remove withdraws v from consideration (its entries go stale).
+func (d *degBuckets) Remove(v int) { d.cur[v] = -1 }
+
+// PopMin extracts the lowest-index vertex of minimum degree, or -1
+// when no live vertex remains. Each call compacts the bucket it scans,
+// so stale entries are visited at most once per degree value.
+func (d *degBuckets) PopMin() int {
+	for d.min < len(d.b) {
+		bucket := d.b[d.min]
+		live := bucket[:0]
+		best := -1
+		for _, v := range bucket {
+			if d.cur[v] != d.min {
+				continue // stale
+			}
+			live = append(live, v)
+			if best < 0 || v < best {
+				best = v
+			}
+		}
+		if best < 0 {
+			d.b[d.min] = live
+			d.min++
+			continue
+		}
+		// Drop the winner from the compacted bucket.
+		for i, v := range live {
+			if v == best {
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				break
+			}
+		}
+		d.b[d.min] = live
+		d.cur[best] = -1
+		return best
+	}
+	return -1
+}

@@ -12,13 +12,14 @@ import (
 // pointer load per ordering call (orderings run once per analysis, not
 // per step).
 type orderMetrics struct {
-	nd, rcm, md *obs.Histogram
+	nd, rcm, md, amd *obs.Histogram
 }
 
 var metrics atomic.Pointer[orderMetrics]
 
 // SetMetrics installs ordering-duration histograms (order.nd_ms,
-// order.rcm_ms, order.md_ms) on the registry; nil uninstalls.
+// order.rcm_ms, order.md_ms, order.amd_ms) on the registry; nil
+// uninstalls.
 func SetMetrics(reg *obs.Registry) {
 	if reg == nil {
 		metrics.Store(nil)
@@ -28,6 +29,7 @@ func SetMetrics(reg *obs.Registry) {
 		nd:  reg.Histogram("order.nd_ms", obs.MSBuckets),
 		rcm: reg.Histogram("order.rcm_ms", obs.MSBuckets),
 		md:  reg.Histogram("order.md_ms", obs.MSBuckets),
+		amd: reg.Histogram("order.amd_ms", obs.MSBuckets),
 	})
 }
 

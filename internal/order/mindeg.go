@@ -71,57 +71,35 @@ func MinimumDegree(g *Graph) []int {
 	for v := 0; v < n; v++ {
 		deg[v] = g.Degree(v)
 	}
-	// Simple bucket structure: buckets[d] holds candidate vertices of
-	// recorded degree d (lazy deletion).
-	buckets := make([][]int, n+1)
-	for v := 0; v < n; v++ {
-		buckets[deg[v]] = append(buckets[deg[v]], v)
-	}
-	inBucketDeg := append([]int(nil), deg...)
+	// Candidate structure with the deterministic tie-break: among the
+	// minimum-degree vertices, the lowest index is eliminated first.
+	// (The previous LIFO bucket pop was deterministic but tied to
+	// insertion history, which is much harder to reason about — and to
+	// keep aligned with AMD, which promises the same rule.)
+	buckets := newDegBuckets(deg, n)
 
 	perm := make([]int, 0, n)
-	d := 0
 	for len(perm) < n {
-		// Find next minimum-degree live vertex.
-		for d <= n {
-			found := -1
-			for len(buckets[d]) > 0 {
-				v := buckets[d][len(buckets[d])-1]
-				buckets[d] = buckets[d][:len(buckets[d])-1]
-				if alive[v] && inBucketDeg[v] == d {
-					found = v
-					break
-				}
-			}
-			if found >= 0 {
-				// Eliminate found.
-				v := found
-				bnd := reach(v, scratch)
-				scratch = bnd
-				perm = append(perm, v)
-				alive[v] = false
-				// Absorb v's elements into a new element.
-				for _, e := range elemAdj[v] {
-					elemAlive[e] = false
-				}
-				eid := len(elems)
-				elems = append(elems, append([]int(nil), bnd...))
-				elemAlive = append(elemAlive, true)
-				// Iterate over the stable element copy: reach() below
-				// reuses scratch, which bnd aliases.
-				for _, w := range elems[eid] {
-					elemAdj[w] = append(elemAdj[w], eid)
-					nd := len(reach(w, scratch[:0]))
-					deg[w] = nd
-					inBucketDeg[w] = nd
-					buckets[nd] = append(buckets[nd], w)
-					if nd < d {
-						d = nd
-					}
-				}
-				break
-			}
-			d++
+		v := buckets.PopMin()
+		// Eliminate v.
+		bnd := reach(v, scratch)
+		scratch = bnd
+		perm = append(perm, v)
+		alive[v] = false
+		// Absorb v's elements into a new element.
+		for _, e := range elemAdj[v] {
+			elemAlive[e] = false
+		}
+		eid := len(elems)
+		elems = append(elems, append([]int(nil), bnd...))
+		elemAlive = append(elemAlive, true)
+		// Iterate over the stable element copy: reach() below
+		// reuses scratch, which bnd aliases.
+		for _, w := range elems[eid] {
+			elemAdj[w] = append(elemAdj[w], eid)
+			nd := len(reach(w, scratch[:0]))
+			deg[w] = nd
+			buckets.Update(w, nd)
 		}
 	}
 	return perm

@@ -96,6 +96,7 @@ func TestOrderingsAreValidPermutations(t *testing.T) {
 		checkPerm(t, "RCM", RCM(g), a.Rows)
 		checkPerm(t, "ND", NestedDissection(g, 4), a.Rows)
 		checkPerm(t, "MD", MinimumDegree(g), a.Rows)
+		checkPerm(t, "AMD", AMD(g), a.Rows)
 		_ = i
 	}
 }
@@ -174,6 +175,7 @@ func TestOrderingsReduceFill(t *testing.T) {
 		{"RCM", RCM(g)},
 		{"ND", NestedDissection(g, 8)},
 		{"MD", MinimumDegree(g)},
+		{"AMD", AMD(g)},
 	} {
 		f := fillIn(a.SymPerm(tc.p))
 		t.Logf("%s fill %d vs natural %d", tc.name, f, natural)
@@ -237,10 +239,47 @@ func TestOrderingsPermutationProperty(t *testing.T) {
 		g := NewGraph(a)
 		return sparse.IsPerm(RCM(g)) &&
 			sparse.IsPerm(NestedDissection(g, 1+rng.Intn(8))) &&
-			sparse.IsPerm(MinimumDegree(g))
+			sparse.IsPerm(MinimumDegree(g)) &&
+			sparse.IsPerm(AMD(g))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestAMDFillNearExactMinimumDegree(t *testing.T) {
+	// AMD's approximate external degrees must not cost much fill over
+	// exact minimum degree, and must clearly beat RCM on a mesh.
+	a := grid2D(20, 20)
+	g := NewGraph(a)
+	amd := fillIn(a.SymPerm(AMD(g)))
+	md := fillIn(a.SymPerm(MinimumDegree(g)))
+	rcm := fillIn(a.SymPerm(RCM(g)))
+	t.Logf("AMD fill %d, MD %d, RCM %d", amd, md, rcm)
+	if float64(amd) > 1.15*float64(md) {
+		t.Errorf("AMD fill %d more than 15%% above exact MD %d", amd, md)
+	}
+	if amd >= rcm {
+		t.Errorf("AMD fill %d should beat RCM %d on a mesh", amd, rcm)
+	}
+}
+
+func TestAMDEliminatesLeavesFirst(t *testing.T) {
+	// Star graph: AMD, like MD, must keep the hub until the end.
+	n := 9
+	tr := sparse.NewTriplet(n, n, 2*n)
+	for i := 1; i < n; i++ {
+		tr.Add(0, i, 1)
+		tr.Add(i, 0, 1)
+	}
+	for i := 0; i < n; i++ {
+		tr.Add(i, i, 1)
+	}
+	p := AMD(NewGraph(tr.Compile()))
+	for k := 0; k < n-2; k++ {
+		if p[k] == 0 {
+			t.Errorf("AMD on a star eliminated hub at position %d, perm %v", k, p)
+		}
 	}
 }
 

@@ -54,7 +54,17 @@ func RCM(g *Graph) []int {
 					nbrs = append(nbrs, w)
 				}
 			}
-			sort.Slice(nbrs, func(a, b int) bool { return g.Degree(nbrs[a]) < g.Degree(nbrs[b]) })
+			// Ties broken by vertex index: sort.Slice is unstable, so
+			// keying on degree alone would let equal-degree neighbors land
+			// in an order that depends on the sort internals (and thus the
+			// Go release), not on the graph.
+			sort.Slice(nbrs, func(a, b int) bool {
+				da, db := g.Degree(nbrs[a]), g.Degree(nbrs[b])
+				if da != db {
+					return da < db
+				}
+				return nbrs[a] < nbrs[b]
+			})
 			perm = append(perm, nbrs...)
 		}
 		// Reverse this component's segment.

@@ -102,8 +102,8 @@ func TestMCResultCarriesHealth(t *testing.T) {
 	if jr.Health == nil {
 		t.Fatal("MC result missing the health block")
 	}
-	if jr.Health.Rung != "cholesky" {
-		t.Errorf("MC rung = %q, want cholesky", jr.Health.Rung)
+	if jr.Health.Rung != "supernodal" {
+		t.Errorf("MC rung = %q, want supernodal", jr.Health.Rung)
 	}
 	if jr.Health.FactorFlops <= 0 || jr.Health.FactorNNZ <= 0 {
 		t.Errorf("MC factor stats missing: %+v", jr.Health)

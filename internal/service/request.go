@@ -52,7 +52,7 @@ type Request struct {
 	Order        int     `json:"order,omitempty"`
 	Step         float64 `json:"step,omitempty"`
 	Steps        int     `json:"steps,omitempty"`
-	Ordering     string  `json:"ordering,omitempty"` // nd|rcm|md|natural
+	Ordering     string  `json:"ordering,omitempty"` // nd|rcm|md|amd|natural
 	TrackNodes   []int   `json:"track_nodes,omitempty"`
 	ForceCoupled bool    `json:"force_coupled,omitempty"`
 	ForceLU      bool    `json:"force_lu,omitempty"`
@@ -188,6 +188,8 @@ func ParseOrdering(s string) (galerkin.Ordering, error) {
 		return galerkin.OrderRCM, nil
 	case "md":
 		return galerkin.OrderMD, nil
+	case "amd":
+		return galerkin.OrderAMD, nil
 	case "natural":
 		return galerkin.OrderNatural, nil
 	default:

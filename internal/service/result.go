@@ -172,6 +172,16 @@ func fromCore(kind string, res *core.Result) *JobResult {
 	return jr
 }
 
+// mcRung names the factorization kernel a Monte Carlo run used;
+// degraded results predating the finalize pass fall back to the
+// sampler's default kernel.
+func mcRung(res *montecarlo.Result) string {
+	if res.Kernel == "" {
+		return "supernodal"
+	}
+	return res.Kernel
+}
+
 // fromMC converts a Monte Carlo result.
 func fromMC(res *montecarlo.Result, vdd float64, elapsed time.Duration) *JobResult {
 	jr := &JobResult{
@@ -184,7 +194,7 @@ func fromMC(res *montecarlo.Result, vdd float64, elapsed time.Duration) *JobResu
 		SamplesRun: res.SamplesRun,
 		ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
 		Health: &NumHealth{
-			Rung:        "cholesky",
+			Rung:        mcRung(res),
 			FactorNNZ:   res.FactorNNZ,
 			FillRatio:   res.FillRatio,
 			FactorFlops: res.FactorFlops,

@@ -52,12 +52,17 @@ type Options struct {
 	// Perm is an optional fill-reducing permutation for the companion
 	// matrix factorization.
 	Perm []int
+	// Kernel selects the Cholesky kernel (supernodal by default; the
+	// scalar up-looking kernel as the reference/ablation choice). Only
+	// consulted when Symbolic is nil — a supplied analysis carries its
+	// own kernel.
+	Kernel factor.Kernel
 	// Symbolic optionally supplies a pre-computed Cholesky analysis
-	// whose pattern covers G + scale·C; it overrides Perm.
-	Symbolic *factor.CholSymbolic
+	// whose pattern covers G + scale·C; it overrides Perm and Kernel.
+	Symbolic factor.Analysis
 	// ReuseFactor optionally recycles a previous numeric factor's
 	// storage (must come from the same Symbolic).
-	ReuseFactor *factor.CholFactor
+	ReuseFactor factor.ScalarFactor
 	// Obs, when non-nil, feeds transient.step_ms /
 	// transient.steps_total on the tracer's registry. Nil disables the
 	// per-step timing entirely (no time.Now in Advance).
@@ -111,8 +116,9 @@ type Stepper struct {
 	N      int
 	opts   Options
 	g, c   *sparse.Matrix
-	a      *sparse.Matrix     // companion G + scale·C (kept for escalation)
-	fac    *factor.CholFactor // nil when the LU rung is in use
+	a      *sparse.Matrix      // companion G + scale·C (kept for escalation)
+	sym    factor.Analysis     // the symbolic analysis behind fac
+	fac    factor.ScalarFactor // nil when the LU rung is in use
 	lu     *factor.LUFactor
 	x      []float64 // current state
 	t      float64
@@ -147,7 +153,7 @@ func NewStepper(g, c *sparse.Matrix, opts Options) (*Stepper, error) {
 	a := sparse.Add(1, g, scale, c)
 	sym := opts.Symbolic
 	if sym == nil {
-		sym = factor.CholAnalyze(a, opts.Perm)
+		sym = factor.Analyze(a, opts.Perm, opts.Kernel)
 	}
 	st := &Stepper{
 		N:    n,
@@ -155,6 +161,7 @@ func NewStepper(g, c *sparse.Matrix, opts Options) (*Stepper, error) {
 		g:    g,
 		c:    c,
 		a:    a,
+		sym:  sym,
 		x:    make([]float64, n),
 		b:    make([]float64, n),
 		cx:   make([]float64, n),
@@ -168,7 +175,7 @@ func NewStepper(g, c *sparse.Matrix, opts Options) (*Stepper, error) {
 		st.stepMSMax = reg.Gauge("transient.step_ms_max")
 		st.stepsTotal = reg.Counter("transient.steps_total")
 	}
-	fac, err := sym.Factorize(a, opts.ReuseFactor)
+	fac, err := sym.Refactorize(a, opts.ReuseFactor)
 	if err != nil {
 		// A companion matrix that defeats Cholesky (borderline
 		// indefinite under extreme parameter samples) escalates to
@@ -176,7 +183,7 @@ func NewStepper(g, c *sparse.Matrix, opts Options) (*Stepper, error) {
 		if !errors.Is(err, factor.ErrNotPositiveDefinite) {
 			return nil, fmt.Errorf("transient: companion factorization: %w", err)
 		}
-		lu, luErr := factor.LU(a, sym.Perm)
+		lu, luErr := factor.LU(a, sym.Permutation())
 		if luErr != nil {
 			return nil, fmt.Errorf("transient: companion factorization: %v; LU escalation: %w", err, luErr)
 		}
@@ -187,12 +194,13 @@ func NewStepper(g, c *sparse.Matrix, opts Options) (*Stepper, error) {
 	return st, nil
 }
 
-// Factorer names the factorization rung in use ("cholesky" or "lu").
+// Factorer names the factorization rung in use ("supernodal",
+// "cholesky" or "lu").
 func (s *Stepper) Factorer() string {
 	if s.lu != nil {
 		return "lu"
 	}
-	return "cholesky"
+	return s.sym.KernelName()
 }
 
 // solveTo dispatches to the active factorization rung, reusing the
@@ -214,11 +222,7 @@ func (s *Stepper) guardState(stage string, step int, b []float64) error {
 		return nil
 	}
 	if s.lu == nil {
-		var perm []int
-		if s.fac != nil {
-			perm = s.fac.Sym.Perm
-		}
-		lu, err := factor.LU(s.a, perm)
+		lu, err := factor.LU(s.a, s.sym.Permutation())
 		if err == nil {
 			s.lu = lu
 			s.lu.SolveTo(s.x, b)
@@ -234,8 +238,13 @@ func (s *Stepper) guardState(stage string, step int, b []float64) error {
 }
 
 // Factor exposes the companion factor so callers can recycle its
-// storage across Monte Carlo samples.
-func (s *Stepper) Factor() *factor.CholFactor { return s.fac }
+// storage across Monte Carlo samples (nil when the LU rung is in use).
+func (s *Stepper) Factor() factor.ScalarFactor { return s.fac }
+
+// Symbolic exposes the companion's symbolic analysis so callers can
+// share one etree/supernode computation across steppers whose
+// matrices have identical patterns (see Options.Symbolic).
+func (s *Stepper) Symbolic() factor.Analysis { return s.sym }
 
 // Snapshot captures the stepper's resumable state (deep copy).
 func (s *Stepper) Snapshot() *Snapshot {
@@ -305,11 +314,11 @@ func (s *Stepper) InitDC(u0 []float64) error {
 	if _, err := iterative.CG(s.g, s.x, u0, iterative.CGOptions{
 		Tol: 1e-12, MaxIter: 200, M: pre,
 	}); err != nil {
-		var perm []int
-		if s.fac != nil {
-			perm = s.fac.Sym.Perm
+		kern := factor.KernelSupernodal
+		if s.sym.KernelName() == "cholesky" {
+			kern = factor.KernelScalar
 		}
-		fg, ferr := factor.Cholesky(s.g, perm)
+		fg, ferr := factor.CholeskyKernel(s.g, s.sym.Permutation(), kern)
 		if ferr != nil {
 			return fmt.Errorf("transient: DC solve: CG failed (%v) and factorization failed: %w", err, ferr)
 		}

@@ -182,7 +182,7 @@ func TestStepperSymbolicReuse(t *testing.T) {
 	}
 	g2 := g.Clone().Scale(1.1)
 	opts2 := opts
-	opts2.Symbolic = s1.Factor().Sym
+	opts2.Symbolic = s1.Symbolic()
 	opts2.ReuseFactor = s1.Factor()
 	s2, err := NewStepper(g2, c, opts2)
 	if err != nil {
