@@ -30,6 +30,7 @@ import (
 	"opera/internal/obs"
 	"opera/internal/order"
 	"opera/internal/report"
+	"opera/internal/service"
 	"opera/internal/sparse"
 )
 
@@ -58,14 +59,32 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "remote job deadline; 0 = server default")
 		traceID  = flag.String("trace-id", "", "remote request trace ID (32 hex chars); empty = server mints one")
 		logLevel = flag.String("log-level", "warn", "remote client structured-log level: debug|info|warn|error|off")
+
+		sweepSeeds   = flag.String("sweep-seeds", "", "remote bulk sweep: comma-separated seed axis (e.g. 1,2,3)")
+		sweepCorners = flag.String("sweep-corners", "", "remote bulk sweep: corner axis, name or name:kg:kcl:kil per entry (e.g. tt,ss:0.1:0.05:0.05)")
+		sweepLoads   = flag.String("sweep-loads", "", "remote bulk sweep: load axis, name or name:peakdropfrac per entry (e.g. nom,hot:0.15)")
+		sweepOut     = flag.String("sweep-out", "", "append sweep result lines (JSON lines) to this file; an interrupted sweep resumes from it")
 	)
 	flag.Parse()
 
+	sweeping := *sweepSeeds != "" || *sweepCorners != "" || *sweepLoads != ""
+	if sweeping && *remote == "" {
+		fatal("opera: sweep flags need -remote (an operag router, or comma-separated shard addresses)")
+	}
 	if *remote != "" {
 		req := buildRemoteRequest(*netPath, *nodes, *seed, *order,
 			*step, *steps, *ordering, *track, *leakage, *sigmaI, *regions,
 			*workers, *priority, *timeout, *mcCheck)
 		req.TraceID = *traceID
+		if sweeping {
+			runSweep(*remote, service.SweepRequest{
+				Base:    req,
+				Corners: parseSweepCorners(*sweepCorners),
+				Loads:   parseSweepLoads(*sweepLoads),
+				Seeds:   parseSweepSeeds(*sweepSeeds),
+			}, *sweepOut, *logLevel)
+			return
+		}
 		runRemote(*remote, req, *logLevel)
 		return
 	}

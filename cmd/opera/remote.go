@@ -2,12 +2,17 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"time"
 
 	"opera/internal/grid"
+	"opera/internal/mna"
 	"opera/internal/obs/logx"
 	"opera/internal/service"
 )
@@ -21,14 +26,7 @@ import (
 func runRemote(addr string, req service.Request, logLevel string) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	c := service.NewClient(addr)
-	if logLevel != "off" {
-		level, err := logx.ParseLevel(logLevel)
-		if err != nil {
-			fatal("opera: %v", err)
-		}
-		c.Logger = logx.New(os.Stderr, level)
-	}
+	c := remoteClient(addr, logLevel)
 	sub, err := c.Submit(ctx, req)
 	if err != nil {
 		fatal("opera: remote submit: %v", err)
@@ -59,6 +57,194 @@ func runRemote(addr string, req service.Request, logLevel string) {
 		fatal("opera: remote result: %v", err)
 	}
 	printRemote(res, st)
+}
+
+// remoteClient builds the service client for -remote. A comma-separated
+// address list makes it ring-aware: sticky to one member, rotating past
+// draining or unreachable ones (point it at the operad shards directly,
+// or at one or more operag routers).
+func remoteClient(addr, logLevel string) *service.Client {
+	var c *service.Client
+	if strings.Contains(addr, ",") {
+		c = service.NewRingClient(strings.Split(addr, ","))
+	} else {
+		c = service.NewClient(addr)
+	}
+	if logLevel != "off" {
+		level, err := logx.ParseLevel(logLevel)
+		if err != nil {
+			fatal("opera: %v", err)
+		}
+		c.Logger = logx.New(os.Stderr, level)
+	}
+	return c
+}
+
+// runSweep streams a corner × load × seed matrix through a cluster
+// router's bulk API. Lines land in outPath as they arrive (JSON lines,
+// the stream's own wire format), so an interrupted sweep resumes: on
+// restart the completed indices already in the file are sent as Done
+// and only the missing cells are solved.
+func runSweep(addr string, sw service.SweepRequest, outPath, logLevel string) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	c := remoteClient(addr, logLevel)
+
+	// Expansion is deterministic and runs client-side too, so the
+	// sweep ID — the resume handle — is known before any bytes move.
+	jobs, err := sw.Expand()
+	if err != nil {
+		fatal("opera: sweep: %v", err)
+	}
+	sweepID := sw.ID(jobs)
+	var out *os.File
+	if outPath != "" {
+		sw.Done = doneIndices(outPath, sweepID)
+		if len(sw.Done) > 0 {
+			fmt.Printf("opera: sweep %s resuming: %d of %d cells already in %s\n",
+				sweepID, len(sw.Done), len(jobs), outPath)
+		}
+		out, err = os.OpenFile(outPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal("opera: %v", err)
+		}
+		defer out.Close()
+	}
+	fmt.Printf("opera: sweep %s: %d cells (%d corners × %d loads × %d seeds) via %s\n",
+		sweepID, len(jobs), max(1, len(sw.Corners)), max(1, len(sw.Loads)), max(1, len(sw.Seeds)), addr)
+
+	enc := json.NewEncoder(io.Discard)
+	if out != nil {
+		enc = json.NewEncoder(out)
+	}
+	streamed, failed := 0, 0
+	err = c.Sweep(ctx, sw, func(line service.SweepLine) error {
+		if line.EOF {
+			fmt.Printf("opera: sweep %s complete: %d done, %d failed of %d cells\n",
+				line.SweepID, line.DoneCells, line.Failed, line.Total)
+			return nil
+		}
+		if out != nil {
+			if err := enc.Encode(line); err != nil {
+				return err
+			}
+		}
+		streamed++
+		status := "done"
+		switch {
+		case line.Error != "":
+			failed++
+			status = "FAILED: " + line.Error
+		case line.Degraded:
+			status = "done (degraded)"
+		case line.Cached:
+			status = "done (cached)"
+		}
+		fmt.Printf("opera: [%d/%d] corner=%s load=%s seed=%d shard=%s trace=%s %s\n",
+			streamed, line.Total-len(sw.Done), line.Corner, line.Load, line.Seed,
+			line.Shard, line.TraceID, status)
+		return nil
+	})
+	if err != nil {
+		fatal("opera: sweep: %v (rerun with the same flags and -sweep-out to resume)", err)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// doneIndices scans an interrupted sweep's output file for cells this
+// sweep already holds (matching sweep ID, no error).
+func doneIndices(path, sweepID string) []int {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	var done []int
+	seen := map[int]bool{}
+	dec := json.NewDecoder(f)
+	for {
+		var line service.SweepLine
+		if err := dec.Decode(&line); err != nil {
+			break
+		}
+		if line.SweepID == sweepID && !line.EOF && line.Error == "" && !seen[line.Index] {
+			seen[line.Index] = true
+			done = append(done, line.Index)
+		}
+	}
+	return done
+}
+
+// parseSweepCorners parses -sweep-corners: comma-separated entries of
+// "name" (base variation model) or "name:kg:kcl:kil".
+func parseSweepCorners(s string) []service.SweepCorner {
+	if s == "" {
+		return nil
+	}
+	var out []service.SweepCorner
+	for _, ent := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(ent), ":")
+		c := service.SweepCorner{Name: parts[0]}
+		if len(parts) == 4 {
+			c.Variation = &mna.VariationSpec{
+				KG:  parseFloat(parts[1], "sweep-corners"),
+				KCL: parseFloat(parts[2], "sweep-corners"),
+				KIL: parseFloat(parts[3], "sweep-corners"),
+			}
+		} else if len(parts) != 1 {
+			fatal("opera: -sweep-corners entry %q: want name or name:kg:kcl:kil", ent)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// parseSweepLoads parses -sweep-loads: comma-separated entries of
+// "name" (base circuit) or "name:peakdropfrac".
+func parseSweepLoads(s string) []service.SweepLoad {
+	if s == "" {
+		return nil
+	}
+	var out []service.SweepLoad
+	for _, ent := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(ent), ":")
+		l := service.SweepLoad{Name: parts[0]}
+		switch len(parts) {
+		case 1:
+		case 2:
+			l.PeakDropFrac = parseFloat(parts[1], "sweep-loads")
+		default:
+			fatal("opera: -sweep-loads entry %q: want name or name:peakdropfrac", ent)
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// parseSweepSeeds parses -sweep-seeds: comma-separated integers.
+func parseSweepSeeds(s string) []int64 {
+	if s == "" {
+		return nil
+	}
+	var out []int64
+	for _, ent := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(ent), 10, 64)
+		if err != nil {
+			fatal("opera: -sweep-seeds entry %q: %v", ent, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseFloat(s, flagName string) float64 {
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		fatal("opera: -%s value %q: %v", flagName, s, err)
+	}
+	return v
 }
 
 func printRemote(res *service.JobResult, st service.JobStatus) {

@@ -25,6 +25,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -56,6 +57,9 @@ func main() {
 		ckptEvery    = flag.Int("checkpoint-every", 64, "snapshot cadence in samples (rounded up to the solver's chunk grid)")
 		stallTimeout = flag.Duration("stall-timeout", 0, "kill a job whose progress counter stalls this long; 0 disables the watchdog")
 		sloProfile   = flag.Duration("slo-profile-after", 0, "capture a pprof heap+CPU snapshot of any job still running after this long, served at /debug/profiles; 0 disables")
+		peers        = flag.String("peers", "", "comma-separated base URLs of the other cluster shards; enables peer cache peeking and drain handoff")
+		selfURL      = flag.String("self", "", "this shard's own base URL, filtered from -peers (required when -peers lists it)")
+		peekTimeout  = flag.Duration("peek-timeout", 0, "budget for one peer cache peek; 0 = default (150ms)")
 	)
 	flag.Parse()
 
@@ -104,9 +108,22 @@ func main() {
 		CheckpointEvery: *ckptEvery,
 		StallTimeout:    *stallTimeout,
 		SLOProfileAfter: *sloProfile,
+		PeekTimeout:     *peekTimeout,
 	})
 	if err != nil {
 		fatal("operad: %v", err)
+	}
+	if *peers != "" {
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		srv.SetPeers(*selfURL, peerList)
+		if logger != nil {
+			logger.Info("operad.peers", "self", *selfURL, "peers", strings.Join(srv.Peers(), ","))
+		}
 	}
 	hs, err := obs.StartHTTP(*addr, srv.Handler())
 	if err != nil {

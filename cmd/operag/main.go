@@ -1,0 +1,126 @@
+// Command operag is the stateless operad cluster router: it fronts a
+// ring of operad shards, consistent-hashing each request's canonical
+// content key so identical requests land on the same shard — cache
+// hits and in-flight coalescing work cluster-wide, from any entry
+// point. It also serves the bulk sweep API, fanning a corner × load ×
+// seed matrix across the ring and streaming results back as JSON
+// lines.
+//
+// Usage:
+//
+//	operag -addr :9140 -shards localhost:9130,localhost:9131
+//
+// Submit through the router exactly as through a single operad:
+//
+//	curl -s localhost:9140/v1/jobs -d '{"grid":{"rows":20,"cols":20,...}}'
+//	opera -remote localhost:9140 -nodes 1000 -order 2
+//
+// The router holds no state: SIGINT/SIGTERM closes the listener and
+// exits 0. In-flight jobs keep running on their shards; a client polls
+// them through another router instance (job IDs encode the shard).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"opera/internal/cluster"
+	"opera/internal/obs"
+	"opera/internal/obs/logx"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9140", "HTTP listen address")
+		shards   = flag.String("shards", "", "comma-separated operad shard addresses (required)")
+		replicas = flag.Int("replicas", 0, "virtual nodes per shard on the hash ring; 0 = default (64), must match the shards' -peers rings")
+		workers  = flag.Int("sweep-workers", 0, "concurrent cells per sweep stream; 0 = 4 per shard")
+		logLevel = flag.String("log-level", "info", "structured log level: debug|info|warn|error|off")
+	)
+	flag.Parse()
+
+	var shardList []string
+	for _, s := range strings.Split(*shards, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			shardList = append(shardList, s)
+		}
+	}
+	if len(shardList) == 0 {
+		fatal("operag: -shards is required (comma-separated operad addresses)")
+	}
+
+	var logger *slog.Logger
+	if *logLevel != "off" {
+		level, err := logx.ParseLevel(*logLevel)
+		if err != nil {
+			fatal("operag: %v", err)
+		}
+		logger = logx.New(os.Stderr, level)
+	}
+
+	reg := obs.NewRegistry()
+	stopSampler := obs.StartRuntimeSampler(reg, time.Second)
+	defer stopSampler()
+
+	router, err := cluster.New(cluster.Options{
+		Shards:       shardList,
+		Replicas:     *replicas,
+		SweepWorkers: *workers,
+		Registry:     reg,
+		Logger:       logger,
+	})
+	if err != nil {
+		fatal("operag: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal("operag: %v", err)
+	}
+	// No WriteTimeout: sweep streams legitimately run for as long as
+	// the matrix takes to solve; the per-cell job deadlines on the
+	// shards bound the work.
+	hs := &http.Server{
+		Handler:           router.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go hs.Serve(ln)
+
+	if logger != nil {
+		bi := obs.ReadBuild()
+		logger.Info("operag.build",
+			"go", bi.GoVersion, "revision", bi.Revision, "dirty", bi.Dirty,
+			"module", bi.Path, "platform", bi.GOOS+"/"+bi.GOARCH)
+		logger.Info("operag.serving",
+			"addr", ln.Addr().String(), "shards", strings.Join(router.Shards(), ","))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+
+	closeCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(closeCtx); err != nil {
+		hs.Close()
+	}
+	if logger != nil {
+		logger.Info("operag.stopped")
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,416 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"opera/internal/grid"
+	"opera/internal/mna"
+	"opera/internal/obs"
+	"opera/internal/service"
+)
+
+// testShard is one in-process operad shard behind an httptest listener.
+type testShard struct {
+	srv *service.Server
+	hs  *httptest.Server
+	reg *obs.Registry
+}
+
+func (s *testShard) counter(name string) int64 {
+	return s.reg.Counter(name).Value()
+}
+
+// newCluster starts n peer-linked shards and a router in front of
+// them, all in-process.
+func newCluster(t *testing.T, n int, opts service.Options) (*Router, []*testShard) {
+	t.Helper()
+	shards := make([]*testShard, n)
+	urls := make([]string, n)
+	for i := range shards {
+		reg := obs.NewRegistry()
+		o := opts
+		o.Registry = reg
+		srv, err := service.New(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewServer(srv.Handler())
+		shards[i] = &testShard{srv: srv, hs: hs, reg: reg}
+		urls[i] = hs.URL
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+			hs.Close()
+		})
+	}
+	for i, s := range shards {
+		s.srv.SetPeers(urls[i], urls)
+	}
+	router, err := New(Options{Shards: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return router, shards
+}
+
+func quickRequest(seed int64) service.Request {
+	spec := grid.DefaultSpec(64, seed)
+	return service.Request{Grid: &spec, Steps: 3, Step: 1e-10}
+}
+
+// totalSolves sums the executed-job counters across shards — the
+// "exactly one solve" assertion of the cluster cache contract (cache
+// hits and coalesced submissions never start a job, so completed jobs
+// count solves).
+func totalSolves(shards []*testShard) int64 {
+	var n int64
+	for _, s := range shards {
+		n += s.counter("service.jobs_completed_total")
+	}
+	return n
+}
+
+// runThrough submits req through the handler and returns the final
+// result bytes.
+func runThrough(t *testing.T, h http.Handler, req service.Request) []byte {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	sub := httptest.NewRequest(http.MethodPost, "/v1/jobs", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, sub)
+	if rec.Code != http.StatusOK && rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	var sr service.SubmitResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+		t.Fatalf("submit reply: %v", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := httptest.NewRecorder()
+		h.ServeHTTP(st, httptest.NewRequest(http.MethodGet, "/v1/jobs/"+sr.ID, nil))
+		if st.Code != http.StatusOK {
+			t.Fatalf("status %s: HTTP %d: %s", sr.ID, st.Code, st.Body.String())
+		}
+		var js service.JobStatus
+		if err := json.Unmarshal(st.Body.Bytes(), &js); err != nil {
+			t.Fatal(err)
+		}
+		switch js.State {
+		case service.StateDone:
+			res := httptest.NewRecorder()
+			h.ServeHTTP(res, httptest.NewRequest(http.MethodGet, "/v1/jobs/"+sr.ID+"/result", nil))
+			if res.Code != http.StatusOK {
+				t.Fatalf("result: HTTP %d: %s", res.Code, res.Body.String())
+			}
+			return res.Body.Bytes()
+		case service.StateFailed, service.StateCanceled:
+			t.Fatalf("job %s ended %s: %s", sr.ID, js.State, js.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not finish", sr.ID)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestClusterSingleSolve is the tentpole e2e: the same request enters
+// the cluster through the router and then directly through each shard;
+// every answer is byte-identical and the cluster solves exactly once.
+func TestClusterSingleSolve(t *testing.T) {
+	router, shards := newCluster(t, 2, service.Options{
+		QueueDepth: 8, ConcurrentJobs: 1, CacheBytes: 16 << 20,
+	})
+	h := router.Handler()
+	req := quickRequest(42)
+
+	first := runThrough(t, h, req)
+	if len(first) == 0 {
+		t.Fatal("empty result")
+	}
+	// Through the router again: a cluster-wide cache hit.
+	second := runThrough(t, h, req)
+	if !bytes.Equal(first, second) {
+		t.Error("router replay is not byte-identical")
+	}
+	// Directly via each shard: the non-owner peeks the owner's cache
+	// and serves the same bytes without solving.
+	for i, s := range shards {
+		direct := runThrough(t, s.srv.Handler(), req)
+		if !bytes.Equal(first, direct) {
+			t.Errorf("shard %d direct replay is not byte-identical", i)
+		}
+	}
+	if n := totalSolves(shards); n != 1 {
+		t.Errorf("cluster solved %d times, want exactly 1", n)
+	}
+	var peeks int64
+	for _, s := range shards {
+		peeks += s.counter("service.peer_peek_hits_total")
+	}
+	if peeks == 0 {
+		t.Error("no peer peek hits recorded — direct submissions did not use the peek protocol")
+	}
+}
+
+// TestClusterRoutesByKey: submissions route deterministically by
+// content key, and job routes (status/result/cancel) follow the shard
+// prefix.
+func TestClusterRoutesByKey(t *testing.T) {
+	router, _ := newCluster(t, 3, service.Options{
+		QueueDepth: 8, ConcurrentJobs: 1, CacheBytes: 16 << 20,
+	})
+	h := router.Handler()
+	req := quickRequest(7)
+	req.Normalize()
+	wantOwner := router.names[router.ring.Owner(req.Key())]
+
+	body, _ := json.Marshal(req)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/jobs", bytes.NewReader(body)))
+	if rec.Code != http.StatusAccepted && rec.Code != http.StatusOK {
+		t.Fatalf("submit: HTTP %d", rec.Code)
+	}
+	var sr service.SubmitResponse
+	json.Unmarshal(rec.Body.Bytes(), &sr)
+	if !strings.HasPrefix(sr.ID, wantOwner+idSep) {
+		t.Errorf("job %s not routed to owner %s", sr.ID, wantOwner)
+	}
+	if rec.Header().Get(service.CacheKeyHeader) != req.Key() {
+		t.Errorf("cache key header %q, want %q", rec.Header().Get(service.CacheKeyHeader), req.Key())
+	}
+
+	// Unknown prefixes 404 cleanly.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/jobs/zz~job-000001", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown shard prefix: HTTP %d, want 404", rec.Code)
+	}
+}
+
+// TestClusterTracePropagation: a caller-supplied trace ID survives the
+// router hop into the shard's telemetry and comes back on every
+// response.
+func TestClusterTracePropagation(t *testing.T) {
+	router, _ := newCluster(t, 2, service.Options{
+		QueueDepth: 8, ConcurrentJobs: 1, CacheBytes: 16 << 20,
+	})
+	h := router.Handler()
+	tid := strings.Repeat("ab", 16)
+	body, _ := json.Marshal(quickRequest(9))
+	sub := httptest.NewRequest(http.MethodPost, "/v1/jobs", bytes.NewReader(body))
+	sub.Header.Set(service.TraceIDHeader, tid)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, sub)
+	if got := rec.Header().Get(service.TraceIDHeader); got != tid {
+		t.Errorf("submit trace header = %q, want %q", got, tid)
+	}
+	var sr service.SubmitResponse
+	json.Unmarshal(rec.Body.Bytes(), &sr)
+	if sr.TraceID != tid {
+		t.Errorf("submit trace id = %q, want %q", sr.TraceID, tid)
+	}
+	st := httptest.NewRecorder()
+	h.ServeHTTP(st, httptest.NewRequest(http.MethodGet, "/v1/jobs/"+sr.ID, nil))
+	if got := st.Header().Get(service.TraceIDHeader); got != tid {
+		t.Errorf("status trace header = %q, want %q", got, tid)
+	}
+}
+
+// TestClusterReadyAggregation: /readyz reflects every shard and stays
+// ready while at least one shard accepts work.
+func TestClusterReadyAggregation(t *testing.T) {
+	router, shards := newCluster(t, 2, service.Options{
+		QueueDepth: 8, ConcurrentJobs: 1, CacheBytes: 16 << 20,
+	})
+	h := router.Handler()
+	readyz := func() (int, []shardReady) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+		var body struct {
+			Ready  bool         `json:"ready"`
+			Shards []shardReady `json:"shards"`
+		}
+		json.Unmarshal(rec.Body.Bytes(), &body)
+		return rec.Code, body.Shards
+	}
+	code, rows := readyz()
+	if code != http.StatusOK || len(rows) != 2 {
+		t.Fatalf("readyz: HTTP %d, %d rows", code, len(rows))
+	}
+	// Drain one shard: the cluster stays ready, the row flips.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	shards[0].srv.Shutdown(ctx)
+	code, rows = readyz()
+	if code != http.StatusOK {
+		t.Errorf("readyz after one drain: HTTP %d, want 200", code)
+	}
+	notReady := 0
+	for _, row := range rows {
+		if !row.Ready {
+			notReady++
+		}
+	}
+	if notReady != 1 {
+		t.Errorf("%d shards not ready, want 1", notReady)
+	}
+}
+
+// collectSweep posts a sweep against a live router server and returns
+// the streamed lines.
+func collectSweep(t *testing.T, url string, sw service.SweepRequest) []service.SweepLine {
+	t.Helper()
+	body, _ := json.Marshal(sw)
+	resp, err := http.Post(url+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("sweep: HTTP %d: %s", resp.StatusCode, data)
+	}
+	var lines []service.SweepLine
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var line service.SweepLine
+		if err := dec.Decode(&line); err != nil {
+			if err == io.EOF {
+				break
+			}
+			t.Fatal(err)
+		}
+		lines = append(lines, line)
+		if line.EOF {
+			break
+		}
+	}
+	return lines
+}
+
+// TestClusterSweepDrainMidFlight is the acceptance sweep: a 3×2×4
+// matrix streams all 24 results with distinct per-cell trace IDs even
+// when one shard is drained mid-sweep.
+func TestClusterSweepDrainMidFlight(t *testing.T) {
+	router, shards := newCluster(t, 2, service.Options{
+		QueueDepth: 64, ConcurrentJobs: 2, CacheBytes: 64 << 20,
+	})
+	hs := httptest.NewServer(router.Handler())
+	defer hs.Close()
+
+	sw := service.SweepRequest{
+		Base: quickRequest(3),
+		// Distinct variation models make every corner a distinct solve.
+		Corners: []service.SweepCorner{
+			{Name: "c0"},
+			{Name: "c1", Variation: &mna.VariationSpec{KG: 0.10, KCL: 0.05, KIL: 0.05}},
+			{Name: "c2", Variation: &mna.VariationSpec{KG: 0.15, KCL: 0.08, KIL: 0.08}},
+		},
+		Loads: []service.SweepLoad{{Name: "nom"}, {Name: "hot", PeakDropFrac: 0.15}},
+		Seeds: []int64{11, 12, 13, 14},
+	}
+
+	// Drain one shard shortly after the sweep starts.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		time.Sleep(30 * time.Millisecond)
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		shards[0].srv.Shutdown(ctx)
+	}()
+
+	lines := collectSweep(t, hs.URL, sw)
+	<-drained
+
+	var cells []service.SweepLine
+	var eof *service.SweepLine
+	for i := range lines {
+		if lines[i].EOF {
+			eof = &lines[i]
+		} else {
+			cells = append(cells, lines[i])
+		}
+	}
+	if eof == nil {
+		t.Fatal("stream ended without an EOF summary line")
+	}
+	if len(cells) != 24 {
+		t.Fatalf("streamed %d cells, want 24", len(cells))
+	}
+	if eof.DoneCells != 24 || eof.Failed != 0 {
+		t.Errorf("EOF summary done=%d failed=%d, want 24/0", eof.DoneCells, eof.Failed)
+	}
+	traces := map[string]bool{}
+	indices := map[int]bool{}
+	for _, c := range cells {
+		if c.Error != "" {
+			t.Errorf("cell %d failed: %s", c.Index, c.Error)
+		}
+		if len(c.TraceID) != 32 {
+			t.Errorf("cell %d trace ID %q not 32 hex", c.Index, c.TraceID)
+		}
+		traces[c.TraceID] = true
+		indices[c.Index] = true
+		if len(c.Result) == 0 {
+			t.Errorf("cell %d has no result bytes", c.Index)
+		}
+	}
+	if len(traces) != 24 {
+		t.Errorf("%d distinct trace IDs, want 24", len(traces))
+	}
+	if len(indices) != 24 {
+		t.Errorf("%d distinct indices, want 24", len(indices))
+	}
+}
+
+// TestClusterSweepResume: re-posting the same matrix with Done listing
+// already-held cells streams only the missing ones, under the same
+// sweep ID.
+func TestClusterSweepResume(t *testing.T) {
+	router, _ := newCluster(t, 2, service.Options{
+		QueueDepth: 32, ConcurrentJobs: 2, CacheBytes: 64 << 20,
+	})
+	hs := httptest.NewServer(router.Handler())
+	defer hs.Close()
+
+	sw := service.SweepRequest{Base: quickRequest(5), Seeds: []int64{1, 2, 3, 4}}
+	full := collectSweep(t, hs.URL, sw)
+	var fullID string
+	done := []int{}
+	for _, l := range full {
+		if !l.EOF {
+			fullID = l.SweepID
+			if l.Index != 3 {
+				done = append(done, l.Index)
+			}
+		}
+	}
+	sw.Done = done
+	resumed := collectSweep(t, hs.URL, sw)
+	var cells []service.SweepLine
+	for _, l := range resumed {
+		if !l.EOF {
+			cells = append(cells, l)
+		}
+	}
+	if len(cells) != 1 || cells[0].Index != 3 {
+		t.Fatalf("resume streamed %d cells (want 1: index 3): %+v", len(cells), cells)
+	}
+	if cells[0].SweepID != fullID {
+		t.Errorf("resumed sweep ID %s != original %s", cells[0].SweepID, fullID)
+	}
+	if !cells[0].Cached {
+		t.Errorf("resumed cell not served from cache")
+	}
+}

@@ -1,0 +1,155 @@
+// Package ring is the cluster's consistent-hash ring: a deterministic
+// map from content keys (the sha256 cache keys computed in
+// internal/service) to shard members. Both the stateless router and
+// the peer-aware shards hash with the same ring, so a request's owner
+// is agreed on by every process that holds the same member list — no
+// coordination, no state.
+//
+// Each member is projected onto the ring at Replicas pseudo-random
+// points (FNV-64a of "member#i"), which smooths the key distribution
+// and keeps reassignment local when a member joins or leaves: only the
+// keys in the departed member's arcs move, everything else stays put.
+// The package is dependency-free so both internal/service (peer peek,
+// drain handoff) and internal/cluster (the router) can import it.
+package ring
+
+import (
+	"sort"
+	"strconv"
+)
+
+// DefaultReplicas is the virtual-node count per member. 64 points per
+// member keeps the worst/best member load ratio under ~1.3 for small
+// clusters, which is plenty for a cache-affinity ring (a mild
+// imbalance costs a few extra peer peeks, not correctness).
+const DefaultReplicas = 64
+
+type point struct {
+	hash   uint64
+	member int // index into members
+}
+
+// Ring is an immutable consistent-hash ring. Build with New; lookups
+// are safe for concurrent use.
+type Ring struct {
+	members  []string
+	replicas int
+	points   []point
+}
+
+// New builds a ring over members with the given virtual-node count
+// (replicas <= 0 uses DefaultReplicas). Duplicate and empty members
+// are dropped; order of the input does not affect key placement (only
+// the member strings do).
+func New(members []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := make(map[string]bool, len(members))
+	var uniq []string
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		uniq = append(uniq, m)
+	}
+	// Sort members so the member→index mapping (and therefore tie
+	// breaking) is independent of input order.
+	sort.Strings(uniq)
+	r := &Ring{members: uniq, replicas: replicas}
+	r.points = make([]point, 0, len(uniq)*replicas)
+	for mi, m := range uniq {
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, point{
+				hash:   fnv64a(m + "#" + strconv.Itoa(i)),
+				member: mi,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].member < r.points[b].member
+	})
+	return r
+}
+
+// Len returns the number of distinct members.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Members returns the distinct members in sorted order. The returned
+// slice is shared — callers must not mutate it.
+func (r *Ring) Members() []string { return r.members }
+
+// Owner returns the member that owns key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.members[r.points[r.search(key)].member]
+}
+
+// Sequence returns every member in preference order for key: the owner
+// first, then each distinct successor walking clockwise. This is the
+// failover order — a caller that cannot reach members[0] should try
+// members[1], and a key's entry lands on the same shard no matter
+// which member the walk started from.
+func (r *Ring) Sequence(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(r.members))
+	seen := make(map[int]bool, len(r.members))
+	for i, n := r.search(key), len(r.points); len(out) < len(r.members); i++ {
+		p := r.points[i%n]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, r.members[p.member])
+		}
+	}
+	return out
+}
+
+// Without returns a new ring with member removed (a no-op copy when
+// member is absent). Keys owned by the survivors keep their owners —
+// only the removed member's keys are reassigned.
+func (r *Ring) Without(member string) *Ring {
+	rest := make([]string, 0, len(r.members))
+	for _, m := range r.members {
+		if m != member {
+			rest = append(rest, m)
+		}
+	}
+	return New(rest, r.replicas)
+}
+
+// search returns the index of the first point with hash >= hash(key),
+// wrapping to 0 past the end.
+func (r *Ring) search(key string) int {
+	h := fnv64a(key)
+	i := sort.Search(len(r.points), func(i int) bool {
+		return r.points[i].hash >= h
+	})
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// fnv64a is the 64-bit FNV-1a hash run through a splitmix64
+// finalizer. Raw FNV clusters badly on short strings that differ only
+// in a suffix (exactly what "member#i" vnode labels are); the
+// finalizer's avalanche spreads those points over the whole ring.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}

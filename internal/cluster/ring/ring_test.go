@@ -1,0 +1,115 @@
+package ring
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+// keys returns n distinct sha256-hex keys — the same shape the service
+// layer hashes onto the ring.
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+		out[i] = hex.EncodeToString(sum[:])
+	}
+	return out
+}
+
+func TestOwnerDeterministicAndOrderIndependent(t *testing.T) {
+	a := New([]string{"s0", "s1", "s2"}, 64)
+	b := New([]string{"s2", "s0", "s1"}, 64)
+	for _, k := range keys(200) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner depends on member input order for %s", k)
+		}
+		if a.Owner(k) != a.Owner(k) {
+			t.Fatalf("owner not deterministic for %s", k)
+		}
+	}
+}
+
+func TestDistributionRoughlyBalanced(t *testing.T) {
+	r := New([]string{"s0", "s1", "s2", "s3"}, 0) // default replicas
+	counts := map[string]int{}
+	ks := keys(4000)
+	for _, k := range ks {
+		counts[r.Owner(k)]++
+	}
+	for m, c := range counts {
+		frac := float64(c) / float64(len(ks))
+		if frac < 0.10 || frac > 0.45 {
+			t.Errorf("member %s owns %.1f%% of keys — ring badly unbalanced", m, 100*frac)
+		}
+	}
+	if len(counts) != 4 {
+		t.Errorf("only %d of 4 members own keys", len(counts))
+	}
+}
+
+func TestSequenceOwnerFirstAllDistinct(t *testing.T) {
+	r := New([]string{"s0", "s1", "s2"}, 32)
+	for _, k := range keys(100) {
+		seq := r.Sequence(k)
+		if len(seq) != 3 {
+			t.Fatalf("sequence length %d, want 3", len(seq))
+		}
+		if seq[0] != r.Owner(k) {
+			t.Fatalf("sequence does not start with the owner")
+		}
+		seen := map[string]bool{}
+		for _, m := range seq {
+			if seen[m] {
+				t.Fatalf("duplicate member %s in sequence", m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+// TestWithoutMovesOnlyDepartedKeys pins the consistency property the
+// drain handoff relies on: removing one member reassigns only the keys
+// it owned; every other key keeps its owner, so surviving shards keep
+// their cache affinity.
+func TestWithoutMovesOnlyDepartedKeys(t *testing.T) {
+	full := New([]string{"s0", "s1", "s2", "s3"}, 64)
+	reduced := full.Without("s2")
+	if reduced.Len() != 3 {
+		t.Fatalf("reduced ring has %d members, want 3", reduced.Len())
+	}
+	moved, kept := 0, 0
+	for _, k := range keys(2000) {
+		before := full.Owner(k)
+		after := reduced.Owner(k)
+		if before == "s2" {
+			if after == "s2" {
+				t.Fatalf("key %s still owned by removed member", k)
+			}
+			moved++
+			continue
+		}
+		if before != after {
+			t.Errorf("key %s moved %s→%s though its owner survived", k, before, after)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+func TestEmptyAndSingleRings(t *testing.T) {
+	empty := New(nil, 8)
+	if empty.Owner("k") != "" || empty.Sequence("k") != nil {
+		t.Error("empty ring must return zero values")
+	}
+	one := New([]string{"only", "only", ""}, 8)
+	if one.Len() != 1 || one.Owner("k") != "only" {
+		t.Error("duplicates and empties must collapse to one member")
+	}
+	if got := one.Sequence("k"); len(got) != 1 || got[0] != "only" {
+		t.Errorf("single-member sequence = %v", got)
+	}
+}

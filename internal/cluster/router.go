@@ -1,0 +1,462 @@
+// Package cluster is the stateless operad cluster router: it
+// consistent-hashes each request's canonical content key (the sha256
+// the result cache and the shards' peer ring use) onto a ring of operad
+// shards, so identical requests land on the same shard cluster-wide —
+// cache hits and in-flight coalescing work across every entry point.
+//
+// The router holds no job state of its own. Job identity crosses the
+// hop as "<shard>~<local id>" (e.g. "s0~job-000042"), so status, result
+// and cancel route back to the owning shard without a lookup table, and
+// result bytes are forwarded verbatim — the byte-identity guarantee of
+// the content-addressed cache survives the extra hop, as does the
+// X-Opera-Trace-Id header in both directions.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"opera/internal/cluster/ring"
+	"opera/internal/obs"
+	"opera/internal/obs/logx"
+	"opera/internal/service"
+)
+
+// idSep joins the shard name and the shard-local job ID in routed job
+// IDs. Local IDs ("job-000042") never contain it.
+const idSep = "~"
+
+// maxSweepBody bounds POST /v1/sweep request bodies.
+const maxSweepBody = 16 << 20
+
+// Options configures a Router.
+type Options struct {
+	// Shards lists the operad base URLs ("host:port" or full URL) the
+	// router fans out to. Required, order-insensitive: ring placement
+	// depends only on the set, and shard names (s0, s1, ...) follow the
+	// normalized sort order so every router instance agrees.
+	Shards []string
+	// Replicas is the virtual-node count per shard on the hash ring
+	// (0 = ring.DefaultReplicas). Every router and shard in a cluster
+	// must agree on this for ownership to agree.
+	Replicas int
+	// SweepWorkers bounds how many sweep cells run concurrently per
+	// stream (0 = 4 per shard).
+	SweepWorkers int
+	// Registry receives the router's metrics (nil = private registry):
+	// per-shard route counters, forward-latency histograms, failover
+	// and sweep counters.
+	Registry *obs.Registry
+	// Logger, when non-nil, records routing decisions and failovers.
+	Logger *slog.Logger
+	// HTTPClient overrides the transport used to reach shards (tests).
+	HTTPClient *http.Client
+}
+
+// Router is the cluster front door. Construct with New, serve with
+// Handler.
+type Router struct {
+	shards []string          // normalized, sorted — index is the shard name
+	names  map[string]string // base URL -> "s<i>"
+	urls   map[string]string // "s<i>" -> base URL
+	ring   *ring.Ring
+	hc     *http.Client
+	reg    *obs.Registry
+	log    *slog.Logger
+
+	sweepWorkers int
+
+	mRoute    map[string]*obs.Counter // per-shard cluster.route_total.s<i>
+	hForward  *obs.Histogram          // cluster.forward_ms
+	mFailover *obs.Counter            // cluster.failover_total
+	mSweeps   *obs.Counter            // cluster.sweeps_total
+	mCells    *obs.Counter            // cluster.sweep_cells_total
+	mCellErrs *obs.Counter            // cluster.sweep_cell_failures_total
+	mResub    *obs.Counter            // cluster.sweep_resubmits_total
+}
+
+// New builds a router over the given shard set.
+func New(opts Options) (*Router, error) {
+	if len(opts.Shards) == 0 {
+		return nil, errors.New("cluster: no shards configured")
+	}
+	seen := map[string]bool{}
+	var shards []string
+	for _, s := range opts.Shards {
+		u := normalizeURL(s)
+		if !seen[u] {
+			seen[u] = true
+			shards = append(shards, u)
+		}
+	}
+	rg := ring.New(shards, opts.Replicas)
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 5 * time.Minute}
+	}
+	workers := opts.SweepWorkers
+	if workers <= 0 {
+		workers = 4 * len(shards)
+	}
+	r := &Router{
+		shards:       rg.Members(), // normalized sort order fixes the names
+		names:        map[string]string{},
+		urls:         map[string]string{},
+		ring:         rg,
+		hc:           hc,
+		reg:          reg,
+		log:          opts.Logger,
+		sweepWorkers: workers,
+		mRoute:       map[string]*obs.Counter{},
+		hForward:     reg.Histogram("cluster.forward_ms", obs.MSBuckets),
+		mFailover:    reg.Counter("cluster.failover_total"),
+		mSweeps:      reg.Counter("cluster.sweeps_total"),
+		mCells:       reg.Counter("cluster.sweep_cells_total"),
+		mCellErrs:    reg.Counter("cluster.sweep_cell_failures_total"),
+		mResub:       reg.Counter("cluster.sweep_resubmits_total"),
+	}
+	for i, u := range r.shards {
+		name := fmt.Sprintf("s%d", i)
+		r.names[u] = name
+		r.urls[name] = u
+		r.mRoute[u] = reg.Counter("cluster.route_total." + name)
+	}
+	return r, nil
+}
+
+func normalizeURL(addr string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+// Shards returns the normalized shard URLs in name order (s0, s1, ...).
+func (r *Router) Shards() []string {
+	return append([]string(nil), r.shards...)
+}
+
+// Handler returns the router's HTTP API — the same surface a single
+// operad serves, plus the bulk sweep endpoint:
+//
+//	POST   /v1/jobs             route by content key to the owning shard
+//	GET    /v1/jobs             fan-out job listing (IDs shard-prefixed)
+//	GET    /v1/jobs/{id}        status from the owning shard
+//	GET    /v1/jobs/{id}/result stored result bytes, verbatim
+//	DELETE /v1/jobs/{id}        cancel on the owning shard
+//	POST   /v1/sweep            corner × load × seed matrix, NDJSON stream
+//	GET    /healthz             router liveness
+//	GET    /readyz              aggregated shard readiness
+//	GET    /metrics             router metrics snapshot
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", r.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", r.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", r.handleJob(""))
+	mux.HandleFunc("GET /v1/jobs/{id}/result", r.handleJob("/result"))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", r.handleJob(""))
+	mux.HandleFunc("POST /v1/sweep", r.handleSweep)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /readyz", r.handleReady)
+	mux.Handle("GET /metrics", obs.MetricsHandler(r.reg))
+	mux.Handle("GET /debug/build", obs.BuildHandler())
+	return mux
+}
+
+// joinID and splitID map between cluster job IDs and (shard, local ID).
+func (r *Router) joinID(shardURL, local string) string {
+	return r.names[shardURL] + idSep + local
+}
+
+func (r *Router) splitID(id string) (shardURL, local string, ok bool) {
+	name, local, found := strings.Cut(id, idSep)
+	if !found {
+		return "", "", false
+	}
+	u, ok := r.urls[name]
+	return u, local, ok
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+type httpError struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind,omitempty"`
+	Trace string `json:"trace_id,omitempty"`
+}
+
+// forward proxies one request to a shard, echoing the trace and cache
+// key headers and recording the per-shard route counter plus the
+// forward-latency histogram. rewrite, when non-nil, transforms the
+// response body (job-ID prefixing) on 2xx responses.
+func (r *Router) forward(w http.ResponseWriter, req *http.Request, shardURL, path string, body []byte, rewrite func([]byte) ([]byte, error)) {
+	resp, data, err := r.roundTrip(req, shardURL, path, body)
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, httpError{Error: err.Error(), Kind: "shard_unreachable"})
+		return
+	}
+	if rewrite != nil && resp.StatusCode < 300 {
+		if data, err = rewrite(data); err != nil {
+			writeJSON(w, http.StatusBadGateway, httpError{Error: err.Error(), Kind: "bad_shard_reply"})
+			return
+		}
+	}
+	copyHeaders(w, resp)
+	w.WriteHeader(resp.StatusCode)
+	w.Write(data)
+}
+
+// roundTrip sends one request to a shard and reads the full reply.
+func (r *Router) roundTrip(req *http.Request, shardURL, path string, body []byte) (*http.Response, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	out, err := http.NewRequestWithContext(req.Context(), req.Method, shardURL+path, rd)
+	if err != nil {
+		return nil, nil, err
+	}
+	if body != nil {
+		out.Header.Set("Content-Type", "application/json")
+	}
+	if tid := req.Header.Get(service.TraceIDHeader); tid != "" {
+		out.Header.Set(service.TraceIDHeader, tid)
+	}
+	start := time.Now()
+	resp, err := r.hc.Do(out)
+	r.hForward.ObserveSince(start)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if c := r.mRoute[shardURL]; c != nil {
+		c.Inc()
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, data, nil
+}
+
+func copyHeaders(w http.ResponseWriter, resp *http.Response) {
+	for _, h := range []string{service.TraceIDHeader, service.CacheKeyHeader, "Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+}
+
+// handleSubmit routes a submission to its content key's owner shard,
+// failing over along the ring when the owner is draining or
+// unreachable. The response's job ID comes back shard-prefixed.
+func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxSweepBody))
+	if err != nil {
+		writeJSON(w, http.StatusRequestEntityTooLarge, httpError{Error: err.Error(), Kind: "limit"})
+		return
+	}
+	var sreq service.Request
+	if err := json.Unmarshal(body, &sreq); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
+		return
+	}
+	sreq.Normalize()
+	key := sreq.Key()
+	seq := r.ring.Sequence(key)
+	var lastErr error
+	for i, shardURL := range seq {
+		resp, data, err := r.roundTrip(req, shardURL, "/v1/jobs", body)
+		if err == nil && !isDraining(resp, data) {
+			if i > 0 {
+				r.mFailover.Add(int64(i))
+			}
+			if r.log != nil {
+				r.log.LogAttrs(req.Context(), slog.LevelDebug, "cluster.route",
+					slog.String(logx.KeyKey, key),
+					slog.String(logx.KeyPeer, shardURL),
+					slog.Int(logx.KeyAttempt, i))
+			}
+			rewritten := data
+			var sub service.SubmitResponse
+			if resp.StatusCode < 300 && json.Unmarshal(data, &sub) == nil {
+				sub.ID = r.joinID(shardURL, sub.ID)
+				if b, err := json.Marshal(sub); err == nil {
+					rewritten = append(b, '\n')
+				}
+			}
+			copyHeaders(w, resp)
+			w.WriteHeader(resp.StatusCode)
+			w.Write(rewritten)
+			return
+		}
+		if err != nil {
+			lastErr = err
+		} else {
+			lastErr = fmt.Errorf("shard %s draining", r.names[shardURL])
+		}
+		if r.log != nil {
+			r.log.LogAttrs(req.Context(), slog.LevelWarn, "cluster.failover",
+				slog.String(logx.KeyKey, key),
+				slog.String(logx.KeyPeer, shardURL),
+				slog.String(logx.KeyError, lastErr.Error()))
+		}
+	}
+	writeJSON(w, http.StatusServiceUnavailable,
+		httpError{Error: "no shard accepted the job: " + lastErr.Error(), Kind: "draining"})
+}
+
+// isDraining reports whether a shard reply is a 503 drain rejection
+// (the one submit outcome the router retries on the next ring member;
+// 429 queue-full passes through — backoff is the client's call).
+func isDraining(resp *http.Response, data []byte) bool {
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		return false
+	}
+	var he httpError
+	return json.Unmarshal(data, &he) == nil && he.Kind == "draining"
+}
+
+// handleJob serves status (""), result ("/result") and cancel by
+// routing on the ID's shard prefix.
+func (r *Router) handleJob(suffix string) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		id := req.PathValue("id")
+		shardURL, local, ok := r.splitID(id)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, httpError{Error: "unknown job " + id, Kind: "unknown_job"})
+			return
+		}
+		var rewrite func([]byte) ([]byte, error)
+		if suffix == "" {
+			// Status and cancel replies carry the shard-local ID;
+			// re-prefix it. Result bytes pass through verbatim.
+			rewrite = func(data []byte) ([]byte, error) {
+				var st service.JobStatus
+				if err := json.Unmarshal(data, &st); err != nil {
+					return nil, err
+				}
+				st.ID = r.joinID(shardURL, st.ID)
+				b, err := json.Marshal(st)
+				return append(b, '\n'), err
+			}
+		}
+		r.forward(w, req, shardURL, "/v1/jobs/"+local+suffix, nil, rewrite)
+	}
+}
+
+// handleList fans the listing out to every shard and merges, with
+// shard-prefixed IDs. An unreachable shard contributes nothing (the
+// aggregate readiness endpoint is where its absence shows up).
+func (r *Router) handleList(w http.ResponseWriter, req *http.Request) {
+	var (
+		mu  sync.Mutex
+		all = []service.JobStatus{}
+		wg  sync.WaitGroup
+	)
+	for _, shardURL := range r.shards {
+		wg.Add(1)
+		go func(u string) {
+			defer wg.Done()
+			resp, data, err := r.roundTrip(req, u, "/v1/jobs", nil)
+			if err != nil || resp.StatusCode != http.StatusOK {
+				return
+			}
+			var jobs []service.JobStatus
+			if json.Unmarshal(data, &jobs) != nil {
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for i := range jobs {
+				jobs[i].ID = r.joinID(u, jobs[i].ID)
+				all = append(all, jobs[i])
+			}
+		}(shardURL)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, all)
+}
+
+// shardReady is one shard's row in the aggregated readiness reply.
+type shardReady struct {
+	Shard      string `json:"shard"`
+	URL        string `json:"url"`
+	Ready      bool   `json:"ready"`
+	Reason     string `json:"reason,omitempty"`
+	QueueDepth int    `json:"queue_depth"`
+	Error      string `json:"error,omitempty"`
+}
+
+// handleReady aggregates every shard's /readyz. The cluster is ready
+// when at least one shard can accept work — a draining shard during a
+// rolling restart must not take the whole front door down.
+func (r *Router) handleReady(w http.ResponseWriter, req *http.Request) {
+	rows := make([]shardReady, len(r.shards))
+	var wg sync.WaitGroup
+	for i, shardURL := range r.shards {
+		wg.Add(1)
+		go func(i int, u string) {
+			defer wg.Done()
+			row := shardReady{Shard: r.names[u], URL: u}
+			resp, data, err := r.roundTrip(req, u, "/readyz", nil)
+			if err != nil {
+				row.Error = err.Error()
+			} else {
+				var body struct {
+					Ready      bool   `json:"ready"`
+					Reason     string `json:"reason"`
+					QueueDepth int    `json:"queue_depth"`
+				}
+				if json.Unmarshal(data, &body) == nil {
+					row.Ready, row.Reason, row.QueueDepth = body.Ready, body.Reason, body.QueueDepth
+				} else {
+					row.Error = fmt.Sprintf("bad readyz reply (HTTP %d)", resp.StatusCode)
+				}
+			}
+			rows[i] = row
+		}(i, shardURL)
+	}
+	wg.Wait()
+	ready := false
+	for _, row := range rows {
+		if row.Ready {
+			ready = true
+			break
+		}
+	}
+	code := http.StatusOK
+	if !ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, struct {
+		Ready  bool         `json:"ready"`
+		Shards []shardReady `json:"shards"`
+	}{Ready: ready, Shards: rows})
+}
+
+// transportErr reports whether err is a network-level failure (as
+// opposed to a structured API rejection).
+func transportErr(err error) bool {
+	var ue *url.Error
+	return errors.As(err, &ue)
+}

@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"opera/internal/obs"
+	"opera/internal/obs/logx"
+	"opera/internal/service"
+)
+
+// SweepIDHeader carries the sweep's deterministic ID on the stream
+// response, so a client that supplied no sweep_id learns the handle it
+// can resume with before the first line arrives.
+const SweepIDHeader = "X-Opera-Sweep-Id"
+
+// handleSweep expands a corner × load × seed matrix and streams one
+// JSON line per cell as results land, in completion order, ending with
+// an EOF summary line. Each cell routes by its own content key, so the
+// matrix fans out across the whole ring; a shard draining mid-sweep
+// just causes those cells to be resubmitted along the ring (counted in
+// cluster.sweep_resubmits_total), and a resumed sweep (same matrix,
+// Done listing the cells already held) costs only the missing cells.
+func (r *Router) handleSweep(w http.ResponseWriter, req *http.Request) {
+	var sw service.SweepRequest
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxSweepBody))
+	if err != nil {
+		writeJSON(w, http.StatusRequestEntityTooLarge, httpError{Error: err.Error(), Kind: "limit"})
+		return
+	}
+	if err := json.Unmarshal(body, &sw); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
+		return
+	}
+	if sw.Base.TraceID == "" {
+		sw.Base.TraceID = req.Header.Get(service.TraceIDHeader)
+	}
+	if sw.Base.TraceID == "" {
+		// A base ID guarantees every cell a distinct, derived trace ID —
+		// the property that makes a sweep joinable in shard telemetry.
+		sw.Base.TraceID = string(obs.NewTraceID())
+	}
+	jobs, err := sw.Expand()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error(), Trace: sw.Base.TraceID})
+		return
+	}
+	sweepID := sw.ID(jobs)
+	skip := make(map[int]bool, len(sw.Done))
+	for _, i := range sw.Done {
+		skip[i] = true
+	}
+	r.mSweeps.Inc()
+	if r.log != nil {
+		r.log.LogAttrs(req.Context(), slog.LevelInfo, "cluster.sweep",
+			slog.String("sweep", sweepID),
+			slog.String(logx.KeyTrace, sw.Base.TraceID),
+			slog.Int("cells", len(jobs)),
+			slog.Int("skipped", len(sw.Done)))
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set(service.TraceIDHeader, sw.Base.TraceID)
+	w.Header().Set(SweepIDHeader, sweepID)
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	ctx := req.Context()
+	work := make(chan service.SweepJob)
+	lines := make(chan service.SweepLine)
+	var wg sync.WaitGroup
+	workers := r.sweepWorkers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range work {
+				line := r.runCell(ctx, sweepID, len(jobs), job)
+				select {
+				case lines <- line:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(work)
+		for _, job := range jobs {
+			if skip[job.Index] {
+				continue
+			}
+			select {
+			case work <- job:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(lines)
+	}()
+
+	enc := json.NewEncoder(w)
+	done, failed := 0, 0
+	for line := range lines {
+		if line.Error == "" {
+			done++
+		} else {
+			failed++
+		}
+		if enc.Encode(line) != nil {
+			// Client went away; the context cancel tears the workers
+			// down — drain so the writer goroutines don't block.
+			go func() {
+				for range lines {
+				}
+			}()
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc.Encode(service.SweepLine{
+		SweepID: sweepID, Total: len(jobs), EOF: true,
+		DoneCells: done, Failed: failed,
+	})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// runCell runs one matrix cell to completion through the ring: submit
+// to the cell's key owner, fail over along the ring while shards drain
+// or die, and return the cell's stream line (result bytes verbatim on
+// success).
+func (r *Router) runCell(ctx context.Context, sweepID string, total int, job service.SweepJob) service.SweepLine {
+	line := service.SweepLine{
+		SweepID: sweepID,
+		Index:   job.Index,
+		Total:   total,
+		Corner:  job.Corner,
+		Load:    job.Load,
+		Seed:    job.Seed,
+		TraceID: job.Req.TraceID,
+		Key:     job.Req.Key(),
+	}
+	c := service.NewRingClient(r.ring.Sequence(line.Key))
+	c.HTTPClient = r.hc
+	c.Logger = r.log
+	start := time.Now()
+	data, info, err := c.RunBytes(ctx, job.Req)
+	line.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	line.Shard = r.names[info.Member]
+	if info.JobID != "" {
+		line.JobID = r.names[info.Member] + idSep + info.JobID
+	}
+	line.State = info.Status.State
+	line.Cached = info.Cached
+	line.Degraded = info.Status.Degraded
+	line.HandedOff = info.HandedOff
+	line.Resubmits = info.Resubmits
+	r.mCells.Inc()
+	r.mResub.Add(int64(info.Resubmits))
+	if err != nil {
+		line.Error = err.Error()
+		if line.State == "" {
+			line.State = service.StateFailed
+		}
+		r.mCellErrs.Inc()
+		if r.log != nil && !transportErr(err) {
+			r.log.LogAttrs(ctx, slog.LevelWarn, "cluster.sweep_cell_failed",
+				slog.String("sweep", sweepID),
+				slog.Int("index", job.Index),
+				slog.String(logx.KeyTrace, line.TraceID),
+				slog.String(logx.KeyError, err.Error()))
+		}
+		return line
+	}
+	line.Result = json.RawMessage(data)
+	return line
+}

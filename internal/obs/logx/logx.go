@@ -39,6 +39,7 @@ const (
 	KeyReason   = "reason"    // human-readable cause (SLO-profile captures)
 	KeyAttempt  = "attempt"   // client retry attempt number
 	KeyOnto     = "onto"      // job id a coalesced submission attached to
+	KeyPeer     = "peer"      // ring peer URL (peek hits, drain handoffs)
 )
 
 // ParseLevel maps a -log-level flag value to a slog level.

@@ -62,6 +62,22 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	return el.Value.(*cacheEntry).data, true
 }
 
+// Peek returns the stored bytes for key without touching the hit/miss
+// counters — the read path for peers' /cache/{key} lookups, so a
+// neighbour's peek never masquerades as local cache traffic in the
+// service.cache_* counters. Recency is still refreshed (a peer hit is
+// a real use of the entry). The returned slice is shared — read-only.
+func (c *Cache) Peek(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
 // Put stores data under key, evicting least-recently-used entries
 // until the budget holds. An entry larger than the whole budget is not
 // stored. Storing an existing key refreshes its bytes and recency.

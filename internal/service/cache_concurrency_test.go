@@ -1,0 +1,114 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"opera/internal/obs"
+)
+
+// TestCacheConcurrentPutGetEvict hammers one small-budget cache from
+// many goroutines so Put, Get, Peek and LRU eviction interleave. The
+// invariants: no torn reads (a Get returns exactly the bytes some Put
+// stored for that key), the byte budget holds after the dust settles,
+// and the hit/miss counters account for every Get. Run under -race
+// this is the cache's concurrency proof.
+func TestCacheConcurrentPutGetEvict(t *testing.T) {
+	reg := obs.NewRegistry()
+	// Budget fits ~8 of the 64-byte entries, so eviction churns
+	// constantly while 32 goroutines fight over 16 keys.
+	cache := NewCache(8*80, reg)
+	payload := func(k int) []byte {
+		b := make([]byte, 64)
+		copy(b, fmt.Sprintf("key-%02d", k))
+		return b
+	}
+	var wrong atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := (g*7 + i) % 16
+				key := fmt.Sprintf("key-%02d", k)
+				switch i % 3 {
+				case 0:
+					cache.Put(key, payload(k))
+				case 1:
+					if data, ok := cache.Get(key); ok {
+						if string(data[:6]) != key {
+							wrong.Add(1)
+						}
+					}
+				default:
+					if data, ok := cache.Peek(key); ok {
+						if string(data[:6]) != key {
+							wrong.Add(1)
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := wrong.Load(); n > 0 {
+		t.Fatalf("%d reads returned bytes from the wrong key", n)
+	}
+	if cache.Bytes() > 8*80 {
+		t.Errorf("cache over budget after churn: %d bytes", cache.Bytes())
+	}
+	if cache.Len() > 8*80/64 {
+		t.Errorf("cache holds %d entries, budget admits at most %d", cache.Len(), 8*80/64)
+	}
+	hits := reg.Counter("service.cache_hits_total").Value()
+	misses := reg.Counter("service.cache_misses_total").Value()
+	evictions := reg.Counter("service.cache_evictions_total").Value()
+	if hits+misses == 0 {
+		t.Error("no Get was accounted in hit/miss counters")
+	}
+	if evictions == 0 {
+		t.Error("no eviction under a budget 2x smaller than the working set")
+	}
+}
+
+// TestCacheConcurrentSameKey: concurrent Puts of different payloads
+// under one key must leave the cache serving one of them intact, and
+// the budget accounting must not drift when entries are replaced.
+func TestCacheConcurrentSameKey(t *testing.T) {
+	reg := obs.NewRegistry()
+	cache := NewCache(1<<20, reg)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			data := make([]byte, 128+g)
+			for i := range data {
+				data[i] = byte(g)
+			}
+			for i := 0; i < 200; i++ {
+				cache.Put("k", data)
+				cache.Get("k")
+			}
+		}(g)
+	}
+	wg.Wait()
+	data, ok := cache.Get("k")
+	if !ok {
+		t.Fatal("key lost after concurrent puts")
+	}
+	for _, b := range data {
+		if b != data[0] {
+			t.Fatal("stored bytes are a torn mix of two writers")
+		}
+	}
+	if cache.Len() != 1 {
+		t.Errorf("cache holds %d entries for one key", cache.Len())
+	}
+	if got := cache.Bytes(); got != int64(len(data)) {
+		t.Errorf("budget accounting drifted: %d bytes tracked, entry is %d", got, len(data))
+	}
+}

@@ -3,10 +3,12 @@ package service
 import (
 	"context"
 	"fmt"
+	"net/http/httptest"
 	"path/filepath"
 	"testing"
 	"time"
 
+	"opera/internal/grid"
 	"opera/internal/service/inject"
 )
 
@@ -147,6 +149,131 @@ func TestChaosSoak(t *testing.T) {
 			t.Fatalf("replayed jobs stuck after restart: %v", stuck)
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestChaosSoakCluster runs the peer protocols under fire: two
+// peer-linked shards with peeks timing out and handoffs crashing, one
+// shard drained mid-flight. The cluster invariants:
+//
+//  1. Every admitted job terminates — a crashed handoff degrades to a
+//     local solve during drain, never a lost job.
+//  2. A job the drained shard handed off is completable on the peer:
+//     resubmitting its request there reaches done with the same key.
+//  3. Peek failures are strictly misses: submissions still succeed.
+func TestChaosSoakCluster(t *testing.T) {
+	const seed = 20260809
+	t.Logf("cluster chaos seed %d", seed)
+	restore := inject.Enable(&inject.Faults{
+		Seed:            seed,
+		PeerPeekTimeout: 0.40,
+		HandoffCrash:    0.35,
+		CacheStoreFail:  0.10,
+	})
+	t.Cleanup(restore)
+
+	opts := Options{
+		ConcurrentJobs: 1,
+		QueueDepth:     64,
+		CacheBytes:     32 << 20,
+		DefaultTimeout: 60 * time.Second,
+	}
+	a := newTestServer(t, opts)
+	b := newTestServer(t, opts)
+	ha := httptest.NewServer(a.Handler())
+	hb := httptest.NewServer(b.Handler())
+	t.Cleanup(ha.Close)
+	t.Cleanup(hb.Close)
+	a.SetPeers(ha.URL, []string{ha.URL, hb.URL})
+	b.SetPeers(hb.URL, []string{ha.URL, hb.URL})
+
+	// Queue work on A: a slow job holds the single worker so the rest
+	// sit in the queue for the drain to hand off; repeated keys keep
+	// the peek path busy under the injected timeouts.
+	slowSpec := grid.DefaultSpec(64, 500)
+	slow, err := a.Submit(Request{Grid: &slowSpec, Steps: 4000, Step: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queued []SubmitResponse
+	for i := 0; i < 10; i++ {
+		sub, err := a.Submit(quickRequest(int64(200 + i%6)))
+		if err != nil {
+			continue
+		}
+		if sub.ID != slow.ID {
+			queued = append(queued, sub)
+		}
+	}
+	if len(queued) == 0 {
+		t.Fatal("nothing queued behind the slow job")
+	}
+
+	// Drain A mid-flight: queued jobs hand off to B (or, when the
+	// injected crash fires, solve locally before exit).
+	dctx, dcancel := context.WithTimeout(context.Background(), 90*time.Second)
+	if err := a.Shutdown(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	dcancel()
+
+	terminal := map[string]bool{StateDone: true, StateFailed: true, StateCanceled: true}
+	handedOff := 0
+	seen := map[string]bool{} // coalesced submissions repeat a job ID
+	for _, sub := range queued {
+		if seen[sub.ID] {
+			continue
+		}
+		seen[sub.ID] = true
+		st, err := a.Status(sub.ID)
+		if err != nil {
+			t.Fatalf("status %s: %v", sub.ID, err)
+		}
+		if !terminal[st.State] {
+			t.Fatalf("job %s not terminal after drain: %s", sub.ID, st.State)
+		}
+		if st.HandedOff {
+			handedOff++
+			if st.Peer != hb.URL {
+				t.Errorf("job %s handed to %q, want %q", sub.ID, st.Peer, hb.URL)
+			}
+		} else if st.State == StateCanceled {
+			t.Errorf("job %s canceled without handoff during peer-mode drain", sub.ID)
+		}
+	}
+	if got := a.reg.Counter("service.handoff_jobs_total").Value(); int(got) != handedOff {
+		t.Errorf("handoff counter %d != %d handed-off jobs", got, handedOff)
+	}
+	t.Logf("drain handed off %d of %d queued jobs (crash fault degraded the rest to local solves)",
+		handedOff, len(queued))
+
+	// Invariant 2: every handed-off key reaches done on B — resubmit
+	// the same requests there and wait.
+	for i := 0; i < 10; i++ {
+		req := quickRequest(int64(200 + i%6))
+		sub, err := b.Submit(req)
+		if err != nil {
+			t.Fatalf("peer submission rejected: %v", err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		st, err := b.Wait(ctx, sub.ID)
+		cancel()
+		if err != nil || st.State != StateDone {
+			t.Fatalf("handed-off key %s on peer: state %s err %v", sub.Key, st.State, err)
+		}
+	}
+
+	// Invariant 3: B keeps serving under peek faults (A is gone, so
+	// every peek against it fails — strictly misses).
+	clean, err := b.Submit(quickRequest(999))
+	if err != nil {
+		t.Fatalf("post-drain submission rejected: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	st, err := b.Wait(ctx, clean.ID)
+	cancel()
+	if err != nil || st.State != StateDone {
+		t.Fatalf("post-drain job state %s err %v, want done", st.State, err)
 	}
 }
 

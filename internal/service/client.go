@@ -10,39 +10,91 @@ import (
 	"log/slog"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"opera/internal/obs"
 	"opera/internal/obs/logx"
 )
 
-// Client talks to a running operad over its HTTP API. It is the same
-// request encoding the server decodes, so cmd/opera -remote and any
-// other caller share one wire contract.
+// Client talks to a running operad — or a ring of them — over the
+// HTTP API. It is the same request encoding the server decodes, so
+// cmd/opera -remote and any other caller share one wire contract.
+//
+// With more than one address the client is ring-aware: it talks to one
+// member at a time (sticky, so a submitted job is polled where it
+// lives) and rotates to the next member when the current one is
+// draining (503) or unreachable — the same jittered backoff that
+// paces 429 retries paces the failover, so a rolling restart looks
+// like brief queueing, not an error.
 type Client struct {
 	// BaseURL is the server address, e.g. "http://127.0.0.1:9130".
 	BaseURL string
+	// Addrs optionally lists every ring member in preference order;
+	// when set it takes precedence over BaseURL. The client sticks to
+	// one member until it proves draining or unreachable.
+	Addrs []string
 	// HTTPClient overrides the transport; nil uses a client with a
 	// sane overall timeout disabled (job waits are long-poll loops).
 	HTTPClient *http.Client
 	// MaxRetries bounds how many times Submit retries a queue-full
-	// (429) rejection before surfacing the error; each retry honors
-	// the server's Retry-After with jittered exponential backoff and
-	// respects the submission context. 0 disables retries (NewClient
-	// sets 3).
+	// (429) rejection — and how many times it rotates past a draining
+	// or unreachable ring member — before surfacing the error; each
+	// retry honors the server's Retry-After with jittered exponential
+	// backoff and respects the submission context. 0 disables retries
+	// (NewClient sets 3).
 	MaxRetries int
 	// Logger, when non-nil, records each retry as a "client.retry"
 	// event (attempt number, wait, trace ID).
 	Logger *slog.Logger
+
+	// cur indexes the sticky member in Addrs.
+	cur atomic.Int32
 }
 
 // NewClient builds a client for addr ("host:port" or full URL).
 func NewClient(addr string) *Client {
+	return &Client{BaseURL: normalizeAddr(addr), MaxRetries: 3}
+}
+
+// NewRingClient builds a client over every ring member, in preference
+// order (the caller typically passes ring.Sequence(key) so the key's
+// owner is tried first). A single address degrades to NewClient.
+func NewRingClient(addrs []string) *Client {
+	c := &Client{MaxRetries: 3}
+	for _, a := range addrs {
+		c.Addrs = append(c.Addrs, normalizeAddr(a))
+	}
+	if len(c.Addrs) > 0 {
+		c.BaseURL = c.Addrs[0]
+	}
+	return c
+}
+
+func normalizeAddr(addr string) string {
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
 	}
-	return &Client{BaseURL: strings.TrimRight(addr, "/"), MaxRetries: 3}
+	return strings.TrimRight(addr, "/")
+}
+
+// addr returns the sticky member the client currently talks to.
+func (c *Client) addr() string {
+	if len(c.Addrs) == 0 {
+		return c.BaseURL
+	}
+	return c.Addrs[int(c.cur.Load())%len(c.Addrs)]
+}
+
+// advance rotates to the next ring member. With a single address it is
+// a no-op (the retry loop then just re-tries the same member).
+func (c *Client) advance() {
+	if len(c.Addrs) > 1 {
+		c.cur.Add(1)
+	}
 }
 
 func (c *Client) http() *http.Client {
@@ -81,7 +133,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		}
 		rd = bytes.NewReader(b)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, c.addr()+path, rd)
 	if err != nil {
 		return err
 	}
@@ -119,11 +171,35 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	return json.Unmarshal(data, out)
 }
 
+// retryableSubmit classifies a Submit failure: a queue-full rejection
+// (429) retries the same member after backoff; a draining member (503
+// with kind "draining") or an unreachable one (transport error) means
+// this member is leaving the ring — rotate to the next member, with
+// the same jittered backoff. Anything else is terminal.
+func retryableSubmit(err error) (retry, rotate bool, ae *APIError) {
+	if errors.As(err, &ae) {
+		switch {
+		case ae.Status == http.StatusTooManyRequests:
+			return true, false, ae
+		case ae.Status == http.StatusServiceUnavailable && ae.Kind == "draining":
+			return true, true, ae
+		}
+		return false, false, ae
+	}
+	var ue *url.Error
+	if errors.As(err, &ue) {
+		return true, true, nil
+	}
+	return false, false, nil
+}
+
 // Submit posts one job. A queue-full rejection (429) is retried up to
 // MaxRetries times, honoring the server's Retry-After with jittered
-// exponential backoff; the submission context bounds the whole loop.
-// Retrying with the same trace ID is safe — the server's telemetry
-// joins the attempts into one logical request.
+// exponential backoff; a draining (503) or unreachable ring member is
+// retried on the next member under the same backoff. The submission
+// context bounds the whole loop. Retrying with the same trace ID is
+// safe — the server's telemetry joins the attempts into one logical
+// request, and the content key makes a duplicate submission coalesce.
 func (c *Client) Submit(ctx context.Context, req Request) (SubmitResponse, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -131,29 +207,40 @@ func (c *Client) Submit(ctx context.Context, req Request) (SubmitResponse, error
 	var resp SubmitResponse
 	for attempt := 0; ; attempt++ {
 		err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &resp)
-		var ae *APIError
-		if err == nil || attempt >= c.MaxRetries ||
-			!errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests {
+		if err == nil || attempt >= c.MaxRetries {
 			return resp, err
 		}
-		// Keep the server-assigned trace ID across attempts so the
-		// retries share one trace.
-		if req.TraceID == "" {
-			req.TraceID = ae.TraceID
+		retry, rotate, ae := retryableSubmit(err)
+		if !retry {
+			return resp, err
 		}
-		wait := ae.RetryAfter
+		var wait time.Duration
+		msg := err.Error()
+		if ae != nil {
+			// Keep the server-assigned trace ID across attempts so the
+			// retries share one trace.
+			if req.TraceID == "" {
+				req.TraceID = ae.TraceID
+			}
+			wait = ae.RetryAfter
+			msg = ae.Msg
+		}
+		if rotate {
+			c.advance()
+		}
 		if wait <= 0 {
 			wait = 100 * time.Millisecond << attempt
 		}
 		// Full jitter on top of the base wait desynchronizes clients
-		// that were rejected by the same full queue.
+		// that were rejected by the same full queue (or are failing
+		// over from the same draining shard).
 		wait += time.Duration(rand.Int63n(int64(wait) + 1))
 		if c.Logger != nil {
 			c.Logger.LogAttrs(ctx, slog.LevelWarn, "client.retry",
 				slog.Int(logx.KeyAttempt, attempt+1),
 				slog.String(logx.KeyTrace, req.TraceID),
 				slog.Float64(logx.KeyMS, float64(wait)/float64(time.Millisecond)),
-				slog.String(logx.KeyError, ae.Msg))
+				slog.String(logx.KeyError, msg))
 		}
 		select {
 		case <-ctx.Done():
@@ -216,7 +303,7 @@ func (c *Client) Result(ctx context.Context, id string) (*JobResult, error) {
 // ResultBytes fetches the raw stored result payload (byte-identical
 // across identical requests — the cache serves stored bytes verbatim).
 func (c *Client) ResultBytes(ctx context.Context, id string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/result", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.addr()+"/v1/jobs/"+id+"/result", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -239,19 +326,151 @@ func (c *Client) ResultBytes(ctx context.Context, id string) ([]byte, error) {
 	return data, nil
 }
 
-// Run submits a job and waits for its result in one call.
+// RunInfo describes how a RunBytes call obtained its result: where the
+// job ran, whether it was a cache hit, and how many times it survived a
+// member leaving the ring.
+type RunInfo struct {
+	// Status is the final job status (zero-valued when Submit failed).
+	Status JobStatus
+	// JobID is the job on Member that produced (or held) the result.
+	JobID string
+	// Member is the base URL of the ring member that served the result.
+	Member string
+	// Cached marks a submission served from a result cache (local or a
+	// peer's, via the cluster peek protocol).
+	Cached bool
+	// Resubmits counts how many times the job was resubmitted because a
+	// member drained (handing the job off) or became unreachable.
+	Resubmits int
+	// HandedOff is set when at least one resubmission was caused by a
+	// drain handoff (as opposed to a dead member).
+	HandedOff bool
+}
+
+// Run submits a job and waits for its decoded result in one call.
 func (c *Client) Run(ctx context.Context, req Request) (*JobResult, JobStatus, error) {
-	sub, err := c.Submit(ctx, req)
+	data, info, err := c.RunBytes(ctx, req)
 	if err != nil {
-		return nil, JobStatus{}, err
+		return nil, info.Status, err
 	}
-	st, err := c.Wait(ctx, sub.ID)
+	var jr JobResult
+	if err := json.Unmarshal(data, &jr); err != nil {
+		return nil, info.Status, err
+	}
+	return &jr, info.Status, nil
+}
+
+// RunBytes submits a job, waits, and returns the stored result bytes
+// verbatim (the byte-identity surface of the cache). On a ring it also
+// rides out a member leaving mid-job: when the member dies (transport
+// error while polling) or drains and hands the queued job to a peer
+// (terminal status with HandedOff set), the request is resubmitted to
+// the next member — content addressing makes the resubmit cheap (a
+// cache hit if any shard already solved it, a coalesce if one is
+// mid-solve) and byte-identical.
+func (c *Client) RunBytes(ctx context.Context, req Request) ([]byte, RunInfo, error) {
+	if req.TraceID == "" {
+		// Pin one trace ID up front so every resubmission of this
+		// logical request joins the same trace.
+		req.TraceID = string(obs.NewTraceID())
+	}
+	var info RunInfo
+	for {
+		sub, err := c.Submit(ctx, req)
+		if err != nil {
+			return nil, info, err
+		}
+		info.JobID, info.Member, info.Cached = sub.ID, c.addr(), sub.Cached
+		st, err := c.Wait(ctx, sub.ID)
+		info.Status = st
+		resubmit := false
+		switch {
+		case err != nil:
+			var ue *url.Error
+			if !errors.As(err, &ue) {
+				return nil, info, err
+			}
+			resubmit = true // member died mid-poll; the result lives in the ring
+		case st.State == StateCanceled && st.HandedOff:
+			resubmit = true
+			info.HandedOff = true // drain handed the job to a peer
+		}
+		if resubmit {
+			if info.Resubmits >= c.MaxRetries {
+				return nil, info, fmt.Errorf("service: job %s lost after %d resubmits", sub.ID, info.Resubmits)
+			}
+			info.Resubmits++
+			c.advance()
+			if c.Logger != nil {
+				c.Logger.LogAttrs(ctx, slog.LevelWarn, "client.resubmit",
+					slog.Int(logx.KeyAttempt, info.Resubmits),
+					slog.String(logx.KeyTrace, req.TraceID),
+					slog.String(logx.KeyJob, sub.ID))
+			}
+			continue
+		}
+		if st.State != StateDone {
+			return nil, info, fmt.Errorf("service: job %s %s: %s", st.ID, st.State, st.Error)
+		}
+		if st.Cached {
+			info.Cached = true
+		}
+		data, err := c.ResultBytes(ctx, sub.ID)
+		return data, info, err
+	}
+}
+
+// Sweep posts a bulk corner × load × seed matrix to POST /v1/sweep and
+// streams the response: fn is called once per JSON line as it arrives
+// (cells in completion order, then the EOF summary line). A non-nil
+// error from fn aborts the stream and is returned verbatim, so a
+// caller can stop early without draining the sweep.
+func (c *Client) Sweep(ctx context.Context, sw SweepRequest, fn func(SweepLine) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	body, err := json.Marshal(sw)
 	if err != nil {
-		return nil, st, err
+		return err
 	}
-	if st.State != StateDone {
-		return nil, st, fmt.Errorf("service: job %s %s: %s", st.ID, st.State, st.Error)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.addr()+"/v1/sweep", bytes.NewReader(body))
+	if err != nil {
+		return err
 	}
-	jr, err := c.Result(ctx, sub.ID)
-	return jr, st, err
+	req.Header.Set("Content-Type", "application/json")
+	if sw.Base.TraceID != "" {
+		req.Header.Set(TraceIDHeader, sw.Base.TraceID)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		ae := &APIError{Status: resp.StatusCode, TraceID: resp.Header.Get(TraceIDHeader)}
+		var he httpError
+		if json.Unmarshal(data, &he) == nil && he.Error != "" {
+			ae.Kind, ae.Msg = he.Kind, he.Error
+		} else {
+			ae.Msg = strings.TrimSpace(string(data))
+		}
+		return ae
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var line SweepLine
+		if err := dec.Decode(&line); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		if err := fn(line); err != nil {
+			return err
+		}
+		if line.EOF {
+			return nil
+		}
+	}
 }

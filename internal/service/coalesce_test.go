@@ -1,0 +1,86 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"opera/internal/grid"
+	"opera/internal/obs"
+)
+
+// TestCoalesceAcrossPriorities: the same content key arriving at both
+// priorities while the first submission is still in flight coalesces
+// everything onto the one running job — one solve serves interactive
+// and batch callers alike, and every waiter gets the same bytes.
+func TestCoalesceAcrossPriorities(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newTestServer(t, Options{
+		ConcurrentJobs: 1,
+		QueueDepth:     8,
+		CacheBytes:     16 << 20,
+		Registry:       reg,
+	})
+
+	// Slow enough to still be in flight when the twins arrive, but
+	// cacheable (NoCache would opt out of coalescing).
+	spec := grid.DefaultSpec(64, 77)
+	req := Request{Grid: &spec, Steps: 2000, Step: 1e-12}
+
+	first, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batch := req
+	batch.Priority = PriorityBatch
+	bsub, err := s.Submit(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter := req
+	inter.Priority = PriorityInteractive
+	isub, err := s.Submit(inter)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, sub := range []SubmitResponse{bsub, isub} {
+		if !sub.Coalesced {
+			t.Errorf("submission %+v did not coalesce", sub)
+		}
+		if sub.ID != first.ID {
+			t.Errorf("coalesced onto %s, want the in-flight job %s", sub.ID, first.ID)
+		}
+		if sub.TraceID != first.TraceID {
+			t.Errorf("coalesced trace %s, want the in-flight job's %s", sub.TraceID, first.TraceID)
+		}
+	}
+	if got := reg.Counter("service.jobs_coalesced_total").Value(); got != 2 {
+		t.Errorf("jobs_coalesced_total = %d, want 2", got)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	st, err := s.Wait(ctx, first.ID)
+	if err != nil || st.State != StateDone {
+		t.Fatalf("job ended %s err %v, want done", st.State, err)
+	}
+	if got := reg.Counter("service.jobs_completed_total").Value(); got != 1 {
+		t.Errorf("jobs_completed_total = %d, want exactly 1 solve", got)
+	}
+
+	// Everyone reads the same stored bytes.
+	a, _, err := s.Result(first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := s.Result(bsub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("coalesced waiters read different result bytes")
+	}
+}

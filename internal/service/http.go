@@ -17,6 +17,12 @@ import (
 // rejections — and on status/result responses.
 const TraceIDHeader = "X-Opera-Trace-Id"
 
+// CacheKeyHeader carries the canonical content key (the sha256 of the
+// normalized request — the result-cache and ring-placement address) on
+// submission, status and result responses, so clients and the cluster
+// router can address a result without recomputing the hash.
+const CacheKeyHeader = "X-Opera-Cache-Key"
+
 // maxRequestBytes bounds the JSON request body independently of the
 // netlist limits (the netlist rides inside the JSON, so this must be a
 // little larger than Limits.MaxBytes).
@@ -43,6 +49,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/jobs/{id}", s.instrument("status", s.handleStatus))
 	mux.Handle("GET /v1/jobs/{id}/result", s.instrument("result", s.handleResult))
 	mux.Handle("DELETE /v1/jobs/{id}", s.instrument("cancel", s.handleCancel))
+	mux.Handle("GET /cache/{key}", s.instrument("cache_peek", s.handleCachePeek))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
@@ -165,6 +172,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if resp.TraceID != "" {
 		w.Header().Set(TraceIDHeader, resp.TraceID)
 	}
+	if resp.Key != "" {
+		w.Header().Set(CacheKeyHeader, resp.Key)
+	}
 	if err != nil {
 		s.writeErrorTrace(w, err, resp.TraceID)
 		return
@@ -189,6 +199,9 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if st.TraceID != "" {
 		w.Header().Set(TraceIDHeader, st.TraceID)
 	}
+	if st.Key != "" {
+		w.Header().Set(CacheKeyHeader, st.Key)
+	}
 	writeJSON(w, http.StatusOK, st)
 }
 
@@ -201,6 +214,27 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	if st.TraceID != "" {
 		w.Header().Set(TraceIDHeader, st.TraceID)
 	}
+	if st.Key != "" {
+		w.Header().Set(CacheKeyHeader, st.Key)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// handleCachePeek serves the local result cache by content key — the
+// cluster's peer-peek protocol. The stored bytes are returned verbatim
+// (the same bytes /v1/jobs/{id}/result would serve), so a replay
+// through any shard stays byte-identical. A miss is 404 with kind
+// "cache_miss"; peers treat every failure as a miss and solve locally.
+func (s *Server) handleCachePeek(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	data, ok := s.cache.Peek(key)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, httpError{Error: "not cached", Kind: "cache_miss"})
+		return
+	}
+	s.mPeerServes.Inc()
+	w.Header().Set(CacheKeyHeader, key)
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(data)
 }

@@ -22,11 +22,13 @@ import (
 
 // Fault sites. Each names one hook in the service layer.
 const (
-	SiteJournalWrite = "journal.write"    // journal.record drops the line
-	SiteCacheStore   = "cache.put"        // Cache.Put silently refuses
-	SiteWorkerPanic  = "worker.panic"     // execute panics mid-solve
-	SiteStall        = "worker.stall"     // execute hangs until canceled
-	SiteCrashCkpt    = "checkpoint.crash" // crash between ckpt tmp write and rename
+	SiteJournalWrite = "journal.write"     // journal.record drops the line
+	SiteCacheStore   = "cache.put"         // Cache.Put silently refuses
+	SiteWorkerPanic  = "worker.panic"      // execute panics mid-solve
+	SiteStall        = "worker.stall"      // execute hangs until canceled
+	SiteCrashCkpt    = "checkpoint.crash"  // crash between ckpt tmp write and rename
+	SitePeekTimeout  = "peer.peek_timeout" // a peer cache peek times out (treated as miss)
+	SiteHandoffCrash = "handoff.crash"     // process dies before a drain handoff send
 )
 
 // Faults describes the active fault set: a per-site firing rate in
@@ -41,6 +43,8 @@ type Faults struct {
 	WorkerPanic           float64
 	ArtificialStall       float64
 	CrashBeforeCheckpoint float64
+	PeerPeekTimeout       float64
+	HandoffCrash          float64
 
 	mu       sync.Mutex
 	counters map[string]*uint64
@@ -137,4 +141,23 @@ func StallPoint() bool {
 func CrashBeforeCheckpoint() bool {
 	f := active.Load()
 	return f != nil && f.fire(SiteCrashCkpt, f.CrashBeforeCheckpoint)
+}
+
+// PeekTimeout reports whether this peer cache peek should be abandoned
+// as if the peer never answered inside the peek budget. The peek
+// contract is miss-tolerant, so the only acceptable consequence is a
+// local solve that the peer's cache could have saved.
+func PeekTimeout() bool {
+	f := active.Load()
+	return f != nil && f.fire(SitePeekTimeout, f.PeerPeekTimeout)
+}
+
+// HandoffCrash reports whether the draining process should "die"
+// before sending this queued job to its ring peer — the handoff
+// equivalent of the checkpoint crash site. The journal still holds the
+// job's submit record, so a restart replays it; nothing is lost,
+// only the warm handoff.
+func HandoffCrash() bool {
+	f := active.Load()
+	return f != nil && f.fire(SiteHandoffCrash, f.HandoffCrash)
 }

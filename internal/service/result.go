@@ -96,6 +96,12 @@ type JobResult struct {
 	// the ID of the job that originally solved (the cache serves bytes
 	// verbatim); the response headers carry the current request's ID.
 	TraceID string `json:"trace_id,omitempty"`
+	// Key is the canonical content key of the request that produced
+	// this result (sha256 of the normalized request — the cache and
+	// ring-placement address, also in the X-Opera-Cache-Key header), so
+	// a client holding only result bytes can re-address them anywhere
+	// on the cluster without recomputing the hash.
+	Key string `json:"key,omitempty"`
 
 	Kind  string  `json:"kind"`
 	N     int     `json:"n"`

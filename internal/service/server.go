@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"runtime"
 	"strings"
 	"sync"
@@ -133,6 +134,20 @@ type Options struct {
 	// ProfileRingSize bounds the capture ring (a cpu+heap pair is two
 	// entries). Default 16 when SLOProfileAfter is set.
 	ProfileRingSize int
+	// Peers lists the other shards' base URLs for cluster peer mode:
+	// on a local cache miss the shard peeks each peer's /cache/{key}
+	// (bounded by PeekTimeout, miss-tolerant) before solving, and on
+	// drain it hands queued jobs to their ring owners instead of merely
+	// finishing them. Empty disables peer mode. SetPeers can change the
+	// list later.
+	Peers []string
+	// SelfURL is this shard's own base URL; it is filtered out of
+	// Peers so a shared symmetric peer list never makes a shard peek
+	// itself.
+	SelfURL string
+	// PeekTimeout bounds one peer cache lookup on the submission path.
+	// 0 means 150ms.
+	PeekTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -177,6 +192,11 @@ type job struct {
 	state    string
 	cached   bool
 	degraded bool
+	// handedOff marks a queued job a draining shard sent to peer (a
+	// ring member's URL) instead of solving; the local record is
+	// terminal StateCanceled with ErrHandedOff.
+	handedOff bool
+	peer      string
 	result   []byte
 	err      error
 	diag     *numguard.Diagnosis
@@ -233,14 +253,19 @@ type SubmitResponse struct {
 
 // JobStatus is the wire form of a job's current state.
 type JobStatus struct {
-	ID        string              `json:"id"`
-	Key       string              `json:"key"`
-	TraceID   string              `json:"trace_id,omitempty"`
-	State     string              `json:"state"`
-	Cached    bool                `json:"cached,omitempty"`
-	Degraded  bool                `json:"degraded,omitempty"`
-	Error     string              `json:"error,omitempty"`
-	Canceled  bool                `json:"canceled,omitempty"`
+	ID       string `json:"id"`
+	Key      string `json:"key"`
+	TraceID  string `json:"trace_id,omitempty"`
+	State    string `json:"state"`
+	Cached   bool   `json:"cached,omitempty"`
+	Degraded bool   `json:"degraded,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Canceled bool   `json:"canceled,omitempty"`
+	// HandedOff marks a job a draining shard sent to Peer (a ring
+	// member's base URL); resubmitting the same request there — or
+	// anywhere on the ring — joins the peer's run via cache/coalesce.
+	HandedOff bool                `json:"handed_off,omitempty"`
+	Peer      string              `json:"peer,omitempty"`
 	Diagnosis *numguard.Diagnosis `json:"diagnosis,omitempty"`
 	QueuedMS  float64             `json:"queued_ms,omitempty"`
 	RunMS     float64             `json:"run_ms,omitempty"`
@@ -260,6 +285,10 @@ type Server struct {
 	// profiles holds the SLO-breach pprof captures (nil when
 	// SLOProfileAfter is unset); served at /debug/profiles.
 	profiles *obs.ProfileRing
+	// peers is the cluster peer view (nil when peer mode is off);
+	// peerHTTP is the shared transport for peeks and handoffs.
+	peers    peersPtr
+	peerHTTP *http.Client
 
 	mu          sync.Mutex
 	cond        *sync.Cond
@@ -269,6 +298,10 @@ type Server struct {
 	inflight    map[string]*job // content key → queued/running job
 	seq         int64
 	draining    bool
+	// handingOff parks idle workers during the drain's handoff pass,
+	// so a job requeued by a failed handoff still has a worker to
+	// solve it (see Shutdown).
+	handingOff bool
 
 	workers  sync.WaitGroup
 	baseCtx  context.Context
@@ -300,6 +333,16 @@ type Server struct {
 	mResumes      *obs.Counter
 	mStalls       *obs.Counter
 	mDegraded     *obs.Counter
+
+	// Cluster peer-mode instrumentation: cross-shard cache peeks
+	// (hit/miss/error), results this shard served to peers' peeks, and
+	// drain handoffs with their failures.
+	mPeekHits     *obs.Counter
+	mPeekMisses   *obs.Counter
+	mPeekErrors   *obs.Counter
+	mPeerServes   *obs.Counter
+	mHandoffs     *obs.Counter
+	mHandoffFails *obs.Counter
 }
 
 // New builds and starts a server: the worker pool is live and, when a
@@ -345,7 +388,16 @@ func New(opts Options) (*Server, error) {
 		mResumes:      opts.Registry.Counter("service.resumes_total"),
 		mStalls:       opts.Registry.Counter("service.stalls_total"),
 		mDegraded:     opts.Registry.Counter("service.jobs_degraded_total"),
+
+		mPeekHits:     opts.Registry.Counter("service.peer_peek_hits_total"),
+		mPeekMisses:   opts.Registry.Counter("service.peer_peek_misses_total"),
+		mPeekErrors:   opts.Registry.Counter("service.peer_peek_errors_total"),
+		mPeerServes:   opts.Registry.Counter("service.cache_peer_serves_total"),
+		mHandoffs:     opts.Registry.Counter("service.handoff_jobs_total"),
+		mHandoffFails: opts.Registry.Counter("service.handoff_failures_total"),
+		peerHTTP:      &http.Client{},
 	}
+	s.SetPeers(opts.SelfURL, opts.Peers)
 	s.cond = sync.NewCond(&s.mu)
 	if opts.SLOProfileAfter > 0 {
 		s.profiles = obs.NewProfileRing(opts.ProfileRingSize)
@@ -467,8 +519,10 @@ func (s *Server) Readiness() (ok bool, reason string, depth int) {
 // Submit validates, normalizes and admits one request. The fast paths
 // never touch the queue: a content-key hit on the result cache returns
 // a completed job immediately, and a key matching an in-flight job
-// coalesces onto it. Otherwise the job is enqueued under its priority,
-// or rejected with ErrQueueFull / ErrDraining.
+// coalesces onto it. In peer mode a local miss additionally peeks the
+// ring peers' caches (bounded, miss-tolerant) before committing to a
+// solve. Otherwise the job is enqueued under its priority, or rejected
+// with ErrQueueFull / ErrDraining.
 func (s *Server) Submit(req Request) (SubmitResponse, error) {
 	req.Normalize()
 	if err := req.Validate(); err != nil {
@@ -485,37 +539,41 @@ func (s *Server) Submit(req Request) (SubmitResponse, error) {
 	key := req.Key()
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.draining {
+		s.mu.Unlock()
 		return SubmitResponse{TraceID: req.TraceID}, ErrDraining
 	}
 	s.mSubmitted.Inc()
-	if !req.NoCache {
-		if data, ok := s.cache.Get(key); ok {
-			j := s.newJobLocked(req, key, "")
-			j.state = StateDone
-			j.cached = true
-			j.result = data
-			j.finished = j.submitted
-			close(j.done)
-			if j.log != nil {
-				j.event("job.cache_hit", slog.String(logx.KeyKey, key))
-			}
-			s.flight.Record(obs.FlightEntry{
-				TraceID: j.traceID, JobID: j.id, State: StateDone,
-				Analysis: req.Analysis, Priority: req.Priority,
-				Cached: true, Submitted: j.submitted, Log: j.tail.Lines(),
-			})
-			return SubmitResponse{ID: j.id, Key: key, State: StateDone, Cached: true, TraceID: j.traceID}, nil
-		}
-		if prior, ok := s.inflight[key]; ok {
-			s.mCoalesced.Inc()
+	if resp, ok := s.fastPathLocked(req, key); ok {
+		s.mu.Unlock()
+		return resp, nil
+	}
+	if !req.NoCache && s.peers.Load() != nil {
+		// Local miss, no in-flight twin: peek the ring before paying
+		// for a solve. The peek runs outside the server mutex (it
+		// blocks for up to PeekTimeout per peer); on a hit the peer's
+		// bytes are installed locally and the fast path re-run, so the
+		// response is a normal cache hit serving the peer's bytes
+		// verbatim. The world may have changed while unlocked — drain,
+		// a racing identical submission — so everything is re-checked.
+		s.mu.Unlock()
+		if data, peer := s.peekPeers(key); data != nil {
+			s.cache.Put(key, data)
 			if s.log != nil {
-				s.log.LogAttrs(context.Background(), slog.LevelInfo, "job.coalesce",
+				s.log.LogAttrs(context.Background(), slog.LevelInfo, "job.peer_hit",
 					slog.String(logx.KeyTrace, req.TraceID),
-					slog.String(logx.KeyOnto, prior.id))
+					slog.String(logx.KeyKey, key),
+					slog.String(logx.KeyPeer, peer))
 			}
-			return SubmitResponse{ID: prior.id, Key: key, State: prior.state, Coalesced: true, TraceID: prior.traceID}, nil
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			return SubmitResponse{TraceID: req.TraceID}, ErrDraining
+		}
+		if resp, ok := s.fastPathLocked(req, key); ok {
+			s.mu.Unlock()
+			return resp, nil
 		}
 	}
 	j, err := s.enqueueLocked(req, "")
@@ -526,12 +584,50 @@ func (s *Server) Submit(req Request) (SubmitResponse, error) {
 				slog.String(logx.KeyError, err.Error()),
 				slog.Int(logx.KeyDepth, len(s.interactive)+len(s.batch)))
 		}
+		s.mu.Unlock()
 		return SubmitResponse{TraceID: req.TraceID}, err
 	}
 	if s.journal != nil {
 		s.journal.record(journalRecord{Event: journalSubmit, ID: j.id, Key: key, Req: &j.req})
 	}
+	s.mu.Unlock()
 	return SubmitResponse{ID: j.id, Key: key, State: StateQueued, TraceID: j.traceID}, nil
+}
+
+// fastPathLocked serves a submission without a solve when possible: a
+// result-cache hit returns a completed job, an in-flight twin
+// coalesces. Requires s.mu; reports whether it produced a response.
+func (s *Server) fastPathLocked(req Request, key string) (SubmitResponse, bool) {
+	if req.NoCache {
+		return SubmitResponse{}, false
+	}
+	if data, ok := s.cache.Get(key); ok {
+		j := s.newJobLocked(req, key, "")
+		j.state = StateDone
+		j.cached = true
+		j.result = data
+		j.finished = j.submitted
+		close(j.done)
+		if j.log != nil {
+			j.event("job.cache_hit", slog.String(logx.KeyKey, key))
+		}
+		s.flight.Record(obs.FlightEntry{
+			TraceID: j.traceID, JobID: j.id, State: StateDone,
+			Analysis: req.Analysis, Priority: req.Priority,
+			Cached: true, Submitted: j.submitted, Log: j.tail.Lines(),
+		})
+		return SubmitResponse{ID: j.id, Key: key, State: StateDone, Cached: true, TraceID: j.traceID}, true
+	}
+	if prior, ok := s.inflight[key]; ok {
+		s.mCoalesced.Inc()
+		if s.log != nil {
+			s.log.LogAttrs(context.Background(), slog.LevelInfo, "job.coalesce",
+				slog.String(logx.KeyTrace, req.TraceID),
+				slog.String(logx.KeyOnto, prior.id))
+		}
+		return SubmitResponse{ID: prior.id, Key: key, State: prior.state, Coalesced: true, TraceID: prior.traceID}, true
+	}
+	return SubmitResponse{}, false
 }
 
 // checkLimits rejects oversized inputs at admission, before they cost
@@ -667,7 +763,7 @@ func (s *Server) nextJob() *job {
 			s.batch = s.batch[1:]
 			return s.claimLocked(j)
 		}
-		if s.draining {
+		if s.draining && !s.handingOff {
 			return nil
 		}
 		s.cond.Wait()
@@ -1005,6 +1101,7 @@ func (s *Server) execute(j *job) ([]byte, error) {
 	}
 	tr.Finish()
 	jr.TraceID = j.traceID
+	jr.Key = j.key
 	j.guard = jr.Guard
 	j.health = jr.Health
 	if jr.Guard != nil {
@@ -1130,8 +1227,10 @@ func (s *Server) statusLocked(j *job) JobStatus {
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()
-		st.Canceled = errors.Is(j.err, cancel.ErrCanceled)
+		st.Canceled = errors.Is(j.err, cancel.ErrCanceled) || errors.Is(j.err, ErrHandedOff)
 	}
+	st.HandedOff = j.handedOff
+	st.Peer = j.peer
 	st.Diagnosis = j.diag
 	if !j.started.IsZero() {
 		st.QueuedMS = float64(j.started.Sub(j.submitted)) / float64(time.Millisecond)
@@ -1256,19 +1355,41 @@ func (s *Server) Wait(ctx context.Context, id string) (JobStatus, error) {
 }
 
 // Shutdown drains the server: new submissions are rejected and
-// readiness flips immediately; queued and running jobs are given until
+// readiness flips immediately; in peer mode the still-queued jobs are
+// handed to their ring owners first (a job no peer accepts is requeued
+// and solved locally); queued and running jobs are then given until
 // ctx is done to finish, after which everything outstanding is
 // canceled (the solve paths return within one step) and the workers
 // are awaited. The journal is closed last. Safe to call once.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
-	queued := len(s.interactive) + len(s.batch)
+	var handoff []*job
+	if s.peers.Load() != nil {
+		// Claim the whole queue for handoff before any worker can.
+		// handingOff keeps idle workers parked (not exited) until the
+		// handoff pass finishes: a job whose handoff fails — peer down,
+		// injected crash — is requeued, and a worker must still be
+		// alive to solve it. Handing off is an optimization of drain,
+		// never a way to lose work.
+		handoff = append(append([]*job{}, s.interactive...), s.batch...)
+		s.interactive, s.batch = nil, nil
+		s.mQueueDepth.Set(0)
+		s.handingOff = len(handoff) > 0
+	}
+	queued := len(handoff) + len(s.interactive) + len(s.batch)
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	if s.log != nil {
 		s.log.LogAttrs(context.Background(), slog.LevelInfo, "service.drain",
 			slog.Int(logx.KeyDepth, queued))
+	}
+	s.handoffQueued(handoff)
+	if len(handoff) > 0 {
+		s.mu.Lock()
+		s.handingOff = false
+		s.cond.Broadcast()
+		s.mu.Unlock()
 	}
 
 	drained := make(chan struct{})

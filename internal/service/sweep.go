@@ -1,0 +1,226 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"opera/internal/grid"
+	"opera/internal/mna"
+)
+
+// MaxSweepJobs bounds one sweep's corner × load × seed expansion. The
+// limit protects the router and the shards from a fat-fingered matrix,
+// not the cluster's throughput — a larger campaign is just several
+// sweeps.
+const MaxSweepJobs = 4096
+
+// SweepCorner is one process-variation corner of a sweep: a name for
+// the stream output and an optional VariationSpec override (nil keeps
+// the base request's variation model).
+type SweepCorner struct {
+	Name      string             `json:"name,omitempty"`
+	Variation *mna.VariationSpec `json:"variation,omitempty"`
+}
+
+// SweepLoad is one load condition of a sweep. Exactly one of Grid,
+// Netlist or PeakDropFrac may be set: a full circuit override, or —
+// the common case — a rescaled switching load on the base request's
+// generated grid. The zero value keeps the base circuit.
+type SweepLoad struct {
+	Name    string     `json:"name,omitempty"`
+	Grid    *grid.Spec `json:"grid,omitempty"`
+	Netlist string     `json:"netlist,omitempty"`
+	// PeakDropFrac overrides the base grid spec's worst nominal DC
+	// drop calibration (the "how hard are the blocks switching" knob).
+	PeakDropFrac float64 `json:"peak_drop_frac,omitempty"`
+}
+
+// SweepRequest is the bulk API's wire form: a base request plus the
+// corner × load × seed axes it is swept over. Empty axes contribute a
+// single identity element, so any subset of the three may be used.
+//
+// Expansion is deterministic: job i always denotes the same
+// (corner, load, seed) cell with the same content key, which is what
+// makes a sweep resumable — a client that re-POSTs the same
+// SweepRequest (optionally listing the indices it already holds in
+// Done) gets the missing cells, and completed cells are cache hits on
+// whichever shard solved them.
+type SweepRequest struct {
+	Base    Request       `json:"base"`
+	Corners []SweepCorner `json:"corners,omitempty"`
+	Loads   []SweepLoad   `json:"loads,omitempty"`
+	Seeds   []int64       `json:"seeds,omitempty"`
+
+	// SweepID names the sweep in every stream line; empty derives a
+	// deterministic ID from the expanded content keys.
+	SweepID string `json:"sweep_id,omitempty"`
+	// Done lists job indices the client already holds (from an earlier,
+	// interrupted stream); they are skipped, not re-streamed.
+	Done []int `json:"done,omitempty"`
+}
+
+// SweepJob is one expanded cell of the matrix.
+type SweepJob struct {
+	Index  int
+	Corner string
+	Load   string
+	Seed   int64
+	Req    Request
+}
+
+// Expand materializes the corner × load × seed matrix into individual
+// requests, index-ordered (seed fastest, then load, then corner).
+// Every expanded request is normalized and validated, so a bad matrix
+// fails before any job is submitted. When the base request carries a
+// trace ID, each job gets a distinct ID derived from it (base ID and
+// cell index → 32 hex), so a whole sweep is joinable in the shards'
+// telemetry; otherwise trace IDs are left empty for the submitter to
+// mint.
+func (sw *SweepRequest) Expand() ([]SweepJob, error) {
+	corners := sw.Corners
+	if len(corners) == 0 {
+		corners = []SweepCorner{{}}
+	}
+	loads := sw.Loads
+	if len(loads) == 0 {
+		loads = []SweepLoad{{}}
+	}
+	seeds := sw.Seeds
+	hasSeeds := len(seeds) > 0
+	if !hasSeeds {
+		// Identity element: the cell keeps the base request's seeds
+		// untouched; the display seed reports the effective one.
+		seeds = []int64{sw.Base.Seed}
+		if sw.Base.Analysis != KindMC && sw.Base.Grid != nil {
+			seeds[0] = sw.Base.Grid.Seed
+		}
+	}
+	total := len(corners) * len(loads) * len(seeds)
+	if total > MaxSweepJobs {
+		return nil, fmt.Errorf("service: sweep expands to %d jobs, max %d", total, MaxSweepJobs)
+	}
+	jobs := make([]SweepJob, 0, total)
+	for ci, c := range corners {
+		for li, l := range loads {
+			for si, seed := range seeds {
+				idx := (ci*len(loads)+li)*len(seeds) + si
+				req := sw.Base
+				if c.Variation != nil {
+					v := *c.Variation
+					req.Variation = &v
+				}
+				switch {
+				case l.Grid != nil:
+					g := *l.Grid
+					req.Grid, req.Netlist = &g, ""
+				case l.Netlist != "":
+					req.Netlist, req.Grid = l.Netlist, nil
+				case l.PeakDropFrac != 0:
+					if req.Grid == nil {
+						return nil, fmt.Errorf("service: sweep load %q sets peak_drop_frac but the base request has no grid spec", l.Name)
+					}
+					g := *req.Grid
+					g.PeakDropFrac = l.PeakDropFrac
+					req.Grid = &g
+				case req.Grid != nil:
+					// Copy so the seed write below never aliases the
+					// base spec across cells.
+					g := *req.Grid
+					req.Grid = &g
+				}
+				// The seed axis: Monte Carlo sweeps vary the sampling
+				// seed; everything else varies the generated circuit's
+				// seed (block placement, current signatures).
+				if hasSeeds {
+					if req.Analysis == KindMC || sw.Base.Analysis == KindMC {
+						req.Seed = seed
+					} else if req.Grid != nil {
+						req.Grid.Seed = seed
+					} else {
+						req.Seed = seed
+					}
+				}
+				req.Normalize()
+				if err := req.Validate(); err != nil {
+					return nil, fmt.Errorf("service: sweep cell %d (corner %q, load %q, seed %d): %w",
+						idx, c.Name, l.Name, seed, err)
+				}
+				if sw.Base.TraceID != "" {
+					req.TraceID = deriveTraceID(sw.Base.TraceID, idx)
+				} else {
+					req.TraceID = ""
+				}
+				jobs = append(jobs, SweepJob{
+					Index: idx, Corner: c.Name, Load: l.Name, Seed: seed, Req: req,
+				})
+			}
+		}
+	}
+	return jobs, nil
+}
+
+// ID returns the sweep's identity: the caller's SweepID when set,
+// otherwise a deterministic digest of the expanded content keys — the
+// same matrix always gets the same ID, so resumption needs no server
+// state.
+func (sw *SweepRequest) ID(jobs []SweepJob) string {
+	if sw.SweepID != "" {
+		return sw.SweepID
+	}
+	h := sha256.New()
+	for _, j := range jobs {
+		h.Write([]byte(j.Req.Key()))
+	}
+	return "sweep-" + hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// deriveTraceID maps (base trace, cell index) to a distinct 32-hex
+// trace ID. Derivation instead of minting keeps a sweep's jobs
+// joinable: the first 16 hex of sha256(base:index) cannot collide with
+// the base ID in practice and is stable across resubmissions.
+func deriveTraceID(base string, index int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s:%d", base, index)))
+	return hex.EncodeToString(sum[:16])
+}
+
+// SweepLine is one JSON line of the bulk API's response stream: a
+// finished (or failed) cell of the matrix, emitted as it lands. The
+// final line of a stream has EOF set and carries the sweep totals
+// instead of a cell.
+type SweepLine struct {
+	SweepID string `json:"sweep_id"`
+	Index   int    `json:"index"`
+	Total   int    `json:"total"`
+
+	Corner string `json:"corner,omitempty"`
+	Load   string `json:"load,omitempty"`
+	Seed   int64  `json:"seed"`
+
+	// TraceID is the cell's own trace (distinct per cell); Key its
+	// content address; Shard the member that produced the result; JobID
+	// the shard-local job.
+	TraceID string `json:"trace_id,omitempty"`
+	Key     string `json:"key,omitempty"`
+	Shard   string `json:"shard,omitempty"`
+	JobID   string `json:"job_id,omitempty"`
+
+	State     string  `json:"state,omitempty"`
+	Cached    bool    `json:"cached,omitempty"`
+	Degraded  bool    `json:"degraded,omitempty"`
+	HandedOff bool    `json:"handed_off,omitempty"`
+	Resubmits int     `json:"resubmits,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+
+	// Result is the cell's stored result bytes, verbatim (present on
+	// done cells unless the sweep asked for summaries only).
+	Result json.RawMessage `json:"result,omitempty"`
+
+	// EOF marks the stream's trailing summary line, which carries the
+	// completed/failed cell counts instead of a cell.
+	EOF       bool `json:"eof,omitempty"`
+	DoneCells int  `json:"done,omitempty"`
+	Failed    int  `json:"failed,omitempty"`
+}

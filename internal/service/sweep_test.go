@@ -1,0 +1,178 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"opera/internal/grid"
+	"opera/internal/mna"
+)
+
+func sweepBase(seed int64) Request {
+	spec := grid.DefaultSpec(64, seed)
+	return Request{Grid: &spec, Steps: 3, Step: 1e-10}
+}
+
+// TestSweepExpandDeterministic: the same matrix always expands to the
+// same cells in the same order with the same content keys — the
+// property that makes sweeps resumable and cluster-cacheable.
+func TestSweepExpandDeterministic(t *testing.T) {
+	sw := SweepRequest{
+		Base: sweepBase(1),
+		Corners: []SweepCorner{
+			{Name: "tt"},
+			{Name: "ss", Variation: &mna.VariationSpec{KG: 0.1, KCL: 0.05, KIL: 0.05}},
+		},
+		Loads: []SweepLoad{{Name: "nom"}, {Name: "hot", PeakDropFrac: 0.12}},
+		Seeds: []int64{1, 2, 3},
+	}
+	a, err := sw.Expand()
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	b, err := sw.Expand()
+	if err != nil {
+		t.Fatalf("Expand (second): %v", err)
+	}
+	if len(a) != 2*2*3 {
+		t.Fatalf("expanded %d jobs, want 12", len(a))
+	}
+	keys := make(map[string]int)
+	for i := range a {
+		if a[i].Index != i {
+			t.Errorf("job %d has Index %d", i, a[i].Index)
+		}
+		ka, kb := a[i].Req.Key(), b[i].Req.Key()
+		if ka != kb {
+			t.Errorf("cell %d: keys differ across expansions: %s vs %s", i, ka, kb)
+		}
+		if prev, dup := keys[ka]; dup {
+			t.Errorf("cells %d and %d share content key %s", prev, i, ka)
+		}
+		keys[ka] = i
+	}
+	if sw.ID(a) != sw.ID(b) {
+		t.Errorf("sweep ID not deterministic: %s vs %s", sw.ID(a), sw.ID(b))
+	}
+	if !strings.HasPrefix(sw.ID(a), "sweep-") {
+		t.Errorf("derived sweep ID %q lacks sweep- prefix", sw.ID(a))
+	}
+}
+
+// TestSweepExpandAxes checks each axis lands in the normalized request:
+// corners override the variation model, loads rescale the drop
+// calibration, seeds land on the grid seed (or the MC sampling seed).
+func TestSweepExpandAxes(t *testing.T) {
+	sw := SweepRequest{
+		Base:    sweepBase(7),
+		Corners: []SweepCorner{{Name: "ff", Variation: &mna.VariationSpec{KG: 0.2, KCL: 0.1, KIL: 0.1}}},
+		Loads:   []SweepLoad{{Name: "hot", PeakDropFrac: 0.2}},
+		Seeds:   []int64{42},
+	}
+	jobs, err := sw.Expand()
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	j := jobs[0]
+	if j.Req.Variation == nil || j.Req.Variation.KG != 0.2 {
+		t.Errorf("corner variation not applied: %+v", j.Req.Variation)
+	}
+	if j.Req.Grid.PeakDropFrac != 0.2 {
+		t.Errorf("load PeakDropFrac not applied: %v", j.Req.Grid.PeakDropFrac)
+	}
+	if j.Req.Grid.Seed != 42 {
+		t.Errorf("seed axis not applied to grid seed: %v", j.Req.Grid.Seed)
+	}
+	if sw.Base.Grid.Seed == 42 {
+		t.Error("expansion mutated the base request's grid spec")
+	}
+
+	// MC sweeps vary the sampling seed instead of the circuit.
+	mc := SweepRequest{Base: sweepBase(7), Seeds: []int64{9, 10}}
+	mc.Base.Analysis = KindMC
+	mc.Base.Samples = 8
+	mcJobs, err := mc.Expand()
+	if err != nil {
+		t.Fatalf("Expand MC: %v", err)
+	}
+	if mcJobs[0].Req.Seed != 9 || mcJobs[1].Req.Seed != 10 {
+		t.Errorf("MC seeds not applied: %d, %d", mcJobs[0].Req.Seed, mcJobs[1].Req.Seed)
+	}
+	if mcJobs[0].Req.Grid.Seed != mcJobs[1].Req.Grid.Seed {
+		t.Error("MC sweep varied the circuit seed")
+	}
+}
+
+// TestSweepExpandTraceIDs: a base trace ID fans out into distinct,
+// derived per-cell IDs; no base ID leaves cells blank for the
+// submitter to mint.
+func TestSweepExpandTraceIDs(t *testing.T) {
+	sw := SweepRequest{Base: sweepBase(3), Seeds: []int64{1, 2, 3, 4}}
+	sw.Base.TraceID = strings.Repeat("ab", 16)
+	jobs, err := sw.Expand()
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if len(j.Req.TraceID) != 32 {
+			t.Errorf("cell %d trace ID %q is not 32 hex", j.Index, j.Req.TraceID)
+		}
+		if seen[j.Req.TraceID] {
+			t.Errorf("duplicate derived trace ID %s", j.Req.TraceID)
+		}
+		seen[j.Req.TraceID] = true
+	}
+
+	sw.Base.TraceID = ""
+	jobs, err = sw.Expand()
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	for _, j := range jobs {
+		if j.Req.TraceID != "" {
+			t.Errorf("cell %d has trace ID %q without a base ID", j.Index, j.Req.TraceID)
+		}
+	}
+}
+
+// TestSweepExpandErrors covers the failure modes: an over-size matrix,
+// a PeakDropFrac load without a grid to rescale, and an invalid cell.
+func TestSweepExpandErrors(t *testing.T) {
+	big := SweepRequest{Base: sweepBase(1), Seeds: make([]int64, MaxSweepJobs+1)}
+	if _, err := big.Expand(); err == nil {
+		t.Error("over-size sweep expanded without error")
+	}
+
+	noGrid := SweepRequest{
+		Base:  Request{Netlist: "* empty\n.end\n"},
+		Loads: []SweepLoad{{Name: "hot", PeakDropFrac: 0.2}},
+	}
+	if _, err := noGrid.Expand(); err == nil {
+		t.Error("PeakDropFrac load without a grid spec expanded without error")
+	}
+
+	bad := SweepRequest{Base: sweepBase(1)}
+	bad.Base.Analysis = "bogus"
+	if _, err := bad.Expand(); err == nil {
+		t.Error("invalid cell expanded without error")
+	}
+}
+
+// TestSweepEmptyAxes: a sweep with no axes is one cell — the base
+// request itself.
+func TestSweepEmptyAxes(t *testing.T) {
+	sw := SweepRequest{Base: sweepBase(5)}
+	jobs, err := sw.Expand()
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("expanded %d jobs, want 1", len(jobs))
+	}
+	base := sweepBase(5)
+	base.Normalize()
+	if jobs[0].Req.Key() != base.Key() {
+		t.Error("single-cell sweep changed the base request's content key")
+	}
+}
