@@ -58,6 +58,7 @@ func main() {
 		priority = flag.String("priority", "interactive", "remote job priority: interactive or batch")
 		timeout  = flag.Duration("timeout", 0, "remote job deadline; 0 = server default")
 		traceID  = flag.String("trace-id", "", "remote request trace ID (32 hex chars); empty = server mints one")
+		showTr   = flag.Bool("show-trace", false, "after a remote job completes, fetch and print its stitched cross-shard trace waterfall")
 		logLevel = flag.String("log-level", "warn", "remote client structured-log level: debug|info|warn|error|off")
 
 		sweepSeeds   = flag.String("sweep-seeds", "", "remote bulk sweep: comma-separated seed axis (e.g. 1,2,3)")
@@ -85,7 +86,7 @@ func main() {
 			}, *sweepOut, *logLevel)
 			return
 		}
-		runRemote(*remote, req, *logLevel)
+		runRemote(*remote, req, *logLevel, *showTr)
 		return
 	}
 

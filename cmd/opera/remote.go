@@ -5,14 +5,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 	"time"
 
+	"opera/internal/cluster"
 	"opera/internal/grid"
 	"opera/internal/mna"
+	"opera/internal/obs"
 	"opera/internal/obs/logx"
 	"opera/internal/service"
 )
@@ -23,7 +26,7 @@ import (
 // the daemon can never drift apart on the wire format. The client's
 // structured log (queue-full retries) goes to stderr; the result
 // summary stays on stdout.
-func runRemote(addr string, req service.Request, logLevel string) {
+func runRemote(addr string, req service.Request, logLevel string, showTrace bool) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	c := remoteClient(addr, logLevel)
@@ -57,6 +60,54 @@ func runRemote(addr string, req service.Request, logLevel string) {
 		fatal("opera: remote result: %v", err)
 	}
 	printRemote(res, st)
+	if showTrace && st.TraceID != "" {
+		printStitchedTrace(addr, st.TraceID)
+	}
+}
+
+// printStitchedTrace fetches and prints the job's cross-shard trace
+// waterfall. Against an operag router the /debug/trace endpoint does
+// the stitching; against a bare operad shard (which serves only its own
+// /debug/spans fragment) the stitching runs here. Best-effort either
+// way: the job result already printed, so a missing trace is a note,
+// not a failure.
+func printStitchedTrace(addr, traceID string) {
+	base := baseURL(addr)
+	resp, err := http.Get(base + "/debug/trace/" + traceID + "?format=text")
+	if err == nil && resp.StatusCode == http.StatusOK {
+		io.Copy(os.Stdout, resp.Body)
+		resp.Body.Close()
+		return
+	}
+	if resp != nil {
+		resp.Body.Close()
+	}
+	resp, err = http.Get(base + "/debug/spans/" + traceID)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "opera: trace %s: %v\n", traceID, err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "opera: trace %s: no spans retained (is the span ring enabled?)\n", traceID)
+		return
+	}
+	var frag obs.TraceFragment
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&frag); err != nil {
+		fmt.Fprintf(os.Stderr, "opera: trace %s: %v\n", traceID, err)
+		return
+	}
+	cluster.WriteWaterfall(os.Stdout, cluster.Stitch(traceID, frag.Spans))
+}
+
+// baseURL picks the first address of a (possibly comma-separated)
+// -remote value and normalizes it to a base URL.
+func baseURL(addr string) string {
+	addr = strings.TrimSpace(strings.Split(addr, ",")[0])
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
 }
 
 // remoteClient builds the service client for -remote. A comma-separated
@@ -118,6 +169,7 @@ func runSweep(addr string, sw service.SweepRequest, outPath, logLevel string) {
 		enc = json.NewEncoder(out)
 	}
 	streamed, failed := 0, 0
+	sweepStart := time.Now()
 	err = c.Sweep(ctx, sw, func(line service.SweepLine) error {
 		if line.EOF {
 			fmt.Printf("opera: sweep %s complete: %d done, %d failed of %d cells\n",
@@ -143,6 +195,17 @@ func runSweep(addr string, sw service.SweepRequest, outPath, logLevel string) {
 		fmt.Printf("opera: [%d/%d] corner=%s load=%s seed=%d shard=%s trace=%s %s\n",
 			streamed, line.Total-len(sw.Done), line.Corner, line.Load, line.Seed,
 			line.Shard, line.TraceID, status)
+		// Live progress with an ETA from the running mean stream rate
+		// (cells run concurrently on the router, so wall-per-landed-cell
+		// already reflects the effective parallelism). Stderr, so piped
+		// stdout stays clean.
+		if pending := line.Total - len(sw.Done); streamed < pending {
+			perCell := time.Since(sweepStart) / time.Duration(streamed)
+			eta := perCell * time.Duration(pending-streamed)
+			fmt.Fprintf(os.Stderr, "opera: sweep progress %d/%d (%d failed), %.0f ms/cell, ETA %s\n",
+				streamed, pending, failed,
+				float64(perCell)/float64(time.Millisecond), eta.Round(100*time.Millisecond))
+		}
 		return nil
 	})
 	if err != nil {

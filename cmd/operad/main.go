@@ -60,6 +60,7 @@ func main() {
 		peers        = flag.String("peers", "", "comma-separated base URLs of the other cluster shards; enables peer cache peeking and drain handoff")
 		selfURL      = flag.String("self", "", "this shard's own base URL, filtered from -peers (required when -peers lists it)")
 		peekTimeout  = flag.Duration("peek-timeout", 0, "budget for one peer cache peek; 0 = default (150ms)")
+		spanRingKB   = flag.Int64("span-ring-kb", 1024, "per-process span retention for /debug/spans cross-shard trace stitching, in KiB; 0 disables")
 	)
 	flag.Parse()
 
@@ -109,6 +110,7 @@ func main() {
 		StallTimeout:    *stallTimeout,
 		SLOProfileAfter: *sloProfile,
 		PeekTimeout:     *peekTimeout,
+		SpanRingBytes:   *spanRingKB << 10,
 	})
 	if err != nil {
 		fatal("operad: %v", err)
@@ -159,6 +161,10 @@ func main() {
 			logger.Warn("operad.drain_deadline", logx.KeyError, err.Error())
 		}
 	}
+	// Stop the runtime sampler before the registry's last readers go
+	// away, not at process exit: the deferred call alone would leave the
+	// sampler goroutine touching the registry while the listener closes.
+	stopSampler()
 	closeCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()
 	if err := hs.Close(closeCtx); err != nil {

@@ -44,6 +44,7 @@ func main() {
 		shards   = flag.String("shards", "", "comma-separated operad shard addresses (required)")
 		replicas = flag.Int("replicas", 0, "virtual nodes per shard on the hash ring; 0 = default (64), must match the shards' -peers rings")
 		workers  = flag.Int("sweep-workers", 0, "concurrent cells per sweep stream; 0 = 4 per shard")
+		scrapeTO = flag.Duration("scrape-timeout", 0, "per-shard budget for /metrics/cluster and /debug/trace scrapes; 0 = default (2s)")
 		logLevel = flag.String("log-level", "info", "structured log level: debug|info|warn|error|off")
 	)
 	flag.Parse()
@@ -72,11 +73,12 @@ func main() {
 	defer stopSampler()
 
 	router, err := cluster.New(cluster.Options{
-		Shards:       shardList,
-		Replicas:     *replicas,
-		SweepWorkers: *workers,
-		Registry:     reg,
-		Logger:       logger,
+		Shards:        shardList,
+		Replicas:      *replicas,
+		SweepWorkers:  *workers,
+		ScrapeTimeout: *scrapeTO,
+		Registry:      reg,
+		Logger:        logger,
 	})
 	if err != nil {
 		fatal("operag: %v", err)
@@ -115,6 +117,10 @@ func main() {
 	if err := hs.Shutdown(closeCtx); err != nil {
 		hs.Close()
 	}
+	// Stop the sampler once the listener is down, so no scrape can race
+	// a half-stopped registry (the defer above stays as a safety net —
+	// the stop is idempotent).
+	stopSampler()
 	if logger != nil {
 		logger.Info("operag.stopped")
 	}

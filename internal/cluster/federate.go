@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"opera/internal/obs"
+)
+
+// Metrics federation: GET /metrics/cluster scrapes every shard's
+// /metrics JSON snapshot under a bounded per-shard timeout and
+// re-exposes the union in the text exposition format with a
+// {shard="s<i>"} label on every sample, plus {shard="cluster"}
+// aggregate rows — counters summed, fixed-bucket histograms merged
+// bucket-wise (exact, see obs.WriteFederatedProm). The router's own
+// registry rides along as {shard="router"}. An unreachable shard is
+// counted in cluster.scrape_errors_total and noted in a comment line,
+// never a hard failure: a half-scraped cluster view beats no view
+// during exactly the incidents that make operators look.
+
+// scrapeMetrics fetches one shard's /metrics JSON snapshot.
+func (r *Router) scrapeMetrics(ctx context.Context, shardURL string) (obs.MetricsSnapshot, error) {
+	var snap obs.MetricsSnapshot
+	ctx, cancel := context.WithTimeout(ctx, r.scrapeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, shardURL+"/metrics", nil)
+	if err != nil {
+		return snap, err
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("cluster: metrics scrape of %s: %s", shardURL, resp.Status)
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&snap); err != nil {
+		return snap, err
+	}
+	return snap, nil
+}
+
+// handleClusterMetrics serves GET /metrics/cluster.
+func (r *Router) handleClusterMetrics(w http.ResponseWriter, req *http.Request) {
+	type scraped struct {
+		name string
+		snap obs.MetricsSnapshot
+		err  error
+	}
+	rows := make([]scraped, len(r.shards))
+	done := make(chan int, len(r.shards))
+	for i, shardURL := range r.shards {
+		go func(i int, u string) {
+			snap, err := r.scrapeMetrics(req.Context(), u)
+			rows[i] = scraped{name: r.names[u], snap: snap, err: err}
+			done <- i
+		}(i, shardURL)
+	}
+	for range r.shards {
+		<-done
+	}
+	var errLines []string
+	shards := map[string]obs.MetricsSnapshot{}
+	for _, row := range rows {
+		if row.err != nil {
+			r.mScrapeErrs.Inc()
+			errLines = append(errLines, fmt.Sprintf("# scrape error: %s %v\n", row.name, row.err))
+			continue
+		}
+		shards[row.name] = row.snap
+	}
+	// The router's own registry joins after the scrape-error counter has
+	// been bumped, so the exposition below reflects this very request's
+	// failures too.
+	shards[routerShard] = r.reg.Snapshot()
+	sort.Strings(errLines)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	for _, l := range errLines {
+		io.WriteString(w, l)
+	}
+	if err := obs.WriteFederatedProm(w, shards); err != nil && r.log != nil {
+		r.log.Warn("cluster.metrics_write", "err", err.Error())
+	}
+}

@@ -1,0 +1,241 @@
+package cluster
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Live sweep timeline. The router already knows every cell of a sweep
+// deterministically (the expanded matrix and each cell's content key),
+// so a progress view costs only a small in-memory table: per cell, the
+// predicted ring owner at expansion time, then the actual shard and
+// wall time as the cell runs and lands. GET /v1/sweep/{id}/progress
+// serves the aggregate — done/running/queued per shard plus an ETA
+// from the running mean cell time — while the NDJSON stream is still
+// flowing, and for a while after (bounded retention, FIFO eviction).
+
+// maxTrackedSweeps bounds the progress table; the oldest sweep is
+// evicted when a new one starts past the cap.
+const maxTrackedSweeps = 16
+
+// Cell states in the progress view.
+const (
+	cellQueued  = "queued"
+	cellRunning = "running"
+	cellDone    = "done"
+	cellFailed  = "failed"
+)
+
+// cellState is one matrix cell's place in the timeline.
+type cellState struct {
+	state     string
+	shard     string // predicted owner while queued/running; actual shard once finished
+	elapsedMS float64
+}
+
+// sweepState is one sweep's live table.
+type sweepState struct {
+	id       string
+	total    int
+	skipped  int
+	workers  int
+	started  time.Time
+	cells    map[int]*cellState
+	done     int
+	failed   int
+	sumMS    float64 // wall time of finished cells, for the running mean
+	complete bool
+}
+
+// sweepProgress tracks recent sweeps' timelines.
+type sweepProgress struct {
+	mu     sync.Mutex
+	sweeps map[string]*sweepState
+	order  []string // insertion order, for FIFO eviction
+}
+
+func newSweepProgress() *sweepProgress {
+	return &sweepProgress{sweeps: map[string]*sweepState{}}
+}
+
+// start registers a sweep's full cell table. cells maps index to the
+// predicted owner shard name; skipped cells (resume) are not listed.
+func (p *sweepProgress) start(id string, total, skipped, workers int, cells map[int]string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, exists := p.sweeps[id]; !exists {
+		p.order = append(p.order, id)
+		for len(p.order) > maxTrackedSweeps {
+			delete(p.sweeps, p.order[0])
+			p.order = p.order[1:]
+		}
+	}
+	st := &sweepState{
+		id:      id,
+		total:   total,
+		skipped: skipped,
+		workers: workers,
+		started: time.Now(),
+		cells:   make(map[int]*cellState, len(cells)),
+	}
+	for idx, shard := range cells {
+		st.cells[idx] = &cellState{state: cellQueued, shard: shard}
+	}
+	p.sweeps[id] = st
+}
+
+// running marks a cell dispatched to a worker.
+func (p *sweepProgress) running(id string, index int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.sweeps[id]
+	if st == nil {
+		return
+	}
+	if c := st.cells[index]; c != nil {
+		c.state = cellRunning
+	}
+}
+
+// finish records a cell's landing: the shard that actually ran it
+// (which may differ from the prediction after a failover) and its wall
+// time.
+func (p *sweepProgress) finish(id string, index int, shard string, elapsedMS float64, failed bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.sweeps[id]
+	if st == nil {
+		return
+	}
+	c := st.cells[index]
+	if c == nil {
+		c = &cellState{}
+		st.cells[index] = c
+	}
+	if shard != "" {
+		c.shard = shard
+	}
+	c.elapsedMS = elapsedMS
+	if failed {
+		c.state = cellFailed
+		st.failed++
+	} else {
+		c.state = cellDone
+		st.done++
+	}
+	st.sumMS += elapsedMS
+}
+
+// complete marks the sweep's stream finished.
+func (p *sweepProgress) complete(id string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st := p.sweeps[id]; st != nil {
+		st.complete = true
+	}
+}
+
+// shardProgress is one shard's row in the progress reply.
+type shardProgress struct {
+	Shard      string  `json:"shard"`
+	Done       int     `json:"done"`
+	Failed     int     `json:"failed"`
+	Running    int     `json:"running"`
+	Queued     int     `json:"queued"`
+	MeanCellMS float64 `json:"mean_cell_ms,omitempty"`
+	sumMS      float64
+}
+
+// progressReply is the GET /v1/sweep/{id}/progress body.
+type progressReply struct {
+	SweepID    string  `json:"sweep_id"`
+	Total      int     `json:"total"`
+	Skipped    int     `json:"skipped,omitempty"`
+	Done       int     `json:"done"`
+	Failed     int     `json:"failed"`
+	Running    int     `json:"running"`
+	Queued     int     `json:"queued"`
+	Complete   bool    `json:"complete"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	MeanCellMS float64 `json:"mean_cell_ms,omitempty"`
+	// ETAMS extrapolates the remaining cells from the running mean cell
+	// time across the worker pool; 0 until the first cell lands.
+	ETAMS  float64         `json:"eta_ms,omitempty"`
+	Shards []shardProgress `json:"shards"`
+}
+
+// snapshot assembles the progress reply for one sweep.
+func (p *sweepProgress) snapshot(id string) (progressReply, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.sweeps[id]
+	if st == nil {
+		return progressReply{}, false
+	}
+	rep := progressReply{
+		SweepID:   st.id,
+		Total:     st.total,
+		Skipped:   st.skipped,
+		Done:      st.done,
+		Failed:    st.failed,
+		Complete:  st.complete,
+		ElapsedMS: float64(time.Since(st.started)) / float64(time.Millisecond),
+	}
+	byShard := map[string]*shardProgress{}
+	row := func(shard string) *shardProgress {
+		sp := byShard[shard]
+		if sp == nil {
+			sp = &shardProgress{Shard: shard}
+			byShard[shard] = sp
+		}
+		return sp
+	}
+	for _, c := range st.cells {
+		sp := row(c.shard)
+		switch c.state {
+		case cellDone:
+			sp.Done++
+			sp.sumMS += c.elapsedMS
+		case cellFailed:
+			sp.Failed++
+			sp.sumMS += c.elapsedMS
+		case cellRunning:
+			sp.Running++
+			rep.Running++
+		default:
+			sp.Queued++
+			rep.Queued++
+		}
+	}
+	finished := st.done + st.failed
+	if finished > 0 {
+		rep.MeanCellMS = st.sumMS / float64(finished)
+		workers := st.workers
+		if workers < 1 {
+			workers = 1
+		}
+		remaining := float64(rep.Running + rep.Queued)
+		rep.ETAMS = remaining * rep.MeanCellMS / float64(workers)
+	}
+	for _, sp := range byShard {
+		if n := sp.Done + sp.Failed; n > 0 {
+			sp.MeanCellMS = sp.sumMS / float64(n)
+		}
+		rep.Shards = append(rep.Shards, *sp)
+	}
+	sort.Slice(rep.Shards, func(i, j int) bool { return rep.Shards[i].Shard < rep.Shards[j].Shard })
+	return rep, true
+}
+
+// handleSweepProgress serves GET /v1/sweep/{id}/progress.
+func (r *Router) handleSweepProgress(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	rep, ok := r.progress.snapshot(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, httpError{Error: "unknown sweep " + id, Kind: "unknown_sweep"})
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}

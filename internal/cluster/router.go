@@ -60,7 +60,21 @@ type Options struct {
 	Logger *slog.Logger
 	// HTTPClient overrides the transport used to reach shards (tests).
 	HTTPClient *http.Client
+	// SpanRingBytes bounds the router's forward-span retention for
+	// /debug/trace stitching (0 = 4 MiB default; negative disables).
+	SpanRingBytes int64
+	// ScrapeTimeout bounds each per-shard scrape during /metrics/cluster
+	// federation and /debug/trace span collection (0 = 2s).
+	ScrapeTimeout time.Duration
 }
+
+// defaultSpanRingBytes is the router's forward-span retention budget
+// when Options.SpanRingBytes is zero.
+const defaultSpanRingBytes = 4 << 20
+
+// defaultScrapeTimeout bounds per-shard scrapes when
+// Options.ScrapeTimeout is zero.
+const defaultScrapeTimeout = 2 * time.Second
 
 // Router is the cluster front door. Construct with New, serve with
 // Handler.
@@ -73,15 +87,19 @@ type Router struct {
 	reg    *obs.Registry
 	log    *slog.Logger
 
-	sweepWorkers int
+	sweepWorkers  int
+	scrapeTimeout time.Duration
+	spans         *obs.SpanRing  // router forward spans, for trace stitching
+	progress      *sweepProgress // live per-sweep cell timelines
 
-	mRoute    map[string]*obs.Counter // per-shard cluster.route_total.s<i>
-	hForward  *obs.Histogram          // cluster.forward_ms
-	mFailover *obs.Counter            // cluster.failover_total
-	mSweeps   *obs.Counter            // cluster.sweeps_total
-	mCells    *obs.Counter            // cluster.sweep_cells_total
-	mCellErrs *obs.Counter            // cluster.sweep_cell_failures_total
-	mResub    *obs.Counter            // cluster.sweep_resubmits_total
+	mRoute      map[string]*obs.Counter // per-shard cluster.route_total.s<i>
+	hForward    *obs.Histogram          // cluster.forward_ms
+	mFailover   *obs.Counter            // cluster.failover_total
+	mSweeps     *obs.Counter            // cluster.sweeps_total
+	mCells      *obs.Counter            // cluster.sweep_cells_total
+	mCellErrs   *obs.Counter            // cluster.sweep_cell_failures_total
+	mResub      *obs.Counter            // cluster.sweep_resubmits_total
+	mScrapeErrs *obs.Counter            // cluster.scrape_errors_total
 }
 
 // New builds a router over the given shard set.
@@ -111,22 +129,34 @@ func New(opts Options) (*Router, error) {
 	if workers <= 0 {
 		workers = 4 * len(shards)
 	}
+	ringBytes := opts.SpanRingBytes
+	if ringBytes == 0 {
+		ringBytes = defaultSpanRingBytes
+	}
+	scrapeTO := opts.ScrapeTimeout
+	if scrapeTO <= 0 {
+		scrapeTO = defaultScrapeTimeout
+	}
 	r := &Router{
-		shards:       rg.Members(), // normalized sort order fixes the names
-		names:        map[string]string{},
-		urls:         map[string]string{},
-		ring:         rg,
-		hc:           hc,
-		reg:          reg,
-		log:          opts.Logger,
-		sweepWorkers: workers,
-		mRoute:       map[string]*obs.Counter{},
-		hForward:     reg.Histogram("cluster.forward_ms", obs.MSBuckets),
-		mFailover:    reg.Counter("cluster.failover_total"),
-		mSweeps:      reg.Counter("cluster.sweeps_total"),
-		mCells:       reg.Counter("cluster.sweep_cells_total"),
-		mCellErrs:    reg.Counter("cluster.sweep_cell_failures_total"),
-		mResub:       reg.Counter("cluster.sweep_resubmits_total"),
+		shards:        rg.Members(), // normalized sort order fixes the names
+		names:         map[string]string{},
+		urls:          map[string]string{},
+		ring:          rg,
+		hc:            hc,
+		reg:           reg,
+		log:           opts.Logger,
+		sweepWorkers:  workers,
+		scrapeTimeout: scrapeTO,
+		spans:         obs.NewSpanRing(ringBytes),
+		progress:      newSweepProgress(),
+		mRoute:        map[string]*obs.Counter{},
+		hForward:      reg.Histogram("cluster.forward_ms", obs.MSBuckets),
+		mFailover:     reg.Counter("cluster.failover_total"),
+		mSweeps:       reg.Counter("cluster.sweeps_total"),
+		mCells:        reg.Counter("cluster.sweep_cells_total"),
+		mCellErrs:     reg.Counter("cluster.sweep_cell_failures_total"),
+		mResub:        reg.Counter("cluster.sweep_resubmits_total"),
+		mScrapeErrs:   reg.Counter("cluster.scrape_errors_total"),
 	}
 	for i, u := range r.shards {
 		name := fmt.Sprintf("s%d", i)
@@ -158,9 +188,13 @@ func (r *Router) Shards() []string {
 //	GET    /v1/jobs/{id}/result stored result bytes, verbatim
 //	DELETE /v1/jobs/{id}        cancel on the owning shard
 //	POST   /v1/sweep            corner × load × seed matrix, NDJSON stream
+//	GET    /v1/sweep/{id}/progress  live per-shard sweep timeline
 //	GET    /healthz             router liveness
 //	GET    /readyz              aggregated shard readiness
 //	GET    /metrics             router metrics snapshot
+//	GET    /metrics/cluster     federated exposition across every shard
+//	GET    /debug/trace/{id}    stitched cross-shard trace (?format=text for a waterfall)
+//	GET    /debug/spans/{trace} the router's own span fragment
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", r.handleSubmit)
@@ -169,12 +203,20 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", r.handleJob("/result"))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", r.handleJob(""))
 	mux.HandleFunc("POST /v1/sweep", r.handleSweep)
+	mux.HandleFunc("GET /v1/sweep/{id}/progress", r.handleSweepProgress)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("GET /readyz", r.handleReady)
 	mux.Handle("GET /metrics", obs.MetricsHandler(r.reg))
+	mux.HandleFunc("GET /metrics/cluster", r.handleClusterMetrics)
 	mux.Handle("GET /debug/build", obs.BuildHandler())
+	mux.HandleFunc("GET /debug/trace/{id}", r.handleTrace)
+	if r.spans != nil {
+		mux.HandleFunc("GET /debug/spans/{trace}", func(w http.ResponseWriter, req *http.Request) {
+			r.spans.ServeTrace(w, routerShard, req.PathValue("trace"))
+		})
+	}
 	return mux
 }
 
@@ -285,11 +327,16 @@ func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	seq := r.ring.Sequence(key)
 	var lastErr error
 	for i, shardURL := range seq {
+		start := time.Now()
 		resp, data, err := r.roundTrip(req, shardURL, "/v1/jobs", body)
 		if err == nil && !isDraining(resp, data) {
 			if i > 0 {
 				r.mFailover.Add(int64(i))
 			}
+			// The shard echoes the effective trace ID even on submissions
+			// that supplied none, so the forward span always joins the
+			// right trace.
+			r.recordForwardSpan(resp.Header.Get(service.TraceIDHeader), shardURL, start, i, resp.StatusCode)
 			if r.log != nil {
 				r.log.LogAttrs(req.Context(), slog.LevelDebug, "cluster.route",
 					slog.String(logx.KeyKey, key),

@@ -56,6 +56,19 @@ func (r *Router) handleSweep(w http.ResponseWriter, req *http.Request) {
 		skip[i] = true
 	}
 	r.mSweeps.Inc()
+	workers := r.sweepWorkers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	// Seed the progress table with every pending cell's predicted ring
+	// owner; runCell overwrites with the actual shard as cells land.
+	pending := map[int]string{}
+	for _, job := range jobs {
+		if !skip[job.Index] {
+			pending[job.Index] = r.names[r.ring.Owner(job.Req.Key())]
+		}
+	}
+	r.progress.start(sweepID, len(jobs), len(sw.Done), workers, pending)
 	if r.log != nil {
 		r.log.LogAttrs(req.Context(), slog.LevelInfo, "cluster.sweep",
 			slog.String("sweep", sweepID),
@@ -74,10 +87,6 @@ func (r *Router) handleSweep(w http.ResponseWriter, req *http.Request) {
 	work := make(chan service.SweepJob)
 	lines := make(chan service.SweepLine)
 	var wg sync.WaitGroup
-	workers := r.sweepWorkers
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
@@ -131,6 +140,7 @@ func (r *Router) handleSweep(w http.ResponseWriter, req *http.Request) {
 			flusher.Flush()
 		}
 	}
+	r.progress.complete(sweepID)
 	enc.Encode(service.SweepLine{
 		SweepID: sweepID, Total: len(jobs), EOF: true,
 		DoneCells: done, Failed: failed,
@@ -155,6 +165,7 @@ func (r *Router) runCell(ctx context.Context, sweepID string, total int, job ser
 		TraceID: job.Req.TraceID,
 		Key:     job.Req.Key(),
 	}
+	r.progress.running(sweepID, job.Index)
 	c := service.NewRingClient(r.ring.Sequence(line.Key))
 	c.HTTPClient = r.hc
 	c.Logger = r.log
@@ -162,6 +173,7 @@ func (r *Router) runCell(ctx context.Context, sweepID string, total int, job ser
 	data, info, err := c.RunBytes(ctx, job.Req)
 	line.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
 	line.Shard = r.names[info.Member]
+	defer func() { r.progress.finish(sweepID, job.Index, line.Shard, line.ElapsedMS, line.Error != "") }()
 	if info.JobID != "" {
 		line.JobID = r.names[info.Member] + idSep + info.JobID
 	}

@@ -1,0 +1,315 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"opera/internal/obs"
+)
+
+// Cross-shard trace stitching. Each shard retains its jobs' span
+// fragments in an obs.SpanRing served at /debug/spans/{trace}; the
+// router retains its own forward spans the same way. GET
+// /debug/trace/{id} fans out to every ring member, merges the
+// fragments, and reassembles one tree — router forward span at the
+// root, each shard's job container beneath it, the solver's six phase
+// spans beneath that — rendered as JSON or, with ?format=text, as an
+// ASCII waterfall.
+
+// routerShard is the router's self-name in span exports, distinct from
+// every "s<i>" shard name.
+const routerShard = "router"
+
+// spanPathForward is the router's forward-span path; its deterministic
+// ID is what shard job-root spans are re-parented under when stitching.
+const spanPathForward = "forward"
+
+// recordForwardSpan retains the router's view of one routed submission:
+// target shard, attempt count (failovers), status. Called after the
+// round trip, because the trace ID of an ID-less submission is only
+// known from the shard's reply.
+func (r *Router) recordForwardSpan(traceID, shardURL string, start time.Time, attempt, status int) {
+	if r.spans == nil || traceID == "" {
+		return
+	}
+	r.spans.Add(obs.SyntheticSpan(
+		traceID, routerShard, spanPathForward, "", "router.forward",
+		start, time.Since(start),
+		obs.String("shard", r.names[shardURL]),
+		obs.Int("attempt", attempt),
+		obs.Int("status", status),
+	))
+}
+
+// StitchNode is one span in a stitched trace tree.
+type StitchNode struct {
+	obs.ExportSpan
+	Spans []*StitchNode `json:"spans,omitempty"`
+}
+
+// StitchedTrace is the /debug/trace/{id} reply: one tree assembled from
+// every process's fragment, plus which shards contributed.
+type StitchedTrace struct {
+	TraceID   string      `json:"trace_id"`
+	Shards    []string    `json:"shards"`
+	SpanCount int         `json:"span_count"`
+	Root      *StitchNode `json:"root"`
+}
+
+// Stitch reassembles one tree from span fragments. Spans are deduped by
+// span ID (fragments may overlap after resubmissions); children attach
+// to their ParentID when that span is present, and any remaining roots
+// hang under the router's forward span — or, when no router span is
+// present (e.g. a trace submitted directly to a shard), under a
+// synthesized container — ordered by start time.
+func Stitch(traceID string, spans []obs.ExportSpan) *StitchedTrace {
+	byID := map[string]*StitchNode{}
+	var order []string
+	shards := map[string]bool{}
+	for _, es := range spans {
+		if es.SpanID == "" {
+			continue
+		}
+		if _, dup := byID[es.SpanID]; !dup {
+			order = append(order, es.SpanID)
+		}
+		byID[es.SpanID] = &StitchNode{ExportSpan: es}
+		if es.Shard != "" {
+			shards[es.Shard] = true
+		}
+	}
+	var roots []*StitchNode
+	for _, id := range order {
+		n := byID[id]
+		if p := byID[n.ParentID]; p != nil && n.ParentID != n.SpanID {
+			p.Spans = append(p.Spans, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	st := &StitchedTrace{TraceID: traceID, SpanCount: len(order)}
+	for s := range shards {
+		st.Shards = append(st.Shards, s)
+	}
+	sort.Strings(st.Shards)
+	if len(roots) == 0 {
+		return st
+	}
+	// Root selection: the earliest router span wins (the cluster entry
+	// point); otherwise synthesize a container so the reply is always
+	// one tree.
+	var root *StitchNode
+	for _, n := range roots {
+		if n.Shard == routerShard && (root == nil || n.StartUS < root.StartUS) {
+			root = n
+		}
+	}
+	if root == nil {
+		if len(roots) == 1 {
+			root = roots[0]
+		} else {
+			root = &StitchNode{ExportSpan: obs.ExportSpan{
+				SpanID:  obs.SpanID(traceID, "", "stitch"),
+				TraceID: traceID,
+				Name:    "trace",
+			}}
+		}
+	}
+	minUS, maxUS := int64(0), int64(0)
+	for i, n := range roots {
+		if i == 0 || n.StartUS < minUS {
+			minUS = n.StartUS
+		}
+		if end := n.StartUS + int64(n.DurMS*1000); i == 0 || end > maxUS {
+			maxUS = end
+		}
+		if n != root {
+			root.Spans = append(root.Spans, n)
+		}
+	}
+	if root.DurMS == 0 && maxUS > minUS {
+		// A synthesized (or zero-duration) root stretches to cover its
+		// children so the waterfall has a denominator.
+		root.StartUS = minUS
+		root.DurMS = float64(maxUS-minUS) / 1000
+	}
+	sortTree(root)
+	st.Root = root
+	return st
+}
+
+func sortTree(n *StitchNode) {
+	sort.SliceStable(n.Spans, func(i, j int) bool { return n.Spans[i].StartUS < n.Spans[j].StartUS })
+	for _, c := range n.Spans {
+		sortTree(c)
+	}
+}
+
+// collectTrace gathers a trace's span fragments from the router's own
+// ring and every shard's /debug/spans endpoint, each scrape bounded by
+// the router's scrape timeout. Unreachable shards and 404s contribute
+// nothing — stitching is best-effort over whatever survives.
+func (r *Router) collectTrace(ctx context.Context, traceID string) []obs.ExportSpan {
+	var (
+		mu  sync.Mutex
+		all []obs.ExportSpan
+	)
+	all = append(all, r.spans.Get(traceID)...)
+	var wg sync.WaitGroup
+	for _, shardURL := range r.shards {
+		wg.Add(1)
+		go func(u string) {
+			defer wg.Done()
+			frag, err := r.scrapeSpans(ctx, u, traceID)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			all = append(all, frag...)
+			mu.Unlock()
+		}(shardURL)
+	}
+	wg.Wait()
+	return all
+}
+
+// scrapeSpans fetches one shard's fragment for a trace. A 404 (shard
+// retains nothing for this trace) is an empty fragment, not an error.
+func (r *Router) scrapeSpans(ctx context.Context, shardURL, traceID string) ([]obs.ExportSpan, error) {
+	ctx, cancel := context.WithTimeout(ctx, r.scrapeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, shardURL+"/debug/spans/"+traceID, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: span scrape of %s: %s", shardURL, resp.Status)
+	}
+	var frag obs.TraceFragment
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&frag); err != nil {
+		return nil, err
+	}
+	return frag.Spans, nil
+}
+
+// handleTrace serves GET /debug/trace/{id}: the stitched cross-shard
+// trace as JSON, or an ASCII waterfall with ?format=text. 404 when no
+// process retains anything for the ID.
+func (r *Router) handleTrace(w http.ResponseWriter, req *http.Request) {
+	traceID := req.PathValue("id")
+	spans := r.collectTrace(req.Context(), traceID)
+	if len(spans) == 0 {
+		writeJSON(w, http.StatusNotFound, httpError{Error: "no spans retained for trace " + traceID, Kind: "unknown_trace", Trace: traceID})
+		return
+	}
+	st := Stitch(traceID, spans)
+	if req.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		WriteWaterfall(w, st)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// waterfallCols is the bar area width of the ASCII waterfall.
+const waterfallCols = 48
+
+// WriteWaterfall renders a stitched trace as an indented ASCII
+// waterfall: one line per span (name, shard, start offset, duration)
+// with a proportional bar aligned to the trace's earliest start. Spans
+// from different processes share the absolute-time axis, so clock skew
+// between machines shows up as bars that lead their parent — visible,
+// not hidden.
+func WriteWaterfall(w io.Writer, st *StitchedTrace) {
+	if st.Root == nil {
+		fmt.Fprintf(w, "trace %s: no spans\n", st.TraceID)
+		return
+	}
+	minUS, maxEndUS := st.Root.StartUS, st.Root.StartUS
+	var walk func(n *StitchNode)
+	walk = func(n *StitchNode) {
+		if n.StartUS < minUS {
+			minUS = n.StartUS
+		}
+		if end := n.StartUS + int64(n.DurMS*1000); end > maxEndUS {
+			maxEndUS = end
+		}
+		for _, c := range n.Spans {
+			walk(c)
+		}
+	}
+	walk(st.Root)
+	totalMS := float64(maxEndUS-minUS) / 1000
+	fmt.Fprintf(w, "trace %s — shards [%s], %d spans, %s total\n",
+		st.TraceID, strings.Join(st.Shards, " "), st.SpanCount, fmtDurMS(totalMS))
+	writeWaterfallNode(w, st.Root, 0, minUS, totalMS)
+}
+
+func writeWaterfallNode(w io.Writer, n *StitchNode, depth int, minUS int64, totalMS float64) {
+	label := strings.Repeat("  ", depth) + n.Name
+	if n.Shard != "" {
+		label += " [" + n.Shard + "]"
+	}
+	startMS := float64(n.StartUS-minUS) / 1000
+	bar := waterfallBar(startMS, n.DurMS, totalMS)
+	fmt.Fprintf(w, "  %-44s %10s %10s  |%s|\n", clip(label, 44), fmtDurMS(startMS), fmtDurMS(n.DurMS), bar)
+	for _, c := range n.Spans {
+		writeWaterfallNode(w, c, depth+1, minUS, totalMS)
+	}
+}
+
+// waterfallBar positions a span proportionally on the shared time axis.
+func waterfallBar(startMS, durMS, totalMS float64) string {
+	if totalMS <= 0 {
+		return strings.Repeat(" ", waterfallCols)
+	}
+	lead := int(startMS / totalMS * waterfallCols)
+	width := int(durMS / totalMS * waterfallCols)
+	if lead < 0 {
+		lead = 0
+	}
+	if lead >= waterfallCols {
+		lead = waterfallCols - 1
+	}
+	if width < 1 {
+		width = 1
+	}
+	if lead+width > waterfallCols {
+		width = waterfallCols - lead
+	}
+	return strings.Repeat(" ", lead) + strings.Repeat("=", width) + strings.Repeat(" ", waterfallCols-lead-width)
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func fmtDurMS(v float64) string {
+	switch {
+	case v >= 1000:
+		return fmt.Sprintf("%.2fs", v/1000)
+	case v >= 1:
+		return fmt.Sprintf("%.1fms", v)
+	default:
+		return fmt.Sprintf("%.3fms", v)
+	}
+}

@@ -1,0 +1,362 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"opera/internal/obs"
+	"opera/internal/service"
+)
+
+func TestStitchRouterRoot(t *testing.T) {
+	trace := "aaaa"
+	fwd := obs.SyntheticSpan(trace, routerShard, spanPathForward, "", "router.forward",
+		time.Unix(100, 0), 50*time.Millisecond)
+	jobRoot := obs.SyntheticSpan(trace, "s0", "root", "", "shard.job",
+		time.Unix(100, 0), 40*time.Millisecond)
+	phase := obs.SyntheticSpan(trace, "s0", "job", jobRoot.SpanID, "factor",
+		time.Unix(100, 0), 10*time.Millisecond)
+	// Shard fragments arrive in arbitrary order; stitching must not care.
+	st := Stitch(trace, []obs.ExportSpan{phase, jobRoot, fwd})
+	if st.SpanCount != 3 {
+		t.Fatalf("span count = %d, want 3", st.SpanCount)
+	}
+	if got := strings.Join(st.Shards, ","); got != "router,s0" {
+		t.Fatalf("shards = %s", got)
+	}
+	if st.Root == nil || st.Root.Name != "router.forward" {
+		t.Fatalf("root = %+v, want the router forward span", st.Root)
+	}
+	if len(st.Root.Spans) != 1 || st.Root.Spans[0].Name != "shard.job" {
+		t.Fatalf("job root not parented under the forward span: %+v", st.Root.Spans)
+	}
+	if kids := st.Root.Spans[0].Spans; len(kids) != 1 || kids[0].Name != "factor" {
+		t.Fatalf("phase span not under the job root: %+v", kids)
+	}
+}
+
+func TestStitchDedupAndOrphans(t *testing.T) {
+	trace := "bbbb"
+	a := obs.SyntheticSpan(trace, "s0", "root", "", "shard.job",
+		time.Unix(100, 0), 10*time.Millisecond)
+	// A duplicate of the same span (overlapping fragments after a
+	// resubmit) must collapse to one node.
+	dup := a
+	orphan := obs.SyntheticSpan(trace, "s1", "peek", "no-such-parent", "peer.peek",
+		time.Unix(100, 1e6), 2*time.Millisecond)
+	st := Stitch(trace, []obs.ExportSpan{a, dup, orphan})
+	if st.SpanCount != 2 {
+		t.Fatalf("span count = %d, want 2 after dedup", st.SpanCount)
+	}
+	// No router span and two roots: a synthesized container holds both,
+	// stretched to cover them.
+	if st.Root == nil || st.Root.Name == "" {
+		t.Fatal("no root synthesized")
+	}
+	names := map[string]bool{}
+	for _, c := range st.Root.Spans {
+		names[c.Name] = true
+	}
+	if st.Root.Name != "trace" || !names["shard.job"] || !names["peer.peek"] {
+		t.Fatalf("root %q children %v", st.Root.Name, names)
+	}
+	if st.Root.DurMS <= 0 {
+		t.Fatalf("synthesized root not stretched: dur=%g", st.Root.DurMS)
+	}
+}
+
+func TestStitchEmpty(t *testing.T) {
+	if st := Stitch("x", nil); st.Root != nil || st.SpanCount != 0 {
+		t.Fatalf("empty stitch = %+v", st)
+	}
+}
+
+func TestWriteWaterfallRendering(t *testing.T) {
+	trace := "cccc"
+	st := Stitch(trace, []obs.ExportSpan{
+		obs.SyntheticSpan(trace, routerShard, spanPathForward, "", "router.forward",
+			time.Unix(100, 0), 100*time.Millisecond),
+		obs.SyntheticSpan(trace, "s0", "root",
+			obs.SpanID(trace, routerShard, spanPathForward), "shard.job",
+			time.Unix(100, 20e6), 60*time.Millisecond),
+	})
+	var sb strings.Builder
+	WriteWaterfall(&sb, st)
+	out := sb.String()
+	if !strings.Contains(out, "trace cccc") || !strings.Contains(out, "2 spans") {
+		t.Fatalf("waterfall header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "router.forward [router]") || !strings.Contains(out, "shard.job [s0]") {
+		t.Fatalf("waterfall rows missing:\n%s", out)
+	}
+	if !strings.Contains(out, "=") {
+		t.Fatalf("no bars rendered:\n%s", out)
+	}
+}
+
+// submitThrough posts a request through the router handler and returns
+// the submit response plus the echoed trace ID.
+func submitThrough(t *testing.T, h http.Handler, req service.Request) (service.SubmitResponse, string) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/jobs", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK && rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	var sr service.SubmitResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+		t.Fatalf("submit reply: %v", err)
+	}
+	return sr, rec.Header().Get(service.TraceIDHeader)
+}
+
+// waitDone polls a cluster job ID through the router until terminal.
+func waitDone(t *testing.T, h http.Handler, id string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/jobs/"+id, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %s: HTTP %d: %s", id, rec.Code, rec.Body.String())
+		}
+		var js service.JobStatus
+		if err := json.Unmarshal(rec.Body.Bytes(), &js); err != nil {
+			t.Fatal(err)
+		}
+		switch js.State {
+		case service.StateDone:
+			return
+		case service.StateFailed, service.StateCanceled:
+			t.Fatalf("job %s ended %s: %s", id, js.State, js.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not finish", id)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClusterStitchedTrace is the tentpole acceptance test: a job
+// submitted through the router leaves span fragments in two processes
+// (router forward span, owner shard's job tree), and /debug/trace/{id}
+// returns them stitched into a single tree under one trace ID.
+func TestClusterStitchedTrace(t *testing.T) {
+	router, _ := newCluster(t, 2, service.Options{SpanRingBytes: 1 << 20})
+	h := router.Handler()
+	sr, traceID := submitThrough(t, h, quickRequest(1))
+	if traceID == "" {
+		t.Fatal("no trace ID echoed on submit")
+	}
+	waitDone(t, h, sr.ID)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/trace/"+traceID, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("trace: HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	var st StitchedTrace
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("trace reply: %v", err)
+	}
+	if st.TraceID != traceID {
+		t.Fatalf("trace ID = %s, want %s", st.TraceID, traceID)
+	}
+	if len(st.Shards) < 2 {
+		t.Fatalf("shards = %v, want spans from the router and at least one shard", st.Shards)
+	}
+	hasRouter := false
+	for _, s := range st.Shards {
+		if s == routerShard {
+			hasRouter = true
+		}
+	}
+	if !hasRouter {
+		t.Fatalf("router fragment missing: shards = %v", st.Shards)
+	}
+	if st.Root == nil || st.Root.Name != "router.forward" {
+		t.Fatalf("root = %+v, want router.forward", st.Root)
+	}
+	// The owner shard's solve phases must appear in the stitched tree —
+	// the whole point of cross-process stitching.
+	var names []string
+	var walk func(n *StitchNode)
+	walk = func(n *StitchNode) {
+		names = append(names, n.Name)
+		for _, c := range n.Spans {
+			walk(c)
+		}
+	}
+	walk(st.Root)
+	found := map[string]bool{}
+	for _, n := range names {
+		found[n] = true
+	}
+	if !found["shard.job"] || !found["factor"] {
+		t.Fatalf("stitched tree misses shard phases: %v", names)
+	}
+	if !found["peer.peek"] {
+		t.Fatalf("stitched tree misses the owner shard's peer-peek probe: %v", names)
+	}
+	if st.SpanCount != len(names) {
+		t.Fatalf("span count %d != tree size %d", st.SpanCount, len(names))
+	}
+
+	// The waterfall renders the same tree as text.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/trace/"+traceID+"?format=text", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "router.forward [router]") {
+		t.Fatalf("waterfall: HTTP %d:\n%s", rec.Code, rec.Body.String())
+	}
+
+	// Unknown traces 404.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/trace/ffffffffffffffffffffffffffffffff", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown trace: HTTP %d", rec.Code)
+	}
+}
+
+// TestClusterMetricsFederation: after a duplicate submit (second serve
+// is a cache hit), the federated exposition sums service.solves_total
+// to exactly 1 across the cluster, labels per-shard samples, and
+// merges histograms.
+func TestClusterMetricsFederation(t *testing.T) {
+	router, shards := newCluster(t, 2, service.Options{SpanRingBytes: 1 << 20})
+	h := router.Handler()
+	sr, _ := submitThrough(t, h, quickRequest(2))
+	waitDone(t, h, sr.ID)
+	sr2, _ := submitThrough(t, h, quickRequest(2))
+	waitDone(t, h, sr2.ID)
+
+	var solves int64
+	for _, s := range shards {
+		solves += s.counter("service.solves_total")
+	}
+	if solves != 1 {
+		t.Fatalf("shards ran %d solves, want 1 (duplicate must be served from cache)", solves)
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics/cluster", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics/cluster: HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	out := rec.Body.String()
+	for _, want := range []string{
+		`service_solves_total{shard="cluster"} 1`,
+		`shard="s0"`,
+		`shard="s1"`,
+		`shard="router"`,
+		`# TYPE cluster_scrape_errors_total counter`,
+		`service_job_ms_bucket{shard="cluster"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("federated exposition missing %q", want)
+		}
+	}
+	if strings.Contains(out, "# scrape error") {
+		t.Errorf("unexpected scrape errors against live shards:\n%s", out)
+	}
+}
+
+// TestClusterMetricsFederationUnreachableShard: a dead shard is a
+// counted, commented scrape error — never a hard failure.
+func TestClusterMetricsFederationUnreachableShard(t *testing.T) {
+	_, shards := newCluster(t, 1, service.Options{})
+	router, err := New(Options{
+		Shards:        []string{shards[0].hs.URL, "127.0.0.1:1"},
+		ScrapeTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	router.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics/cluster", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics/cluster with dead shard: HTTP %d", rec.Code)
+	}
+	out := rec.Body.String()
+	if !strings.Contains(out, "# scrape error") {
+		t.Fatalf("dead shard not noted:\n%s", out)
+	}
+	if !strings.Contains(out, `cluster_scrape_errors_total{shard="router"} 1`) {
+		t.Fatalf("scrape error not counted:\n%s", out)
+	}
+	if !strings.Contains(out, `service_solves_total{shard="s0"}`) && !strings.Contains(out, `service_solves_total{shard="s1"}`) {
+		t.Fatalf("live shard missing from partial exposition:\n%s", out)
+	}
+}
+
+// TestSweepProgress: the progress endpoint tracks a sweep to
+// completion — total, per-shard done counts, and the complete flag.
+func TestSweepProgress(t *testing.T) {
+	router, _ := newCluster(t, 2, service.Options{})
+	hs := httptest.NewServer(router.Handler())
+	defer hs.Close()
+
+	sw := service.SweepRequest{
+		Base:  quickRequest(3),
+		Seeds: []int64{1, 2, 3, 4},
+	}
+	lines := collectSweep(t, hs.URL, sw)
+	var sweepID string
+	for _, l := range lines {
+		if l.SweepID != "" {
+			sweepID = l.SweepID
+			break
+		}
+	}
+	if sweepID == "" {
+		t.Fatal("no sweep ID in the stream")
+	}
+
+	resp, err := http.Get(hs.URL + "/v1/sweep/" + sweepID + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("progress: HTTP %d: %s", resp.StatusCode, data)
+	}
+	var rep progressReply
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.SweepID != sweepID || rep.Total != 4 {
+		t.Fatalf("progress = %+v", rep)
+	}
+	if !rep.Complete || rep.Done != 4 || rep.Failed != 0 || rep.Running != 0 || rep.Queued != 0 {
+		t.Fatalf("completed sweep progress = %+v", rep)
+	}
+	var shardDone int
+	for _, sp := range rep.Shards {
+		shardDone += sp.Done
+		if sp.Shard == "" {
+			t.Fatalf("unnamed shard row: %+v", rep.Shards)
+		}
+	}
+	if shardDone != 4 {
+		t.Fatalf("per-shard done sums to %d, want 4: %+v", shardDone, rep.Shards)
+	}
+	if rep.MeanCellMS <= 0 {
+		t.Fatalf("mean cell time not computed: %+v", rep)
+	}
+
+	resp2, err := http.Get(hs.URL + "/v1/sweep/nope/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown sweep: HTTP %d", resp2.StatusCode)
+	}
+}

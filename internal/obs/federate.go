@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Metrics federation: merging per-shard registry snapshots into one
+// cluster view. The merge is exact for the fixed-bucket histograms this
+// package hands out: every shard buckets observations with the same
+// upper bounds (MSBuckets and friends are compile-time constants), and
+// HistogramSnapshot stores per-bucket (non-cumulative) counts, so
+// summing bucket-wise yields byte-for-byte the histogram that a single
+// registry observing the union of all shards' raw values would hold.
+// Any quantile estimator that reads only (bounds, counts) therefore
+// returns identical answers on the merged histogram and on the union —
+// cluster-wide SLO quantiles are exact, not approximations stacked on
+// approximations.
+
+// Quantile returns the q-quantile (0 < q <= 1) estimated from the
+// snapshot's buckets: the upper bound of the bucket where the
+// cumulative count first reaches ceil(q·total), the same rule the
+// runtime-metrics sampler uses. The overflow bucket reports the
+// histogram's observed Max (the best finite upper bound available).
+// Returns 0 for an empty histogram.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	var cum int64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			if math.IsInf(b.UpperBound, 1) {
+				return h.Max
+			}
+			return b.UpperBound
+		}
+	}
+	return h.Max
+}
+
+// sameBounds reports whether two snapshots bucket over identical upper
+// bounds — the precondition for an exact merge.
+func sameBounds(a, b HistogramSnapshot) bool {
+	if len(a.Buckets) != len(b.Buckets) {
+		return false
+	}
+	for i := range a.Buckets {
+		au, bu := a.Buckets[i].UpperBound, b.Buckets[i].UpperBound
+		if au != bu && !(math.IsInf(au, 1) && math.IsInf(bu, 1)) {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeHistograms merges b into a bucket-wise. It reports false (and
+// returns a unchanged) when the bucket bounds differ — merging
+// incompatible layouts would silently corrupt quantiles, so callers
+// must skip instead.
+func MergeHistograms(a, b HistogramSnapshot) (HistogramSnapshot, bool) {
+	if a.Count == 0 {
+		return b, true
+	}
+	if b.Count == 0 {
+		return a, true
+	}
+	if !sameBounds(a, b) {
+		return a, false
+	}
+	out := HistogramSnapshot{
+		Count:   a.Count + b.Count,
+		Sum:     a.Sum + b.Sum,
+		Min:     math.Min(a.Min, b.Min),
+		Max:     math.Max(a.Max, b.Max),
+		Buckets: make([]BucketSnapshot, len(a.Buckets)),
+	}
+	for i := range a.Buckets {
+		out.Buckets[i] = BucketSnapshot{
+			UpperBound: a.Buckets[i].UpperBound,
+			Count:      a.Buckets[i].Count + b.Buckets[i].Count,
+		}
+	}
+	return out, true
+}
+
+// AggregateSnapshots folds per-shard snapshots into the cluster
+// aggregate: counters sum, histograms merge exactly (a name whose
+// bucket layouts disagree across shards is dropped from the aggregate —
+// it can still be read per shard). Gauges are point-in-time last-values
+// with no meaningful cross-shard fold, so the aggregate carries none.
+func AggregateSnapshots(shards map[string]MetricsSnapshot) MetricsSnapshot {
+	agg := MetricsSnapshot{
+		Counters:   map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	skip := map[string]bool{}
+	for _, name := range sortedKeys(shards) {
+		snap := shards[name]
+		for cn, v := range snap.Counters {
+			agg.Counters[cn] += v
+		}
+		for hn, h := range snap.Histograms {
+			if skip[hn] {
+				continue
+			}
+			cur, ok := agg.Histograms[hn]
+			if !ok {
+				agg.Histograms[hn] = h
+				continue
+			}
+			merged, ok := MergeHistograms(cur, h)
+			if !ok {
+				delete(agg.Histograms, hn)
+				skip[hn] = true
+				continue
+			}
+			agg.Histograms[hn] = merged
+		}
+	}
+	return agg
+}
+
+// clusterShard labels the aggregate rows in the federated exposition.
+const clusterShard = "cluster"
+
+// WriteFederatedProm renders per-shard snapshots plus their aggregate
+// in the text exposition format, every sample labeled {shard="..."}.
+// Counters and histograms additionally get a {shard="cluster"}
+// aggregate row; gauges render per shard only. Output is fully
+// deterministic: metric names sorted, then shard names sorted within
+// each metric, the cluster row last.
+func WriteFederatedProm(w io.Writer, shards map[string]MetricsSnapshot) error {
+	agg := AggregateSnapshots(shards)
+	names := sortedKeys(shards)
+
+	counterNames := map[string]bool{}
+	gaugeNames := map[string]bool{}
+	histNames := map[string]bool{}
+	for _, snap := range shards {
+		for n := range snap.Counters {
+			counterNames[n] = true
+		}
+		for n := range snap.Gauges {
+			gaugeNames[n] = true
+		}
+		for n := range snap.Histograms {
+			histNames[n] = true
+		}
+	}
+
+	for _, name := range sortedKeys(counterNames) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", pn); err != nil {
+			return err
+		}
+		for _, shard := range names {
+			v, ok := shards[shard].Counters[name]
+			if !ok {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s{shard=%q} %d\n", pn, shard, v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s{shard=%q} %d\n", pn, clusterShard, agg.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(gaugeNames) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", pn); err != nil {
+			return err
+		}
+		for _, shard := range names {
+			v, ok := shards[shard].Gauges[name]
+			if !ok {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s{shard=%q} %s\n", pn, shard, promFloat(v)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range sortedKeys(histNames) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		for _, shard := range names {
+			h, ok := shards[shard].Histograms[name]
+			if !ok {
+				continue
+			}
+			if err := writeLabeledHist(w, pn, shard, h); err != nil {
+				return err
+			}
+		}
+		if h, ok := agg.Histograms[name]; ok {
+			if err := writeLabeledHist(w, pn, clusterShard, h); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeLabeledHist renders one histogram's _bucket/_sum/_count triple
+// with cumulative bucket counts and a shard label on every sample.
+func writeLabeledHist(w io.Writer, pn, shard string, h HistogramSnapshot) error {
+	var cum int64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		le := "+Inf"
+		if !math.IsInf(b.UpperBound, 1) {
+			le = promFloat(b.UpperBound)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{shard=%q,le=%q} %d\n", pn, shard, le, cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_sum{shard=%q} %s\n%s_count{shard=%q} %d\n",
+		pn, shard, promFloat(h.Sum), pn, shard, h.Count)
+	return err
+}

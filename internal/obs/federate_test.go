@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 0.5, 5, 5, 5, 50, 50, 50, 50, 500} {
+		h.Observe(v)
+	}
+	snap := reg.Snapshot().Histograms["lat"]
+	// 10 observations: ranks 1-2 in (≤1], 3-5 in (1,10], 6-9 in
+	// (10,100], 10 in +Inf. Quantiles resolve to bucket upper bounds —
+	// except the +Inf bucket, which falls back to the observed max.
+	cases := []struct{ q, want float64 }{
+		{0.10, 1}, {0.20, 1}, {0.50, 10}, {0.90, 100}, {1.0, 500},
+	}
+	for _, c := range cases {
+		if got := snap.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %g, want 0", got)
+	}
+}
+
+// TestMergeMatchesUnion is the exactness argument as a test: quantiles
+// read from the bucket-wise merge of per-shard histograms equal the
+// quantiles of one histogram that observed the union of the raw
+// values. With identical fixed bounds, bucketing commutes with union —
+// the merge loses nothing the per-shard bucketing hadn't already lost.
+func TestMergeMatchesUnion(t *testing.T) {
+	bounds := MSBuckets
+	regA, regB, regU := NewRegistry(), NewRegistry(), NewRegistry()
+	hA := regA.Histogram("lat", bounds)
+	hB := regB.Histogram("lat", bounds)
+	hU := regU.Histogram("lat", bounds)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		v := rng.Float64() * 5000
+		if i%2 == 0 {
+			hA.Observe(v)
+		} else {
+			hB.Observe(v)
+		}
+		hU.Observe(v)
+	}
+	merged, ok := MergeHistograms(
+		regA.Snapshot().Histograms["lat"],
+		regB.Snapshot().Histograms["lat"])
+	if !ok {
+		t.Fatal("merge rejected identical bounds")
+	}
+	union := regU.Snapshot().Histograms["lat"]
+	if merged.Count != union.Count || merged.Min != union.Min || merged.Max != union.Max {
+		t.Fatalf("merged summary diverged: %+v vs %+v", merged, union)
+	}
+	// Sum is a float accumulated in a different order on each side —
+	// equal up to rounding, not bit-for-bit.
+	if d := math.Abs(merged.Sum - union.Sum); d > 1e-9*math.Abs(union.Sum) {
+		t.Fatalf("merged Sum diverged beyond rounding: %v vs %v", merged.Sum, union.Sum)
+	}
+	for i := range merged.Buckets {
+		if merged.Buckets[i].Count != union.Buckets[i].Count {
+			t.Fatalf("bucket %d: merged %d, union %d",
+				i, merged.Buckets[i].Count, union.Buckets[i].Count)
+		}
+	}
+	for q := 0.01; q < 1.0; q += 0.007 {
+		if m, u := merged.Quantile(q), union.Quantile(q); m != u {
+			t.Fatalf("Quantile(%g): merged %g, union %g", q, m, u)
+		}
+	}
+}
+
+func TestMergeHistogramsMismatchedBounds(t *testing.T) {
+	regA, regB := NewRegistry(), NewRegistry()
+	regA.Histogram("lat", []float64{1, 2}).Observe(1)
+	regB.Histogram("lat", []float64{1, 3}).Observe(1)
+	a := regA.Snapshot().Histograms["lat"]
+	b := regB.Snapshot().Histograms["lat"]
+	if _, ok := MergeHistograms(a, b); ok {
+		t.Fatal("merge accepted mismatched bounds; the sum would be wrong")
+	}
+	// Empty sides pass through: a shard that registered the metric but
+	// never observed must not block the cluster aggregate.
+	if m, ok := MergeHistograms(HistogramSnapshot{}, b); !ok || m.Count != b.Count {
+		t.Fatalf("empty-left merge = (%+v, %v)", m, ok)
+	}
+}
+
+func TestAggregateSnapshots(t *testing.T) {
+	regA, regB := NewRegistry(), NewRegistry()
+	regA.Counter("jobs").Add(3)
+	regB.Counter("jobs").Add(4)
+	regA.Counter("only_a").Inc()
+	regA.Gauge("heap").Set(100) // gauges don't aggregate: a summed heap is meaningless
+	regA.Histogram("lat", []float64{1, 2}).Observe(1)
+	regB.Histogram("lat", []float64{1, 3}).Observe(1) // mismatched bounds
+	agg := AggregateSnapshots(map[string]MetricsSnapshot{
+		"s0": regA.Snapshot(), "s1": regB.Snapshot(),
+	})
+	if agg.Counters["jobs"] != 7 || agg.Counters["only_a"] != 1 {
+		t.Fatalf("counters = %v", agg.Counters)
+	}
+	if len(agg.Gauges) != 0 {
+		t.Fatalf("gauges leaked into the aggregate: %v", agg.Gauges)
+	}
+	if _, ok := agg.Histograms["lat"]; ok {
+		t.Fatal("mismatched-bounds histogram survived in the aggregate")
+	}
+}
+
+// TestWriteFederatedPromGolden pins the federated exposition: two fake
+// shards, shard labels on every sample, cluster aggregate rows with
+// merged histogram buckets, and the scrape-error counter present.
+func TestWriteFederatedPromGolden(t *testing.T) {
+	regA, regB := NewRegistry(), NewRegistry()
+	regA.Counter("service.solves_total").Inc()
+	regB.Counter("service.solves_total").Add(2)
+	regB.Counter("cluster.scrape_errors_total").Inc()
+	regA.Gauge("runtime.goroutines").Set(8)
+	hA := regA.Histogram("job.run_ms", []float64{10, 100})
+	hA.Observe(5)
+	hA.Observe(50)
+	hB := regB.Histogram("job.run_ms", []float64{10, 100})
+	hB.Observe(500)
+
+	var sb strings.Builder
+	err := WriteFederatedProm(&sb, map[string]MetricsSnapshot{
+		"s0": regA.Snapshot(), "s1": regB.Snapshot(),
+	})
+	if err != nil {
+		t.Fatalf("WriteFederatedProm: %v", err)
+	}
+	want := `# TYPE cluster_scrape_errors_total counter
+cluster_scrape_errors_total{shard="s1"} 1
+cluster_scrape_errors_total{shard="cluster"} 1
+# TYPE service_solves_total counter
+service_solves_total{shard="s0"} 1
+service_solves_total{shard="s1"} 2
+service_solves_total{shard="cluster"} 3
+# TYPE runtime_goroutines gauge
+runtime_goroutines{shard="s0"} 8
+# TYPE job_run_ms histogram
+job_run_ms_bucket{shard="s0",le="10"} 1
+job_run_ms_bucket{shard="s0",le="100"} 2
+job_run_ms_bucket{shard="s0",le="+Inf"} 2
+job_run_ms_sum{shard="s0"} 55
+job_run_ms_count{shard="s0"} 2
+job_run_ms_bucket{shard="s1",le="10"} 0
+job_run_ms_bucket{shard="s1",le="100"} 0
+job_run_ms_bucket{shard="s1",le="+Inf"} 1
+job_run_ms_sum{shard="s1"} 500
+job_run_ms_count{shard="s1"} 1
+job_run_ms_bucket{shard="cluster",le="10"} 1
+job_run_ms_bucket{shard="cluster",le="100"} 2
+job_run_ms_bucket{shard="cluster",le="+Inf"} 3
+job_run_ms_sum{shard="cluster"} 555
+job_run_ms_count{shard="cluster"} 3
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("federated exposition drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

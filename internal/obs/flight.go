@@ -16,8 +16,19 @@ import (
 // needs to explain a slow or failed job after the fact, with no
 // external tracing backend.
 type FlightEntry struct {
-	TraceID   string    `json:"trace_id"`
-	JobID     string    `json:"job_id"`
+	TraceID string `json:"trace_id"`
+	JobID   string `json:"job_id"`
+	// Shard is this process's cluster self-name ("s0", "s1", ...) when
+	// it runs peered; ClusterJobID is the router-visible job ID
+	// ("s0~job-000042"), so a flight entry joins directly against router
+	// logs and the cluster's shard-prefixed API. Both are empty on a
+	// standalone operad.
+	Shard        string `json:"shard,omitempty"`
+	ClusterJobID string `json:"cluster_job_id,omitempty"`
+	// Key is the job's content-address cache key — populated on fresh
+	// solves and on cache-hit serves alike, so repeated requests are
+	// joinable by key across the recorder.
+	Key       string    `json:"key,omitempty"`
 	State     string    `json:"state"`
 	Analysis  string    `json:"analysis,omitempty"`
 	Priority  string    `json:"priority,omitempty"`

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestProfileRingConcurrent hammers Capture/Get/Snapshot/ServeIndex
+// from many goroutines at once — the interleavings the SLO-breach path
+// produces when several jobs breach together. Run under -race (the CI
+// race matrix covers this package); ErrCaptureBusy is an expected
+// outcome, any other error or a torn read is not.
+func TestProfileRingConcurrent(t *testing.T) {
+	r := NewProfileRing(8)
+	r.CPUDuration = 10 * time.Millisecond
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				trace := fmt.Sprintf("t%d-%d", g, i)
+				if err := r.Capture(trace, "race test"); err != nil && !errors.Is(err, ErrCaptureBusy) {
+					t.Errorf("Capture(%s): %v", trace, err)
+				}
+				r.Get(trace, "heap")
+				for _, p := range r.Snapshot() {
+					if p.TraceID == "" || p.Kind == "" {
+						t.Errorf("torn profile entry: %+v", p)
+					}
+				}
+				rec := httptest.NewRecorder()
+				r.ServeIndex(rec, httptest.NewRequest(http.MethodGet, "/debug/profiles", nil))
+				if rec.Code != http.StatusOK {
+					t.Errorf("ServeIndex: code=%d", rec.Code)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := len(r.Snapshot()); n > 16 {
+		t.Fatalf("ring retained %d profiles, cap is 8 traces (16 with cpu+heap)", n)
+	}
+}

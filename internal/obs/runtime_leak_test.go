@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestRuntimeSamplerStopsGoroutine verifies the sampler's goroutine
+// exits when the stop function runs — the daemons call stop during
+// shutdown, and a sampler outliving its registry would keep publishing
+// into gauges nobody serves anymore.
+func TestRuntimeSamplerStopsGoroutine(t *testing.T) {
+	base := runtime.NumGoroutine()
+	stop := StartRuntimeSampler(NewRegistry(), 100*time.Millisecond)
+	if n := runtime.NumGoroutine(); n <= base {
+		t.Fatalf("sampler did not start a goroutine: %d -> %d", base, n)
+	}
+	stop()
+	stop() // idempotent: the daemons keep a deferred stop as a safety net
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("sampler goroutine still alive 2s after stop: %d > %d",
+				runtime.NumGoroutine(), base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+	"time"
+)
+
+// Cross-process span export. A Tracer's span tree is process-local; a
+// clustered request (router forward → peer peek → owner-shard solve)
+// leaves fragments of one logical trace in several processes. ExportSpan
+// is the compact wire form those fragments travel in: flat records with
+// deterministic span/parent IDs and absolute microsecond start times, so
+// a stitcher that has never seen the originating Tracer can reassemble
+// one tree and time-align spans recorded on different machines (modulo
+// clock skew, which the waterfall rendering tolerates by aligning on the
+// earliest exported start).
+
+// ExportSpan is one span in the export format. SpanID and ParentID are
+// 16-hex digests deterministic in (trace ID, shard, tree path), so the
+// same span exports the same ID every time and a synthetic parent (the
+// shard's job-root span, the router's forward span) can be referenced
+// before or after it exists.
+type ExportSpan struct {
+	SpanID      string            `json:"span_id"`
+	ParentID    string            `json:"parent_id,omitempty"`
+	TraceID     string            `json:"trace_id"`
+	Shard       string            `json:"shard,omitempty"`
+	Name        string            `json:"name"`
+	StartUS     int64             `json:"start_us"`
+	DurMS       float64           `json:"dur_ms"`
+	AllocBytes  uint64            `json:"alloc_bytes,omitempty"`
+	AllocApprox bool              `json:"alloc_approx,omitempty"`
+	Attrs       map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceFragment is one process's contribution to a trace: the span set
+// it retained for that trace ID, served at /debug/spans/{trace}.
+type TraceFragment struct {
+	TraceID string       `json:"trace_id"`
+	Shard   string       `json:"shard,omitempty"`
+	Spans   []ExportSpan `json:"spans"`
+}
+
+// SpanID derives the deterministic span ID for a (trace, shard, path)
+// triple: the first 16 hex characters of sha256. The path names the
+// span's position in the shard's logical tree ("root", "root/0",
+// "root/0/2", or a symbolic name like "peek/<peer>"), so IDs are stable
+// across re-exports and computable by parties that never exchanged
+// state.
+func SpanID(traceID, shard, path string) string {
+	sum := sha256.Sum256([]byte(traceID + "|" + shard + "|" + path))
+	return hex.EncodeToString(sum[:8])
+}
+
+// Export flattens the tracer's span tree into export form. Every span
+// is tagged with the tracer's trace ID and the given shard name; the
+// root span's parent is parentID (empty for a standalone trace, or the
+// ID of a synthetic container span — e.g. the shard's job-root span —
+// under which the tree should hang when stitched). Span IDs derive from
+// the tree path rooted at pathPrefix ("root" when empty). Open spans
+// export their live elapsed time. Returns nil for a nil tracer or an
+// untagged one (no trace ID means nothing to join on).
+func (t *Tracer) Export(shard, parentID, pathPrefix string) []ExportSpan {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.traceID == "" {
+		return nil
+	}
+	if pathPrefix == "" {
+		pathPrefix = "root"
+	}
+	var out []ExportSpan
+	exportSpan(&out, t.root, string(t.traceID), shard, parentID, pathPrefix)
+	return out
+}
+
+// exportSpan appends s and its subtree to out, depth-first, preserving
+// child order (which is start order under the tracer's mutex).
+func exportSpan(out *[]ExportSpan, s *Span, traceID, shard, parentID, path string) {
+	es := ExportSpan{
+		SpanID:      SpanID(traceID, shard, path),
+		ParentID:    parentID,
+		TraceID:     traceID,
+		Shard:       shard,
+		Name:        s.Name,
+		StartUS:     s.start.UnixMicro(),
+		DurMS:       ms(s.durationLocked()),
+		AllocBytes:  s.allocs,
+		AllocApprox: s.allocApprox,
+	}
+	if len(s.attrs) > 0 {
+		es.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			es.Attrs[a.Key] = a.Value
+		}
+	}
+	*out = append(*out, es)
+	for i, c := range s.children {
+		exportSpan(out, c, traceID, shard, es.SpanID, path+"/"+strconv.Itoa(i))
+	}
+}
+
+// SyntheticSpan builds an export span that has no backing *Span — the
+// shard's job-root container, the queue-wait span, a peer-peek probe,
+// the router's forward span. The ID derives from (trace, shard, path)
+// exactly like exported tracer spans, so other processes can parent
+// against it by recomputing the same ID.
+func SyntheticSpan(traceID, shard, path, parentID, name string, start time.Time, dur time.Duration, attrs ...Attr) ExportSpan {
+	es := ExportSpan{
+		SpanID:   SpanID(traceID, shard, path),
+		ParentID: parentID,
+		TraceID:  traceID,
+		Shard:    shard,
+		Name:     name,
+		StartUS:  start.UnixMicro(),
+		DurMS:    ms(dur),
+	}
+	if len(attrs) > 0 {
+		es.Attrs = make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			es.Attrs[a.Key] = a.Value
+		}
+	}
+	return es
+}
+
+// sizeBytes estimates the span's retained memory in a SpanRing: string
+// payloads plus a fixed struct overhead. The estimate only has to be
+// honest enough for the ring's byte budget to bound real memory.
+func (es ExportSpan) sizeBytes() int64 {
+	n := 96 + len(es.SpanID) + len(es.ParentID) + len(es.TraceID) + len(es.Shard) + len(es.Name)
+	for k, v := range es.Attrs {
+		n += 48 + len(k) + len(v)
+	}
+	return int64(n)
+}

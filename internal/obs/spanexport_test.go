@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestSpanIDDeterministic(t *testing.T) {
+	a := SpanID("trace-1", "s0", "root")
+	if b := SpanID("trace-1", "s0", "root"); b != a {
+		t.Fatalf("SpanID not deterministic: %s vs %s", a, b)
+	}
+	if len(a) != 16 {
+		t.Fatalf("SpanID length = %d, want 16 hex chars", len(a))
+	}
+	// Any component changing must change the ID — the stitching contract
+	// is that (trace, shard, path) is the whole identity.
+	for _, other := range []string{
+		SpanID("trace-2", "s0", "root"),
+		SpanID("trace-1", "s1", "root"),
+		SpanID("trace-1", "s0", "root/0"),
+	} {
+		if other == a {
+			t.Fatalf("distinct (trace, shard, path) collided on %s", a)
+		}
+	}
+}
+
+func TestTracerExportTreeShape(t *testing.T) {
+	tr := New("job")
+	tr.SetTraceID("aaaa")
+	c1 := tr.Start("factor", String("kind", "cholesky"))
+	c1.End()
+	c2 := tr.Start("solve")
+	g := tr.Start("chunk")
+	g.End()
+	c2.End()
+	tr.Finish()
+
+	spans := tr.Export("s0", "parent-x", "job")
+	if len(spans) != 4 {
+		t.Fatalf("exported %d spans, want 4", len(spans))
+	}
+	byName := map[string]ExportSpan{}
+	for _, es := range spans {
+		byName[es.Name] = es
+		if es.TraceID != "aaaa" || es.Shard != "s0" {
+			t.Errorf("span %s: trace=%q shard=%q", es.Name, es.TraceID, es.Shard)
+		}
+	}
+	rootES := byName["job"]
+	if rootES.ParentID != "parent-x" {
+		t.Errorf("root parent = %q, want parent-x", rootES.ParentID)
+	}
+	if rootES.SpanID != SpanID("aaaa", "s0", "job") {
+		t.Errorf("root span ID not derived from the path")
+	}
+	if byName["factor"].ParentID != rootES.SpanID || byName["solve"].ParentID != rootES.SpanID {
+		t.Errorf("children not parented under the exported root")
+	}
+	if byName["chunk"].ParentID != byName["solve"].SpanID {
+		t.Errorf("grandchild not parented under its own parent")
+	}
+	if byName["factor"].Attrs["kind"] != "cholesky" {
+		t.Errorf("attrs lost in export: %v", byName["factor"].Attrs)
+	}
+	// Re-exporting yields the identical IDs: determinism is what lets
+	// two processes agree on span identity without coordination.
+	again := tr.Export("s0", "parent-x", "job")
+	for i := range spans {
+		if spans[i].SpanID != again[i].SpanID {
+			t.Fatalf("export not deterministic at span %d", i)
+		}
+	}
+}
+
+func TestTracerExportNilAndNoTraceID(t *testing.T) {
+	var tr *Tracer
+	if got := tr.Export("s0", "", ""); got != nil {
+		t.Fatalf("nil tracer exported %d spans", len(got))
+	}
+	tr2 := New("job") // no trace ID — nothing to retain under
+	if got := tr2.Export("s0", "", ""); got != nil {
+		t.Fatalf("traceless tracer exported %d spans", len(got))
+	}
+}
+
+func TestSpanRingBoundsAndEviction(t *testing.T) {
+	ring := NewSpanRing(4096)
+	mk := func(trace string, n int) []ExportSpan {
+		spans := make([]ExportSpan, n)
+		for i := range spans {
+			spans[i] = SyntheticSpan(trace, "s0", fmt.Sprintf("p%d", i), "", "span",
+				time.Unix(0, 0), time.Millisecond)
+		}
+		return spans
+	}
+	ring.Add(mk("t1", 4)...)
+	if got := ring.Get("t1"); len(got) != 4 {
+		t.Fatalf("Get(t1) = %d spans, want 4", len(got))
+	}
+	// Keep adding traces until the byte budget forces eviction; the
+	// oldest trace must go first and the budget must hold throughout.
+	for i := 0; i < 64; i++ {
+		ring.Add(mk(fmt.Sprintf("t%d", i+2), 4)...)
+		if ring.Bytes() > 4096 {
+			t.Fatalf("ring over budget after trace %d: %d bytes", i+2, ring.Bytes())
+		}
+	}
+	if got := ring.Get("t1"); got != nil {
+		t.Fatalf("oldest trace survived eviction with %d spans", len(got))
+	}
+	if got := ring.Get("t65"); len(got) != 4 {
+		t.Fatalf("newest trace evicted: %d spans", len(got))
+	}
+}
+
+func TestSpanRingSoleTraceOverBudget(t *testing.T) {
+	ring := NewSpanRing(1024)
+	for i := 0; i < 50; i++ {
+		ring.Add(SyntheticSpan("only", "s0", fmt.Sprintf("p%d", i), "", "span",
+			time.Unix(0, 0), time.Millisecond))
+	}
+	if ring.Bytes() > 1024 {
+		t.Fatalf("sole trace exceeded the byte budget: %d", ring.Bytes())
+	}
+	got := ring.Get("only")
+	if len(got) == 0 {
+		t.Fatal("sole trace fully evicted; should shed oldest spans only")
+	}
+	// Drop-oldest: the survivors must be the most recent additions.
+	if last := got[len(got)-1]; last.SpanID != SpanID("only", "s0", "p49") {
+		t.Errorf("newest span missing after shedding")
+	}
+}
+
+func TestSpanRingDisabledAndServe(t *testing.T) {
+	var ring *SpanRing
+	ring.Add(SyntheticSpan("t", "s0", "root", "", "x", time.Unix(0, 0), 0))
+	if ring.Get("t") != nil || ring.Len() != 0 || ring.Bytes() != 0 {
+		t.Fatal("nil ring not inert")
+	}
+	rec := httptest.NewRecorder()
+	ring.ServeTrace(rec, "s0", "t")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("nil ring serve: code=%d, want 404", rec.Code)
+	}
+
+	ring = NewSpanRing(1 << 20)
+	ring.Add(SyntheticSpan("t", "s0", "root", "", "x", time.Unix(0, 0), time.Millisecond))
+	rec = httptest.NewRecorder()
+	ring.ServeTrace(rec, "s0", "t")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("serve: code=%d body=%s", rec.Code, rec.Body.String())
+	}
+	var frag TraceFragment
+	if err := json.Unmarshal(rec.Body.Bytes(), &frag); err != nil {
+		t.Fatalf("fragment not JSON: %v", err)
+	}
+	if frag.TraceID != "t" || frag.Shard != "s0" || len(frag.Spans) != 1 {
+		t.Fatalf("fragment = %+v", frag)
+	}
+	rec = httptest.NewRecorder()
+	ring.ServeTrace(rec, "s0", "unknown")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown trace: code=%d, want 404", rec.Code)
+	}
+}
+
+func TestSpanRingConcurrent(t *testing.T) {
+	ring := NewSpanRing(16 << 10)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				trace := fmt.Sprintf("t%d-%d", g, i%7)
+				ring.Add(SyntheticSpan(trace, "s0", fmt.Sprintf("p%d", i), "", "span",
+					time.Unix(0, 0), time.Millisecond))
+				ring.Get(trace)
+				ring.Bytes()
+				ring.Len()
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if ring.Bytes() > 16<<10 {
+		t.Fatalf("budget violated under concurrency: %d", ring.Bytes())
+	}
+}

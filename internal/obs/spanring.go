@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"net/http"
+	"sync"
+)
+
+// SpanRing retains recently exported spans, grouped per trace ID, under
+// a global byte budget. It is the storage behind /debug/spans/{trace}:
+// a shard adds each finished job's span fragment; the router's stitcher
+// reads fragments back out by trace ID.
+//
+// Bounding is two-level, drop-oldest at both: each trace keeps at most
+// maxSpansPerTrace spans (older spans of the same trace are dropped
+// first), and the ring as a whole evicts entire traces in
+// first-insertion order until the byte budget holds. A nil *SpanRing is
+// the disabled state: Add and Get are no-ops, so call sites pay one nil
+// check and nothing else.
+type SpanRing struct {
+	mu       sync.Mutex
+	maxBytes int64
+	used     int64
+	traces   map[string]*traceSpans
+	order    []string // trace IDs, first-insertion order (eviction order)
+}
+
+// traceSpans is one trace's retained fragment.
+type traceSpans struct {
+	spans []ExportSpan
+	bytes int64
+}
+
+// maxSpansPerTrace bounds one trace's span count regardless of the byte
+// budget, so a single pathological trace cannot monopolize the ring.
+const maxSpansPerTrace = 512
+
+// NewSpanRing builds a ring with the given byte budget. A budget <= 0
+// returns nil, the disabled ring.
+func NewSpanRing(maxBytes int64) *SpanRing {
+	if maxBytes <= 0 {
+		return nil
+	}
+	return &SpanRing{maxBytes: maxBytes, traces: make(map[string]*traceSpans)}
+}
+
+// Add retains the spans, grouped by their TraceID fields, evicting as
+// needed. Spans without a trace ID are dropped.
+func (r *SpanRing) Add(spans ...ExportSpan) {
+	if r == nil || len(spans) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, es := range spans {
+		if es.TraceID == "" {
+			continue
+		}
+		ts := r.traces[es.TraceID]
+		if ts == nil {
+			ts = &traceSpans{}
+			r.traces[es.TraceID] = ts
+			r.order = append(r.order, es.TraceID)
+		}
+		ts.spans = append(ts.spans, es)
+		sz := es.sizeBytes()
+		ts.bytes += sz
+		r.used += sz
+		// Per-trace cap: drop the trace's oldest span.
+		if len(ts.spans) > maxSpansPerTrace {
+			old := ts.spans[0].sizeBytes()
+			ts.spans = ts.spans[1:]
+			ts.bytes -= old
+			r.used -= old
+		}
+	}
+	r.evictLocked(spans[len(spans)-1].TraceID)
+}
+
+// evictLocked drops whole traces, oldest first, until the byte budget
+// holds. The trace just written (keep) is evicted last — only when it
+// alone exceeds the budget, in which case its own oldest spans go.
+func (r *SpanRing) evictLocked(keep string) {
+	for r.used > r.maxBytes && len(r.order) > 0 {
+		victim := r.order[0]
+		if victim == keep && len(r.order) > 1 {
+			// Rotate the kept trace behind the next-oldest victim.
+			r.order = append(r.order[1:], victim)
+			continue
+		}
+		if victim == keep {
+			// Sole trace over budget: shed its oldest spans instead.
+			ts := r.traces[victim]
+			for r.used > r.maxBytes && len(ts.spans) > 1 {
+				old := ts.spans[0].sizeBytes()
+				ts.spans = ts.spans[1:]
+				ts.bytes -= old
+				r.used -= old
+			}
+			return
+		}
+		r.order = r.order[1:]
+		ts := r.traces[victim]
+		delete(r.traces, victim)
+		r.used -= ts.bytes
+	}
+}
+
+// Get returns the retained spans for a trace in insertion order, or nil
+// when the trace is unknown (or the ring disabled). The slice is a
+// copy; callers may keep it.
+func (r *SpanRing) Get(traceID string) []ExportSpan {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ts := r.traces[traceID]
+	if ts == nil {
+		return nil
+	}
+	return append([]ExportSpan(nil), ts.spans...)
+}
+
+// Len returns the number of retained traces (0 when disabled).
+func (r *SpanRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.traces)
+}
+
+// Bytes returns the ring's current byte estimate (0 when disabled).
+func (r *SpanRing) Bytes() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.used
+}
+
+// ServeTrace answers GET /debug/spans/{trace}: the trace's fragment as
+// JSON, 404 when the ring holds nothing for it. shard is the serving
+// process's self-name, echoed in the fragment envelope.
+func (r *SpanRing) ServeTrace(w http.ResponseWriter, shard, traceID string) {
+	spans := r.Get(traceID)
+	if spans == nil {
+		http.Error(w, "trace not found", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSONValue(w, TraceFragment{TraceID: traceID, Shard: shard, Spans: spans})
+}

@@ -39,6 +39,7 @@ const requestOverhead = 1 << 20
 //	GET    /readyz              readiness (JSON; 503 while draining or queue-saturated)
 //	GET    /metrics             service metrics snapshot
 //	GET    /debug/flight        flight recorder (when enabled); ?trace=<id> for one entry
+//	GET    /debug/spans/{trace} this shard's span fragment for a trace (when the span ring is enabled)
 //
 // Every API endpoint is wrapped in per-endpoint SLO instrumentation:
 // an http.latency_ms.<endpoint> histogram plus request/error counters.
@@ -70,6 +71,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /debug/build", obs.BuildHandler())
 	if s.flight != nil {
 		mux.Handle("GET /debug/flight", s.flight.Handler())
+	}
+	if s.spans != nil {
+		mux.HandleFunc("GET /debug/spans/{trace}", s.handleSpans)
 	}
 	if s.profiles != nil {
 		mux.HandleFunc("GET /debug/profiles", s.profiles.ServeIndex)

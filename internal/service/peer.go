@@ -5,9 +5,11 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -54,19 +56,55 @@ func (s *Server) SetPeers(self string, peers []string) {
 		self = normalizePeerURL(self)
 	}
 	var rest []string
+	all := map[string]bool{}
+	if self != "" {
+		all[self] = true
+	}
 	for _, p := range peers {
 		if p == "" {
 			continue
 		}
-		if p = normalizePeerURL(p); p != self {
+		p = normalizePeerURL(p)
+		all[p] = true
+		if p != self {
 			rest = append(rest, p)
 		}
 	}
 	if len(rest) == 0 {
 		s.peers.Store(nil)
+		s.shardName.Store(nil)
 		return
 	}
 	s.peers.Store(&peerState{ring: ring.New(rest, 0), self: self})
+	// Derive this shard's cluster self-name the same way the router
+	// names its members: the full shard set (peers ∪ self), normalized
+	// and sorted, indexed as s0, s1, ... — so shard-stamped telemetry
+	// (span exports, flight entries) joins router logs with no lookup
+	// table. Requires self so we know which member we are.
+	if self != "" {
+		members := make([]string, 0, len(all))
+		for m := range all {
+			members = append(members, m)
+		}
+		sort.Strings(members)
+		for i, m := range members {
+			if m == self {
+				name := fmt.Sprintf("s%d", i)
+				s.shardName.Store(&name)
+				break
+			}
+		}
+	}
+}
+
+// ShardName returns this shard's cluster self-name ("s0", "s1", ...)
+// derived from the sorted peer set, or "" when the server runs
+// standalone (or SetPeers was given no self URL).
+func (s *Server) ShardName() string {
+	if p := s.shardName.Load(); p != nil {
+		return *p
+	}
+	return ""
 }
 
 // Peers returns the active peer URLs (nil when peer mode is off).

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"opera/internal/cancel"
@@ -148,6 +149,13 @@ type Options struct {
 	// PeekTimeout bounds one peer cache lookup on the submission path.
 	// 0 means 150ms.
 	PeekTimeout time.Duration
+	// SpanRingBytes budgets the span-export ring served at
+	// /debug/spans/{trace}: recent jobs' span fragments (job root, queue
+	// wait, peer peeks, the solver's phase tree) retained per trace ID
+	// with drop-oldest eviction, the shard-side half of the cluster's
+	// trace stitching. <= 0 disables retention entirely (the span paths
+	// then cost one nil check).
+	SpanRingBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -197,10 +205,10 @@ type job struct {
 	// terminal StateCanceled with ErrHandedOff.
 	handedOff bool
 	peer      string
-	result   []byte
-	err      error
-	diag     *numguard.Diagnosis
-	ctx      context.Context
+	result    []byte
+	err       error
+	diag      *numguard.Diagnosis
+	ctx       context.Context
 	// cancelCause cancels ctx with a discriminated cause (user cancel,
 	// stall, drain); stopTimer releases the deadline timer when the
 	// request carried one.
@@ -289,6 +297,12 @@ type Server struct {
 	// peerHTTP is the shared transport for peeks and handoffs.
 	peers    peersPtr
 	peerHTTP *http.Client
+	// spans retains recent jobs' span-export fragments per trace ID
+	// (nil when SpanRingBytes is unset); shardName holds this shard's
+	// cluster self-name ("s0", ...) derived by SetPeers, empty when
+	// standalone.
+	spans     *obs.SpanRing
+	shardName atomic.Pointer[string]
 
 	mu          sync.Mutex
 	cond        *sync.Cond
@@ -310,7 +324,7 @@ type Server struct {
 
 	mSubmitted, mCompleted, mFailed *obs.Counter
 	mCanceled, mRejected, mPanics   *obs.Counter
-	mCoalesced                      *obs.Counter
+	mCoalesced, mSolves             *obs.Counter
 	mQueueDepth, mRunning           *obs.Gauge
 	mJobMS                          *obs.Histogram
 
@@ -369,6 +383,8 @@ func New(opts Options) (*Server, error) {
 		mRejected:   opts.Registry.Counter("service.jobs_rejected_total"),
 		mPanics:     opts.Registry.Counter("service.job_panics_total"),
 		mCoalesced:  opts.Registry.Counter("service.jobs_coalesced_total"),
+		mSolves:     opts.Registry.Counter("service.solves_total"),
+		spans:       obs.NewSpanRing(opts.SpanRingBytes),
 		mQueueDepth: opts.Registry.Gauge("service.queue_depth"),
 		mRunning:    opts.Registry.Gauge("service.jobs_running"),
 		mJobMS:      opts.Registry.Histogram("service.job_ms", obs.MSBuckets),
@@ -557,7 +573,10 @@ func (s *Server) Submit(req Request) (SubmitResponse, error) {
 		// verbatim. The world may have changed while unlocked — drain,
 		// a racing identical submission — so everything is re-checked.
 		s.mu.Unlock()
-		if data, peer := s.peekPeers(key); data != nil {
+		peekStart := time.Now()
+		data, peer := s.peekPeers(key)
+		s.recordPeekSpan(req.TraceID, peekStart, peer, data != nil)
+		if data != nil {
 			s.cache.Put(key, data)
 			if s.log != nil {
 				s.log.LogAttrs(context.Background(), slog.LevelInfo, "job.peer_hit",
@@ -613,9 +632,11 @@ func (s *Server) fastPathLocked(req Request, key string) (SubmitResponse, bool) 
 		}
 		s.flight.Record(obs.FlightEntry{
 			TraceID: j.traceID, JobID: j.id, State: StateDone,
+			Shard: s.ShardName(), ClusterJobID: s.clusterJobID(j.id), Key: key,
 			Analysis: req.Analysis, Priority: req.Priority,
 			Cached: true, Submitted: j.submitted, Log: j.tail.Lines(),
 		})
+		s.recordCachedSpans(j)
 		return SubmitResponse{ID: j.id, Key: key, State: StateDone, Cached: true, TraceID: j.traceID}, true
 	}
 	if prior, ok := s.inflight[key]; ok {
@@ -798,10 +819,11 @@ func (s *Server) runningLocked() int {
 // solve surfaces as a failed job (via parallel's panic→error capture),
 // never as a daemon crash.
 func (s *Server) runJob(j *job) {
-	// Per-job tracing is on when results embed traces or the flight
-	// recorder retains them; otherwise the solve runs with a nil tracer
-	// (every obs call is then a no-op).
-	if s.opts.CollectTrace || s.flight != nil {
+	// Per-job tracing is on when results embed traces, the flight
+	// recorder retains them, or the span ring exports them for cluster
+	// stitching; otherwise the solve runs with a nil tracer (every obs
+	// call is then a no-op).
+	if s.opts.CollectTrace || s.flight != nil || s.spans != nil {
 		j.tracer = obs.New("service.job")
 		j.tracer.SetTraceID(obs.TraceID(j.traceID))
 	}
@@ -817,6 +839,11 @@ func (s *Server) runJob(j *job) {
 	if s.opts.SLOProfileAfter > 0 && s.profiles != nil {
 		go s.profileOnBreach(j)
 	}
+	// One actually-executed solve, successful or not (contrast
+	// jobs_completed_total, which counts successful terminations only):
+	// the counter the cluster federation sums to assert "N submissions,
+	// one solve" — cache hits and coalesced twins never reach here.
+	s.mSolves.Inc()
 	var result []byte
 	err := parallel.ForEach(1, 1, func(_, _ int) error {
 		var e error
@@ -945,6 +972,10 @@ func (s *Server) finishJob(j *job, result []byte, err error) {
 // outside the server mutex, after the job is terminal (no more
 // writers touch the job's fields).
 func (s *Server) recordTerminal(j *job, state string, err error, deadline bool) {
+	if j.log == nil && s.flight == nil && s.spans == nil {
+		return
+	}
+	s.recordJobSpans(j, state)
 	if j.log == nil && s.flight == nil {
 		return
 	}
@@ -1001,17 +1032,20 @@ func (s *Server) recordTerminal(j *job, state string, err error, deadline bool) 
 	}
 	if s.flight != nil {
 		e := obs.FlightEntry{
-			TraceID:   j.traceID,
-			JobID:     j.id,
-			State:     state,
-			Analysis:  j.req.Analysis,
-			Priority:  j.req.Priority,
-			Degraded:  j.degraded,
-			Submitted: j.submitted,
-			QueuedMS:  queuedMS,
-			RunMS:     runMS,
-			Trace:     dump,
-			Log:       j.tail.Lines(),
+			TraceID:      j.traceID,
+			JobID:        j.id,
+			Shard:        s.ShardName(),
+			ClusterJobID: s.clusterJobID(j.id),
+			Key:          j.key,
+			State:        state,
+			Analysis:     j.req.Analysis,
+			Priority:     j.req.Priority,
+			Degraded:     j.degraded,
+			Submitted:    j.submitted,
+			QueuedMS:     queuedMS,
+			RunMS:        runMS,
+			Trace:        dump,
+			Log:          j.tail.Lines(),
 		}
 		if err != nil {
 			e.Error = err.Error()

@@ -1,0 +1,127 @@
+package service
+
+import (
+	"net/http"
+	"time"
+
+	"opera/internal/obs"
+)
+
+// Shard-side span retention: when Options.SpanRingBytes is set, every
+// finished job leaves a span fragment in the ring under its trace ID —
+// a synthetic "shard.job" container (submission to terminal), a
+// "queue" child covering the queue wait, any "peer.peek" probes the
+// submission ran, and the solver's own phase tree exported beneath the
+// container. The router's /debug/trace/{id} stitcher fans these
+// fragments out of every shard and reassembles one tree; the span IDs
+// are deterministic in (trace, shard, path), so the fragments agree on
+// identity without any cross-process coordination.
+
+// Span tree paths within one shard's fragment. The IDs derived from
+// them are the stitching contract: the job-root path is what peek spans
+// (recorded before the root exists) and the solver's exported tree
+// parent against.
+const (
+	spanPathRoot  = "root"
+	spanPathQueue = "queue"
+	spanPathPeek  = "peek"
+	spanPathJob   = "job"
+)
+
+// jobRootSpanID is the deterministic ID of a shard's job-root span for
+// a trace — computable before the span is recorded.
+func jobRootSpanID(traceID, shard string) string {
+	return obs.SpanID(traceID, shard, spanPathRoot)
+}
+
+// clusterJobID is the router-visible form of a local job ID
+// ("s0~job-000042"), or "" when the server runs standalone. The "~"
+// separator matches the cluster router's ID scheme.
+func (s *Server) clusterJobID(id string) string {
+	shard := s.ShardName()
+	if shard == "" || id == "" {
+		return ""
+	}
+	return shard + "~" + id
+}
+
+// Spans exposes the span-export ring (nil when disabled) — what the
+// HTTP layer serves at /debug/spans/{trace}.
+func (s *Server) Spans() *obs.SpanRing { return s.spans }
+
+// recordJobSpans retains a terminal job's span fragment. Runs outside
+// the server mutex with the job terminal (recordTerminal's contract).
+func (s *Server) recordJobSpans(j *job, state string) {
+	if s.spans == nil || j.traceID == "" {
+		return
+	}
+	shard := s.ShardName()
+	rootID := jobRootSpanID(j.traceID, shard)
+	spans := []obs.ExportSpan{obs.SyntheticSpan(
+		j.traceID, shard, spanPathRoot, "", "shard.job",
+		j.submitted, j.finished.Sub(j.submitted),
+		obs.String("job_id", j.id),
+		obs.String("state", state),
+		obs.String("analysis", j.req.Analysis),
+		obs.String("key", j.key),
+	)}
+	queuedEnd := j.started
+	if queuedEnd.IsZero() {
+		queuedEnd = j.finished
+	}
+	if d := queuedEnd.Sub(j.submitted); d > 0 {
+		spans = append(spans, obs.SyntheticSpan(
+			j.traceID, shard, spanPathQueue, rootID, "queue",
+			j.submitted, d,
+			obs.String("priority", j.req.Priority)))
+	}
+	spans = append(spans, j.tracer.Export(shard, rootID, spanPathJob)...)
+	s.spans.Add(spans...)
+}
+
+// recordCachedSpans retains the fragment of a submission served
+// entirely from the result cache: one container span, marked cached,
+// with no solve tree beneath it. Requires s.mu (called from the locked
+// fast path); the ring has its own lock but never blocks.
+func (s *Server) recordCachedSpans(j *job) {
+	if s.spans == nil || j.traceID == "" {
+		return
+	}
+	shard := s.ShardName()
+	s.spans.Add(obs.SyntheticSpan(
+		j.traceID, shard, spanPathRoot, "", "shard.job",
+		j.submitted, 0,
+		obs.String("job_id", j.id),
+		obs.String("state", StateDone),
+		obs.String("analysis", j.req.Analysis),
+		obs.String("key", j.key),
+		obs.String("cached", "true"),
+	))
+}
+
+// recordPeekSpan retains one submission's peer-peek probe as a span
+// parented under the trace's (possibly not-yet-recorded) job root.
+func (s *Server) recordPeekSpan(traceID string, start time.Time, peer string, hit bool) {
+	if s.spans == nil || traceID == "" {
+		return
+	}
+	shard := s.ShardName()
+	outcome := "miss"
+	if hit {
+		outcome = "hit"
+	}
+	attrs := []obs.Attr{obs.String("outcome", outcome)}
+	if peer != "" {
+		attrs = append(attrs, obs.String("peer", peer))
+	}
+	s.spans.Add(obs.SyntheticSpan(
+		traceID, shard, spanPathPeek, jobRootSpanID(traceID, shard),
+		"peer.peek", start, time.Since(start), attrs...))
+}
+
+// handleSpans serves GET /debug/spans/{trace}: this process's retained
+// fragment for the trace, 404 when nothing is retained (or the ring is
+// disabled).
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	s.spans.ServeTrace(w, s.ShardName(), r.PathValue("trace"))
+}
